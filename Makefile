@@ -1,0 +1,32 @@
+# Convenience targets for the CMAB-HS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures figures-paper-scale examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure (+ extensions) at reduced scale.
+figures:
+	$(PYTHON) -m repro run all
+
+# The paper's Table II sizes — expect tens of minutes.
+figures-paper-scale:
+	$(PYTHON) -m repro run all --paper-scale
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks figure_results
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

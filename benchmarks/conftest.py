@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_bench_figNN`` module regenerates one paper figure/table and
+prints its series (captured in ``bench_output.txt`` when run with
+``pytest benchmarks/ --benchmark-only | tee ...``).  Scales follow the
+``REPRO_FULL_SCALE`` environment variable: unset -> reduced sizes with
+the paper's shapes preserved; set -> Table II sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The benchmark scale (SMALL unless REPRO_FULL_SCALE is set)."""
+    return Scale.from_environment()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

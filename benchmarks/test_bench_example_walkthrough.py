@@ -1,0 +1,24 @@
+"""Bench: the Section III-D illustrative example (Figs. 4-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_example_walkthrough(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "example", scale)
+    print()
+    print(result.to_text())
+    # 10 rounds; the initial explore-all round pays p_max to every seller.
+    strategies = result.panel("strategies")
+    p_star = next(s for s in strategies if s.label == "p*")
+    assert p_star.y.size == 10
+    assert p_star.y[0] == 5.0
+    # Exactly 2 of 3 sellers are selected in each round after the first.
+    selections = result.panel("selections")
+    per_round = np.sum([s.y for s in selections], axis=0)
+    assert per_round[0] == 3
+    assert np.all(per_round[1:] == 2)

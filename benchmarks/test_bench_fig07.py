@@ -1,0 +1,37 @@
+"""Bench: Fig. 7 — total revenue and regret versus total rounds N.
+
+Paper shapes validated: revenues grow with N and are ordered
+optimal >= learning policies > random; CMAB-HS regret is sublinear while
+random's is linear; CMAB-HS regret stays far below random's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_revenue_regret_vs_n(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig7", scale)
+    print()
+    print(result.to_text())
+
+    optimal = result.series("total_revenue", "optimal").y
+    cmabhs = result.series("total_revenue", "CMAB-HS").y
+    random = result.series("total_revenue", "random").y
+    # Revenue ordering and growth.
+    assert np.all(np.diff(optimal) > 0.0)
+    assert np.all(optimal >= cmabhs)
+    assert np.all(cmabhs > random)
+
+    # Regret: optimal zero; CMAB-HS sublinear; random linear and worst.
+    np.testing.assert_allclose(result.series("regret", "optimal").y, 0.0)
+    cmabhs_regret = result.series("regret", "CMAB-HS")
+    random_regret = result.series("regret", "random")
+    assert np.all(cmabhs_regret.y < random_regret.y)
+    cmabhs_rates = cmabhs_regret.y / cmabhs_regret.x
+    assert cmabhs_rates[-1] < cmabhs_rates[0]
+    random_rates = random_regret.y / random_regret.x
+    assert random_rates.max() < 1.5 * random_rates.min()

@@ -1,0 +1,30 @@
+"""Bench: Fig. 8 — Delta-profits versus total rounds N.
+
+Paper shapes validated: the learning policies' Delta-PoC shrinks as N
+grows (estimates converge towards the omniscient selection) and random
+stays worst throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_delta_profits_vs_n(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig8", scale)
+    print()
+    print(result.to_text())
+
+    cmabhs = result.series("delta_poc", "CMAB-HS").y
+    random = result.series("delta_poc", "random").y
+    # CMAB-HS converges towards the optimal per-round profits.
+    assert cmabhs[-1] < cmabhs[0]
+    # Random never catches up.
+    assert np.all(random > cmabhs)
+    # All three Delta panels exist with all four compared policies.
+    for panel in ("delta_poc", "delta_pop", "delta_pos"):
+        labels = {s.label for s in result.panel(panel)}
+        assert labels == {"CMAB-HS", "0.1-first", "0.5-first", "random"}

@@ -1,0 +1,32 @@
+"""Bench: Fig. 9 — total revenue and regret versus number of sellers M.
+
+Paper shapes validated: revenue/regret stay roughly stable as the
+candidate pool grows (the selected top-K dominates), and the learning
+policies beat random at every M.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_revenue_regret_vs_m(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig9", scale)
+    print()
+    print(result.to_text())
+
+    optimal = result.series("total_revenue", "optimal").y
+    cmabhs = result.series("total_revenue", "CMAB-HS").y
+    random = result.series("total_revenue", "random").y
+    # Roughly stable in M: spread well under 2x while M grows 6x.
+    assert optimal.max() < 1.3 * optimal.min()
+    assert cmabhs.max() < 1.3 * cmabhs.min()
+    # Learning beats random at every M.
+    assert np.all(cmabhs > random)
+    assert np.all(
+        result.series("regret", "CMAB-HS").y
+        < result.series("regret", "random").y
+    )

@@ -1,0 +1,27 @@
+"""Bench: Fig. 10 — Delta-profits versus number of sellers M.
+
+Paper shapes validated: the Delta-metrics stay roughly stable in M and
+the learning policies' gaps stay below random's at every M.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_delta_profits_vs_m(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig10", scale)
+    print()
+    print(result.to_text())
+
+    for panel in ("delta_poc", "delta_pos"):
+        cmabhs = result.series(panel, "CMAB-HS").y
+        random = result.series(panel, "random").y
+        assert np.all(cmabhs < random), panel
+    # Random's consumer gap widens (or stays high) as the pool grows —
+    # a random pick drifts further from the enlarging top-K.
+    random_poc = result.series("delta_poc", "random").y
+    assert random_poc[-1] > 0.0

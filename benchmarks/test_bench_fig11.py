@@ -1,0 +1,28 @@
+"""Bench: Fig. 11 — total revenue and regret versus selected sellers K.
+
+Paper shapes validated: both revenue and regret increase with K, and the
+learning policies' regret grows much slower than random's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_revenue_regret_vs_k(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig11", scale)
+    print()
+    print(result.to_text())
+
+    for policy in ("optimal", "CMAB-HS", "random"):
+        revenue = result.series("total_revenue", policy).y
+        assert np.all(np.diff(revenue) > 0.0), policy
+
+    cmabhs = result.series("regret", "CMAB-HS").y
+    random = result.series("regret", "random").y
+    assert np.all(cmabhs < random)
+    # Regret grows with K for the quality-blind policy.
+    assert random[-1] > random[0]

@@ -1,0 +1,36 @@
+"""Bench: Fig. 12 — average PoC / PoP / PoS(s) per round versus K.
+
+Paper shapes validated: average PoC and PoP stay comparatively stable as
+K grows while the per-seller profit PoS(s) drops dramatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig12_avg_profits_vs_k(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig12", scale)
+    print()
+    print(result.to_text())
+
+    pos = result.series("avg_pos", "optimal").y
+    assert np.all(np.diff(pos) < 0.0)
+    # PoS drops by a large factor across the sweep.
+    assert pos[0] > 2.0 * pos[-1]
+    # PoC/PoP relative change is small next to PoS's collapse.
+    poc = result.series("avg_poc", "optimal").y
+    poc_change = abs(poc[-1] - poc[0]) / abs(poc[0])
+    pos_change = abs(pos[-1] - pos[0]) / abs(pos[0])
+    assert poc_change < pos_change
+    # CMAB-HS tracks optimal more closely than random does.
+    for panel in ("avg_poc", "avg_pos"):
+        optimal = result.series(panel, "optimal").y
+        cmabhs = result.series(panel, "CMAB-HS").y
+        random = result.series(panel, "random").y
+        gap_cmabhs = np.abs(optimal - cmabhs).mean()
+        gap_random = np.abs(optimal - random).mean()
+        assert gap_cmabhs < gap_random, panel

@@ -1,0 +1,34 @@
+"""Bench: Fig. 13 — profits versus the consumer's price p^J.
+
+Paper shapes validated: PoC is unimodal in p^J with its peak at the SE
+point; bigger omega lifts both the peak profit and its location; PoP and
+PoS(s) increase monotonically in p^J.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_poc_vs_price(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig13", scale)
+    print()
+    print(result.to_text())
+
+    peaks, locations = [], []
+    for series in result.panel("poc_by_omega"):
+        peak = int(np.argmax(series.y))
+        assert 0 < peak < series.y.size - 1, series.label
+        peaks.append(series.y[peak])
+        locations.append(series.x[peak])
+    assert peaks == sorted(peaks)
+    assert locations == sorted(locations)
+
+    assert np.all(np.diff(result.series("profits", "PoP").y) > 0.0)
+    for label in ("PoS-3", "PoS-6", "PoS-8"):
+        assert np.all(
+            np.diff(result.series("profits", label).y) >= -1e-9
+        ), label

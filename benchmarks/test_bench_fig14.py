@@ -1,0 +1,32 @@
+"""Bench: Fig. 14 — profits versus seller 6's sensing-time deviation.
+
+Paper shapes validated: the deviator's profit peaks at its equilibrium
+time (SE certification by sweep), the other sellers' profits are
+unaffected, and the leaders' profits respond to the deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig14_profit_vs_sensing_time(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig14", scale)
+    print()
+    print(result.to_text())
+
+    pos6 = result.series("profits", "PoS-6")
+    note = next(n for n in result.notes if "equilibrium" in n)
+    tau_star = float(note.split("=")[1])
+    best = float(pos6.x[int(np.argmax(pos6.y))])
+    step = float(pos6.x[1] - pos6.x[0])
+    assert abs(best - tau_star) <= step + 1e-9
+
+    for label in ("PoS-3", "PoS-8"):
+        series = result.series("profits", label)
+        np.testing.assert_allclose(series.y, series.y[0])
+    assert result.series("profits", "PoC").y.std() > 0.0
+    assert result.series("profits", "PoP").y.std() > 0.0

@@ -1,0 +1,34 @@
+"""Bench: Fig. 15 — profits versus seller 6's cost coefficient a_6.
+
+Paper shapes validated: PoC and PoS-6 decline sharply near a_6 = 0 and
+flatten; the rival sellers' profits rise.  PoP is nearly flat under the
+corrected Stage-2 formula (the paper's visible PoP decline reproduces
+only under its printed sign variant — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig15_profit_vs_cost_a6(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig15", scale)
+    print()
+    print(result.to_text())
+
+    for label in ("PoC", "PoS-6"):
+        series = result.series("profits", label)
+        assert series.y[0] > series.y[-1], label
+        early_drop = series.y[0] - series.y[series.y.size // 4]
+        late_drop = series.y[3 * series.y.size // 4] - series.y[-1]
+        assert early_drop > 3.0 * abs(late_drop), label
+
+    for label in ("PoS-3", "PoS-8"):
+        series = result.series("profits", label)
+        assert series.y[-1] > series.y[0], label
+
+    pop = result.series("profits", "PoP")
+    assert (pop.y.max() - pop.y.min()) < 0.02 * abs(pop.y.mean())

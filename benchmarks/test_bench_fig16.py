@@ -1,0 +1,27 @@
+"""Bench: Fig. 16 — strategies versus seller 6's cost coefficient a_6.
+
+Paper shapes validated: SoC and SoP rise with a_6 (prices compensate the
+costlier seller); SoS-6 falls while the rivals' sensing times rise.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig16_strategy_vs_cost_a6(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig16", scale)
+    print()
+    print(result.to_text())
+
+    for label in ("SoC (p^J*)", "SoP (p*)"):
+        series = result.series("prices", label)
+        assert series.y[-1] > series.y[0], label
+
+    sos6 = result.series("sensing_times", "SoS-6 (tau*)")
+    assert sos6.y[-1] < sos6.y[0]
+    for label in ("SoS-3 (tau*)", "SoS-8 (tau*)"):
+        series = result.series("sensing_times", label)
+        assert series.y[-1] > series.y[0], label

@@ -1,0 +1,25 @@
+"""Bench: Fig. 17 — profits versus the platform cost coefficient theta.
+
+Paper shapes validated: every party's profit decreases with theta,
+sharply at first and flattening out.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig17_profit_vs_theta(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig17", scale)
+    print()
+    print(result.to_text())
+
+    for series in result.panel("profits"):
+        assert series.y[0] > series.y[-1], series.label
+
+    poc = result.series("profits", "PoC")
+    early = poc.y[0] - poc.y[poc.y.size // 3]
+    late = poc.y[2 * poc.y.size // 3] - poc.y[-1]
+    assert early > late

@@ -1,0 +1,24 @@
+"""Bench: Fig. 18 — strategies versus the platform cost coefficient theta.
+
+Paper shapes validated: SoC (p^J*) rises with theta, SoP (p*) falls, and
+every tracked seller's sensing time falls with the lowered price.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig18_strategy_vs_theta(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "fig18", scale)
+    print()
+    print(result.to_text())
+
+    soc = result.series("prices", "SoC (p^J*)")
+    sop = result.series("prices", "SoP (p*)")
+    assert soc.y[-1] > soc.y[0]
+    assert sop.y[-1] < sop.y[0]
+    for series in result.panel("sensing_times"):
+        assert series.y[-1] < series.y[0], series.label

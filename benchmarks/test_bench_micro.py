@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the per-round hot paths.
+
+These are proper statistical benchmarks (many iterations) of the
+operations a trading round is made of — the numbers that determine how
+long a 2*10^5-round paper-scale sweep takes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits.policies import UCBPolicy
+from repro.core.incentive import solve_round_fast
+from repro.core.state import LearningState
+from repro.quality.distributions import TruncatedGaussianQuality
+from repro.quality.sampler import QualitySampler
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import TradingSimulator
+
+M, K, L = 300, 10, 10
+
+
+@pytest.fixture(scope="module")
+def round_inputs():
+    rng = np.random.default_rng(0)
+    return {
+        "qualities": rng.uniform(0.3, 1.0, K),
+        "cost_a": rng.uniform(0.1, 0.5, K),
+        "cost_b": rng.uniform(0.1, 1.0, K),
+    }
+
+
+def test_solve_round_fast(benchmark, round_inputs):
+    """Closed-form HS game solve for one round (K=10)."""
+    result = benchmark(
+        solve_round_fast,
+        round_inputs["qualities"], round_inputs["cost_a"],
+        round_inputs["cost_b"], 0.1, 1.0, 1_000.0,
+        (0.0, 1_000.0), (0.0, 1_000.0),
+    )
+    assert result[0] > 0.0
+
+
+def test_ucb_selection(benchmark):
+    """UCB index computation + top-K pick over M=300 sellers."""
+    state = LearningState(M)
+    rng = np.random.default_rng(0)
+    state.update(np.arange(M), rng.uniform(0.0, L, M), L)
+    policy = UCBPolicy()
+    policy.reset(M, K, 1_000)
+    selected = benchmark(policy.select, 5, state, rng)
+    assert selected.size == K
+
+
+def test_state_update(benchmark):
+    """Folding one round of observations into the learning state."""
+    state = LearningState(M)
+    sellers = np.arange(K)
+    sums = np.random.default_rng(0).uniform(0.0, L, K)
+
+    def update():
+        state.update(sellers, sums, L)
+
+    benchmark(update)
+
+
+def test_quality_sampling(benchmark):
+    """Drawing K x L truncated-Gaussian observations."""
+    model = TruncatedGaussianQuality(
+        np.random.default_rng(0).uniform(0.1, 1.0, M)
+    )
+    sampler = QualitySampler(model, L, np.random.default_rng(1))
+    sellers = np.arange(K)
+    observations = benchmark(sampler.sample_round, sellers)
+    assert observations.per_poi.shape == (K, L)
+
+
+def test_engine_round_throughput(benchmark):
+    """Full engine rounds (selection + game + learning), per 500 rounds."""
+    config = SimulationConfig(num_sellers=M, num_selected=K, num_pois=L,
+                              num_rounds=500, seed=0)
+    simulator = TradingSimulator(config)
+
+    def run_block():
+        return simulator.run(UCBPolicy())
+
+    result = benchmark.pedantic(run_block, rounds=3, iterations=1)
+    assert result.num_rounds == 500

@@ -1,0 +1,15 @@
+"""Bench: Table II — simulation settings regeneration."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table2_settings(benchmark, scale):
+    result = run_once(benchmark, run_experiment, "table2", scale)
+    print()
+    print(result.to_text())
+    assert any("all defaults match Table II" in note
+               for note in result.notes)

@@ -1,0 +1,59 @@
+"""The paper's Section III-D walkthrough: 3 sellers, 4 PoIs, 10 rounds.
+
+Reproduces the miniature data trading of Figs. 4-6: the initial
+explore-all round with break-even pricing, then UCB-ranked pairs with the
+hierarchical-Stackelberg strategies each round.
+
+Run with::
+
+    python examples/illustrative_example.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.illustrative import (
+    EXAMPLE_QUALITIES,
+    build_example_mechanism,
+)
+
+
+def main() -> None:
+    mechanism = build_example_mechanism(seed=0)
+    result = mechanism.run()
+
+    print("=== Section III-D illustrative example ===")
+    print(f"true qualities (hidden): {list(EXAMPLE_QUALITIES)}")
+    print()
+    header = (f"{'t':>2} {'selected':>10} {'p^J*':>8} {'p*':>7} "
+              f"{'taus':>22} {'PoC':>9} {'PoP':>8}")
+    print(header)
+    print("-" * len(header))
+    for outcome in result.rounds:
+        sellers = "<" + ",".join(
+            str(int(s) + 1) for s in outcome.selected
+        ) + ">"
+        taus = np.array2string(
+            outcome.sensing_times, precision=3, separator=","
+        )
+        print(
+            f"{outcome.round_index + 1:>2} {sellers:>10} "
+            f"{outcome.service_price:>8.3f} "
+            f"{outcome.collection_price:>7.3f} {taus:>22} "
+            f"{outcome.consumer_profit:>9.2f} "
+            f"{outcome.platform_profit:>8.2f}"
+        )
+    print()
+    print(f"learned qualities      : {np.round(result.final_means, 3)}")
+    print(f"observation counts     : {result.final_counts} "
+          "(each selection adds L=4)")
+    print(f"realized revenue       : {result.realized_revenue:.2f}")
+    print(f"cumulative regret      : {result.cumulative_regret:.2f}")
+    chi = result.selection_matrix
+    print("selection matrix chi (rounds x sellers):")
+    print(chi)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""A data-trading market with several concurrent consumers.
+
+The paper's Fig. 1 shows one platform brokering for multiple consumers;
+its evaluation instantiates just one.  This example runs three consumers
+with different valuation scales against a shared seller population and
+compares the platform's seller-allocation strategies on welfare and
+fairness.
+
+Run with::
+
+    python examples/multi_consumer_market.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SellerPopulation
+from repro.market import (
+    ConsumerSpec,
+    MarketSimulator,
+    RandomPriorityAllocation,
+    RichestFirstAllocation,
+    SnakeDraftAllocation,
+)
+
+
+def main() -> None:
+    population = SellerPopulation.random(80, np.random.default_rng(13))
+    consumers = [
+        ConsumerSpec(consumer_id=0, omega=1_400.0, k=10),  # data-hungry lab
+        ConsumerSpec(consumer_id=1, omega=1_000.0, k=8),   # city department
+        ConsumerSpec(consumer_id=2, omega=600.0, k=6),     # startup
+    ]
+    simulator = MarketSimulator(
+        population, consumers, num_pois=8, seed=13
+    )
+    print("=== multi-consumer crowdsensing market ===")
+    print(f"sellers: {len(population)}, consumers: {len(consumers)}, "
+          f"sellers allocated per round: {simulator.total_demand}")
+    print()
+
+    strategies = [
+        RichestFirstAllocation(),
+        SnakeDraftAllocation(),
+        RandomPriorityAllocation(),
+    ]
+    outcomes = simulator.compare(strategies, num_rounds=2_000)
+
+    header = (f"{'strategy':>16} {'welfare':>12} {'platform':>10} "
+              f"{'fair.gap':>9}  per-consumer profit")
+    print(header)
+    print("-" * (len(header) + 24))
+    for name, result in outcomes.items():
+        totals = result.consumer_totals()
+        per_consumer = "  ".join(
+            f"c{cid}:{total:,.0f}" for cid, total in sorted(totals.items())
+        )
+        print(f"{name:>16} {result.total_welfare():>12,.0f} "
+              f"{float(result.platform_profit.sum()):>10,.0f} "
+              f"{result.fairness_gap():>9,.0f}  {per_consumer}")
+
+    print()
+    richest = outcomes["richest-first"]
+    snake = outcomes["snake-draft"]
+    print("richest-first maximises value-weighted welfare "
+          f"({richest.total_welfare():,.0f} vs snake "
+          f"{snake.total_welfare():,.0f}) by feeding the highest-omega "
+          "consumer the best sellers;")
+    print("snake-draft narrows the allocated-quality spread "
+          "(mean quality per consumer, last 200 rounds):")
+    for name, result in outcomes.items():
+        qualities = [
+            result.consumer_mean_quality[spec.consumer_id][-200:].mean()
+            for spec in consumers
+        ]
+        print(f"  {name:>16}: "
+              + "  ".join(f"{q:.3f}" for q in qualities))
+
+
+if __name__ == "__main__":
+    main()

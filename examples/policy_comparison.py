@@ -1,0 +1,90 @@
+"""Compare every selection policy, including the extensions.
+
+Runs the paper's four algorithms plus the library's extension policies
+(epsilon-greedy, Thompson sampling, sliding-window UCB) on one instance,
+then repeats the exercise under *drifting* qualities to show why the
+sliding window exists.
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.bandits import (
+    EpsilonFirstPolicy,
+    EpsilonGreedyPolicy,
+    OptimalPolicy,
+    RandomPolicy,
+    SlidingWindowUCBPolicy,
+    ThompsonSamplingPolicy,
+    UCBPolicy,
+)
+from repro.quality import DriftingQuality
+from repro.sim import SimulationConfig, TradingSimulator
+
+
+def print_comparison(title: str, comparison) -> None:
+    print(f"--- {title} ---")
+    print(f"{'policy':>12} {'revenue':>12} {'regret':>10} "
+          f"{'PoC/round':>10} {'PoS/round':>10}")
+    for name, run in comparison.runs.items():
+        print(f"{name:>12} {run.total_realized_revenue:>12.1f} "
+              f"{run.final_regret:>10.1f} {run.mean_consumer_profit:>10.2f} "
+              f"{run.mean_seller_profit:>10.3f}")
+    print()
+
+
+def main() -> None:
+    config = SimulationConfig(
+        num_sellers=80, num_selected=8, num_rounds=4_000, seed=5
+    )
+
+    # Stationary qualities: the paper's setting.
+    simulator = TradingSimulator(config)
+    qualities = simulator.population.expected_qualities
+    policies = [
+        OptimalPolicy(qualities),
+        UCBPolicy(),
+        EpsilonFirstPolicy(0.1),
+        RandomPolicy(),
+        EpsilonGreedyPolicy(0.1),
+        ThompsonSamplingPolicy(),
+        SlidingWindowUCBPolicy(window=800),
+    ]
+    print_comparison("stationary qualities", simulator.compare(policies))
+
+    # Drifting qualities (the Definition-3 remark): the sliding window
+    # tracks the drift while vanilla UCB averages over stale history.
+    # Both use a smaller exploration coefficient than the paper's K+1 —
+    # windowed counts are small, so the K+1 radius would force the
+    # sliding-window policy into near-permanent exploration.
+    drift_config = config.derive(
+        num_sellers=40, num_selected=8, num_rounds=8_000
+    )
+    base_sim = TradingSimulator(drift_config)
+    drift_qualities = base_sim.population.expected_qualities
+    drifting = DriftingQuality(
+        drift_qualities, amplitude=0.35, period=2_000.0, phase_seed=3
+    )
+    drift_sim = TradingSimulator(drift_config,
+                                 population=base_sim.population,
+                                 quality_model=drifting)
+    drift_policies = [
+        OptimalPolicy(drift_qualities),
+        UCBPolicy(exploration_coefficient=0.5),
+        SlidingWindowUCBPolicy(window=800, exploration_coefficient=0.5),
+        RandomPolicy(),
+    ]
+    comparison = drift_sim.compare(drift_policies)
+    print_comparison("drifting qualities (non-stationary)", comparison)
+    sw = comparison["sw-ucb"].total_realized_revenue
+    ucb = comparison["CMAB-HS"].total_realized_revenue
+    print(f"sliding-window vs vanilla UCB revenue under drift: "
+          f"{sw:,.0f} vs {ucb:,.0f} "
+          f"({(sw / ucb - 1.0):+.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Regenerate paper figures, render them as ASCII charts, save as JSON.
+
+Demonstrates the full artifact-regeneration workflow:
+
+1. run a selection of the paper's figure experiments;
+2. render each as terminal tables + ASCII charts (no matplotlib needed);
+3. persist every result as JSON under ``./figure_results`` so it can be
+   reloaded later without re-simulating.
+
+Run with::
+
+    python examples/reproduce_figures.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import Scale, render_experiment, run_experiment
+from repro.sim.persistence import (
+    load_experiment_result,
+    save_experiment_result,
+)
+
+#: A representative subset: one HS-game figure, one equilibrium sweep,
+#: and one strategy sweep (the bandit sweeps fig7-fig12 take minutes —
+#: run them via ``repro-cdt run fig7 ...`` when needed).
+FIGURES = ("fig13", "fig15", "fig18")
+
+OUTPUT_DIR = "figure_results"
+
+
+def main() -> None:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    for experiment_id in FIGURES:
+        result = run_experiment(experiment_id, Scale.SMALL)
+        print(render_experiment(result, width=60, height=12))
+        print()
+        path = os.path.join(OUTPUT_DIR, f"{experiment_id}.json")
+        save_experiment_result(result, path)
+        print(f"saved {path}")
+        print("=" * 72)
+
+    # Round-trip check: reload one result and confirm it matches.
+    reloaded = load_experiment_result(
+        os.path.join(OUTPUT_DIR, FIGURES[0] + ".json")
+    )
+    print(f"reloaded {reloaded.experiment_id!r}: "
+          f"{len(reloaded.panels)} panels, notes: {len(reloaded.notes)}")
+
+
+if __name__ == "__main__":
+    main()

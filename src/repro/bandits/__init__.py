@@ -1,0 +1,43 @@
+"""Combinatorial multi-armed bandit substrate.
+
+Selection policies (the paper's CMAB-HS UCB plus its baselines and
+several extensions) and a selection-only environment for bandit
+experiments.
+"""
+
+from repro.bandits.base import SelectionPolicy
+from repro.bandits.cucb import (
+    GreedyKnapsackOracle,
+    Oracle,
+    OraclePolicy,
+    TopKOracle,
+    WeightedCoverageOracle,
+)
+from repro.bandits.environment import BanditRunResult, CMABEnvironment
+from repro.bandits.policies import (
+    EpsilonFirstPolicy,
+    EpsilonGreedyPolicy,
+    OptimalPolicy,
+    RandomPolicy,
+    SlidingWindowUCBPolicy,
+    ThompsonSamplingPolicy,
+    UCBPolicy,
+)
+
+__all__ = [
+    "SelectionPolicy",
+    "UCBPolicy",
+    "OptimalPolicy",
+    "EpsilonFirstPolicy",
+    "RandomPolicy",
+    "EpsilonGreedyPolicy",
+    "ThompsonSamplingPolicy",
+    "SlidingWindowUCBPolicy",
+    "CMABEnvironment",
+    "BanditRunResult",
+    "Oracle",
+    "TopKOracle",
+    "WeightedCoverageOracle",
+    "GreedyKnapsackOracle",
+    "OraclePolicy",
+]

@@ -1,0 +1,91 @@
+"""Selection-policy abstraction for the K-armed CMAB game.
+
+A :class:`SelectionPolicy` decides, each round, which sellers (arms) to
+select.  All policies read the shared
+:class:`~repro.core.state.LearningState` that the platform maintains
+(Eqs. 17-18); policies needing private memory (sliding windows, Thompson
+posteriors) additionally receive every observation via :meth:`observe`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.state import LearningState
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SelectionPolicy"]
+
+
+class SelectionPolicy(abc.ABC):
+    """Decides which ``K`` sellers to select each round.
+
+    Lifecycle: the engine calls :meth:`reset` once before a run, then
+    alternates :meth:`select` / :meth:`observe` every round.  Policies
+    must be reusable — :meth:`reset` must fully clear private state.
+    """
+
+    #: Short display name used in experiment tables ("CMAB-HS", "random", ...).
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self._num_sellers = 0
+        self._k = 0
+        self._num_rounds = 0
+
+    @property
+    def k(self) -> int:
+        """Number of sellers selected per (post-exploration) round."""
+        return self._k
+
+    @property
+    def num_sellers(self) -> int:
+        """Population size ``M`` this policy was reset for."""
+        return self._num_sellers
+
+    def reset(self, num_sellers: int, k: int, num_rounds: int) -> None:
+        """Prepare for a fresh run of ``num_rounds`` rounds.
+
+        Subclasses overriding this must call ``super().reset(...)``.
+        """
+        if not (1 <= k <= num_sellers):
+            raise ConfigurationError(
+                f"k must be in [1, {num_sellers}], got {k}"
+            )
+        if num_rounds <= 0:
+            raise ConfigurationError(
+                f"num_rounds must be positive, got {num_rounds}"
+            )
+        self._num_sellers = int(num_sellers)
+        self._k = int(k)
+        self._num_rounds = int(num_rounds)
+
+    @abc.abstractmethod
+    def select(self, round_index: int, state: LearningState,
+               rng: np.random.Generator) -> np.ndarray:
+        """Return the indices of the sellers to select this round.
+
+        Normally exactly ``k`` indices; a policy may return more in a
+        dedicated exploration round (CMAB-HS selects *all* sellers in
+        round 0, Algorithm 1 steps 2-4).
+        """
+
+    def observe(self, round_index: int, seller_indices: np.ndarray,
+                observation_sums: np.ndarray, num_observations: int) -> None:
+        """Receive the round's observations (no-op by default).
+
+        The shared :class:`LearningState` is updated by the engine; only
+        policies with *private* statistics (windowed means, posteriors)
+        need to override this.
+        """
+
+    def _require_reset(self) -> None:
+        if self._num_sellers == 0:
+            raise ConfigurationError(
+                f"policy {self.name!r} used before reset()"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}(name={self.name!r})"

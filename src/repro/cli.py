@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro`` / ``repro-cdt``.
+
+Subcommands:
+
+* ``list`` — show every registered experiment.
+* ``run <experiment-id> [...]`` — run experiments and print their text
+  tables (``--paper-scale`` for Table II sizes, ``--seed N``).
+* ``quickstart`` — run a small end-to-end trading simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cdt",
+        description=(
+            "CMAB-HS crowdsensing data trading — reproduction toolkit"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one or more experiments"
+    )
+    run_parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids (for example fig7 fig13 table2), or 'all'",
+    )
+    run_parser.add_argument(
+        "--paper-scale", action="store_true",
+        help="use the paper's Table II sizes (slow)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    run_parser.add_argument(
+        "--charts", action="store_true",
+        help="append an ASCII chart per panel",
+    )
+    run_parser.add_argument(
+        "--save-dir", metavar="DIR",
+        help="also save each result as DIR/<experiment-id>.json",
+    )
+
+    quick_parser = subparsers.add_parser(
+        "quickstart", help="run a small end-to-end trading simulation"
+    )
+    quick_parser.add_argument("--sellers", type=int, default=50)
+    quick_parser.add_argument("--selected", type=int, default=5)
+    quick_parser.add_argument("--rounds", type=int, default=1_000)
+    quick_parser.add_argument("--seed", type=int, default=0)
+
+    replicate_parser = subparsers.add_parser(
+        "replicate",
+        help="repeat the policy comparison over several seeds",
+    )
+    replicate_parser.add_argument("--sellers", type=int, default=50)
+    replicate_parser.add_argument("--selected", type=int, default=5)
+    replicate_parser.add_argument("--rounds", type=int, default=1_000)
+    replicate_parser.add_argument("--seeds", type=int, default=5,
+                                  help="number of replications")
+    replicate_parser.add_argument("--first-seed", type=int, default=0)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="generate a synthetic taxi trace and derive PoIs/sellers",
+    )
+    trace_parser.add_argument("--trips", type=int, default=27_465,
+                              help="trip count (default: paper scale)")
+    trace_parser.add_argument("--taxis", type=int, default=300)
+    trace_parser.add_argument("--pois", type=int, default=10)
+    trace_parser.add_argument("--sellers", type=int, default=50)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--out", metavar="CSV",
+                              help="also save the trace as CSV")
+    return parser
+
+
+def _command_list() -> int:
+    from repro.experiments import list_experiments
+
+    for experiment_id, title in list_experiments():
+        print(f"{experiment_id:<10} {title}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments import Scale, list_experiments, run_experiment
+    from repro.experiments.reporting import render_experiment
+    from repro.sim.persistence import save_experiment_result
+
+    # --paper-scale forces Table II sizes; otherwise the REPRO_FULL_SCALE
+    # environment variable decides (default: small).
+    scale = Scale.PAPER if args.paper_scale else Scale.from_environment()
+    wanted = list(args.experiments)
+    if wanted == ["all"]:
+        wanted = [experiment_id for experiment_id, __ in list_experiments()]
+    for experiment_id in wanted:
+        result = run_experiment(experiment_id, scale, args.seed)
+        if args.charts:
+            print(render_experiment(result))
+        else:
+            print(result.to_text())
+        print()
+        if args.save_dir:
+            os.makedirs(args.save_dir, exist_ok=True)
+            path = os.path.join(args.save_dir, f"{experiment_id}.json")
+            save_experiment_result(result, path)
+            print(f"saved {path}")
+    return 0
+
+
+def _command_quickstart(args: argparse.Namespace) -> int:
+    from repro.bandits import (
+        EpsilonFirstPolicy,
+        OptimalPolicy,
+        RandomPolicy,
+        UCBPolicy,
+    )
+    from repro.sim import SimulationConfig, TradingSimulator
+
+    config = SimulationConfig(
+        num_sellers=args.sellers,
+        num_selected=args.selected,
+        num_rounds=args.rounds,
+        seed=args.seed,
+    )
+    simulator = TradingSimulator(config)
+    policies = [
+        OptimalPolicy(simulator.population.expected_qualities),
+        UCBPolicy(),
+        EpsilonFirstPolicy(0.1),
+        RandomPolicy(),
+    ]
+    comparison = simulator.compare(policies)
+    print(
+        f"M={config.num_sellers} K={config.num_selected} "
+        f"L={config.num_pois} N={args.rounds}"
+    )
+    print(f"{'policy':>12} {'revenue':>12} {'regret':>10} "
+          f"{'PoC/round':>10} {'PoP/round':>10} {'PoS/round':>10}")
+    for name, run in comparison.runs.items():
+        print(
+            f"{name:>12} {run.total_realized_revenue:>12.1f} "
+            f"{run.final_regret:>10.1f} {run.mean_consumer_profit:>10.2f} "
+            f"{run.mean_platform_profit:>10.2f} "
+            f"{run.mean_seller_profit:>10.3f}"
+        )
+    return 0
+
+
+def _command_replicate(args: argparse.Namespace) -> int:
+    from repro.bandits import (
+        EpsilonFirstPolicy,
+        OptimalPolicy,
+        RandomPolicy,
+        UCBPolicy,
+    )
+    from repro.sim import SimulationConfig, replicate_comparison
+
+    config = SimulationConfig(
+        num_sellers=args.sellers,
+        num_selected=args.selected,
+        num_rounds=args.rounds,
+    )
+
+    def factory(qualities):
+        return [
+            OptimalPolicy(qualities),
+            UCBPolicy(),
+            EpsilonFirstPolicy(0.1),
+            RandomPolicy(),
+        ]
+
+    result = replicate_comparison(config, factory, num_seeds=args.seeds,
+                                  first_seed=args.first_seed)
+    print(f"M={config.num_sellers} K={config.num_selected} "
+          f"N={config.num_rounds}, seeds={result.seeds}")
+    print(result.to_table())
+    separation = result.separation("CMAB-HS", "random")
+    print(f"\nCMAB-HS vs random revenue separation: "
+          f"{separation:.1f} pooled standard deviations")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data import (
+        TraceSpec,
+        extract_pois,
+        generate_trace,
+        save_trace,
+        sellers_from_trace,
+    )
+
+    spec = TraceSpec(num_trips=args.trips, num_taxis=args.taxis,
+                     seed=args.seed)
+    trace = generate_trace(spec)
+    print(f"generated {len(trace)} trips by {spec.num_taxis} taxis "
+          f"over {spec.days} days (seed {spec.seed})")
+    if args.out:
+        count = save_trace(trace, args.out)
+        print(f"saved {count} records to {args.out}")
+    pois = extract_pois(trace, num_pois=args.pois)
+    print(f"extracted {len(pois)} PoIs (busiest first):")
+    for poi in pois:
+        print(f"  PoI {poi.poi_id}: ({poi.latitude:.4f}, "
+              f"{poi.longitude:.4f}), {poi.weight:.0f} events")
+    derived = sellers_from_trace(
+        trace, pois, num_sellers=args.sellers,
+        rng=np.random.default_rng(args.seed), radius_degrees=0.02,
+    )
+    print(f"derived {len(derived.population)} sellers; PoI coverage "
+          f"{derived.poi_coverage.min()}-{derived.poi_coverage.max()} "
+          f"of {len(pois)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "quickstart":
+            return _command_quickstart(args)
+        if args.command == "replicate":
+            return _command_replicate(args)
+        if args.command == "trace":
+            return _command_trace(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,184 @@
+"""Learning diagnostics: does a run behave as the theory says it must?
+
+Lemma 18 bounds the expected number of observations any suboptimal
+seller can accumulate under CMAB-HS; Theorem 19 turns that into the
+regret bound.  This module inspects a finished run's selection counters
+and certifies them against per-seller Lemma-18 bounds (with the seller's
+*own* gap to the weakest optimal seller substituted for ``Delta_min`` —
+the standard per-arm refinement), plus convenience summaries of who was
+selected how often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.regret import lemma18_bound
+from repro.core.selection import top_k_indices
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "SellerCounterDiagnostic",
+    "CounterReport",
+    "counter_report",
+]
+
+
+@dataclass(frozen=True)
+class SellerCounterDiagnostic:
+    """One seller's measured counter against its Lemma-18 bound.
+
+    Attributes
+    ----------
+    seller:
+        Seller index.
+    expected_quality:
+        Ground-truth ``q_i``.
+    gap:
+        ``q_(K) - q_i`` — the seller's deficit to the weakest member of
+        the optimal set (0 for optimal sellers).
+    observations:
+        Measured quality observations of this seller
+        (``selections * L``).
+    bound:
+        Per-seller Lemma-18 bound on the observations attributable to
+        suboptimal selections (``inf`` for optimal sellers — the lemma
+        does not constrain them).
+    """
+
+    seller: int
+    expected_quality: float
+    gap: float
+    observations: int
+    bound: float
+
+    @property
+    def is_optimal(self) -> bool:
+        """Whether the seller belongs to the omniscient top-K set."""
+        return self.gap <= 0.0
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the measured counter respects Lemma 18."""
+        return self.observations <= self.bound
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """Lemma-18 certification of a whole run's selection counters."""
+
+    diagnostics: tuple[SellerCounterDiagnostic, ...]
+    num_rounds: int
+
+    @property
+    def suboptimal(self) -> tuple[SellerCounterDiagnostic, ...]:
+        """Diagnostics of the sellers Lemma 18 actually bounds."""
+        return tuple(d for d in self.diagnostics if not d.is_optimal)
+
+    @property
+    def all_within_bounds(self) -> bool:
+        """Whether every suboptimal seller respects its bound."""
+        return all(d.within_bound for d in self.suboptimal)
+
+    @property
+    def worst_utilisation(self) -> float:
+        """Largest measured/bound ratio among suboptimal sellers.
+
+        Values near 1 mean the bound is nearly tight for some seller;
+        small values mean the mechanism is far inside the guarantee.
+        Returns 0 when every suboptimal bound is infinite.
+        """
+        ratios = [
+            d.observations / d.bound
+            for d in self.suboptimal
+            if np.isfinite(d.bound) and d.bound > 0.0
+        ]
+        return max(ratios) if ratios else 0.0
+
+    def to_table(self) -> str:
+        """Aligned text table of the per-seller diagnostics."""
+        headers = ["seller", "quality", "gap", "observed", "bound", "ok"]
+        rows = []
+        for d in self.diagnostics:
+            bound = "-" if not np.isfinite(d.bound) else f"{d.bound:.0f}"
+            rows.append([
+                str(d.seller),
+                f"{d.expected_quality:.3f}",
+                f"{d.gap:.3f}",
+                str(d.observations),
+                bound,
+                "yes" if d.within_bound else "NO",
+            ])
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows))
+            for i in range(len(headers))
+        ]
+        lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def counter_report(expected_qualities: np.ndarray,
+                   selection_counts: np.ndarray, k: int, num_pois: int,
+                   num_rounds: int) -> CounterReport:
+    """Certify measured selection counters against Lemma 18.
+
+    Parameters
+    ----------
+    expected_qualities:
+        Ground-truth qualities ``q_i``, shape ``(M,)``.
+    selection_counts:
+        How many rounds each seller was selected
+        (``RunMetrics.selection_counts`` or a
+        ``TradingResult.selection_matrix.sum(axis=0)``).
+    k:
+        Sellers selected per round.
+    num_pois:
+        Observations per selection (``L``).
+    num_rounds:
+        The run's horizon ``N`` (enters the bound's logarithm).
+
+    Raises
+    ------
+    ConfigurationError
+        On malformed inputs.
+    """
+    qualities = np.asarray(expected_qualities, dtype=float)
+    counts = np.asarray(selection_counts, dtype=np.int64)
+    if qualities.shape != counts.shape or qualities.ndim != 1:
+        raise ConfigurationError(
+            "expected_qualities and selection_counts must be aligned "
+            "1-D arrays"
+        )
+    if not (1 <= k <= qualities.size):
+        raise ConfigurationError(
+            f"k must be in [1, {qualities.size}], got {k}"
+        )
+    if num_pois <= 0 or num_rounds <= 0:
+        raise ConfigurationError(
+            "num_pois and num_rounds must be positive"
+        )
+    optimal = set(int(i) for i in top_k_indices(qualities, k))
+    weakest_optimal = float(np.sort(qualities)[::-1][k - 1])
+    diagnostics = []
+    for seller in range(qualities.size):
+        gap = 0.0 if seller in optimal else (
+            weakest_optimal - float(qualities[seller])
+        )
+        bound = (float("inf") if gap <= 0.0
+                 else lemma18_bound(k, num_pois, num_rounds, gap))
+        diagnostics.append(
+            SellerCounterDiagnostic(
+                seller=seller,
+                expected_quality=float(qualities[seller]),
+                gap=gap,
+                observations=int(counts[seller]) * num_pois,
+                bound=bound,
+            )
+        )
+    return CounterReport(
+        diagnostics=tuple(diagnostics), num_rounds=int(num_rounds)
+    )

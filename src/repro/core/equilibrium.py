@@ -1,0 +1,185 @@
+"""Stackelberg Equilibrium verification (Definition 13, Theorem 20).
+
+Given a solved strategy profile, this module searches for profitable
+unilateral deviations:
+
+* **sellers** (Eq. 16): each seller's profit at ``tau_i*`` must dominate
+  every feasible ``tau_i`` with prices and the other sellers fixed;
+* **platform** (Eq. 15): with ``p^J*`` fixed and sellers best-responding,
+  no alternative ``p`` may yield more platform profit;
+* **consumer** (Eq. 14): with both lower tiers best-responding, no
+  alternative ``p^J`` may yield more consumer profit.
+
+For the two leader checks the followers *re-respond* to the deviation (the
+standard Stackelberg notion, and the one the paper's backward induction
+actually establishes).  Deviations are searched on a dense grid; the
+verifier reports the worst improvement found for each party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import EquilibriumViolationError
+from repro.game.profits import GameInstance, StrategyProfile
+
+__all__ = ["EquilibriumReport", "verify_equilibrium", "assert_equilibrium"]
+
+#: Signature of a lower-tier response: ``(game, p^J) -> (p, tau)``.
+CascadeFn = Callable[[GameInstance, float], tuple[float, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class EquilibriumReport:
+    """Outcome of an equilibrium verification.
+
+    Each ``*_improvement`` is the largest profit gain any deviation
+    achieved over the candidate profile (negative or ~0 at equilibrium).
+
+    Attributes
+    ----------
+    consumer_improvement, platform_improvement:
+        Best deviation gains of the two leaders.
+    seller_improvements:
+        Per-seller best deviation gains, shape ``(K,)``.
+    tolerance:
+        Gains at or below this are treated as numerical noise.
+    """
+
+    consumer_improvement: float
+    platform_improvement: float
+    seller_improvements: np.ndarray
+    tolerance: float
+
+    @property
+    def max_improvement(self) -> float:
+        """The single worst deviation gain across all parties."""
+        return float(
+            max(
+                self.consumer_improvement,
+                self.platform_improvement,
+                float(self.seller_improvements.max()),
+            )
+        )
+
+    @property
+    def is_equilibrium(self) -> bool:
+        """Whether no deviation beats the profile beyond the tolerance."""
+        return self.max_improvement <= self.tolerance
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        status = "SE holds" if self.is_equilibrium else "SE VIOLATED"
+        return (
+            f"{status}: best deviation gains — consumer "
+            f"{self.consumer_improvement:+.3e}, platform "
+            f"{self.platform_improvement:+.3e}, sellers "
+            f"{float(self.seller_improvements.max()):+.3e} "
+            f"(tolerance {self.tolerance:.1e})"
+        )
+
+
+def _seller_deviation_gain(game: GameInstance, profile: StrategyProfile,
+                           position: int, num_points: int) -> float:
+    """Best profit gain seller ``position`` can get by changing ``tau_i``."""
+    base = game.seller_profits(profile.collection_price,
+                               profile.sensing_times)[position]
+    current = profile.sensing_times[position]
+    high = max(4.0 * current, 1.0)
+    if np.isfinite(game.max_sensing_time):
+        high = min(high, game.max_sensing_time)
+    grid = np.linspace(0.0, high, num_points)
+    quality = game.qualities[position]
+    a, b = game.cost_a[position], game.cost_b[position]
+    profits = profile.collection_price * grid - (a * grid * grid + b * grid) * quality
+    return float(profits.max() - base)
+
+
+def _platform_deviation_gain(game: GameInstance, profile: StrategyProfile,
+                             num_points: int) -> float:
+    """Best gain the platform can get by re-pricing (sellers re-respond)."""
+    base = game.platform_profit(profile.service_price,
+                                profile.collection_price,
+                                profile.sensing_times)
+    lo, hi = game.collection_price_bounds
+    hi = min(hi, max(profile.service_price, lo))
+    grid = np.linspace(lo, hi, num_points)
+    best = -np.inf
+    for price in grid:
+        taus = game.seller_best_responses(float(price))
+        best = max(best, game.platform_profit(profile.service_price,
+                                              price, taus))
+    return float(best - base)
+
+
+def _consumer_deviation_gain(game: GameInstance, profile: StrategyProfile,
+                             cascade: CascadeFn, num_points: int) -> float:
+    """Best gain the consumer can get by re-pricing (all tiers re-respond)."""
+    base = game.consumer_profit(profile.service_price, profile.sensing_times)
+    lo, hi = game.service_price_bounds
+    hi = min(hi, 2.0 * game.omega * game.mean_quality + 10.0)
+    hi = max(hi, lo)
+    grid = np.linspace(lo, hi, num_points)
+    best = -np.inf
+    for service_price in grid:
+        __, taus = cascade(game, float(service_price))
+        best = max(best, game.consumer_profit(float(service_price), taus))
+    return float(best - base)
+
+
+def verify_equilibrium(game: GameInstance, profile: StrategyProfile,
+                       cascade: CascadeFn, num_points: int = 400,
+                       tolerance: float = 1e-4) -> EquilibriumReport:
+    """Search for profitable unilateral deviations from ``profile``.
+
+    Parameters
+    ----------
+    game:
+        The round's game instance.
+    profile:
+        The candidate equilibrium ``<p^J*, p*, tau*>``.
+    cascade:
+        Lower-tier response used when testing consumer deviations — pass
+        the same solver that produced the profile (for example
+        ``ClosedFormStackelbergSolver().cascade``).
+    num_points:
+        Grid density per deviation search.
+    tolerance:
+        Absolute profit-gain tolerance; grid search slightly overshooting
+        the continuous optimum is expected at ~``O(grid step^2)``.
+    """
+    seller_gains = np.array([
+        _seller_deviation_gain(game, profile, j, num_points)
+        for j in range(game.num_sellers)
+    ])
+    return EquilibriumReport(
+        consumer_improvement=_consumer_deviation_gain(
+            game, profile, cascade, num_points
+        ),
+        platform_improvement=_platform_deviation_gain(
+            game, profile, num_points
+        ),
+        seller_improvements=seller_gains,
+        tolerance=tolerance,
+    )
+
+
+def assert_equilibrium(game: GameInstance, profile: StrategyProfile,
+                       cascade: CascadeFn, num_points: int = 400,
+                       tolerance: float = 1e-4) -> EquilibriumReport:
+    """Verify the profile and raise if any profitable deviation exists.
+
+    Returns the report on success.
+
+    Raises
+    ------
+    EquilibriumViolationError
+        If some party can improve beyond ``tolerance`` by deviating.
+    """
+    report = verify_equilibrium(game, profile, cascade, num_points, tolerance)
+    if not report.is_equilibrium:
+        raise EquilibriumViolationError(report.describe())
+    return report

@@ -1,0 +1,396 @@
+"""The CMAB-HS data-trading mechanism (Algorithm 1).
+
+Orchestrates one full data-trading job:
+
+1. **Initial exploration** (round 0): select *all* sellers with a fixed
+   sensing time ``tau^0``; pay sellers the maximum collection price and
+   charge the consumer the break-even service price (steps 2-4).
+2. **Exploit + explore** (rounds 1..N-1): select the top-``K`` sellers by
+   UCB index (steps 7-10), play the three-stage hierarchical Stackelberg
+   game on the selected set (step 11, Theorems 14-16), collect data, and
+   fold the observed qualities back into the learning state (step 12,
+   Eqs. 17-18).
+
+The mechanism returns the complete bandit policy ``chi`` and the strategy
+profile ``<p^J*, p*, tau*>`` of every round, exactly the outputs of
+Algorithm 1, plus per-round profits for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.incentive import (
+    FormulaVariant,
+    initial_round_prices,
+    solve_round_fast,
+)
+from repro.core.regret import RegretTracker
+from repro.core.state import LearningState
+from repro.entities.consumer import Consumer
+from repro.entities.job import Job
+from repro.entities.platform import Platform
+from repro.entities.seller import SellerPopulation
+from repro.exceptions import ConfigurationError
+from repro.game.profits import GameInstance, StrategyProfile
+from repro.quality.distributions import QualityModel, TruncatedGaussianQuality
+from repro.quality.sampler import QualitySampler
+
+__all__ = ["RoundOutcome", "TradingResult", "CMABHSMechanism"]
+
+#: Estimated qualities are floored here before entering the game — the
+#: closed forms divide by ``qbar_i`` and an all-zero observation run
+#: (possible under a Bernoulli model) must not produce a division by zero.
+_QUALITY_FLOOR = 1e-6
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Everything that happened in one trading round.
+
+    Attributes
+    ----------
+    round_index:
+        0-based round number ``t``.
+    selected:
+        Indices of the selected sellers (all ``M`` in round 0).
+    service_price, collection_price:
+        The strategies ``p^J,t*`` and ``p^t*``.
+    sensing_times:
+        The sellers' strategies ``tau^t*``, aligned with ``selected``.
+    consumer_profit, platform_profit:
+        Leader profits of the round.
+    seller_profits:
+        Per-selected-seller profits, aligned with ``selected``.
+    observed_quality_total:
+        Realised revenue of the round (sum of all quality observations).
+    mean_estimated_quality:
+        ``qbar^t`` of the selected set when the game was played.
+    estimated_qualities:
+        Per-seller estimates ``qbar_i^t`` the round's game was solved
+        with, aligned with ``selected``.
+    """
+
+    round_index: int
+    selected: np.ndarray
+    service_price: float
+    collection_price: float
+    sensing_times: np.ndarray
+    consumer_profit: float
+    platform_profit: float
+    seller_profits: np.ndarray
+    observed_quality_total: float
+    mean_estimated_quality: float
+    estimated_qualities: np.ndarray
+
+    @property
+    def strategy(self) -> StrategyProfile:
+        """The round's joint strategy as a :class:`StrategyProfile`."""
+        return StrategyProfile(self.service_price, self.collection_price,
+                               self.sensing_times)
+
+    @property
+    def total_sensing_time(self) -> float:
+        """Total sensing time contributed this round."""
+        return float(self.sensing_times.sum())
+
+
+@dataclass
+class TradingResult:
+    """The output of a full CMAB-HS run (Algorithm 1's return value).
+
+    Attributes
+    ----------
+    rounds:
+        Per-round outcomes in order.
+    final_means:
+        The final estimated qualities ``qbar_i^N``.
+    final_counts:
+        The final observation counts ``n_i^N``.
+    cumulative_regret:
+        Pseudo-regret versus the omniscient top-``K`` policy (Eq. 34).
+    regret_history:
+        Cumulative regret after each round.
+    """
+
+    rounds: list[RoundOutcome]
+    final_means: np.ndarray
+    final_counts: np.ndarray
+    cumulative_regret: float
+    regret_history: np.ndarray
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds actually played."""
+        return len(self.rounds)
+
+    @property
+    def selection_matrix(self) -> np.ndarray:
+        """The bandit policy ``chi`` as an ``(N, M)`` 0/1 matrix."""
+        m = self.final_means.size
+        chi = np.zeros((self.num_rounds, m), dtype=np.int8)
+        for outcome in self.rounds:
+            chi[outcome.round_index, outcome.selected] = 1
+        return chi
+
+    @property
+    def realized_revenue(self) -> float:
+        """Total observed quality across the whole run (Definition 8)."""
+        return float(sum(r.observed_quality_total for r in self.rounds))
+
+    def profits(self) -> dict[str, np.ndarray]:
+        """Per-round profit series keyed by participant."""
+        return {
+            "consumer": np.array([r.consumer_profit for r in self.rounds]),
+            "platform": np.array([r.platform_profit for r in self.rounds]),
+            "sellers_mean": np.array(
+                [float(r.seller_profits.mean()) for r in self.rounds]
+            ),
+        }
+
+    def strategies(self) -> dict[str, np.ndarray]:
+        """Per-round strategy series keyed by participant."""
+        return {
+            "service_price": np.array([r.service_price for r in self.rounds]),
+            "collection_price": np.array(
+                [r.collection_price for r in self.rounds]
+            ),
+            "total_sensing_time": np.array(
+                [r.total_sensing_time for r in self.rounds]
+            ),
+        }
+
+
+class CMABHSMechanism:
+    """Run the CMAB-HS data-trading mechanism end to end.
+
+    Parameters
+    ----------
+    population:
+        The ``M`` candidate sellers.
+    job:
+        The consumer's data-collection job (supplies ``L``, ``N``, ``T``).
+    platform, consumer:
+        The two leader parties (supply cost/valuation parameters and
+        price bounds).
+    k:
+        Number of sellers selected per exploitation round.
+    quality_model:
+        Observation model; defaults to the paper's truncated Gaussian
+        around the population's expected qualities.
+    initial_sensing_time:
+        The fixed ``tau^0`` of the initial exploration round.
+    exploration_coefficient:
+        UCB confidence constant; ``None`` means the paper's ``K+1``.
+    formula_variant:
+        Which closed-form stage-2 constant to use (see
+        :class:`~repro.core.incentive.FormulaVariant`).
+    seed:
+        Master seed for observation noise.
+    """
+
+    def __init__(self, population: SellerPopulation, job: Job,
+                 platform: Platform, consumer: Consumer, k: int,
+                 quality_model: QualityModel | None = None,
+                 initial_sensing_time: float = 1.0,
+                 exploration_coefficient: float | None = None,
+                 formula_variant: FormulaVariant = FormulaVariant.DERIVED,
+                 seed: int = 0) -> None:
+        if not (1 <= k <= len(population)):
+            raise ConfigurationError(
+                f"k must be in [1, {len(population)}], got {k}"
+            )
+        if not (initial_sensing_time > 0.0):
+            raise ConfigurationError(
+                "initial_sensing_time must be positive, got "
+                f"{initial_sensing_time}"
+            )
+        if initial_sensing_time > job.round_duration:
+            raise ConfigurationError(
+                "initial_sensing_time exceeds the round duration T"
+            )
+        if exploration_coefficient is not None and exploration_coefficient <= 0:
+            raise ConfigurationError("exploration_coefficient must be positive")
+        self._population = population
+        self._job = job
+        self._platform = platform
+        self._consumer = consumer
+        self._k = int(k)
+        self._tau0 = float(initial_sensing_time)
+        self._coefficient = (
+            float(exploration_coefficient)
+            if exploration_coefficient is not None
+            else float(k + 1)
+        )
+        self._variant = formula_variant
+        self._seed = int(seed)
+        if quality_model is None:
+            quality_model = TruncatedGaussianQuality(
+                population.expected_qualities
+            )
+        if quality_model.num_sellers != len(population):
+            raise ConfigurationError(
+                "quality model covers a different number of sellers than "
+                "the population"
+            )
+        self._quality_model = quality_model
+
+    # -- public API --------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of sellers selected per exploitation round."""
+        return self._k
+
+    @property
+    def exploration_coefficient(self) -> float:
+        """The UCB confidence constant (``K+1`` unless overridden)."""
+        return self._coefficient
+
+    def build_game(self, selected: np.ndarray,
+                   estimated_qualities: np.ndarray) -> GameInstance:
+        """The validated game instance of one round (for verification)."""
+        return GameInstance(
+            qualities=np.maximum(estimated_qualities, _QUALITY_FLOOR),
+            cost_a=self._population.cost_a[selected],
+            cost_b=self._population.cost_b[selected],
+            theta=self._platform.aggregation_cost.theta,
+            lam=self._platform.aggregation_cost.lam,
+            omega=self._consumer.valuation.omega,
+            service_price_bounds=(self._consumer.price_min,
+                                  self._consumer.price_max),
+            collection_price_bounds=(self._platform.price_min,
+                                     self._platform.price_max),
+            max_sensing_time=self._job.round_duration,
+        )
+
+    def run(self, num_rounds: int | None = None) -> TradingResult:
+        """Execute Algorithm 1 for ``num_rounds`` rounds (default: job's N)."""
+        n = int(num_rounds) if num_rounds is not None else self._job.num_rounds
+        if n <= 0:
+            raise ConfigurationError(f"num_rounds must be positive, got {n}")
+        m = len(self._population)
+        num_pois = self._job.num_pois
+        sampler = QualitySampler(
+            self._quality_model, num_pois, np.random.default_rng(self._seed)
+        )
+        state = LearningState(m)
+        tracker = RegretTracker(
+            self._population.expected_qualities, self._k, num_pois
+        )
+        rounds: list[RoundOutcome] = []
+        for t in range(n):
+            if t == 0:
+                selected = np.arange(m)
+                outcome = self._play_initial_round(selected, state, sampler)
+            else:
+                selected = self._select(state)
+                outcome = self._play_round(t, selected, state, sampler)
+            tracker.record(selected)
+            rounds.append(outcome)
+        return TradingResult(
+            rounds=rounds,
+            final_means=state.means,
+            final_counts=np.asarray(state.counts, dtype=np.int64).copy(),
+            cumulative_regret=tracker.cumulative_regret,
+            regret_history=tracker.history,
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _select(self, state: LearningState) -> np.ndarray:
+        ucb = state.ucb_values(self._coefficient)
+        order = np.argsort(-ucb, kind="stable")
+        return np.sort(order[: self._k])
+
+    def _play_initial_round(self, selected: np.ndarray, state: LearningState,
+                            sampler: QualitySampler) -> RoundOutcome:
+        """Round 0: explore all sellers at fixed time and break-even prices."""
+        taus = np.full(selected.size, self._tau0)
+        game = GameInstance(
+            qualities=np.full(selected.size, 0.5),  # placeholder; unused by pricing
+            cost_a=self._population.cost_a[selected],
+            cost_b=self._population.cost_b[selected],
+            theta=self._platform.aggregation_cost.theta,
+            lam=self._platform.aggregation_cost.lam,
+            omega=self._consumer.valuation.omega,
+            service_price_bounds=(self._consumer.price_min,
+                                  self._consumer.price_max),
+            collection_price_bounds=(self._platform.price_min,
+                                     self._platform.price_max),
+            max_sensing_time=self._job.round_duration,
+        )
+        service_price, collection_price = initial_round_prices(game, self._tau0)
+        observations = sampler.sample_round(selected, round_index=0)
+        state.update(selected, observations.sums, self._job.num_pois)
+        means = state.means[selected]
+        seller_profits = (
+            collection_price * taus
+            - (self._population.cost_a[selected] * taus * taus
+               + self._population.cost_b[selected] * taus) * means
+        )
+        total = float(taus.sum())
+        aggregation = self._platform.aggregation_cost(total)
+        platform_profit = (service_price - collection_price) * total - aggregation
+        consumer_profit = self._consumer.profit(
+            service_price, total, float(means.mean())
+        )
+        return RoundOutcome(
+            round_index=0,
+            selected=selected,
+            service_price=service_price,
+            collection_price=collection_price,
+            sensing_times=taus,
+            consumer_profit=consumer_profit,
+            platform_profit=platform_profit,
+            seller_profits=seller_profits,
+            observed_quality_total=observations.total,
+            mean_estimated_quality=float(means.mean()),
+            estimated_qualities=means.copy(),
+        )
+
+    def _play_round(self, t: int, selected: np.ndarray, state: LearningState,
+                    sampler: QualitySampler) -> RoundOutcome:
+        """Rounds 1..N-1: HS game on the UCB-selected set, then learn."""
+        means = np.maximum(state.means[selected], _QUALITY_FLOOR)
+        cost_a = self._population.cost_a[selected]
+        cost_b = self._population.cost_b[selected]
+        theta = self._platform.aggregation_cost.theta
+        lam = self._platform.aggregation_cost.lam
+        service_price, collection_price, taus = solve_round_fast(
+            means, cost_a, cost_b, theta, lam,
+            self._consumer.valuation.omega,
+            (self._consumer.price_min, self._consumer.price_max),
+            (self._platform.price_min, self._platform.price_max),
+            self._job.round_duration,
+            paper_variant=(self._variant is FormulaVariant.PAPER),
+        )
+        seller_profits = (
+            collection_price * taus
+            - (cost_a * taus * taus + cost_b * taus) * means
+        )
+        total = float(taus.sum())
+        aggregation = theta * total * total + lam * total
+        platform_profit = (service_price - collection_price) * total - aggregation
+        mean_quality = float(means.mean())
+        consumer_profit = (
+            self._consumer.valuation(total, mean_quality)
+            - service_price * total
+        )
+        observations = sampler.sample_round(selected, round_index=t)
+        state.update(selected, observations.sums, self._job.num_pois)
+        return RoundOutcome(
+            round_index=t,
+            selected=selected,
+            service_price=service_price,
+            collection_price=collection_price,
+            sensing_times=taus,
+            consumer_profit=consumer_profit,
+            platform_profit=platform_profit,
+            seller_profits=seller_profits,
+            observed_quality_total=observations.total,
+            mean_estimated_quality=mean_quality,
+            estimated_qualities=means.copy(),
+        )

@@ -1,0 +1,58 @@
+"""UCB-greedy seller selection (Algorithm 1, steps 7-10).
+
+Each round the platform sorts the sellers by their UCB indices and picks
+the top ``K``.  The module also provides the plain top-K-of-an-array
+helper shared by the baseline policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import LearningState
+from repro.exceptions import SelectionError
+
+__all__ = ["top_k_indices", "select_by_ucb"]
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the ``k`` largest scores, in ascending index order.
+
+    Ties are broken by ascending index (stable), which matches sorting
+    sellers "in a non-increasing order of their UCB values" and taking a
+    prefix.  Infinite scores (never-observed sellers) rank first, so
+    forced exploration happens automatically.
+
+    Raises
+    ------
+    SelectionError
+        If ``k`` is not in ``[1, len(scores)]``.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1:
+        raise SelectionError("scores must be a 1-D array")
+    if not (1 <= k <= scores.size):
+        raise SelectionError(
+            f"cannot select k={k} sellers from {scores.size} candidates"
+        )
+    if k == scores.size:
+        return np.arange(scores.size)
+    order = np.argsort(-scores, kind="stable")
+    return np.sort(order[:k])
+
+
+def select_by_ucb(state: LearningState, k: int,
+                  exploration_coefficient: float) -> np.ndarray:
+    """Select the ``K`` sellers with the largest UCB indices (Eq. 19).
+
+    Parameters
+    ----------
+    state:
+        The platform's learning state.
+    k:
+        Number of sellers to select.
+    exploration_coefficient:
+        The ``K+1`` factor inside the confidence radius; exposed for the
+        confidence-width ablation.
+    """
+    return top_k_indices(state.ucb_values(exploration_coefficient), k)

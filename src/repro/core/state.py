@@ -1,0 +1,166 @@
+"""The platform's quality-learning state (Eqs. 17-19).
+
+Tracks, for every seller, how many times its quality has been observed
+(``n_i^t``) and the running sample mean (``qbar_i^t``), and computes the
+extended UCB indices
+
+``qhat_i^t = qbar_i^t + sqrt((K+1) * ln(sum_j n_j^t) / n_i^t)``
+
+that drive the CMAB-HS selection policy.  Each time a seller is selected
+it is observed once per PoI, so ``n_i`` advances by ``L`` per selection
+(Eq. 17).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LearningState"]
+
+
+class LearningState:
+    """Running quality estimates for a population of ``M`` sellers.
+
+    Parameters
+    ----------
+    num_sellers:
+        Population size ``M``.
+    prior_mean:
+        The estimate reported for never-observed sellers (default 0; it
+        never matters for selection because unobserved sellers have an
+        infinite UCB index).
+    """
+
+    def __init__(self, num_sellers: int, prior_mean: float = 0.0) -> None:
+        if num_sellers <= 0:
+            raise ConfigurationError(
+                f"num_sellers must be positive, got {num_sellers}"
+            )
+        if not (0.0 <= prior_mean <= 1.0):
+            raise ConfigurationError(
+                f"prior_mean must be in [0, 1], got {prior_mean}"
+            )
+        self._num_sellers = int(num_sellers)
+        self._prior_mean = float(prior_mean)
+        self._counts = np.zeros(num_sellers, dtype=np.int64)
+        self._sums = np.zeros(num_sellers, dtype=float)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def num_sellers(self) -> int:
+        """Population size ``M``."""
+        return self._num_sellers
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Observation counts ``n_i`` (read-only view)."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def total_count(self) -> int:
+        """Total observations ``sum_j n_j`` across all sellers."""
+        return int(self._counts.sum())
+
+    @property
+    def means(self) -> np.ndarray:
+        """Sample means ``qbar_i``; ``prior_mean`` where unobserved."""
+        means = np.full(self._num_sellers, self._prior_mean)
+        seen = self._counts > 0
+        means[seen] = self._sums[seen] / self._counts[seen]
+        return means
+
+    def mean_of(self, seller: int) -> float:
+        """Sample mean ``qbar_i`` of one seller."""
+        if self._counts[seller] == 0:
+            return self._prior_mean
+        return float(self._sums[seller] / self._counts[seller])
+
+    # -- updates (Eqs. 17-18) ----------------------------------------------------
+
+    def update(self, seller_indices: np.ndarray, observation_sums: np.ndarray,
+               num_observations: int) -> None:
+        """Fold one round of observations into the state.
+
+        Parameters
+        ----------
+        seller_indices:
+            The sellers selected this round (each index at most once).
+        observation_sums:
+            Per-seller sums of this round's quality observations (the
+            ``sum_l q_{i,l}^t`` term of Eq. 18), aligned with
+            ``seller_indices``.
+        num_observations:
+            Observations per seller this round — the number of PoIs ``L``
+            (Eq. 17 increments ``n_i`` by ``L``).
+        """
+        sellers = np.asarray(seller_indices, dtype=int)
+        sums = np.asarray(observation_sums, dtype=float)
+        if sellers.shape != sums.shape or sellers.ndim != 1:
+            raise ConfigurationError(
+                "seller_indices and observation_sums must be 1-D and aligned"
+            )
+        if num_observations <= 0:
+            raise ConfigurationError(
+                f"num_observations must be positive, got {num_observations}"
+            )
+        if sellers.size == 0:
+            return
+        if np.unique(sellers).size != sellers.size:
+            raise ConfigurationError("a seller cannot be updated twice per round")
+        if sellers.min() < 0 or sellers.max() >= self._num_sellers:
+            raise ConfigurationError("seller index out of range")
+        self._counts[sellers] += int(num_observations)
+        self._sums[sellers] += sums
+
+    # -- UCB indices (Eq. 19) -----------------------------------------------------
+
+    def exploration_bonuses(self, coefficient: float) -> np.ndarray:
+        """The confidence radii ``eps_i = sqrt(c * ln(sum_j n_j) / n_i)``.
+
+        ``coefficient`` is ``K+1`` in the paper (Eq. 19); it is exposed so
+        ablation experiments can sweep the confidence width.  Sellers with
+        no observations get an infinite bonus, forcing exploration.
+        """
+        if coefficient <= 0.0:
+            raise ConfigurationError(
+                f"exploration coefficient must be positive, got {coefficient}"
+            )
+        total = self.total_count
+        bonuses = np.full(self._num_sellers, np.inf)
+        if total <= 1:
+            # ln(total) <= 0: no meaningful confidence radius yet.
+            return bonuses
+        seen = self._counts > 0
+        bonuses[seen] = np.sqrt(
+            coefficient * np.log(total) / self._counts[seen]
+        )
+        return bonuses
+
+    def ucb_values(self, coefficient: float) -> np.ndarray:
+        """UCB indices ``qhat_i = qbar_i + eps_i`` (Eq. 19)."""
+        return self.means + self.exploration_bonuses(coefficient)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """A copy of the raw state, for logging or checkpointing."""
+        return {"counts": self._counts.copy(), "sums": self._sums.copy()}
+
+    def restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        """Restore a state previously produced by :meth:`snapshot`."""
+        counts = np.asarray(snapshot["counts"], dtype=np.int64)
+        sums = np.asarray(snapshot["sums"], dtype=float)
+        if counts.shape != (self._num_sellers,) or sums.shape != (self._num_sellers,):
+            raise ConfigurationError("snapshot shape does not match this state")
+        self._counts = counts.copy()
+        self._sums = sums.copy()
+
+    def reset(self) -> None:
+        """Forget everything learned so far."""
+        self._counts.fill(0)
+        self._sums.fill(0.0)

@@ -1,0 +1,38 @@
+"""Taxi-trip trace substrate (synthetic Chicago-style generator).
+
+The real Chicago Taxi Trips dump is not redistributable; this package
+generates a statistically similar synthetic trace and implements the
+paper's downstream pipeline on it: PoI extraction from the busiest
+pickup/dropoff points and seller derivation from the taxis serving them.
+"""
+
+from repro.data.generator import TraceSpec, generate_trace
+from repro.data.loader import (
+    filter_by_taxis,
+    filter_by_time,
+    load_trace,
+    save_trace,
+)
+from repro.data.poi import extract_pois, trip_endpoints
+from repro.data.schema import CSV_HEADER, TripRecord
+from repro.data.trace_sellers import (
+    TraceSellers,
+    qualified_taxis,
+    sellers_from_trace,
+)
+
+__all__ = [
+    "TripRecord",
+    "CSV_HEADER",
+    "TraceSpec",
+    "generate_trace",
+    "save_trace",
+    "load_trace",
+    "filter_by_time",
+    "filter_by_taxis",
+    "extract_pois",
+    "trip_endpoints",
+    "TraceSellers",
+    "qualified_taxis",
+    "sellers_from_trace",
+]

@@ -1,0 +1,61 @@
+"""CSV persistence and filtering of taxi-trip traces."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.data.schema import CSV_HEADER, TripRecord
+from repro.exceptions import DataTraceError
+
+__all__ = ["save_trace", "load_trace", "filter_by_time", "filter_by_taxis"]
+
+
+def save_trace(records: Iterable[TripRecord], path: str | os.PathLike) -> int:
+    """Write a trace to a CSV file with header; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(",".join(CSV_HEADER) + "\n")
+        for record in records:
+            handle.write(record.to_csv_row() + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str | os.PathLike) -> list[TripRecord]:
+    """Read a trace from a CSV file written by :func:`save_trace`.
+
+    Raises
+    ------
+    DataTraceError
+        If the file is empty, the header does not match, or any row is
+        malformed.
+    """
+    records: list[TripRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().strip()
+        if not header:
+            raise DataTraceError(f"trace file {path!s} is empty")
+        if tuple(header.split(",")) != CSV_HEADER:
+            raise DataTraceError(
+                f"unexpected trace header {header!r} in {path!s}"
+            )
+        for line in handle:
+            if line.strip():
+                records.append(TripRecord.from_csv_row(line))
+    return records
+
+
+def filter_by_time(records: Sequence[TripRecord], start: float,
+                   end: float) -> list[TripRecord]:
+    """Records whose timestamp lies in ``[start, end)``."""
+    if end <= start:
+        raise DataTraceError(f"empty time window [{start}, {end})")
+    return [r for r in records if start <= r.timestamp < end]
+
+
+def filter_by_taxis(records: Sequence[TripRecord],
+                    taxi_ids: Iterable[int]) -> list[TripRecord]:
+    """Records belonging to the given taxis."""
+    wanted = set(int(t) for t in taxi_ids)
+    return [r for r in records if r.taxi_id in wanted]

@@ -1,0 +1,80 @@
+"""PoI extraction from a taxi-trip trace.
+
+The paper: "we select some pick-up/drop-off points as the PoIs ... We
+first choose L=10 locations".  We grid the city, count pickup and dropoff
+events per cell, and return the ``L`` busiest cell centroids as PoIs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import TripRecord
+from repro.entities.job import PoI
+from repro.exceptions import DataTraceError
+
+__all__ = ["extract_pois", "trip_endpoints"]
+
+
+def trip_endpoints(records: Sequence[TripRecord]) -> np.ndarray:
+    """All pickup and dropoff points of a trace, shape ``(2*num_trips, 2)``.
+
+    Rows are (latitude, longitude); pickups come first, then dropoffs.
+    """
+    if not records:
+        raise DataTraceError("cannot extract endpoints from an empty trace")
+    pickups = np.array(
+        [(r.pickup_latitude, r.pickup_longitude) for r in records]
+    )
+    dropoffs = np.array(
+        [(r.dropoff_latitude, r.dropoff_longitude) for r in records]
+    )
+    return np.vstack([pickups, dropoffs])
+
+
+def extract_pois(records: Sequence[TripRecord], num_pois: int,
+                 cell_size_degrees: float = 0.01) -> list[PoI]:
+    """The ``L`` busiest locations of a trace, as PoIs.
+
+    Points are binned into ``cell_size_degrees`` grid cells; the ``L``
+    cells with the most pickup+dropoff events become PoIs, positioned at
+    the mean of their member points and weighted by their event count.
+
+    Raises
+    ------
+    DataTraceError
+        If the trace has fewer than ``num_pois`` distinct busy cells.
+    """
+    if num_pois <= 0:
+        raise DataTraceError(f"num_pois must be positive, got {num_pois}")
+    if cell_size_degrees <= 0.0:
+        raise DataTraceError(
+            f"cell_size_degrees must be positive, got {cell_size_degrees}"
+        )
+    points = trip_endpoints(records)
+    cells = np.floor(points / cell_size_degrees).astype(np.int64)
+    keys = [tuple(cell) for cell in cells]
+    counts = Counter(keys)
+    if len(counts) < num_pois:
+        raise DataTraceError(
+            f"trace yields only {len(counts)} distinct cells; "
+            f"cannot extract {num_pois} PoIs"
+        )
+    busiest = [cell for cell, __ in counts.most_common(num_pois)]
+    pois: list[PoI] = []
+    keys_array = np.array(keys)
+    for poi_id, cell in enumerate(busiest):
+        member_mask = np.all(keys_array == np.array(cell), axis=1)
+        centroid = points[member_mask].mean(axis=0)
+        pois.append(
+            PoI(
+                poi_id=poi_id,
+                latitude=float(centroid[0]),
+                longitude=float(centroid[1]),
+                weight=float(counts[cell]),
+            )
+        )
+    return pois

@@ -1,0 +1,103 @@
+"""Record schema of the taxi-trip data trace.
+
+The paper evaluates on the Chicago Taxi Trips trace, where "each entry of
+the trace records the taxiID, timestamp, trip miles and the location of
+picking up/dropping off passengers".  :class:`TripRecord` mirrors exactly
+those fields; the synthetic generator and the CSV loader both speak it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import DataTraceError
+
+__all__ = ["TripRecord", "CSV_HEADER"]
+
+#: Column order used by the CSV loader/writer.
+CSV_HEADER = (
+    "taxi_id",
+    "timestamp",
+    "trip_miles",
+    "pickup_latitude",
+    "pickup_longitude",
+    "dropoff_latitude",
+    "dropoff_longitude",
+)
+
+
+@dataclass(frozen=True)
+class TripRecord:
+    """One taxi trip.
+
+    Attributes
+    ----------
+    taxi_id:
+        Identifier of the taxi (a candidate data seller).
+    timestamp:
+        Trip start time as a Unix timestamp (seconds).
+    trip_miles:
+        Length of the trip in miles.
+    pickup_latitude, pickup_longitude:
+        Where the passenger was picked up.
+    dropoff_latitude, dropoff_longitude:
+        Where the passenger was dropped off.
+    """
+
+    taxi_id: int
+    timestamp: float
+    trip_miles: float
+    pickup_latitude: float
+    pickup_longitude: float
+    dropoff_latitude: float
+    dropoff_longitude: float
+
+    def __post_init__(self) -> None:
+        if self.taxi_id < 0:
+            raise DataTraceError(f"taxi_id must be >= 0, got {self.taxi_id}")
+        for name in ("timestamp", "trip_miles", "pickup_latitude",
+                     "pickup_longitude", "dropoff_latitude",
+                     "dropoff_longitude"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise DataTraceError(f"{name} must be finite, got {value}")
+        if self.trip_miles < 0.0:
+            raise DataTraceError(
+                f"trip_miles must be >= 0, got {self.trip_miles}"
+            )
+
+    def to_csv_row(self) -> str:
+        """Serialise this record as one CSV line (no trailing newline)."""
+        return (
+            f"{self.taxi_id},{self.timestamp:.1f},{self.trip_miles:.3f},"
+            f"{self.pickup_latitude:.6f},{self.pickup_longitude:.6f},"
+            f"{self.dropoff_latitude:.6f},{self.dropoff_longitude:.6f}"
+        )
+
+    @classmethod
+    def from_csv_row(cls, row: str) -> "TripRecord":
+        """Parse one CSV line into a record.
+
+        Raises
+        ------
+        DataTraceError
+            If the line has the wrong arity or non-numeric fields.
+        """
+        parts = row.strip().split(",")
+        if len(parts) != len(CSV_HEADER):
+            raise DataTraceError(
+                f"expected {len(CSV_HEADER)} fields, got {len(parts)}: {row!r}"
+            )
+        try:
+            return cls(
+                taxi_id=int(parts[0]),
+                timestamp=float(parts[1]),
+                trip_miles=float(parts[2]),
+                pickup_latitude=float(parts[3]),
+                pickup_longitude=float(parts[4]),
+                dropoff_latitude=float(parts[5]),
+                dropoff_longitude=float(parts[6]),
+            )
+        except ValueError as error:
+            raise DataTraceError(f"malformed trace row {row!r}: {error}") from error

@@ -1,0 +1,142 @@
+"""Deriving candidate sellers from a taxi-trip trace.
+
+The paper: "we assume that the taxis which pick up or drop off passengers
+at these points can complete the data collection job, which are regarded
+as the data sellers ... we choose M taxis as satisfied sellers".
+
+A taxi qualifies when it has at least ``min_poi_coverage`` of the PoIs
+within ``radius_degrees`` of some pickup/dropoff of its trips.  The trace
+carries no quality information (true of the real trace as well), so the
+expected qualities and cost parameters are sampled exactly as in the
+paper's evaluation settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import TripRecord
+from repro.entities.job import PoI
+from repro.entities.seller import SellerPopulation
+from repro.exceptions import DataTraceError
+
+__all__ = ["TraceSellers", "qualified_taxis", "sellers_from_trace"]
+
+
+@dataclass(frozen=True)
+class TraceSellers:
+    """Sellers derived from a trace plus the taxi ids behind them.
+
+    Attributes
+    ----------
+    population:
+        The seller population (index ``i`` is seller ``i``).
+    taxi_ids:
+        ``taxi_ids[i]`` is the trace taxi id realising seller ``i``.
+    poi_coverage:
+        ``poi_coverage[i]`` is how many of the job's PoIs taxi
+        ``taxi_ids[i]`` visited in the trace.
+    """
+
+    population: SellerPopulation
+    taxi_ids: np.ndarray
+    poi_coverage: np.ndarray
+
+
+def qualified_taxis(records: Sequence[TripRecord], pois: Sequence[PoI],
+                    radius_degrees: float = 0.01,
+                    min_poi_coverage: int = 1) -> dict[int, int]:
+    """Taxis that can serve the job, mapped to their PoI coverage count.
+
+    A taxi *covers* a PoI when any of its pickups or dropoffs falls within
+    ``radius_degrees`` (Chebyshev distance, matching the grid cells used
+    for PoI extraction) of the PoI.
+
+    Returns
+    -------
+    dict
+        ``{taxi_id: number_of_pois_covered}`` for every taxi covering at
+        least ``min_poi_coverage`` PoIs, sorted by descending coverage.
+    """
+    if not records:
+        raise DataTraceError("cannot derive sellers from an empty trace")
+    if not pois:
+        raise DataTraceError("cannot derive sellers without PoIs")
+    if radius_degrees <= 0.0:
+        raise DataTraceError(
+            f"radius_degrees must be positive, got {radius_degrees}"
+        )
+    if min_poi_coverage < 1:
+        raise DataTraceError(
+            f"min_poi_coverage must be >= 1, got {min_poi_coverage}"
+        )
+    poi_coords = np.array([(p.latitude, p.longitude) for p in pois])
+    coverage: dict[int, set[int]] = {}
+    for record in records:
+        for lat, lon in (
+            (record.pickup_latitude, record.pickup_longitude),
+            (record.dropoff_latitude, record.dropoff_longitude),
+        ):
+            distance = np.max(
+                np.abs(poi_coords - np.array([lat, lon])), axis=1
+            )
+            near = np.nonzero(distance <= radius_degrees)[0]
+            if near.size:
+                coverage.setdefault(record.taxi_id, set()).update(
+                    int(p) for p in near
+                )
+    qualified = {
+        taxi: len(pois_seen)
+        for taxi, pois_seen in coverage.items()
+        if len(pois_seen) >= min_poi_coverage
+    }
+    return dict(
+        sorted(qualified.items(), key=lambda item: (-item[1], item[0]))
+    )
+
+
+def sellers_from_trace(records: Sequence[TripRecord], pois: Sequence[PoI],
+                       num_sellers: int, rng: np.random.Generator,
+                       radius_degrees: float = 0.01,
+                       min_poi_coverage: int = 1,
+                       a_range: tuple[float, float] = (0.1, 0.5),
+                       b_range: tuple[float, float] = (0.1, 1.0),
+                       ) -> TraceSellers:
+    """Derive ``M`` sellers from a trace, the paper's pipeline end to end.
+
+    The ``M`` best-covering qualified taxis become sellers; expected
+    qualities and cost parameters are sampled from the paper's ranges
+    (qualities uniform on (0, 1], ``a`` on ``a_range``, ``b`` on
+    ``b_range``).
+
+    Raises
+    ------
+    DataTraceError
+        If fewer than ``num_sellers`` taxis qualify.
+    """
+    if num_sellers <= 0:
+        raise DataTraceError(
+            f"num_sellers must be positive, got {num_sellers}"
+        )
+    qualified = qualified_taxis(records, pois, radius_degrees,
+                                min_poi_coverage)
+    if len(qualified) < num_sellers:
+        raise DataTraceError(
+            f"only {len(qualified)} taxis qualify; cannot pick "
+            f"{num_sellers} sellers (relax radius_degrees or "
+            "min_poi_coverage)"
+        )
+    chosen = list(qualified.items())[:num_sellers]
+    taxi_ids = np.array([taxi for taxi, __ in chosen], dtype=np.int64)
+    coverage = np.array([count for __, count in chosen], dtype=np.int64)
+    population = SellerPopulation.random(
+        num_sellers, rng, a_range=a_range, b_range=b_range
+    )
+    return TraceSellers(
+        population=population,
+        taxi_ids=taxi_ids,
+        poi_coverage=coverage,
+    )

@@ -1,0 +1,31 @@
+"""The three parties of a CDT system plus jobs and cost/valuation models.
+
+* :class:`~repro.entities.consumer.Consumer` — Stage-1 leader, sets the
+  unit data-service price ``p^J``.
+* :class:`~repro.entities.platform.Platform` — Stage-2 leader (broker),
+  selects sellers and sets the unit data-collection price ``p``.
+* :class:`~repro.entities.seller.Seller` — Stage-3 follower, chooses its
+  sensing time ``tau_i``.
+"""
+
+from repro.entities.consumer import Consumer
+from repro.entities.costs import (
+    LogValuation,
+    QuadraticAggregationCost,
+    QuadraticSellerCost,
+)
+from repro.entities.job import Job, PoI
+from repro.entities.platform import Platform
+from repro.entities.seller import Seller, SellerPopulation
+
+__all__ = [
+    "Consumer",
+    "Platform",
+    "Seller",
+    "SellerPopulation",
+    "Job",
+    "PoI",
+    "QuadraticSellerCost",
+    "QuadraticAggregationCost",
+    "LogValuation",
+]

@@ -1,0 +1,81 @@
+"""The data consumer.
+
+The consumer (Definition 1) requests statistics over the job's PoIs and —
+as the Stage-1 leader of the hierarchical Stackelberg game — sets the unit
+data-service price ``p^J`` within ``[p^J_min, p^J_max]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.entities.costs import LogValuation
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Consumer"]
+
+
+@dataclass(frozen=True)
+class Consumer:
+    """The data-service requester at the top of the Stackelberg hierarchy.
+
+    Attributes
+    ----------
+    valuation:
+        The logarithmic valuation ``phi`` (Eq. 10).
+    price_min, price_max:
+        Bounds of the unit data-service price ``p^J`` (Definition 5).
+    """
+
+    valuation: LogValuation
+    price_min: float = 0.0
+    price_max: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.price_min) and math.isfinite(self.price_max)):
+            raise ConfigurationError("consumer price bounds must be finite")
+        if self.price_min < 0.0:
+            raise ConfigurationError(
+                f"price_min must be >= 0, got {self.price_min}"
+            )
+        if self.price_max <= self.price_min:
+            raise ConfigurationError(
+                f"price_max ({self.price_max}) must exceed price_min "
+                f"({self.price_min})"
+            )
+
+    def clip_price(self, price: float) -> float:
+        """Project a candidate price onto ``[price_min, price_max]``."""
+        return min(max(float(price), self.price_min), self.price_max)
+
+    def profit(self, service_price: float, sensing_times: np.ndarray | float,
+               mean_quality: float) -> float:
+        """Consumer profit ``Phi`` (Eq. 9).
+
+        ``Phi = phi(tau, qbar) - p^J * total_tau`` — the valuation of the
+        received statistics minus the total reward paid out.
+
+        Parameters
+        ----------
+        service_price:
+            The unit data-service price ``p^J``.
+        sensing_times:
+            Sensing times of the selected sellers (vector or total).
+        mean_quality:
+            Mean estimated quality ``qbar^t`` of the selected sellers.
+        """
+        total = float(np.sum(sensing_times))
+        return self.valuation(total, mean_quality) - float(service_price) * total
+
+    @classmethod
+    def default(cls, omega: float = 1_000.0, price_min: float = 0.0,
+                price_max: float = 1_000.0) -> "Consumer":
+        """A consumer with the paper's default valuation parameter."""
+        return cls(
+            valuation=LogValuation(omega=omega),
+            price_min=price_min,
+            price_max=price_max,
+        )

@@ -1,0 +1,173 @@
+"""Cost and valuation function objects.
+
+The paper fixes three functional forms (Section II):
+
+* each seller's data-collection cost, Eq. (6) —
+  ``C_i(tau, qbar_i) = (a_i * tau^2 + b_i * tau) * qbar_i`` — monotonically
+  increasing, differentiable and strictly convex in ``tau``;
+* the platform's data-aggregation cost, Eq. (8) —
+  ``C^J(tau) = theta * (sum tau_i)^2 + lambda * sum tau_i`` — convex in the
+  total sensing time;
+* the consumer's valuation, Eq. (10) —
+  ``phi(tau, qbar) = omega * ln(1 + qbar * sum tau_i)`` — strictly concave
+  (diminishing marginal return).
+
+These are implemented as small frozen dataclasses so experiments can sweep
+their parameters, and so tests can assert the convexity/concavity claims
+the equilibrium derivation rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "QuadraticSellerCost",
+    "QuadraticAggregationCost",
+    "LogValuation",
+]
+
+
+@dataclass(frozen=True)
+class QuadraticSellerCost:
+    """Seller data-collection cost ``C_i(tau, qbar) = (a*tau^2 + b*tau)*qbar``.
+
+    Parameters
+    ----------
+    a:
+        Quadratic coefficient (``a > 0``): the increasing marginal cost of
+        effort.  Paper range ``[0.1, 0.5]``.
+    b:
+        Linear coefficient (``b >= 0``).  Paper range ``[0.1, 1]``.
+    """
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.a) and self.a > 0.0):
+            raise ConfigurationError(f"seller cost parameter a must be > 0, got {self.a}")
+        if not (math.isfinite(self.b) and self.b >= 0.0):
+            raise ConfigurationError(f"seller cost parameter b must be >= 0, got {self.b}")
+
+    def __call__(self, sensing_time: float, quality: float) -> float:
+        """Evaluate the cost of sensing for ``sensing_time`` at ``quality``."""
+        tau = float(sensing_time)
+        return (self.a * tau * tau + self.b * tau) * float(quality)
+
+    def marginal(self, sensing_time: float, quality: float) -> float:
+        """First derivative of the cost with respect to sensing time."""
+        return (2.0 * self.a * float(sensing_time) + self.b) * float(quality)
+
+    def optimal_sensing_time(self, price: float, quality: float) -> float:
+        """The profit-maximising sensing time for a unit price (Eq. 20).
+
+        Solves ``d/d tau [p*tau - C(tau, q)] = 0`` giving
+        ``tau* = (p - q*b) / (2*q*a)``, floored at 0 (a seller never senses
+        a negative duration; when the price does not cover the marginal
+        cost at ``tau = 0`` the seller opts out).
+
+        Raises
+        ------
+        ConfigurationError
+            If ``quality`` is not strictly positive — the interior optimum
+            is undefined for a zero-quality seller.
+        """
+        q = float(quality)
+        if q <= 0.0:
+            raise ConfigurationError(
+                "optimal sensing time requires a strictly positive quality"
+            )
+        tau = (float(price) - q * self.b) / (2.0 * q * self.a)
+        return max(tau, 0.0)
+
+
+@dataclass(frozen=True)
+class QuadraticAggregationCost:
+    """Platform aggregation cost ``C^J = theta*(total_tau)^2 + lam*total_tau``.
+
+    Parameters
+    ----------
+    theta:
+        Quadratic coefficient (``theta > 0``).  Paper range ``[0.1, 1]``,
+        default ``0.1``.
+    lam:
+        Linear coefficient (``lam >= 0``).  Paper range ``[0.5, 2]``,
+        default ``1``.  Named ``lam`` because ``lambda`` is reserved.
+    """
+
+    theta: float
+    lam: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.theta) and self.theta > 0.0):
+            raise ConfigurationError(
+                f"platform cost parameter theta must be > 0, got {self.theta}"
+            )
+        if not (math.isfinite(self.lam) and self.lam >= 0.0):
+            raise ConfigurationError(
+                f"platform cost parameter lambda must be >= 0, got {self.lam}"
+            )
+
+    def __call__(self, sensing_times: np.ndarray | float) -> float:
+        """Evaluate the aggregation cost of the given sensing-time profile.
+
+        Accepts either the full vector ``tau`` (summed internally) or the
+        pre-computed total sensing time.
+        """
+        total = float(np.sum(sensing_times))
+        return self.theta * total * total + self.lam * total
+
+    def marginal(self, total_sensing_time: float) -> float:
+        """Derivative of the cost with respect to the total sensing time."""
+        return 2.0 * self.theta * float(total_sensing_time) + self.lam
+
+
+@dataclass(frozen=True)
+class LogValuation:
+    """Consumer valuation ``phi = omega * ln(1 + qbar * total_tau)``.
+
+    Parameters
+    ----------
+    omega:
+        Valuation scale (``omega > 1`` per Definition 11).  Paper range
+        ``[600, 1400]``, default ``1000``.
+    """
+
+    omega: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.omega) and self.omega > 1.0):
+            raise ConfigurationError(
+                f"valuation parameter omega must be > 1, got {self.omega}"
+            )
+
+    def __call__(self, sensing_times: np.ndarray | float,
+                 mean_quality: float) -> float:
+        """Valuation of the statistics produced by the given profile.
+
+        Parameters
+        ----------
+        sensing_times:
+            The sensing-time vector of the selected sellers (or its sum).
+        mean_quality:
+            The mean estimated quality ``qbar^t`` of the selected sellers.
+        """
+        total = float(np.sum(sensing_times))
+        argument = 1.0 + float(mean_quality) * total
+        if argument <= 0.0:
+            raise ConfigurationError(
+                "valuation argument 1 + qbar * total_tau must be positive; "
+                f"got {argument:.4f}"
+            )
+        return self.omega * math.log(argument)
+
+    def marginal(self, total_sensing_time: float, mean_quality: float) -> float:
+        """Derivative of the valuation with respect to total sensing time."""
+        q = float(mean_quality)
+        return self.omega * q / (1.0 + q * float(total_sensing_time))

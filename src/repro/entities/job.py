@@ -1,0 +1,108 @@
+"""Data-collection jobs and Points of Interest.
+
+A job (Definition 1) is the consumer's long-term request:
+``Job = <L, N, T, Des>`` — a set of ``L`` PoIs, ``N`` rounds each of
+duration ``T``, and a free-form description of the requested statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PoI", "Job"]
+
+
+@dataclass(frozen=True)
+class PoI:
+    """A Point of Interest where data must be collected.
+
+    Attributes
+    ----------
+    poi_id:
+        Stable identifier of the PoI.
+    latitude, longitude:
+        Coordinates of the PoI (synthetic city coordinates when produced
+        by :mod:`repro.data`).
+    weight:
+        Optional popularity weight (for example the number of taxi trips
+        touching this point in the source trace); informational only.
+    """
+
+    poi_id: int
+    latitude: float = 0.0
+    longitude: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.latitude) or not math.isfinite(self.longitude):
+            raise ConfigurationError("PoI coordinates must be finite")
+        if not (math.isfinite(self.weight) and self.weight >= 0.0):
+            raise ConfigurationError(f"PoI weight must be >= 0, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class Job:
+    """A long-term data-collection job ``<L, N, T, Des>`` (Definition 1).
+
+    Attributes
+    ----------
+    pois:
+        The ``L`` PoIs the consumer cares about.
+    num_rounds:
+        Total number of trading rounds ``N``.
+    round_duration:
+        Duration ``T`` of one round; each seller's sensing time satisfies
+        ``tau_i^t in [0, T]``.
+    description:
+        Free-form requirements ``Des`` for the collected data.
+    """
+
+    pois: tuple[PoI, ...]
+    num_rounds: int
+    round_duration: float = float("inf")
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.pois:
+            raise ConfigurationError("a job must include at least one PoI")
+        if self.num_rounds <= 0:
+            raise ConfigurationError(
+                f"num_rounds must be positive, got {self.num_rounds}"
+            )
+        if not (self.round_duration > 0.0):
+            raise ConfigurationError(
+                f"round_duration must be positive, got {self.round_duration}"
+            )
+        ids = [p.poi_id for p in self.pois]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("PoI ids within a job must be unique")
+
+    @property
+    def num_pois(self) -> int:
+        """The number of PoIs ``L``."""
+        return len(self.pois)
+
+    @property
+    def total_duration(self) -> float:
+        """The whole trading duration ``N * T``."""
+        return self.num_rounds * self.round_duration
+
+    def clip_sensing_time(self, sensing_time: float) -> float:
+        """Project a sensing time onto the feasible interval ``[0, T]``."""
+        return min(max(float(sensing_time), 0.0), self.round_duration)
+
+    @classmethod
+    def simple(cls, num_pois: int, num_rounds: int,
+               round_duration: float = float("inf"),
+               description: str = "") -> "Job":
+        """Create a job with ``num_pois`` anonymous PoIs at the origin."""
+        if num_pois <= 0:
+            raise ConfigurationError(
+                f"num_pois must be positive, got {num_pois}"
+            )
+        pois = tuple(PoI(poi_id=i) for i in range(num_pois))
+        return cls(pois=pois, num_rounds=num_rounds,
+                   round_duration=round_duration, description=description)

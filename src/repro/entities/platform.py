@@ -1,0 +1,85 @@
+"""The data-trading platform (broker).
+
+The platform (Definition 2) receives the consumer's job, selects sellers,
+aggregates data, and — as the Stage-2 leader of the hierarchical
+Stackelberg game — sets the unit data-collection price ``p`` paid to
+sellers, within ``[p_min, p_max]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.entities.costs import QuadraticAggregationCost
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """The broker between the consumer and the sellers.
+
+    Attributes
+    ----------
+    aggregation_cost:
+        The quadratic aggregation cost ``C^J`` (Eq. 8).
+    price_min, price_max:
+        Bounds of the unit data-collection price ``p`` (Definition 5).
+    """
+
+    aggregation_cost: QuadraticAggregationCost
+    price_min: float = 0.0
+    price_max: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.price_min) and math.isfinite(self.price_max)):
+            raise ConfigurationError("platform price bounds must be finite")
+        if self.price_min < 0.0:
+            raise ConfigurationError(
+                f"price_min must be >= 0, got {self.price_min}"
+            )
+        if self.price_max <= self.price_min:
+            raise ConfigurationError(
+                f"price_max ({self.price_max}) must exceed price_min "
+                f"({self.price_min})"
+            )
+
+    def clip_price(self, price: float) -> float:
+        """Project a candidate price onto ``[price_min, price_max]``."""
+        return min(max(float(price), self.price_min), self.price_max)
+
+    def profit(self, service_price: float, collection_price: float,
+               sensing_times: np.ndarray | float) -> float:
+        """Platform profit ``Omega`` (Eq. 7).
+
+        ``Omega = p^J * total_tau - p * total_tau - C^J(tau)`` — revenue
+        from the consumer, minus payments to sellers, minus the
+        aggregation cost.
+
+        Parameters
+        ----------
+        service_price:
+            The consumer's unit data-service price ``p^J``.
+        collection_price:
+            The platform's unit data-collection price ``p``.
+        sensing_times:
+            Sensing times of the selected sellers (vector or total).
+        """
+        total = float(np.sum(sensing_times))
+        revenue = float(service_price) * total
+        payments = float(collection_price) * total
+        return revenue - payments - self.aggregation_cost(total)
+
+    @classmethod
+    def default(cls, theta: float = 0.1, lam: float = 1.0,
+                price_min: float = 0.0, price_max: float = 1_000.0) -> "Platform":
+        """A platform with the paper's default cost parameters."""
+        return cls(
+            aggregation_cost=QuadraticAggregationCost(theta=theta, lam=lam),
+            price_min=price_min,
+            price_max=price_max,
+        )

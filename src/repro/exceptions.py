@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, job, or mechanism was configured with invalid values.
+
+    Raised eagerly at construction time (for example ``K > M``, a negative
+    round count, or an empty PoI set) so that misconfiguration never
+    surfaces as a confusing numerical failure deep inside a run.
+    """
+
+
+class GameError(ReproError):
+    """The Stackelberg game could not be solved for the given inputs."""
+
+
+class InfeasibleStrategyError(GameError):
+    """A strategy profile violates its feasible region.
+
+    For example a negative sensing time, or a unit price outside the
+    ``[p_min, p_max]`` interval declared by the incentive mechanism.
+    """
+
+
+class EquilibriumViolationError(GameError):
+    """A claimed Stackelberg Equilibrium failed verification.
+
+    Raised by :func:`repro.core.equilibrium.assert_equilibrium` when a
+    profitable unilateral deviation is found for some participant.
+    """
+
+
+class SelectionError(ReproError):
+    """Seller selection failed (for example fewer candidates than ``K``)."""
+
+
+class DataTraceError(ReproError):
+    """A data trace could not be generated, parsed, or interpreted."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was asked to run with invalid parameters."""

@@ -1,0 +1,82 @@
+"""Fig. 7 — total revenue and regret versus the number of rounds ``N``.
+
+All algorithms' revenues grow with ``N``; the learning algorithms
+(CMAB-HS, eps-first) approach the omniscient optimum while ``random``
+accumulates linear regret.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+from repro.experiments.sweeps import (
+    PAPER_POLICY_SET,
+    SweepPoint,
+    run_parameter_sweep,
+)
+from repro.sim.config import TABLE_II, SimulationConfig
+
+__all__ = ["run", "round_sweep_values", "base_config", "points_to_result"]
+
+
+def round_sweep_values(scale: Scale) -> list[int]:
+    """The swept ``N`` values (Table II at paper scale, 1/50 at small)."""
+    paper_values = TABLE_II["num_rounds"]["values"]
+    if scale is Scale.PAPER:
+        return list(paper_values)
+    return [max(value // 50, 50) for value in paper_values]
+
+
+def base_config(scale: Scale, seed: int) -> SimulationConfig:
+    """The shared M=300, K=10, L=10 configuration of Figs. 7-8."""
+    return SimulationConfig(num_sellers=300, num_selected=10, num_pois=10,
+                            num_rounds=100, seed=seed)
+
+
+def points_to_result(points: list[SweepPoint], experiment_id: str,
+                     title: str, x_label: str) -> ExperimentResult:
+    """Revenue + regret panels from a policy sweep (Figs. 7, 9, 11)."""
+    xs = np.array([point.value for point in points])
+    result = ExperimentResult(
+        experiment_id=experiment_id, title=title, x_label=x_label
+    )
+    for policy_name in PAPER_POLICY_SET:
+        revenue = np.array([
+            point.comparison[policy_name].total_realized_revenue
+            for point in points
+        ])
+        regret = np.array([
+            point.comparison[policy_name].final_regret for point in points
+        ])
+        result.add_series("total_revenue", Series(policy_name, xs, revenue))
+        result.add_series("regret", Series(policy_name, xs, regret))
+    return result
+
+
+@register("fig7", "total revenue and regret versus total rounds N")
+def run(scale: Scale = Scale.SMALL, seed: int = 0,
+        sweep_values: list[int] | None = None,
+        config: SimulationConfig | None = None) -> ExperimentResult:
+    """Run the Fig. 7 sweep (M=300, K=10).
+
+    ``sweep_values`` and ``config`` override the scale-derived defaults
+    (used by fast tests).
+    """
+    values = sweep_values if sweep_values is not None else round_sweep_values(scale)
+    points = run_parameter_sweep(
+        config if config is not None else base_config(scale, seed),
+        "num_rounds", values,
+    )
+    result = points_to_result(
+        points, "fig7",
+        "total revenue and regret versus N (M=300, K=10)",
+        "total rounds N",
+    )
+    result.notes.append(f"scale={scale.value}, N values={values}")
+    return result

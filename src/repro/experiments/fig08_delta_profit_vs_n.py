@@ -1,0 +1,76 @@
+"""Fig. 8 — Delta-PoC / Delta-PoP / Delta-PoS(s) versus total rounds ``N``.
+
+The Delta-metrics are the average per-round profit gaps to the omniscient
+algorithm; for the learning algorithms they shrink towards zero as ``N``
+grows (quality estimates converge), with CMAB-HS below the eps-first
+variants and far below ``random``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig07_revenue_regret_vs_n import (
+    base_config,
+    round_sweep_values,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+from repro.experiments.sweeps import (
+    PAPER_POLICY_SET,
+    SweepPoint,
+    run_parameter_sweep,
+)
+
+__all__ = ["run", "delta_points_to_result", "COMPARED_POLICIES"]
+
+#: Non-optimal policies the Delta-metrics are computed for.
+COMPARED_POLICIES = tuple(
+    name for name in PAPER_POLICY_SET if name != "optimal"
+)
+
+_PANEL_KEYS = ("delta_poc", "delta_pop", "delta_pos")
+
+
+def delta_points_to_result(points: list[SweepPoint], experiment_id: str,
+                           title: str, x_label: str) -> ExperimentResult:
+    """Delta-profit panels from a policy sweep (Figs. 8 and 10)."""
+    xs = np.array([point.value for point in points])
+    result = ExperimentResult(
+        experiment_id=experiment_id, title=title, x_label=x_label
+    )
+    for policy_name in COMPARED_POLICIES:
+        deltas = [
+            point.comparison.delta_profits(policy_name) for point in points
+        ]
+        for key in _PANEL_KEYS:
+            values = np.array([delta[key] for delta in deltas])
+            result.add_series(key, Series(policy_name, xs, values))
+    return result
+
+
+@register("fig8", "Delta-profits versus total rounds N")
+def run(scale: Scale = Scale.SMALL, seed: int = 0,
+        sweep_values: list[int] | None = None,
+        config=None) -> ExperimentResult:
+    """Run the Fig. 8 sweep (same instances as Fig. 7).
+
+    ``sweep_values`` and ``config`` override the scale-derived defaults
+    (used by fast tests).
+    """
+    values = sweep_values if sweep_values is not None else round_sweep_values(scale)
+    points = run_parameter_sweep(
+        config if config is not None else base_config(scale, seed),
+        "num_rounds", values,
+    )
+    result = delta_points_to_result(
+        points, "fig8",
+        "Delta-PoC / Delta-PoP / Delta-PoS(s) versus N (M=300, K=10)",
+        "total rounds N",
+    )
+    result.notes.append(f"scale={scale.value}, N values={values}")
+    return result

@@ -1,0 +1,48 @@
+"""Fig. 9 — total revenue and regret versus the number of sellers ``M``.
+
+Revenue and regret are dominated by the ``K`` selected sellers, so both
+stay roughly flat as the candidate pool grows; the learning algorithms
+keep their advantage over ``random`` at every ``M``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig07_revenue_regret_vs_n import points_to_result
+from repro.experiments.registry import ExperimentResult, Scale, register
+from repro.experiments.sweeps import run_parameter_sweep
+from repro.sim.config import TABLE_II, SimulationConfig
+
+__all__ = ["run", "seller_sweep_values", "rounds_for_scale"]
+
+
+def seller_sweep_values() -> list[int]:
+    """The Table II ``M`` sweep (same at both scales — M is cheap)."""
+    return list(TABLE_II["num_sellers"]["values"])
+
+
+def rounds_for_scale(scale: Scale) -> int:
+    """The fixed ``N`` of the M/K sweeps (paper: 10^5)."""
+    return TABLE_II["num_rounds"]["default"] if scale is Scale.PAPER else 2_000
+
+
+@register("fig9", "total revenue and regret versus number of sellers M")
+def run(scale: Scale = Scale.SMALL, seed: int = 0,
+        sweep_values: list[int] | None = None,
+        num_rounds: int | None = None) -> ExperimentResult:
+    """Run the Fig. 9 sweep (K=10, N fixed).
+
+    ``sweep_values`` and ``num_rounds`` override the scale-derived
+    defaults (used by fast tests).
+    """
+    n = num_rounds if num_rounds is not None else rounds_for_scale(scale)
+    values = sweep_values if sweep_values is not None else seller_sweep_values()
+    config = SimulationConfig(num_sellers=values[0], num_selected=10,
+                              num_pois=10, num_rounds=n, seed=seed)
+    points = run_parameter_sweep(config, "num_sellers", values)
+    result = points_to_result(
+        points, "fig9",
+        f"total revenue and regret versus M (K=10, N={n})",
+        "number of sellers M",
+    )
+    result.notes.append(f"scale={scale.value}, N={n}")
+    return result

@@ -1,0 +1,42 @@
+"""Fig. 10 — Delta-profits versus the number of sellers ``M``.
+
+The Delta-metrics stay roughly stable in ``M`` (profits are set by the
+``K`` selected sellers under the SE), with the learning algorithms well
+below ``random`` throughout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig08_delta_profit_vs_n import delta_points_to_result
+from repro.experiments.fig09_revenue_regret_vs_m import (
+    rounds_for_scale,
+    seller_sweep_values,
+)
+from repro.experiments.registry import ExperimentResult, Scale, register
+from repro.experiments.sweeps import run_parameter_sweep
+from repro.sim.config import SimulationConfig
+
+__all__ = ["run"]
+
+
+@register("fig10", "Delta-profits versus number of sellers M")
+def run(scale: Scale = Scale.SMALL, seed: int = 0,
+        sweep_values: list[int] | None = None,
+        num_rounds: int | None = None) -> ExperimentResult:
+    """Run the Fig. 10 sweep (same instances as Fig. 9).
+
+    ``sweep_values`` and ``num_rounds`` override the scale-derived
+    defaults (used by fast tests).
+    """
+    n = num_rounds if num_rounds is not None else rounds_for_scale(scale)
+    values = sweep_values if sweep_values is not None else seller_sweep_values()
+    config = SimulationConfig(num_sellers=values[0], num_selected=10,
+                              num_pois=10, num_rounds=n, seed=seed)
+    points = run_parameter_sweep(config, "num_sellers", values)
+    result = delta_points_to_result(
+        points, "fig10",
+        f"Delta-PoC / Delta-PoP / Delta-PoS(s) versus M (K=10, N={n})",
+        "number of sellers M",
+    )
+    result.notes.append(f"scale={scale.value}, N={n}")
+    return result

@@ -1,0 +1,45 @@
+"""Fig. 11 — total revenue and regret versus selected sellers ``K``.
+
+Revenue grows with ``K`` (more sellers collect per round) but so does
+regret — a larger selection compounds estimation error.  The learning
+algorithms' regret grows much slower than ``random``'s.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig07_revenue_regret_vs_n import points_to_result
+from repro.experiments.fig09_revenue_regret_vs_m import rounds_for_scale
+from repro.experiments.registry import ExperimentResult, Scale, register
+from repro.experiments.sweeps import run_parameter_sweep
+from repro.sim.config import TABLE_II, SimulationConfig
+
+__all__ = ["run", "selected_sweep_values"]
+
+
+def selected_sweep_values() -> list[int]:
+    """The Table II ``K`` sweep."""
+    return list(TABLE_II["num_selected"]["values"])
+
+
+@register("fig11", "total revenue and regret versus selected sellers K")
+def run(scale: Scale = Scale.SMALL, seed: int = 0,
+        sweep_values: list[int] | None = None,
+        num_rounds: int | None = None,
+        num_sellers: int = 300) -> ExperimentResult:
+    """Run the Fig. 11 sweep (M=300, N fixed).
+
+    ``sweep_values``, ``num_rounds``, and ``num_sellers`` override the
+    scale-derived defaults (used by fast tests).
+    """
+    n = num_rounds if num_rounds is not None else rounds_for_scale(scale)
+    values = sweep_values if sweep_values is not None else selected_sweep_values()
+    config = SimulationConfig(num_sellers=num_sellers, num_selected=values[0],
+                              num_pois=10, num_rounds=n, seed=seed)
+    points = run_parameter_sweep(config, "num_selected", values)
+    result = points_to_result(
+        points, "fig11",
+        f"total revenue and regret versus K (M=300, N={n})",
+        "selected sellers K",
+    )
+    result.notes.append(f"scale={scale.value}, N={n}")
+    return result

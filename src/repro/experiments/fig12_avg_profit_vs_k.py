@@ -1,0 +1,65 @@
+"""Fig. 12 — average per-round profits versus selected sellers ``K``.
+
+Average PoC and PoP stay roughly stable as ``K`` grows (panels a, b),
+but the per-seller profit PoS(s) drops sharply (panel c): more sellers
+split the reward and lower-quality sellers enter the selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig09_revenue_regret_vs_m import rounds_for_scale
+from repro.experiments.fig11_revenue_regret_vs_k import selected_sweep_values
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+from repro.experiments.sweeps import PAPER_POLICY_SET, run_parameter_sweep
+from repro.sim.config import SimulationConfig
+
+__all__ = ["run"]
+
+
+@register("fig12", "average PoC / PoP / PoS(s) per round versus K")
+def run(scale: Scale = Scale.SMALL, seed: int = 0,
+        sweep_values: list[int] | None = None,
+        num_rounds: int | None = None,
+        num_sellers: int = 300) -> ExperimentResult:
+    """Run the Fig. 12 sweep (same instances as Fig. 11).
+
+    ``sweep_values``, ``num_rounds``, and ``num_sellers`` override the
+    scale-derived defaults (used by fast tests).
+    """
+    n = num_rounds if num_rounds is not None else rounds_for_scale(scale)
+    values = sweep_values if sweep_values is not None else selected_sweep_values()
+    config = SimulationConfig(num_sellers=num_sellers, num_selected=values[0],
+                              num_pois=10, num_rounds=n, seed=seed)
+    points = run_parameter_sweep(config, "num_selected", values)
+    xs = np.array([point.value for point in points])
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title=f"average per-round profits versus K (M=300, N={n})",
+        x_label="selected sellers K",
+        notes=[f"scale={scale.value}, N={n}"],
+    )
+    for policy_name in PAPER_POLICY_SET:
+        runs = [point.comparison[policy_name] for point in points]
+        result.add_series(
+            "avg_poc",
+            Series(policy_name, xs,
+                   np.array([r.mean_consumer_profit for r in runs])),
+        )
+        result.add_series(
+            "avg_pop",
+            Series(policy_name, xs,
+                   np.array([r.mean_platform_profit for r in runs])),
+        )
+        result.add_series(
+            "avg_pos",
+            Series(policy_name, xs,
+                   np.array([r.mean_seller_profit for r in runs])),
+        )
+    return result

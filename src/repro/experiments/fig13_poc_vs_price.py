@@ -1,0 +1,70 @@
+"""Fig. 13 — profits versus the consumer's price ``p^J``.
+
+Panel (a): PoC as ``p^J`` sweeps for ``omega`` in {600..1400}; each curve
+is unimodal with its maximum at the SE price, and larger ``omega`` pushes
+both the peak profit and the peak location up.
+
+Panel (b): with ``omega = 1000``, PoC versus PoP and the profits of
+sellers 3, 6, 8 — PoC peaks at the SE point while PoP and PoS(s) keep
+increasing in ``p^J``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.incentive import ClosedFormStackelbergSolver
+from repro.experiments.hs_setup import build_round_game
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+from repro.game.analysis import consumer_price_sweep
+
+__all__ = ["run", "OMEGA_VALUES", "TRACKED_SELLERS"]
+
+#: The paper's Table II omega sweep.
+OMEGA_VALUES = (600.0, 800.0, 1_000.0, 1_200.0, 1_400.0)
+
+#: Seller positions whose profits panel (b) tracks, as in the paper.
+TRACKED_SELLERS = (3, 6, 8)
+
+
+@register("fig13", "PoC / PoP / PoS(s) versus the consumer price p^J")
+def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
+    """Run the Fig. 13 sweeps (scale only affects grid density)."""
+    num_points = 81 if scale is Scale.SMALL else 401
+    # Start above the degenerate low-price region where the platform's
+    # best response clips at p = 0 and profits are boundary artifacts.
+    prices = np.linspace(2.0, 40.0, num_points)
+    cascade = ClosedFormStackelbergSolver().cascade
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="profits versus consumer price p^J (single round, K=10)",
+        x_label="service price p^J",
+    )
+
+    for omega in OMEGA_VALUES:
+        setup = build_round_game(omega=omega, seed=seed)
+        curves = consumer_price_sweep(setup.game, prices, cascade)
+        result.add_series(
+            "poc_by_omega",
+            Series(label=f"PoC(omega={omega:g})", x=prices, y=curves.consumer),
+        )
+        result.notes.append(
+            f"omega={omega:g}: SE at p^J={curves.argmax_consumer:.2f}, "
+            f"peak PoC={curves.consumer.max():.1f}"
+        )
+
+    setup = build_round_game(omega=1_000.0, seed=seed)
+    curves = consumer_price_sweep(setup.game, prices, cascade)
+    result.add_series("profits", Series("PoC", prices, curves.consumer))
+    result.add_series("profits", Series("PoP", prices, curves.platform))
+    for position in TRACKED_SELLERS:
+        result.add_series(
+            "profits",
+            Series(f"PoS-{position}", prices, curves.sellers[:, position]),
+        )
+    return result

@@ -1,0 +1,45 @@
+"""Fig. 16 — strategies as seller 6's cost coefficient ``a_6`` grows.
+
+Mirror of Fig. 15 on the strategy side: SoC (``p^J*``) and SoP (``p*``)
+*rise* with ``a_6`` (the leaders must pay more when a seller becomes
+expensive) while SoS-6 (``tau_6*``) falls; SoS-3 / SoS-8 rise with the
+higher collection price.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig15_profit_vs_cost_a6 import (
+    TRACKED_SELLERS,
+    sweep_cost_a6,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+
+__all__ = ["run"]
+
+
+@register("fig16", "strategies versus seller 6's cost coefficient a_6")
+def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
+    """Run the Fig. 16 sweep (same solve as Fig. 15, strategy panels)."""
+    num_points = 26 if scale is Scale.SMALL else 101
+    values = np.linspace(0.05, 5.0, num_points)
+    series = sweep_cost_a6(values, seed)
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title="strategies versus a_6 (seller 6's marginal cost)",
+        x_label="cost coefficient a_6",
+    )
+    result.add_series("prices", Series("SoC (p^J*)", values, series["soc"]))
+    result.add_series("prices", Series("SoP (p*)", values, series["sop"]))
+    for j in TRACKED_SELLERS:
+        result.add_series(
+            "sensing_times",
+            Series(f"SoS-{j} (tau*)", values, series[f"sos_{j}"]),
+        )
+    return result

@@ -1,0 +1,70 @@
+"""Fig. 17 — profits as the platform's cost coefficient ``theta`` grows.
+
+Aggregation becomes more expensive, so every party's profit decreases
+sharply at first and flattens out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.hs_setup import build_round_game, solve_round
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+
+__all__ = ["run", "sweep_theta", "TRACKED_SELLERS"]
+
+#: Sellers whose profits/strategies are tracked (as in Figs. 13-16).
+TRACKED_SELLERS = (3, 6, 8)
+
+
+def sweep_theta(values: np.ndarray, seed: int = 0) -> dict[str, np.ndarray]:
+    """Re-solve the round for each ``theta``; profit and strategy series.
+
+    Shared by Fig. 17 (profits) and Fig. 18 (strategies).
+    """
+    poc = np.empty(values.size)
+    pop = np.empty(values.size)
+    pos = {j: np.empty(values.size) for j in TRACKED_SELLERS}
+    soc = np.empty(values.size)
+    sop = np.empty(values.size)
+    sos = {j: np.empty(values.size) for j in TRACKED_SELLERS}
+    for idx, theta in enumerate(values):
+        setup = build_round_game(theta=float(theta), seed=seed)
+        solved = solve_round(setup)
+        poc[idx] = solved.consumer_profit
+        pop[idx] = solved.platform_profit
+        soc[idx] = solved.profile.service_price
+        sop[idx] = solved.profile.collection_price
+        for j in TRACKED_SELLERS:
+            pos[j][idx] = solved.seller_profits[j]
+            sos[j][idx] = solved.profile.sensing_times[j]
+    return {
+        "poc": poc, "pop": pop, "soc": soc, "sop": sop,
+        **{f"pos_{j}": pos[j] for j in TRACKED_SELLERS},
+        **{f"sos_{j}": sos[j] for j in TRACKED_SELLERS},
+    }
+
+
+@register("fig17", "profits versus the platform cost coefficient theta")
+def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
+    """Run the Fig. 17 sweep over the Table II theta range."""
+    num_points = 19 if scale is Scale.SMALL else 91
+    values = np.linspace(0.1, 1.0, num_points)
+    series = sweep_theta(values, seed)
+    result = ExperimentResult(
+        experiment_id="fig17",
+        title="profits versus theta (platform aggregation cost)",
+        x_label="cost coefficient theta",
+    )
+    result.add_series("profits", Series("PoC", values, series["poc"]))
+    result.add_series("profits", Series("PoP", values, series["pop"]))
+    for j in TRACKED_SELLERS:
+        result.add_series(
+            "profits", Series(f"PoS-{j}", values, series[f"pos_{j}"])
+        )
+    return result

@@ -1,0 +1,44 @@
+"""Fig. 18 — strategies as the platform's cost coefficient ``theta`` grows.
+
+The consumer compensates the costlier platform with a higher ``p^J``
+(SoC rises); the platform protects its margin by lowering the sellers'
+price ``p`` (SoP falls); sellers respond with shorter sensing times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig17_profit_vs_theta import (
+    TRACKED_SELLERS,
+    sweep_theta,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+
+__all__ = ["run"]
+
+
+@register("fig18", "strategies versus the platform cost coefficient theta")
+def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
+    """Run the Fig. 18 sweep (same solve as Fig. 17, strategy panels)."""
+    num_points = 19 if scale is Scale.SMALL else 91
+    values = np.linspace(0.1, 1.0, num_points)
+    series = sweep_theta(values, seed)
+    result = ExperimentResult(
+        experiment_id="fig18",
+        title="strategies versus theta (platform aggregation cost)",
+        x_label="cost coefficient theta",
+    )
+    result.add_series("prices", Series("SoC (p^J*)", values, series["soc"]))
+    result.add_series("prices", Series("SoP (p*)", values, series["sop"]))
+    for j in TRACKED_SELLERS:
+        result.add_series(
+            "sensing_times",
+            Series(f"SoS-{j} (tau*)", values, series[f"sos_{j}"]),
+        )
+    return result

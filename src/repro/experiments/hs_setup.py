@@ -1,0 +1,91 @@
+"""Shared setup for the single-round HS-game experiments (Figs. 13-18).
+
+The paper evaluates the Stackelberg game by "randomly select[ing] one
+round" after qualities have converged, with ``K = 10`` selected sellers.
+These helpers build that round's :class:`~repro.game.profits.GameInstance`
+from the paper's parameter ranges, with the estimated qualities equal to
+the true ones (the converged state), and solve it in closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.incentive import ClosedFormStackelbergSolver
+from repro.exceptions import ExperimentError
+from repro.game.profits import GameInstance
+from repro.game.stackelberg import SolvedGame
+
+__all__ = ["RoundSetup", "build_round_game", "solve_round"]
+
+#: Wide-open price bounds so the analytic sweeps never clip (the paper's
+#: Fig. 13 sweeps p^J all the way to 40).
+_OPEN_BOUNDS = (0.0, 10_000.0)
+
+
+@dataclass(frozen=True)
+class RoundSetup:
+    """A single-round game plus the sampled seller parameters behind it."""
+
+    game: GameInstance
+    qualities: np.ndarray
+    cost_a: np.ndarray
+    cost_b: np.ndarray
+
+
+def build_round_game(k: int = 10, omega: float = 1_000.0, theta: float = 0.1,
+                     lam: float = 1.0, seed: int = 0,
+                     cost_a_override: dict[int, float] | None = None,
+                     ) -> RoundSetup:
+    """One converged round with ``K`` sellers from the paper's ranges.
+
+    Parameters
+    ----------
+    k:
+        Number of selected sellers (the paper uses 10 for the HS figures).
+    omega, theta, lam:
+        Consumer/platform parameters for the round.
+    seed:
+        Seed for the seller parameters; the same seed reproduces the same
+        sellers across figures, so "seller 6" means the same seller in
+        Figs. 13-16.
+    cost_a_override:
+        Optional per-position replacement of the quadratic cost
+        coefficient (Fig. 15/16 sweep seller 6's ``a_6``).
+    """
+    if k <= 0:
+        raise ExperimentError(f"k must be positive, got {k}")
+    rng = np.random.default_rng(seed)
+    qualities = rng.uniform(0.3, 1.0, size=k)
+    cost_a = rng.uniform(0.1, 0.5, size=k)
+    cost_b = rng.uniform(0.1, 1.0, size=k)
+    if cost_a_override:
+        for position, value in cost_a_override.items():
+            if not (0 <= position < k):
+                raise ExperimentError(
+                    f"cost_a_override position {position} out of range"
+                )
+            if value <= 0.0:
+                raise ExperimentError(
+                    f"cost_a_override value must be > 0, got {value}"
+                )
+            cost_a[position] = value
+    game = GameInstance(
+        qualities=qualities,
+        cost_a=cost_a,
+        cost_b=cost_b,
+        theta=theta,
+        lam=lam,
+        omega=omega,
+        service_price_bounds=_OPEN_BOUNDS,
+        collection_price_bounds=_OPEN_BOUNDS,
+    )
+    return RoundSetup(game=game, qualities=qualities, cost_a=cost_a,
+                      cost_b=cost_b)
+
+
+def solve_round(setup: RoundSetup) -> SolvedGame:
+    """Closed-form Stackelberg Equilibrium of the round."""
+    return ClosedFormStackelbergSolver().solve(setup.game)

@@ -1,0 +1,110 @@
+"""The Section III-D illustrative example (Figs. 4-6).
+
+Three sellers, four PoIs, ten rounds, ``K = 2`` selected per round: the
+paper walks through the first few rounds by hand (initial explore-all at
+``p^1* = p_max``, then UCB-ranked pairs with HS-game strategies).  This
+driver runs the same miniature trading job through the real mechanism
+and reports the per-round selections and strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mechanism import CMABHSMechanism
+from repro.entities.consumer import Consumer
+from repro.entities.job import Job
+from repro.entities.platform import Platform
+from repro.entities.seller import SellerPopulation
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+from repro.quality.distributions import TruncatedGaussianQuality
+
+__all__ = ["run", "build_example_mechanism", "EXAMPLE_QUALITIES"]
+
+#: Expected qualities of the three example sellers.  The paper's Fig. 4
+#: values are unreadable in the scan; these reproduce its observed sample
+#: means (~0.64, ~0.65, ~0.57 after round 1).
+EXAMPLE_QUALITIES = (0.65, 0.66, 0.58)
+
+#: The example's system parameters: p_max = 5 and theta/lambda such that
+#: the initial break-even service price is 7.5 (matching "p^{1*}=5,
+#: p^{J,1*}=7.5" with three sellers at tau^0 = 1).
+_EXAMPLE_THETA = 0.5
+_EXAMPLE_LAMBDA = 1.0
+_EXAMPLE_OMEGA = 100.0
+_EXAMPLE_P_MAX = 5.0
+
+
+def build_example_mechanism(seed: int = 0) -> CMABHSMechanism:
+    """The 3-seller / 4-PoI / 10-round mechanism of Section III-D."""
+    population = SellerPopulation.from_arrays(
+        qualities=np.array(EXAMPLE_QUALITIES),
+        a=np.array([0.3, 0.35, 0.25]),
+        b=np.array([0.4, 0.3, 0.5]),
+    )
+    job = Job.simple(num_pois=4, num_rounds=10)
+    platform = Platform.default(
+        theta=_EXAMPLE_THETA, lam=_EXAMPLE_LAMBDA, price_max=_EXAMPLE_P_MAX
+    )
+    consumer = Consumer.default(omega=_EXAMPLE_OMEGA)
+    model = TruncatedGaussianQuality(
+        population.expected_qualities, sigma=0.15
+    )
+    return CMABHSMechanism(
+        population, job, platform, consumer, k=2,
+        quality_model=model, seed=seed,
+    )
+
+
+@register("example", "Section III-D walkthrough (3 sellers, 4 PoIs, 10 rounds)")
+def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
+    """Run the miniature trading job and report every round."""
+    mechanism = build_example_mechanism(seed)
+    trading = mechanism.run()
+    rounds = np.arange(trading.num_rounds, dtype=float)
+    result = ExperimentResult(
+        experiment_id="example",
+        title="Sec. III-D illustrative data trading (M=3, L=4, N=10, K=2)",
+        x_label="round t",
+    )
+    result.add_series(
+        "strategies",
+        Series("p^J*", rounds,
+               np.array([r.service_price for r in trading.rounds])),
+    )
+    result.add_series(
+        "strategies",
+        Series("p*", rounds,
+               np.array([r.collection_price for r in trading.rounds])),
+    )
+    result.add_series(
+        "strategies",
+        Series("total tau", rounds,
+               np.array([r.total_sensing_time for r in trading.rounds])),
+    )
+    for seller in range(3):
+        selected = np.array([
+            1.0 if seller in r.selected else 0.0 for r in trading.rounds
+        ])
+        result.add_series(
+            "selections", Series(f"seller {seller + 1}", rounds, selected)
+        )
+    selections = [
+        "<" + ",".join(str(int(s) + 1) for s in r.selected) + ">"
+        for r in trading.rounds
+    ]
+    result.notes.append("selection order: " + " ".join(selections))
+    result.notes.append(
+        f"initial round: p*={trading.rounds[0].collection_price:g}, "
+        f"p^J*={trading.rounds[0].service_price:g} (break-even pricing)"
+    )
+    result.notes.append(
+        f"final estimates: {np.round(trading.final_means, 3).tolist()} "
+        f"(true: {list(EXAMPLE_QUALITIES)})"
+    )
+    return result

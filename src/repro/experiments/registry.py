@@ -1,0 +1,220 @@
+"""Experiment registry and result containers.
+
+Every paper table/figure has a driver module registering a runner here
+under its experiment id ("fig7", "fig13", "table2", ...).  Runners return
+an :class:`ExperimentResult` — a set of named panels, each holding the
+plotted series as plain arrays — that renders to aligned text tables, so
+results can be inspected without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "Scale",
+    "Series",
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]
+
+
+class Scale(enum.Enum):
+    """How big an experiment run should be.
+
+    ``SMALL``
+        Reduced round counts (~1/50 of the paper) so the full suite runs
+        in minutes; every qualitative shape is preserved.
+    ``PAPER``
+        The paper's Table II scales (``N`` up to ``2*10^5``) — expect many
+        minutes per experiment.
+    """
+
+    SMALL = "small"
+    PAPER = "paper"
+
+    @classmethod
+    def from_environment(cls) -> "Scale":
+        """``PAPER`` when ``REPRO_FULL_SCALE`` is set to a truthy value."""
+        flag = os.environ.get("REPRO_FULL_SCALE", "").strip().lower()
+        if flag in ("1", "true", "yes", "on", "paper", "full"):
+            return cls.PAPER
+        return cls.SMALL
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label plus aligned x/y arrays."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+        object.__setattr__(self, "y", np.asarray(self.y, dtype=float))
+        if self.x.shape != self.y.shape or self.x.ndim != 1:
+            raise ExperimentError(
+                f"series {self.label!r}: x and y must be aligned 1-D arrays"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """The data behind one reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id ("fig7", "table2", ...).
+    title:
+        Human-readable description of the artifact.
+    x_label:
+        Meaning of the swept quantity.
+    panels:
+        Mapping from panel name (for example "total revenue", "regret")
+        to the series plotted in that panel.
+    notes:
+        Free-form remarks (scale used, observed crossovers, ...).
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    panels: dict[str, list[Series]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, panel: str, series: Series) -> None:
+        """Append one series to a panel (creating the panel on demand)."""
+        self.panels.setdefault(panel, []).append(series)
+
+    def panel(self, name: str) -> list[Series]:
+        """The series of one panel.
+
+        Raises
+        ------
+        ExperimentError
+            If the panel does not exist.
+        """
+        if name not in self.panels:
+            raise ExperimentError(
+                f"experiment {self.experiment_id!r} has no panel {name!r}; "
+                f"available: {sorted(self.panels)}"
+            )
+        return self.panels[name]
+
+    def series(self, panel: str, label: str) -> Series:
+        """One specific series of one panel.
+
+        Raises
+        ------
+        ExperimentError
+            If no series in the panel carries that label.
+        """
+        for candidate in self.panel(panel):
+            if candidate.label == label:
+                return candidate
+        raise ExperimentError(
+            f"panel {panel!r} has no series {label!r}; available: "
+            f"{[s.label for s in self.panel(panel)]}"
+        )
+
+    def to_text(self) -> str:
+        """Render all panels as aligned text tables."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        for panel_name, series_list in self.panels.items():
+            lines.append("")
+            lines.append(f"-- {panel_name} (x = {self.x_label}) --")
+            lines.append(_panel_table(series_list))
+        return "\n".join(lines)
+
+
+def _panel_table(series_list: list[Series]) -> str:
+    """Align a panel's series into one table keyed by x value."""
+    if not series_list:
+        return "(empty panel)"
+    xs = series_list[0].x
+    header = ["x"] + [s.label for s in series_list]
+    rows: list[list[str]] = []
+    for idx, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for series in series_list:
+            if idx < series.y.size:
+                row.append(f"{series.y[idx]:.4g}")
+            else:
+                row.append("-")
+        rows.append(row)
+    widths = [
+        max(len(header[col]), *(len(r[col]) for r in rows))
+        for col in range(len(header))
+    ]
+    out = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        out.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+#: Runner signature: ``run(scale, seed) -> ExperimentResult``.
+Runner = Callable[[Scale, int], ExperimentResult]
+
+_REGISTRY: dict[str, tuple[str, Runner]] = {}
+
+
+def register(experiment_id: str, title: str) -> Callable[[Runner], Runner]:
+    """Class decorator registering an experiment runner under an id."""
+
+    def decorator(runner: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(
+                f"experiment id {experiment_id!r} registered twice"
+            )
+        _REGISTRY[experiment_id] = (title, runner)
+        return runner
+
+    return decorator
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(id, title) of every registered experiment, sorted by id."""
+    return sorted(
+        (experiment_id, title)
+        for experiment_id, (title, __) in _REGISTRY.items()
+    )
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """The runner registered under ``experiment_id``.
+
+    Raises
+    ------
+    ExperimentError
+        For unknown ids.
+    """
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, scale: Scale | None = None,
+                   seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id (scale defaults to the environment's)."""
+    runner = get_experiment(experiment_id)
+    if scale is None:
+        scale = Scale.from_environment()
+    return runner(scale, seed)

@@ -1,0 +1,119 @@
+"""Plotting-free rendering of experiment series.
+
+Experiment results render to aligned value tables via
+:meth:`~repro.experiments.registry.ExperimentResult.to_text`; this module
+adds terminal-friendly *charts* so the paper's figure shapes can be
+eyeballed without matplotlib:
+
+* :func:`ascii_chart` — a multi-series scatter/line chart in a character
+  grid;
+* :func:`sparkline` — a one-line unicode profile of a series;
+* :func:`render_experiment` — tables plus a chart per panel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import ExperimentResult, Series
+
+__all__ = ["sparkline", "ascii_chart", "render_experiment"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+#: Marker characters assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode profile of a numeric series.
+
+    Non-finite values render as spaces; a constant series renders at the
+    middle level.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ExperimentError("cannot sparkline an empty series")
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return " " * data.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    characters = []
+    for value in data:
+        if not math.isfinite(value):
+            characters.append(" ")
+        elif span == 0.0:
+            characters.append(_SPARK_LEVELS[len(_SPARK_LEVELS) // 2])
+        else:
+            level = round((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+            characters.append(_SPARK_LEVELS[level])
+    return "".join(characters)
+
+
+def ascii_chart(series_list: list[Series], width: int = 64,
+                height: int = 16) -> str:
+    """A character-grid chart of several series on shared axes.
+
+    Each series gets a marker (``o``, ``x``, ...); the legend, y-range
+    and x-range are printed around the grid.
+
+    Raises
+    ------
+    ExperimentError
+        For an empty series list or non-positive dimensions.
+    """
+    if not series_list:
+        raise ExperimentError("cannot chart an empty panel")
+    if width < 8 or height < 4:
+        raise ExperimentError("chart must be at least 8x4 characters")
+    all_x = np.concatenate([s.x for s in series_list])
+    all_y = np.concatenate([s.y for s in series_list])
+    finite = np.isfinite(all_x) & np.isfinite(all_y)
+    if not finite.any():
+        raise ExperimentError("no finite points to chart")
+    x_lo, x_hi = float(all_x[finite].min()), float(all_x[finite].max())
+    y_lo, y_hi = float(all_y[finite].min()), float(all_y[finite].max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for index, series in enumerate(series_list):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(series.x, series.y):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            column = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={series.label}"
+        for i, series in enumerate(series_list)
+    )
+    lines.append(legend)
+    lines.append(f"y: [{y_lo:g}, {y_hi:g}]")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: [{x_lo:g}, {x_hi:g}]")
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult, charts: bool = True,
+                      width: int = 64, height: int = 14) -> str:
+    """Tables plus (optionally) one ASCII chart per panel."""
+    parts = [result.to_text()]
+    if charts:
+        for panel, series_list in result.panels.items():
+            if not series_list:
+                continue
+            parts.append("")
+            parts.append(f"-- {panel} (chart) --")
+            parts.append(ascii_chart(series_list, width, height))
+    return "\n".join(parts)

@@ -1,0 +1,99 @@
+"""Shared sweep harnesses for the Fig. 7-12 experiments.
+
+The revenue/regret/Delta-profit figures all follow the same pattern: for
+each value of a swept parameter (``N``, ``M``, or ``K``), run the full
+policy set on the same simulated instance and collect per-policy
+aggregates.  This module provides that loop once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.bandits.base import SelectionPolicy
+from repro.bandits.policies import (
+    EpsilonFirstPolicy,
+    OptimalPolicy,
+    RandomPolicy,
+    UCBPolicy,
+)
+from repro.exceptions import ExperimentError
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import TradingSimulator
+from repro.sim.results import PolicyComparison
+
+__all__ = [
+    "PAPER_POLICY_SET",
+    "default_policies",
+    "SweepPoint",
+    "run_parameter_sweep",
+]
+
+#: Display names of the paper's compared algorithms, in plotting order.
+PAPER_POLICY_SET = ("optimal", "CMAB-HS", "0.1-first", "0.5-first", "random")
+
+
+def default_policies(expected_qualities: np.ndarray) -> list[SelectionPolicy]:
+    """The paper's comparison set: optimal, CMAB-HS, eps-first, random."""
+    return [
+        OptimalPolicy(expected_qualities),
+        UCBPolicy(),
+        EpsilonFirstPolicy(0.1),
+        EpsilonFirstPolicy(0.5),
+        RandomPolicy(),
+    ]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One swept parameter value with its policy comparison."""
+
+    value: float
+    comparison: PolicyComparison
+
+
+def run_parameter_sweep(base_config: SimulationConfig, parameter: str,
+                        values: Sequence,
+                        policy_factory: Callable[
+                            [np.ndarray], list[SelectionPolicy]
+                        ] = default_policies) -> list[SweepPoint]:
+    """Run the policy set for every value of one config parameter.
+
+    Parameters
+    ----------
+    base_config:
+        The configuration shared by all sweep points.
+    parameter:
+        Name of the :class:`SimulationConfig` field to sweep
+        (for example ``"num_rounds"``, ``"num_sellers"``,
+        ``"num_selected"``).
+    values:
+        The values to sweep over.
+    policy_factory:
+        Builds the policy list given the instance's true qualities
+        (the omniscient baseline needs them).
+
+    Notes
+    -----
+    Each sweep point re-derives the config, so instances with different
+    ``num_sellers`` get independent populations (all from the same master
+    seed); points differing only in ``num_rounds`` share the identical
+    population and observation stream prefix.
+    """
+    if not values:
+        raise ExperimentError("sweep values must be non-empty")
+    if not hasattr(base_config, parameter):
+        raise ExperimentError(
+            f"SimulationConfig has no parameter {parameter!r}"
+        )
+    points: list[SweepPoint] = []
+    for value in values:
+        config = base_config.derive(**{parameter: value})
+        simulator = TradingSimulator(config)
+        policies = policy_factory(simulator.population.expected_qualities)
+        comparison = simulator.compare(policies)
+        points.append(SweepPoint(value=float(value), comparison=comparison))
+    return points

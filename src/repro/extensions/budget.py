@@ -1,0 +1,166 @@
+"""Budget-constrained data trading.
+
+The paper's consumer trades for a fixed number of rounds ``N``; a common
+practical variant (and the setting of several of the paper's cited CMAB
+works, e.g. budgeted multi-play bandits) gives the consumer a *monetary
+budget* instead: trading stops once cumulative payments
+``sum_t p^{J,t} * total_tau^t`` would exceed it.
+
+Because the paper's policies do not condition on the remaining budget,
+a budgeted run is exactly a prefix of the unbudgeted one — so this module
+implements budget truncation of :class:`~repro.sim.results.RunMetrics`
+plus a comparison harness reporting *revenue per unit budget*, the metric
+that decides which policy a budget-limited consumer should prefer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bandits.base import SelectionPolicy
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import TradingSimulator
+from repro.sim.results import RunMetrics
+
+__all__ = ["BudgetedRun", "truncate_to_budget", "BudgetedComparison",
+           "run_budgeted_comparison"]
+
+
+@dataclass(frozen=True)
+class BudgetedRun:
+    """A run truncated at a consumer budget.
+
+    Attributes
+    ----------
+    policy_name:
+        Policy that produced the underlying run.
+    budget:
+        The consumer's total budget.
+    rounds_completed:
+        Rounds fully affordable within the budget.
+    spent:
+        Total payments over the completed rounds.
+    realized_revenue:
+        Observed quality total over the completed rounds.
+    consumer_profit:
+        Total consumer profit over the completed rounds.
+    exhausted:
+        Whether the budget (rather than the horizon) ended trading.
+    """
+
+    policy_name: str
+    budget: float
+    rounds_completed: int
+    spent: float
+    realized_revenue: float
+    consumer_profit: float
+    exhausted: bool
+
+    @property
+    def revenue_per_unit_budget(self) -> float:
+        """Realised revenue per unit of budget actually spent."""
+        if self.spent <= 0.0:
+            return 0.0
+        return self.realized_revenue / self.spent
+
+
+def truncate_to_budget(run: RunMetrics, budget: float) -> BudgetedRun:
+    """Cut a run at the last round the budget fully covers.
+
+    Round ``t``'s payment is ``p^{J,t} * total_tau^t`` (Definition 5: the
+    consumer pays the unit service price times the total sensing time).
+    Trading stops *before* the first round whose payment would overdraw
+    the budget.
+
+    Raises
+    ------
+    ConfigurationError
+        If the budget is not positive.
+    """
+    if not (budget > 0.0):
+        raise ConfigurationError(f"budget must be positive, got {budget}")
+    payments = run.service_price * run.total_sensing_time
+    cumulative = np.cumsum(payments)
+    affordable = cumulative <= budget
+    rounds_completed = int(np.searchsorted(cumulative, budget, side="right"))
+    exhausted = rounds_completed < run.num_rounds
+    spent = float(cumulative[rounds_completed - 1]) if rounds_completed else 0.0
+    return BudgetedRun(
+        policy_name=run.policy_name,
+        budget=float(budget),
+        rounds_completed=rounds_completed,
+        spent=spent,
+        realized_revenue=float(
+            run.realized_revenue[:rounds_completed].sum()
+        ),
+        consumer_profit=float(
+            run.consumer_profit[:rounds_completed].sum()
+        ),
+        exhausted=exhausted,
+    )
+
+
+@dataclass
+class BudgetedComparison:
+    """Budgeted runs of several policies on the same instance."""
+
+    budget: float
+    runs: dict[str, BudgetedRun]
+
+    def best_by_revenue(self) -> str:
+        """The policy with the largest within-budget revenue."""
+        return max(self.runs,
+                   key=lambda name: self.runs[name].realized_revenue)
+
+    def to_table(self) -> str:
+        """Aligned text table of the budgeted outcomes."""
+        headers = ["policy", "rounds", "spent", "revenue", "rev/budget"]
+        rows = [
+            [
+                name,
+                str(run.rounds_completed),
+                f"{run.spent:.1f}",
+                f"{run.realized_revenue:.1f}",
+                f"{run.revenue_per_unit_budget:.3f}",
+            ]
+            for name, run in self.runs.items()
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows))
+            for i in range(len(headers))
+        ]
+        lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def run_budgeted_comparison(simulator: TradingSimulator,
+                            policies: list[SelectionPolicy],
+                            budget: float,
+                            max_rounds: int | None = None,
+                            ) -> BudgetedComparison:
+    """Run each policy until its budget is exhausted (or the horizon ends).
+
+    Parameters
+    ----------
+    simulator:
+        The shared instance (population + observation noise).
+    policies:
+        Policies to compare; each gets the same budget.
+    budget:
+        The consumer's total budget per policy run.
+    max_rounds:
+        Horizon cap; defaults to the simulator config's ``num_rounds``.
+    """
+    runs: dict[str, BudgetedRun] = {}
+    for policy in policies:
+        metrics = simulator.run(policy, num_rounds=max_rounds)
+        if policy.name in runs:
+            raise ConfigurationError(
+                f"duplicate policy name {policy.name!r}"
+            )
+        runs[policy.name] = truncate_to_budget(metrics, budget)
+    return BudgetedComparison(budget=float(budget), runs=runs)

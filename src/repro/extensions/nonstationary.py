@@ -1,0 +1,123 @@
+"""Non-stationary quality experiments (the Definition-3 remark).
+
+The paper fixes each seller's expected quality but remarks that
+exogenous factors (willingness, context, routine) perturb the observed
+quality.  This module studies the stronger variant where the *means
+themselves drift* (sinusoidally, via
+:class:`~repro.quality.distributions.DriftingQuality`) and quantifies
+how much a sliding-window UCB recovers over the paper's vanilla UCB.
+
+Registered as experiment ``ext-drift``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandits.policies import (
+    OptimalPolicy,
+    RandomPolicy,
+    SlidingWindowUCBPolicy,
+    UCBPolicy,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+from repro.quality.distributions import DriftingQuality
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import TradingSimulator
+
+__all__ = ["run", "drift_comparison"]
+
+#: Exploration coefficient for both UCB variants under drift.  The
+#: paper's K+1 radius, sized for stationary lifetimes of observations,
+#: forces a windowed policy into near-permanent exploration.
+_DRIFT_COEFFICIENT = 0.5
+
+
+def drift_comparison(amplitude: float, num_rounds: int, seed: int,
+                     window: int, num_sellers: int = 40,
+                     k: int = 8) -> dict[str, float]:
+    """Realised revenue per policy under one drift amplitude."""
+    config = SimulationConfig(
+        num_sellers=num_sellers, num_selected=k, num_pois=5,
+        num_rounds=num_rounds, seed=seed,
+    )
+    base = TradingSimulator(config)
+    qualities = base.population.expected_qualities
+    if amplitude > 0.0:
+        model = DriftingQuality(
+            qualities, amplitude=amplitude, period=num_rounds / 4.0,
+            phase_seed=seed + 1,
+        )
+    else:
+        model = None
+    simulator = TradingSimulator(config, population=base.population,
+                                 quality_model=model)
+    policies = [
+        OptimalPolicy(qualities),
+        UCBPolicy(exploration_coefficient=_DRIFT_COEFFICIENT),
+        SlidingWindowUCBPolicy(window=window,
+                               exploration_coefficient=_DRIFT_COEFFICIENT),
+        RandomPolicy(),
+    ]
+    comparison = simulator.compare(policies)
+    return {
+        name: run.total_realized_revenue
+        for name, run in comparison.runs.items()
+    }
+
+
+@register("ext-drift", "EXTENSION: revenue under drifting qualities")
+def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
+    """Sweep the drift amplitude; compare static-vs-windowed UCB.
+
+    At amplitude 0 (the paper's stationary setting) vanilla UCB should
+    match or beat the window; as drift grows the window's ability to
+    forget pays off.
+    """
+    num_rounds = 8_000 if scale is Scale.SMALL else 20_000
+    window = num_rounds // 10
+    amplitudes = np.array([0.0, 0.15, 0.25, 0.35])
+    revenue: dict[str, list[float]] = {}
+    for amplitude in amplitudes:
+        outcome = drift_comparison(float(amplitude), num_rounds, seed,
+                                   window)
+        for name, value in outcome.items():
+            revenue.setdefault(name, []).append(value)
+    result = ExperimentResult(
+        experiment_id="ext-drift",
+        title="total revenue versus quality-drift amplitude "
+              f"(N={num_rounds}, window={window})",
+        x_label="drift amplitude",
+        notes=[
+            "extension beyond the paper: Definition-3 remark taken to "
+            "drifting means; sliding-window UCB versus vanilla UCB "
+            f"(both with exploration coefficient {_DRIFT_COEFFICIENT})",
+        ],
+    )
+    for name, values in revenue.items():
+        result.add_series(
+            "total_revenue",
+            Series(name, amplitudes, np.asarray(values)),
+        )
+    vanilla = np.asarray(revenue["CMAB-HS"])
+    windowed = np.asarray(revenue["sw-ucb"])
+    gains = (windowed / vanilla - 1.0) * 100.0
+    result.add_series(
+        "window_gain",
+        Series("sw-ucb gain over vanilla (%)", amplitudes, gains),
+    )
+    result.notes.append(
+        "sw-ucb revenue gain over vanilla UCB per amplitude (%): "
+        + ", ".join(f"{g:+.1f}" for g in gains)
+    )
+    result.notes.append(
+        "robust claim: the window's *relative* standing improves with "
+        "drift (gain at max amplitude exceeds gain at amplitude 0); the "
+        "absolute sign of the gain is seed- and window-dependent"
+    )
+    return result

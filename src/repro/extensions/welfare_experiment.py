@@ -1,0 +1,67 @@
+"""Price-of-anarchy experiment (extension ``ext-poa``).
+
+The hierarchical Stackelberg mechanism maximises individual profits; the
+welfare-maximising sensing profile is generally longer (the consumer's
+monopsony pricing suppresses effort).  This experiment sweeps the
+valuation scale ``omega`` and reports the equilibrium welfare, the
+social optimum, and their ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.incentive import ClosedFormStackelbergSolver
+from repro.experiments.hs_setup import build_round_game
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    register,
+)
+from repro.game.welfare import analyze_welfare
+
+__all__ = ["run"]
+
+
+@register("ext-poa", "EXTENSION: price of anarchy of the HS mechanism")
+def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
+    """Sweep omega; compare SE welfare against the social optimum."""
+    num_points = 9 if scale is Scale.SMALL else 41
+    omegas = np.linspace(600.0, 1_400.0, num_points)
+    solver = ClosedFormStackelbergSolver()
+    equilibrium = np.empty(omegas.size)
+    optimal = np.empty(omegas.size)
+    poa = np.empty(omegas.size)
+    total_se = np.empty(omegas.size)
+    total_opt = np.empty(omegas.size)
+    for idx, omega in enumerate(omegas):
+        setup = build_round_game(omega=float(omega), seed=seed)
+        solved = solver.solve(setup.game)
+        analysis = analyze_welfare(setup.game, solved.profile)
+        equilibrium[idx] = analysis.equilibrium_welfare
+        optimal[idx] = analysis.optimal_welfare
+        poa[idx] = analysis.price_of_anarchy
+        total_se[idx] = solved.profile.total_sensing_time
+        total_opt[idx] = float(analysis.optimal_taus.sum())
+    result = ExperimentResult(
+        experiment_id="ext-poa",
+        title="social welfare at the SE versus the social optimum "
+              "(single round, K=10)",
+        x_label="valuation parameter omega",
+        notes=[
+            "extension beyond the paper: prices are transfers, so welfare "
+            "depends only on the sensing profile; the SE under-provides "
+            "sensing time relative to the social optimum",
+            f"price of anarchy range: [{poa.min():.3f}, {poa.max():.3f}]",
+        ],
+    )
+    result.add_series("welfare", Series("SE welfare", omegas, equilibrium))
+    result.add_series("welfare", Series("optimal welfare", omegas, optimal))
+    result.add_series("price_of_anarchy",
+                      Series("optimal / SE", omegas, poa))
+    result.add_series("total_sensing_time",
+                      Series("SE", omegas, total_se))
+    result.add_series("total_sensing_time",
+                      Series("social optimum", omegas, total_opt))
+    return result

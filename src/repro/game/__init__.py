@@ -1,0 +1,54 @@
+"""Generic hierarchical Stackelberg game machinery.
+
+Profit functions (Eqs. 5/7/9), numerical backward-induction solvers, and
+deviation-curve analysis.  The paper-specific *closed-form* equilibrium
+lives in :mod:`repro.core.incentive`; this package is the substrate both
+it and its verification tests stand on.
+"""
+
+from repro.game.analysis import (
+    DeviationCurve,
+    ProfitCurves,
+    consumer_price_sweep,
+    seller_time_deviation_sweep,
+)
+from repro.game.best_response import (
+    golden_section_maximize,
+    grid_maximize,
+    refine_maximize,
+)
+from repro.game.profits import GameInstance, StrategyProfile
+from repro.game.stackelberg import (
+    NumericalStackelbergSolver,
+    SolvedGame,
+    solve_stage1_numeric,
+    solve_stage2_numeric,
+    solve_stage3_numeric,
+)
+from repro.game.welfare import (
+    WelfareAnalysis,
+    analyze_welfare,
+    maximize_welfare,
+    social_welfare,
+)
+
+__all__ = [
+    "GameInstance",
+    "StrategyProfile",
+    "SolvedGame",
+    "NumericalStackelbergSolver",
+    "solve_stage1_numeric",
+    "solve_stage2_numeric",
+    "solve_stage3_numeric",
+    "golden_section_maximize",
+    "grid_maximize",
+    "refine_maximize",
+    "ProfitCurves",
+    "DeviationCurve",
+    "consumer_price_sweep",
+    "seller_time_deviation_sweep",
+    "social_welfare",
+    "maximize_welfare",
+    "WelfareAnalysis",
+    "analyze_welfare",
+]

@@ -1,0 +1,194 @@
+"""Deviation-curve analysis of the hierarchical Stackelberg game.
+
+The paper's HS evaluation (Figs. 13-18) examines how profits and
+strategies respond when one quantity is swept while the rest of the game
+re-equilibrates (or stays fixed, for unilateral deviations).  This module
+computes those curves from a :class:`~repro.game.profits.GameInstance`
+plus a *cascade* callable that produces the lower tiers' best responses —
+dependency-injected so the closed-form solver (``repro.core.incentive``)
+and the numerical solver can both drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.game.profits import GameInstance, StrategyProfile
+from repro.game.stackelberg import NumericalStackelbergSolver
+
+__all__ = [
+    "ProfitCurves",
+    "DeviationCurve",
+    "consumer_price_sweep",
+    "seller_time_deviation_sweep",
+]
+
+#: Signature of a lower-tier response: ``(game, p^J) -> (p, tau)``.
+CascadeFn = Callable[[GameInstance, float], tuple[float, np.ndarray]]
+
+
+def _default_cascade(game: GameInstance,
+                     service_price: float) -> tuple[float, np.ndarray]:
+    return NumericalStackelbergSolver().cascade(game, service_price)
+
+
+@dataclass(frozen=True)
+class ProfitCurves:
+    """Profits of every party along a one-dimensional sweep.
+
+    Attributes
+    ----------
+    sweep_values:
+        The swept quantity (for example candidate ``p^J`` values).
+    consumer, platform:
+        Profit arrays aligned with ``sweep_values``.
+    sellers:
+        Per-seller profit matrix of shape ``(len(sweep_values), K)``.
+    collection_prices, total_sensing_times:
+        The induced lower-tier responses along the sweep.
+    """
+
+    sweep_values: np.ndarray
+    consumer: np.ndarray
+    platform: np.ndarray
+    sellers: np.ndarray
+    collection_prices: np.ndarray
+    total_sensing_times: np.ndarray
+
+    @property
+    def mean_seller(self) -> np.ndarray:
+        """Mean per-seller profit along the sweep (PoS(s))."""
+        return self.sellers.mean(axis=1)
+
+    @property
+    def argmax_consumer(self) -> float:
+        """The swept value maximising the consumer's profit (the SE point)."""
+        return float(self.sweep_values[int(np.argmax(self.consumer))])
+
+
+def consumer_price_sweep(game: GameInstance,
+                         service_prices: Sequence[float],
+                         cascade: CascadeFn | None = None) -> ProfitCurves:
+    """Profits of all parties as the consumer's price ``p^J`` sweeps.
+
+    For each candidate ``p^J`` the platform and the sellers best-respond
+    (via ``cascade``), reproducing Fig. 13: the consumer's profit is
+    unimodal with its maximum at the Stackelberg Equilibrium price, while
+    the platform's and sellers' profits rise monotonically with ``p^J``.
+
+    Parameters
+    ----------
+    game:
+        The round's game instance.
+    service_prices:
+        Candidate values of ``p^J`` (need not be feasible — this is an
+        analysis sweep, not a mechanism run).
+    cascade:
+        Lower-tier response function; defaults to the numerical solver.
+    """
+    prices = np.asarray(list(service_prices), dtype=float)
+    if prices.ndim != 1 or prices.size == 0:
+        raise ConfigurationError("service_prices must be a non-empty sequence")
+    respond = cascade if cascade is not None else _default_cascade
+    consumer = np.empty(prices.size)
+    platform = np.empty(prices.size)
+    sellers = np.empty((prices.size, game.num_sellers))
+    collection = np.empty(prices.size)
+    totals = np.empty(prices.size)
+    for idx, p_j in enumerate(prices):
+        price, taus = respond(game, float(p_j))
+        consumer[idx] = game.consumer_profit(p_j, taus)
+        platform[idx] = game.platform_profit(p_j, price, taus)
+        sellers[idx] = game.seller_profits(price, taus)
+        collection[idx] = price
+        totals[idx] = taus.sum()
+    return ProfitCurves(
+        sweep_values=prices,
+        consumer=consumer,
+        platform=platform,
+        sellers=sellers,
+        collection_prices=collection,
+        total_sensing_times=totals,
+    )
+
+
+@dataclass(frozen=True)
+class DeviationCurve:
+    """Profits as one seller unilaterally deviates in sensing time.
+
+    Prices and the other sellers' times stay fixed at the supplied
+    equilibrium profile (the Fig. 14 setting).
+    """
+
+    deviating_position: int
+    sweep_values: np.ndarray
+    consumer: np.ndarray
+    platform: np.ndarray
+    sellers: np.ndarray
+
+    @property
+    def deviator_profit(self) -> np.ndarray:
+        """Profit of the deviating seller along the sweep."""
+        return self.sellers[:, self.deviating_position]
+
+    def best_deviation(self) -> float:
+        """The swept sensing time maximising the deviator's profit.
+
+        At a Stackelberg Equilibrium this equals the deviator's
+        equilibrium time up to the sweep's grid resolution (asserted by
+        the Fig. 14 experiments).
+        """
+        return float(self.sweep_values[int(np.argmax(self.deviator_profit))])
+
+
+def seller_time_deviation_sweep(game: GameInstance,
+                                profile: StrategyProfile,
+                                position: int,
+                                sensing_times: Sequence[float]) -> DeviationCurve:
+    """Sweep one seller's sensing time holding everything else fixed.
+
+    Reproduces Fig. 14: both leaders' profits are unimodal in the
+    deviator's time, the deviator's profit peaks at its Stage-3 optimum,
+    and the remaining sellers' profits are unaffected.
+
+    Parameters
+    ----------
+    game:
+        The round's game instance.
+    profile:
+        The reference (equilibrium) strategy profile.
+    position:
+        Index of the deviating seller within the selected set.
+    sensing_times:
+        Candidate sensing times for the deviator.
+    """
+    if not (0 <= position < game.num_sellers):
+        raise ConfigurationError(
+            f"position must be in [0, {game.num_sellers}), got {position}"
+        )
+    sweep = np.asarray(list(sensing_times), dtype=float)
+    if sweep.ndim != 1 or sweep.size == 0:
+        raise ConfigurationError("sensing_times must be a non-empty sequence")
+    consumer = np.empty(sweep.size)
+    platform = np.empty(sweep.size)
+    sellers = np.empty((sweep.size, game.num_sellers))
+    for idx, tau in enumerate(sweep):
+        deviated = profile.replace_sensing_time(position, float(tau))
+        consumer[idx] = game.consumer_profit(deviated.service_price,
+                                             deviated.sensing_times)
+        platform[idx] = game.platform_profit(deviated.service_price,
+                                             deviated.collection_price,
+                                             deviated.sensing_times)
+        sellers[idx] = game.seller_profits(deviated.collection_price,
+                                           deviated.sensing_times)
+    return DeviationCurve(
+        deviating_position=position,
+        sweep_values=sweep,
+        consumer=consumer,
+        platform=platform,
+        sellers=sellers,
+    )

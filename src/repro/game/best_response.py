@@ -1,0 +1,108 @@
+"""Numerical one-dimensional maximisers.
+
+The closed-form equilibrium (Theorems 14-16) is the paper's contribution;
+these numerical solvers exist to *verify* it and to solve the game when a
+user plugs in non-quadratic/non-log cost or valuation functions for which
+no closed form exists.
+
+Two strategies are provided:
+
+* :func:`golden_section_maximize` — fast, for unimodal objectives (every
+  stage objective of this game is unimodal on its feasible interval);
+* :func:`grid_maximize` — robust brute force used as a cross-check and for
+  objectives of unknown shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import GameError
+
+__all__ = ["golden_section_maximize", "grid_maximize", "refine_maximize"]
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/phi ~ 0.618
+
+
+def golden_section_maximize(objective: Callable[[float], float], lower: float,
+                            upper: float, tolerance: float = 1e-10,
+                            max_iterations: int = 200) -> float:
+    """Maximise a unimodal ``objective`` on ``[lower, upper]``.
+
+    Returns the maximising argument (not the value).  For objectives that
+    are monotone on the interval this converges to the appropriate
+    endpoint.
+
+    Raises
+    ------
+    GameError
+        If the interval is empty or not finite.
+    """
+    lo, hi = float(lower), float(upper)
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise GameError(f"golden-section interval must be finite, got [{lo}, {hi}]")
+    if hi < lo:
+        raise GameError(f"empty interval [{lo}, {hi}]")
+    if hi == lo:
+        return lo
+    x1 = hi - _INV_PHI * (hi - lo)
+    x2 = lo + _INV_PHI * (hi - lo)
+    f1, f2 = objective(x1), objective(x2)
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance:
+            break
+        if f1 < f2:
+            lo, x1, f1 = x1, x2, f2
+            x2 = lo + _INV_PHI * (hi - lo)
+            f2 = objective(x2)
+        else:
+            hi, x2, f2 = x2, x1, f1
+            x1 = hi - _INV_PHI * (hi - lo)
+            f1 = objective(x1)
+    midpoint = (lo + hi) / 2.0
+    # Guard against monotone objectives: compare against the endpoints.
+    candidates = [lower, midpoint, upper]
+    values = [objective(float(c)) for c in candidates]
+    return float(candidates[int(np.argmax(values))])
+
+
+def grid_maximize(objective: Callable[[float], float], lower: float,
+                  upper: float, num_points: int = 2_001) -> float:
+    """Maximise ``objective`` on ``[lower, upper]`` by dense grid search.
+
+    Robust to multi-modality at the cost of ``num_points`` evaluations.
+    Returns the best grid point.
+    """
+    lo, hi = float(lower), float(upper)
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise GameError(f"grid interval must be finite, got [{lo}, {hi}]")
+    if hi < lo:
+        raise GameError(f"empty interval [{lo}, {hi}]")
+    if num_points < 2 or hi == lo:
+        return lo
+    grid = np.linspace(lo, hi, num_points)
+    values = np.array([objective(float(x)) for x in grid])
+    return float(grid[int(np.argmax(values))])
+
+
+def refine_maximize(objective: Callable[[float], float], lower: float,
+                    upper: float, coarse_points: int = 401,
+                    tolerance: float = 1e-10) -> float:
+    """Two-phase maximiser: coarse grid, then golden-section refinement.
+
+    Handles objectives that are piecewise-unimodal (the consumer's profit
+    in ``Upsilon`` has two local maxima, Fig. 3 of the paper): the grid
+    locates the basin of the global maximum and golden-section polishes it.
+    """
+    lo, hi = float(lower), float(upper)
+    if hi <= lo:
+        return golden_section_maximize(objective, lo, hi, tolerance)
+    grid = np.linspace(lo, hi, max(coarse_points, 3))
+    values = np.array([objective(float(x)) for x in grid])
+    best = int(np.argmax(values))
+    left = grid[max(best - 1, 0)]
+    right = grid[min(best + 1, grid.size - 1)]
+    return golden_section_maximize(objective, float(left), float(right), tolerance)

@@ -1,0 +1,288 @@
+"""Per-round game instances and vectorised profit functions.
+
+A :class:`GameInstance` freezes everything the three-stage hierarchical
+Stackelberg game of one trading round depends on: the selected sellers'
+estimated qualities and cost coefficients, the platform's aggregation-cost
+parameters, the consumer's valuation parameter, and the feasible regions
+of every strategy.  All three profit functions (Eqs. 5, 7, 9) are exposed
+on it in vectorised form so that closed-form solvers, numerical solvers,
+equilibrium verifiers, and the deviation-curve experiments of Figs. 13-18
+all evaluate exactly the same payoffs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InfeasibleStrategyError
+
+__all__ = ["GameInstance", "StrategyProfile"]
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """One joint strategy ``<p^J, p, tau>`` of the three parties.
+
+    Attributes
+    ----------
+    service_price:
+        The consumer's unit data-service price ``p^J``.
+    collection_price:
+        The platform's unit data-collection price ``p``.
+    sensing_times:
+        The selected sellers' sensing times ``tau``, shape ``(K,)``.
+    """
+
+    service_price: float
+    collection_price: float
+    sensing_times: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sensing_times", np.asarray(self.sensing_times, dtype=float)
+        )
+        if self.sensing_times.ndim != 1:
+            raise ConfigurationError("sensing_times must be a 1-D array")
+
+    @property
+    def total_sensing_time(self) -> float:
+        """The total sensing time ``sum_i tau_i`` of the round."""
+        return float(self.sensing_times.sum())
+
+    def replace_sensing_time(self, position: int, value: float) -> "StrategyProfile":
+        """A copy of this profile with one seller's ``tau`` replaced.
+
+        Used by equilibrium verification to test unilateral deviations.
+        """
+        taus = self.sensing_times.copy()
+        taus[position] = float(value)
+        return StrategyProfile(self.service_price, self.collection_price, taus)
+
+
+def _validate_bounds(name: str, bounds: tuple[float, float]) -> tuple[float, float]:
+    lo, hi = float(bounds[0]), float(bounds[1])
+    if math.isnan(lo) or math.isnan(hi):
+        raise ConfigurationError(f"{name} bounds must not be NaN")
+    if lo < 0.0:
+        raise ConfigurationError(f"{name} lower bound must be >= 0, got {lo}")
+    if hi <= lo:
+        raise ConfigurationError(
+            f"{name} upper bound ({hi}) must exceed lower bound ({lo})"
+        )
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class GameInstance:
+    """The hierarchical Stackelberg game of one trading round.
+
+    Attributes
+    ----------
+    qualities:
+        Estimated qualities ``qbar_i`` of the *selected* sellers, shape
+        ``(K,)``; must be strictly positive (a zero estimate makes the
+        Stage-3 interior optimum undefined).
+    cost_a, cost_b:
+        Cost coefficients of the selected sellers (Eq. 6).
+    theta, lam:
+        Platform aggregation-cost parameters (Eq. 8).
+    omega:
+        Consumer valuation parameter (Eq. 10).
+    service_price_bounds:
+        Feasible interval for ``p^J``.
+    collection_price_bounds:
+        Feasible interval for ``p``.
+    max_sensing_time:
+        The round duration ``T`` bounding each ``tau_i``; defaults to
+        unbounded, matching the paper's closed-form analysis (its sweeps
+        never bind ``T``).
+    """
+
+    qualities: np.ndarray
+    cost_a: np.ndarray
+    cost_b: np.ndarray
+    theta: float
+    lam: float
+    omega: float
+    service_price_bounds: tuple[float, float] = (0.0, 1_000.0)
+    collection_price_bounds: tuple[float, float] = (0.0, 1_000.0)
+    max_sensing_time: float = float("inf")
+
+    def __post_init__(self) -> None:
+        qualities = np.asarray(self.qualities, dtype=float)
+        cost_a = np.asarray(self.cost_a, dtype=float)
+        cost_b = np.asarray(self.cost_b, dtype=float)
+        object.__setattr__(self, "qualities", qualities)
+        object.__setattr__(self, "cost_a", cost_a)
+        object.__setattr__(self, "cost_b", cost_b)
+        if qualities.ndim != 1 or qualities.size == 0:
+            raise ConfigurationError(
+                "qualities must be a non-empty 1-D array of selected sellers"
+            )
+        if qualities.shape != cost_a.shape or qualities.shape != cost_b.shape:
+            raise ConfigurationError(
+                "qualities, cost_a, cost_b must have identical shapes"
+            )
+        if np.any(qualities <= 0.0) or np.any(qualities > 1.0):
+            raise ConfigurationError(
+                "selected sellers' estimated qualities must lie in (0, 1]"
+            )
+        if np.any(cost_a <= 0.0):
+            raise ConfigurationError("all cost coefficients a_i must be > 0")
+        if np.any(cost_b < 0.0):
+            raise ConfigurationError("all cost coefficients b_i must be >= 0")
+        if not (math.isfinite(self.theta) and self.theta > 0.0):
+            raise ConfigurationError(f"theta must be > 0, got {self.theta}")
+        if not (math.isfinite(self.lam) and self.lam >= 0.0):
+            raise ConfigurationError(f"lambda must be >= 0, got {self.lam}")
+        if not (math.isfinite(self.omega) and self.omega > 1.0):
+            raise ConfigurationError(f"omega must be > 1, got {self.omega}")
+        object.__setattr__(
+            self, "service_price_bounds",
+            _validate_bounds("service price", self.service_price_bounds),
+        )
+        object.__setattr__(
+            self, "collection_price_bounds",
+            _validate_bounds("collection price", self.collection_price_bounds),
+        )
+        if not (self.max_sensing_time > 0.0):
+            raise ConfigurationError(
+                f"max_sensing_time must be positive, got {self.max_sensing_time}"
+            )
+
+    # -- derived coefficients -------------------------------------------------
+
+    @property
+    def num_sellers(self) -> int:
+        """The number of selected sellers ``K``."""
+        return int(self.qualities.size)
+
+    @property
+    def coefficient_a(self) -> float:
+        """``A = sum_i 1 / (2 * qbar_i * a_i)`` (Theorem 15).
+
+        ``A`` is the price-sensitivity of the total sensing time:
+        ``sum_i tau_i*(p) = p*A - B``.
+        """
+        return float(np.sum(1.0 / (2.0 * self.qualities * self.cost_a)))
+
+    @property
+    def coefficient_b(self) -> float:
+        """``B = sum_i b_i / (2 * a_i)``.
+
+        The price-independent offset of the total sensing time
+        (``sum_i tau_i*(p) = p*A - B``).  Note: Theorem 16 of the paper
+        restates ``B`` with an extra ``qbar_i`` in the denominator; direct
+        substitution of Eq. (20) shows this form is the consistent one.
+        """
+        return float(np.sum(self.cost_b / (2.0 * self.cost_a)))
+
+    @property
+    def mean_quality(self) -> float:
+        """The mean estimated quality ``qbar^t`` of the selected sellers."""
+        return float(self.qualities.mean())
+
+    @property
+    def opt_out_price(self) -> float:
+        """The largest price at which some selected seller senses zero time.
+
+        Below ``max_i qbar_i * b_i`` at least one Stage-3 best response is
+        clipped at ``tau = 0`` and the linear relation
+        ``sum tau = p*A - B`` stops holding.
+        """
+        return float(np.max(self.qualities * self.cost_b))
+
+    # -- feasibility -----------------------------------------------------------
+
+    def clip_service_price(self, price: float) -> float:
+        """Project ``p^J`` onto its feasible interval."""
+        lo, hi = self.service_price_bounds
+        return min(max(float(price), lo), hi)
+
+    def clip_collection_price(self, price: float) -> float:
+        """Project ``p`` onto its feasible interval."""
+        lo, hi = self.collection_price_bounds
+        return min(max(float(price), lo), hi)
+
+    def clip_sensing_times(self, sensing_times: np.ndarray) -> np.ndarray:
+        """Project a sensing-time vector onto ``[0, T]^K``."""
+        return np.clip(np.asarray(sensing_times, dtype=float), 0.0,
+                       self.max_sensing_time)
+
+    def require_feasible(self, profile: StrategyProfile) -> None:
+        """Raise :class:`InfeasibleStrategyError` unless the profile is valid."""
+        lo, hi = self.service_price_bounds
+        if not (lo <= profile.service_price <= hi):
+            raise InfeasibleStrategyError(
+                f"service price {profile.service_price} outside [{lo}, {hi}]"
+            )
+        lo, hi = self.collection_price_bounds
+        if not (lo <= profile.collection_price <= hi):
+            raise InfeasibleStrategyError(
+                f"collection price {profile.collection_price} outside [{lo}, {hi}]"
+            )
+        if profile.sensing_times.size != self.num_sellers:
+            raise InfeasibleStrategyError(
+                f"expected {self.num_sellers} sensing times, "
+                f"got {profile.sensing_times.size}"
+            )
+        if np.any(profile.sensing_times < 0.0) or np.any(
+            profile.sensing_times > self.max_sensing_time
+        ):
+            raise InfeasibleStrategyError(
+                "sensing times must lie in [0, T]"
+            )
+
+    # -- profit functions (Eqs. 5, 7, 9) ----------------------------------------
+
+    def seller_profits(self, collection_price: float,
+                       sensing_times: np.ndarray) -> np.ndarray:
+        """Each selected seller's profit ``Psi_i`` (Eq. 5), shape ``(K,)``."""
+        taus = np.asarray(sensing_times, dtype=float)
+        costs = (self.cost_a * taus * taus + self.cost_b * taus) * self.qualities
+        return float(collection_price) * taus - costs
+
+    def platform_profit(self, service_price: float, collection_price: float,
+                        sensing_times: np.ndarray) -> float:
+        """The platform's profit ``Omega`` (Eq. 7)."""
+        total = float(np.sum(sensing_times))
+        aggregation = self.theta * total * total + self.lam * total
+        return (float(service_price) - float(collection_price)) * total - aggregation
+
+    def consumer_profit(self, service_price: float,
+                        sensing_times: np.ndarray) -> float:
+        """The consumer's profit ``Phi`` (Eq. 9)."""
+        total = float(np.sum(sensing_times))
+        value = self.omega * math.log1p(self.mean_quality * total)
+        return value - float(service_price) * total
+
+    # -- stage-3 best responses --------------------------------------------------
+
+    def seller_best_responses(self, collection_price: float) -> np.ndarray:
+        """All sellers' Stage-3 optima ``tau_i*`` (Theorem 14), clipped to ``[0, T]``.
+
+        ``tau_i* = (p - qbar_i * b_i) / (2 * qbar_i * a_i)``, floored at 0
+        when the price does not cover the marginal cost of the first unit
+        of effort and capped at the round duration ``T``.
+        """
+        p = float(collection_price)
+        interior = (p - self.qualities * self.cost_b) / (
+            2.0 * self.qualities * self.cost_a
+        )
+        return np.clip(interior, 0.0, self.max_sensing_time)
+
+    def profile_profits(self, profile: StrategyProfile) -> dict[str, object]:
+        """All profits of a joint strategy, keyed by participant."""
+        sellers = self.seller_profits(profile.collection_price,
+                                      profile.sensing_times)
+        return {
+            "consumer": self.consumer_profit(profile.service_price,
+                                             profile.sensing_times),
+            "platform": self.platform_profit(profile.service_price,
+                                             profile.collection_price,
+                                             profile.sensing_times),
+            "sellers": sellers,
+        }

@@ -1,0 +1,335 @@
+"""Numerical backward-induction solver for the three-stage game.
+
+This solver maximises the actual profit functions (Eqs. 5, 7, 9) stage by
+stage with one-dimensional numerical optimisation instead of the paper's
+closed forms.  It is deliberately independent of
+:mod:`repro.core.incentive` so the two can be tested against each other:
+the closed-form equilibrium must agree with the numerical one wherever the
+closed form's interior assumptions hold.  It is also the fallback when a
+price bound binds or a seller opts out (``tau_i* = 0``), situations the
+closed-form derivation does not model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.game.best_response import golden_section_maximize, refine_maximize
+from repro.game.profits import GameInstance, StrategyProfile
+
+__all__ = [
+    "SolvedGame",
+    "solve_stage3_numeric",
+    "solve_stage2_numeric",
+    "solve_stage1_numeric",
+    "NumericalStackelbergSolver",
+]
+
+
+@dataclass(frozen=True)
+class SolvedGame:
+    """The outcome of solving one round's game.
+
+    Attributes
+    ----------
+    profile:
+        The joint strategy ``<p^J*, p*, tau*>``.
+    consumer_profit, platform_profit:
+        Profits of the two leaders at the profile.
+    seller_profits:
+        Per-seller profits, shape ``(K,)``.
+    """
+
+    profile: StrategyProfile
+    consumer_profit: float
+    platform_profit: float
+    seller_profits: np.ndarray
+
+    @property
+    def mean_seller_profit(self) -> float:
+        """Average profit per selected seller (the paper's PoS(s) metric)."""
+        return float(self.seller_profits.mean())
+
+    @property
+    def total_seller_profit(self) -> float:
+        """Sum of the selected sellers' profits."""
+        return float(self.seller_profits.sum())
+
+    @classmethod
+    def from_profile(cls, game: GameInstance,
+                     profile: StrategyProfile) -> "SolvedGame":
+        """Evaluate all profits of ``profile`` under ``game``."""
+        return cls(
+            profile=profile,
+            consumer_profit=game.consumer_profit(profile.service_price,
+                                                 profile.sensing_times),
+            platform_profit=game.platform_profit(profile.service_price,
+                                                 profile.collection_price,
+                                                 profile.sensing_times),
+            seller_profits=game.seller_profits(profile.collection_price,
+                                               profile.sensing_times),
+        )
+
+
+#: Number of vectorised golden-section iterations for Stage-3 searches.
+#: 80 iterations shrink the bracket by ``0.618^80 ~ 2e-17`` of its width —
+#: machine precision for any realistic sensing-time scale.
+_GOLDEN_ITERATIONS = 80
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def _stage3_upper_bound(game: GameInstance,
+                        collection_prices: np.ndarray) -> np.ndarray:
+    """Finite per-(price, seller) bounds that provably contain ``tau*``.
+
+    The seller profit is strictly concave with its unconstrained maximiser
+    at ``(p - q*b) / (2*q*a)``; doubling it (plus one) always brackets the
+    optimum, and a finite round duration ``T`` caps it.  Shape ``(P, K)``.
+    """
+    interior = (
+        collection_prices[:, None] - game.qualities * game.cost_b
+    ) / (2.0 * game.qualities * game.cost_a)
+    bound = np.maximum(2.0 * interior, 0.0) + 1.0
+    if math.isfinite(game.max_sensing_time):
+        bound = np.minimum(bound, game.max_sensing_time)
+    return bound
+
+
+def solve_stage3_batch(game: GameInstance,
+                       collection_prices: np.ndarray) -> np.ndarray:
+    """Stage-3 numerical optima for many candidate prices at once.
+
+    Runs a vectorised golden-section search over the ``(P, K)`` matrix of
+    (price, seller) sensing-time problems — the building block that keeps
+    the purely numerical backward induction tractable.  Returns the
+    ``tau`` matrix of shape ``(P, K)``.
+    """
+    prices = np.asarray(collection_prices, dtype=float)
+    lo = np.zeros((prices.size, game.num_sellers))
+    hi = _stage3_upper_bound(game, prices)
+    q, a, b = game.qualities, game.cost_a, game.cost_b
+    p_col = prices[:, None]
+
+    def profit(tau: np.ndarray) -> np.ndarray:
+        return p_col * tau - (a * tau * tau + b * tau) * q
+
+    x1 = hi - _INV_PHI * (hi - lo)
+    x2 = lo + _INV_PHI * (hi - lo)
+    f1, f2 = profit(x1), profit(x2)
+    for __ in range(_GOLDEN_ITERATIONS):
+        left = f1 < f2
+        lo = np.where(left, x1, lo)
+        hi = np.where(left, hi, x2)
+        x1 = hi - _INV_PHI * (hi - lo)
+        x2 = lo + _INV_PHI * (hi - lo)
+        f1, f2 = profit(x1), profit(x2)
+        if float(np.max(hi - lo)) < 1e-11:
+            break
+    return (lo + hi) / 2.0
+
+
+def solve_stage3_numeric(game: GameInstance,
+                         collection_price: float) -> np.ndarray:
+    """Each seller's profit-maximising ``tau_i`` found numerically.
+
+    Maximises Eq. (5) with golden-section search on ``[0, min(T, bound)]``
+    per seller (vectorised internally).
+    """
+    return solve_stage3_batch(game, np.array([float(collection_price)]))[0]
+
+
+def solve_stage2_numeric(game: GameInstance, service_price: float,
+                         stage3=None,
+                         coarse_points: int = 601) -> float:
+    """The platform's profit-maximising ``p`` given the consumer's ``p^J``.
+
+    Anticipates the sellers' Stage-3 responses and maximises Eq. (7) over
+    the platform's feasible price interval: a vectorised coarse grid
+    locates the basin, golden-section search polishes it.  The interval
+    is additionally capped at ``p^J`` — a broker never rationally pays
+    sellers more per unit time than it is paid.
+
+    ``stage3`` overrides the follower-response function (signature
+    ``(game, price) -> taus``); the default uses the vectorised numerical
+    search.
+    """
+    lo, hi = game.collection_price_bounds
+    hi = min(hi, max(float(service_price), lo))
+    if hi <= lo:
+        return lo
+    respond = stage3 if stage3 is not None else solve_stage3_numeric
+
+    if stage3 is None:
+        # Fast vectorised coarse pass.
+        grid = np.linspace(lo, hi, max(coarse_points, 3))
+        taus = solve_stage3_batch(game, grid)
+        totals = taus.sum(axis=1)
+        aggregation = game.theta * totals * totals + game.lam * totals
+        profits = (service_price - grid) * totals - aggregation
+        best = int(np.argmax(profits))
+        bracket_lo = float(grid[max(best - 1, 0)])
+        bracket_hi = float(grid[min(best + 1, grid.size - 1)])
+    else:
+        bracket_lo, bracket_hi = lo, hi
+
+    def profit(price: float) -> float:
+        return game.platform_profit(service_price, price,
+                                    respond(game, price))
+
+    if stage3 is None:
+        return golden_section_maximize(profit, bracket_lo, bracket_hi)
+    return refine_maximize(profit, bracket_lo, bracket_hi,
+                           coarse_points=coarse_points)
+
+
+def solve_stage1_numeric(game: GameInstance,
+                         stage2=solve_stage2_numeric,
+                         stage3=None,
+                         coarse_points: int = 201) -> float:
+    """The consumer's profit-maximising ``p^J`` anticipating both stages.
+
+    Maximises Eq. (9) over the consumer's feasible price interval, with
+    the platform and sellers best-responding at every candidate price.
+    The default interval upper bound is tightened to a price above which
+    the consumer's profit is provably decreasing (the valuation is capped
+    by ``omega * ln(1 + qbar * S)``; see :meth:`_stage1_search_cap`).
+    """
+    lo, hi = game.service_price_bounds
+    hi = min(hi, _stage1_search_cap(game))
+    hi = max(hi, lo)
+
+    respond = stage3 if stage3 is not None else solve_stage3_numeric
+
+    def profit(service_price: float) -> float:
+        collection_price = stage2(game, service_price, stage3)
+        taus = respond(game, collection_price)
+        return game.consumer_profit(service_price, taus)
+
+    return refine_maximize(profit, lo, hi, coarse_points=coarse_points)
+
+
+def _stage1_search_cap(game: GameInstance) -> float:
+    """A finite upper bound on any rational consumer price.
+
+    The consumer pays ``p^J * S`` and receives at most
+    ``omega * qbar * S`` of marginal value (``ln(1+x) <= x``), so prices
+    above ``omega * qbar`` are dominated whenever any positive sensing
+    time is induced.  A safety factor of 2 keeps the grid from clipping
+    the optimum when sensing times are tiny.
+    """
+    return 2.0 * game.omega * game.mean_quality + 10.0
+
+
+class NumericalStackelbergSolver:
+    """Backward-induction solver using only numerical optimisation.
+
+    The full solve evaluates the two leader stages jointly on a dense
+    ``(p^J, p)`` grid (one vectorised Stage-3 batch serves every cell),
+    then polishes both prices with golden-section search around the best
+    cell.  This keeps the solver completely independent of the paper's
+    closed forms while staying fast enough to cross-validate them in
+    tests.
+
+    Parameters
+    ----------
+    stage1_points, stage2_points:
+        Grid densities for the consumer-price and platform-price axes;
+        the defaults trade a few hundred thousand vectorised profit
+        evaluations for robustness to the consumer profit's
+        piecewise-unimodal shape (Fig. 3 of the paper).
+    """
+
+    def __init__(self, stage1_points: int = 201, stage2_points: int = 601) -> None:
+        self._stage1_points = int(stage1_points)
+        self._stage2_points = int(stage2_points)
+
+    def cascade(self, game: GameInstance,
+                service_price: float) -> tuple[float, np.ndarray]:
+        """Best responses of the lower tiers to a consumer price.
+
+        Returns ``(p*, tau*)`` — the platform's numerical best response
+        and the sellers' responses to it.
+        """
+        collection_price = solve_stage2_numeric(
+            game, service_price, coarse_points=self._stage2_points
+        )
+        taus = solve_stage3_numeric(game, collection_price)
+        return collection_price, taus
+
+    def _grid_solve(self, game: GameInstance) -> tuple[float, float]:
+        """Best ``(p^J, p)`` cell of the joint leader grid."""
+        svc_lo, svc_hi = game.service_price_bounds
+        svc_hi = max(min(svc_hi, _stage1_search_cap(game)), svc_lo)
+        col_lo, col_hi = game.collection_price_bounds
+        col_hi = max(min(col_hi, svc_hi), col_lo)
+        p_grid = np.linspace(col_lo, col_hi, self._stage2_points)
+        taus = solve_stage3_batch(game, p_grid)
+        totals = taus.sum(axis=1)
+        aggregation = game.theta * totals * totals + game.lam * totals
+        pj_grid = np.linspace(svc_lo, svc_hi, self._stage1_points)
+        platform = (
+            (pj_grid[:, None] - p_grid[None, :]) * totals[None, :]
+            - aggregation[None, :]
+        )
+        # A broker never pays more per unit time than it is paid.
+        platform = np.where(p_grid[None, :] > pj_grid[:, None],
+                            -np.inf, platform)
+        best_p_index = np.argmax(platform, axis=1)
+        chosen_totals = totals[best_p_index]
+        consumer = (
+            game.omega * np.log1p(game.mean_quality * chosen_totals)
+            - pj_grid * chosen_totals
+        )
+        best_j = int(np.argmax(consumer))
+        return float(pj_grid[best_j]), float(p_grid[best_p_index[best_j]])
+
+    def solve(self, game: GameInstance) -> SolvedGame:
+        """Solve all three stages and return the full outcome."""
+        pj_coarse, p_coarse = self._grid_solve(game)
+        svc_lo, svc_hi = game.service_price_bounds
+        col_lo, col_hi = game.collection_price_bounds
+        pj_step = (
+            max(min(svc_hi, _stage1_search_cap(game)) - svc_lo, 0.0)
+            / max(self._stage1_points - 1, 1)
+        )
+        p_step = (
+            max(min(col_hi, svc_hi) - col_lo, 0.0)
+            / max(self._stage2_points - 1, 1)
+        )
+
+        def local_stage2(service_price: float) -> float:
+            lo = max(col_lo, p_coarse - 3.0 * p_step)
+            hi = min(col_hi, p_coarse + 3.0 * p_step,
+                     max(service_price, col_lo))
+
+            def platform_profit(price: float) -> float:
+                return game.platform_profit(
+                    service_price, price, solve_stage3_numeric(game, price)
+                )
+
+            return golden_section_maximize(platform_profit, lo, max(hi, lo),
+                                           tolerance=1e-8)
+
+        def consumer_profit(service_price: float) -> float:
+            price = local_stage2(service_price)
+            taus = solve_stage3_numeric(game, price)
+            return game.consumer_profit(service_price, taus)
+
+        service_price = golden_section_maximize(
+            consumer_profit,
+            max(svc_lo, pj_coarse - pj_step),
+            min(svc_hi, pj_coarse + pj_step),
+            tolerance=1e-7,
+        )
+        service_price = game.clip_service_price(service_price)
+        collection_price, taus = self.cascade(game, service_price)
+        profile = StrategyProfile(
+            service_price=service_price,
+            collection_price=game.clip_collection_price(collection_price),
+            sensing_times=game.clip_sensing_times(taus),
+        )
+        return SolvedGame.from_profile(game, profile)

@@ -1,0 +1,173 @@
+"""Social welfare and the price of anarchy of the Stackelberg game.
+
+The CMAB-HS incentive mechanism maximises *individual* profits through a
+hierarchy of best responses.  The unit prices ``p^J`` and ``p`` are pure
+transfers between the three parties, so a round's *social welfare*
+depends only on the sensing-time profile::
+
+    W(tau) = phi(tau, qbar) - sum_i C_i(tau_i, qbar_i) - C^J(tau)
+
+This module computes the welfare-maximising profile (a strictly concave
+program solved by projected Newton steps on the first-order conditions)
+and the round's **price of anarchy** — the ratio of the optimal welfare
+to the welfare realised at the Stackelberg Equilibrium.  A ratio of 1
+would mean the selfish hierarchy loses nothing; the experiments quantify
+how far from 1 the paper's mechanism operates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import GameError
+from repro.game.profits import GameInstance, StrategyProfile
+
+__all__ = [
+    "social_welfare",
+    "maximize_welfare",
+    "WelfareAnalysis",
+    "analyze_welfare",
+]
+
+
+def social_welfare(game: GameInstance, sensing_times: np.ndarray) -> float:
+    """The round's total surplus ``W(tau)`` (prices cancel out).
+
+    ``W = omega*ln(1 + qbar*sum(tau)) - sum_i (a_i tau_i^2 + b_i tau_i)
+    qbar_i - theta*(sum tau)^2 - lambda*sum(tau)``.
+    """
+    taus = np.asarray(sensing_times, dtype=float)
+    total = float(taus.sum())
+    value = game.omega * math.log1p(game.mean_quality * total)
+    seller_costs = float(np.sum(
+        (game.cost_a * taus * taus + game.cost_b * taus) * game.qualities
+    ))
+    aggregation = game.theta * total * total + game.lam * total
+    return value - seller_costs - aggregation
+
+
+def _welfare_gradient(game: GameInstance, taus: np.ndarray) -> np.ndarray:
+    total = float(taus.sum())
+    marginal_value = (
+        game.omega * game.mean_quality
+        / (1.0 + game.mean_quality * total)
+    )
+    marginal_aggregation = 2.0 * game.theta * total + game.lam
+    marginal_cost = (
+        2.0 * game.cost_a * taus + game.cost_b
+    ) * game.qualities
+    return marginal_value - marginal_cost - marginal_aggregation
+
+
+def maximize_welfare(game: GameInstance, tolerance: float = 1e-10,
+                     max_iterations: int = 500) -> np.ndarray:
+    """The sensing-time profile maximising social welfare.
+
+    ``W`` is strictly concave in ``tau`` (log value minus convex costs),
+    so projected fixed-point iteration on the stationarity conditions
+    converges: given the common marginal
+    ``g(T) = omega*qbar/(1+qbar*T) - 2*theta*T - lambda``, each seller's
+    interior optimum is ``tau_i = (g(T) - b_i*qbar_i)/(2*a_i*qbar_i)``,
+    floored at 0 and capped at the round duration.  We iterate on the
+    scalar total ``T`` with bisection — ``sum_i tau_i(T)`` is strictly
+    decreasing in ``T``, so the consistent total is unique.
+
+    Raises
+    ------
+    GameError
+        If bisection fails to bracket a solution (cannot happen for
+        valid instances; defensive).
+    """
+    q_bar = game.mean_quality
+    qualities, cost_a, cost_b = game.qualities, game.cost_a, game.cost_b
+
+    def taus_given_total(total: float) -> np.ndarray:
+        marginal = (
+            game.omega * q_bar / (1.0 + q_bar * total)
+            - 2.0 * game.theta * total - game.lam
+        )
+        interior = (marginal - cost_b * qualities) / (
+            2.0 * cost_a * qualities
+        )
+        return np.clip(interior, 0.0, game.max_sensing_time)
+
+    def excess(total: float) -> float:
+        return float(taus_given_total(total).sum()) - total
+
+    lo = 0.0
+    if excess(lo) <= 0.0:
+        # Even at zero total the marginal value cannot pay the first
+        # unit of anyone's cost: the optimum is no sensing at all.
+        return np.zeros(game.num_sellers)
+    hi = 1.0
+    for __ in range(200):
+        if excess(hi) < 0.0:
+            break
+        hi *= 2.0
+    else:  # pragma: no cover - defensive
+        raise GameError("could not bracket the welfare-optimal total time")
+    for __ in range(max_iterations):
+        mid = (lo + hi) / 2.0
+        if excess(mid) > 0.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    return taus_given_total((lo + hi) / 2.0)
+
+
+@dataclass(frozen=True)
+class WelfareAnalysis:
+    """Welfare at the SE versus the social optimum for one round.
+
+    Attributes
+    ----------
+    equilibrium_welfare:
+        ``W(tau*)`` at the Stackelberg Equilibrium profile.
+    optimal_welfare:
+        ``W`` at the welfare-maximising profile.
+    optimal_taus:
+        The welfare-maximising sensing times.
+    price_of_anarchy:
+        ``optimal_welfare / equilibrium_welfare`` (>= 1 whenever the
+        equilibrium welfare is positive).
+    efficiency:
+        ``equilibrium_welfare / optimal_welfare`` in ``[0, 1]``.
+    """
+
+    equilibrium_welfare: float
+    optimal_welfare: float
+    optimal_taus: np.ndarray
+    price_of_anarchy: float
+    efficiency: float
+
+
+def analyze_welfare(game: GameInstance,
+                    equilibrium: StrategyProfile) -> WelfareAnalysis:
+    """Compare a round's equilibrium welfare against the social optimum.
+
+    Raises
+    ------
+    GameError
+        If the equilibrium welfare is non-positive (the ratio is then
+        meaningless; check the profile).
+    """
+    equilibrium_welfare = social_welfare(game, equilibrium.sensing_times)
+    optimal_taus = maximize_welfare(game)
+    optimal_welfare = social_welfare(game, optimal_taus)
+    if equilibrium_welfare <= 0.0:
+        raise GameError(
+            "equilibrium welfare is non-positive "
+            f"({equilibrium_welfare:.4f}); price of anarchy undefined"
+        )
+    return WelfareAnalysis(
+        equilibrium_welfare=equilibrium_welfare,
+        optimal_welfare=optimal_welfare,
+        optimal_taus=optimal_taus,
+        price_of_anarchy=optimal_welfare / equilibrium_welfare,
+        efficiency=equilibrium_welfare / optimal_welfare,
+    )

@@ -1,0 +1,27 @@
+"""Multi-consumer market extension.
+
+The paper's architecture (Fig. 1) supports several consumers, but its
+evaluation instantiates one.  This package serves many consumers from
+one platform and shared quality learning: per-round UCB ranking,
+disjoint seller allocation (richest-first / snake-draft /
+random-priority), and one closed-form Stackelberg game per consumer.
+"""
+
+from repro.market.allocation import (
+    AllocationStrategy,
+    RandomPriorityAllocation,
+    RichestFirstAllocation,
+    SnakeDraftAllocation,
+)
+from repro.market.engine import MarketRunResult, MarketSimulator
+from repro.market.spec import ConsumerSpec
+
+__all__ = [
+    "ConsumerSpec",
+    "AllocationStrategy",
+    "RichestFirstAllocation",
+    "SnakeDraftAllocation",
+    "RandomPriorityAllocation",
+    "MarketSimulator",
+    "MarketRunResult",
+]

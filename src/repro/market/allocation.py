@@ -1,0 +1,150 @@
+"""Seller-allocation strategies for the multi-consumer market.
+
+Each round the platform ranks all sellers (by UCB index) and must hand
+each consumer ``c`` a *disjoint* set of ``k_c`` sellers.  Different
+partitions trade total welfare against fairness:
+
+* :class:`RichestFirstAllocation` — consumers in descending ``omega``
+  order each take their ``k_c`` best remaining sellers; maximises the
+  value-weighted quality but starves low-``omega`` consumers.
+* :class:`SnakeDraftAllocation` — consumers pick one seller at a time in
+  snake order (1..C, C..1, ...); near-equal quality across consumers.
+* :class:`RandomPriorityAllocation` — a fresh random consumer order each
+  round; fair in expectation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SelectionError
+from repro.market.spec import ConsumerSpec
+
+__all__ = [
+    "AllocationStrategy",
+    "RichestFirstAllocation",
+    "SnakeDraftAllocation",
+    "RandomPriorityAllocation",
+]
+
+
+def _require_supply(ranked_sellers: np.ndarray,
+                    specs: list[ConsumerSpec]) -> None:
+    demand = sum(spec.k for spec in specs)
+    if demand > ranked_sellers.size:
+        raise SelectionError(
+            f"consumers demand {demand} sellers but only "
+            f"{ranked_sellers.size} are available"
+        )
+    ids = [spec.consumer_id for spec in specs]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError("consumer ids must be unique")
+
+
+class AllocationStrategy(abc.ABC):
+    """Partitions ranked sellers into disjoint per-consumer sets."""
+
+    #: Display name used in experiment tables.
+    name: str = "allocation"
+
+    def allocate(self, ranked_sellers: np.ndarray,
+                 specs: list[ConsumerSpec],
+                 rng: np.random.Generator) -> dict[int, np.ndarray]:
+        """Assign each consumer its sellers for the round.
+
+        Parameters
+        ----------
+        ranked_sellers:
+            Seller indices in descending desirability (UCB) order.
+        specs:
+            The consumers and their per-round demands ``k_c``.
+        rng:
+            Randomness for strategies that need it.
+
+        Returns
+        -------
+        dict
+            ``consumer_id -> seller indices`` (disjoint, each of size
+            ``k_c``).
+        """
+        _require_supply(ranked_sellers, specs)
+        return self._allocate(np.asarray(ranked_sellers, dtype=int),
+                              specs, rng)
+
+    @abc.abstractmethod
+    def _allocate(self, ranked_sellers: np.ndarray,
+                  specs: list[ConsumerSpec],
+                  rng: np.random.Generator) -> dict[int, np.ndarray]:
+        """Strategy-specific partitioning (inputs pre-validated)."""
+
+
+class RichestFirstAllocation(AllocationStrategy):
+    """Descending-``omega`` priority; each consumer takes its block."""
+
+    name = "richest-first"
+
+    def _allocate(self, ranked_sellers: np.ndarray,
+                  specs: list[ConsumerSpec],
+                  rng: np.random.Generator) -> dict[int, np.ndarray]:
+        order = sorted(specs, key=lambda spec: (-spec.omega,
+                                                spec.consumer_id))
+        allocation: dict[int, np.ndarray] = {}
+        cursor = 0
+        for spec in order:
+            allocation[spec.consumer_id] = np.sort(
+                ranked_sellers[cursor:cursor + spec.k]
+            )
+            cursor += spec.k
+        return allocation
+
+
+class SnakeDraftAllocation(AllocationStrategy):
+    """One seller per consumer per pick, reversing order each pass."""
+
+    name = "snake-draft"
+
+    def _allocate(self, ranked_sellers: np.ndarray,
+                  specs: list[ConsumerSpec],
+                  rng: np.random.Generator) -> dict[int, np.ndarray]:
+        remaining = {spec.consumer_id: spec.k for spec in specs}
+        picks: dict[int, list[int]] = {
+            spec.consumer_id: [] for spec in specs
+        }
+        order = [spec.consumer_id for spec in specs]
+        cursor = 0
+        forward = True
+        while any(remaining.values()):
+            sequence = order if forward else list(reversed(order))
+            for consumer_id in sequence:
+                if remaining[consumer_id] == 0:
+                    continue
+                picks[consumer_id].append(int(ranked_sellers[cursor]))
+                cursor += 1
+                remaining[consumer_id] -= 1
+            forward = not forward
+        return {
+            consumer_id: np.sort(np.array(sellers, dtype=int))
+            for consumer_id, sellers in picks.items()
+        }
+
+
+class RandomPriorityAllocation(AllocationStrategy):
+    """Fresh random consumer priority each round; blocks by priority."""
+
+    name = "random-priority"
+
+    def _allocate(self, ranked_sellers: np.ndarray,
+                  specs: list[ConsumerSpec],
+                  rng: np.random.Generator) -> dict[int, np.ndarray]:
+        order = list(specs)
+        rng.shuffle(order)
+        allocation: dict[int, np.ndarray] = {}
+        cursor = 0
+        for spec in order:
+            allocation[spec.consumer_id] = np.sort(
+                ranked_sellers[cursor:cursor + spec.k]
+            )
+            cursor += spec.k
+        return allocation

@@ -1,0 +1,57 @@
+"""Consumer specifications for the multi-consumer market extension.
+
+The paper's Fig. 1 shows *several* data consumers served by one platform,
+but its evaluation instantiates only one.  This package extends the
+mechanism to many concurrent consumers: each consumer has its own
+valuation scale and its own per-round demand for sellers, and the
+platform must partition the (disjoint) selected sellers among them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ConsumerSpec"]
+
+
+@dataclass(frozen=True)
+class ConsumerSpec:
+    """One consumer's demand in a multi-consumer market.
+
+    Attributes
+    ----------
+    consumer_id:
+        Stable identifier.
+    omega:
+        Valuation parameter of the consumer's log valuation (Eq. 10).
+    k:
+        Number of sellers the consumer wants served per round.
+    service_price_bounds:
+        Feasible ``p^J`` interval for this consumer's game.
+    """
+
+    consumer_id: int
+    omega: float
+    k: int
+    service_price_bounds: tuple[float, float] = (0.0, 1_000.0)
+
+    def __post_init__(self) -> None:
+        if self.consumer_id < 0:
+            raise ConfigurationError(
+                f"consumer_id must be >= 0, got {self.consumer_id}"
+            )
+        if not (math.isfinite(self.omega) and self.omega > 1.0):
+            raise ConfigurationError(
+                f"omega must be > 1, got {self.omega}"
+            )
+        if self.k <= 0:
+            raise ConfigurationError(f"k must be positive, got {self.k}")
+        lo, hi = self.service_price_bounds
+        if not (0.0 <= lo < hi):
+            raise ConfigurationError(
+                f"service_price_bounds must satisfy 0 <= lo < hi, "
+                f"got {self.service_price_bounds}"
+            )

@@ -1,0 +1,34 @@
+"""Sensing-quality observation models and samplers.
+
+The platform never sees a seller's expected quality ``q_i``; it only sees
+noisy per-PoI observations ``q_{i,l}^t``.  This package supplies the
+observation distributions (truncated Gaussian by default, per the paper's
+evaluation section) and the per-round sampling machinery.
+"""
+
+from repro.quality.distributions import (
+    BernoulliQuality,
+    BetaQuality,
+    DeterministicQuality,
+    DriftingQuality,
+    PoiHeterogeneousQuality,
+    QualityModel,
+    TruncatedGaussianQuality,
+    UniformQuality,
+    make_quality_model,
+)
+from repro.quality.sampler import QualitySampler, RoundObservations
+
+__all__ = [
+    "QualityModel",
+    "TruncatedGaussianQuality",
+    "BernoulliQuality",
+    "BetaQuality",
+    "UniformQuality",
+    "DeterministicQuality",
+    "DriftingQuality",
+    "PoiHeterogeneousQuality",
+    "make_quality_model",
+    "QualitySampler",
+    "RoundObservations",
+]

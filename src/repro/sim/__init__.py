@@ -1,0 +1,43 @@
+"""Trading-simulation engine, configuration, metrics, and results."""
+
+from repro.sim.config import TABLE_II, SimulationConfig
+from repro.sim.engine import TradingSimulator
+from repro.sim.metrics import (
+    delta_profit_series,
+    moving_average,
+    regret_growth_rate,
+    revenue_share,
+)
+from repro.sim.persistence import (
+    load_experiment_result,
+    load_run_metrics,
+    save_experiment_result,
+    save_run_metrics,
+)
+from repro.sim.replication import (
+    MetricSummary,
+    ReplicationResult,
+    replicate_comparison,
+)
+from repro.sim.results import PolicyComparison, RunMetrics
+from repro.sim.rng import RngFactory
+
+__all__ = [
+    "SimulationConfig",
+    "TABLE_II",
+    "TradingSimulator",
+    "RunMetrics",
+    "PolicyComparison",
+    "RngFactory",
+    "delta_profit_series",
+    "moving_average",
+    "regret_growth_rate",
+    "revenue_share",
+    "save_run_metrics",
+    "load_run_metrics",
+    "save_experiment_result",
+    "load_experiment_result",
+    "MetricSummary",
+    "ReplicationResult",
+    "replicate_comparison",
+]

@@ -1,0 +1,234 @@
+"""The trading-simulation engine.
+
+Runs any :class:`~repro.bandits.base.SelectionPolicy` through the full
+CDT pipeline — selection, the three-stage Stackelberg game (closed form),
+data collection, quality learning — and records every metric the paper's
+evaluation plots.  The engine is the workhorse behind every Fig. 7-12
+experiment; Algorithm 1 itself is also available stand-alone as
+:class:`~repro.core.mechanism.CMABHSMechanism` (the two agree round for
+round when driven by the same seeds, which the integration tests assert).
+
+Pricing rules per round:
+
+* a round whose selection is *larger* than ``K`` (the CMAB-HS initial
+  explore-all round) uses Algorithm 1's exploration pricing: sensing time
+  fixed at ``tau^0``, sellers paid ``p_max``, consumer charged the
+  platform's break-even price;
+* every other round plays the closed-form game on the selected set, with
+  never-observed sellers entering at the neutral prior estimate 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandits.base import SelectionPolicy
+from repro.core.incentive import solve_round_fast
+from repro.core.regret import RegretTracker
+from repro.core.state import LearningState
+from repro.entities.seller import SellerPopulation
+from repro.exceptions import ConfigurationError
+from repro.quality.distributions import (
+    QualityModel,
+    TruncatedGaussianQuality,
+)
+from repro.quality.sampler import QualitySampler
+from repro.sim.config import SimulationConfig
+from repro.sim.results import PolicyComparison, RunMetrics
+from repro.sim.rng import RngFactory
+
+__all__ = ["TradingSimulator"]
+
+#: Neutral estimate used for sellers that have never been observed when a
+#: policy (for example ``random``) drags them into the game unseen.
+_PRIOR_MEAN = 0.5
+
+#: Floor applied to estimated qualities entering the game (the closed
+#: forms divide by ``qbar_i``).
+_QUALITY_FLOOR = 1e-6
+
+
+class TradingSimulator:
+    """Simulates data trading under one configuration.
+
+    The seller population (qualities, cost parameters) is sampled once
+    from the config's seed, so every policy run through the same
+    simulator faces the identical instance, and observation noise uses a
+    policy-independent stream (common random numbers).
+
+    Parameters
+    ----------
+    config:
+        The simulation parameters.
+    population:
+        Pre-built seller population; ``None`` (default) samples one with
+        the paper's parameter ranges.
+    quality_model:
+        Pre-built observation model; ``None`` uses the truncated Gaussian
+        with the config's ``quality_sigma``.
+    """
+
+    def __init__(self, config: SimulationConfig,
+                 population: SellerPopulation | None = None,
+                 quality_model: QualityModel | None = None) -> None:
+        self._config = config
+        self._factory = RngFactory(config.seed)
+        if population is None:
+            population = SellerPopulation.random(
+                config.num_sellers,
+                self._factory.generator("population"),
+                a_range=config.a_range,
+                b_range=config.b_range,
+            )
+        if len(population) != config.num_sellers:
+            raise ConfigurationError(
+                f"population has {len(population)} sellers but the config "
+                f"says {config.num_sellers}"
+            )
+        self._population = population
+        if quality_model is None:
+            quality_model = TruncatedGaussianQuality(
+                population.expected_qualities, sigma=config.quality_sigma
+            )
+        if quality_model.num_sellers != config.num_sellers:
+            raise ConfigurationError(
+                "quality model covers a different number of sellers than "
+                "the config"
+            )
+        self._quality_model = quality_model
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The simulation configuration."""
+        return self._config
+
+    @property
+    def population(self) -> SellerPopulation:
+        """The sampled seller population (shared across policy runs)."""
+        return self._population
+
+    @property
+    def quality_model(self) -> QualityModel:
+        """The observation model (shared across policy runs)."""
+        return self._quality_model
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, policy: SelectionPolicy,
+            num_rounds: int | None = None) -> RunMetrics:
+        """Run one policy for ``num_rounds`` rounds (default: config's N)."""
+        cfg = self._config
+        n = int(num_rounds) if num_rounds is not None else cfg.num_rounds
+        if n <= 0:
+            raise ConfigurationError(f"num_rounds must be positive, got {n}")
+        m, k, num_pois = cfg.num_sellers, cfg.num_selected, cfg.num_pois
+        population = self._population
+        qualities_truth = population.expected_qualities
+        cost_a_all = population.cost_a
+        cost_b_all = population.cost_b
+
+        sampler = QualitySampler(
+            self._quality_model, num_pois,
+            self._factory.generator("observations"),
+        )
+        policy_rng = self._factory.generator("policy", policy.name)
+        state = LearningState(m, prior_mean=_PRIOR_MEAN)
+        tracker = RegretTracker(qualities_truth, k, num_pois)
+        policy.reset(m, k, n)
+
+        realized = np.empty(n)
+        expected = np.empty(n)
+        consumer = np.empty(n)
+        platform = np.empty(n)
+        sellers_mean = np.empty(n)
+        service = np.empty(n)
+        collection = np.empty(n)
+        totals = np.empty(n)
+        estimation_error = np.empty(n)
+        selection_counts = np.zeros(m, dtype=np.int64)
+
+        theta, lam, omega = cfg.theta, cfg.lam, cfg.omega
+        svc_bounds = cfg.service_price_bounds
+        col_bounds = cfg.collection_price_bounds
+        tau_max = cfg.max_sensing_time
+        tau0 = cfg.initial_sensing_time
+
+        for t in range(n):
+            selected = policy.select(t, state, policy_rng)
+            cost_a = cost_a_all[selected]
+            cost_b = cost_b_all[selected]
+            # Algorithm 1's exploration pricing applies whenever the whole
+            # population is selected in round 0 — including the K == M
+            # corner where "all sellers" and "top K" coincide.
+            explore_round = selected.size > k or (
+                t == 0 and selected.size == m
+            )
+            if explore_round:
+                # Algorithm 1 initial exploration: fixed time, break-even
+                # price; profits are evaluated at the *post-collection*
+                # estimates (the qualities are learned before settlement).
+                observations = sampler.sample_round(selected, round_index=t)
+                state.update(selected, observations.sums, num_pois)
+                policy.observe(t, selected, observations.sums, num_pois)
+                means = state.means[selected]
+                taus = np.full(selected.size, tau0)
+                total = float(taus.sum())
+                p = col_bounds[1]
+                aggregation = theta * total * total + lam * total
+                p_j = min(max(p + aggregation / total, svc_bounds[0]),
+                          svc_bounds[1])
+            else:
+                means = state.means[selected]
+                game_means = np.maximum(means, _QUALITY_FLOOR)
+                p_j, p, taus = solve_round_fast(
+                    game_means, cost_a, cost_b, theta, lam, omega,
+                    svc_bounds, col_bounds, tau_max,
+                )
+                total = float(taus.sum())
+                aggregation = theta * total * total + lam * total
+
+            mean_quality = float(means.mean())
+            seller_profits = p * taus - (
+                cost_a * taus * taus + cost_b * taus
+            ) * means
+            consumer[t] = omega * np.log1p(mean_quality * total) - p_j * total
+            platform[t] = (p_j - p) * total - aggregation
+            sellers_mean[t] = float(seller_profits.mean())
+            service[t] = p_j
+            collection[t] = p
+            totals[t] = total
+
+            if not explore_round:
+                observations = sampler.sample_round(selected, round_index=t)
+                state.update(selected, observations.sums, num_pois)
+                policy.observe(t, selected, observations.sums, num_pois)
+            tracker.record(selected)
+            realized[t] = observations.total
+            expected[t] = float(qualities_truth[selected].sum()) * num_pois
+            estimation_error[t] = float(
+                np.abs(state.means - qualities_truth).mean()
+            )
+            selection_counts[selected] += 1
+
+        return RunMetrics(
+            policy_name=policy.name,
+            realized_revenue=realized,
+            expected_revenue=expected,
+            regret=tracker.history,
+            consumer_profit=consumer,
+            platform_profit=platform,
+            seller_profit_mean=sellers_mean,
+            service_price=service,
+            collection_price=collection,
+            total_sensing_time=totals,
+            selection_counts=selection_counts,
+            estimation_error=estimation_error,
+        )
+
+    def compare(self, policies: list[SelectionPolicy],
+                num_rounds: int | None = None) -> PolicyComparison:
+        """Run several policies on this instance and group the results."""
+        comparison = PolicyComparison()
+        for policy in policies:
+            comparison.add(self.run(policy, num_rounds))
+        return comparison

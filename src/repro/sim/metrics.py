@@ -1,0 +1,88 @@
+"""Aggregate metric helpers shared by the experiment drivers.
+
+Thin, well-tested transformations from :class:`~repro.sim.results`
+containers to the numbers the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sim.results import PolicyComparison, RunMetrics
+
+__all__ = [
+    "delta_profit_series",
+    "moving_average",
+    "regret_growth_rate",
+    "revenue_share",
+]
+
+
+def delta_profit_series(comparison: PolicyComparison,
+                        policy_name: str) -> dict[str, np.ndarray]:
+    """Per-round profit gaps to the optimal run (cumulative averages).
+
+    ``delta_poc[t]`` is the average per-round PoC difference over rounds
+    ``0..t`` — the quantity Figs. 8 and 10 plot, which converges to 0 for
+    learning policies as ``N`` grows.
+    """
+    run = comparison[policy_name]
+    reference = comparison.optimal
+    rounds = np.arange(1, run.num_rounds + 1, dtype=float)
+    return {
+        "delta_poc": np.cumsum(
+            reference.consumer_profit - run.consumer_profit
+        ) / rounds,
+        "delta_pop": np.cumsum(
+            reference.platform_profit - run.platform_profit
+        ) / rounds,
+        "delta_pos": np.cumsum(
+            reference.seller_profit_mean - run.seller_profit_mean
+        ) / rounds,
+    }
+
+
+def moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Simple trailing moving average (shorter head windows included)."""
+    series = np.asarray(series, dtype=float)
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    if series.ndim != 1:
+        raise ConfigurationError("series must be 1-D")
+    cumulative = np.cumsum(series)
+    result = np.empty_like(series)
+    result[:window] = cumulative[:window] / np.arange(1, min(window, series.size) + 1)
+    if series.size > window:
+        result[window:] = (cumulative[window:] - cumulative[:-window]) / window
+    return result
+
+
+def regret_growth_rate(run: RunMetrics, tail_fraction: float = 0.25) -> float:
+    """Average per-round regret growth over the last ``tail_fraction``.
+
+    A sublinear-regret policy's tail rate is far below its overall
+    average rate; a linear-regret policy's is about equal.  Used by the
+    shape assertions on Fig. 7.
+    """
+    if not (0.0 < tail_fraction <= 1.0):
+        raise ConfigurationError(
+            f"tail_fraction must be in (0, 1], got {tail_fraction}"
+        )
+    n = run.num_rounds
+    start = max(int(n * (1.0 - tail_fraction)), 1)
+    if start >= n:
+        start = n - 1
+    span = n - start
+    if span <= 0:
+        return 0.0
+    return float((run.regret[-1] - run.regret[start - 1]) / span)
+
+
+def revenue_share(comparison: PolicyComparison,
+                  policy_name: str) -> float:
+    """A policy's total revenue as a fraction of the optimal run's."""
+    optimal = comparison.optimal.total_realized_revenue
+    if optimal <= 0.0:
+        raise ConfigurationError("optimal run produced no revenue")
+    return comparison[policy_name].total_realized_revenue / optimal

@@ -1,0 +1,140 @@
+"""Saving and loading simulation results.
+
+Long paper-scale sweeps are expensive; this module persists
+:class:`~repro.sim.results.RunMetrics` and
+:class:`~repro.experiments.registry.ExperimentResult` objects so they can
+be regenerated once and analysed many times.  Two formats:
+
+* **JSON** — self-describing, for experiment results (small series);
+* **NPZ** — compact binary, for per-round run metrics (arrays of up to
+  ``2*10^5`` entries).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sim.results import RunMetrics
+
+__all__ = [
+    "save_run_metrics",
+    "load_run_metrics",
+    "experiment_result_to_dict",
+    "save_experiment_result",
+    "load_experiment_result",
+]
+
+_RUN_SERIES_FIELDS = (
+    "realized_revenue",
+    "expected_revenue",
+    "regret",
+    "consumer_profit",
+    "platform_profit",
+    "seller_profit_mean",
+    "service_price",
+    "collection_price",
+    "total_sensing_time",
+    "selection_counts",
+    "estimation_error",
+)
+
+
+def save_run_metrics(run: RunMetrics, path: str | os.PathLike) -> None:
+    """Persist one run's per-round series as a compressed ``.npz``."""
+    arrays = {name: getattr(run, name) for name in _RUN_SERIES_FIELDS}
+    np.savez_compressed(
+        path, policy_name=np.array(run.policy_name), **arrays
+    )
+
+
+def load_run_metrics(path: str | os.PathLike) -> RunMetrics:
+    """Load a run previously saved by :func:`save_run_metrics`.
+
+    Raises
+    ------
+    ConfigurationError
+        If the file lacks any expected series.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        missing = [
+            name for name in _RUN_SERIES_FIELDS + ("policy_name",)
+            if name not in data
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"run file {path!s} is missing series: {missing}"
+            )
+        return RunMetrics(
+            policy_name=str(data["policy_name"]),
+            **{name: data[name] for name in _RUN_SERIES_FIELDS},
+        )
+
+
+def experiment_result_to_dict(result) -> dict:
+    """A JSON-serialisable dict of an experiment result."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "notes": list(result.notes),
+        "panels": {
+            panel: [
+                {
+                    "label": series.label,
+                    "x": series.x.tolist(),
+                    "y": series.y.tolist(),
+                }
+                for series in series_list
+            ]
+            for panel, series_list in result.panels.items()
+        },
+    }
+
+
+def save_experiment_result(result, path: str | os.PathLike) -> None:
+    """Persist an experiment result as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(experiment_result_to_dict(result), handle, indent=2)
+        handle.write("\n")
+
+
+def load_experiment_result(path: str | os.PathLike):
+    """Load an experiment result saved by :func:`save_experiment_result`.
+
+    Returns a :class:`~repro.experiments.registry.ExperimentResult`.
+
+    Raises
+    ------
+    ConfigurationError
+        If the JSON lacks the expected structure.
+    """
+    from repro.experiments.registry import ExperimentResult, Series
+
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    for key in ("experiment_id", "title", "x_label", "panels"):
+        if key not in payload:
+            raise ConfigurationError(
+                f"experiment file {path!s} is missing key {key!r}"
+            )
+    result = ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        notes=list(payload.get("notes", [])),
+    )
+    for panel, series_list in payload["panels"].items():
+        for series in series_list:
+            result.add_series(
+                panel,
+                Series(
+                    label=series["label"],
+                    x=np.asarray(series["x"], dtype=float),
+                    y=np.asarray(series["y"], dtype=float),
+                ),
+            )
+    return result

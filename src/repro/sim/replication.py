@@ -1,0 +1,181 @@
+"""Multi-seed replication of policy comparisons.
+
+The paper reports single runs; this harness repeats a comparison over
+independent seeds (fresh population, fresh observation noise) and
+aggregates mean and standard deviation per metric — the difference
+between "we observed X once" and "X holds with seed-to-seed spread s".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.bandits.base import SelectionPolicy
+from repro.exceptions import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import TradingSimulator
+
+__all__ = ["MetricSummary", "ReplicationResult", "replicate_comparison"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / standard deviation / extremes of one metric across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    num_seeds: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "MetricSummary":
+        """Summarise a list of per-seed samples."""
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
+            raise ConfigurationError("cannot summarise zero samples")
+        return cls(
+            mean=float(values.mean()),
+            std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            num_seeds=int(values.size),
+        )
+
+    def format(self) -> str:
+        """Human-readable ``mean +/- std`` rendering."""
+        return f"{self.mean:.4g} +/- {self.std:.2g}"
+
+
+#: Metrics aggregated per policy, keyed by the RunMetrics summary names.
+_METRIC_KEYS = (
+    "total_revenue", "expected_revenue", "regret",
+    "mean_poc", "mean_pop", "mean_pos",
+)
+
+
+@dataclass
+class ReplicationResult:
+    """Aggregated metrics of a replicated comparison.
+
+    Attributes
+    ----------
+    summaries:
+        ``summaries[policy][metric]`` -> :class:`MetricSummary`.
+    seeds:
+        The seeds that were run.
+    """
+
+    summaries: dict[str, dict[str, MetricSummary]]
+    seeds: list[int]
+
+    def policy_names(self) -> list[str]:
+        """Policies in insertion order."""
+        return list(self.summaries)
+
+    def metric(self, policy: str, metric: str) -> MetricSummary:
+        """One policy's summary of one metric.
+
+        Raises
+        ------
+        ConfigurationError
+            For unknown policy or metric names.
+        """
+        if policy not in self.summaries:
+            raise ConfigurationError(
+                f"no replicated runs for policy {policy!r}"
+            )
+        if metric not in self.summaries[policy]:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; known: {_METRIC_KEYS}"
+            )
+        return self.summaries[policy][metric]
+
+    def separation(self, better: str, worse: str,
+                   metric: str = "total_revenue") -> float:
+        """How many pooled standard deviations separate two policies.
+
+        Positive when ``better``'s mean exceeds ``worse``'s; large values
+        mean the ordering is stable across seeds.  Returns ``inf`` when
+        both policies are deterministic across seeds (zero spread).
+        """
+        a = self.metric(better, metric)
+        b = self.metric(worse, metric)
+        pooled = float(np.hypot(a.std, b.std))
+        difference = a.mean - b.mean
+        if pooled == 0.0:
+            return float("inf") if difference > 0 else -float("inf")
+        return difference / pooled
+
+    def to_table(self) -> str:
+        """All policies x headline metrics as an aligned text table."""
+        headers = ["policy", "revenue", "regret", "PoC/round", "PoS/round"]
+        rows = []
+        for policy in self.policy_names():
+            rows.append([
+                policy,
+                self.metric(policy, "total_revenue").format(),
+                self.metric(policy, "regret").format(),
+                self.metric(policy, "mean_poc").format(),
+                self.metric(policy, "mean_pos").format(),
+            ])
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows))
+            for i in range(len(headers))
+        ]
+        lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def replicate_comparison(
+    base_config: SimulationConfig,
+    policy_factory: Callable[[np.ndarray], list[SelectionPolicy]],
+    num_seeds: int = 5,
+    first_seed: int = 0,
+) -> ReplicationResult:
+    """Run the comparison under ``num_seeds`` independent seeds.
+
+    Parameters
+    ----------
+    base_config:
+        The shared configuration; its ``seed`` field is overridden per
+        replication.
+    policy_factory:
+        Builds a fresh policy list from the instance's true qualities
+        (fresh because policies are stateful).
+    num_seeds:
+        Number of independent replications.
+    first_seed:
+        Seeds used are ``first_seed .. first_seed + num_seeds - 1``.
+    """
+    if num_seeds <= 0:
+        raise ConfigurationError(
+            f"num_seeds must be positive, got {num_seeds}"
+        )
+    samples: dict[str, dict[str, list[float]]] = {}
+    seeds = list(range(first_seed, first_seed + num_seeds))
+    for seed in seeds:
+        simulator = TradingSimulator(base_config.derive(seed=seed))
+        policies = policy_factory(
+            simulator.population.expected_qualities
+        )
+        comparison = simulator.compare(policies)
+        for name, run in comparison.runs.items():
+            bucket = samples.setdefault(
+                name, {key: [] for key in _METRIC_KEYS}
+            )
+            for key, value in run.summary().items():
+                bucket[key].append(value)
+    summaries = {
+        policy: {
+            key: MetricSummary.from_samples(values)
+            for key, values in metrics.items()
+        }
+        for policy, metrics in samples.items()
+    }
+    return ReplicationResult(summaries=summaries, seeds=seeds)

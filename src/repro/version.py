@@ -1,0 +1,14 @@
+"""Version information for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+#: The paper this library reproduces.
+PAPER_TITLE = (
+    "Crowdsensing Data Trading based on Combinatorial Multi-Armed Bandit "
+    "and Stackelberg Game"
+)
+
+#: Venue of the reproduced paper.
+PAPER_VENUE = "ICDE 2021"

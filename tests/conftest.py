@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+# Deterministic property tests: a reproduction repository should produce
+# the same test outcome on every run.
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")
+
+from repro.entities.consumer import Consumer
+from repro.entities.job import Job
+from repro.entities.platform import Platform
+from repro.entities.seller import SellerPopulation
+from repro.game.profits import GameInstance
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_game(rng: np.random.Generator) -> GameInstance:
+    """A 5-seller game instance with paper-range parameters."""
+    return GameInstance(
+        qualities=rng.uniform(0.3, 1.0, 5),
+        cost_a=rng.uniform(0.1, 0.5, 5),
+        cost_b=rng.uniform(0.1, 1.0, 5),
+        theta=0.1,
+        lam=1.0,
+        omega=1_000.0,
+        service_price_bounds=(0.0, 10_000.0),
+        collection_price_bounds=(0.0, 10_000.0),
+    )
+
+
+@pytest.fixture
+def population(rng: np.random.Generator) -> SellerPopulation:
+    """A 20-seller population with paper-range parameters."""
+    return SellerPopulation.random(20, rng)
+
+
+@pytest.fixture
+def job() -> Job:
+    """A small 5-PoI, 50-round job."""
+    return Job.simple(num_pois=5, num_rounds=50)
+
+
+@pytest.fixture
+def platform() -> Platform:
+    """A platform with paper defaults and a p_max of 5."""
+    return Platform.default(price_max=5.0)
+
+
+@pytest.fixture
+def consumer() -> Consumer:
+    """A consumer with the paper's default omega."""
+    return Consumer.default()
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A fast simulation config for integration tests."""
+    return SimulationConfig(
+        num_sellers=15, num_selected=4, num_pois=5, num_rounds=120, seed=9
+    )

@@ -1,0 +1,95 @@
+"""Unit tests for the numerical one-dimensional maximisers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GameError
+from repro.game.best_response import (
+    golden_section_maximize,
+    grid_maximize,
+    refine_maximize,
+)
+
+
+def concave(x: float) -> float:
+    return -(x - 2.0) ** 2
+
+
+class TestGoldenSection:
+    def test_finds_interior_maximum(self):
+        assert golden_section_maximize(concave, 0.0, 5.0) == pytest.approx(
+            2.0, abs=1e-6
+        )
+
+    def test_monotone_increasing_returns_upper_end(self):
+        assert golden_section_maximize(lambda x: x, 0.0, 3.0) == pytest.approx(3.0)
+
+    def test_monotone_decreasing_returns_lower_end(self):
+        assert golden_section_maximize(lambda x: -x, 1.0, 3.0) == pytest.approx(1.0)
+
+    def test_degenerate_interval(self):
+        assert golden_section_maximize(concave, 2.5, 2.5) == 2.5
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(GameError, match="empty interval"):
+            golden_section_maximize(concave, 3.0, 1.0)
+
+    def test_rejects_infinite_interval(self):
+        with pytest.raises(GameError, match="finite"):
+            golden_section_maximize(concave, 0.0, float("inf"))
+
+    def test_quadratic_with_offset_maximum(self):
+        result = golden_section_maximize(
+            lambda x: -(x - math.pi) ** 2 + 7.0, 0.0, 10.0
+        )
+        assert result == pytest.approx(math.pi, abs=1e-6)
+
+
+class TestGridMaximize:
+    def test_finds_maximum_on_grid(self):
+        assert grid_maximize(concave, 0.0, 4.0, num_points=401) == pytest.approx(
+            2.0, abs=0.011
+        )
+
+    def test_handles_multimodal(self):
+        def two_peaks(x: float) -> float:
+            return math.sin(x) + 0.5 * math.sin(3.0 * x)
+
+        result = grid_maximize(two_peaks, 0.0, 2.0 * math.pi,
+                               num_points=2_001)
+        values = [two_peaks(x) for x in np.linspace(0, 2 * math.pi, 10_000)]
+        assert two_peaks(result) >= max(values) - 1e-3
+
+    def test_degenerate_interval(self):
+        assert grid_maximize(concave, 1.0, 1.0) == 1.0
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(GameError, match="empty interval"):
+            grid_maximize(concave, 3.0, 1.0)
+
+
+class TestRefineMaximize:
+    def test_polishes_to_high_precision(self):
+        assert refine_maximize(concave, 0.0, 10.0) == pytest.approx(
+            2.0, abs=1e-7
+        )
+
+    def test_picks_global_peak_of_bimodal(self):
+        def bimodal(x: float) -> float:
+            # peaks near 1 (height 1) and near 4 (height 2).
+            return math.exp(-((x - 1.0) ** 2) * 4.0) + 2.0 * math.exp(
+                -((x - 4.0) ** 2) * 4.0
+            )
+
+        result = refine_maximize(bimodal, 0.0, 6.0, coarse_points=61)
+        assert result == pytest.approx(4.0, abs=1e-4)
+
+    def test_degenerate_interval(self):
+        assert refine_maximize(concave, 2.0, 2.0) == 2.0
+
+    def test_endpoint_maximum(self):
+        assert refine_maximize(lambda x: x, 0.0, 5.0) == pytest.approx(5.0)

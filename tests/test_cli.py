@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig13", "fig14", "--paper-scale", "--seed", "7"]
+        )
+        assert args.experiments == ["fig13", "fig14"]
+        assert args.paper_scale is True
+        assert args.seed == 7
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.sellers == 50
+        assert args.rounds == 1_000
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "table2" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "number of rounds N" in out
+
+    def test_run_example(self, capsys):
+        assert main(["run", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "selection order" in out
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "fig14", "fig17"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out
+        assert "fig17" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--sellers", "12", "--selected", "3",
+                     "--rounds", "60", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "CMAB-HS" in out
+        assert "optimal" in out
+        assert "random" in out
+
+    def test_run_with_charts(self, capsys):
+        assert main(["run", "fig14", "--charts"]) == 0
+        out = capsys.readouterr().out
+        assert "(chart)" in out
+        assert "|" in out
+
+    def test_run_with_save_dir(self, capsys, tmp_path):
+        save_dir = str(tmp_path / "results")
+        assert main(["run", "table2", "--save-dir", save_dir]) == 0
+        out = capsys.readouterr().out
+        assert "saved" in out
+        assert (tmp_path / "results" / "table2.json").exists()
+
+    def test_saved_result_loads_back(self, tmp_path):
+        from repro.sim.persistence import load_experiment_result
+
+        save_dir = str(tmp_path)
+        assert main(["run", "fig14", "--save-dir", save_dir]) == 0
+        loaded = load_experiment_result(tmp_path / "fig14.json")
+        assert loaded.experiment_id == "fig14"
+
+    def test_replicate(self, capsys):
+        assert main(["replicate", "--sellers", "12", "--selected", "3",
+                     "--rounds", "80", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "+/-" in out
+        assert "separation" in out
+
+    def test_list_includes_extensions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ext-drift" in out
+        assert "ext-market" in out
+
+    def test_trace(self, capsys, tmp_path):
+        out_file = str(tmp_path / "trace.csv")
+        assert main(["trace", "--trips", "1500", "--taxis", "40",
+                     "--pois", "5", "--sellers", "10", "--seed", "3",
+                     "--out", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "generated 1500 trips" in out
+        assert "extracted 5 PoIs" in out
+        assert "derived 10 sellers" in out
+        # The saved CSV loads back through the library loader.
+        from repro.data import load_trace
+
+        assert len(load_trace(out_file)) == 1_500
+
+    def test_trace_fails_cleanly_on_impossible_demand(self, capsys):
+        assert main(["trace", "--trips", "300", "--taxis", "5",
+                     "--pois", "4", "--sellers", "500"]) == 1
+        err = capsys.readouterr().err
+        assert "qualify" in err

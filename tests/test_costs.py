@@ -1,0 +1,155 @@
+"""Unit tests for the cost and valuation function objects (Eqs. 6, 8, 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.entities.costs import (
+    LogValuation,
+    QuadraticAggregationCost,
+    QuadraticSellerCost,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestQuadraticSellerCost:
+    def test_value_matches_equation_6(self):
+        cost = QuadraticSellerCost(a=0.3, b=0.5)
+        # (0.3*4 + 0.5*2) * 0.8 = (1.2 + 1.0) * 0.8
+        assert cost(2.0, 0.8) == pytest.approx(2.2 * 0.8)
+
+    def test_zero_time_zero_cost(self):
+        assert QuadraticSellerCost(0.2, 0.1)(0.0, 0.9) == 0.0
+
+    def test_rejects_nonpositive_a(self):
+        with pytest.raises(ConfigurationError, match="a must be > 0"):
+            QuadraticSellerCost(a=0.0, b=0.1)
+
+    def test_rejects_negative_b(self):
+        with pytest.raises(ConfigurationError, match="b must be >= 0"):
+            QuadraticSellerCost(a=0.1, b=-0.1)
+
+    def test_marginal_is_derivative(self):
+        cost = QuadraticSellerCost(a=0.4, b=0.2)
+        h = 1e-7
+        numeric = (cost(1.0 + h, 0.7) - cost(1.0 - h, 0.7)) / (2 * h)
+        assert cost.marginal(1.0, 0.7) == pytest.approx(numeric, rel=1e-5)
+
+    def test_strictly_convex_in_time(self):
+        cost = QuadraticSellerCost(a=0.3, b=0.5)
+        taus = np.linspace(0.0, 5.0, 20)
+        values = np.array([cost(t, 0.6) for t in taus])
+        second_diff = np.diff(values, 2)
+        assert np.all(second_diff > 0.0)
+
+    def test_monotone_increasing(self):
+        cost = QuadraticSellerCost(a=0.3, b=0.5)
+        values = [cost(t, 0.6) for t in np.linspace(0.1, 5.0, 10)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_optimal_sensing_time_equation_20(self):
+        cost = QuadraticSellerCost(a=0.25, b=0.4)
+        p, q = 2.0, 0.8
+        expected = (p - q * 0.4) / (2.0 * q * 0.25)
+        assert cost.optimal_sensing_time(p, q) == pytest.approx(expected)
+
+    def test_optimal_sensing_time_maximises_profit(self):
+        cost = QuadraticSellerCost(a=0.25, b=0.4)
+        p, q = 2.0, 0.8
+        tau_star = cost.optimal_sensing_time(p, q)
+        best = p * tau_star - cost(tau_star, q)
+        for tau in np.linspace(0.0, 3.0 * tau_star, 50):
+            assert p * tau - cost(tau, q) <= best + 1e-12
+
+    def test_optimal_sensing_time_floors_at_zero(self):
+        cost = QuadraticSellerCost(a=0.25, b=1.0)
+        # price below the marginal cost of the first unit: opt out.
+        assert cost.optimal_sensing_time(0.1, 0.9) == 0.0
+
+    def test_optimal_sensing_time_rejects_zero_quality(self):
+        cost = QuadraticSellerCost(a=0.25, b=0.4)
+        with pytest.raises(ConfigurationError, match="positive quality"):
+            cost.optimal_sensing_time(1.0, 0.0)
+
+    def test_cost_scales_linearly_with_quality(self):
+        cost = QuadraticSellerCost(a=0.3, b=0.5)
+        assert cost(2.0, 0.8) == pytest.approx(2.0 * cost(2.0, 0.4))
+
+
+class TestQuadraticAggregationCost:
+    def test_value_matches_equation_8(self):
+        cost = QuadraticAggregationCost(theta=0.2, lam=1.5)
+        total = 4.0
+        assert cost(total) == pytest.approx(0.2 * 16.0 + 1.5 * 4.0)
+
+    def test_accepts_vector_input(self):
+        cost = QuadraticAggregationCost(theta=0.2, lam=1.5)
+        assert cost(np.array([1.0, 3.0])) == pytest.approx(cost(4.0))
+
+    def test_rejects_nonpositive_theta(self):
+        with pytest.raises(ConfigurationError, match="theta"):
+            QuadraticAggregationCost(theta=0.0, lam=1.0)
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ConfigurationError, match="lambda"):
+            QuadraticAggregationCost(theta=0.1, lam=-0.5)
+
+    def test_marginal_is_derivative(self):
+        cost = QuadraticAggregationCost(theta=0.3, lam=0.7)
+        h = 1e-7
+        numeric = (cost(2.0 + h) - cost(2.0 - h)) / (2 * h)
+        assert cost.marginal(2.0) == pytest.approx(numeric, rel=1e-5)
+
+    def test_convex(self):
+        cost = QuadraticAggregationCost(theta=0.3, lam=0.7)
+        totals = np.linspace(0.0, 10.0, 30)
+        second_diff = np.diff([cost(t) for t in totals], 2)
+        assert np.all(second_diff > 0.0)
+
+
+class TestLogValuation:
+    def test_value_matches_equation_10(self):
+        valuation = LogValuation(omega=1_000.0)
+        assert valuation(4.0, 0.5) == pytest.approx(
+            1_000.0 * np.log(1.0 + 0.5 * 4.0)
+        )
+
+    def test_accepts_vector_input(self):
+        valuation = LogValuation(omega=500.0)
+        assert valuation(np.array([1.0, 3.0]), 0.5) == pytest.approx(
+            valuation(4.0, 0.5)
+        )
+
+    def test_rejects_omega_at_or_below_one(self):
+        with pytest.raises(ConfigurationError, match="omega"):
+            LogValuation(omega=1.0)
+
+    def test_zero_time_zero_value(self):
+        assert LogValuation(omega=100.0)(0.0, 0.9) == 0.0
+
+    def test_monotone_increasing_in_time(self):
+        valuation = LogValuation(omega=100.0)
+        values = [valuation(t, 0.7) for t in np.linspace(0.0, 10.0, 20)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_strictly_concave_in_time(self):
+        valuation = LogValuation(omega=100.0)
+        totals = np.linspace(0.1, 10.0, 30)
+        second_diff = np.diff([valuation(t, 0.7) for t in totals], 2)
+        assert np.all(second_diff < 0.0)
+
+    def test_marginal_is_derivative(self):
+        valuation = LogValuation(omega=250.0)
+        h = 1e-7
+        numeric = (valuation(3.0 + h, 0.6) - valuation(3.0 - h, 0.6)) / (2 * h)
+        assert valuation.marginal(3.0, 0.6) == pytest.approx(numeric, rel=1e-5)
+
+    def test_rejects_invalid_argument(self):
+        valuation = LogValuation(omega=100.0)
+        with pytest.raises(ConfigurationError, match="positive"):
+            valuation(-5.0, 0.5)
+
+    def test_diminishing_marginal_return(self):
+        valuation = LogValuation(omega=100.0)
+        assert valuation.marginal(1.0, 0.5) > valuation.marginal(5.0, 0.5)

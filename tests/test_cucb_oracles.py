@@ -1,0 +1,191 @@
+"""Unit tests for the general CUCB oracles and the oracle policy."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bandits.cucb import (
+    GreedyKnapsackOracle,
+    OraclePolicy,
+    TopKOracle,
+    WeightedCoverageOracle,
+)
+from repro.bandits.environment import CMABEnvironment
+from repro.bandits.policies import UCBPolicy
+from repro.core.state import LearningState
+from repro.exceptions import ConfigurationError, SelectionError
+from repro.quality.distributions import TruncatedGaussianQuality
+
+
+class TestTopKOracle:
+    def test_matches_top_k(self):
+        weights = np.array([0.1, 0.9, 0.5, 0.7])
+        np.testing.assert_array_equal(
+            TopKOracle().select(weights, 2), [1, 3]
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(SelectionError):
+            TopKOracle().select(np.array([0.5]), 2)
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(SelectionError, match="non-empty"):
+            TopKOracle().select(np.array([]), 1)
+
+
+class TestWeightedCoverageOracle:
+    def test_covers_before_exploiting(self):
+        # Seller 0 is the only one reaching PoI 0 but has tiny weight.
+        matrix = np.zeros((4, 3), dtype=bool)
+        matrix[0, 0] = True
+        matrix[1:, 1:] = True
+        oracle = WeightedCoverageOracle(matrix)
+        weights = np.array([0.01, 0.9, 0.8, 0.7])
+        selected = oracle.select(weights, 2)
+        assert 0 in selected
+
+    def test_fills_by_weight_once_covered(self):
+        matrix = np.ones((5, 2), dtype=bool)  # anyone covers everything
+        oracle = WeightedCoverageOracle(matrix)
+        weights = np.array([0.5, 0.9, 0.1, 0.8, 0.2])
+        selected = oracle.select(weights, 3)
+        # One cover pick (the max weight), then the next two by weight.
+        np.testing.assert_array_equal(selected, [0, 1, 3])
+
+    def test_handles_infinite_weights(self):
+        matrix = np.ones((3, 1), dtype=bool)
+        oracle = WeightedCoverageOracle(matrix)
+        weights = np.array([np.inf, 0.5, 0.2])
+        selected = oracle.select(weights, 2)
+        assert 0 in selected
+
+    def test_rejects_mismatched_weights(self):
+        oracle = WeightedCoverageOracle(np.ones((3, 2), dtype=bool))
+        with pytest.raises(SelectionError, match="does not match"):
+            oracle.select(np.ones(4), 2)
+
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(ConfigurationError):
+            WeightedCoverageOracle(np.ones(3, dtype=bool))
+
+
+class TestGreedyKnapsackOracle:
+    COSTS = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_respects_budget(self):
+        oracle = GreedyKnapsackOracle(self.COSTS, budget=5.0)
+        weights = np.array([0.9, 0.8, 0.7, 0.6, 0.5])
+        selected = oracle.select(weights, 5)
+        assert self.COSTS[selected].sum() <= 5.0
+
+    def test_respects_k(self):
+        oracle = GreedyKnapsackOracle(np.ones(6), budget=100.0)
+        selected = oracle.select(np.linspace(0.1, 0.9, 6), 2)
+        assert selected.size == 2
+
+    def test_greedy_density_order(self):
+        # Weights equal -> cheapest sellers picked first.
+        oracle = GreedyKnapsackOracle(self.COSTS, budget=6.0)
+        selected = oracle.select(np.ones(5), 5)
+        np.testing.assert_array_equal(selected, [0, 1, 2])
+
+    def test_never_selects_nothing(self):
+        oracle = GreedyKnapsackOracle(self.COSTS, budget=0.5)
+        selected = oracle.select(np.ones(5), 3)
+        np.testing.assert_array_equal(selected, [0])
+
+    def test_near_optimality_against_brute_force(self):
+        # Greedy-by-density (+ the always-recruit rule) attains at least
+        # half the budget-feasible optimum on random small instances.
+        rng = np.random.default_rng(5)
+        for __ in range(25):
+            m = 7
+            costs = rng.uniform(0.5, 3.0, m)
+            weights = rng.uniform(0.1, 1.0, m)
+            budget = float(rng.uniform(2.0, 6.0))
+            oracle = GreedyKnapsackOracle(costs, budget)
+            selected = oracle.select(weights, m)
+            achieved = float(weights[selected].sum())
+            best = 0.0
+            for r in range(1, m + 1):
+                for subset in itertools.combinations(range(m), r):
+                    subset = list(subset)
+                    if costs[subset].sum() <= budget:
+                        best = max(best, float(weights[subset].sum()))
+            assert achieved >= 0.5 * best - 1e-9
+
+    def test_rejects_bad_costs(self):
+        with pytest.raises(ConfigurationError, match="costs"):
+            GreedyKnapsackOracle(np.array([1.0, 0.0]), budget=1.0)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            GreedyKnapsackOracle(np.ones(3), budget=0.0)
+
+
+class TestOraclePolicy:
+    def test_top_k_oracle_reproduces_ucb_policy(self):
+        qualities = np.array([0.9, 0.7, 0.5, 0.3, 0.15, 0.05])
+        model = TruncatedGaussianQuality(qualities)
+        env_kwargs = dict(num_pois=4, k=2, num_rounds=250, seed=7)
+        ucb_run = CMABEnvironment(model, **env_kwargs).run(UCBPolicy())
+        oracle_run = CMABEnvironment(model, **env_kwargs).run(
+            OraclePolicy(TopKOracle(), name="CMAB-HS")
+        )
+        # Same name -> same policy RNG stream -> identical runs.
+        np.testing.assert_array_equal(ucb_run.selection_counts,
+                                      oracle_run.selection_counts)
+        assert ucb_run.realized_revenue == oracle_run.realized_revenue
+
+    def test_round_zero_selects_all(self, rng):
+        policy = OraclePolicy(TopKOracle())
+        policy.reset(6, 2, 50)
+        np.testing.assert_array_equal(
+            policy.select(0, LearningState(6), rng), np.arange(6)
+        )
+
+    def test_default_name_mentions_oracle(self):
+        policy = OraclePolicy(TopKOracle())
+        assert policy.name == "cucb:TopKOracle"
+
+    def test_knapsack_policy_end_to_end(self):
+        qualities = np.array([0.9, 0.8, 0.6, 0.4, 0.2])
+        costs = np.array([3.0, 1.0, 1.0, 1.0, 1.0])
+        model = TruncatedGaussianQuality(qualities)
+        policy = OraclePolicy(
+            GreedyKnapsackOracle(costs, budget=3.0),
+            name="knapsack",
+            initial_full_exploration=False,
+        )
+        environment = CMABEnvironment(model, num_pois=4, k=3,
+                                      num_rounds=400, seed=2)
+        result = environment.run(policy)
+        # Seller 0 (cost 3) can never join two others within budget 3;
+        # after learning, the cheap good sellers 1 and 2 dominate.
+        assert result.selection_counts[1] > result.selection_counts[0]
+        assert result.selection_counts[2] > result.selection_counts[4]
+
+    def test_rejects_bad_coefficient(self):
+        with pytest.raises(ConfigurationError, match="coefficient"):
+            OraclePolicy(TopKOracle(), exploration_coefficient=0.0)
+
+    def test_knapsack_policy_runs_through_trading_engine(self):
+        # Budget-constrained selection can return fewer than K sellers;
+        # the full trading engine must handle the variable set size.
+        from repro.sim.config import SimulationConfig
+        from repro.sim.engine import TradingSimulator
+
+        config = SimulationConfig(num_sellers=12, num_selected=4,
+                                  num_pois=3, num_rounds=80, seed=9)
+        simulator = TradingSimulator(config)
+        costs = np.linspace(1.0, 4.0, 12)
+        policy = OraclePolicy(
+            GreedyKnapsackOracle(costs, budget=6.0), name="knapsack"
+        )
+        run = simulator.run(policy)
+        assert run.num_rounds == 80
+        assert np.all(np.isfinite(run.consumer_profit))
+        assert np.all(run.total_sensing_time >= 0.0)

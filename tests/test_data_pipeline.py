@@ -1,0 +1,148 @@
+"""Unit tests for trace generation, PoI extraction, and seller derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import TraceSpec, generate_trace
+from repro.data.poi import extract_pois, trip_endpoints
+from repro.data.trace_sellers import qualified_taxis, sellers_from_trace
+from repro.exceptions import DataTraceError
+
+SMALL_SPEC = TraceSpec(num_trips=1_500, num_taxis=40, num_hotspots=12,
+                       seed=5)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SMALL_SPEC)
+
+
+class TestTraceSpec:
+    def test_rejects_nonpositive_trips(self):
+        with pytest.raises(DataTraceError, match="num_trips"):
+            TraceSpec(num_trips=0)
+
+    def test_rejects_too_few_hotspots(self):
+        with pytest.raises(DataTraceError, match="hotspots"):
+            TraceSpec(num_hotspots=1)
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(DataTraceError, match="days"):
+            TraceSpec(days=0)
+
+
+class TestGenerateTrace:
+    def test_record_count(self, trace):
+        assert len(trace) == SMALL_SPEC.num_trips
+
+    def test_taxi_ids_in_range(self, trace):
+        ids = {r.taxi_id for r in trace}
+        assert max(ids) < SMALL_SPEC.num_taxis
+        assert min(ids) >= 0
+
+    def test_sorted_by_timestamp(self, trace):
+        stamps = [r.timestamp for r in trace]
+        assert stamps == sorted(stamps)
+
+    def test_timestamps_within_window(self, trace):
+        window = SMALL_SPEC.days * 86_400.0
+        assert all(0.0 <= r.timestamp < window for r in trace)
+
+    def test_coordinates_near_city(self, trace):
+        lat0, lon0 = SMALL_SPEC.city_center
+        for record in trace[:200]:
+            assert abs(record.pickup_latitude - lat0) < 0.5
+            assert abs(record.pickup_longitude - lon0) < 0.5
+
+    def test_miles_consistent_with_distance(self, trace):
+        # Trip miles exceed straight-line distance (routing factor >= 1).
+        for record in trace[:200]:
+            straight = np.hypot(
+                record.dropoff_latitude - record.pickup_latitude,
+                record.dropoff_longitude - record.pickup_longitude,
+            ) * 69.0
+            assert record.trip_miles >= straight - 1e-9
+
+    def test_deterministic_given_seed(self):
+        again = generate_trace(SMALL_SPEC)
+        first = generate_trace(SMALL_SPEC)
+        assert first[0] == again[0]
+        assert first[-1] == again[-1]
+
+    def test_default_spec_is_paper_scale(self):
+        spec = TraceSpec()
+        assert spec.num_trips == 27_465
+        assert spec.num_taxis == 300
+
+
+class TestExtractPois:
+    def test_extracts_requested_count(self, trace):
+        pois = extract_pois(trace, num_pois=8)
+        assert len(pois) == 8
+        assert [p.poi_id for p in pois] == list(range(8))
+
+    def test_weights_descending(self, trace):
+        pois = extract_pois(trace, num_pois=8)
+        weights = [p.weight for p in pois]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_busiest_cell_has_many_events(self, trace):
+        pois = extract_pois(trace, num_pois=3)
+        assert pois[0].weight > 2.0 * len(trace) * 2 / 144  # above uniform
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(DataTraceError, match="empty"):
+            extract_pois([], num_pois=3)
+
+    def test_rejects_too_many_pois(self, trace):
+        with pytest.raises(DataTraceError, match="cannot extract"):
+            extract_pois(trace[:3], num_pois=100)
+
+    def test_endpoints_shape(self, trace):
+        points = trip_endpoints(trace[:50])
+        assert points.shape == (100, 2)
+
+
+class TestSellersFromTrace:
+    def test_qualified_taxis_sorted_by_coverage(self, trace):
+        pois = extract_pois(trace, num_pois=6)
+        qualified = qualified_taxis(trace, pois, radius_degrees=0.02)
+        coverages = list(qualified.values())
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_qualified_respects_min_coverage(self, trace):
+        pois = extract_pois(trace, num_pois=6)
+        strict = qualified_taxis(trace, pois, radius_degrees=0.02,
+                                 min_poi_coverage=3)
+        loose = qualified_taxis(trace, pois, radius_degrees=0.02,
+                                min_poi_coverage=1)
+        assert set(strict) <= set(loose)
+        assert all(c >= 3 for c in strict.values())
+
+    def test_sellers_from_trace_population(self, trace, rng):
+        pois = extract_pois(trace, num_pois=6)
+        derived = sellers_from_trace(trace, pois, num_sellers=10, rng=rng,
+                                     radius_degrees=0.02)
+        assert len(derived.population) == 10
+        assert derived.taxi_ids.shape == (10,)
+        assert np.unique(derived.taxi_ids).size == 10
+        assert np.all(derived.poi_coverage >= 1)
+
+    def test_sellers_respect_paper_cost_ranges(self, trace, rng):
+        pois = extract_pois(trace, num_pois=6)
+        derived = sellers_from_trace(trace, pois, num_sellers=10, rng=rng,
+                                     radius_degrees=0.02)
+        assert np.all(derived.population.cost_a >= 0.1)
+        assert np.all(derived.population.cost_a <= 0.5)
+
+    def test_rejects_when_too_few_qualify(self, trace, rng):
+        pois = extract_pois(trace, num_pois=6)
+        with pytest.raises(DataTraceError, match="qualify"):
+            sellers_from_trace(trace, pois, num_sellers=1_000, rng=rng,
+                               radius_degrees=0.001)
+
+    def test_rejects_empty_trace(self, rng):
+        with pytest.raises(DataTraceError, match="empty"):
+            qualified_taxis([], [], radius_degrees=0.01)

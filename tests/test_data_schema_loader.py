@@ -1,0 +1,106 @@
+"""Unit tests for the trace schema and CSV loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loader import (
+    filter_by_taxis,
+    filter_by_time,
+    load_trace,
+    save_trace,
+)
+from repro.data.schema import CSV_HEADER, TripRecord
+from repro.exceptions import DataTraceError
+
+
+def make_record(taxi_id=1, timestamp=100.0, miles=2.5) -> TripRecord:
+    return TripRecord(
+        taxi_id=taxi_id, timestamp=timestamp, trip_miles=miles,
+        pickup_latitude=41.88, pickup_longitude=-87.63,
+        dropoff_latitude=41.90, dropoff_longitude=-87.65,
+    )
+
+
+class TestTripRecord:
+    def test_rejects_negative_taxi_id(self):
+        with pytest.raises(DataTraceError, match="taxi_id"):
+            make_record(taxi_id=-1)
+
+    def test_rejects_negative_miles(self):
+        with pytest.raises(DataTraceError, match="trip_miles"):
+            make_record(miles=-0.5)
+
+    def test_rejects_nonfinite_fields(self):
+        with pytest.raises(DataTraceError, match="finite"):
+            TripRecord(taxi_id=1, timestamp=float("nan"), trip_miles=1.0,
+                       pickup_latitude=0.0, pickup_longitude=0.0,
+                       dropoff_latitude=0.0, dropoff_longitude=0.0)
+
+    def test_csv_round_trip(self):
+        record = make_record()
+        parsed = TripRecord.from_csv_row(record.to_csv_row())
+        assert parsed.taxi_id == record.taxi_id
+        assert parsed.timestamp == pytest.approx(record.timestamp)
+        assert parsed.pickup_latitude == pytest.approx(
+            record.pickup_latitude, abs=1e-6
+        )
+
+    def test_from_csv_rejects_wrong_arity(self):
+        with pytest.raises(DataTraceError, match="expected 7 fields"):
+            TripRecord.from_csv_row("1,2,3")
+
+    def test_from_csv_rejects_non_numeric(self):
+        with pytest.raises(DataTraceError, match="malformed"):
+            TripRecord.from_csv_row("a,b,c,d,e,f,g")
+
+
+class TestLoader:
+    def test_save_and_load_round_trip(self, tmp_path):
+        records = [make_record(taxi_id=i, timestamp=float(i))
+                   for i in range(5)]
+        path = tmp_path / "trace.csv"
+        count = save_trace(records, path)
+        assert count == 5
+        loaded = load_trace(path)
+        assert len(loaded) == 5
+        assert [r.taxi_id for r in loaded] == list(range(5))
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataTraceError, match="empty"):
+            load_trace(path)
+
+    def test_load_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(DataTraceError, match="header"):
+            load_trace(path)
+
+    def test_header_matches_schema(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace([make_record()], path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == ",".join(CSV_HEADER)
+
+
+class TestFilters:
+    def test_filter_by_time(self):
+        records = [make_record(timestamp=float(t)) for t in range(10)]
+        subset = filter_by_time(records, 3.0, 7.0)
+        assert [r.timestamp for r in subset] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_filter_by_time_rejects_empty_window(self):
+        with pytest.raises(DataTraceError, match="empty time window"):
+            filter_by_time([make_record()], 5.0, 5.0)
+
+    def test_filter_by_taxis(self):
+        records = [make_record(taxi_id=i % 3) for i in range(9)]
+        subset = filter_by_taxis(records, [1])
+        assert len(subset) == 3
+        assert all(r.taxi_id == 1 for r in subset)
+
+    def test_filter_by_taxis_empty_selection(self):
+        assert filter_by_taxis([make_record()], []) == []

@@ -1,0 +1,113 @@
+"""Unit tests for Stackelberg Equilibrium verification (Definition 13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import (
+    assert_equilibrium,
+    verify_equilibrium,
+)
+from repro.core.incentive import ClosedFormStackelbergSolver
+from repro.exceptions import EquilibriumViolationError
+from repro.game.profits import GameInstance, StrategyProfile
+
+
+def make_game(seed=0, k=5) -> GameInstance:
+    rng = np.random.default_rng(seed)
+    return GameInstance(
+        qualities=rng.uniform(0.3, 1.0, k),
+        cost_a=rng.uniform(0.1, 0.5, k),
+        cost_b=rng.uniform(0.1, 1.0, k),
+        theta=0.1,
+        lam=1.0,
+        omega=800.0,
+        service_price_bounds=(0.0, 10_000.0),
+        collection_price_bounds=(0.0, 10_000.0),
+    )
+
+
+@pytest.fixture
+def solver() -> ClosedFormStackelbergSolver:
+    return ClosedFormStackelbergSolver()
+
+
+class TestVerifyEquilibrium:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_closed_form_solution_is_se(self, seed, solver):
+        game = make_game(seed)
+        solved = solver.solve(game)
+        report = verify_equilibrium(game, solved.profile, solver.cascade,
+                                    num_points=300, tolerance=0.05)
+        assert report.is_equilibrium, report.describe()
+
+    def test_perturbed_seller_time_is_not_se(self, solver):
+        game = make_game()
+        solved = solver.solve(game)
+        bad = solved.profile.replace_sensing_time(
+            0, solved.profile.sensing_times[0] * 2.0
+        )
+        report = verify_equilibrium(game, bad, solver.cascade,
+                                    num_points=300, tolerance=0.01)
+        assert report.seller_improvements[0] > 0.01
+        assert not report.is_equilibrium
+
+    def test_perturbed_collection_price_is_not_se(self, solver):
+        game = make_game()
+        solved = solver.solve(game)
+        bad = StrategyProfile(
+            solved.profile.service_price,
+            solved.profile.collection_price * 0.5,
+            game.seller_best_responses(
+                solved.profile.collection_price * 0.5
+            ),
+        )
+        report = verify_equilibrium(game, bad, solver.cascade,
+                                    num_points=300, tolerance=0.01)
+        assert report.platform_improvement > 0.01
+
+    def test_perturbed_service_price_is_not_se(self, solver):
+        game = make_game()
+        solved = solver.solve(game)
+        bad_price = solved.profile.service_price * 2.0
+        collection, taus = solver.cascade(game, bad_price)
+        bad = StrategyProfile(bad_price, collection, taus)
+        report = verify_equilibrium(game, bad, solver.cascade,
+                                    num_points=300, tolerance=0.01)
+        assert report.consumer_improvement > 0.01
+
+    def test_report_max_improvement(self, solver):
+        game = make_game()
+        solved = solver.solve(game)
+        report = verify_equilibrium(game, solved.profile, solver.cascade,
+                                    num_points=200)
+        assert report.max_improvement == max(
+            report.consumer_improvement,
+            report.platform_improvement,
+            float(report.seller_improvements.max()),
+        )
+
+    def test_describe_mentions_status(self, solver):
+        game = make_game()
+        solved = solver.solve(game)
+        report = verify_equilibrium(game, solved.profile, solver.cascade,
+                                    num_points=200, tolerance=0.05)
+        assert "SE holds" in report.describe()
+
+
+class TestAssertEquilibrium:
+    def test_passes_for_equilibrium(self, solver):
+        game = make_game()
+        solved = solver.solve(game)
+        report = assert_equilibrium(game, solved.profile, solver.cascade,
+                                    num_points=300, tolerance=0.05)
+        assert report.is_equilibrium
+
+    def test_raises_for_non_equilibrium(self, solver):
+        game = make_game()
+        solved = solver.solve(game)
+        bad = solved.profile.replace_sensing_time(0, 0.0)
+        with pytest.raises(EquilibriumViolationError, match="SE VIOLATED"):
+            assert_equilibrium(game, bad, solver.cascade,
+                               num_points=300, tolerance=0.001)

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["CMAB-HS quickstart", "Theorem-19 regret bound"],
+    "illustrative_example.py": ["Section III-D", "selection matrix"],
+    "taxi_trace_trading.py": ["extracted PoIs", "CMAB-HS"],
+    "policy_comparison.py": ["stationary qualities",
+                             "drifting qualities"],
+    "equilibrium_exploration.py": ["SE verification", "closed form"],
+    "multi_consumer_market.py": ["multi-consumer", "richest-first"],
+    "reproduce_figures.py": ["saved", "reloaded"],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS), (
+        "update EXPECTED_SNIPPETS when adding/removing examples"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script, tmp_path):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # examples writing files must not pollute the repo
+    )
+    assert process.returncode == 0, process.stderr[-2_000:]
+    for snippet in EXPECTED_SNIPPETS[script]:
+        assert snippet in process.stdout, (
+            f"{script}: expected {snippet!r} in output"
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for the experiment registry and result containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.experiments  # noqa: F401 - registers everything
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import (
+    ExperimentResult,
+    Scale,
+    Series,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "table2", "example",
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        registered = {experiment_id for experiment_id, __ in list_experiments()}
+        assert EXPECTED_IDS <= registered
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_list_sorted(self):
+        ids = [experiment_id for experiment_id, __ in list_experiments()]
+        assert ids == sorted(ids)
+
+
+class TestScale:
+    def test_environment_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert Scale.from_environment() is Scale.SMALL
+
+    @pytest.mark.parametrize("value", ["1", "true", "paper", "FULL"])
+    def test_environment_truthy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_FULL_SCALE", value)
+        assert Scale.from_environment() is Scale.PAPER
+
+    def test_environment_falsy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "0")
+        assert Scale.from_environment() is Scale.SMALL
+
+
+class TestSeries:
+    def test_rejects_misaligned(self):
+        with pytest.raises(ExperimentError, match="aligned"):
+            Series("x", np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestExperimentResult:
+    def make_result(self) -> ExperimentResult:
+        result = ExperimentResult("figX", "demo", "n")
+        result.add_series("panel", Series("a", np.array([1.0, 2.0]),
+                                          np.array([3.0, 4.0])))
+        result.add_series("panel", Series("b", np.array([1.0, 2.0]),
+                                          np.array([5.0, 6.0])))
+        return result
+
+    def test_panel_lookup(self):
+        result = self.make_result()
+        assert len(result.panel("panel")) == 2
+
+    def test_unknown_panel_raises(self):
+        with pytest.raises(ExperimentError, match="no panel"):
+            self.make_result().panel("missing")
+
+    def test_series_lookup(self):
+        series = self.make_result().series("panel", "b")
+        np.testing.assert_array_equal(series.y, [5.0, 6.0])
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(ExperimentError, match="no series"):
+            self.make_result().series("panel", "zzz")
+
+    def test_to_text_contains_values(self):
+        text = self.make_result().to_text()
+        assert "figX" in text
+        assert "panel" in text
+        assert "5" in text
+
+    def test_to_text_empty_panel(self):
+        result = ExperimentResult("figY", "t", "x", panels={"empty": []})
+        assert "(empty panel)" in result.to_text()
+
+
+class TestRunExperiment:
+    def test_table2_runs_and_matches(self):
+        result = run_experiment("table2", Scale.SMALL)
+        assert any("all defaults match" in note for note in result.notes)
+
+    def test_example_runs(self):
+        result = run_experiment("example", Scale.SMALL)
+        assert "strategies" in result.panels
+        assert "selections" in result.panels

@@ -1,0 +1,180 @@
+"""Shape tests for the policy-sweep experiments (Figs. 7-12).
+
+Run at reduced sizes via the runners' override parameters; the same
+assertions hold at paper scale (see benchmarks/).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import Scale
+from repro.experiments.fig07_revenue_regret_vs_n import run as run_fig7
+from repro.experiments.fig08_delta_profit_vs_n import run as run_fig8
+from repro.experiments.fig09_revenue_regret_vs_m import run as run_fig9
+from repro.experiments.fig10_delta_profit_vs_m import run as run_fig10
+from repro.experiments.fig11_revenue_regret_vs_k import run as run_fig11
+from repro.experiments.fig12_avg_profit_vs_k import run as run_fig12
+from repro.sim.config import SimulationConfig
+
+FAST_CONFIG = SimulationConfig(num_sellers=40, num_selected=5,
+                               num_pois=5, num_rounds=100, seed=3)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7(Scale.SMALL, seed=3, sweep_values=[200, 500, 1_000],
+                    config=FAST_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8(Scale.SMALL, seed=3, sweep_values=[200, 500, 1_000],
+                    config=FAST_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_fig9(Scale.SMALL, seed=3, sweep_values=[20, 40, 60],
+                    num_rounds=500)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_fig10(Scale.SMALL, seed=3, sweep_values=[20, 40, 60],
+                     num_rounds=500)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_fig11(Scale.SMALL, seed=3, sweep_values=[5, 10, 15],
+                     num_rounds=500, num_sellers=60)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return run_fig12(Scale.SMALL, seed=3, sweep_values=[5, 10, 15],
+                     num_rounds=500, num_sellers=60)
+
+
+ALL_POLICIES = ("optimal", "CMAB-HS", "0.1-first", "0.5-first", "random")
+
+
+class TestFig7:
+    def test_all_policies_present(self, fig7):
+        labels = {s.label for s in fig7.panel("total_revenue")}
+        assert labels == set(ALL_POLICIES)
+
+    def test_revenue_grows_with_n(self, fig7):
+        for series in fig7.panel("total_revenue"):
+            assert np.all(np.diff(series.y) > 0.0), series.label
+
+    def test_optimal_dominates(self, fig7):
+        optimal = fig7.series("total_revenue", "optimal").y
+        for label in ("CMAB-HS", "0.1-first", "0.5-first", "random"):
+            other = fig7.series("total_revenue", label).y
+            assert np.all(optimal >= other), label
+
+    def test_learning_beats_random(self, fig7):
+        random = fig7.series("total_revenue", "random").y
+        for label in ("CMAB-HS", "0.1-first"):
+            assert np.all(fig7.series("total_revenue", label).y > random)
+
+    def test_optimal_zero_regret(self, fig7):
+        np.testing.assert_allclose(fig7.series("regret", "optimal").y, 0.0)
+
+    def test_random_regret_linear(self, fig7):
+        regret = fig7.series("regret", "random")
+        rates = regret.y / regret.x
+        assert rates.max() < 1.5 * rates.min()
+
+    def test_cmabhs_regret_sublinear(self, fig7):
+        regret = fig7.series("regret", "CMAB-HS")
+        rates = regret.y / regret.x
+        assert rates[-1] < rates[0]
+
+    def test_cmabhs_regret_below_random(self, fig7):
+        cmabhs = fig7.series("regret", "CMAB-HS").y
+        random = fig7.series("regret", "random").y
+        assert np.all(cmabhs < random)
+
+
+class TestFig8:
+    def test_policies_exclude_optimal(self, fig8):
+        labels = {s.label for s in fig8.panel("delta_poc")}
+        assert "optimal" not in labels
+        assert labels == {"CMAB-HS", "0.1-first", "0.5-first", "random"}
+
+    def test_cmabhs_delta_poc_shrinks_with_n(self, fig8):
+        series = fig8.series("delta_poc", "CMAB-HS")
+        assert series.y[-1] < series.y[0]
+
+    def test_random_delta_poc_worst(self, fig8):
+        random = fig8.series("delta_poc", "random").y
+        cmabhs = fig8.series("delta_poc", "CMAB-HS").y
+        assert np.all(random > cmabhs)
+
+    def test_all_panels_present(self, fig8):
+        assert set(fig8.panels) == {"delta_poc", "delta_pop", "delta_pos"}
+
+
+class TestFig9:
+    def test_revenue_grows_only_slightly_in_m(self, fig9):
+        # The paper: revenue "keeps stable and grows very slightly" with M
+        # (the top-K dominates).  At these small M values the top-K still
+        # improves somewhat; tripling M must change revenue far less than
+        # proportionally.
+        optimal = fig9.series("total_revenue", "optimal").y
+        assert optimal.max() < 1.3 * optimal.min()
+
+    def test_learning_beats_random_at_every_m(self, fig9):
+        random = fig9.series("total_revenue", "random").y
+        cmabhs = fig9.series("total_revenue", "CMAB-HS").y
+        assert np.all(cmabhs > random)
+
+    def test_random_regret_grows_with_m(self, fig9):
+        # More sellers -> a random pick is farther from the top-K.
+        random = fig9.series("regret", "random").y
+        assert random[-1] > random[0]
+
+
+class TestFig10:
+    def test_cmabhs_delta_below_random_at_every_m(self, fig10):
+        for panel in ("delta_poc", "delta_pos"):
+            random = fig10.series(panel, "random").y
+            cmabhs = fig10.series(panel, "CMAB-HS").y
+            assert np.all(cmabhs < random), panel
+
+
+class TestFig11:
+    def test_revenue_grows_with_k(self, fig11):
+        for series in fig11.panel("total_revenue"):
+            assert np.all(np.diff(series.y) > 0.0), series.label
+
+    def test_regret_grows_with_k_for_random(self, fig11):
+        random = fig11.series("regret", "random").y
+        assert np.all(np.diff(random) > 0.0)
+
+    def test_cmabhs_regret_below_random_at_every_k(self, fig11):
+        cmabhs = fig11.series("regret", "CMAB-HS").y
+        random = fig11.series("regret", "random").y
+        assert np.all(cmabhs < random)
+
+
+class TestFig12:
+    def test_pos_per_seller_drops_with_k(self, fig12):
+        for label in ("optimal", "CMAB-HS"):
+            series = fig12.series("avg_pos", label)
+            assert np.all(np.diff(series.y) < 0.0), label
+
+    def test_poc_relatively_stable_in_k(self, fig12):
+        series = fig12.series("avg_poc", "optimal")
+        pos = fig12.series("avg_pos", "optimal")
+        poc_rel_change = abs(series.y[-1] - series.y[0]) / abs(series.y[0])
+        pos_rel_change = abs(pos.y[-1] - pos.y[0]) / abs(pos.y[0])
+        assert poc_rel_change < pos_rel_change
+
+    def test_all_policies_present(self, fig12):
+        labels = {s.label for s in fig12.panel("avg_poc")}
+        assert labels == set(ALL_POLICIES)

@@ -1,0 +1,86 @@
+"""Structural tests for the fast extension-experiment runners.
+
+The slow ones (ext-drift, ext-replication at full size) are exercised by
+the benchmark suite; here the cheap runners are checked end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import Scale, list_experiments, run_experiment
+
+
+class TestRegistryIncludesExtensions:
+    def test_all_extension_ids_registered(self):
+        ids = {experiment_id for experiment_id, __ in list_experiments()}
+        assert {"ext-drift", "ext-market", "ext-coverage", "ext-poa",
+                "ext-replication"} <= ids
+
+    def test_extension_titles_marked(self):
+        titles = dict(list_experiments())
+        for experiment_id in ("ext-drift", "ext-market", "ext-coverage",
+                              "ext-poa", "ext-replication"):
+            assert titles[experiment_id].startswith("EXTENSION"), (
+                experiment_id
+            )
+
+
+class TestExtPoa:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-poa", Scale.SMALL)
+
+    def test_panels(self, result):
+        assert set(result.panels) == {
+            "welfare", "price_of_anarchy", "total_sensing_time",
+        }
+
+    def test_poa_at_least_one(self, result):
+        poa = result.series("price_of_anarchy", "optimal / SE").y
+        assert np.all(poa >= 1.0 - 1e-9)
+        assert np.all(poa < 1.2)  # the mechanism is quite efficient
+
+    def test_se_underprovides_time(self, result):
+        se = result.series("total_sensing_time", "SE").y
+        optimum = result.series("total_sensing_time", "social optimum").y
+        assert np.all(optimum > se)
+
+
+class TestExtMarket:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-market", Scale.SMALL)
+
+    def test_three_strategies(self, result):
+        welfare = result.series("welfare", "total welfare")
+        assert welfare.y.size == 3
+
+    def test_consumer_ordering_by_omega(self, result):
+        series = result.panel("consumer_profit")
+        # omega 1400 consumer earns most under every strategy.
+        top = next(s for s in series if "1400" in s.label)
+        bottom = next(s for s in series if "600" in s.label)
+        assert np.all(top.y > bottom.y)
+
+
+class TestExtCoverage:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-coverage", Scale.SMALL)
+
+    def test_coverage_aware_always_fully_covers(self, result):
+        aware = result.series("mean_poi_coverage", "coverage-ucb").y
+        assert np.all(aware > 0.99)
+
+    def test_blind_coverage_improves_with_density(self, result):
+        blind = result.series("mean_poi_coverage", "top-K UCB").y
+        assert np.all(np.diff(blind) >= -1e-9)
+        assert blind[0] < 0.9
+
+    def test_revenue_gap_shrinks_with_density(self, result):
+        blind = result.series("coverage_revenue", "top-K UCB").y
+        aware = result.series("coverage_revenue", "coverage-ucb").y
+        relative_gap = aware / blind - 1.0
+        assert relative_gap[0] > relative_gap[-1]

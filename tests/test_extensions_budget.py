@@ -1,0 +1,111 @@
+"""Unit tests for budget-constrained trading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits.policies import OptimalPolicy, RandomPolicy, UCBPolicy
+from repro.exceptions import ConfigurationError
+from repro.extensions.budget import (
+    BudgetedComparison,
+    run_budgeted_comparison,
+    truncate_to_budget,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import TradingSimulator
+from repro.sim.results import RunMetrics
+
+
+def make_run(n=10, price=2.0, total_time=3.0) -> RunMetrics:
+    ones = np.ones(n)
+    return RunMetrics(
+        policy_name="test",
+        realized_revenue=5.0 * ones,
+        expected_revenue=5.0 * ones,
+        regret=np.zeros(n),
+        consumer_profit=4.0 * ones,
+        platform_profit=1.0 * ones,
+        seller_profit_mean=0.5 * ones,
+        service_price=price * ones,
+        collection_price=0.5 * ones,
+        total_sensing_time=total_time * ones,
+        selection_counts=np.array([n]),
+        estimation_error=0.05 * ones,
+    )
+
+
+class TestTruncateToBudget:
+    def test_per_round_payment_is_price_times_time(self):
+        # Payment = 2.0 * 3.0 = 6 per round; budget 20 -> 3 full rounds.
+        budgeted = truncate_to_budget(make_run(), budget=20.0)
+        assert budgeted.rounds_completed == 3
+        assert budgeted.spent == pytest.approx(18.0)
+        assert budgeted.exhausted
+
+    def test_exact_budget_boundary(self):
+        budgeted = truncate_to_budget(make_run(), budget=12.0)
+        assert budgeted.rounds_completed == 2
+        assert budgeted.spent == pytest.approx(12.0)
+
+    def test_budget_covers_whole_run(self):
+        budgeted = truncate_to_budget(make_run(n=4), budget=1_000.0)
+        assert budgeted.rounds_completed == 4
+        assert not budgeted.exhausted
+
+    def test_budget_below_first_round(self):
+        budgeted = truncate_to_budget(make_run(), budget=1.0)
+        assert budgeted.rounds_completed == 0
+        assert budgeted.spent == 0.0
+        assert budgeted.realized_revenue == 0.0
+
+    def test_revenue_accumulates_over_completed_rounds(self):
+        budgeted = truncate_to_budget(make_run(), budget=20.0)
+        assert budgeted.realized_revenue == pytest.approx(15.0)
+        assert budgeted.consumer_profit == pytest.approx(12.0)
+
+    def test_revenue_per_unit_budget(self):
+        budgeted = truncate_to_budget(make_run(), budget=20.0)
+        assert budgeted.revenue_per_unit_budget == pytest.approx(15.0 / 18.0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            truncate_to_budget(make_run(), budget=0.0)
+
+
+class TestBudgetedComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self) -> BudgetedComparison:
+        config = SimulationConfig(num_sellers=20, num_selected=5,
+                                  num_pois=4, num_rounds=400, seed=4)
+        simulator = TradingSimulator(config)
+        policies = [
+            OptimalPolicy(simulator.population.expected_qualities),
+            UCBPolicy(),
+            RandomPolicy(),
+        ]
+        # A budget that exhausts well before the horizon.
+        return run_budgeted_comparison(simulator, policies,
+                                       budget=50_000.0)
+
+    def test_all_policies_present(self, comparison):
+        assert set(comparison.runs) == {"optimal", "CMAB-HS", "random"}
+
+    def test_budgets_exhausted(self, comparison):
+        for run in comparison.runs.values():
+            assert run.exhausted
+            assert run.spent <= comparison.budget
+
+    def test_optimal_buys_most_quality_per_budget(self, comparison):
+        optimal = comparison.runs["optimal"]
+        random = comparison.runs["random"]
+        assert (optimal.revenue_per_unit_budget
+                > random.revenue_per_unit_budget)
+
+    def test_best_by_revenue(self, comparison):
+        assert comparison.best_by_revenue() in ("optimal", "CMAB-HS")
+
+    def test_table_renders(self, comparison):
+        table = comparison.to_table()
+        assert "rev/budget" in table
+        assert "CMAB-HS" in table

@@ -1,0 +1,153 @@
+"""Unit tests for the coverage-aware selection extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits.policies import UCBPolicy
+from repro.core.state import LearningState
+from repro.exceptions import ConfigurationError
+from repro.extensions.coverage import (
+    CoverageAwareUCBPolicy,
+    CoverageMatrix,
+    run_coverage_simulation,
+)
+
+M, L, K = 12, 6, 4
+
+
+@pytest.fixture
+def coverage(rng) -> CoverageMatrix:
+    return CoverageMatrix.random(M, L, rng, density=0.3)
+
+
+class TestCoverageMatrix:
+    def test_random_is_feasible(self, coverage):
+        assert coverage.matrix.any(axis=0).all()
+        assert coverage.matrix.any(axis=1).all()
+        assert coverage.num_sellers == M
+        assert coverage.num_pois == L
+
+    def test_rejects_uncovered_poi(self):
+        matrix = np.ones((3, 2), dtype=bool)
+        matrix[:, 1] = False
+        with pytest.raises(ConfigurationError, match="covered by no"):
+            CoverageMatrix(matrix)
+
+    def test_rejects_useless_seller(self):
+        matrix = np.ones((3, 2), dtype=bool)
+        matrix[1, :] = False
+        with pytest.raises(ConfigurationError, match="cover no PoI"):
+            CoverageMatrix(matrix)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            CoverageMatrix(np.ones((0, 0), dtype=bool))
+
+    def test_covered_pois(self):
+        matrix = np.array([[True, False], [False, True]])
+        coverage = CoverageMatrix(matrix)
+        np.testing.assert_array_equal(
+            coverage.covered_pois(np.array([0])), [True, False]
+        )
+        assert coverage.coverage_fraction(np.array([0, 1])) == 1.0
+
+    def test_random_density_extremes(self, rng):
+        dense = CoverageMatrix.random(5, 4, rng, density=1.0)
+        assert dense.matrix.all()
+        with pytest.raises(ConfigurationError, match="density"):
+            CoverageMatrix.random(5, 4, rng, density=0.0)
+
+
+class TestCoverageAwareUCBPolicy:
+    def warmed_state(self, means) -> LearningState:
+        state = LearningState(M)
+        state.update(np.arange(M), np.asarray(means) * 4.0, 4)
+        return state
+
+    def test_round_zero_selects_all(self, coverage, rng):
+        policy = CoverageAwareUCBPolicy(coverage)
+        policy.reset(M, K, 100)
+        np.testing.assert_array_equal(
+            policy.select(0, LearningState(M), rng), np.arange(M)
+        )
+
+    def test_selects_k_distinct(self, coverage, rng):
+        policy = CoverageAwareUCBPolicy(coverage)
+        policy.reset(M, K, 100)
+        state = self.warmed_state(np.linspace(0.2, 0.9, M))
+        selected = policy.select(3, state, rng)
+        assert selected.size == K
+        assert np.unique(selected).size == K
+
+    def test_covers_when_feasible(self, rng):
+        # Build a matrix where full coverage needs specific picks: seller
+        # 0 is the only one covering PoI 0.
+        matrix = np.zeros((M, L), dtype=bool)
+        matrix[0, 0] = True
+        matrix[:, 1:] = True
+        coverage = CoverageMatrix(matrix)
+        policy = CoverageAwareUCBPolicy(coverage)
+        policy.reset(M, K, 100)
+        # Seller 0 has the worst quality, so blind top-K would skip it.
+        state = self.warmed_state(np.linspace(0.05, 0.9, M))
+        selected = policy.select(3, state, rng)
+        assert 0 in selected
+        assert coverage.coverage_fraction(selected) == 1.0
+
+    def test_coverage_mismatch_rejected(self, coverage):
+        policy = CoverageAwareUCBPolicy(coverage)
+        with pytest.raises(ConfigurationError, match="coverage matrix"):
+            policy.reset(M + 1, K, 100)
+
+    def test_rejects_bad_coefficient(self, coverage):
+        with pytest.raises(ConfigurationError, match="coefficient"):
+            CoverageAwareUCBPolicy(coverage, exploration_coefficient=0.0)
+
+
+class TestRunCoverageSimulation:
+    QUALITIES = np.linspace(0.2, 0.95, M)
+
+    def test_validates_inputs(self, coverage):
+        with pytest.raises(ConfigurationError, match="k must be"):
+            run_coverage_simulation(UCBPolicy(), coverage, self.QUALITIES,
+                                    k=M + 1, num_rounds=10)
+        with pytest.raises(ConfigurationError, match="num_rounds"):
+            run_coverage_simulation(UCBPolicy(), coverage, self.QUALITIES,
+                                    k=K, num_rounds=0)
+        with pytest.raises(ConfigurationError, match="one entry"):
+            run_coverage_simulation(UCBPolicy(), coverage,
+                                    np.ones(3), k=K, num_rounds=10)
+
+    def test_coverage_aware_covers_more(self, coverage):
+        blind = run_coverage_simulation(
+            UCBPolicy(), coverage, self.QUALITIES, K, 300, seed=1
+        )
+        aware = run_coverage_simulation(
+            CoverageAwareUCBPolicy(coverage), coverage, self.QUALITIES,
+            K, 300, seed=1,
+        )
+        assert aware.mean_coverage >= blind.mean_coverage
+
+    def test_reproducible(self, coverage):
+        a = run_coverage_simulation(UCBPolicy(), coverage, self.QUALITIES,
+                                    K, 100, seed=2)
+        b = run_coverage_simulation(UCBPolicy(), coverage, self.QUALITIES,
+                                    K, 100, seed=2)
+        assert a.coverage_revenue == b.coverage_revenue
+
+    def test_revenue_counts_only_covered_pois(self):
+        # One seller covering exactly half the PoIs: per-round revenue
+        # is bounded by L/2 observations of quality <= 1.
+        matrix = np.zeros((2, 4), dtype=bool)
+        matrix[0, :2] = True
+        matrix[1, 2:] = True
+        coverage = CoverageMatrix(matrix)
+        result = run_coverage_simulation(
+            UCBPolicy(), coverage, np.array([0.5, 0.5]), k=1,
+            num_rounds=50, seed=3,
+        )
+        # 49 exploit rounds x at most 2 covered PoIs + round 0 (both).
+        assert result.coverage_revenue <= (49 * 2 + 4) * 1.0
+        assert result.mean_coverage <= 0.55

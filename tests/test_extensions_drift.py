@@ -1,0 +1,49 @@
+"""Tests for the non-stationary (drifting-quality) extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions.nonstationary import drift_comparison
+
+
+class TestDriftComparison:
+    @pytest.fixture(scope="class")
+    def stationary(self):
+        return drift_comparison(amplitude=0.0, num_rounds=1_000, seed=2,
+                                window=200, num_sellers=20, k=4)
+
+    @pytest.fixture(scope="class")
+    def drifting(self):
+        return drift_comparison(amplitude=0.35, num_rounds=1_000, seed=2,
+                                window=200, num_sellers=20, k=4)
+
+    def test_reports_all_policies(self, stationary):
+        assert set(stationary) == {"optimal", "CMAB-HS", "sw-ucb",
+                                   "random"}
+
+    def test_random_is_worst_in_both_regimes(self, stationary, drifting):
+        for outcome in (stationary, drifting):
+            learning = min(outcome["CMAB-HS"], outcome["sw-ucb"])
+            assert outcome["random"] < learning
+
+    def test_stationary_vanilla_at_least_matches_window(self, stationary):
+        # With no drift the window only discards useful history.
+        assert stationary["CMAB-HS"] >= stationary["sw-ucb"] * 0.97
+
+    def test_window_relative_standing_improves_with_drift(
+        self, stationary, drifting
+    ):
+        gain_static = stationary["sw-ucb"] / stationary["CMAB-HS"]
+        gain_drift = drifting["sw-ucb"] / drifting["CMAB-HS"]
+        assert gain_drift > gain_static - 0.02
+
+    def test_zero_amplitude_uses_stationary_model(self):
+        # amplitude=0 must be exactly the stationary instance (common
+        # random numbers): same result twice.
+        a = drift_comparison(0.0, 300, seed=5, window=100,
+                             num_sellers=15, k=3)
+        b = drift_comparison(0.0, 300, seed=5, window=100,
+                             num_sellers=15, k=3)
+        assert a == b

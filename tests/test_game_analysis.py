@@ -1,0 +1,125 @@
+"""Unit tests for the deviation-curve analysis (Figs. 13-14 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incentive import ClosedFormStackelbergSolver
+from repro.exceptions import ConfigurationError
+from repro.game.analysis import (
+    consumer_price_sweep,
+    seller_time_deviation_sweep,
+)
+from repro.game.profits import GameInstance
+
+
+@pytest.fixture
+def game(rng) -> GameInstance:
+    return GameInstance(
+        qualities=rng.uniform(0.3, 1.0, 5),
+        cost_a=rng.uniform(0.1, 0.5, 5),
+        cost_b=rng.uniform(0.1, 1.0, 5),
+        theta=0.1,
+        lam=1.0,
+        omega=800.0,
+        service_price_bounds=(0.0, 10_000.0),
+        collection_price_bounds=(0.0, 10_000.0),
+    )
+
+
+@pytest.fixture
+def solver() -> ClosedFormStackelbergSolver:
+    return ClosedFormStackelbergSolver()
+
+
+class TestConsumerPriceSweep:
+    def test_rejects_empty_sweep(self, game, solver):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            consumer_price_sweep(game, [], solver.cascade)
+
+    def test_shapes(self, game, solver):
+        prices = np.linspace(1.0, 30.0, 12)
+        curves = consumer_price_sweep(game, prices, solver.cascade)
+        assert curves.consumer.shape == (12,)
+        assert curves.platform.shape == (12,)
+        assert curves.sellers.shape == (12, 5)
+        assert curves.collection_prices.shape == (12,)
+
+    def test_consumer_profit_unimodal_with_interior_peak(self, game, solver):
+        prices = np.linspace(1.0, 40.0, 120)
+        curves = consumer_price_sweep(game, prices, solver.cascade)
+        peak = int(np.argmax(curves.consumer))
+        assert 0 < peak < prices.size - 1
+        # Rising before the peak, falling after it.
+        assert np.all(np.diff(curves.consumer[: peak + 1]) > -1e-9)
+        assert np.all(np.diff(curves.consumer[peak:]) < 1e-9)
+
+    def test_platform_and_sellers_monotone_in_price(self, game, solver):
+        prices = np.linspace(2.0, 40.0, 60)
+        curves = consumer_price_sweep(game, prices, solver.cascade)
+        assert np.all(np.diff(curves.platform) > 0.0)
+        assert np.all(np.diff(curves.mean_seller) >= -1e-12)
+
+    def test_argmax_matches_closed_form_se(self, game, solver):
+        equilibrium = solver.solve(game)
+        prices = np.linspace(1.0, 40.0, 400)
+        curves = consumer_price_sweep(game, prices, solver.cascade)
+        assert curves.argmax_consumer == pytest.approx(
+            equilibrium.profile.service_price, abs=0.2
+        )
+
+    def test_default_cascade_is_numeric(self, game):
+        prices = np.array([10.0])
+        curves = consumer_price_sweep(game, prices)  # no cascade given
+        assert np.isfinite(curves.consumer[0])
+
+
+class TestSellerDeviationSweep:
+    def test_rejects_bad_position(self, game, solver):
+        profile = solver.solve(game).profile
+        with pytest.raises(ConfigurationError, match="position"):
+            seller_time_deviation_sweep(game, profile, 5, [1.0])
+
+    def test_rejects_empty_sweep(self, game, solver):
+        profile = solver.solve(game).profile
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            seller_time_deviation_sweep(game, profile, 0, [])
+
+    def test_deviator_profit_peaks_at_equilibrium(self, game, solver):
+        profile = solver.solve(game).profile
+        position = 2
+        tau_star = profile.sensing_times[position]
+        sweep = np.linspace(0.0, 2.0 * tau_star, 201)
+        curve = seller_time_deviation_sweep(game, profile, position, sweep)
+        best = float(sweep[int(np.argmax(curve.deviator_profit))])
+        assert best == pytest.approx(tau_star, abs=2.0 * tau_star / 200 + 1e-9)
+
+    def test_other_sellers_unaffected(self, game, solver):
+        profile = solver.solve(game).profile
+        sweep = np.linspace(0.1, 2.0, 30)
+        curve = seller_time_deviation_sweep(game, profile, 1, sweep)
+        for other in (0, 2, 3, 4):
+            column = curve.sellers[:, other]
+            np.testing.assert_allclose(column, column[0])
+
+    def test_leaders_profits_change_with_deviation(self, game, solver):
+        profile = solver.solve(game).profile
+        sweep = np.linspace(0.1, 3.0, 30)
+        curve = seller_time_deviation_sweep(game, profile, 0, sweep)
+        assert curve.consumer.std() > 0.0
+        assert curve.platform.std() > 0.0
+
+    def test_zero_deviation_zero_profit(self, game, solver):
+        profile = solver.solve(game).profile
+        curve = seller_time_deviation_sweep(game, profile, 0, [0.0])
+        assert curve.deviator_profit[0] == pytest.approx(0.0)
+
+    def test_best_deviation_matches_equilibrium_time(self, game, solver):
+        profile = solver.solve(game).profile
+        tau_star = profile.sensing_times[3]
+        sweep = np.linspace(0.0, 2.0 * tau_star, 401)
+        curve = seller_time_deviation_sweep(game, profile, 3, sweep)
+        step = sweep[1] - sweep[0]
+        assert curve.best_deviation() == pytest.approx(tau_star,
+                                                       abs=step + 1e-12)

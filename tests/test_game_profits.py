@@ -1,0 +1,214 @@
+"""Unit tests for game instances and the profit functions (Eqs. 5, 7, 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, InfeasibleStrategyError
+from repro.game.profits import GameInstance, StrategyProfile
+
+
+def make_game(**overrides) -> GameInstance:
+    defaults = dict(
+        qualities=np.array([0.5, 0.8]),
+        cost_a=np.array([0.2, 0.4]),
+        cost_b=np.array([0.1, 0.3]),
+        theta=0.1,
+        lam=1.0,
+        omega=100.0,
+    )
+    defaults.update(overrides)
+    return GameInstance(**defaults)
+
+
+class TestValidation:
+    def test_rejects_empty_qualities(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            make_game(qualities=np.array([]), cost_a=np.array([]),
+                      cost_b=np.array([]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError, match="identical shapes"):
+            make_game(cost_a=np.array([0.2]))
+
+    def test_rejects_zero_quality(self):
+        with pytest.raises(ConfigurationError, match=r"\(0, 1\]"):
+            make_game(qualities=np.array([0.0, 0.8]))
+
+    def test_rejects_nonpositive_a(self):
+        with pytest.raises(ConfigurationError, match="a_i"):
+            make_game(cost_a=np.array([0.0, 0.4]))
+
+    def test_rejects_negative_b(self):
+        with pytest.raises(ConfigurationError, match="b_i"):
+            make_game(cost_b=np.array([-0.1, 0.3]))
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ConfigurationError, match="theta"):
+            make_game(theta=0.0)
+
+    def test_rejects_bad_omega(self):
+        with pytest.raises(ConfigurationError, match="omega"):
+            make_game(omega=0.5)
+
+    def test_rejects_inverted_price_bounds(self):
+        with pytest.raises(ConfigurationError, match="upper bound"):
+            make_game(service_price_bounds=(5.0, 1.0))
+
+    def test_rejects_nan_bounds(self):
+        with pytest.raises(ConfigurationError, match="NaN"):
+            make_game(collection_price_bounds=(0.0, float("nan")))
+
+    def test_rejects_nonpositive_max_sensing_time(self):
+        with pytest.raises(ConfigurationError, match="max_sensing_time"):
+            make_game(max_sensing_time=0.0)
+
+
+class TestCoefficients:
+    def test_coefficient_a_formula(self):
+        game = make_game()
+        expected = 1.0 / (2 * 0.5 * 0.2) + 1.0 / (2 * 0.8 * 0.4)
+        assert game.coefficient_a == pytest.approx(expected)
+
+    def test_coefficient_b_formula(self):
+        game = make_game()
+        expected = 0.1 / (2 * 0.2) + 0.3 / (2 * 0.4)
+        assert game.coefficient_b == pytest.approx(expected)
+
+    def test_total_time_is_linear_in_price(self):
+        # sum tau*(p) = p*A - B on the interior region.
+        game = make_game()
+        a, b = game.coefficient_a, game.coefficient_b
+        for price in (1.0, 2.0, 5.0):
+            total = game.seller_best_responses(price).sum()
+            assert total == pytest.approx(price * a - b)
+
+    def test_mean_quality(self):
+        assert make_game().mean_quality == pytest.approx(0.65)
+
+    def test_opt_out_price(self):
+        game = make_game()
+        assert game.opt_out_price == pytest.approx(
+            max(0.5 * 0.1, 0.8 * 0.3)
+        )
+
+    def test_num_sellers(self):
+        assert make_game().num_sellers == 2
+
+
+class TestProfits:
+    def test_seller_profits_equation_5(self):
+        game = make_game()
+        taus = np.array([1.0, 2.0])
+        p = 2.0
+        expected_0 = 2.0 * 1.0 - (0.2 * 1.0 + 0.1 * 1.0) * 0.5
+        expected_1 = 2.0 * 2.0 - (0.4 * 4.0 + 0.3 * 2.0) * 0.8
+        np.testing.assert_allclose(
+            game.seller_profits(p, taus), [expected_0, expected_1]
+        )
+
+    def test_platform_profit_equation_7(self):
+        game = make_game()
+        taus = np.array([1.0, 2.0])
+        expected = (5.0 - 2.0) * 3.0 - (0.1 * 9.0 + 1.0 * 3.0)
+        assert game.platform_profit(5.0, 2.0, taus) == pytest.approx(expected)
+
+    def test_consumer_profit_equation_9(self):
+        game = make_game()
+        taus = np.array([1.0, 2.0])
+        expected = 100.0 * np.log(1.0 + 0.65 * 3.0) - 5.0 * 3.0
+        assert game.consumer_profit(5.0, taus) == pytest.approx(expected)
+
+    def test_profile_profits_consistency(self):
+        game = make_game()
+        profile = StrategyProfile(5.0, 2.0, np.array([1.0, 2.0]))
+        profits = game.profile_profits(profile)
+        assert profits["consumer"] == pytest.approx(
+            game.consumer_profit(5.0, profile.sensing_times)
+        )
+        assert profits["platform"] == pytest.approx(
+            game.platform_profit(5.0, 2.0, profile.sensing_times)
+        )
+        np.testing.assert_allclose(
+            profits["sellers"],
+            game.seller_profits(2.0, profile.sensing_times),
+        )
+
+
+class TestBestResponses:
+    def test_matches_theorem_14(self):
+        game = make_game()
+        p = 2.0
+        expected = (p - game.qualities * game.cost_b) / (
+            2.0 * game.qualities * game.cost_a
+        )
+        np.testing.assert_allclose(game.seller_best_responses(p), expected)
+
+    def test_floors_at_zero(self):
+        game = make_game(cost_b=np.array([5.0, 0.3]))
+        taus = game.seller_best_responses(0.5)
+        assert taus[0] == 0.0
+        assert taus[1] > 0.0
+
+    def test_caps_at_round_duration(self):
+        game = make_game(max_sensing_time=1.0)
+        taus = game.seller_best_responses(100.0)
+        assert np.all(taus <= 1.0)
+
+
+class TestFeasibility:
+    def test_clip_prices(self):
+        game = make_game(service_price_bounds=(1.0, 4.0),
+                         collection_price_bounds=(0.5, 2.0))
+        assert game.clip_service_price(0.0) == 1.0
+        assert game.clip_service_price(9.0) == 4.0
+        assert game.clip_collection_price(3.0) == 2.0
+
+    def test_clip_sensing_times(self):
+        game = make_game(max_sensing_time=2.0)
+        np.testing.assert_allclose(
+            game.clip_sensing_times(np.array([-1.0, 1.0, 5.0])),
+            [0.0, 1.0, 2.0],
+        )
+
+    def test_require_feasible_accepts_valid(self):
+        game = make_game()
+        game.require_feasible(
+            StrategyProfile(5.0, 2.0, np.array([1.0, 1.0]))
+        )
+
+    def test_require_feasible_rejects_price(self):
+        game = make_game(service_price_bounds=(0.0, 4.0))
+        with pytest.raises(InfeasibleStrategyError, match="service price"):
+            game.require_feasible(
+                StrategyProfile(9.0, 2.0, np.array([1.0, 1.0]))
+            )
+
+    def test_require_feasible_rejects_negative_time(self):
+        game = make_game()
+        with pytest.raises(InfeasibleStrategyError, match="sensing times"):
+            game.require_feasible(
+                StrategyProfile(5.0, 2.0, np.array([-1.0, 1.0]))
+            )
+
+    def test_require_feasible_rejects_wrong_arity(self):
+        game = make_game()
+        with pytest.raises(InfeasibleStrategyError, match="expected 2"):
+            game.require_feasible(StrategyProfile(5.0, 2.0, np.array([1.0])))
+
+
+class TestStrategyProfile:
+    def test_total_sensing_time(self):
+        profile = StrategyProfile(5.0, 2.0, np.array([1.0, 2.5]))
+        assert profile.total_sensing_time == pytest.approx(3.5)
+
+    def test_replace_sensing_time_copies(self):
+        profile = StrategyProfile(5.0, 2.0, np.array([1.0, 2.0]))
+        deviated = profile.replace_sensing_time(0, 9.0)
+        assert deviated.sensing_times[0] == 9.0
+        assert profile.sensing_times[0] == 1.0
+
+    def test_rejects_2d_times(self):
+        with pytest.raises(ConfigurationError, match="1-D"):
+            StrategyProfile(5.0, 2.0, np.array([[1.0]]))

@@ -1,0 +1,148 @@
+"""Unit tests for the numerical backward-induction solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.game.profits import GameInstance, StrategyProfile
+from repro.game.stackelberg import (
+    NumericalStackelbergSolver,
+    SolvedGame,
+    solve_stage1_numeric,
+    solve_stage2_numeric,
+    solve_stage3_numeric,
+)
+
+
+@pytest.fixture
+def game(rng) -> GameInstance:
+    return GameInstance(
+        qualities=rng.uniform(0.3, 1.0, 4),
+        cost_a=rng.uniform(0.1, 0.5, 4),
+        cost_b=rng.uniform(0.1, 1.0, 4),
+        theta=0.1,
+        lam=1.0,
+        omega=500.0,
+        service_price_bounds=(0.0, 10_000.0),
+        collection_price_bounds=(0.0, 10_000.0),
+    )
+
+
+class TestStage3:
+    def test_matches_closed_form_interior(self, game):
+        price = 3.0
+        numeric = solve_stage3_numeric(game, price)
+        closed = game.seller_best_responses(price)
+        np.testing.assert_allclose(numeric, closed, atol=1e-5)
+
+    def test_zero_price_zero_times(self, game):
+        np.testing.assert_allclose(
+            solve_stage3_numeric(game, 0.0), 0.0, atol=1e-6
+        )
+
+    def test_respects_round_duration(self, rng):
+        capped = GameInstance(
+            qualities=np.array([0.5]), cost_a=np.array([0.2]),
+            cost_b=np.array([0.1]), theta=0.1, lam=1.0, omega=100.0,
+            max_sensing_time=0.5,
+        )
+        taus = solve_stage3_numeric(capped, 100.0)
+        assert taus[0] == pytest.approx(0.5, abs=1e-6)
+
+
+class TestStage2:
+    def test_first_order_condition(self, game):
+        service_price = 12.0
+        price = solve_stage2_numeric(game, service_price)
+
+        def profit(p: float) -> float:
+            return game.platform_profit(
+                service_price, p, solve_stage3_numeric(game, p)
+            )
+
+        h = 1e-4
+        derivative = (profit(price + h) - profit(price - h)) / (2 * h)
+        assert abs(derivative) < 0.05
+
+    def test_never_exceeds_service_price(self, game):
+        price = solve_stage2_numeric(game, 2.0)
+        assert price <= 2.0 + 1e-9
+
+    def test_respects_lower_bound(self, rng):
+        game = GameInstance(
+            qualities=np.array([0.5]), cost_a=np.array([0.2]),
+            cost_b=np.array([0.1]), theta=0.1, lam=1.0, omega=100.0,
+            collection_price_bounds=(1.5, 100.0),
+        )
+        assert solve_stage2_numeric(game, 2.0) >= 1.5
+
+
+class TestStage1:
+    def test_interior_maximum(self, game):
+        price = solve_stage1_numeric(game, coarse_points=61)
+
+        def profit(p_j: float) -> float:
+            collection = solve_stage2_numeric(game, p_j,
+                                              coarse_points=201)
+            return game.consumer_profit(
+                p_j, solve_stage3_numeric(game, collection)
+            )
+
+        # No nearby price does meaningfully better.
+        best = profit(price)
+        for delta in (-0.5, -0.1, 0.1, 0.5):
+            assert profit(price + delta) <= best + 1e-3
+
+
+class TestSolver:
+    def test_solve_returns_consistent_profits(self, game):
+        solved = NumericalStackelbergSolver().solve(game)
+        profile = solved.profile
+        assert solved.consumer_profit == pytest.approx(
+            game.consumer_profit(profile.service_price,
+                                 profile.sensing_times)
+        )
+        assert solved.platform_profit == pytest.approx(
+            game.platform_profit(profile.service_price,
+                                 profile.collection_price,
+                                 profile.sensing_times)
+        )
+
+    def test_solution_is_feasible(self, game):
+        solved = NumericalStackelbergSolver().solve(game)
+        game.require_feasible(solved.profile)
+
+    def test_all_parties_profit_nonnegative(self, game):
+        # At the SE of this parameterisation everyone participates
+        # willingly: profits are non-negative.
+        solved = NumericalStackelbergSolver().solve(game)
+        assert solved.consumer_profit >= 0.0
+        assert solved.platform_profit >= 0.0
+        assert np.all(solved.seller_profits >= -1e-9)
+
+    def test_cascade_matches_stagewise_calls(self, game):
+        solver = NumericalStackelbergSolver()
+        price, taus = solver.cascade(game, 10.0)
+        assert price == pytest.approx(solve_stage2_numeric(game, 10.0))
+        np.testing.assert_allclose(
+            taus, solve_stage3_numeric(game, price)
+        )
+
+
+class TestSolvedGame:
+    def test_from_profile(self, game):
+        profile = StrategyProfile(10.0, 2.0, np.array([1.0] * 4))
+        solved = SolvedGame.from_profile(game, profile)
+        assert solved.profile is profile
+        assert solved.seller_profits.shape == (4,)
+
+    def test_aggregates(self, game):
+        profile = StrategyProfile(10.0, 2.0, np.array([1.0] * 4))
+        solved = SolvedGame.from_profile(game, profile)
+        assert solved.total_seller_profit == pytest.approx(
+            float(solved.seller_profits.sum())
+        )
+        assert solved.mean_seller_profit == pytest.approx(
+            float(solved.seller_profits.mean())
+        )

@@ -1,0 +1,322 @@
+"""Unit tests for the closed-form incentive solution (Theorems 14-16)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incentive import (
+    ClosedFormStackelbergSolver,
+    FormulaVariant,
+    StageCoefficients,
+    initial_round_prices,
+    optimal_collection_price,
+    optimal_sensing_times,
+    optimal_service_price,
+    solve_round_fast,
+)
+from repro.exceptions import GameError
+from repro.game.profits import GameInstance
+from repro.game.stackelberg import (
+    NumericalStackelbergSolver,
+    solve_stage2_numeric,
+    solve_stage3_numeric,
+)
+
+
+def make_game(k=6, seed=0, omega=1_000.0, theta=0.1, lam=1.0,
+              b_zero=False, **overrides) -> GameInstance:
+    rng = np.random.default_rng(seed)
+    params = dict(
+        qualities=rng.uniform(0.3, 1.0, k),
+        cost_a=rng.uniform(0.1, 0.5, k),
+        cost_b=(np.zeros(k) if b_zero else rng.uniform(0.1, 1.0, k)),
+        theta=theta,
+        lam=lam,
+        omega=omega,
+        service_price_bounds=(0.0, 10_000.0),
+        collection_price_bounds=(0.0, 10_000.0),
+    )
+    params.update(overrides)
+    return GameInstance(**params)
+
+
+class TestStageCoefficients:
+    def test_a_and_b_sums(self):
+        game = make_game()
+        coeffs = StageCoefficients.from_game(game)
+        assert coeffs.a_sum == pytest.approx(game.coefficient_a)
+        assert coeffs.b_sum == pytest.approx(game.coefficient_b)
+
+    def test_variants_differ_by_2b(self):
+        game = make_game()
+        derived = StageCoefficients.from_game(game, FormulaVariant.DERIVED)
+        paper = StageCoefficients.from_game(game, FormulaVariant.PAPER)
+        assert paper.constant - derived.constant == pytest.approx(
+            2.0 * derived.b_sum
+        )
+
+    def test_variants_coincide_when_b_zero(self):
+        game = make_game(b_zero=True)
+        derived = StageCoefficients.from_game(game, FormulaVariant.DERIVED)
+        paper = StageCoefficients.from_game(game, FormulaVariant.PAPER)
+        assert derived.constant == pytest.approx(paper.constant)
+        assert derived.lambda_coef == pytest.approx(paper.lambda_coef)
+
+
+class TestStage2ClosedForm:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_numeric_argmax(self, seed):
+        game = make_game(seed=seed)
+        service_price = 12.0
+        closed = optimal_collection_price(game, service_price)
+        numeric = solve_stage2_numeric(game, service_price,
+                                       coarse_points=4_001)
+        assert closed == pytest.approx(numeric, abs=5e-3)
+
+    def test_first_order_condition(self):
+        game = make_game()
+        service_price = 15.0
+        price = optimal_collection_price(game, service_price)
+
+        def profit(p: float) -> float:
+            taus = game.seller_best_responses(p)
+            return game.platform_profit(service_price, p, taus)
+
+        h = 1e-6
+        derivative = (profit(price + h) - profit(price - h)) / (2 * h)
+        assert abs(derivative) < 1e-6
+
+    def test_paper_variant_suboptimal_when_b_positive(self):
+        game = make_game()
+        service_price = 15.0
+        derived = optimal_collection_price(game, service_price,
+                                           FormulaVariant.DERIVED)
+        paper = optimal_collection_price(game, service_price,
+                                         FormulaVariant.PAPER)
+
+        def profit(p: float) -> float:
+            return game.platform_profit(
+                service_price, p, game.seller_best_responses(p)
+            )
+
+        assert profit(derived) > profit(paper)
+
+    def test_clipped_to_bounds(self):
+        game = make_game(collection_price_bounds=(0.0, 0.5))
+        assert optimal_collection_price(game, 50.0) == 0.5
+
+    def test_increases_with_service_price(self):
+        game = make_game()
+        prices = [optimal_collection_price(game, p_j)
+                  for p_j in (5.0, 10.0, 20.0)]
+        assert prices[0] < prices[1] < prices[2]
+
+
+class TestStage1ClosedForm:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_first_order_condition_through_cascade(self, seed):
+        game = make_game(seed=seed)
+        solver = ClosedFormStackelbergSolver()
+        price = optimal_service_price(game)
+
+        def profit(p_j: float) -> float:
+            __, taus = solver.cascade(game, p_j)
+            return game.consumer_profit(p_j, taus)
+
+        h = 1e-5
+        derivative = (profit(price + h) - profit(price - h)) / (2 * h)
+        assert abs(derivative) < 1e-4 * max(abs(profit(price)), 1.0)
+
+    def test_grows_with_omega(self):
+        low = optimal_service_price(make_game(omega=600.0))
+        high = optimal_service_price(make_game(omega=1_400.0))
+        assert high > low
+
+    def test_clipped_to_bounds(self):
+        game = make_game(service_price_bounds=(0.0, 3.0))
+        assert optimal_service_price(game) == 3.0
+
+    def test_delta_discriminant_positive(self):
+        # The discriminant is (q*Lambda-2)^2 + 8*Theta*omega*q^2 > 0 always.
+        for seed in range(10):
+            game = make_game(seed=seed)
+            # Must not raise: a real solution exists.
+            optimal_service_price(game)
+
+
+class TestFullCascade:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_closed_form_matches_numeric_solver(self, seed):
+        game = make_game(seed=seed)
+        closed = ClosedFormStackelbergSolver().solve(game)
+        numeric = NumericalStackelbergSolver().solve(game)
+        assert closed.profile.service_price == pytest.approx(
+            numeric.profile.service_price, rel=2e-2
+        )
+        assert closed.consumer_profit == pytest.approx(
+            numeric.consumer_profit, rel=1e-3
+        )
+
+    def test_closed_form_weakly_dominates_numeric_for_consumer(self):
+        # The closed form is exact; the numerical solver can only tie it
+        # (up to grid error) on consumer profit.
+        game = make_game(seed=11)
+        closed = ClosedFormStackelbergSolver().solve(game)
+        numeric = NumericalStackelbergSolver().solve(game)
+        assert closed.consumer_profit >= numeric.consumer_profit - 0.05
+
+    def test_sensing_times_match_theorem_14(self):
+        game = make_game()
+        solved = ClosedFormStackelbergSolver().solve(game)
+        expected = game.seller_best_responses(
+            solved.profile.collection_price
+        )
+        np.testing.assert_allclose(solved.profile.sensing_times, expected)
+
+
+class TestSolverFallbacks:
+    def test_invalid_fallback_rejected(self):
+        with pytest.raises(GameError, match="fallback"):
+            ClosedFormStackelbergSolver(fallback="nope")
+
+    def test_clip_fallback_floors_sensing_times(self):
+        # A very expensive-b seller opts out at the closed-form price.
+        game = make_game(cost_b=np.array([9.0, 0.1, 0.1, 0.1, 0.1, 0.1]))
+        solved = ClosedFormStackelbergSolver(fallback="clip").solve(game)
+        assert np.all(solved.profile.sensing_times >= 0.0)
+
+    def test_error_fallback_raises_on_clip(self):
+        game = make_game(cost_b=np.array([9.0, 0.1, 0.1, 0.1, 0.1, 0.1]))
+        with pytest.raises(GameError, match="outside"):
+            ClosedFormStackelbergSolver(fallback="error").solve(game)
+
+    def test_numeric_fallback_produces_feasible_solution(self):
+        game = make_game(cost_b=np.array([9.0, 0.1, 0.1, 0.1, 0.1, 0.1]))
+        solved = ClosedFormStackelbergSolver(fallback="numeric").solve(game)
+        game.require_feasible(solved.profile)
+
+    def test_numeric_fallback_platform_consistent_under_clipping(self):
+        # When a seller opts out, the clipped closed form keeps a platform
+        # price that is no longer the platform's best response; the numeric
+        # fallback restores platform consistency.
+        game = make_game(cost_b=np.array([9.0, 0.1, 0.1, 0.1, 0.1, 0.1]))
+        clipped = ClosedFormStackelbergSolver(fallback="clip").solve(game)
+        numeric = ClosedFormStackelbergSolver(fallback="numeric").solve(game)
+
+        def platform_gain(solution):
+            best = solve_stage2_numeric(
+                game, solution.profile.service_price, coarse_points=2_001
+            )
+            best_profit = game.platform_profit(
+                solution.profile.service_price, best,
+                solve_stage3_numeric(game, best),
+            )
+            return best_profit - solution.platform_profit
+
+        assert platform_gain(numeric) < 0.05
+        assert platform_gain(clipped) > platform_gain(numeric)
+
+
+class TestBoundAwareStage1:
+    """The piecewise candidate evaluation must match brute force."""
+
+    @pytest.mark.parametrize("col_hi", [0.8, 1.5, 2.5])
+    def test_matches_grid_search_when_collection_bound_binds(self, col_hi):
+        game = make_game(collection_price_bounds=(0.0, col_hi),
+                         service_price_bounds=(0.0, 100.0))
+        solver = ClosedFormStackelbergSolver(fallback="clip")
+        solved = solver.solve(game)
+
+        def consumer_profit(p_j: float) -> float:
+            price = optimal_collection_price(game, p_j)
+            taus = game.seller_best_responses(price)
+            return game.consumer_profit(p_j, taus)
+
+        grid = np.linspace(0.0, 100.0, 40_001)
+        best = max(consumer_profit(float(p_j)) for p_j in grid)
+        assert solved.consumer_profit >= best - 1e-3
+
+    def test_matches_grid_search_when_service_bound_binds(self):
+        game = make_game(service_price_bounds=(0.0, 6.0))
+        solver = ClosedFormStackelbergSolver(fallback="clip")
+        solved = solver.solve(game)
+        assert solved.profile.service_price <= 6.0 + 1e-12
+
+        def consumer_profit(p_j: float) -> float:
+            price = optimal_collection_price(game, p_j)
+            taus = game.seller_best_responses(price)
+            return game.consumer_profit(p_j, taus)
+
+        grid = np.linspace(0.0, 6.0, 12_001)
+        best = max(consumer_profit(float(p_j)) for p_j in grid)
+        assert solved.consumer_profit >= best - 1e-3
+
+
+class TestInitialRoundPrices:
+    def test_break_even_platform_profit(self):
+        game = make_game(collection_price_bounds=(0.0, 5.0))
+        tau0 = 1.0
+        service, collection = initial_round_prices(game, tau0)
+        assert collection == 5.0
+        total = game.num_sellers * tau0
+        profit = game.platform_profit(
+            service, collection, np.full(game.num_sellers, tau0)
+        )
+        assert profit == pytest.approx(0.0, abs=1e-9)
+
+    def test_paper_example_values(self):
+        # 3 sellers, tau0=1, p_max=5, theta=0.5, lambda=1 gives
+        # p^{J,1*} = 5 + (0.5*9 + 1*3)/3 = 7.5 — the Sec. III-D numbers.
+        game = GameInstance(
+            qualities=np.array([0.5, 0.5, 0.5]),
+            cost_a=np.array([0.3, 0.3, 0.3]),
+            cost_b=np.array([0.1, 0.1, 0.1]),
+            theta=0.5, lam=1.0, omega=100.0,
+            collection_price_bounds=(0.0, 5.0),
+            service_price_bounds=(0.0, 100.0),
+        )
+        service, collection = initial_round_prices(game, 1.0)
+        assert collection == pytest.approx(5.0)
+        assert service == pytest.approx(7.5)
+
+    def test_rejects_nonpositive_tau0(self):
+        with pytest.raises(GameError, match="initial sensing time"):
+            initial_round_prices(make_game(), 0.0)
+
+
+class TestSolveRoundFast:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_object_solver(self, seed):
+        game = make_game(seed=seed)
+        solved = ClosedFormStackelbergSolver(fallback="clip").solve(game)
+        p_j, p, taus = solve_round_fast(
+            game.qualities, game.cost_a, game.cost_b, game.theta,
+            game.lam, game.omega, game.service_price_bounds,
+            game.collection_price_bounds, game.max_sensing_time,
+        )
+        assert p_j == pytest.approx(solved.profile.service_price)
+        assert p == pytest.approx(solved.profile.collection_price)
+        np.testing.assert_allclose(taus, solved.profile.sensing_times)
+
+    def test_paper_variant_flag(self):
+        game = make_game()
+        p_j_paper, __, __ = solve_round_fast(
+            game.qualities, game.cost_a, game.cost_b, game.theta,
+            game.lam, game.omega, game.service_price_bounds,
+            game.collection_price_bounds, paper_variant=True,
+        )
+        expected = optimal_service_price(game, FormulaVariant.PAPER)
+        assert p_j_paper == pytest.approx(expected)
+
+    def test_clips_prices_and_times(self):
+        game = make_game()
+        p_j, p, taus = solve_round_fast(
+            game.qualities, game.cost_a, game.cost_b, game.theta,
+            game.lam, game.omega, (0.0, 2.0), (0.0, 0.3),
+            max_sensing_time=0.25,
+        )
+        assert p_j <= 2.0
+        assert p <= 0.3
+        assert np.all(taus <= 0.25)
+        assert np.all(taus >= 0.0)

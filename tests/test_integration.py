@@ -1,0 +1,131 @@
+"""End-to-end integration tests across packages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CMABHSMechanism,
+    Consumer,
+    Job,
+    Platform,
+    SellerPopulation,
+    UCBPolicy,
+    gap_statistics,
+    theorem19_bound,
+    verify_equilibrium,
+)
+from repro.bandits.policies import OptimalPolicy, RandomPolicy
+from repro.core.incentive import ClosedFormStackelbergSolver
+from repro.data import TraceSpec, extract_pois, generate_trace, sellers_from_trace
+from repro.quality import TruncatedGaussianQuality
+from repro.sim import SimulationConfig, TradingSimulator
+
+
+class TestTracePipelineToSimulation:
+    """The paper's full pipeline: trace -> PoIs -> sellers -> trading."""
+
+    @pytest.fixture(scope="class")
+    def derived(self):
+        trace = generate_trace(
+            TraceSpec(num_trips=1_200, num_taxis=30, num_hotspots=10,
+                      seed=2)
+        )
+        pois = extract_pois(trace, num_pois=5)
+        return trace, pois, sellers_from_trace(
+            trace, pois, num_sellers=12,
+            rng=np.random.default_rng(2), radius_degrees=0.03,
+        )
+
+    def test_simulation_on_trace_sellers(self, derived):
+        __, pois, sellers = derived
+        config = SimulationConfig(
+            num_sellers=12, num_selected=4, num_pois=len(pois),
+            num_rounds=300, seed=2,
+        )
+        simulator = TradingSimulator(
+            config, population=sellers.population,
+        )
+        comparison = simulator.compare([
+            OptimalPolicy(sellers.population.expected_qualities),
+            UCBPolicy(),
+            RandomPolicy(),
+        ])
+        optimal = comparison["optimal"].total_expected_revenue
+        assert comparison["CMAB-HS"].total_expected_revenue <= optimal
+        assert (comparison["CMAB-HS"].total_expected_revenue
+                > comparison["random"].total_expected_revenue)
+
+    def test_mechanism_on_trace_sellers(self, derived):
+        __, pois, sellers = derived
+        job = Job.simple(num_pois=len(pois), num_rounds=150)
+        mechanism = CMABHSMechanism(
+            sellers.population, job, Platform.default(price_max=5.0),
+            Consumer.default(), k=4, seed=3,
+        )
+        result = mechanism.run()
+        assert result.num_rounds == 150
+        assert result.cumulative_regret >= 0.0
+
+
+class TestMechanismEquilibriumCertification:
+    """Every strategy the mechanism outputs must satisfy Definition 13."""
+
+    def test_random_rounds_are_equilibria(self):
+        population = SellerPopulation.random(10, np.random.default_rng(4))
+        job = Job.simple(num_pois=5, num_rounds=40)
+        mechanism = CMABHSMechanism(
+            population, job, Platform.default(price_max=5.0),
+            Consumer.default(), k=3, seed=4,
+        )
+        result = mechanism.run()
+        solver = ClosedFormStackelbergSolver()
+        for t in (5, 20, 39):
+            outcome = result.rounds[t]
+            # Rebuild the exact game the mechanism solved that round from
+            # the estimates it recorded.
+            game = mechanism.build_game(
+                outcome.selected, outcome.estimated_qualities
+            )
+            report = verify_equilibrium(
+                game, outcome.strategy, solver.cascade,
+                num_points=300, tolerance=0.05,
+            )
+            assert report.is_equilibrium, (t, report.describe())
+
+
+class TestRegretBoundHolds:
+    def test_measured_regret_below_theorem_19(self):
+        population = SellerPopulation.random(12, np.random.default_rng(6))
+        job = Job.simple(num_pois=5, num_rounds=500)
+        mechanism = CMABHSMechanism(
+            population, job, Platform.default(price_max=5.0),
+            Consumer.default(), k=3, seed=6,
+        )
+        result = mechanism.run()
+        gaps = gap_statistics(population.expected_qualities, k=3)
+        bound = theorem19_bound(
+            num_sellers=12, k=3, num_pois=5, num_rounds=500,
+            delta_min=gaps.delta_min, delta_max=gaps.delta_max,
+        )
+        assert result.cumulative_regret <= bound
+
+
+class TestCrossSeedStability:
+    def test_policy_ordering_stable_across_seeds(self):
+        for seed in (0, 1, 2):
+            config = SimulationConfig(
+                num_sellers=30, num_selected=5, num_pois=5,
+                num_rounds=600, seed=seed,
+            )
+            simulator = TradingSimulator(config)
+            comparison = simulator.compare([
+                OptimalPolicy(simulator.population.expected_qualities),
+                UCBPolicy(),
+                RandomPolicy(),
+            ])
+            optimal = comparison["optimal"].total_expected_revenue
+            ucb = comparison["CMAB-HS"].total_expected_revenue
+            random = comparison["random"].total_expected_revenue
+            assert optimal >= ucb > random, f"seed {seed}"

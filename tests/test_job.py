@@ -1,0 +1,66 @@
+"""Unit tests for jobs and PoIs (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities.job import Job, PoI
+from repro.exceptions import ConfigurationError
+
+
+class TestPoI:
+    def test_basic_construction(self):
+        poi = PoI(poi_id=3, latitude=41.9, longitude=-87.6, weight=12.0)
+        assert poi.poi_id == 3
+        assert poi.weight == 12.0
+
+    def test_rejects_nonfinite_coordinates(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            PoI(poi_id=0, latitude=float("nan"))
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ConfigurationError, match="weight"):
+            PoI(poi_id=0, weight=-1.0)
+
+
+class TestJob:
+    def test_simple_builder(self):
+        job = Job.simple(num_pois=4, num_rounds=10)
+        assert job.num_pois == 4
+        assert job.num_rounds == 10
+        assert [p.poi_id for p in job.pois] == [0, 1, 2, 3]
+
+    def test_rejects_no_pois(self):
+        with pytest.raises(ConfigurationError, match="at least one PoI"):
+            Job(pois=(), num_rounds=5)
+
+    def test_rejects_nonpositive_rounds(self):
+        with pytest.raises(ConfigurationError, match="num_rounds"):
+            Job.simple(num_pois=2, num_rounds=0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError, match="round_duration"):
+            Job.simple(num_pois=2, num_rounds=5, round_duration=0.0)
+
+    def test_rejects_duplicate_poi_ids(self):
+        pois = (PoI(poi_id=1), PoI(poi_id=1))
+        with pytest.raises(ConfigurationError, match="unique"):
+            Job(pois=pois, num_rounds=5)
+
+    def test_total_duration(self):
+        job = Job.simple(num_pois=1, num_rounds=10, round_duration=2.5)
+        assert job.total_duration == pytest.approx(25.0)
+
+    def test_default_duration_unbounded(self):
+        job = Job.simple(num_pois=1, num_rounds=10)
+        assert job.round_duration == float("inf")
+
+    def test_clip_sensing_time(self):
+        job = Job.simple(num_pois=1, num_rounds=1, round_duration=3.0)
+        assert job.clip_sensing_time(-1.0) == 0.0
+        assert job.clip_sensing_time(5.0) == 3.0
+        assert job.clip_sensing_time(2.0) == 2.0
+
+    def test_rejects_nonpositive_poi_count(self):
+        with pytest.raises(ConfigurationError, match="num_pois"):
+            Job.simple(num_pois=0, num_rounds=5)

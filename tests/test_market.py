@@ -1,0 +1,159 @@
+"""Unit tests for the multi-consumer market extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.entities.seller import SellerPopulation
+from repro.exceptions import ConfigurationError, SelectionError
+from repro.market.allocation import (
+    RandomPriorityAllocation,
+    RichestFirstAllocation,
+    SnakeDraftAllocation,
+)
+from repro.market.engine import MarketSimulator
+from repro.market.spec import ConsumerSpec
+
+SPECS = [
+    ConsumerSpec(consumer_id=0, omega=1_400.0, k=3),
+    ConsumerSpec(consumer_id=1, omega=1_000.0, k=3),
+    ConsumerSpec(consumer_id=2, omega=600.0, k=2),
+]
+
+RANKED = np.arange(20)
+
+
+class TestConsumerSpec:
+    def test_rejects_bad_omega(self):
+        with pytest.raises(ConfigurationError, match="omega"):
+            ConsumerSpec(consumer_id=0, omega=1.0, k=2)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ConfigurationError, match="k must be"):
+            ConsumerSpec(consumer_id=0, omega=100.0, k=0)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ConfigurationError, match="consumer_id"):
+            ConsumerSpec(consumer_id=-1, omega=100.0, k=2)
+
+
+class TestAllocationStrategies:
+    @pytest.mark.parametrize("strategy_cls", [
+        RichestFirstAllocation, SnakeDraftAllocation,
+        RandomPriorityAllocation,
+    ])
+    def test_partitions_are_disjoint_and_sized(self, strategy_cls, rng):
+        allocation = strategy_cls().allocate(RANKED, SPECS, rng)
+        all_sellers = np.concatenate(list(allocation.values()))
+        assert np.unique(all_sellers).size == all_sellers.size
+        for spec in SPECS:
+            assert allocation[spec.consumer_id].size == spec.k
+
+    def test_richest_first_gives_best_to_highest_omega(self, rng):
+        allocation = RichestFirstAllocation().allocate(RANKED, SPECS, rng)
+        # Ranked is 0..19 descending desirability; consumer 0 (omega
+        # 1400) gets the top-3, consumer 1 the next 3, consumer 2 after.
+        np.testing.assert_array_equal(allocation[0], [0, 1, 2])
+        np.testing.assert_array_equal(allocation[1], [3, 4, 5])
+        np.testing.assert_array_equal(allocation[2], [6, 7])
+
+    def test_snake_draft_interleaves(self, rng):
+        allocation = SnakeDraftAllocation().allocate(RANKED, SPECS, rng)
+        # Pass 1 forward: c0<-0, c1<-1, c2<-2; pass 2 reversed:
+        # c2<-3, c1<-4, c0<-5; pass 3 forward: c0<-6, c1<-7 (c2 done).
+        np.testing.assert_array_equal(allocation[0], [0, 5, 6])
+        np.testing.assert_array_equal(allocation[1], [1, 4, 7])
+        np.testing.assert_array_equal(allocation[2], [2, 3])
+
+    def test_random_priority_varies_with_rng(self):
+        allocations = set()
+        for seed in range(10):
+            allocation = RandomPriorityAllocation().allocate(
+                RANKED, SPECS, np.random.default_rng(seed)
+            )
+            allocations.add(tuple(allocation[0].tolist()))
+        assert len(allocations) > 1
+
+    def test_insufficient_supply_rejected(self, rng):
+        with pytest.raises(SelectionError, match="demand"):
+            RichestFirstAllocation().allocate(np.arange(5), SPECS, rng)
+
+    def test_duplicate_consumer_ids_rejected(self, rng):
+        specs = [ConsumerSpec(0, 100.0, 2), ConsumerSpec(0, 200.0, 2)]
+        with pytest.raises(ConfigurationError, match="unique"):
+            SnakeDraftAllocation().allocate(RANKED, specs, rng)
+
+
+class TestMarketSimulator:
+    @pytest.fixture(scope="class")
+    def population(self):
+        return SellerPopulation.random(30, np.random.default_rng(8))
+
+    @pytest.fixture(scope="class")
+    def simulator(self, population):
+        return MarketSimulator(population, SPECS, num_pois=4, seed=8)
+
+    def test_rejects_excess_demand(self, population):
+        greedy = [ConsumerSpec(i, 100.0, 15) for i in range(3)]
+        with pytest.raises(ConfigurationError, match="demand"):
+            MarketSimulator(population, greedy)
+
+    def test_rejects_empty_market(self, population):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            MarketSimulator(population, [])
+
+    def test_run_shapes(self, simulator):
+        result = simulator.run(SnakeDraftAllocation(), num_rounds=50)
+        assert result.num_rounds == 50
+        assert set(result.consumer_profits) == {0, 1, 2}
+        for series in result.consumer_profits.values():
+            assert series.shape == (50,)
+
+    def test_higher_omega_earns_more(self, simulator):
+        result = simulator.run(SnakeDraftAllocation(), num_rounds=300)
+        totals = result.consumer_totals()
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_platform_profit_positive_after_learning(self, simulator):
+        result = simulator.run(SnakeDraftAllocation(), num_rounds=300)
+        assert result.platform_profit[-100:].mean() > 0.0
+
+    def test_reproducible(self, population):
+        a = MarketSimulator(population, SPECS, num_pois=4, seed=8).run(
+            SnakeDraftAllocation(), 60
+        )
+        b = MarketSimulator(population, SPECS, num_pois=4, seed=8).run(
+            SnakeDraftAllocation(), 60
+        )
+        np.testing.assert_array_equal(a.platform_profit, b.platform_profit)
+
+    def test_richest_first_favours_top_consumer(self, simulator):
+        richest = simulator.run(RichestFirstAllocation(), num_rounds=400)
+        snake = simulator.run(SnakeDraftAllocation(), num_rounds=400)
+        # Under richest-first, consumer 0's allocated quality dominates
+        # its snake-draft quality.
+        assert (richest.consumer_mean_quality[0][-100:].mean()
+                >= snake.consumer_mean_quality[0][-100:].mean() - 1e-9)
+        # And the lowest-omega consumer gets worse sellers than under
+        # the fair draft.
+        assert (richest.consumer_mean_quality[2][-100:].mean()
+                <= snake.consumer_mean_quality[2][-100:].mean() + 1e-9)
+
+    def test_compare_rejects_duplicates(self, simulator):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            simulator.compare(
+                [SnakeDraftAllocation(), SnakeDraftAllocation()], 10
+            )
+
+    def test_welfare_and_fairness_metrics(self, simulator):
+        result = simulator.run(SnakeDraftAllocation(), num_rounds=100)
+        assert result.total_welfare() == pytest.approx(
+            sum(result.consumer_totals().values())
+            + float(result.platform_profit.sum())
+        )
+        assert result.fairness_gap() >= 0.0
+
+    def test_rejects_nonpositive_rounds(self, simulator):
+        with pytest.raises(ConfigurationError, match="num_rounds"):
+            simulator.run(SnakeDraftAllocation(), 0)

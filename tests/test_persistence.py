@@ -1,0 +1,111 @@
+"""Unit tests for result persistence (NPZ runs, JSON experiments)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.registry import ExperimentResult, Series
+from repro.sim.persistence import (
+    experiment_result_to_dict,
+    load_experiment_result,
+    load_run_metrics,
+    save_experiment_result,
+    save_run_metrics,
+)
+from repro.sim.results import RunMetrics
+
+
+def make_run(n=25) -> RunMetrics:
+    rng = np.random.default_rng(3)
+    return RunMetrics(
+        policy_name="CMAB-HS",
+        realized_revenue=rng.random(n),
+        expected_revenue=rng.random(n),
+        regret=np.cumsum(rng.random(n)),
+        consumer_profit=rng.random(n),
+        platform_profit=rng.random(n),
+        seller_profit_mean=rng.random(n),
+        service_price=rng.random(n),
+        collection_price=rng.random(n),
+        total_sensing_time=rng.random(n),
+        selection_counts=rng.integers(0, 10, size=8),
+        estimation_error=rng.random(n),
+    )
+
+
+class TestRunMetricsPersistence:
+    def test_round_trip(self, tmp_path):
+        run = make_run()
+        path = tmp_path / "run.npz"
+        save_run_metrics(run, path)
+        loaded = load_run_metrics(path)
+        assert loaded.policy_name == "CMAB-HS"
+        np.testing.assert_array_equal(loaded.regret, run.regret)
+        np.testing.assert_array_equal(loaded.selection_counts,
+                                      run.selection_counts)
+        assert loaded.summary() == run.summary()
+
+    def test_load_rejects_incomplete_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, policy_name=np.array("x"),
+                 realized_revenue=np.ones(3))
+        with pytest.raises(ConfigurationError, match="missing series"):
+            load_run_metrics(path)
+
+
+class TestExperimentResultPersistence:
+    def make_result(self) -> ExperimentResult:
+        result = ExperimentResult("figX", "demo title", "N",
+                                  notes=["a note"])
+        result.add_series(
+            "revenue", Series("optimal", np.array([1.0, 2.0]),
+                              np.array([10.0, 20.0]))
+        )
+        result.add_series(
+            "revenue", Series("random", np.array([1.0, 2.0]),
+                              np.array([5.0, 9.0]))
+        )
+        result.add_series(
+            "regret", Series("random", np.array([1.0, 2.0]),
+                             np.array([1.0, 2.5]))
+        )
+        return result
+
+    def test_dict_structure(self):
+        payload = experiment_result_to_dict(self.make_result())
+        assert payload["experiment_id"] == "figX"
+        assert set(payload["panels"]) == {"revenue", "regret"}
+        assert payload["panels"]["revenue"][0]["label"] == "optimal"
+
+    def test_round_trip(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "figX.json"
+        save_experiment_result(result, path)
+        loaded = load_experiment_result(path)
+        assert loaded.experiment_id == result.experiment_id
+        assert loaded.notes == result.notes
+        np.testing.assert_array_equal(
+            loaded.series("revenue", "random").y,
+            result.series("revenue", "random").y,
+        )
+        assert loaded.to_text() == result.to_text()
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"title": "no id"}')
+        with pytest.raises(ConfigurationError, match="missing key"):
+            load_experiment_result(path)
+
+    def test_real_experiment_round_trip(self, tmp_path):
+        from repro.experiments import Scale, run_experiment
+
+        result = run_experiment("fig14", Scale.SMALL)
+        path = tmp_path / "fig14.json"
+        save_experiment_result(result, path)
+        loaded = load_experiment_result(path)
+        np.testing.assert_allclose(
+            loaded.series("profits", "PoC").y,
+            result.series("profits", "PoC").y,
+        )

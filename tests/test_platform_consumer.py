@@ -1,0 +1,94 @@
+"""Unit tests for the platform and consumer entities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.entities.consumer import Consumer
+from repro.entities.costs import LogValuation, QuadraticAggregationCost
+from repro.entities.platform import Platform
+from repro.exceptions import ConfigurationError
+
+
+class TestPlatform:
+    def test_default_has_paper_parameters(self):
+        platform = Platform.default()
+        assert platform.aggregation_cost.theta == pytest.approx(0.1)
+        assert platform.aggregation_cost.lam == pytest.approx(1.0)
+
+    def test_profit_matches_equation_7(self):
+        platform = Platform.default(theta=0.2, lam=0.5)
+        taus = np.array([1.0, 2.0])
+        p_j, p = 5.0, 2.0
+        total = 3.0
+        expected = (p_j - p) * total - (0.2 * total**2 + 0.5 * total)
+        assert platform.profit(p_j, p, taus) == pytest.approx(expected)
+
+    def test_profit_accepts_scalar_total(self):
+        platform = Platform.default()
+        assert platform.profit(5.0, 2.0, 3.0) == pytest.approx(
+            platform.profit(5.0, 2.0, np.array([1.0, 2.0]))
+        )
+
+    def test_clip_price(self):
+        platform = Platform.default(price_min=1.0, price_max=4.0)
+        assert platform.clip_price(0.5) == 1.0
+        assert platform.clip_price(9.0) == 4.0
+        assert platform.clip_price(2.5) == 2.5
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError, match="exceed"):
+            Platform(QuadraticAggregationCost(0.1, 1.0),
+                     price_min=5.0, price_max=2.0)
+
+    def test_rejects_negative_min(self):
+        with pytest.raises(ConfigurationError, match="price_min"):
+            Platform(QuadraticAggregationCost(0.1, 1.0),
+                     price_min=-1.0, price_max=2.0)
+
+    def test_rejects_infinite_bounds(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            Platform(QuadraticAggregationCost(0.1, 1.0),
+                     price_min=0.0, price_max=float("inf"))
+
+    def test_zero_sensing_time_zero_profit(self):
+        platform = Platform.default()
+        assert platform.profit(5.0, 2.0, 0.0) == 0.0
+
+
+class TestConsumer:
+    def test_default_has_paper_omega(self):
+        assert Consumer.default().valuation.omega == pytest.approx(1_000.0)
+
+    def test_profit_matches_equation_9(self):
+        consumer = Consumer.default(omega=200.0)
+        taus = np.array([1.0, 2.0])
+        p_j, q_bar = 3.0, 0.6
+        expected = 200.0 * np.log(1.0 + 0.6 * 3.0) - 3.0 * 3.0
+        assert consumer.profit(p_j, taus, q_bar) == pytest.approx(expected)
+
+    def test_profit_zero_time(self):
+        consumer = Consumer.default()
+        assert consumer.profit(5.0, 0.0, 0.7) == 0.0
+
+    def test_clip_price(self):
+        consumer = Consumer.default(price_min=2.0, price_max=8.0)
+        assert consumer.clip_price(1.0) == 2.0
+        assert consumer.clip_price(10.0) == 8.0
+        assert consumer.clip_price(5.0) == 5.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError, match="exceed"):
+            Consumer(LogValuation(100.0), price_min=5.0, price_max=2.0)
+
+    def test_rejects_negative_min(self):
+        with pytest.raises(ConfigurationError, match="price_min"):
+            Consumer(LogValuation(100.0), price_min=-0.1, price_max=2.0)
+
+    def test_profit_decreases_in_price_for_fixed_times(self):
+        consumer = Consumer.default()
+        taus = np.array([1.0, 1.0])
+        assert consumer.profit(2.0, taus, 0.5) > consumer.profit(
+            4.0, taus, 0.5
+        )

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the Stackelberg game layer.
+
+These check the paper's structural claims on randomly generated game
+instances: concavity of the stage objectives, correctness of the
+closed-form best responses, and the Stackelberg Equilibrium conditions
+(Definition 13) under random unilateral deviations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.incentive import (
+    ClosedFormStackelbergSolver,
+    StageCoefficients,
+    optimal_collection_price,
+    optimal_service_price,
+)
+from repro.game.profits import GameInstance
+
+# -- strategies ----------------------------------------------------------------
+
+
+@st.composite
+def game_instances(draw, max_sellers: int = 8) -> GameInstance:
+    """Random paper-range game instances."""
+    k = draw(st.integers(min_value=1, max_value=max_sellers))
+    qualities = draw(
+        st.lists(st.floats(0.05, 1.0), min_size=k, max_size=k)
+    )
+    cost_a = draw(st.lists(st.floats(0.1, 0.5), min_size=k, max_size=k))
+    cost_b = draw(st.lists(st.floats(0.0, 1.0), min_size=k, max_size=k))
+    theta = draw(st.floats(0.05, 1.0))
+    lam = draw(st.floats(0.0, 2.0))
+    omega = draw(st.floats(100.0, 2_000.0))
+    return GameInstance(
+        qualities=np.array(qualities),
+        cost_a=np.array(cost_a),
+        cost_b=np.array(cost_b),
+        theta=theta,
+        lam=lam,
+        omega=omega,
+        service_price_bounds=(0.0, 100_000.0),
+        collection_price_bounds=(0.0, 100_000.0),
+    )
+
+
+prices = st.floats(min_value=0.1, max_value=50.0)
+
+
+# -- structural properties ------------------------------------------------------
+
+
+class TestStage3Properties:
+    @given(game=game_instances(), price=prices)
+    @settings(max_examples=60, deadline=None)
+    def test_best_response_beats_random_deviations(self, game, price):
+        taus = game.seller_best_responses(price)
+        base = game.seller_profits(price, taus)
+        for factor in (0.0, 0.5, 1.5, 3.0):
+            deviated = game.seller_profits(price, taus * factor)
+            assert np.all(deviated <= base + 1e-8)
+
+    @given(game=game_instances(), price=prices)
+    @settings(max_examples=60, deadline=None)
+    def test_total_time_linear_in_price_when_interior(self, game, price):
+        taus = game.seller_best_responses(price)
+        assume(bool(np.all(taus > 0.0)))
+        expected = price * game.coefficient_a - game.coefficient_b
+        assert float(taus.sum()) == pytest.approx(expected, rel=1e-9)
+
+    @given(game=game_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_best_response_monotone_in_price(self, game):
+        low = game.seller_best_responses(1.0)
+        high = game.seller_best_responses(2.0)
+        assert np.all(high >= low - 1e-12)
+
+
+class TestStage2Properties:
+    @given(game=game_instances(), service_price=prices)
+    @settings(max_examples=50, deadline=None)
+    def test_closed_form_is_local_maximum(self, game, service_price):
+        price = optimal_collection_price(game, service_price)
+        assume(0.01 < price < 90_000.0)
+
+        def profit(p: float) -> float:
+            return game.platform_profit(
+                service_price, p, game.seller_best_responses(p)
+            )
+
+        base = profit(price)
+        # Only meaningful where Stage 3 stays interior around the optimum.
+        taus = game.seller_best_responses(price)
+        assume(bool(np.all(taus > 1e-9)))
+        h = max(price * 1e-4, 1e-6)
+        assert profit(price + h) <= base + 1e-7
+        assert profit(price - h) <= base + 1e-7
+
+    @given(game=game_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_platform_profit_concave_in_price(self, game):
+        # Grid entirely above the opt-out threshold, so every Stage-3
+        # response is interior by construction (no filtering needed).
+        start = game.opt_out_price + 0.1
+        service_price = start + 20.0
+        grid = np.linspace(start, service_price - 1.0, 41)
+        values = np.array([
+            game.platform_profit(service_price, p,
+                                 game.seller_best_responses(p))
+            for p in grid
+        ])
+        second_diff = np.diff(values, 2)
+        # Tolerance scales with the profit magnitude: second differences
+        # of ~1e7-sized values carry ~1e-2 of float-cancellation noise.
+        tolerance = 1e-9 * max(float(np.abs(values).max()), 1.0) + 1e-7
+        assert np.all(second_diff <= tolerance)
+
+
+class TestStage1Properties:
+    @given(game=game_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_equilibrium_satisfies_definition_13(self, game):
+        solver = ClosedFormStackelbergSolver()
+        solved = solver.solve(game)
+        profile = solved.profile
+        assume(bool(np.all(profile.sensing_times > 1e-9)))
+
+        # Eq. (16): no seller gains by deviating.
+        base_sellers = game.seller_profits(profile.collection_price,
+                                           profile.sensing_times)
+        for factor in (0.3, 0.8, 1.2, 2.0):
+            deviated = game.seller_profits(
+                profile.collection_price, profile.sensing_times * factor
+            )
+            assert np.all(deviated <= base_sellers + 1e-7)
+
+        # Eq. (15): no platform deviation (sellers re-respond) gains.
+        base_platform = solved.platform_profit
+        for factor in (0.5, 0.9, 1.1, 1.5):
+            price = profile.collection_price * factor
+            taus = game.seller_best_responses(price)
+            assert game.platform_profit(
+                profile.service_price, price, taus
+            ) <= base_platform + max(1e-6, abs(base_platform) * 1e-9)
+
+        # Eq. (14): no consumer deviation (everyone re-responds) gains.
+        base_consumer = solved.consumer_profit
+        for factor in (0.5, 0.9, 1.1, 1.5):
+            service = profile.service_price * factor
+            collection, taus = solver.cascade(game, service)
+            assert game.consumer_profit(service, taus) <= (
+                base_consumer + max(1e-6, abs(base_consumer) * 1e-9)
+            )
+
+    @given(game=game_instances(), omega_scale=st.floats(1.1, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_service_price_monotone_in_omega(self, game, omega_scale):
+        richer = GameInstance(
+            qualities=game.qualities, cost_a=game.cost_a,
+            cost_b=game.cost_b, theta=game.theta, lam=game.lam,
+            omega=game.omega * omega_scale,
+            service_price_bounds=game.service_price_bounds,
+            collection_price_bounds=game.collection_price_bounds,
+        )
+        assert optimal_service_price(richer) > optimal_service_price(game)
+
+
+class TestCoefficientProperties:
+    @given(game=game_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_coefficients_positive(self, game):
+        coeffs = StageCoefficients.from_game(game)
+        assert coeffs.a_sum > 0.0
+        assert coeffs.b_sum >= 0.0
+        assert coeffs.theta_coef > 0.0
+
+    @given(game=game_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_profits_finite_at_equilibrium(self, game):
+        solved = ClosedFormStackelbergSolver().solve(game)
+        assert np.isfinite(solved.consumer_profit)
+        assert np.isfinite(solved.platform_profit)
+        assert np.all(np.isfinite(solved.seller_profits))

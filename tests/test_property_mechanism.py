@@ -1,0 +1,99 @@
+"""Property-based end-to-end tests of the CMAB-HS mechanism.
+
+For randomly drawn small instances, a full Algorithm-1 run must satisfy
+the paper's guarantees: finite profits, non-negative monotone regret
+below the Theorem-19 bound, Stackelberg Equilibrium in sampled rounds,
+and exact bookkeeping identities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equilibrium import verify_equilibrium
+from repro.core.incentive import ClosedFormStackelbergSolver
+from repro.core.mechanism import CMABHSMechanism
+from repro.core.regret import gap_statistics, theorem19_bound
+from repro.entities.consumer import Consumer
+from repro.entities.job import Job
+from repro.entities.platform import Platform
+from repro.entities.seller import SellerPopulation
+
+
+@st.composite
+def instances(draw):
+    """A random small CDT instance plus a mechanism over it."""
+    m = draw(st.integers(4, 10))
+    k = draw(st.integers(1, m - 1))
+    num_pois = draw(st.integers(1, 6))
+    num_rounds = draw(st.integers(5, 40))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    population = SellerPopulation.random(m, rng)
+    job = Job.simple(num_pois=num_pois, num_rounds=num_rounds)
+    mechanism = CMABHSMechanism(
+        population, job,
+        Platform.default(theta=draw(st.floats(0.05, 1.0)),
+                         lam=draw(st.floats(0.0, 2.0)),
+                         price_max=5.0),
+        Consumer.default(omega=draw(st.floats(100.0, 2_000.0))),
+        k=k, seed=seed,
+    )
+    return population, job, mechanism, k
+
+
+class TestMechanismProperties:
+    @given(data=instances())
+    @settings(max_examples=25, deadline=None)
+    def test_run_invariants(self, data):
+        population, job, mechanism, k = data
+        result = mechanism.run()
+
+        # Bookkeeping: one outcome per round, selections of the right size.
+        assert result.num_rounds == job.num_rounds
+        assert result.rounds[0].selected.size == len(population)
+        for outcome in result.rounds[1:]:
+            assert outcome.selected.size == k
+
+        # All profits and strategies finite.
+        for outcome in result.rounds:
+            assert np.isfinite(outcome.consumer_profit)
+            assert np.isfinite(outcome.platform_profit)
+            assert np.all(np.isfinite(outcome.seller_profits))
+            assert np.isfinite(outcome.service_price)
+            assert outcome.collection_price <= 5.0 + 1e-9
+            assert np.all(outcome.sensing_times >= 0.0)
+
+        # Regret: non-negative, monotone, below Theorem 19.
+        history = result.regret_history
+        assert np.all(history >= 0.0)
+        assert np.all(np.diff(history) >= -1e-9)
+        gaps = gap_statistics(population.expected_qualities, k)
+        bound = theorem19_bound(
+            len(population), k, job.num_pois, job.num_rounds,
+            gaps.delta_min, gaps.delta_max,
+        )
+        assert result.cumulative_regret <= bound
+
+        # Counters: every seller observed at least L times (round 0).
+        assert np.all(result.final_counts >= job.num_pois)
+
+    @given(data=instances())
+    @settings(max_examples=10, deadline=None)
+    def test_sampled_round_is_equilibrium(self, data):
+        __, job, mechanism, k = data
+        result = mechanism.run()
+        outcome = result.rounds[min(3, result.num_rounds - 1)]
+        if outcome.selected.size != k:
+            return  # round 0 (explore-all) uses fixed pricing, not the game
+        game = mechanism.build_game(outcome.selected,
+                                    outcome.estimated_qualities)
+        solver = ClosedFormStackelbergSolver()
+        report = verify_equilibrium(
+            game, outcome.strategy, solver.cascade,
+            num_points=150, tolerance=1.0,
+        )
+        assert report.is_equilibrium, report.describe()

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for quality models and cost functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entities.costs import (
+    LogValuation,
+    QuadraticAggregationCost,
+    QuadraticSellerCost,
+)
+from repro.quality.distributions import (
+    BernoulliQuality,
+    BetaQuality,
+    TruncatedGaussianQuality,
+    UniformQuality,
+)
+
+mean_vectors = st.lists(st.floats(0.0, 1.0), min_size=1,
+                        max_size=20).map(np.array)
+
+
+class TestObservationRangeProperty:
+    @given(means=mean_vectors, seed=st.integers(0, 10_000),
+           num_pois=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_all_models_emit_unit_interval(self, means, seed, num_pois):
+        rng = np.random.default_rng(seed)
+        sellers = np.arange(means.size)
+        for model in (
+            TruncatedGaussianQuality(means, sigma=0.3),
+            BernoulliQuality(means),
+            BetaQuality(means),
+            UniformQuality(means, width=0.5),
+        ):
+            out = model.observe(rng, sellers, num_pois)
+            assert out.shape == (means.size, num_pois)
+            assert np.all(out >= 0.0)
+            assert np.all(out <= 1.0)
+
+
+class TestSellerCostProperties:
+    @given(a=st.floats(0.01, 5.0), b=st.floats(0.0, 5.0),
+           quality=st.floats(0.01, 1.0),
+           tau1=st.floats(0.0, 10.0), tau2=st.floats(0.0, 10.0))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_time(self, a, b, quality, tau1, tau2):
+        cost = QuadraticSellerCost(a=a, b=b)
+        lo, hi = sorted((tau1, tau2))
+        assert cost(lo, quality) <= cost(hi, quality) + 1e-12
+
+    @given(a=st.floats(0.01, 5.0), b=st.floats(0.0, 5.0),
+           quality=st.floats(0.01, 1.0),
+           tau1=st.floats(0.0, 10.0), tau2=st.floats(0.0, 10.0))
+    @settings(max_examples=80, deadline=None)
+    def test_convex_in_time(self, a, b, quality, tau1, tau2):
+        cost = QuadraticSellerCost(a=a, b=b)
+        midpoint = (tau1 + tau2) / 2.0
+        chord = (cost(tau1, quality) + cost(tau2, quality)) / 2.0
+        assert cost(midpoint, quality) <= chord + 1e-9
+
+    @given(a=st.floats(0.01, 5.0), b=st.floats(0.0, 5.0),
+           quality=st.floats(0.01, 1.0), price=st.floats(0.0, 20.0))
+    @settings(max_examples=80, deadline=None)
+    def test_optimal_time_is_global_max(self, a, b, quality, price):
+        cost = QuadraticSellerCost(a=a, b=b)
+        tau_star = cost.optimal_sensing_time(price, quality)
+        best = price * tau_star - cost(tau_star, quality)
+        for tau in np.linspace(0.0, max(2.0 * tau_star, 1.0), 25):
+            assert price * tau - cost(tau, quality) <= best + 1e-8
+
+
+class TestValuationProperties:
+    @given(omega=st.floats(1.01, 5_000.0), quality=st.floats(0.0, 1.0),
+           t1=st.floats(0.0, 100.0), t2=st.floats(0.0, 100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_time(self, omega, quality, t1, t2):
+        valuation = LogValuation(omega=omega)
+        lo, hi = sorted((t1, t2))
+        assert valuation(lo, quality) <= valuation(hi, quality) + 1e-9
+
+    @given(omega=st.floats(1.01, 5_000.0), quality=st.floats(0.01, 1.0),
+           t1=st.floats(0.0, 100.0), t2=st.floats(0.0, 100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_concave_in_time(self, omega, quality, t1, t2):
+        valuation = LogValuation(omega=omega)
+        midpoint = (t1 + t2) / 2.0
+        chord = (valuation(t1, quality) + valuation(t2, quality)) / 2.0
+        assert valuation(midpoint, quality) >= chord - 1e-8
+
+    @given(omega=st.floats(1.01, 5_000.0), total=st.floats(0.0, 100.0),
+           q1=st.floats(0.0, 1.0), q2=st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_quality(self, omega, total, q1, q2):
+        valuation = LogValuation(omega=omega)
+        lo, hi = sorted((q1, q2))
+        assert valuation(total, lo) <= valuation(total, hi) + 1e-9
+
+
+class TestAggregationCostProperties:
+    @given(theta=st.floats(0.01, 2.0), lam=st.floats(0.0, 5.0),
+           t1=st.floats(0.0, 50.0), t2=st.floats(0.0, 50.0))
+    @settings(max_examples=80, deadline=None)
+    def test_superadditive(self, theta, lam, t1, t2):
+        # Quadratic aggregation cost is superadditive: merging two loads
+        # costs at least as much as handling them separately.
+        cost = QuadraticAggregationCost(theta=theta, lam=lam)
+        assert cost(t1 + t2) >= cost(t1) + cost(t2) - 1e-9

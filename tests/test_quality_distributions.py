@@ -1,0 +1,233 @@
+"""Unit tests for the quality observation models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.quality.distributions import (
+    BernoulliQuality,
+    BetaQuality,
+    DeterministicQuality,
+    DriftingQuality,
+    QualityModel,
+    TruncatedGaussianQuality,
+    UniformQuality,
+    make_quality_model,
+)
+
+MEANS = np.array([0.2, 0.5, 0.8])
+
+ALL_MODELS = [
+    TruncatedGaussianQuality,
+    BernoulliQuality,
+    BetaQuality,
+    UniformQuality,
+    DeterministicQuality,
+    DriftingQuality,
+]
+
+
+class TestValidation:
+    def test_rejects_empty_means(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            TruncatedGaussianQuality(np.array([]))
+
+    def test_rejects_2d_means(self):
+        with pytest.raises(ConfigurationError, match="1-D"):
+            TruncatedGaussianQuality(np.array([[0.5]]))
+
+    def test_rejects_means_above_one(self):
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            TruncatedGaussianQuality(np.array([0.5, 1.2]))
+
+    def test_rejects_negative_means(self):
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            TruncatedGaussianQuality(np.array([-0.1, 0.5]))
+
+    def test_rejects_nan_means(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            TruncatedGaussianQuality(np.array([np.nan, 0.5]))
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ConfigurationError, match="sigma"):
+            TruncatedGaussianQuality(MEANS, sigma=0.0)
+
+    def test_rejects_nonpositive_concentration(self):
+        with pytest.raises(ConfigurationError, match="concentration"):
+            BetaQuality(MEANS, concentration=-1.0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigurationError, match="width"):
+            UniformQuality(MEANS, width=0.0)
+
+    def test_drifting_rejects_large_amplitude(self):
+        with pytest.raises(ConfigurationError, match="amplitude"):
+            DriftingQuality(MEANS, amplitude=0.6)
+
+    def test_drifting_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError, match="period"):
+            DriftingQuality(MEANS, period=0.0)
+
+    def test_means_are_readonly(self):
+        model = DeterministicQuality(MEANS)
+        with pytest.raises(ValueError):
+            model.means[0] = 0.9
+
+
+class TestObserve:
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_shape(self, model_cls, rng):
+        model = model_cls(MEANS)
+        out = model.observe(rng, np.array([0, 2]), num_pois=7)
+        assert out.shape == (2, 7)
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_range(self, model_cls, rng):
+        model = model_cls(MEANS)
+        out = model.observe(rng, np.array([0, 1, 2]), num_pois=50)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+
+    def test_rejects_bad_seller_index(self, rng):
+        model = DeterministicQuality(MEANS)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            model.observe(rng, np.array([3]), num_pois=2)
+
+    def test_rejects_negative_seller_index(self, rng):
+        model = DeterministicQuality(MEANS)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            model.observe(rng, np.array([-1]), num_pois=2)
+
+    def test_rejects_nonpositive_pois(self, rng):
+        model = DeterministicQuality(MEANS)
+        with pytest.raises(ConfigurationError, match="num_pois"):
+            model.observe(rng, np.array([0]), num_pois=0)
+
+    def test_empty_selection_allowed(self, rng):
+        model = DeterministicQuality(MEANS)
+        out = model.observe(rng, np.array([], dtype=int), num_pois=3)
+        assert out.shape == (0, 3)
+
+    def test_deterministic_exact(self, rng):
+        model = DeterministicQuality(MEANS)
+        out = model.observe(rng, np.array([0, 1, 2]), num_pois=4)
+        np.testing.assert_allclose(out, MEANS[:, None] * np.ones((1, 4)))
+
+    def test_bernoulli_binary(self, rng):
+        model = BernoulliQuality(MEANS)
+        out = model.observe(rng, np.array([0, 1, 2]), num_pois=100)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    @pytest.mark.parametrize("model_cls", [TruncatedGaussianQuality,
+                                           BernoulliQuality, BetaQuality,
+                                           UniformQuality])
+    def test_sample_mean_near_expectation(self, model_cls, rng):
+        model = model_cls(MEANS)
+        out = model.observe(rng, np.repeat([0, 1, 2], 1), num_pois=20_000)
+        np.testing.assert_allclose(out.mean(axis=1), MEANS, atol=0.02)
+
+    def test_reproducible_with_same_seed(self):
+        model = TruncatedGaussianQuality(MEANS)
+        a = model.observe(np.random.default_rng(4), np.array([0, 1]), 5)
+        b = model.observe(np.random.default_rng(4), np.array([0, 1]), 5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEffectiveMeans:
+    def test_exact_models_return_configured_means(self):
+        for model_cls in (BernoulliQuality, BetaQuality,
+                          DeterministicQuality):
+            model = model_cls(MEANS)
+            np.testing.assert_array_equal(model.effective_means(), MEANS)
+
+    def test_truncated_gaussian_estimate_close_for_interior_means(self):
+        model = TruncatedGaussianQuality(np.array([0.5]), sigma=0.05)
+        assert abs(model.effective_means()[0] - 0.5) < 0.01
+
+    def test_truncated_gaussian_biased_at_boundary(self):
+        # A mean of 0 gets clipped upward: effective mean > 0.
+        model = TruncatedGaussianQuality(np.array([0.0]), sigma=0.2)
+        assert model.effective_means()[0] > 0.05
+
+
+class TestBetaEdgeCases:
+    def test_degenerate_means_are_point_masses(self, rng):
+        model = BetaQuality(np.array([0.0, 1.0]))
+        out = model.observe(rng, np.array([0, 1]), num_pois=10)
+        np.testing.assert_array_equal(out[0], np.zeros(10))
+        np.testing.assert_array_equal(out[1], np.ones(10))
+
+    def test_higher_concentration_less_spread(self, rng):
+        tight = BetaQuality(np.array([0.5]), concentration=200.0)
+        loose = BetaQuality(np.array([0.5]), concentration=2.0)
+        spread_tight = tight.observe(
+            np.random.default_rng(0), np.array([0]), 5_000
+        ).std()
+        spread_loose = loose.observe(
+            np.random.default_rng(0), np.array([0]), 5_000
+        ).std()
+        assert spread_tight < spread_loose
+
+
+class TestDrifting:
+    def test_means_at_zero_round_near_base(self):
+        model = DriftingQuality(MEANS, amplitude=0.1, period=100.0)
+        drifted = model.means_at(0)
+        assert np.all(np.abs(drifted - MEANS) <= 0.1 + 1e-12)
+
+    def test_means_oscillate(self):
+        model = DriftingQuality(np.array([0.5]), amplitude=0.3,
+                                period=100.0)
+        values = [model.means_at(t)[0] for t in range(0, 100, 5)]
+        assert max(values) > 0.6
+        assert min(values) < 0.4
+
+    def test_means_clipped_to_unit_interval(self):
+        model = DriftingQuality(np.array([0.95, 0.05]), amplitude=0.5,
+                                period=10.0)
+        for t in range(20):
+            drifted = model.means_at(t)
+            assert np.all(drifted >= 0.0) and np.all(drifted <= 1.0)
+
+    def test_set_round_controls_observation_mean(self, rng):
+        model = DriftingQuality(np.array([0.5]), amplitude=0.4,
+                                period=10.0, sigma=1e-6)
+        for t in (0, 3, 7):
+            model.set_round(t)
+            draw = model.observe(np.random.default_rng(0), np.array([0]), 1)
+            assert float(draw[0, 0]) == pytest.approx(
+                float(model.means_at(t)[0]), abs=1e-4
+            )
+
+    def test_set_round_rejects_negative(self):
+        model = DriftingQuality(MEANS)
+        with pytest.raises(ConfigurationError, match="round index"):
+            model.set_round(-1)
+
+    def test_same_phase_seed_same_drift(self):
+        a = DriftingQuality(MEANS, phase_seed=9)
+        b = DriftingQuality(MEANS, phase_seed=9)
+        np.testing.assert_array_equal(a.means_at(37), b.means_at(37))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("truncated_gaussian", TruncatedGaussianQuality),
+        ("bernoulli", BernoulliQuality),
+        ("beta", BetaQuality),
+        ("uniform", UniformQuality),
+        ("deterministic", DeterministicQuality),
+        ("drifting", DriftingQuality),
+    ])
+    def test_builds_each_model(self, name, cls):
+        assert isinstance(make_quality_model(name, MEANS), cls)
+
+    def test_forwards_kwargs(self):
+        model = make_quality_model("truncated_gaussian", MEANS, sigma=0.3)
+        assert model.sigma == 0.3
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown quality model"):
+            make_quality_model("gamma", MEANS)

@@ -1,0 +1,84 @@
+"""Unit tests for the round-level quality sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.quality.distributions import (
+    DeterministicQuality,
+    DriftingQuality,
+    TruncatedGaussianQuality,
+)
+from repro.quality.sampler import QualitySampler, RoundObservations
+
+MEANS = np.array([0.3, 0.6, 0.9])
+
+
+def make_sampler(model=None, num_pois=4, seed=0):
+    if model is None:
+        model = DeterministicQuality(MEANS)
+    return QualitySampler(model, num_pois, np.random.default_rng(seed))
+
+
+class TestQualitySampler:
+    def test_rejects_nonpositive_pois(self):
+        with pytest.raises(ConfigurationError, match="num_pois"):
+            QualitySampler(DeterministicQuality(MEANS), 0,
+                           np.random.default_rng(0))
+
+    def test_sample_round_shapes(self):
+        sampler = make_sampler()
+        obs = sampler.sample_round(np.array([0, 2]))
+        assert obs.per_poi.shape == (2, 4)
+        assert obs.sums.shape == (2,)
+        assert obs.num_pois == 4
+
+    def test_sums_match_per_poi(self):
+        sampler = make_sampler(TruncatedGaussianQuality(MEANS), seed=3)
+        obs = sampler.sample_round(np.array([0, 1, 2]))
+        np.testing.assert_allclose(obs.sums, obs.per_poi.sum(axis=1))
+
+    def test_deterministic_sums(self):
+        sampler = make_sampler(num_pois=5)
+        obs = sampler.sample_round(np.array([1]))
+        assert obs.sums[0] == pytest.approx(0.6 * 5)
+
+    def test_total_is_grand_sum(self):
+        sampler = make_sampler(num_pois=5)
+        obs = sampler.sample_round(np.array([0, 1, 2]))
+        assert obs.total == pytest.approx(float(MEANS.sum() * 5))
+
+    def test_per_seller_means(self):
+        sampler = make_sampler(num_pois=8)
+        obs = sampler.sample_round(np.array([0, 2]))
+        np.testing.assert_allclose(obs.per_seller_means, [0.3, 0.9])
+
+    def test_round_index_forwarded_to_drifting_model(self):
+        model = DriftingQuality(np.array([0.5]), amplitude=0.4,
+                                period=10.0, sigma=1e-9)
+        sampler = QualitySampler(model, 1, np.random.default_rng(0))
+        first = sampler.sample_round(np.array([0]), round_index=0).total
+        later = sampler.sample_round(np.array([0]), round_index=5).total
+        assert abs(first - later) > 0.05
+
+    def test_round_index_ignored_for_stationary_model(self):
+        model = DeterministicQuality(MEANS)
+        sampler = QualitySampler(model, 2, np.random.default_rng(0))
+        a = sampler.sample_round(np.array([0]), round_index=0).total
+        b = sampler.sample_round(np.array([0]), round_index=99).total
+        assert a == b
+
+    def test_sampler_advances_its_stream(self):
+        sampler = make_sampler(TruncatedGaussianQuality(MEANS), seed=1)
+        first = sampler.sample_round(np.array([0]))
+        second = sampler.sample_round(np.array([0]))
+        assert not np.array_equal(first.per_poi, second.per_poi)
+
+    def test_same_seed_reproduces(self):
+        obs_a = make_sampler(TruncatedGaussianQuality(MEANS),
+                             seed=7).sample_round(np.array([0, 1]))
+        obs_b = make_sampler(TruncatedGaussianQuality(MEANS),
+                             seed=7).sample_round(np.array([0, 1]))
+        np.testing.assert_array_equal(obs_a.per_poi, obs_b.per_poi)

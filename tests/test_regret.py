@@ -1,0 +1,142 @@
+"""Unit tests for regret accounting and the Theorem-19 bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.regret import (
+    RegretTracker,
+    gap_statistics,
+    theorem19_bound,
+)
+from repro.exceptions import ConfigurationError
+
+QUALITIES = np.array([0.9, 0.2, 0.7, 0.5, 0.4])
+
+
+class TestGapStatistics:
+    def test_delta_min_is_boundary_gap(self):
+        gaps = gap_statistics(QUALITIES, k=2)
+        # Sorted: 0.9, 0.7 | 0.5, 0.4, 0.2 -> delta_min = 0.7 - 0.5.
+        assert gaps.delta_min == pytest.approx(0.2)
+
+    def test_delta_max_is_top_vs_bottom(self):
+        gaps = gap_statistics(QUALITIES, k=2)
+        assert gaps.delta_max == pytest.approx((0.9 + 0.7) - (0.4 + 0.2))
+
+    def test_optimal_set(self):
+        gaps = gap_statistics(QUALITIES, k=2)
+        np.testing.assert_array_equal(gaps.optimal_set, [0, 2])
+        assert gaps.optimal_value == pytest.approx(1.6)
+
+    def test_rejects_k_equal_m(self):
+        with pytest.raises(ConfigurationError, match="k must be"):
+            gap_statistics(QUALITIES, k=5)
+
+    def test_tied_boundary_gives_zero_delta_min(self):
+        gaps = gap_statistics(np.array([0.9, 0.9, 0.5]), k=1)
+        assert gaps.delta_min == 0.0
+
+
+class TestTheorem19Bound:
+    def test_positive_and_finite(self):
+        bound = theorem19_bound(50, 5, 10, 10_000, delta_min=0.05,
+                                delta_max=2.0)
+        assert np.isfinite(bound)
+        assert bound > 0.0
+
+    def test_grows_logarithmically_in_n(self):
+        kwargs = dict(num_sellers=50, k=5, num_pois=10, delta_min=0.05,
+                      delta_max=2.0)
+        b1 = theorem19_bound(num_rounds=10_000, **kwargs)
+        b2 = theorem19_bound(num_rounds=100_000, **kwargs)
+        b3 = theorem19_bound(num_rounds=1_000_000, **kwargs)
+        assert b1 < b2 < b3
+        # Log growth: equal increments for equal multiplicative steps.
+        assert (b3 - b2) == pytest.approx(b2 - b1, rel=1e-6)
+
+    def test_infinite_for_zero_gap(self):
+        assert theorem19_bound(10, 2, 5, 100, 0.0, 1.0) == np.inf
+
+    def test_no_overflow_for_large_k(self):
+        bound = theorem19_bound(300, 60, 10, 200_000, delta_min=0.001,
+                                delta_max=50.0)
+        assert np.isfinite(bound)
+
+    def test_scales_linearly_in_m(self):
+        kwargs = dict(k=5, num_pois=10, num_rounds=10_000,
+                      delta_min=0.05, delta_max=2.0)
+        assert theorem19_bound(num_sellers=100, **kwargs) == pytest.approx(
+            2.0 * theorem19_bound(num_sellers=50, **kwargs)
+        )
+
+    def test_rejects_negative_gaps(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            theorem19_bound(10, 2, 5, 100, -0.1, 1.0)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            theorem19_bound(0, 2, 5, 100, 0.1, 1.0)
+
+
+class TestRegretTracker:
+    def test_optimal_selection_zero_regret(self):
+        tracker = RegretTracker(QUALITIES, k=2, num_pois=4)
+        increment = tracker.record(np.array([0, 2]))
+        assert increment == 0.0
+        assert tracker.cumulative_regret == 0.0
+
+    def test_suboptimal_selection_charged_gap(self):
+        tracker = RegretTracker(QUALITIES, k=2, num_pois=4)
+        increment = tracker.record(np.array([1, 4]))  # 0.2 + 0.4
+        assert increment == pytest.approx((1.6 - 0.6) * 4)
+
+    def test_cumulative_accumulates(self):
+        tracker = RegretTracker(QUALITIES, k=2, num_pois=4)
+        tracker.record(np.array([1, 4]))
+        tracker.record(np.array([0, 2]))
+        tracker.record(np.array([3, 4]))
+        expected = ((1.6 - 0.6) + 0.0 + (1.6 - 0.9)) * 4
+        assert tracker.cumulative_regret == pytest.approx(expected)
+        assert tracker.num_rounds == 3
+
+    def test_history_tracks_cumulative(self):
+        tracker = RegretTracker(QUALITIES, k=2, num_pois=1)
+        tracker.record(np.array([1, 4]))
+        tracker.record(np.array([1, 4]))
+        np.testing.assert_allclose(tracker.history,
+                                   [1.0, 2.0], atol=1e-12)
+
+    def test_explore_all_round_charged_fairly(self):
+        # Selecting all sellers includes the optimal set: zero regret,
+        # but revenue counts every selected seller.
+        tracker = RegretTracker(QUALITIES, k=2, num_pois=4)
+        increment = tracker.record(np.arange(5))
+        assert increment == 0.0
+        assert tracker.cumulative_expected_revenue == pytest.approx(
+            QUALITIES.sum() * 4
+        )
+
+    def test_expected_revenue_accumulates(self):
+        tracker = RegretTracker(QUALITIES, k=2, num_pois=4)
+        tracker.record(np.array([0, 2]))
+        assert tracker.cumulative_expected_revenue == pytest.approx(1.6 * 4)
+
+    def test_optimal_round_revenue(self):
+        tracker = RegretTracker(QUALITIES, k=2, num_pois=4)
+        assert tracker.optimal_round_revenue == pytest.approx(1.6 * 4)
+
+    def test_is_optimal_selection(self):
+        tracker = RegretTracker(QUALITIES, k=2, num_pois=4)
+        assert tracker.is_optimal_selection(np.array([0, 2]))
+        assert tracker.is_optimal_selection(np.array([2, 0]))
+        assert not tracker.is_optimal_selection(np.array([0, 1]))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            RegretTracker(QUALITIES, k=6, num_pois=4)
+
+    def test_rejects_bad_num_pois(self):
+        with pytest.raises(ConfigurationError, match="num_pois"):
+            RegretTracker(QUALITIES, k=2, num_pois=0)

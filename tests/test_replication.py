@@ -1,0 +1,92 @@
+"""Unit tests for the multi-seed replication harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits.policies import OptimalPolicy, RandomPolicy, UCBPolicy
+from repro.exceptions import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.replication import (
+    MetricSummary,
+    replicate_comparison,
+)
+
+CONFIG = SimulationConfig(num_sellers=15, num_selected=4, num_pois=4,
+                          num_rounds=150, seed=0)
+
+
+def factory(qualities: np.ndarray):
+    return [OptimalPolicy(qualities), UCBPolicy(), RandomPolicy()]
+
+
+class TestMetricSummary:
+    def test_from_samples(self):
+        summary = MetricSummary.from_samples([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.num_seeds == 3
+
+    def test_single_sample_zero_std(self):
+        assert MetricSummary.from_samples([5.0]).std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="zero samples"):
+            MetricSummary.from_samples([])
+
+    def test_format(self):
+        text = MetricSummary.from_samples([1.0, 3.0]).format()
+        assert "+/-" in text
+
+
+class TestReplicateComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return replicate_comparison(CONFIG, factory, num_seeds=3)
+
+    def test_all_policies_summarised(self, result):
+        assert set(result.policy_names()) == {"optimal", "CMAB-HS",
+                                              "random"}
+
+    def test_seeds_recorded(self, result):
+        assert result.seeds == [0, 1, 2]
+
+    def test_each_metric_has_num_seeds_samples(self, result):
+        summary = result.metric("CMAB-HS", "total_revenue")
+        assert summary.num_seeds == 3
+
+    def test_optimal_regret_zero_across_seeds(self, result):
+        summary = result.metric("optimal", "regret")
+        assert summary.mean == 0.0
+        assert summary.std == 0.0
+
+    def test_ordering_separation(self, result):
+        # Optimal beats random on revenue robustly across seeds.
+        separation = result.separation("optimal", "random",
+                                       "total_revenue")
+        assert separation > 1.0
+
+    def test_unknown_policy_raises(self, result):
+        with pytest.raises(ConfigurationError, match="no replicated"):
+            result.metric("nonexistent", "regret")
+
+    def test_unknown_metric_raises(self, result):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            result.metric("random", "nonexistent")
+
+    def test_table_renders(self, result):
+        table = result.to_table()
+        assert "policy" in table
+        assert "CMAB-HS" in table
+
+    def test_rejects_nonpositive_seeds(self):
+        with pytest.raises(ConfigurationError, match="num_seeds"):
+            replicate_comparison(CONFIG, factory, num_seeds=0)
+
+    def test_first_seed_offset(self):
+        result = replicate_comparison(CONFIG, factory, num_seeds=2,
+                                      first_seed=10)
+        assert result.seeds == [10, 11]

@@ -1,0 +1,106 @@
+"""Unit tests for the ASCII chart rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import ExperimentResult, Series
+from repro.experiments.reporting import (
+    ascii_chart,
+    render_experiment,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_monotone_series_monotone_levels(self):
+        line = sparkline(np.linspace(0.0, 1.0, 8))
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_mid_level(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_nan_renders_space(self):
+        line = sparkline([1.0, float("nan"), 3.0])
+        assert line[1] == " "
+
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            sparkline([])
+
+    def test_all_nan_all_spaces(self):
+        assert sparkline([float("nan")] * 4) == "    "
+
+
+class TestAsciiChart:
+    def make_series(self) -> list[Series]:
+        x = np.linspace(0.0, 10.0, 20)
+        return [
+            Series("up", x, x),
+            Series("down", x, 10.0 - x),
+        ]
+
+    def test_contains_legend_and_ranges(self):
+        chart = ascii_chart(self.make_series())
+        assert "o=up" in chart
+        assert "x=down" in chart
+        assert "x: [0, 10]" in chart
+        assert "y: [0, 10]" in chart
+
+    def test_markers_present(self):
+        chart = ascii_chart(self.make_series())
+        assert "o" in chart
+        assert "x" in chart
+
+    def test_corners_of_monotone_series(self):
+        x = np.array([0.0, 1.0])
+        chart = ascii_chart([Series("s", x, x)], width=10, height=5)
+        rows = [line for line in chart.splitlines()
+                if line.startswith("|")]
+        assert rows[0][-2] == "o"   # max y at right edge, top row
+        assert rows[-1][1] == "o"   # min y at left edge, bottom row
+
+    def test_rejects_empty_panel(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            ascii_chart([])
+
+    def test_rejects_tiny_dimensions(self):
+        with pytest.raises(ExperimentError, match="at least"):
+            ascii_chart(self.make_series(), width=4, height=2)
+
+    def test_constant_series_renders(self):
+        x = np.linspace(0.0, 1.0, 5)
+        chart = ascii_chart([Series("flat", x, np.ones(5))])
+        assert "o" in chart
+
+
+class TestRenderExperiment:
+    def make_result(self) -> ExperimentResult:
+        result = ExperimentResult("figZ", "demo", "t")
+        x = np.linspace(0.0, 1.0, 10)
+        result.add_series("panel", Series("a", x, x * 2.0))
+        return result
+
+    def test_includes_table_and_chart(self):
+        text = render_experiment(self.make_result())
+        assert "figZ" in text
+        assert "(chart)" in text
+        assert "|" in text
+
+    def test_charts_optional(self):
+        text = render_experiment(self.make_result(), charts=False)
+        assert "(chart)" not in text
+
+    def test_renders_real_experiment(self):
+        from repro.experiments import Scale, run_experiment
+
+        result = run_experiment("fig17", Scale.SMALL)
+        text = render_experiment(result)
+        assert "PoC" in text
+        assert "(chart)" in text

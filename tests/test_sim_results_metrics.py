@@ -1,0 +1,178 @@
+"""Unit tests for result containers and metric helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import (
+    delta_profit_series,
+    moving_average,
+    regret_growth_rate,
+    revenue_share,
+)
+from repro.sim.results import PolicyComparison, RunMetrics
+
+
+def make_run(name="test", n=10, revenue=1.0, poc=5.0, pop=2.0,
+             pos=0.5, regret_rate=0.0) -> RunMetrics:
+    ones = np.ones(n)
+    return RunMetrics(
+        policy_name=name,
+        realized_revenue=revenue * ones,
+        expected_revenue=revenue * ones,
+        regret=np.cumsum(regret_rate * ones),
+        consumer_profit=poc * ones,
+        platform_profit=pop * ones,
+        seller_profit_mean=pos * ones,
+        service_price=3.0 * ones,
+        collection_price=1.0 * ones,
+        total_sensing_time=2.0 * ones,
+        selection_counts=np.array([n, n]),
+        estimation_error=0.1 * ones,
+    )
+
+
+class TestRunMetrics:
+    def test_rejects_misaligned_series(self):
+        run = make_run(n=5)
+        with pytest.raises(ConfigurationError, match="length"):
+            RunMetrics(
+                policy_name="bad",
+                realized_revenue=np.ones(5),
+                expected_revenue=np.ones(4),
+                regret=np.ones(5),
+                consumer_profit=np.ones(5),
+                platform_profit=np.ones(5),
+                seller_profit_mean=np.ones(5),
+                service_price=np.ones(5),
+                collection_price=np.ones(5),
+                total_sensing_time=np.ones(5),
+                selection_counts=np.ones(2),
+                estimation_error=np.ones(5),
+            )
+
+    def test_aggregates(self):
+        run = make_run(n=10, revenue=2.0, poc=5.0)
+        assert run.total_realized_revenue == pytest.approx(20.0)
+        assert run.mean_consumer_profit == pytest.approx(5.0)
+        assert run.num_rounds == 10
+
+    def test_final_regret(self):
+        run = make_run(n=10, regret_rate=3.0)
+        assert run.final_regret == pytest.approx(30.0)
+
+    def test_summary_keys(self):
+        summary = make_run().summary()
+        assert set(summary) == {
+            "total_revenue", "expected_revenue", "regret",
+            "mean_poc", "mean_pop", "mean_pos",
+        }
+
+
+class TestPolicyComparison:
+    def test_add_and_lookup(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("optimal"))
+        comparison.add(make_run("random"))
+        assert "random" in comparison
+        assert comparison["random"].policy_name == "random"
+
+    def test_duplicate_rejected(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("x"))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            comparison.add(make_run("x"))
+
+    def test_optimal_required_for_deltas(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("random"))
+        with pytest.raises(ConfigurationError, match="optimal"):
+            comparison.delta_profits("random")
+
+    def test_delta_profits_signs(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("optimal", poc=10.0, pop=4.0, pos=1.0))
+        comparison.add(make_run("random", poc=7.0, pop=3.0, pos=0.5))
+        deltas = comparison.delta_profits("random")
+        assert deltas["delta_poc"] == pytest.approx(3.0)
+        assert deltas["delta_pop"] == pytest.approx(1.0)
+        assert deltas["delta_pos"] == pytest.approx(0.5)
+
+    def test_revenue_table_order(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("optimal"))
+        comparison.add(make_run("random"))
+        names = [row[0] for row in comparison.revenue_table()]
+        assert names == ["optimal", "random"]
+
+
+class TestDeltaProfitSeries:
+    def test_converges_to_scalar_delta(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("optimal", n=20, poc=10.0))
+        comparison.add(make_run("random", n=20, poc=7.0))
+        series = delta_profit_series(comparison, "random")
+        assert series["delta_poc"][-1] == pytest.approx(
+            comparison.delta_profits("random")["delta_poc"]
+        )
+
+    def test_shapes(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("optimal", n=15))
+        comparison.add(make_run("random", n=15))
+        series = delta_profit_series(comparison, "random")
+        for values in series.values():
+            assert values.shape == (15,)
+
+
+class TestMovingAverage:
+    def test_constant_series(self):
+        out = moving_average(np.full(10, 3.0), window=4)
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_window_one_is_identity(self):
+        series = np.array([1.0, 5.0, 2.0])
+        np.testing.assert_allclose(moving_average(series, 1), series)
+
+    def test_known_values(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0])
+        out = moving_average(series, window=2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError, match="window"):
+            moving_average(np.ones(3), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError, match="1-D"):
+            moving_average(np.ones((2, 2)), 1)
+
+
+class TestRegretGrowthRate:
+    def test_linear_regret_constant_rate(self):
+        run = make_run(n=100, regret_rate=2.0)
+        assert regret_growth_rate(run) == pytest.approx(2.0)
+
+    def test_zero_regret_zero_rate(self):
+        run = make_run(n=100, regret_rate=0.0)
+        assert regret_growth_rate(run) == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError, match="tail_fraction"):
+            regret_growth_rate(make_run(), tail_fraction=0.0)
+
+
+class TestRevenueShare:
+    def test_equal_runs_share_one(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("optimal", revenue=2.0))
+        comparison.add(make_run("random", revenue=2.0))
+        assert revenue_share(comparison, "random") == pytest.approx(1.0)
+
+    def test_half_revenue(self):
+        comparison = PolicyComparison()
+        comparison.add(make_run("optimal", revenue=2.0))
+        comparison.add(make_run("random", revenue=1.0))
+        assert revenue_share(comparison, "random") == pytest.approx(0.5)

@@ -1,0 +1,47 @@
+"""Unit tests for the deterministic RNG factory."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import RngFactory
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        factory = RngFactory(7)
+        a = factory.generator("population").random(5)
+        b = factory.generator("population").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        factory = RngFactory(7)
+        a = factory.generator("population").random(5)
+        b = factory.generator("observations").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = RngFactory(1).generator("x").random(5)
+        b = RngFactory(2).generator("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_two_factories_same_seed_agree(self):
+        a = RngFactory(3).generator("obs", 5).random(4)
+        b = RngFactory(3).generator("obs", 5).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_integer_name_parts(self):
+        factory = RngFactory(3)
+        a = factory.generator("run", 1).random(3)
+        b = factory.generator("run", 2).random(3)
+        assert not np.array_equal(a, b)
+
+    def test_request_order_irrelevant(self):
+        first = RngFactory(9)
+        __ = first.generator("a").random(2)
+        late = first.generator("b").random(2)
+        fresh = RngFactory(9).generator("b").random(2)
+        np.testing.assert_array_equal(late, fresh)
+
+    def test_master_seed_property(self):
+        assert RngFactory(42).master_seed == 42

@@ -1,0 +1,69 @@
+"""Unit tests for the parameter-sweep harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits.policies import OptimalPolicy, RandomPolicy
+from repro.exceptions import ExperimentError
+from repro.experiments.sweeps import (
+    PAPER_POLICY_SET,
+    default_policies,
+    run_parameter_sweep,
+)
+from repro.sim.config import SimulationConfig
+
+CONFIG = SimulationConfig(num_sellers=12, num_selected=3, num_pois=3,
+                          num_rounds=60, seed=1)
+
+
+class TestDefaultPolicies:
+    def test_names_match_paper_set(self):
+        policies = default_policies(np.linspace(0.1, 0.9, 12))
+        assert tuple(p.name for p in policies) == PAPER_POLICY_SET
+
+    def test_fresh_instances_each_call(self):
+        qualities = np.linspace(0.1, 0.9, 12)
+        first = default_policies(qualities)
+        second = default_policies(qualities)
+        assert all(a is not b for a, b in zip(first, second))
+
+
+class TestRunParameterSweep:
+    def test_rejects_empty_values(self):
+        with pytest.raises(ExperimentError, match="non-empty"):
+            run_parameter_sweep(CONFIG, "num_rounds", [])
+
+    def test_rejects_unknown_parameter(self):
+        with pytest.raises(ExperimentError, match="no parameter"):
+            run_parameter_sweep(CONFIG, "does_not_exist", [1, 2])
+
+    def test_one_point_per_value(self):
+        points = run_parameter_sweep(CONFIG, "num_rounds", [30, 60])
+        assert [p.value for p in points] == [30.0, 60.0]
+        for point in points:
+            assert set(point.comparison.runs) == set(PAPER_POLICY_SET)
+
+    def test_custom_policy_factory(self):
+        def factory(qualities):
+            return [OptimalPolicy(qualities), RandomPolicy()]
+
+        points = run_parameter_sweep(CONFIG, "num_rounds", [30],
+                                     policy_factory=factory)
+        assert set(points[0].comparison.runs) == {"optimal", "random"}
+
+    def test_num_rounds_points_share_population(self):
+        # Same seed, same num_sellers: identical instance across points.
+        points = run_parameter_sweep(CONFIG, "num_rounds", [30, 60])
+        a = points[0].comparison["optimal"]
+        b = points[1].comparison["optimal"]
+        # Same optimal per-round revenue on the shared prefix.
+        np.testing.assert_allclose(a.expected_revenue[:30],
+                                   b.expected_revenue[:30])
+
+    def test_num_sellers_sweep_changes_instance(self):
+        points = run_parameter_sweep(CONFIG, "num_sellers", [12, 20])
+        first = points[0].comparison["optimal"].total_expected_revenue
+        second = points[1].comparison["optimal"].total_expected_revenue
+        assert first != second
