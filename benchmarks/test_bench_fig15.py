@@ -8,7 +8,6 @@ only under its printed sign variant — see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments import run_experiment

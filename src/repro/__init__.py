@@ -74,8 +74,15 @@ from repro.exceptions import (
     EquilibriumViolationError,
     GameError,
     InfeasibleStrategyError,
+    PersistenceError,
     ReproError,
     SelectionError,
+)
+from repro.faults import (
+    FaultLog,
+    FaultModel,
+    FaultSpec,
+    parse_fault_spec,
 )
 from repro.game import (
     GameInstance,
@@ -151,6 +158,11 @@ __all__ = [
     "TradingSimulator",
     "RunMetrics",
     "PolicyComparison",
+    # faults
+    "FaultSpec",
+    "FaultModel",
+    "FaultLog",
+    "parse_fault_spec",
     # exceptions
     "ReproError",
     "ConfigurationError",
@@ -159,4 +171,5 @@ __all__ = [
     "EquilibriumViolationError",
     "SelectionError",
     "DataTraceError",
+    "PersistenceError",
 ]

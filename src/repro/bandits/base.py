@@ -81,6 +81,33 @@ class SelectionPolicy(abc.ABC):
         need to override this.
         """
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """Arrays capturing the policy's *private* state, for checkpoints.
+
+        Policies whose decisions depend only on the shared
+        :class:`LearningState` (plus the round index) keep no private
+        state and inherit this empty default.  Stateful policies
+        (posterior parameters, sliding windows) must override both this
+        and :meth:`state_restore`, or checkpoint/resume silently
+        diverges from an uninterrupted run.
+        """
+        return {}
+
+    def state_restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        """Restore private state captured by :meth:`state_snapshot`.
+
+        Called after :meth:`reset` when a run resumes from a
+        checkpoint.  The default accepts only the empty snapshot the
+        default :meth:`state_snapshot` produces.
+        """
+        if snapshot:
+            raise ConfigurationError(
+                f"policy {self.name!r} cannot restore a non-empty snapshot; "
+                "override state_snapshot/state_restore for stateful policies"
+            )
+
     def _require_reset(self) -> None:
         if self._num_sellers == 0:
             raise ConfigurationError(

@@ -254,6 +254,26 @@ class ThompsonSamplingPolicy(SelectionPolicy):
         samples = rng.beta(self._alpha, self._beta)
         return top_k_indices(samples, self._k)
 
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """The Beta posterior parameters."""
+        return {"alpha": self._alpha.copy(), "beta": self._beta.copy()}
+
+    def state_restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        """Restore the Beta posterior parameters."""
+        try:
+            alpha = np.asarray(snapshot["alpha"], dtype=float)
+            beta = np.asarray(snapshot["beta"], dtype=float)
+        except KeyError as error:
+            raise ConfigurationError(
+                f"thompson snapshot is missing field {error.args[0]!r}"
+            ) from error
+        if alpha.shape != (self._num_sellers,) or beta.shape != (self._num_sellers,):
+            raise ConfigurationError(
+                "thompson snapshot shape does not match this run"
+            )
+        self._alpha = alpha.copy()
+        self._beta = beta.copy()
+
 
 class SlidingWindowUCBPolicy(SelectionPolicy):
     """UCB computed over a trailing window of rounds.
@@ -327,3 +347,55 @@ class SlidingWindowUCBPolicy(SelectionPolicy):
             bonus = np.sqrt(coefficient * np.log(total) / self._win_counts[seen])
             indices[seen] = means + bonus
         return top_k_indices(indices, self._k)
+
+    def state_snapshot(self) -> dict[str, np.ndarray]:
+        """The window aggregates plus the flattened per-round entries."""
+        lengths = np.array([sellers.size for sellers, __, __ in self._recent],
+                           dtype=np.int64)
+        return {
+            "window_counts": self._win_counts.copy(),
+            "window_sums": self._win_sums.copy(),
+            "entry_lengths": lengths,
+            "entry_nobs": np.array(
+                [n for __, __, n in self._recent], dtype=np.int64
+            ),
+            "entry_sellers": (
+                np.concatenate([s for s, __, __ in self._recent])
+                if self._recent else np.empty(0, dtype=np.int64)
+            ),
+            "entry_sums": (
+                np.concatenate([v for __, v, __ in self._recent])
+                if self._recent else np.empty(0)
+            ),
+        }
+
+    def state_restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        """Rebuild the window deque and aggregates from a snapshot."""
+        try:
+            counts = np.asarray(snapshot["window_counts"], dtype=float)
+            sums = np.asarray(snapshot["window_sums"], dtype=float)
+            lengths = np.asarray(snapshot["entry_lengths"], dtype=np.int64)
+            nobs = np.asarray(snapshot["entry_nobs"], dtype=np.int64)
+            sellers = np.asarray(snapshot["entry_sellers"], dtype=np.int64)
+            entry_sums = np.asarray(snapshot["entry_sums"], dtype=float)
+        except KeyError as error:
+            raise ConfigurationError(
+                f"sw-ucb snapshot is missing field {error.args[0]!r}"
+            ) from error
+        if counts.shape != (self._num_sellers,) or sums.shape != counts.shape:
+            raise ConfigurationError(
+                "sw-ucb snapshot shape does not match this run"
+            )
+        if lengths.sum() != sellers.size or sellers.size != entry_sums.size:
+            raise ConfigurationError("sw-ucb snapshot entries are misaligned")
+        self._win_counts = counts.copy()
+        self._win_sums = sums.copy()
+        self._recent.clear()
+        offset = 0
+        for length, n in zip(lengths, nobs):
+            self._recent.append((
+                sellers[offset:offset + length].copy(),
+                entry_sums[offset:offset + length].copy(),
+                int(n),
+            ))
+            offset += int(length)

@@ -18,6 +18,25 @@ from repro.exceptions import ReproError
 __all__ = ["main", "build_parser"]
 
 
+def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared fault-injection and checkpoint/resume flags."""
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help=(
+            "inject seller failures, e.g. "
+            "'dropout=0.2,corrupt=0.05,stall=0.01' (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="periodically write crash-safe checkpoints into DIR",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoints in --checkpoint-dir",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -60,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     quick_parser.add_argument("--selected", type=int, default=5)
     quick_parser.add_argument("--rounds", type=int, default=1_000)
     quick_parser.add_argument("--seed", type=int, default=0)
+    _add_fault_tolerance_arguments(quick_parser)
 
     replicate_parser = subparsers.add_parser(
         "replicate",
@@ -71,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     replicate_parser.add_argument("--seeds", type=int, default=5,
                                   help="number of replications")
     replicate_parser.add_argument("--first-seed", type=int, default=0)
+    _add_fault_tolerance_arguments(replicate_parser)
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -124,13 +145,20 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_quickstart(args: argparse.Namespace) -> int:
+    import os
+
     from repro.bandits import (
         EpsilonFirstPolicy,
         OptimalPolicy,
         RandomPolicy,
         UCBPolicy,
     )
-    from repro.sim import SimulationConfig, TradingSimulator
+    from repro.faults import FaultLog, parse_fault_spec
+    from repro.sim import (
+        PolicyComparison,
+        SimulationConfig,
+        TradingSimulator,
+    )
 
     config = SimulationConfig(
         num_sellers=args.sellers,
@@ -145,7 +173,30 @@ def _command_quickstart(args: argparse.Namespace) -> int:
         EpsilonFirstPolicy(0.1),
         RandomPolicy(),
     ]
-    comparison = simulator.compare(policies)
+    spec = parse_fault_spec(args.faults)
+    fault_model = simulator.fault_model(spec) if spec is not None else None
+    if args.checkpoint_dir:
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
+    fault_logs: dict[str, FaultLog] = {}
+    comparison = PolicyComparison()
+    for policy in policies:
+        log = FaultLog() if fault_model is not None else None
+        checkpoint_path = (
+            os.path.join(args.checkpoint_dir,
+                         f"quickstart-{policy.name}.npz")
+            if args.checkpoint_dir else None
+        )
+        comparison.add(simulator.run(
+            policy, args.rounds,
+            fault_model=fault_model,
+            fault_log=log,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=(max(1, args.rounds // 10)
+                              if checkpoint_path else 0),
+            resume=args.resume and checkpoint_path is not None,
+        ))
+        if log is not None:
+            fault_logs[policy.name] = log
     print(
         f"M={config.num_sellers} K={config.num_selected} "
         f"L={config.num_pois} N={args.rounds}"
@@ -159,16 +210,24 @@ def _command_quickstart(args: argparse.Namespace) -> int:
             f"{run.mean_platform_profit:>10.2f} "
             f"{run.mean_seller_profit:>10.3f}"
         )
+    if spec is not None:
+        print(f"\nfault injection: dropout={spec.dropout_rate} "
+              f"corrupt={spec.corruption_rate} stall={spec.stall_rate}")
+        for name, log in fault_logs.items():
+            print(f"  {name}: {log.summary() or 'no events'}")
     return 0
 
 
 def _command_replicate(args: argparse.Namespace) -> int:
+    import os
+
     from repro.bandits import (
         EpsilonFirstPolicy,
         OptimalPolicy,
         RandomPolicy,
         UCBPolicy,
     )
+    from repro.faults import parse_fault_spec
     from repro.sim import SimulationConfig, replicate_comparison
 
     config = SimulationConfig(
@@ -185,10 +244,23 @@ def _command_replicate(args: argparse.Namespace) -> int:
             RandomPolicy(),
         ]
 
-    result = replicate_comparison(config, factory, num_seeds=args.seeds,
-                                  first_seed=args.first_seed)
+    spec = parse_fault_spec(args.faults)
+    checkpoint_path = None
+    if args.checkpoint_dir:
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
+        checkpoint_path = os.path.join(args.checkpoint_dir,
+                                       "replicate-sweep.json")
+    result = replicate_comparison(
+        config, factory, num_seeds=args.seeds, first_seed=args.first_seed,
+        fault_spec=spec,
+        checkpoint_path=checkpoint_path,
+        resume=args.resume and checkpoint_path is not None,
+    )
     print(f"M={config.num_sellers} K={config.num_selected} "
           f"N={config.num_rounds}, seeds={result.seeds}")
+    if spec is not None:
+        print(f"fault injection: dropout={spec.dropout_rate} "
+              f"corrupt={spec.corruption_rate} stall={spec.stall_rate}")
     print(result.to_table())
     separation = result.separation("CMAB-HS", "random")
     print(f"\nCMAB-HS vs random revenue separation: "

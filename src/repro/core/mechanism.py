@@ -28,12 +28,13 @@ from repro.core.incentive import (
     solve_round_fast,
 )
 from repro.core.regret import RegretTracker
-from repro.core.state import LearningState
+from repro.core.state import LearningState, observation_mask
 from repro.entities.consumer import Consumer
 from repro.entities.job import Job
 from repro.entities.platform import Platform
 from repro.entities.seller import SellerPopulation
 from repro.exceptions import ConfigurationError
+from repro.faults import FaultKind, FaultLog, FaultModel
 from repro.game.profits import GameInstance, StrategyProfile
 from repro.quality.distributions import QualityModel, TruncatedGaussianQuality
 from repro.quality.sampler import QualitySampler
@@ -71,6 +72,12 @@ class RoundOutcome:
     estimated_qualities:
         Per-seller estimates ``qbar_i^t`` the round's game was solved
         with, aligned with ``selected``.
+    participants:
+        Under fault injection: the sellers that actually took part in
+        settlement after dropouts (``sensing_times``,
+        ``seller_profits``, and ``estimated_qualities`` align with this
+        set).  ``None`` on the clean path, meaning "all of
+        ``selected``".
     """
 
     round_index: int
@@ -84,6 +91,12 @@ class RoundOutcome:
     observed_quality_total: float
     mean_estimated_quality: float
     estimated_qualities: np.ndarray
+    participants: np.ndarray | None = None
+
+    @property
+    def active(self) -> np.ndarray:
+        """The sellers settlement actually covered this round."""
+        return self.participants if self.participants is not None else self.selected
 
     @property
     def strategy(self) -> StrategyProfile:
@@ -145,9 +158,11 @@ class TradingResult:
         return {
             "consumer": np.array([r.consumer_profit for r in self.rounds]),
             "platform": np.array([r.platform_profit for r in self.rounds]),
-            "sellers_mean": np.array(
-                [float(r.seller_profits.mean()) for r in self.rounds]
-            ),
+            "sellers_mean": np.array([
+                float(r.seller_profits.mean()) if r.seller_profits.size
+                else 0.0
+                for r in self.rounds
+            ]),
         }
 
     def strategies(self) -> dict[str, np.ndarray]:
@@ -266,12 +281,29 @@ class CMABHSMechanism:
             max_sensing_time=self._job.round_duration,
         )
 
-    def run(self, num_rounds: int | None = None) -> TradingResult:
-        """Execute Algorithm 1 for ``num_rounds`` rounds (default: job's N)."""
+    def run(self, num_rounds: int | None = None, *,
+            fault_model: FaultModel | None = None,
+            fault_log: FaultLog | None = None) -> TradingResult:
+        """Execute Algorithm 1 for ``num_rounds`` rounds (default: job's N).
+
+        With a ``fault_model``, seller failures are injected and each
+        round degrades gracefully: dropped sellers are removed from
+        settlement (the game is re-solved on the survivors, and an
+        empty survivor set settles as a no-trade round), corrupted
+        reports are quarantined by feasibility validation before they
+        can poison ``qbar_i``, and stalled reports miss the round's
+        revenue but still reach the learner.  Without one, behaviour is
+        bit-identical to the original mechanism.
+        """
         n = int(num_rounds) if num_rounds is not None else self._job.num_rounds
         if n <= 0:
             raise ConfigurationError(f"num_rounds must be positive, got {n}")
         m = len(self._population)
+        if fault_model is not None and fault_model.num_sellers != m:
+            raise ConfigurationError(
+                "fault model covers a different number of sellers than "
+                "the population"
+            )
         num_pois = self._job.num_pois
         sampler = QualitySampler(
             self._quality_model, num_pois, np.random.default_rng(self._seed)
@@ -280,14 +312,36 @@ class CMABHSMechanism:
         tracker = RegretTracker(
             self._population.expected_qualities, self._k, num_pois
         )
+        log = fault_log
+        if log is None and fault_model is not None:
+            log = FaultLog()
         rounds: list[RoundOutcome] = []
         for t in range(n):
-            if t == 0:
-                selected = np.arange(m)
-                outcome = self._play_initial_round(selected, state, sampler)
+            selected = np.arange(m) if t == 0 else self._select(state)
+            plan = None
+            participants = selected
+            if fault_model is not None:
+                plan = fault_model.plan_round(t, selected, num_pois)
+                fault_model.log_plan(plan, log)
+                participants = selected[~np.isin(selected, plan.dropped)]
+                if (0 < participants.size < selected.size
+                        and log is not None):
+                    log.record(t, FaultKind.DEGRADED,
+                               value=float(participants.size))
+            if participants.size == 0:
+                if log is not None:
+                    log.record(t, FaultKind.NO_TRADE)
+                outcome = self._no_trade_round(t, selected)
+            elif t == 0:
+                outcome = self._play_initial_round(
+                    selected, state, sampler, plan=plan,
+                    participants=participants, log=log,
+                )
             else:
-                selected = self._select(state)
-                outcome = self._play_round(t, selected, state, sampler)
+                outcome = self._play_round(
+                    t, selected, state, sampler, plan=plan,
+                    participants=participants, log=log,
+                )
             tracker.record(selected)
             rounds.append(outcome)
         return TradingResult(
@@ -305,14 +359,72 @@ class CMABHSMechanism:
         order = np.argsort(-ucb, kind="stable")
         return np.sort(order[: self._k])
 
+    def _collect(self, t: int, participants: np.ndarray,
+                 state: LearningState, sampler: QualitySampler,
+                 plan, log: FaultLog | None) -> float:
+        """Sample one round's data, quarantine garbage, learn, settle.
+
+        Returns the round's creditable observed-quality total.  On the
+        clean path (``plan is None``) this is exactly the original
+        sample-then-update sequence.
+        """
+        observations = sampler.sample_round(participants, round_index=t)
+        if plan is None:
+            state.update(participants, observations.sums,
+                         self._job.num_pois)
+            return observations.total
+        delivered = observations.sums.copy()
+        if plan.corrupted.size:
+            position = {int(s): i for i, s in enumerate(participants)}
+            for seller, garbage in zip(plan.corrupted, plan.corrupted_sums):
+                delivered[position[int(seller)]] = garbage
+        valid = observation_mask(delivered, self._job.num_pois)
+        if log is not None:
+            for pos in np.flatnonzero(~valid):
+                log.record(t, FaultKind.QUARANTINE, int(participants[pos]),
+                           float(delivered[pos]))
+        # Stalled reports arrive after settlement but still reach the
+        # learner; quarantined ones reach neither.
+        state.update(participants[valid], delivered[valid],
+                     self._job.num_pois)
+        settle = valid & ~np.isin(participants, plan.stalled)
+        return float(delivered[settle].sum())
+
+    def _no_trade_round(self, t: int, selected: np.ndarray) -> RoundOutcome:
+        """Fallback when every selected seller dropped out.
+
+        The round settles with no trade: zero profits on every side,
+        prices pinned to their lower bounds, empty strategy vectors,
+        and nothing learned.
+        """
+        empty = np.empty(0)
+        return RoundOutcome(
+            round_index=t,
+            selected=selected,
+            service_price=self._consumer.price_min,
+            collection_price=self._platform.price_min,
+            sensing_times=empty,
+            consumer_profit=0.0,
+            platform_profit=0.0,
+            seller_profits=empty,
+            observed_quality_total=0.0,
+            mean_estimated_quality=0.0,
+            estimated_qualities=empty,
+            participants=np.empty(0, dtype=int),
+        )
+
     def _play_initial_round(self, selected: np.ndarray, state: LearningState,
-                            sampler: QualitySampler) -> RoundOutcome:
+                            sampler: QualitySampler, *, plan=None,
+                            participants: np.ndarray | None = None,
+                            log: FaultLog | None = None) -> RoundOutcome:
         """Round 0: explore all sellers at fixed time and break-even prices."""
-        taus = np.full(selected.size, self._tau0)
+        if participants is None:
+            participants = selected
+        taus = np.full(participants.size, self._tau0)
         game = GameInstance(
-            qualities=np.full(selected.size, 0.5),  # placeholder; unused by pricing
-            cost_a=self._population.cost_a[selected],
-            cost_b=self._population.cost_b[selected],
+            qualities=np.full(participants.size, 0.5),  # placeholder; unused by pricing
+            cost_a=self._population.cost_a[participants],
+            cost_b=self._population.cost_b[participants],
             theta=self._platform.aggregation_cost.theta,
             lam=self._platform.aggregation_cost.lam,
             omega=self._consumer.valuation.omega,
@@ -323,13 +435,13 @@ class CMABHSMechanism:
             max_sensing_time=self._job.round_duration,
         )
         service_price, collection_price = initial_round_prices(game, self._tau0)
-        observations = sampler.sample_round(selected, round_index=0)
-        state.update(selected, observations.sums, self._job.num_pois)
-        means = state.means[selected]
+        observed_total = self._collect(0, participants, state, sampler,
+                                       plan, log)
+        means = state.means[participants]
         seller_profits = (
             collection_price * taus
-            - (self._population.cost_a[selected] * taus * taus
-               + self._population.cost_b[selected] * taus) * means
+            - (self._population.cost_a[participants] * taus * taus
+               + self._population.cost_b[participants] * taus) * means
         )
         total = float(taus.sum())
         aggregation = self._platform.aggregation_cost(total)
@@ -346,17 +458,22 @@ class CMABHSMechanism:
             consumer_profit=consumer_profit,
             platform_profit=platform_profit,
             seller_profits=seller_profits,
-            observed_quality_total=observations.total,
+            observed_quality_total=observed_total,
             mean_estimated_quality=float(means.mean()),
             estimated_qualities=means.copy(),
+            participants=None if plan is None else participants,
         )
 
     def _play_round(self, t: int, selected: np.ndarray, state: LearningState,
-                    sampler: QualitySampler) -> RoundOutcome:
-        """Rounds 1..N-1: HS game on the UCB-selected set, then learn."""
-        means = np.maximum(state.means[selected], _QUALITY_FLOOR)
-        cost_a = self._population.cost_a[selected]
-        cost_b = self._population.cost_b[selected]
+                    sampler: QualitySampler, *, plan=None,
+                    participants: np.ndarray | None = None,
+                    log: FaultLog | None = None) -> RoundOutcome:
+        """Rounds 1..N-1: HS game on the surviving set, then learn."""
+        if participants is None:
+            participants = selected
+        means = np.maximum(state.means[participants], _QUALITY_FLOOR)
+        cost_a = self._population.cost_a[participants]
+        cost_b = self._population.cost_b[participants]
         theta = self._platform.aggregation_cost.theta
         lam = self._platform.aggregation_cost.lam
         service_price, collection_price, taus = solve_round_fast(
@@ -379,8 +496,8 @@ class CMABHSMechanism:
             self._consumer.valuation(total, mean_quality)
             - service_price * total
         )
-        observations = sampler.sample_round(selected, round_index=t)
-        state.update(selected, observations.sums, self._job.num_pois)
+        observed_total = self._collect(t, participants, state, sampler,
+                                       plan, log)
         return RoundOutcome(
             round_index=t,
             selected=selected,
@@ -390,7 +507,8 @@ class CMABHSMechanism:
             consumer_profit=consumer_profit,
             platform_profit=platform_profit,
             seller_profits=seller_profits,
-            observed_quality_total=observations.total,
+            observed_quality_total=observed_total,
             mean_estimated_quality=mean_quality,
             estimated_qualities=means.copy(),
+            participants=None if plan is None else participants,
         )

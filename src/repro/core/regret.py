@@ -235,3 +235,35 @@ class RegretTracker:
     def is_optimal_selection(self, selected: np.ndarray) -> bool:
         """Whether the selection equals the omniscient set ``S*``."""
         return frozenset(int(i) for i in np.asarray(selected)) == self._optimal_set
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The tracker's mutable state, for crash-safe checkpoints."""
+        return {
+            "cumulative": self._cumulative,
+            "rounds": self._rounds,
+            "expected_revenue": self._expected_revenue,
+            "history": np.asarray(self._history, dtype=float),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore state previously captured by :meth:`snapshot`."""
+        try:
+            history = np.asarray(snapshot["history"], dtype=float)
+            rounds = int(snapshot["rounds"])
+            cumulative = float(snapshot["cumulative"])
+            expected = float(snapshot["expected_revenue"])
+        except KeyError as error:
+            raise ConfigurationError(
+                f"regret snapshot is missing field {error.args[0]!r}"
+            ) from error
+        if history.size != rounds:
+            raise ConfigurationError(
+                f"regret snapshot is inconsistent: {history.size} history "
+                f"entries for {rounds} rounds"
+            )
+        self._cumulative = cumulative
+        self._rounds = rounds
+        self._expected_revenue = expected
+        self._history = [float(value) for value in history]

@@ -17,7 +17,26 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["LearningState"]
+__all__ = ["LearningState", "observation_mask"]
+
+
+def observation_mask(observation_sums: np.ndarray,
+                     num_observations: int) -> np.ndarray:
+    """Which per-seller observation sums are physically possible.
+
+    A seller observed at ``L`` PoIs reports a sum of ``L`` per-PoI
+    qualities, each in ``[0, 1]``, so any finite value in ``[0, L]`` is
+    feasible; NaN, negative, or oversized sums mark a corrupted report.
+    The fault-tolerant runners use this mask to quarantine garbage
+    *before* it reaches :meth:`LearningState.update` and poisons
+    ``qbar_i``.
+    """
+    sums = np.asarray(observation_sums, dtype=float)
+    if num_observations <= 0:
+        raise ConfigurationError(
+            f"num_observations must be positive, got {num_observations}"
+        )
+    return np.isfinite(sums) & (sums >= 0.0) & (sums <= float(num_observations))
 
 
 class LearningState:
@@ -114,6 +133,12 @@ class LearningState:
             raise ConfigurationError("a seller cannot be updated twice per round")
         if sellers.min() < 0 or sellers.max() >= self._num_sellers:
             raise ConfigurationError("seller index out of range")
+        if not np.all(observation_mask(sums, num_observations)):
+            raise ConfigurationError(
+                "observation sums contain NaN or out-of-range values; "
+                "quarantine corrupted reports (see observation_mask) before "
+                "updating the learning state"
+            )
         self._counts[sellers] += int(num_observations)
         self._sums[sellers] += sums
 

@@ -50,5 +50,15 @@ class DataTraceError(ReproError):
     """A data trace could not be generated, parsed, or interpreted."""
 
 
+class PersistenceError(ReproError):
+    """A persisted artefact could not be written, read, or validated.
+
+    Raised when a results file, checkpoint, or sweep snapshot is
+    truncated, fails schema validation, or lacks required fields —
+    instead of surfacing a raw ``ValueError``/``KeyError`` from the
+    underlying JSON/NPZ machinery.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment driver was asked to run with invalid parameters."""

@@ -83,7 +83,6 @@ def truncate_to_budget(run: RunMetrics, budget: float) -> BudgetedRun:
         raise ConfigurationError(f"budget must be positive, got {budget}")
     payments = run.service_price * run.total_sensing_time
     cumulative = np.cumsum(payments)
-    affordable = cumulative <= budget
     rounds_completed = int(np.searchsorted(cumulative, budget, side="right"))
     exhausted = rounds_completed < run.num_rounds
     spent = float(cumulative[rounds_completed - 1]) if rounds_completed else 0.0

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bandits.base import SelectionPolicy
-from repro.core.selection import top_k_indices
 from repro.core.state import LearningState
 from repro.exceptions import ConfigurationError
 from repro.experiments.registry import (

@@ -1,0 +1,27 @@
+"""Reproducible fault injection: seller dropout, corruption, stalls.
+
+The fault-tolerance layer of the trading runtime.  A
+:class:`FaultSpec` declares per-round failure probabilities, a
+:class:`FaultModel` turns them into seed-driven per-round plans, and a
+:class:`FaultLog` records every injected event and every platform-side
+reaction (quarantines, degraded re-solves, no-trade fallbacks) for
+audit and testing.
+"""
+
+from repro.faults.log import FaultEvent, FaultKind, FaultLog
+from repro.faults.model import (
+    FaultModel,
+    FaultSpec,
+    RoundFaultPlan,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultModel",
+    "RoundFaultPlan",
+    "FaultLog",
+    "FaultEvent",
+    "FaultKind",
+    "parse_fault_spec",
+]

@@ -1,0 +1,176 @@
+"""Structured record of every fault-related event in a run.
+
+A :class:`FaultLog` is the audit trail of a fault-injected simulation:
+each injected failure (dropout, corruption, stall), each platform-side
+reaction (quarantine, degraded game re-solve, no-trade fallback) is
+appended as one :class:`FaultEvent`.  The log is append-only during a
+run and serialisable to plain arrays so checkpoints can carry it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FaultKind", "FaultEvent", "FaultLog"]
+
+
+class FaultKind(str, Enum):
+    """Every event category a :class:`FaultLog` can record.
+
+    Injected failures:
+
+    * ``DROPOUT`` — a selected seller returned no observation at all;
+    * ``CORRUPTION`` — a seller's report was replaced with garbage
+      (NaN, negative, or out-of-range values);
+    * ``STALL`` — a seller responded after the settlement deadline, so
+      its data missed revenue accounting but still reached the learner.
+
+    Platform reactions:
+
+    * ``QUARANTINE`` — the platform's validation detected an invalid
+      report and excluded it from the quality-learning update;
+    * ``DEGRADED`` — the round's Stackelberg game was re-solved on a
+      survivor set smaller than the selected set;
+    * ``NO_TRADE`` — every selected seller failed, so the round settled
+      with no trade at all (the documented empty-set fallback).
+    """
+
+    DROPOUT = "dropout"
+    CORRUPTION = "corruption"
+    STALL = "stall"
+    QUARANTINE = "quarantine"
+    DEGRADED = "degraded"
+    NO_TRADE = "no_trade"
+
+
+#: Stable integer codes used when a log round-trips through an NPZ
+#: checkpoint (insertion order of :class:`FaultKind` is the code).
+_KIND_CODES = {kind: code for code, kind in enumerate(FaultKind)}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-related event.
+
+    Attributes
+    ----------
+    round_index:
+        0-based round the event happened in.
+    kind:
+        The event category.
+    seller:
+        The affected seller index, or ``-1`` for round-level events
+        (``DEGRADED``, ``NO_TRADE``).
+    value:
+        Free-slot detail: the corrupted report value for ``CORRUPTION``
+        / ``QUARANTINE`` events, the survivor count for ``DEGRADED``,
+        ``0.0`` otherwise.
+    """
+
+    round_index: int
+    kind: FaultKind
+    seller: int = -1
+    value: float = 0.0
+
+
+class FaultLog:
+    """Append-only, serialisable log of fault events."""
+
+    def __init__(self) -> None:
+        self._events: list[FaultEvent] = []
+
+    # -- recording -----------------------------------------------------------------
+
+    def record(self, round_index: int, kind: FaultKind, seller: int = -1,
+               value: float = 0.0) -> None:
+        """Append one event."""
+        self._events.append(
+            FaultEvent(int(round_index), FaultKind(kind), int(seller),
+                       float(value))
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """All events in insertion (chronological) order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def count(self, kind: FaultKind) -> int:
+        """Number of events of one kind."""
+        kind = FaultKind(kind)
+        return sum(1 for event in self._events if event.kind is kind)
+
+    def events_in_round(self, round_index: int) -> list[FaultEvent]:
+        """Every event of one round, in order."""
+        return [e for e in self._events if e.round_index == round_index]
+
+    def sellers_hit(self, kind: FaultKind,
+                    round_index: int | None = None) -> list[int]:
+        """Seller indices affected by one kind (optionally one round)."""
+        kind = FaultKind(kind)
+        return [
+            e.seller for e in self._events
+            if e.kind is kind
+            and (round_index is None or e.round_index == round_index)
+        ]
+
+    def summary(self) -> dict[str, int]:
+        """Event counts keyed by kind value (only non-zero kinds)."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts
+
+    # -- (de)serialisation, for checkpoints ------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The log as four aligned plain arrays (checkpoint payload)."""
+        return {
+            "rounds": np.array([e.round_index for e in self._events],
+                               dtype=np.int64),
+            "kinds": np.array([_KIND_CODES[e.kind] for e in self._events],
+                              dtype=np.int64),
+            "sellers": np.array([e.seller for e in self._events],
+                                dtype=np.int64),
+            "values": np.array([e.value for e in self._events], dtype=float),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "FaultLog":
+        """Rebuild a log serialised by :meth:`to_arrays`."""
+        log = cls()
+        try:
+            rounds = np.asarray(arrays["rounds"], dtype=np.int64)
+            kinds = np.asarray(arrays["kinds"], dtype=np.int64)
+            sellers = np.asarray(arrays["sellers"], dtype=np.int64)
+            values = np.asarray(arrays["values"], dtype=float)
+        except KeyError as error:
+            raise ConfigurationError(
+                f"fault-log arrays are missing field {error.args[0]!r}"
+            ) from error
+        if not (rounds.size == kinds.size == sellers.size == values.size):
+            raise ConfigurationError("fault-log arrays are misaligned")
+        for r, c, s, v in zip(rounds, kinds, sellers, values):
+            if int(c) not in _CODE_KINDS:
+                raise ConfigurationError(f"unknown fault-kind code {int(c)}")
+            log._events.append(
+                FaultEvent(int(r), _CODE_KINDS[int(c)], int(s), float(v))
+            )
+        return log
+
+    def restore_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        """Replace this log's contents with serialised events (resume)."""
+        self._events = list(FaultLog.from_arrays(arrays)._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"FaultLog({self.summary()!r})"

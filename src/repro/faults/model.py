@@ -1,0 +1,289 @@
+"""Seed-driven fault injection for trading simulations.
+
+Real crowdsensing fleets are not the paper's happy path: sellers drop
+out mid-round, return garbage readings, or report after the settlement
+deadline.  A :class:`FaultModel` injects exactly those failures into a
+run in a *reproducible* way — every round's faults are drawn from a
+dedicated :class:`~repro.sim.rng.RngFactory` stream keyed by the round
+index, so
+
+* the same seed always yields the same fault schedule,
+* fault draws never perturb the population / observation / policy
+  streams (a zero-rate fault model is bit-identical to no fault model),
+* a resumed run replays the identical schedule without having to replay
+  earlier rounds (no sequential RNG state to restore).
+
+Faults are assigned per seller per round with a single uniform draw
+partitioned by rate: dropout takes precedence over corruption, which
+takes precedence over stalling, and a seller suffers at most one fault
+per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.faults.log import FaultKind, FaultLog
+
+if TYPE_CHECKING:  # avoid a runtime repro.sim <-> repro.faults cycle
+    from repro.sim.rng import RngFactory
+
+__all__ = ["FaultSpec", "RoundFaultPlan", "FaultModel", "parse_fault_spec"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-round, per-seller fault probabilities.
+
+    Attributes
+    ----------
+    dropout_rate:
+        Probability a selected seller returns nothing at all.
+    corruption_rate:
+        Probability a seller's report is replaced with garbage (NaN,
+        negative, or impossibly large values).
+    stall_rate:
+        Probability a seller's report arrives after settlement: it
+        misses the round's revenue accounting but still reaches the
+        quality learner.
+    """
+
+    dropout_rate: float = 0.0
+    corruption_rate: float = 0.0
+    stall_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("dropout_rate", "corruption_rate", "stall_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if self.dropout_rate + self.corruption_rate + self.stall_rate > 1.0:
+            raise ConfigurationError(
+                "fault rates must sum to at most 1 (each seller suffers at "
+                "most one fault per round)"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault has positive probability."""
+        return (self.dropout_rate > 0.0 or self.corruption_rate > 0.0
+                or self.stall_rate > 0.0)
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form (checkpoint fingerprints)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        """Rebuild a spec serialised by :meth:`to_dict`."""
+        try:
+            return cls(
+                dropout_rate=float(payload["dropout_rate"]),
+                corruption_rate=float(payload["corruption_rate"]),
+                stall_rate=float(payload["stall_rate"]),
+            )
+        except KeyError as error:
+            raise ConfigurationError(
+                f"fault-spec dict is missing field {error.args[0]!r}"
+            ) from error
+
+
+#: Aliases accepted by :func:`parse_fault_spec`.
+_SPEC_KEYS = {
+    "dropout": "dropout_rate",
+    "drop": "dropout_rate",
+    "corrupt": "corruption_rate",
+    "corruption": "corruption_rate",
+    "stall": "stall_rate",
+}
+
+
+def parse_fault_spec(text: str | None) -> FaultSpec | None:
+    """Parse a CLI-style fault spec like ``"dropout=0.2,corrupt=0.05"``.
+
+    Accepted keys: ``dropout``/``drop``, ``corrupt``/``corruption``,
+    ``stall``.  ``None``, the empty string, ``"none"``, and ``"off"``
+    all mean *no fault injection* and return ``None``.
+
+    Raises
+    ------
+    ConfigurationError
+        On unknown keys, malformed entries, or invalid rates.
+    """
+    if text is None:
+        return None
+    text = text.strip()
+    if text == "" or text.lower() in ("none", "off"):
+        return None
+    rates: dict[str, float] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        key, sep, raw = entry.partition("=")
+        key = key.strip().lower()
+        if not sep or key not in _SPEC_KEYS:
+            known = ", ".join(sorted(set(_SPEC_KEYS)))
+            raise ConfigurationError(
+                f"bad fault-spec entry {entry!r}; expected key=rate with "
+                f"key one of: {known}"
+            )
+        field = _SPEC_KEYS[key]
+        if field in rates:
+            raise ConfigurationError(f"duplicate fault-spec key {key!r}")
+        try:
+            rates[field] = float(raw)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"fault rate for {key!r} is not a number: {raw!r}"
+            ) from error
+    return FaultSpec(**rates)
+
+
+@dataclass(frozen=True)
+class RoundFaultPlan:
+    """The faults injected into one round.
+
+    All seller arrays hold population-level indices (not positions in
+    the selected set) and are disjoint.
+
+    Attributes
+    ----------
+    round_index:
+        The round this plan applies to.
+    dropped:
+        Sellers that return no observation.
+    corrupted:
+        Sellers whose reports are replaced with garbage.
+    corrupted_sums:
+        The garbage per-seller observation sums, aligned with
+        ``corrupted``.
+    stalled:
+        Sellers whose reports arrive after settlement.
+    """
+
+    round_index: int
+    dropped: np.ndarray
+    corrupted: np.ndarray
+    corrupted_sums: np.ndarray
+    stalled: np.ndarray
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether this round carries no fault at all."""
+        return (self.dropped.size == 0 and self.corrupted.size == 0
+                and self.stalled.size == 0)
+
+
+class FaultModel:
+    """Draws reproducible per-round fault plans for a population.
+
+    Parameters
+    ----------
+    spec:
+        The fault probabilities.
+    factory:
+        The simulation's RNG factory; fault draws use the dedicated
+        ``("faults", round)`` streams, independent of every other
+        stream the run consumes.
+    num_sellers:
+        Population size ``M`` — draws are made for *every* seller each
+        round (then restricted to the selected set), so the schedule is
+        identical across policies selecting different sets (common
+        random faults).
+    """
+
+    def __init__(self, spec: FaultSpec, factory: RngFactory,
+                 num_sellers: int) -> None:
+        if num_sellers <= 0:
+            raise ConfigurationError(
+                f"num_sellers must be positive, got {num_sellers}"
+            )
+        self._spec = spec
+        self._factory = factory
+        self._num_sellers = int(num_sellers)
+
+    @property
+    def spec(self) -> FaultSpec:
+        """The fault probabilities this model injects."""
+        return self._spec
+
+    @property
+    def num_sellers(self) -> int:
+        """Population size the per-round draws cover."""
+        return self._num_sellers
+
+    def plan_round(self, round_index: int, selected: np.ndarray,
+                   num_observations: int) -> RoundFaultPlan:
+        """The fault plan of one round, restricted to the selected set.
+
+        Parameters
+        ----------
+        round_index:
+            0-based round number (keys the RNG stream).
+        selected:
+            Population indices of the sellers selected this round.
+        num_observations:
+            Observations per seller per round (``L``); corrupted sums
+            are drawn out of the feasible ``[0, L]`` range (or NaN /
+            negative) so validation can detect them.
+
+        Raises
+        ------
+        ConfigurationError
+            If a selected index falls outside the population.
+        """
+        selected = np.asarray(selected, dtype=int)
+        if selected.size and (selected.min() < 0
+                              or selected.max() >= self._num_sellers):
+            raise ConfigurationError("selected seller index out of range")
+        rng = self._factory.generator("faults", int(round_index))
+        uniforms = rng.random(self._num_sellers)
+        corrupt_mode = rng.random(self._num_sellers)
+        corrupt_magnitude = rng.random(self._num_sellers)
+
+        d = self._spec.dropout_rate
+        c = self._spec.corruption_rate
+        s = self._spec.stall_rate
+        u = uniforms[selected]
+        dropped = selected[u < d]
+        corrupted = selected[(u >= d) & (u < d + c)]
+        stalled = selected[(u >= d + c) & (u < d + c + s)]
+
+        # Three garbage flavours, all caught by the feasibility check
+        # "finite and within [0, L]": NaN, negative, and larger than the
+        # L-observation maximum.
+        mode = corrupt_mode[corrupted]
+        magnitude = corrupt_magnitude[corrupted]
+        sums = np.empty(corrupted.size)
+        sums[mode < 1.0 / 3.0] = np.nan
+        negative = (mode >= 1.0 / 3.0) & (mode < 2.0 / 3.0)
+        sums[negative] = -1.0 - 4.0 * magnitude[negative]
+        oversized = mode >= 2.0 / 3.0
+        sums[oversized] = num_observations * (1.5 + 8.5 * magnitude[oversized])
+
+        return RoundFaultPlan(
+            round_index=int(round_index),
+            dropped=dropped,
+            corrupted=corrupted,
+            corrupted_sums=sums,
+            stalled=stalled,
+        )
+
+    def log_plan(self, plan: RoundFaultPlan, log: FaultLog | None) -> None:
+        """Record a plan's injected events (helper shared by runners)."""
+        if log is None:
+            return
+        for seller in plan.dropped:
+            log.record(plan.round_index, FaultKind.DROPOUT, int(seller))
+        for seller, value in zip(plan.corrupted, plan.corrupted_sums):
+            log.record(plan.round_index, FaultKind.CORRUPTION, int(seller),
+                       float(value))
+        for seller in plan.stalled:
+            log.record(plan.round_index, FaultKind.STALL, int(seller))

@@ -9,10 +9,14 @@ from repro.sim.metrics import (
     revenue_share,
 )
 from repro.sim.persistence import (
+    load_checkpoint,
     load_experiment_result,
     load_run_metrics,
+    load_sweep_checkpoint,
+    save_checkpoint,
     save_experiment_result,
     save_run_metrics,
+    save_sweep_checkpoint,
 )
 from repro.sim.replication import (
     MetricSummary,
@@ -37,6 +41,10 @@ __all__ = [
     "load_run_metrics",
     "save_experiment_result",
     "load_experiment_result",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_sweep_checkpoint",
+    "load_sweep_checkpoint",
     "MetricSummary",
     "ReplicationResult",
     "replicate_comparison",

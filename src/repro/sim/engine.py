@@ -16,24 +16,46 @@ Pricing rules per round:
   platform's break-even price;
 * every other round plays the closed-form game on the selected set, with
   never-observed sellers entering at the neutral prior estimate 0.5.
+
+Fault tolerance (both opt-in; the clean path is bit-identical with them
+off):
+
+* **Fault injection** — pass a :class:`~repro.faults.FaultModel` and the
+  run degrades gracefully instead of assuming every seller delivers:
+  dropped sellers are removed from the round's settlement (the game is
+  re-solved on the survivors; an empty survivor set settles as a
+  documented no-trade round), corrupted reports are detected by
+  feasibility validation and quarantined before they can poison
+  ``qbar_i``, and stalled reports miss revenue accounting but still
+  reach the learner.  Every event lands in the run's
+  :class:`~repro.faults.FaultLog`.
+* **Checkpoint/resume** — pass ``checkpoint_path``/``checkpoint_every``
+  and the engine atomically persists its full mid-run state (learning
+  state, RNG streams, partial metrics, fault log, policy private state)
+  every few rounds; ``resume=True`` continues from the last checkpoint
+  and produces metrics identical to an uninterrupted run.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro.bandits.base import SelectionPolicy
 from repro.core.incentive import solve_round_fast
 from repro.core.regret import RegretTracker
-from repro.core.state import LearningState
+from repro.core.state import LearningState, observation_mask
 from repro.entities.seller import SellerPopulation
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, PersistenceError
+from repro.faults import FaultKind, FaultLog, FaultModel, FaultSpec
 from repro.quality.distributions import (
     QualityModel,
     TruncatedGaussianQuality,
 )
 from repro.quality.sampler import QualitySampler
 from repro.sim.config import SimulationConfig
+from repro.sim.persistence import load_checkpoint, save_checkpoint
 from repro.sim.results import PolicyComparison, RunMetrics
 from repro.sim.rng import RngFactory
 
@@ -46,6 +68,13 @@ _PRIOR_MEAN = 0.5
 #: Floor applied to estimated qualities entering the game (the closed
 #: forms divide by ``qbar_i``).
 _QUALITY_FLOOR = 1e-6
+
+#: Metric series checkpointed/restored round-by-round (regret lives in
+#: the tracker snapshot instead).
+_SERIES_NAMES = (
+    "realized", "expected", "consumer", "platform", "sellers_mean",
+    "service", "collection", "totals", "estimation_error",
+)
 
 
 class TradingSimulator:
@@ -112,40 +141,92 @@ class TradingSimulator:
         """The observation model (shared across policy runs)."""
         return self._quality_model
 
+    def fault_model(self, spec: FaultSpec) -> FaultModel:
+        """A fault model bound to this simulator's seed and population.
+
+        Fault draws use the factory's dedicated ``("faults", round)``
+        streams, so enabling/disabling faults never perturbs the
+        population, observation, or policy randomness.
+        """
+        return FaultModel(spec, self._factory, self._config.num_sellers)
+
     # -- running -------------------------------------------------------------------
 
     def run(self, policy: SelectionPolicy,
-            num_rounds: int | None = None) -> RunMetrics:
-        """Run one policy for ``num_rounds`` rounds (default: config's N)."""
+            num_rounds: int | None = None, *,
+            fault_model: FaultModel | None = None,
+            fault_log: FaultLog | None = None,
+            checkpoint_path: str | os.PathLike | None = None,
+            checkpoint_every: int = 0,
+            resume: bool = False) -> RunMetrics:
+        """Run one policy for ``num_rounds`` rounds (default: config's N).
+
+        Parameters
+        ----------
+        policy:
+            The selection policy to drive.
+        num_rounds:
+            Round count override.
+        fault_model:
+            When given, seller failures are injected and the run
+            degrades gracefully (see the module docstring).  ``None``
+            keeps the exact clean-path behaviour.
+        fault_log:
+            Collector for injected events and platform reactions; a
+            fresh log is used internally when omitted.
+        checkpoint_path:
+            File the engine checkpoints into (and resumes from).
+        checkpoint_every:
+            Checkpoint after every this-many completed rounds
+            (0 disables periodic checkpointing).
+        resume:
+            Continue from ``checkpoint_path`` if it exists; a missing
+            checkpoint file simply starts from round 0.
+        """
         cfg = self._config
         n = int(num_rounds) if num_rounds is not None else cfg.num_rounds
         if n <= 0:
             raise ConfigurationError(f"num_rounds must be positive, got {n}")
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if (checkpoint_every or resume) and checkpoint_path is None:
+            raise ConfigurationError(
+                "checkpointing/resume requires checkpoint_path"
+            )
+        if fault_model is not None and fault_model.num_sellers != cfg.num_sellers:
+            raise ConfigurationError(
+                "fault model covers a different number of sellers than "
+                "the config"
+            )
         m, k, num_pois = cfg.num_sellers, cfg.num_selected, cfg.num_pois
         population = self._population
         qualities_truth = population.expected_qualities
         cost_a_all = population.cost_a
         cost_b_all = population.cost_b
 
-        sampler = QualitySampler(
-            self._quality_model, num_pois,
-            self._factory.generator("observations"),
-        )
+        observation_rng = self._factory.generator("observations")
+        sampler = QualitySampler(self._quality_model, num_pois,
+                                 observation_rng)
         policy_rng = self._factory.generator("policy", policy.name)
         state = LearningState(m, prior_mean=_PRIOR_MEAN)
         tracker = RegretTracker(qualities_truth, k, num_pois)
         policy.reset(m, k, n)
+        log = fault_log
+        if log is None and fault_model is not None:
+            log = FaultLog()
 
-        realized = np.empty(n)
-        expected = np.empty(n)
-        consumer = np.empty(n)
-        platform = np.empty(n)
-        sellers_mean = np.empty(n)
-        service = np.empty(n)
-        collection = np.empty(n)
-        totals = np.empty(n)
-        estimation_error = np.empty(n)
+        series = {name: np.empty(n) for name in _SERIES_NAMES}
         selection_counts = np.zeros(m, dtype=np.int64)
+
+        start_round = 0
+        if resume and os.path.exists(checkpoint_path):
+            start_round = self._restore_checkpoint(
+                checkpoint_path, policy, n, state, tracker, series,
+                selection_counts, policy_rng, observation_rng,
+                fault_model, log,
+            )
 
         theta, lam, omega = cfg.theta, cfg.lam, cfg.omega
         svc_bounds = cfg.service_price_bounds
@@ -153,82 +234,336 @@ class TradingSimulator:
         tau_max = cfg.max_sensing_time
         tau0 = cfg.initial_sensing_time
 
-        for t in range(n):
+        for t in range(start_round, n):
             selected = policy.select(t, state, policy_rng)
-            cost_a = cost_a_all[selected]
-            cost_b = cost_b_all[selected]
             # Algorithm 1's exploration pricing applies whenever the whole
             # population is selected in round 0 — including the K == M
             # corner where "all sellers" and "top K" coincide.
             explore_round = selected.size > k or (
                 t == 0 and selected.size == m
             )
-            if explore_round:
-                # Algorithm 1 initial exploration: fixed time, break-even
-                # price; profits are evaluated at the *post-collection*
-                # estimates (the qualities are learned before settlement).
-                observations = sampler.sample_round(selected, round_index=t)
-                state.update(selected, observations.sums, num_pois)
-                policy.observe(t, selected, observations.sums, num_pois)
-                means = state.means[selected]
-                taus = np.full(selected.size, tau0)
-                total = float(taus.sum())
-                p = col_bounds[1]
-                aggregation = theta * total * total + lam * total
-                p_j = min(max(p + aggregation / total, svc_bounds[0]),
-                          svc_bounds[1])
-            else:
-                means = state.means[selected]
-                game_means = np.maximum(means, _QUALITY_FLOOR)
-                p_j, p, taus = solve_round_fast(
-                    game_means, cost_a, cost_b, theta, lam, omega,
-                    svc_bounds, col_bounds, tau_max,
+            if fault_model is None:
+                self._play_clean_round(
+                    t, selected, explore_round, state, tracker, policy,
+                    sampler, series, selection_counts, qualities_truth,
+                    cost_a_all, cost_b_all, num_pois, theta, lam, omega,
+                    svc_bounds, col_bounds, tau_max, tau0,
                 )
-                total = float(taus.sum())
-                aggregation = theta * total * total + lam * total
-
-            mean_quality = float(means.mean())
-            seller_profits = p * taus - (
-                cost_a * taus * taus + cost_b * taus
-            ) * means
-            consumer[t] = omega * np.log1p(mean_quality * total) - p_j * total
-            platform[t] = (p_j - p) * total - aggregation
-            sellers_mean[t] = float(seller_profits.mean())
-            service[t] = p_j
-            collection[t] = p
-            totals[t] = total
-
-            if not explore_round:
-                observations = sampler.sample_round(selected, round_index=t)
-                state.update(selected, observations.sums, num_pois)
-                policy.observe(t, selected, observations.sums, num_pois)
-            tracker.record(selected)
-            realized[t] = observations.total
-            expected[t] = float(qualities_truth[selected].sum()) * num_pois
-            estimation_error[t] = float(
-                np.abs(state.means - qualities_truth).mean()
-            )
-            selection_counts[selected] += 1
+            else:
+                self._play_faulty_round(
+                    t, selected, explore_round, state, tracker, policy,
+                    sampler, series, selection_counts, qualities_truth,
+                    cost_a_all, cost_b_all, num_pois, theta, lam, omega,
+                    svc_bounds, col_bounds, tau_max, tau0, fault_model, log,
+                )
+            if (checkpoint_every and (t + 1) % checkpoint_every == 0
+                    and (t + 1) < n):
+                self._write_checkpoint(
+                    checkpoint_path, policy, n, t + 1, state, tracker,
+                    series, selection_counts, policy_rng, observation_rng,
+                    fault_model, log,
+                )
 
         return RunMetrics(
             policy_name=policy.name,
-            realized_revenue=realized,
-            expected_revenue=expected,
+            realized_revenue=series["realized"],
+            expected_revenue=series["expected"],
             regret=tracker.history,
-            consumer_profit=consumer,
-            platform_profit=platform,
-            seller_profit_mean=sellers_mean,
-            service_price=service,
-            collection_price=collection,
-            total_sensing_time=totals,
+            consumer_profit=series["consumer"],
+            platform_profit=series["platform"],
+            seller_profit_mean=series["sellers_mean"],
+            service_price=series["service"],
+            collection_price=series["collection"],
+            total_sensing_time=series["totals"],
             selection_counts=selection_counts,
-            estimation_error=estimation_error,
+            estimation_error=series["estimation_error"],
         )
 
     def compare(self, policies: list[SelectionPolicy],
-                num_rounds: int | None = None) -> PolicyComparison:
-        """Run several policies on this instance and group the results."""
+                num_rounds: int | None = None, *,
+                fault_model: FaultModel | None = None) -> PolicyComparison:
+        """Run several policies on this instance and group the results.
+
+        With a fault model, every policy faces the *same* per-round,
+        per-seller fault schedule (common random faults), keeping the
+        comparison paired.
+        """
         comparison = PolicyComparison()
         for policy in policies:
-            comparison.add(self.run(policy, num_rounds))
+            comparison.add(
+                self.run(policy, num_rounds, fault_model=fault_model)
+            )
         return comparison
+
+    # -- round bodies --------------------------------------------------------------
+
+    def _play_clean_round(self, t, selected, explore_round, state, tracker,
+                          policy, sampler, series, selection_counts,
+                          qualities_truth, cost_a_all, cost_b_all, num_pois,
+                          theta, lam, omega, svc_bounds, col_bounds,
+                          tau_max, tau0) -> None:
+        """One happy-path round (the original engine, bit for bit)."""
+        cost_a = cost_a_all[selected]
+        cost_b = cost_b_all[selected]
+        if explore_round:
+            # Algorithm 1 initial exploration: fixed time, break-even
+            # price; profits are evaluated at the *post-collection*
+            # estimates (the qualities are learned before settlement).
+            observations = sampler.sample_round(selected, round_index=t)
+            state.update(selected, observations.sums, num_pois)
+            policy.observe(t, selected, observations.sums, num_pois)
+            means = state.means[selected]
+            taus = np.full(selected.size, tau0)
+            total = float(taus.sum())
+            p = col_bounds[1]
+            aggregation = theta * total * total + lam * total
+            p_j = min(max(p + aggregation / total, svc_bounds[0]),
+                      svc_bounds[1])
+        else:
+            means = state.means[selected]
+            game_means = np.maximum(means, _QUALITY_FLOOR)
+            p_j, p, taus = solve_round_fast(
+                game_means, cost_a, cost_b, theta, lam, omega,
+                svc_bounds, col_bounds, tau_max,
+            )
+            total = float(taus.sum())
+            aggregation = theta * total * total + lam * total
+
+        mean_quality = float(means.mean())
+        seller_profits = p * taus - (
+            cost_a * taus * taus + cost_b * taus
+        ) * means
+        series["consumer"][t] = (
+            omega * np.log1p(mean_quality * total) - p_j * total
+        )
+        series["platform"][t] = (p_j - p) * total - aggregation
+        series["sellers_mean"][t] = float(seller_profits.mean())
+        series["service"][t] = p_j
+        series["collection"][t] = p
+        series["totals"][t] = total
+
+        if not explore_round:
+            observations = sampler.sample_round(selected, round_index=t)
+            state.update(selected, observations.sums, num_pois)
+            policy.observe(t, selected, observations.sums, num_pois)
+        tracker.record(selected)
+        series["realized"][t] = observations.total
+        series["expected"][t] = float(
+            qualities_truth[selected].sum()
+        ) * num_pois
+        series["estimation_error"][t] = float(
+            np.abs(state.means - qualities_truth).mean()
+        )
+        selection_counts[selected] += 1
+
+    def _play_faulty_round(self, t, selected, explore_round, state, tracker,
+                           policy, sampler, series, selection_counts,
+                           qualities_truth, cost_a_all, cost_b_all, num_pois,
+                           theta, lam, omega, svc_bounds, col_bounds,
+                           tau_max, tau0, fault_model, log) -> None:
+        """One fault-injected round with graceful degradation.
+
+        With an all-zero fault plan this produces bit-identical metrics
+        to :meth:`_play_clean_round` (asserted by the test suite): the
+        fault draws come from their own RNG stream, and every masked
+        operation degenerates to the unmasked original.
+        """
+        plan = fault_model.plan_round(t, selected, num_pois)
+        fault_model.log_plan(plan, log)
+        participants = selected[~np.isin(selected, plan.dropped)]
+
+        tracker.record(selected)
+        selection_counts[selected] += 1
+        series["expected"][t] = float(
+            qualities_truth[selected].sum()
+        ) * num_pois
+
+        if participants.size == 0:
+            # Documented fallback: every selected seller dropped out, so
+            # the round settles with no trade at all — zero profits,
+            # prices pinned to their lower bounds, nothing learned.
+            if log is not None:
+                log.record(t, FaultKind.NO_TRADE)
+            series["realized"][t] = 0.0
+            series["consumer"][t] = 0.0
+            series["platform"][t] = 0.0
+            series["sellers_mean"][t] = 0.0
+            series["service"][t] = svc_bounds[0]
+            series["collection"][t] = col_bounds[0]
+            series["totals"][t] = 0.0
+            series["estimation_error"][t] = float(
+                np.abs(state.means - qualities_truth).mean()
+            )
+            return
+
+        if participants.size < selected.size and log is not None:
+            log.record(t, FaultKind.DEGRADED,
+                       value=float(participants.size))
+
+        cost_a = cost_a_all[participants]
+        cost_b = cost_b_all[participants]
+        delivered = None
+        settle_mask = None
+
+        def collect() -> None:
+            """Sample, inject corruption, quarantine, and learn."""
+            nonlocal delivered, settle_mask
+            observations = sampler.sample_round(participants, round_index=t)
+            delivered = observations.sums.copy()
+            if plan.corrupted.size:
+                position = {int(s): i for i, s in enumerate(participants)}
+                for seller, garbage in zip(plan.corrupted,
+                                           plan.corrupted_sums):
+                    delivered[position[int(seller)]] = garbage
+            valid = observation_mask(delivered, num_pois)
+            if log is not None:
+                for pos in np.flatnonzero(~valid):
+                    log.record(t, FaultKind.QUARANTINE,
+                               int(participants[pos]),
+                               float(delivered[pos]))
+            # Stalled reports arrive after settlement but still reach
+            # the learner; quarantined ones reach neither.
+            state.update(participants[valid], delivered[valid], num_pois)
+            policy.observe(t, participants[valid], delivered[valid],
+                           num_pois)
+            settle_mask = valid & ~np.isin(participants, plan.stalled)
+
+        if explore_round:
+            collect()
+            means = state.means[participants]
+            taus = np.full(participants.size, tau0)
+            total = float(taus.sum())
+            p = col_bounds[1]
+            aggregation = theta * total * total + lam * total
+            p_j = min(max(p + aggregation / total, svc_bounds[0]),
+                      svc_bounds[1])
+        else:
+            # The game is (re-)solved on the survivors only — a degraded
+            # set never raises, it just trades less.
+            means = state.means[participants]
+            game_means = np.maximum(means, _QUALITY_FLOOR)
+            p_j, p, taus = solve_round_fast(
+                game_means, cost_a, cost_b, theta, lam, omega,
+                svc_bounds, col_bounds, tau_max,
+            )
+            total = float(taus.sum())
+            aggregation = theta * total * total + lam * total
+
+        mean_quality = float(means.mean())
+        seller_profits = p * taus - (
+            cost_a * taus * taus + cost_b * taus
+        ) * means
+        series["consumer"][t] = (
+            omega * np.log1p(mean_quality * total) - p_j * total
+        )
+        series["platform"][t] = (p_j - p) * total - aggregation
+        series["sellers_mean"][t] = float(seller_profits.mean())
+        series["service"][t] = p_j
+        series["collection"][t] = p
+        series["totals"][t] = total
+
+        if not explore_round:
+            collect()
+        series["realized"][t] = float(delivered[settle_mask].sum())
+        series["estimation_error"][t] = float(
+            np.abs(state.means - qualities_truth).mean()
+        )
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def _write_checkpoint(self, path, policy, n, next_round, state, tracker,
+                          series, selection_counts, policy_rng,
+                          observation_rng, fault_model, log) -> None:
+        tracker_snapshot = tracker.snapshot()
+        meta = {
+            "kind": "engine_run",
+            "policy_name": policy.name,
+            "seed": self._config.seed,
+            "num_sellers": self._config.num_sellers,
+            "num_selected": self._config.num_selected,
+            "num_pois": self._config.num_pois,
+            "num_rounds": n,
+            "next_round": next_round,
+            "tracker_cumulative": tracker_snapshot["cumulative"],
+            "tracker_rounds": tracker_snapshot["rounds"],
+            "tracker_expected_revenue": tracker_snapshot["expected_revenue"],
+            "policy_rng_state": policy_rng.bit_generator.state,
+            "observation_rng_state": observation_rng.bit_generator.state,
+            "fault_spec": (fault_model.spec.to_dict()
+                           if fault_model is not None else None),
+        }
+        state_snapshot = state.snapshot()
+        arrays = {
+            "state_counts": state_snapshot["counts"],
+            "state_sums": state_snapshot["sums"],
+            "regret_history": tracker_snapshot["history"],
+            "selection_counts": selection_counts,
+        }
+        for name in _SERIES_NAMES:
+            arrays[f"series_{name}"] = series[name][:next_round]
+        if log is not None:
+            for key, value in log.to_arrays().items():
+                arrays[f"faultlog_{key}"] = value
+        for key, value in policy.state_snapshot().items():
+            arrays[f"policy__{key}"] = np.asarray(value)
+        save_checkpoint(path, meta, arrays)
+
+    def _restore_checkpoint(self, path, policy, n, state, tracker, series,
+                            selection_counts, policy_rng, observation_rng,
+                            fault_model, log) -> int:
+        meta, arrays = load_checkpoint(path)
+        expected_fingerprint = {
+            "kind": "engine_run",
+            "policy_name": policy.name,
+            "seed": self._config.seed,
+            "num_sellers": self._config.num_sellers,
+            "num_selected": self._config.num_selected,
+            "num_pois": self._config.num_pois,
+            "num_rounds": n,
+            "fault_spec": (fault_model.spec.to_dict()
+                           if fault_model is not None else None),
+        }
+        for key, expected in expected_fingerprint.items():
+            if meta.get(key) != expected:
+                raise PersistenceError(
+                    f"checkpoint {os.fspath(path)!s} does not match this "
+                    f"run: {key} is {meta.get(key)!r}, expected {expected!r}"
+                )
+        try:
+            next_round = int(meta["next_round"])
+            state.restore({"counts": arrays["state_counts"],
+                           "sums": arrays["state_sums"]})
+            tracker.restore({
+                "cumulative": meta["tracker_cumulative"],
+                "rounds": meta["tracker_rounds"],
+                "expected_revenue": meta["tracker_expected_revenue"],
+                "history": arrays["regret_history"],
+            })
+            for name in _SERIES_NAMES:
+                partial = arrays[f"series_{name}"]
+                series[name][:partial.size] = partial
+            selection_counts[:] = arrays["selection_counts"]
+            policy_rng.bit_generator.state = meta["policy_rng_state"]
+            observation_rng.bit_generator.state = meta["observation_rng_state"]
+        except KeyError as error:
+            raise PersistenceError(
+                f"checkpoint {os.fspath(path)!s} is missing field "
+                f"{error.args[0]!r}"
+            ) from error
+        if not (0 < next_round <= n):
+            raise PersistenceError(
+                f"checkpoint {os.fspath(path)!s} has next_round "
+                f"{next_round}, outside (0, {n}]"
+            )
+        if log is not None and "faultlog_rounds" in arrays:
+            log.restore_arrays({
+                key: arrays[f"faultlog_{key}"]
+                for key in ("rounds", "kinds", "sellers", "values")
+            })
+        policy_snapshot = {
+            key[len("policy__"):]: value
+            for key, value in arrays.items()
+            if key.startswith("policy__")
+        }
+        policy.state_restore(policy_snapshot)
+        return next_round

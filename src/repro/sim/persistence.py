@@ -1,32 +1,71 @@
-"""Saving and loading simulation results.
+"""Saving and loading simulation results — crash-safely.
 
 Long paper-scale sweeps are expensive; this module persists
-:class:`~repro.sim.results.RunMetrics` and
-:class:`~repro.experiments.registry.ExperimentResult` objects so they can
-be regenerated once and analysed many times.  Two formats:
+:class:`~repro.sim.results.RunMetrics`,
+:class:`~repro.experiments.registry.ExperimentResult`, and mid-run
+checkpoints so work survives crashes and can be analysed many times.
+Formats:
 
-* **JSON** — self-describing, for experiment results (small series);
-* **NPZ** — compact binary, for per-round run metrics (arrays of up to
-  ``2*10^5`` entries).
+* **JSON** — self-describing, for experiment results and sweep
+  checkpoints (small series);
+* **NPZ** — compact binary, for per-round run metrics and engine
+  checkpoints (arrays of up to ``2*10^5`` entries).
+
+Every write is **atomic**: content goes to a temp file in the target
+directory which is then :func:`os.replace`-d over the destination, so a
+crash mid-write never leaves a half-written file where a reader expects
+a complete one.  Every file carries a ``schema_version`` field, and all
+read paths convert truncation / garbage / missing-field failures into
+:class:`~repro.exceptions.PersistenceError` instead of leaking raw
+``ValueError``/``KeyError``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import io
 import json
 import os
+import tempfile
+import zipfile
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import PersistenceError
 from repro.sim.results import RunMetrics
 
 __all__ = [
+    "RUN_SCHEMA_VERSION",
+    "EXPERIMENT_SCHEMA_VERSION",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "atomic_write_bytes",
+    "atomic_write_json",
     "save_run_metrics",
     "load_run_metrics",
     "experiment_result_to_dict",
     "save_experiment_result",
     "load_experiment_result",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_sweep_checkpoint",
+    "load_sweep_checkpoint",
 ]
+
+#: Schema version written into every run-metrics NPZ.  Files without the
+#: field are accepted as version-1 legacy output.
+RUN_SCHEMA_VERSION = 1
+
+#: Schema version written into every experiment-result JSON.
+EXPERIMENT_SCHEMA_VERSION = 1
+
+#: Schema version of engine and sweep checkpoints (no legacy grace:
+#: checkpoints only ever existed with the field).
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Prefix of the temp files backing atomic writes; a crash between
+#: "temp written" and "replace" leaves one of these behind, which is
+#: harmless (never loaded, overwritten-safe) and recognisable.
+_TMP_PREFIX = ".tmp-"
 
 _RUN_SERIES_FIELDS = (
     "realized_revenue",
@@ -43,12 +82,102 @@ _RUN_SERIES_FIELDS = (
 )
 
 
-def save_run_metrics(run: RunMetrics, path: str | os.PathLike) -> None:
-    """Persist one run's per-round series as a compressed ``.npz``."""
-    arrays = {name: getattr(run, name) for name in _RUN_SERIES_FIELDS}
-    np.savez_compressed(
-        path, policy_name=np.array(run.policy_name), **arrays
+# -- atomic write primitives -----------------------------------------------------
+
+
+def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> None:
+    """Atomically replace ``path`` with ``payload``.
+
+    The bytes are written to a temp file in the destination directory,
+    fsynced, then :func:`os.replace`-d into place — a crash at any point
+    leaves either the old complete file or the new complete file, never
+    a truncated hybrid.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=_TMP_PREFIX, suffix=os.path.basename(path), dir=directory
     )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(temp_path)
+        raise
+
+
+def atomic_write_json(path: str | os.PathLike, payload: dict) -> None:
+    """Atomically write a dict as pretty-printed JSON."""
+    encoded = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+    atomic_write_bytes(path, encoded)
+
+
+def _atomic_write_npz(path: str | os.PathLike,
+                      arrays: dict[str, np.ndarray]) -> None:
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    atomic_write_bytes(path, buffer.getvalue())
+
+
+# -- guarded readers -------------------------------------------------------------
+
+
+def _load_npz(path: str | os.PathLike, what: str) -> np.lib.npyio.NpzFile:
+    """Open an NPZ, translating corruption into :class:`PersistenceError`."""
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError, zipfile.BadZipFile, EOFError) as error:
+        raise PersistenceError(
+            f"{what} {os.fspath(path)!s} is corrupt or unreadable: {error}"
+        ) from error
+
+
+def _load_json(path: str | os.PathLike, what: str) -> dict:
+    """Read a JSON dict, translating corruption into :class:`PersistenceError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        raise PersistenceError(
+            f"{what} {os.fspath(path)!s} is corrupt or unreadable: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise PersistenceError(
+            f"{what} {os.fspath(path)!s} does not hold a JSON object"
+        )
+    return payload
+
+
+def _check_schema_version(found: int, expected: int, path, what: str) -> None:
+    if int(found) != expected:
+        raise PersistenceError(
+            f"{what} {os.fspath(path)!s} has schema version {int(found)}, "
+            f"but this library reads version {expected}"
+        )
+
+
+# -- run metrics (NPZ) -----------------------------------------------------------
+
+
+def save_run_metrics(run: RunMetrics, path: str | os.PathLike) -> None:
+    """Persist one run's per-round series as a compressed ``.npz``.
+
+    The write is atomic and stamps :data:`RUN_SCHEMA_VERSION`.
+    """
+    arrays = {name: getattr(run, name) for name in _RUN_SERIES_FIELDS}
+    _atomic_write_npz(path, {
+        "schema_version": np.array(RUN_SCHEMA_VERSION, dtype=np.int64),
+        "policy_name": np.array(run.policy_name),
+        **arrays,
+    })
 
 
 def load_run_metrics(path: str | os.PathLike) -> RunMetrics:
@@ -56,16 +185,21 @@ def load_run_metrics(path: str | os.PathLike) -> RunMetrics:
 
     Raises
     ------
-    ConfigurationError
-        If the file lacks any expected series.
+    PersistenceError
+        If the file is corrupt, carries an unsupported schema version,
+        or lacks any expected series (the error names the missing
+        fields).
     """
-    with np.load(path, allow_pickle=False) as data:
+    with _load_npz(path, "run file") as data:
+        if "schema_version" in data:
+            _check_schema_version(int(data["schema_version"]),
+                                  RUN_SCHEMA_VERSION, path, "run file")
         missing = [
             name for name in _RUN_SERIES_FIELDS + ("policy_name",)
             if name not in data
         ]
         if missing:
-            raise ConfigurationError(
+            raise PersistenceError(
                 f"run file {path!s} is missing series: {missing}"
             )
         return RunMetrics(
@@ -74,9 +208,13 @@ def load_run_metrics(path: str | os.PathLike) -> RunMetrics:
         )
 
 
+# -- experiment results (JSON) ---------------------------------------------------
+
+
 def experiment_result_to_dict(result) -> dict:
     """A JSON-serialisable dict of an experiment result."""
     return {
+        "schema_version": EXPERIMENT_SCHEMA_VERSION,
         "experiment_id": result.experiment_id,
         "title": result.title,
         "x_label": result.x_label,
@@ -96,10 +234,8 @@ def experiment_result_to_dict(result) -> dict:
 
 
 def save_experiment_result(result, path: str | os.PathLike) -> None:
-    """Persist an experiment result as pretty-printed JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(experiment_result_to_dict(result), handle, indent=2)
-        handle.write("\n")
+    """Persist an experiment result as pretty-printed JSON (atomically)."""
+    atomic_write_json(path, experiment_result_to_dict(result))
 
 
 def load_experiment_result(path: str | os.PathLike):
@@ -109,16 +245,20 @@ def load_experiment_result(path: str | os.PathLike):
 
     Raises
     ------
-    ConfigurationError
-        If the JSON lacks the expected structure.
+    PersistenceError
+        If the JSON is corrupt, has an unsupported schema version, or
+        lacks the expected structure (the error names the missing key).
     """
     from repro.experiments.registry import ExperimentResult, Series
 
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+    payload = _load_json(path, "experiment file")
+    if "schema_version" in payload:
+        _check_schema_version(payload["schema_version"],
+                              EXPERIMENT_SCHEMA_VERSION, path,
+                              "experiment file")
     for key in ("experiment_id", "title", "x_label", "panels"):
         if key not in payload:
-            raise ConfigurationError(
+            raise PersistenceError(
                 f"experiment file {path!s} is missing key {key!r}"
             )
     result = ExperimentResult(
@@ -127,14 +267,106 @@ def load_experiment_result(path: str | os.PathLike):
         x_label=payload["x_label"],
         notes=list(payload.get("notes", [])),
     )
-    for panel, series_list in payload["panels"].items():
-        for series in series_list:
-            result.add_series(
-                panel,
-                Series(
-                    label=series["label"],
-                    x=np.asarray(series["x"], dtype=float),
-                    y=np.asarray(series["y"], dtype=float),
-                ),
-            )
+    try:
+        for panel, series_list in payload["panels"].items():
+            for series in series_list:
+                result.add_series(
+                    panel,
+                    Series(
+                        label=series["label"],
+                        x=np.asarray(series["x"], dtype=float),
+                        y=np.asarray(series["y"], dtype=float),
+                    ),
+                )
+    except (KeyError, TypeError, ValueError) as error:
+        raise PersistenceError(
+            f"experiment file {path!s} has a malformed panel series: {error}"
+        ) from error
     return result
+
+
+# -- checkpoints -----------------------------------------------------------------
+
+
+def save_checkpoint(path: str | os.PathLike, meta: dict,
+                    arrays: dict[str, np.ndarray]) -> None:
+    """Atomically persist an engine checkpoint (metadata + arrays).
+
+    ``meta`` must be JSON-serialisable; it is stamped with
+    :data:`CHECKPOINT_SCHEMA_VERSION` and stored alongside the arrays in
+    one NPZ, so a checkpoint is a single crash-safe file.
+    """
+    if "schema_version" in arrays or "checkpoint_meta" in arrays:
+        raise PersistenceError(
+            "'schema_version' and 'checkpoint_meta' are reserved "
+            "checkpoint field names"
+        )
+    stamped = dict(meta)
+    stamped["schema_version"] = CHECKPOINT_SCHEMA_VERSION
+    _atomic_write_npz(path, {
+        "checkpoint_meta": np.array(json.dumps(stamped)),
+        **arrays,
+    })
+
+
+def load_checkpoint(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray]]:
+    """Load a checkpoint saved by :func:`save_checkpoint`.
+
+    Returns ``(meta, arrays)`` with the schema-version stamp already
+    validated and removed from ``meta``.
+
+    Raises
+    ------
+    PersistenceError
+        If the file is corrupt, not a checkpoint, or carries an
+        unsupported schema version.
+    """
+    with _load_npz(path, "checkpoint") as data:
+        if "checkpoint_meta" not in data:
+            raise PersistenceError(
+                f"checkpoint {os.fspath(path)!s} has no metadata record "
+                "(not a checkpoint file?)"
+            )
+        try:
+            meta = json.loads(str(data["checkpoint_meta"]))
+        except json.JSONDecodeError as error:
+            raise PersistenceError(
+                f"checkpoint {os.fspath(path)!s} has corrupt metadata: {error}"
+            ) from error
+        if not isinstance(meta, dict) or "schema_version" not in meta:
+            raise PersistenceError(
+                f"checkpoint {os.fspath(path)!s} metadata lacks a "
+                "schema_version"
+            )
+        _check_schema_version(meta.pop("schema_version"),
+                              CHECKPOINT_SCHEMA_VERSION, path, "checkpoint")
+        arrays = {
+            name: data[name] for name in data.files
+            if name != "checkpoint_meta"
+        }
+    return meta, arrays
+
+
+def save_sweep_checkpoint(path: str | os.PathLike, payload: dict) -> None:
+    """Atomically persist a replication-sweep checkpoint as JSON."""
+    stamped = dict(payload)
+    stamped["schema_version"] = CHECKPOINT_SCHEMA_VERSION
+    atomic_write_json(path, stamped)
+
+
+def load_sweep_checkpoint(path: str | os.PathLike) -> dict:
+    """Load a sweep checkpoint saved by :func:`save_sweep_checkpoint`.
+
+    Raises
+    ------
+    PersistenceError
+        If the file is corrupt or carries an unsupported schema version.
+    """
+    payload = _load_json(path, "sweep checkpoint")
+    if "schema_version" not in payload:
+        raise PersistenceError(
+            f"sweep checkpoint {os.fspath(path)!s} lacks a schema_version"
+        )
+    _check_schema_version(payload.pop("schema_version"),
+                          CHECKPOINT_SCHEMA_VERSION, path, "sweep checkpoint")
+    return payload

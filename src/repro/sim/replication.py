@@ -4,19 +4,31 @@ The paper reports single runs; this harness repeats a comparison over
 independent seeds (fresh population, fresh observation noise) and
 aggregates mean and standard deviation per metric — the difference
 between "we observed X once" and "X holds with seed-to-seed spread s".
+
+The sweep is crash-safe: pass ``checkpoint_path`` and each completed
+seed's samples are atomically snapshotted, so an interrupted sweep
+resumed with ``resume=True`` skips finished seeds and produces metrics
+identical to an uninterrupted run (each seed is fully self-contained,
+deriving its population, noise, and faults from its own seed).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.bandits.base import SelectionPolicy
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, PersistenceError
+from repro.faults import FaultSpec
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import TradingSimulator
+from repro.sim.persistence import (
+    load_sweep_checkpoint,
+    save_sweep_checkpoint,
+)
 
 __all__ = ["MetricSummary", "ReplicationResult", "replicate_comparison"]
 
@@ -132,11 +144,31 @@ class ReplicationResult:
         return "\n".join(lines)
 
 
+def _sweep_fingerprint(base_config: SimulationConfig, num_seeds: int,
+                       first_seed: int,
+                       fault_spec: FaultSpec | None) -> dict:
+    """What a sweep checkpoint must match to be resumable."""
+    return {
+        "num_sellers": base_config.num_sellers,
+        "num_selected": base_config.num_selected,
+        "num_pois": base_config.num_pois,
+        "num_rounds": base_config.num_rounds,
+        "num_seeds": num_seeds,
+        "first_seed": first_seed,
+        "fault_spec": (fault_spec.to_dict()
+                       if fault_spec is not None else None),
+    }
+
+
 def replicate_comparison(
     base_config: SimulationConfig,
     policy_factory: Callable[[np.ndarray], list[SelectionPolicy]],
     num_seeds: int = 5,
     first_seed: int = 0,
+    *,
+    fault_spec: FaultSpec | None = None,
+    checkpoint_path: str | os.PathLike | None = None,
+    resume: bool = False,
 ) -> ReplicationResult:
     """Run the comparison under ``num_seeds`` independent seeds.
 
@@ -152,25 +184,77 @@ def replicate_comparison(
         Number of independent replications.
     first_seed:
         Seeds used are ``first_seed .. first_seed + num_seeds - 1``.
+    fault_spec:
+        When given, every seed's runs inject faults with these rates
+        (each seed draws its own reproducible fault schedule).
+    checkpoint_path:
+        JSON file the sweep snapshots into after each completed seed
+        (atomic write; survives crashes).
+    resume:
+        Continue from ``checkpoint_path`` if it exists, skipping seeds
+        already completed; the result is identical to an uninterrupted
+        sweep.  A missing checkpoint file simply starts fresh.
+
+    Raises
+    ------
+    PersistenceError
+        If a resume checkpoint belongs to a different sweep
+        configuration.
     """
     if num_seeds <= 0:
         raise ConfigurationError(
             f"num_seeds must be positive, got {num_seeds}"
         )
+    if resume and checkpoint_path is None:
+        raise ConfigurationError("resume requires checkpoint_path")
+    fingerprint = _sweep_fingerprint(base_config, num_seeds, first_seed,
+                                     fault_spec)
     samples: dict[str, dict[str, list[float]]] = {}
+    completed: list[int] = []
+    if (resume and checkpoint_path is not None
+            and os.path.exists(checkpoint_path)):
+        payload = load_sweep_checkpoint(checkpoint_path)
+        if payload.get("kind") != "replication_sweep":
+            raise PersistenceError(
+                f"{os.fspath(checkpoint_path)!s} is not a replication-sweep "
+                "checkpoint"
+            )
+        if payload.get("fingerprint") != fingerprint:
+            raise PersistenceError(
+                f"sweep checkpoint {os.fspath(checkpoint_path)!s} was "
+                "written by a different sweep configuration: "
+                f"{payload.get('fingerprint')!r} != {fingerprint!r}"
+            )
+        completed = [int(seed) for seed in payload.get("completed_seeds", [])]
+        samples = {
+            policy: {key: list(values) for key, values in metrics.items()}
+            for policy, metrics in payload.get("samples", {}).items()
+        }
     seeds = list(range(first_seed, first_seed + num_seeds))
     for seed in seeds:
+        if seed in completed:
+            continue
         simulator = TradingSimulator(base_config.derive(seed=seed))
         policies = policy_factory(
             simulator.population.expected_qualities
         )
-        comparison = simulator.compare(policies)
+        fault_model = (simulator.fault_model(fault_spec)
+                       if fault_spec is not None else None)
+        comparison = simulator.compare(policies, fault_model=fault_model)
         for name, run in comparison.runs.items():
             bucket = samples.setdefault(
                 name, {key: [] for key in _METRIC_KEYS}
             )
             for key, value in run.summary().items():
                 bucket[key].append(value)
+        completed.append(seed)
+        if checkpoint_path is not None:
+            save_sweep_checkpoint(checkpoint_path, {
+                "kind": "replication_sweep",
+                "fingerprint": fingerprint,
+                "completed_seeds": completed,
+                "samples": samples,
+            })
     summaries = {
         policy: {
             key: MetricSummary.from_samples(values)

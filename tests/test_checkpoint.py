@@ -1,0 +1,230 @@
+"""Crash-safe checkpoint/resume: resumed runs equal uninterrupted ones."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bandits import (
+    OptimalPolicy,
+    RandomPolicy,
+    SlidingWindowUCBPolicy,
+    ThompsonSamplingPolicy,
+    UCBPolicy,
+)
+from repro.exceptions import ConfigurationError, PersistenceError
+from repro.faults import FaultLog, FaultSpec
+from repro.sim import SimulationConfig, TradingSimulator
+from repro.sim.replication import replicate_comparison
+
+CONFIG = SimulationConfig(num_sellers=12, num_selected=3, num_rounds=90,
+                          seed=4)
+
+ALL_FIELDS = (
+    "realized_revenue", "expected_revenue", "regret", "consumer_profit",
+    "platform_profit", "seller_profit_mean", "service_price",
+    "collection_price", "total_sensing_time", "selection_counts",
+    "estimation_error",
+)
+
+
+def assert_runs_identical(reference, resumed):
+    assert reference.policy_name == resumed.policy_name
+    for field in ALL_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(reference, field), getattr(resumed, field),
+            err_msg=field,
+        )
+
+
+class TestEngineResume:
+    def run_interrupted(self, make_policy, tmp_path, *, spec=None,
+                        checkpoint_every=20):
+        """An uninterrupted reference vs a checkpoint-resumed run."""
+        path = tmp_path / "run.npz"
+
+        simulator = TradingSimulator(CONFIG)
+        model = simulator.fault_model(spec) if spec is not None else None
+        reference = simulator.run(make_policy(), fault_model=model)
+        reference_log = None
+        if spec is not None:
+            reference_log = FaultLog()
+            TradingSimulator(CONFIG).run(
+                make_policy(),
+                fault_model=TradingSimulator(CONFIG).fault_model(spec),
+                fault_log=reference_log,
+            )
+
+        # "crash": a fresh process writes checkpoints but we discard its
+        # result, keeping only the checkpoint file...
+        crashed = TradingSimulator(CONFIG)
+        crashed.run(
+            make_policy(),
+            fault_model=(crashed.fault_model(spec)
+                         if spec is not None else None),
+            checkpoint_path=path, checkpoint_every=checkpoint_every,
+        )
+        assert path.exists()
+
+        # ...and a third fresh process resumes from it.
+        resumed_sim = TradingSimulator(CONFIG)
+        resumed_log = FaultLog() if spec is not None else None
+        resumed = resumed_sim.run(
+            make_policy(),
+            fault_model=(resumed_sim.fault_model(spec)
+                         if spec is not None else None),
+            fault_log=resumed_log,
+            checkpoint_path=path, resume=True,
+        )
+        return reference, resumed, reference_log, resumed_log
+
+    def test_resume_equals_uninterrupted_clean(self, tmp_path):
+        reference, resumed, _, _ = self.run_interrupted(UCBPolicy, tmp_path)
+        assert_runs_identical(reference, resumed)
+
+    def test_resume_equals_uninterrupted_with_faults(self, tmp_path):
+        spec = FaultSpec(dropout_rate=0.2, corruption_rate=0.05)
+        reference, resumed, ref_log, res_log = self.run_interrupted(
+            UCBPolicy, tmp_path, spec=spec
+        )
+        assert_runs_identical(reference, resumed)
+        assert ref_log.summary() == res_log.summary()
+
+    def test_resume_with_stateful_policies(self, tmp_path):
+        # Thompson keeps Beta posteriors, the sliding window keeps a
+        # deque — both must survive the snapshot/restore round trip.
+        for make_policy in (ThompsonSamplingPolicy,
+                            lambda: SlidingWindowUCBPolicy(window=25)):
+            reference, resumed, _, _ = self.run_interrupted(
+                make_policy, tmp_path
+            )
+            assert_runs_identical(reference, resumed)
+
+    def test_missing_checkpoint_starts_fresh(self, tmp_path):
+        simulator = TradingSimulator(CONFIG)
+        reference = TradingSimulator(CONFIG).run(UCBPolicy())
+        resumed = simulator.run(
+            UCBPolicy(), checkpoint_path=tmp_path / "absent.npz",
+            resume=True,
+        )
+        assert_runs_identical(reference, resumed)
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path):
+        path = tmp_path / "run.npz"
+        simulator = TradingSimulator(CONFIG)
+        simulator.run(UCBPolicy(), checkpoint_path=path,
+                      checkpoint_every=20)
+        other_policy = TradingSimulator(CONFIG)
+        with pytest.raises(PersistenceError, match="policy_name"):
+            other_policy.run(RandomPolicy(), checkpoint_path=path,
+                             resume=True)
+        other_config = TradingSimulator(CONFIG.derive(seed=99))
+        with pytest.raises(PersistenceError, match="seed"):
+            other_config.run(UCBPolicy(), checkpoint_path=path,
+                             resume=True)
+
+    def test_resume_rejects_fault_spec_mismatch(self, tmp_path):
+        path = tmp_path / "run.npz"
+        simulator = TradingSimulator(CONFIG)
+        simulator.run(
+            UCBPolicy(),
+            fault_model=simulator.fault_model(FaultSpec(dropout_rate=0.2)),
+            checkpoint_path=path, checkpoint_every=20,
+        )
+        with pytest.raises(PersistenceError, match="fault_spec"):
+            TradingSimulator(CONFIG).run(UCBPolicy(), checkpoint_path=path,
+                                         resume=True)
+
+    def test_truncated_checkpoint_raises(self, tmp_path):
+        path = tmp_path / "run.npz"
+        simulator = TradingSimulator(CONFIG)
+        simulator.run(UCBPolicy(), checkpoint_path=path,
+                      checkpoint_every=20)
+        content = path.read_bytes()
+        path.write_bytes(content[: len(content) // 2])
+        with pytest.raises(PersistenceError, match="corrupt"):
+            TradingSimulator(CONFIG).run(UCBPolicy(), checkpoint_path=path,
+                                         resume=True)
+
+    def test_checkpointing_requires_a_path(self):
+        simulator = TradingSimulator(CONFIG)
+        with pytest.raises(ConfigurationError, match="checkpoint_path"):
+            simulator.run(UCBPolicy(), checkpoint_every=10)
+        with pytest.raises(ConfigurationError, match="checkpoint_path"):
+            simulator.run(UCBPolicy(), resume=True)
+
+
+class TestSweepResume:
+    @staticmethod
+    def factory(qualities):
+        return [OptimalPolicy(qualities), UCBPolicy(), RandomPolicy()]
+
+    def test_killed_sweep_resumes_to_identical_result(self, tmp_path):
+        config = SimulationConfig(num_sellers=12, num_selected=3,
+                                  num_rounds=50)
+        path = tmp_path / "sweep.json"
+        reference = replicate_comparison(config, self.factory, num_seeds=4)
+
+        # Full sweep with checkpointing, then emulate a crash after seed
+        # 2 by truncating the checkpoint to the first two completed
+        # seeds (each seed appends exactly one sample per metric).
+        replicate_comparison(config, self.factory, num_seeds=4,
+                             checkpoint_path=path)
+        payload = json.loads(path.read_text())
+        payload["completed_seeds"] = payload["completed_seeds"][:2]
+        for metrics in payload["samples"].values():
+            for key in metrics:
+                metrics[key] = metrics[key][:2]
+        path.write_text(json.dumps(payload))
+
+        resumed = replicate_comparison(config, self.factory, num_seeds=4,
+                                       checkpoint_path=path, resume=True)
+        assert resumed.seeds == reference.seeds
+        for policy in reference.policy_names():
+            for metric in ("total_revenue", "expected_revenue", "regret",
+                           "mean_poc", "mean_pop", "mean_pos"):
+                assert (reference.metric(policy, metric)
+                        == resumed.metric(policy, metric)), (policy, metric)
+
+    def test_resume_rejects_different_sweep(self, tmp_path):
+        config = SimulationConfig(num_sellers=12, num_selected=3,
+                                  num_rounds=40)
+        path = tmp_path / "sweep.json"
+        replicate_comparison(config, self.factory, num_seeds=2,
+                             checkpoint_path=path)
+        with pytest.raises(PersistenceError, match="different sweep"):
+            replicate_comparison(config, self.factory, num_seeds=2,
+                                 first_seed=7, checkpoint_path=path,
+                                 resume=True)
+        other = config.derive(num_rounds=41)
+        with pytest.raises(PersistenceError, match="different sweep"):
+            replicate_comparison(other, self.factory, num_seeds=2,
+                                 checkpoint_path=path, resume=True)
+
+    def test_faulty_sweep_checkpoints_and_resumes(self, tmp_path):
+        config = SimulationConfig(num_sellers=12, num_selected=3,
+                                  num_rounds=40)
+        spec = FaultSpec(dropout_rate=0.2, corruption_rate=0.05)
+        path = tmp_path / "sweep.json"
+        reference = replicate_comparison(config, self.factory, num_seeds=3,
+                                         fault_spec=spec)
+        replicate_comparison(config, self.factory, num_seeds=3,
+                             fault_spec=spec, checkpoint_path=path)
+        payload = json.loads(path.read_text())
+        payload["completed_seeds"] = payload["completed_seeds"][:1]
+        for metrics in payload["samples"].values():
+            for key in metrics:
+                metrics[key] = metrics[key][:1]
+        path.write_text(json.dumps(payload))
+        resumed = replicate_comparison(config, self.factory, num_seeds=3,
+                                       fault_spec=spec,
+                                       checkpoint_path=path, resume=True)
+        for policy in reference.policy_names():
+            assert (reference.metric(policy, "total_revenue")
+                    == resumed.metric(policy, "total_revenue"))
+        # the spec is part of the fingerprint: a clean resume must refuse
+        with pytest.raises(PersistenceError, match="different sweep"):
+            replicate_comparison(config, self.factory, num_seeds=3,
+                                 checkpoint_path=path, resume=True)

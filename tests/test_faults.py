@@ -1,0 +1,324 @@
+"""Fault injection, graceful degradation, and clean-path bit-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits import ThompsonSamplingPolicy, UCBPolicy
+from repro.core import CMABHSMechanism, LearningState
+from repro.core.state import observation_mask
+from repro.entities import Consumer, Job, Platform, SellerPopulation
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    FaultKind,
+    FaultLog,
+    FaultModel,
+    FaultSpec,
+    parse_fault_spec,
+)
+from repro.sim import SimulationConfig, TradingSimulator
+from repro.sim.rng import RngFactory
+
+SMALL = SimulationConfig(num_sellers=15, num_selected=4, num_rounds=120,
+                         seed=11)
+
+
+class TestFaultSpec:
+    def test_defaults_are_disabled(self):
+        assert not FaultSpec().enabled
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError, match="dropout_rate"):
+            FaultSpec(dropout_rate=1.5)
+        with pytest.raises(ConfigurationError, match="sum to at most 1"):
+            FaultSpec(dropout_rate=0.6, corruption_rate=0.6)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(dropout_rate=0.2, corruption_rate=0.05,
+                         stall_rate=0.01)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_names_missing_field(self):
+        with pytest.raises(ConfigurationError, match="stall_rate"):
+            FaultSpec.from_dict({"dropout_rate": 0.1,
+                                 "corruption_rate": 0.0})
+
+
+class TestParseFaultSpec:
+    @pytest.mark.parametrize("text", [None, "", "none", "off", "  NONE "])
+    def test_disabled_forms(self, text):
+        assert parse_fault_spec(text) is None
+
+    def test_full_spec(self):
+        spec = parse_fault_spec("dropout=0.2,corrupt=0.05,stall=0.01")
+        assert spec == FaultSpec(dropout_rate=0.2, corruption_rate=0.05,
+                                 stall_rate=0.01)
+
+    def test_aliases(self):
+        assert parse_fault_spec("drop=0.1") == FaultSpec(dropout_rate=0.1)
+        assert parse_fault_spec("corruption=0.1") == FaultSpec(
+            corruption_rate=0.1
+        )
+
+    @pytest.mark.parametrize("text", ["bogus=0.1", "dropout", "dropout=x",
+                                      "dropout=0.1,drop=0.2"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec(text)
+
+
+class TestFaultModel:
+    def make_model(self, spec=None, seed=5, m=20):
+        spec = spec or FaultSpec(dropout_rate=0.25, corruption_rate=0.15,
+                                 stall_rate=0.1)
+        return FaultModel(spec, RngFactory(seed), m)
+
+    def test_same_round_same_plan(self):
+        model = self.make_model()
+        selected = np.array([1, 4, 9, 13, 17])
+        first = model.plan_round(7, selected, 10)
+        second = model.plan_round(7, selected, 10)
+        np.testing.assert_array_equal(first.dropped, second.dropped)
+        np.testing.assert_array_equal(first.corrupted, second.corrupted)
+        np.testing.assert_array_equal(first.corrupted_sums,
+                                      second.corrupted_sums)
+        np.testing.assert_array_equal(first.stalled, second.stalled)
+
+    def test_schedule_is_selection_independent(self):
+        # Whether a given seller faults in round t must not depend on
+        # which other sellers were selected (common random faults).
+        model = self.make_model()
+        wide = model.plan_round(3, np.arange(20), 10)
+        narrow = model.plan_round(3, np.array([2, 5, 11]), 10)
+        for field in ("dropped", "corrupted", "stalled"):
+            wide_set = set(getattr(wide, field).tolist())
+            narrow_set = set(getattr(narrow, field).tolist())
+            assert narrow_set == wide_set & {2, 5, 11}
+
+    def test_faults_are_disjoint(self):
+        model = self.make_model(FaultSpec(dropout_rate=0.3,
+                                          corruption_rate=0.3,
+                                          stall_rate=0.3))
+        for t in range(50):
+            plan = model.plan_round(t, np.arange(20), 10)
+            combined = np.concatenate([plan.dropped, plan.corrupted,
+                                       plan.stalled])
+            assert combined.size == np.unique(combined).size
+
+    def test_corrupted_sums_are_always_detectable(self):
+        model = self.make_model(FaultSpec(corruption_rate=0.5))
+        num_observations = 10
+        seen = 0
+        for t in range(100):
+            plan = model.plan_round(t, np.arange(20), num_observations)
+            seen += plan.corrupted.size
+            assert not observation_mask(plan.corrupted_sums,
+                                        num_observations).any()
+        assert seen > 0
+
+    def test_zero_rates_give_clean_plans(self):
+        model = self.make_model(FaultSpec())
+        for t in range(20):
+            assert model.plan_round(t, np.arange(20), 10).is_clean
+
+    def test_out_of_range_selection_rejected(self):
+        model = self.make_model()
+        with pytest.raises(ConfigurationError, match="out of range"):
+            model.plan_round(0, np.array([25]), 10)
+
+
+class TestFaultLog:
+    def test_log_matches_planned_schedule(self):
+        model = FaultModel(
+            FaultSpec(dropout_rate=0.2, corruption_rate=0.1,
+                      stall_rate=0.05),
+            RngFactory(9), 20,
+        )
+        log = FaultLog()
+        selected = np.arange(20)
+        for t in range(40):
+            model.log_plan(model.plan_round(t, selected, 10), log)
+        for t in range(40):
+            plan = model.plan_round(t, selected, 10)
+            assert (set(log.sellers_hit(FaultKind.DROPOUT, t))
+                    == set(plan.dropped.tolist()))
+            assert (set(log.sellers_hit(FaultKind.CORRUPTION, t))
+                    == set(plan.corrupted.tolist()))
+            assert (set(log.sellers_hit(FaultKind.STALL, t))
+                    == set(plan.stalled.tolist()))
+
+    def test_array_round_trip(self):
+        log = FaultLog()
+        log.record(0, FaultKind.DROPOUT, 3)
+        log.record(1, FaultKind.CORRUPTION, 5, float("nan"))
+        log.record(1, FaultKind.NO_TRADE)
+        restored = FaultLog.from_arrays(log.to_arrays())
+        assert restored.summary() == log.summary()
+        assert len(restored) == 3
+        assert restored.events_in_round(1)[0].seller == 5
+
+
+class TestQuarantineGate:
+    def test_learning_state_rejects_infeasible_sums(self):
+        state = LearningState(5)
+        with pytest.raises(ConfigurationError, match="quarantine"):
+            state.update(np.array([0]), np.array([np.nan]), 10)
+        with pytest.raises(ConfigurationError, match="quarantine"):
+            state.update(np.array([1]), np.array([11.0]), 10)
+        with pytest.raises(ConfigurationError, match="quarantine"):
+            state.update(np.array([2]), np.array([-0.5]), 10)
+
+    def test_observation_mask(self):
+        sums = np.array([0.0, 10.0, -0.1, 10.1, np.nan, np.inf, 5.0])
+        np.testing.assert_array_equal(
+            observation_mask(sums, 10),
+            [True, True, False, False, False, False, True],
+        )
+
+
+class TestEngineDegradation:
+    def test_clean_path_bit_identical_with_faults_disabled(self):
+        simulator = TradingSimulator(SMALL)
+        baseline = simulator.run(UCBPolicy())
+        zero_model = simulator.fault_model(FaultSpec())
+        log = FaultLog()
+        with_model = simulator.run(UCBPolicy(), fault_model=zero_model,
+                                   fault_log=log)
+        for field in ("realized_revenue", "expected_revenue", "regret",
+                      "consumer_profit", "platform_profit",
+                      "seller_profit_mean", "service_price",
+                      "collection_price", "total_sensing_time",
+                      "selection_counts", "estimation_error"):
+            np.testing.assert_array_equal(
+                getattr(baseline, field), getattr(with_model, field),
+                err_msg=field,
+            )
+        assert len(log) == 0
+
+    def test_fault_injection_integration(self):
+        # The acceptance scenario: 20% dropout + 5% corruption must
+        # complete, log exactly the planned schedule, and keep regret
+        # finite.
+        simulator = TradingSimulator(SMALL)
+        spec = FaultSpec(dropout_rate=0.2, corruption_rate=0.05)
+        model = simulator.fault_model(spec)
+        log = FaultLog()
+        run = simulator.run(UCBPolicy(), fault_model=model, fault_log=log)
+
+        assert np.isfinite(run.regret).all()
+        assert np.isfinite(run.final_regret)
+        summary = log.summary()
+        assert summary.get("dropout", 0) > 0
+        assert summary.get("corruption", 0) > 0
+        # every corruption was caught: quarantines == corruptions
+        assert summary.get("quarantine") == summary.get("corruption")
+
+        # the log's injected events replay the model's schedule exactly
+        reference = FaultModel(spec, RngFactory(SMALL.seed),
+                               SMALL.num_sellers)
+        for event in log.events:
+            if event.kind not in (FaultKind.DROPOUT, FaultKind.CORRUPTION,
+                                  FaultKind.STALL):
+                continue
+            plan = reference.plan_round(
+                event.round_index,
+                np.arange(SMALL.num_sellers), SMALL.num_pois,
+            )
+            planned = {
+                FaultKind.DROPOUT: plan.dropped,
+                FaultKind.CORRUPTION: plan.corrupted,
+                FaultKind.STALL: plan.stalled,
+            }[event.kind]
+            assert event.seller in planned
+
+    def test_common_random_faults_across_policies(self):
+        simulator = TradingSimulator(SMALL)
+        model = simulator.fault_model(FaultSpec(dropout_rate=0.3))
+        logs = {}
+        for policy in (UCBPolicy(), ThompsonSamplingPolicy()):
+            log = FaultLog()
+            simulator.run(policy, fault_model=model, fault_log=log)
+            logs[policy.name] = log
+        ucb, thompson = logs.values()
+        # Different policies select different sets, so raw event counts
+        # differ — but any seller both policies selected in a round gets
+        # the same verdict.  Cheap proxy: per-round dropout sets of the
+        # intersection agree (checked via the reference model above);
+        # here assert both logs are consistent with one schedule.
+        reference = FaultModel(FaultSpec(dropout_rate=0.3),
+                               RngFactory(SMALL.seed), SMALL.num_sellers)
+        for log in (ucb, thompson):
+            for event in log.events:
+                if event.kind is not FaultKind.DROPOUT:
+                    continue
+                plan = reference.plan_round(
+                    event.round_index,
+                    np.arange(SMALL.num_sellers), SMALL.num_pois,
+                )
+                assert event.seller in plan.dropped
+
+    def test_total_dropout_settles_as_no_trade(self):
+        simulator = TradingSimulator(
+            SimulationConfig(num_sellers=6, num_selected=3, num_rounds=30,
+                             seed=2)
+        )
+        model = simulator.fault_model(FaultSpec(dropout_rate=0.9))
+        log = FaultLog()
+        run = simulator.run(UCBPolicy(), fault_model=model, fault_log=log)
+        no_trade_rounds = [e.round_index for e in log.events
+                           if e.kind is FaultKind.NO_TRADE]
+        assert no_trade_rounds  # at 90% dropout some round loses everyone
+        for t in no_trade_rounds:
+            assert run.realized_revenue[t] == 0.0
+            assert run.platform_profit[t] == 0.0
+            assert run.total_sensing_time[t] == 0.0
+        assert np.isfinite(run.regret).all()
+
+    def test_fault_model_must_match_population(self):
+        simulator = TradingSimulator(SMALL)
+        foreign = FaultModel(FaultSpec(dropout_rate=0.1), RngFactory(0), 99)
+        with pytest.raises(ConfigurationError, match="different number"):
+            simulator.run(UCBPolicy(), fault_model=foreign)
+
+
+class TestMechanismDegradation:
+    def make_mechanism(self, seed=1):
+        rng = np.random.default_rng(7)
+        population = SellerPopulation.random(num_sellers=12, rng=rng)
+        job = Job.simple(num_pois=5, num_rounds=60)
+        return CMABHSMechanism(population, job, Platform.default(),
+                               Consumer.default(), k=3, seed=seed)
+
+    def test_zero_rate_model_is_bit_identical(self):
+        baseline = self.make_mechanism().run()
+        model = FaultModel(FaultSpec(), RngFactory(1), 12)
+        injected = self.make_mechanism().run(fault_model=model)
+        assert baseline.realized_revenue == injected.realized_revenue
+        np.testing.assert_array_equal(baseline.regret_history,
+                                      injected.regret_history)
+        for clean, faulty in zip(baseline.rounds, injected.rounds):
+            np.testing.assert_array_equal(clean.sensing_times,
+                                          faulty.sensing_times)
+            assert clean.platform_profit == faulty.platform_profit
+
+    def test_faulty_run_completes_and_degrades(self):
+        model = FaultModel(
+            FaultSpec(dropout_rate=0.3, corruption_rate=0.1,
+                      stall_rate=0.05),
+            RngFactory(1), 12,
+        )
+        log = FaultLog()
+        result = self.make_mechanism().run(fault_model=model, fault_log=log)
+        assert np.isfinite(result.regret_history).all()
+        summary = log.summary()
+        assert summary.get("dropout", 0) > 0
+        assert summary.get("quarantine") == summary.get("corruption")
+        degraded = [e for e in log.events
+                    if e.kind is FaultKind.DEGRADED]
+        assert degraded
+        for event in degraded:
+            outcome = result.rounds[event.round_index]
+            assert outcome.participants is not None
+            assert outcome.participants.size == int(event.value)
+            assert outcome.participants.size < outcome.selected.size

@@ -11,7 +11,6 @@ from repro.core.incentive import (
     StageCoefficients,
     initial_round_prices,
     optimal_collection_price,
-    optimal_sensing_times,
     optimal_service_price,
     solve_round_fast,
 )
@@ -259,7 +258,6 @@ class TestInitialRoundPrices:
         tau0 = 1.0
         service, collection = initial_round_prices(game, tau0)
         assert collection == 5.0
-        total = game.num_sellers * tau0
         profit = game.platform_profit(
             service, collection, np.full(game.num_sellers, tau0)
         )

@@ -19,7 +19,6 @@ from repro import (
 from repro.bandits.policies import OptimalPolicy, RandomPolicy
 from repro.core.incentive import ClosedFormStackelbergSolver
 from repro.data import TraceSpec, extract_pois, generate_trace, sellers_from_trace
-from repro.quality import TruncatedGaussianQuality
 from repro.sim import SimulationConfig, TradingSimulator
 
 

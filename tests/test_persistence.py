@@ -5,14 +5,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import PersistenceError
 from repro.experiments.registry import ExperimentResult, Series
 from repro.sim.persistence import (
+    RUN_SCHEMA_VERSION,
+    atomic_write_bytes,
     experiment_result_to_dict,
+    load_checkpoint,
     load_experiment_result,
     load_run_metrics,
+    load_sweep_checkpoint,
+    save_checkpoint,
     save_experiment_result,
     save_run_metrics,
+    save_sweep_checkpoint,
 )
 from repro.sim.results import RunMetrics
 
@@ -51,8 +57,37 @@ class TestRunMetricsPersistence:
         path = tmp_path / "bad.npz"
         np.savez(path, policy_name=np.array("x"),
                  realized_revenue=np.ones(3))
-        with pytest.raises(ConfigurationError, match="missing series"):
+        with pytest.raises(PersistenceError, match="missing series"):
             load_run_metrics(path)
+
+    def test_missing_field_error_names_the_fields(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, policy_name=np.array("x"),
+                 realized_revenue=np.ones(3))
+        with pytest.raises(PersistenceError, match="expected_revenue"):
+            load_run_metrics(path)
+
+    def test_load_rejects_wrong_schema_version(self, tmp_path):
+        run = make_run()
+        path = tmp_path / "run.npz"
+        save_run_metrics(run, path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["schema_version"] = np.array(RUN_SCHEMA_VERSION + 1)
+        np.savez(path, **arrays)
+        with pytest.raises(PersistenceError, match="schema version"):
+            load_run_metrics(path)
+
+    def test_legacy_file_without_schema_version_loads(self, tmp_path):
+        run = make_run()
+        path = tmp_path / "run.npz"
+        save_run_metrics(run, path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files
+                      if name != "schema_version"}
+        np.savez(path, **arrays)
+        loaded = load_run_metrics(path)
+        assert loaded.summary() == run.summary()
 
 
 class TestExperimentResultPersistence:
@@ -95,7 +130,7 @@ class TestExperimentResultPersistence:
     def test_load_rejects_malformed(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"title": "no id"}')
-        with pytest.raises(ConfigurationError, match="missing key"):
+        with pytest.raises(PersistenceError, match="missing key"):
             load_experiment_result(path)
 
     def test_real_experiment_round_trip(self, tmp_path):
@@ -109,3 +144,122 @@ class TestExperimentResultPersistence:
             loaded.series("profits", "PoC").y,
             result.series("profits", "PoC").y,
         )
+
+
+class TestFailureModes:
+    """Persistence must fail loudly and precisely, never half-load."""
+
+    def test_truncated_json_raises_persistence_error(self, tmp_path):
+        result = TestExperimentResultPersistence().make_result()
+        path = tmp_path / "figX.json"
+        save_experiment_result(result, path)
+        content = path.read_bytes()
+        path.write_bytes(content[: len(content) // 2])  # simulated crash
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_experiment_result(path)
+
+    def test_truncated_npz_raises_persistence_error(self, tmp_path):
+        path = tmp_path / "run.npz"
+        save_run_metrics(make_run(), path)
+        content = path.read_bytes()
+        path.write_bytes(content[: len(content) // 2])
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_run_metrics(path)
+
+    def test_garbage_bytes_raise_persistence_error(self, tmp_path):
+        path = tmp_path / "run.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(PersistenceError):
+            load_run_metrics(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run_metrics(tmp_path / "absent.npz")
+        with pytest.raises(FileNotFoundError):
+            load_experiment_result(tmp_path / "absent.json")
+
+    def test_wrong_experiment_schema_version(self, tmp_path):
+        import json
+
+        result = TestExperimentResultPersistence().make_result()
+        path = tmp_path / "figX.json"
+        save_experiment_result(result, path)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="schema version 99"):
+            load_experiment_result(path)
+
+
+class TestAtomicWrites:
+    def test_replaces_existing_content_atomically(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new content")
+        assert path.read_bytes() == b"new content"
+        # no temp litter after a successful write
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_interrupted_write_leaves_destination_untouched(
+        self, tmp_path, monkeypatch
+    ):
+        import os as _os
+
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"precious")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_bytes(path, b"half-written garbage")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"precious"
+        # the failed temp file was cleaned up
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestCheckpointPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        meta = {"kind": "engine_run", "next_round": 42, "seed": 7}
+        arrays = {"counts": np.arange(5), "sums": np.linspace(0, 1, 5)}
+        save_checkpoint(path, meta, arrays)
+        loaded_meta, loaded_arrays = load_checkpoint(path)
+        assert loaded_meta == meta  # schema stamp stripped on load
+        np.testing.assert_array_equal(loaded_arrays["counts"],
+                                      arrays["counts"])
+        np.testing.assert_array_equal(loaded_arrays["sums"], arrays["sums"])
+
+    def test_reserved_array_names_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError, match="reserved"):
+            save_checkpoint(tmp_path / "ck.npz", {},
+                            {"checkpoint_meta": np.zeros(1)})
+
+    def test_npz_without_meta_is_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, values=np.ones(3))
+        with pytest.raises(PersistenceError, match="no metadata record"):
+            load_checkpoint(path)
+
+    def test_truncated_checkpoint_detected(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, {"next_round": 3}, {"x": np.ones(4)})
+        content = path.read_bytes()
+        path.write_bytes(content[: len(content) // 2])
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_sweep_checkpoint_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        payload = {"kind": "replication_sweep", "completed_seeds": [0, 1]}
+        save_sweep_checkpoint(path, payload)
+        loaded = load_sweep_checkpoint(path)
+        assert loaded == payload
+
+    def test_sweep_checkpoint_without_version_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text('{"kind": "replication_sweep"}')
+        with pytest.raises(PersistenceError, match="schema_version"):
+            load_sweep_checkpoint(path)

@@ -11,7 +11,6 @@ from repro.quality.distributions import (
     BetaQuality,
     DeterministicQuality,
     DriftingQuality,
-    QualityModel,
     TruncatedGaussianQuality,
     UniformQuality,
     make_quality_model,

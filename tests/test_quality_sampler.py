@@ -11,7 +11,7 @@ from repro.quality.distributions import (
     DriftingQuality,
     TruncatedGaussianQuality,
 )
-from repro.quality.sampler import QualitySampler, RoundObservations
+from repro.quality.sampler import QualitySampler
 
 MEANS = np.array([0.3, 0.6, 0.9])
 

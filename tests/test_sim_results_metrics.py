@@ -36,7 +36,6 @@ def make_run(name="test", n=10, revenue=1.0, poc=5.0, pop=2.0,
 
 class TestRunMetrics:
     def test_rejects_misaligned_series(self):
-        run = make_run(n=5)
         with pytest.raises(ConfigurationError, match="length"):
             RunMetrics(
                 policy_name="bad",
