@@ -31,6 +31,8 @@ Package map:
 * :mod:`repro.quality` — quality observation models.
 * :mod:`repro.data` — synthetic Chicago-style taxi-trace pipeline.
 * :mod:`repro.sim` — simulation engine, configs, metrics.
+* :mod:`repro.obs` — observability: structured tracing, metrics
+  registry, logging setup, trace summaries.
 * :mod:`repro.experiments` — drivers for every paper figure/table.
 """
 
@@ -88,6 +90,17 @@ from repro.game import (
     GameInstance,
     NumericalStackelbergSolver,
     StrategyProfile,
+)
+from repro.obs import (
+    JsonlSink,
+    LoggingSink,
+    MetricsRegistry,
+    NullTracer,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    configure_logging,
+    summarize_trace,
 )
 from repro.quality import (
     BernoulliQuality,
@@ -163,6 +176,16 @@ __all__ = [
     "FaultModel",
     "FaultLog",
     "parse_fault_spec",
+    # obs
+    "Tracer",
+    "NullTracer",
+    "TraceEvent",
+    "RingBufferSink",
+    "JsonlSink",
+    "LoggingSink",
+    "MetricsRegistry",
+    "configure_logging",
+    "summarize_trace",
     # exceptions
     "ReproError",
     "ConfigurationError",

@@ -69,6 +69,10 @@ class UCBPolicy(SelectionPolicy):
             )
         self._coefficient_override = exploration_coefficient
         self._initial_full_exploration = bool(initial_full_exploration)
+        #: The full Eq.-19 index vector of the most recent selection
+        #: (``None`` before the first UCB-driven round); read by the
+        #: engine's selection trace events.
+        self.last_ucb_values: np.ndarray | None = None
 
     @property
     def exploration_coefficient(self) -> float:
@@ -82,10 +86,13 @@ class UCBPolicy(SelectionPolicy):
                rng: np.random.Generator) -> np.ndarray:
         self._require_reset()
         if round_index == 0 and self._initial_full_exploration:
+            self.last_ucb_values = None
             return np.arange(self._num_sellers)
-        return top_k_indices(
-            state.ucb_values(self.exploration_coefficient), self._k
-        )
+        ucb = state.ucb_values(self.exploration_coefficient)
+        # Stash the indices for observability (the engine's selection
+        # trace events read them back instead of recomputing Eq. 19).
+        self.last_ucb_values = ucb
+        return top_k_indices(ucb, self._k)
 
 
 class OptimalPolicy(SelectionPolicy):

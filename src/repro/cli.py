@@ -6,6 +6,13 @@ Subcommands:
 * ``run <experiment-id> [...]`` — run experiments and print their text
   tables (``--paper-scale`` for Table II sizes, ``--seed N``).
 * ``quickstart`` — run a small end-to-end trading simulation.
+* ``replicate`` — repeat the comparison over several seeds.
+* ``trace`` — generate a synthetic taxi trace; ``trace summarize``
+  rolls up a JSONL run trace written with ``--trace``.
+
+``quickstart`` and ``replicate`` accept ``--trace PATH.jsonl`` (write a
+structured event trace of the run) and ``--log-level LEVEL`` (configure
+the library's stdlib logging).
 """
 
 from __future__ import annotations
@@ -35,6 +42,54 @@ def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="continue from the checkpoints in --checkpoint-dir",
     )
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared tracing and logging flags."""
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None, dest="trace_out",
+        help=(
+            "write a structured JSONL event trace of the run to PATH "
+            "(inspect it with 'trace summarize PATH')"
+        ),
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="configure library logging at LEVEL (default: off)",
+    )
+
+
+def _build_observability(args: argparse.Namespace):
+    """The (tracer, metrics) pair requested by the CLI flags.
+
+    Returns ``(None, None)`` when ``--trace`` was not given; otherwise
+    a JSONL-backed :class:`~repro.obs.Tracer` (the sink opens eagerly,
+    so unwritable paths fail fast with a clean error) plus a fresh
+    :class:`~repro.obs.MetricsRegistry`.
+    """
+    from repro.obs import JsonlSink, MetricsRegistry, Tracer, configure_logging
+
+    if args.log_level:
+        configure_logging(args.log_level)
+    if not args.trace_out:
+        return None, None
+    return Tracer(JsonlSink(args.trace_out)), MetricsRegistry()
+
+
+def _finish_observability(args: argparse.Namespace, tracer, metrics) -> None:
+    """Close the tracer and print where the telemetry went."""
+    if tracer is None:
+        return
+    count = tracer.num_events
+    tracer.close()
+    print(f"\nwrote {count} trace events to {args.trace_out} "
+          f"(inspect with 'trace summarize {args.trace_out}')")
+    if metrics is not None and metrics.counters:
+        counters = " ".join(
+            f"{name}={value}" for name, value in sorted(metrics.counters.items())
+        )
+        print(f"counters: {counters}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     quick_parser.add_argument("--rounds", type=int, default=1_000)
     quick_parser.add_argument("--seed", type=int, default=0)
     _add_fault_tolerance_arguments(quick_parser)
+    _add_observability_arguments(quick_parser)
 
     replicate_parser = subparsers.add_parser(
         "replicate",
@@ -92,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="number of replications")
     replicate_parser.add_argument("--first-seed", type=int, default=0)
     _add_fault_tolerance_arguments(replicate_parser)
+    _add_observability_arguments(replicate_parser)
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -105,6 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.add_argument("--out", metavar="CSV",
                               help="also save the trace as CSV")
+    trace_subparsers = trace_parser.add_subparsers(
+        dest="trace_command", required=False,
+        metavar="{summarize}",
+    )
+    summarize_parser = trace_subparsers.add_parser(
+        "summarize",
+        help="summarise a JSONL run trace written with --trace",
+    )
+    summarize_parser.add_argument(
+        "path", metavar="TRACE.jsonl",
+        help="the JSONL trace file to roll up",
+    )
     return parser
 
 
@@ -175,6 +244,7 @@ def _command_quickstart(args: argparse.Namespace) -> int:
     ]
     spec = parse_fault_spec(args.faults)
     fault_model = simulator.fault_model(spec) if spec is not None else None
+    tracer, metrics = _build_observability(args)
     if args.checkpoint_dir:
         os.makedirs(args.checkpoint_dir, exist_ok=True)
     fault_logs: dict[str, FaultLog] = {}
@@ -194,6 +264,8 @@ def _command_quickstart(args: argparse.Namespace) -> int:
             checkpoint_every=(max(1, args.rounds // 10)
                               if checkpoint_path else 0),
             resume=args.resume and checkpoint_path is not None,
+            tracer=tracer,
+            metrics=metrics,
         ))
         if log is not None:
             fault_logs[policy.name] = log
@@ -215,6 +287,7 @@ def _command_quickstart(args: argparse.Namespace) -> int:
               f"corrupt={spec.corruption_rate} stall={spec.stall_rate}")
         for name, log in fault_logs.items():
             print(f"  {name}: {log.summary() or 'no events'}")
+    _finish_observability(args, tracer, metrics)
     return 0
 
 
@@ -245,6 +318,7 @@ def _command_replicate(args: argparse.Namespace) -> int:
         ]
 
     spec = parse_fault_spec(args.faults)
+    tracer, metrics = _build_observability(args)
     checkpoint_path = None
     if args.checkpoint_dir:
         os.makedirs(args.checkpoint_dir, exist_ok=True)
@@ -255,6 +329,8 @@ def _command_replicate(args: argparse.Namespace) -> int:
         fault_spec=spec,
         checkpoint_path=checkpoint_path,
         resume=args.resume and checkpoint_path is not None,
+        tracer=tracer,
+        metrics=metrics,
     )
     print(f"M={config.num_sellers} K={config.num_selected} "
           f"N={config.num_rounds}, seeds={result.seeds}")
@@ -265,6 +341,14 @@ def _command_replicate(args: argparse.Namespace) -> int:
     separation = result.separation("CMAB-HS", "random")
     print(f"\nCMAB-HS vs random revenue separation: "
           f"{separation:.1f} pooled standard deviations")
+    _finish_observability(args, tracer, metrics)
+    return 0
+
+
+def _command_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_trace
+
+    print(summarize_trace(args.path).to_text())
     return 0
 
 
@@ -316,10 +400,20 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "replicate":
             return _command_replicate(args)
         if args.command == "trace":
+            if getattr(args, "trace_command", None) == "summarize":
+                return _command_trace_summarize(args)
             return _command_trace(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print; exit quietly
+        # (stdout is unusable, so point it at devnull to suppress the
+        # interpreter's exit-time flush as well).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

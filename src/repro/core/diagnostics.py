@@ -123,7 +123,7 @@ class CounterReport:
 
 def counter_report(expected_qualities: np.ndarray,
                    selection_counts: np.ndarray, k: int, num_pois: int,
-                   num_rounds: int) -> CounterReport:
+                   num_rounds: int, *, tracer=None) -> CounterReport:
     """Certify measured selection counters against Lemma 18.
 
     Parameters
@@ -140,6 +140,11 @@ def counter_report(expected_qualities: np.ndarray,
         Observations per selection (``L``).
     num_rounds:
         The run's horizon ``N`` (enters the bound's logarithm).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; every suboptimal seller
+        whose measured counter exceeds its Lemma-18 bound is emitted as
+        an ``invariant_violation`` event (seller, observations, bound,
+        gap).
 
     Raises
     ------
@@ -170,15 +175,23 @@ def counter_report(expected_qualities: np.ndarray,
         )
         bound = (float("inf") if gap <= 0.0
                  else lemma18_bound(k, num_pois, num_rounds, gap))
-        diagnostics.append(
-            SellerCounterDiagnostic(
-                seller=seller,
-                expected_quality=float(qualities[seller]),
-                gap=gap,
-                observations=int(counts[seller]) * num_pois,
-                bound=bound,
-            )
+        diagnostic = SellerCounterDiagnostic(
+            seller=seller,
+            expected_quality=float(qualities[seller]),
+            gap=gap,
+            observations=int(counts[seller]) * num_pois,
+            bound=bound,
         )
+        diagnostics.append(diagnostic)
+        if (tracer is not None and tracer.enabled
+                and not diagnostic.is_optimal
+                and not diagnostic.within_bound):
+            tracer.emit("invariant_violation",
+                        invariant="lemma18_counter_bound",
+                        seller=diagnostic.seller,
+                        observations=diagnostic.observations,
+                        bound=diagnostic.bound,
+                        gap=diagnostic.gap)
     return CounterReport(
         diagnostics=tuple(diagnostics), num_rounds=int(num_rounds)
     )

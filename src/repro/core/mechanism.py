@@ -19,6 +19,7 @@ Algorithm 1, plus per-round profits for analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -36,6 +37,8 @@ from repro.entities.seller import SellerPopulation
 from repro.exceptions import ConfigurationError
 from repro.faults import FaultKind, FaultLog, FaultModel
 from repro.game.profits import GameInstance, StrategyProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.quality.distributions import QualityModel, TruncatedGaussianQuality
 from repro.quality.sampler import QualitySampler
 
@@ -283,7 +286,9 @@ class CMABHSMechanism:
 
     def run(self, num_rounds: int | None = None, *,
             fault_model: FaultModel | None = None,
-            fault_log: FaultLog | None = None) -> TradingResult:
+            fault_log: FaultLog | None = None,
+            tracer: Tracer | None = None,
+            metrics: MetricsRegistry | None = None) -> TradingResult:
         """Execute Algorithm 1 for ``num_rounds`` rounds (default: job's N).
 
         With a ``fault_model``, seller failures are injected and each
@@ -294,6 +299,13 @@ class CMABHSMechanism:
         can poison ``qbar_i``, and stalled reports miss the round's
         revenue but still reach the learner.  Without one, behaviour is
         bit-identical to the original mechanism.
+
+        ``tracer`` and ``metrics`` attach the observability layer:
+        structured per-round events (selection with UCB indices, the
+        equilibrium ``<p^J*, p*, tau*>``, profits, fault injections)
+        and counter/gauge/timer telemetry.  Both are read-only
+        observers — they never touch an RNG stream, so traced runs are
+        bit-identical to untraced ones.
         """
         n = int(num_rounds) if num_rounds is not None else self._job.num_rounds
         if n <= 0:
@@ -304,6 +316,8 @@ class CMABHSMechanism:
                 "fault model covers a different number of sellers than "
                 "the population"
             )
+        tr = tracer if tracer is not None else NULL_TRACER
+        reg = metrics if metrics is not None else MetricsRegistry()
         num_pois = self._job.num_pois
         sampler = QualitySampler(
             self._quality_model, num_pois, np.random.default_rng(self._seed)
@@ -315,35 +329,87 @@ class CMABHSMechanism:
         log = fault_log
         if log is None and fault_model is not None:
             log = FaultLog()
+        run_start = perf_counter()
+        if tr.enabled:
+            tr.emit("run_start", mechanism="cmab-hs", num_rounds=n,
+                    num_sellers=m, num_selected=self._k, num_pois=num_pois,
+                    seed=self._seed, faults=fault_model is not None)
         rounds: list[RoundOutcome] = []
         for t in range(n):
+            round_start = perf_counter()
+            if tr.enabled:
+                tr.emit("round_start", round_index=t)
+            select_start = perf_counter()
             selected = np.arange(m) if t == 0 else self._select(state)
+            reg.timer("mechanism.selection").observe(
+                perf_counter() - select_start
+            )
+            if tr.enabled:
+                ucb = (None if t == 0
+                       else state.ucb_values(self._coefficient)[selected])
+                tr.emit("selection", round_index=t, selected=selected,
+                        explore=t == 0, ucb=ucb,
+                        duration_s=perf_counter() - select_start)
             plan = None
             participants = selected
             if fault_model is not None:
                 plan = fault_model.plan_round(t, selected, num_pois)
-                fault_model.log_plan(plan, log)
+                fault_model.log_plan(plan, log, tracer=tr)
+                reg.counter("fault_events").inc(
+                    plan.dropped.size + plan.corrupted.size
+                    + plan.stalled.size
+                )
                 participants = selected[~np.isin(selected, plan.dropped)]
-                if (0 < participants.size < selected.size
-                        and log is not None):
-                    log.record(t, FaultKind.DEGRADED,
-                               value=float(participants.size))
+                if 0 < participants.size < selected.size:
+                    reg.counter("degraded_resolves").inc()
+                    if log is not None:
+                        log.record(t, FaultKind.DEGRADED,
+                                   value=float(participants.size))
+                    if tr.enabled:
+                        tr.emit("fault", round_index=t,
+                                fault=FaultKind.DEGRADED.value,
+                                survivors=participants.size)
             if participants.size == 0:
+                reg.counter("no_trade_rounds").inc()
                 if log is not None:
                     log.record(t, FaultKind.NO_TRADE)
+                if tr.enabled:
+                    tr.emit("fault", round_index=t,
+                            fault=FaultKind.NO_TRADE.value)
                 outcome = self._no_trade_round(t, selected)
             elif t == 0:
                 outcome = self._play_initial_round(
                     selected, state, sampler, plan=plan,
-                    participants=participants, log=log,
+                    participants=participants, log=log, tr=tr, reg=reg,
                 )
             else:
                 outcome = self._play_round(
                     t, selected, state, sampler, plan=plan,
-                    participants=participants, log=log,
+                    participants=participants, log=log, tr=tr, reg=reg,
                 )
             tracker.record(selected)
             rounds.append(outcome)
+            reg.counter("rounds").inc()
+            reg.gauge("cumulative_regret").set(tracker.cumulative_regret)
+            reg.timer("mechanism.round").observe(perf_counter() - round_start)
+            if tr.enabled:
+                tr.emit("profits", round_index=t,
+                        consumer=outcome.consumer_profit,
+                        platform=outcome.platform_profit,
+                        sellers_mean=(float(outcome.seller_profits.mean())
+                                      if outcome.seller_profits.size
+                                      else 0.0),
+                        realized=outcome.observed_quality_total)
+                tr.emit("round_end", round_index=t,
+                        duration_s=perf_counter() - round_start)
+        if tr.enabled:
+            tr.emit("run_end", mechanism="cmab-hs", rounds_played=n,
+                    total_revenue=float(
+                        sum(r.observed_quality_total for r in rounds)
+                    ),
+                    final_regret=tracker.cumulative_regret,
+                    duration_s=perf_counter() - run_start)
+            tr.flush()
         return TradingResult(
             rounds=rounds,
             final_means=state.means,
@@ -361,7 +427,9 @@ class CMABHSMechanism:
 
     def _collect(self, t: int, participants: np.ndarray,
                  state: LearningState, sampler: QualitySampler,
-                 plan, log: FaultLog | None) -> float:
+                 plan, log: FaultLog | None,
+                 tr: Tracer = NULL_TRACER,
+                 reg: MetricsRegistry | None = None) -> float:
         """Sample one round's data, quarantine garbage, learn, settle.
 
         Returns the round's creditable observed-quality total.  On the
@@ -379,10 +447,18 @@ class CMABHSMechanism:
             for seller, garbage in zip(plan.corrupted, plan.corrupted_sums):
                 delivered[position[int(seller)]] = garbage
         valid = observation_mask(delivered, self._job.num_pois)
-        if log is not None:
-            for pos in np.flatnonzero(~valid):
+        invalid_positions = np.flatnonzero(~valid)
+        if reg is not None and invalid_positions.size:
+            reg.counter("quarantined_reports").inc(invalid_positions.size)
+        for pos in invalid_positions:
+            if log is not None:
                 log.record(t, FaultKind.QUARANTINE, int(participants[pos]),
                            float(delivered[pos]))
+            if tr.enabled:
+                tr.emit("fault", round_index=t,
+                        fault=FaultKind.QUARANTINE.value,
+                        seller=int(participants[pos]),
+                        value=float(delivered[pos]))
         # Stalled reports arrive after settlement but still reach the
         # learner; quarantined ones reach neither.
         state.update(participants[valid], delivered[valid],
@@ -416,7 +492,10 @@ class CMABHSMechanism:
     def _play_initial_round(self, selected: np.ndarray, state: LearningState,
                             sampler: QualitySampler, *, plan=None,
                             participants: np.ndarray | None = None,
-                            log: FaultLog | None = None) -> RoundOutcome:
+                            log: FaultLog | None = None,
+                            tr: Tracer = NULL_TRACER,
+                            reg: MetricsRegistry | None = None
+                            ) -> RoundOutcome:
         """Round 0: explore all sellers at fixed time and break-even prices."""
         if participants is None:
             participants = selected
@@ -434,9 +513,19 @@ class CMABHSMechanism:
                                      self._platform.price_max),
             max_sensing_time=self._job.round_duration,
         )
+        solve_start = perf_counter()
         service_price, collection_price = initial_round_prices(game, self._tau0)
+        solve_elapsed = perf_counter() - solve_start
+        if reg is not None:
+            reg.timer("mechanism.solve").observe(solve_elapsed)
+        if tr.enabled:
+            tr.emit("equilibrium", round_index=0,
+                    service_price=service_price,
+                    collection_price=collection_price,
+                    tau_total=float(taus.sum()), explore=True,
+                    duration_s=solve_elapsed)
         observed_total = self._collect(0, participants, state, sampler,
-                                       plan, log)
+                                       plan, log, tr, reg)
         means = state.means[participants]
         seller_profits = (
             collection_price * taus
@@ -467,7 +556,9 @@ class CMABHSMechanism:
     def _play_round(self, t: int, selected: np.ndarray, state: LearningState,
                     sampler: QualitySampler, *, plan=None,
                     participants: np.ndarray | None = None,
-                    log: FaultLog | None = None) -> RoundOutcome:
+                    log: FaultLog | None = None,
+                    tr: Tracer = NULL_TRACER,
+                    reg: MetricsRegistry | None = None) -> RoundOutcome:
         """Rounds 1..N-1: HS game on the surviving set, then learn."""
         if participants is None:
             participants = selected
@@ -476,6 +567,7 @@ class CMABHSMechanism:
         cost_b = self._population.cost_b[participants]
         theta = self._platform.aggregation_cost.theta
         lam = self._platform.aggregation_cost.lam
+        solve_start = perf_counter()
         service_price, collection_price, taus = solve_round_fast(
             means, cost_a, cost_b, theta, lam,
             self._consumer.valuation.omega,
@@ -484,6 +576,15 @@ class CMABHSMechanism:
             self._job.round_duration,
             paper_variant=(self._variant is FormulaVariant.PAPER),
         )
+        solve_elapsed = perf_counter() - solve_start
+        if reg is not None:
+            reg.timer("mechanism.solve").observe(solve_elapsed)
+        if tr.enabled:
+            tr.emit("equilibrium", round_index=t,
+                    service_price=service_price,
+                    collection_price=collection_price,
+                    tau_total=float(taus.sum()), explore=False,
+                    duration_s=solve_elapsed)
         seller_profits = (
             collection_price * taus
             - (cost_a * taus * taus + cost_b * taus) * means
@@ -497,7 +598,7 @@ class CMABHSMechanism:
             - service_price * total
         )
         observed_total = self._collect(t, participants, state, sampler,
-                                       plan, log)
+                                       plan, log, tr, reg)
         return RoundOutcome(
             round_index=t,
             selected=selected,

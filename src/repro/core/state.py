@@ -16,8 +16,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs.logconfig import get_logger
 
 __all__ = ["LearningState", "observation_mask"]
+
+_log = get_logger(__name__)
 
 
 def observation_mask(observation_sums: np.ndarray,
@@ -133,7 +136,14 @@ class LearningState:
             raise ConfigurationError("a seller cannot be updated twice per round")
         if sellers.min() < 0 or sellers.max() >= self._num_sellers:
             raise ConfigurationError("seller index out of range")
-        if not np.all(observation_mask(sums, num_observations)):
+        invalid = ~observation_mask(sums, num_observations)
+        if invalid.any():
+            _log.warning(
+                "rejecting learning-state update: %d of %d observation "
+                "sums are infeasible (sellers %s)",
+                int(invalid.sum()), sums.size,
+                sellers[invalid].tolist(),
+            )
             raise ConfigurationError(
                 "observation sums contain NaN or out-of-range values; "
                 "quarantine corrupted reports (see observation_mask) before "
@@ -187,5 +197,7 @@ class LearningState:
 
     def reset(self) -> None:
         """Forget everything learned so far."""
+        _log.debug("resetting learning state for %d sellers",
+                   self._num_sellers)
         self._counts.fill(0)
         self._sums.fill(0.0)

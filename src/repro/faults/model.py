@@ -276,14 +276,35 @@ class FaultModel:
             stalled=stalled,
         )
 
-    def log_plan(self, plan: RoundFaultPlan, log: FaultLog | None) -> None:
-        """Record a plan's injected events (helper shared by runners)."""
-        if log is None:
+    def log_plan(self, plan: RoundFaultPlan, log: FaultLog | None,
+                 tracer=None) -> None:
+        """Record a plan's injected events (helper shared by runners).
+
+        ``tracer`` may be a :class:`repro.obs.Tracer`; each injected
+        failure is then also emitted as a structured ``fault`` trace
+        event (kind value, seller, corrupted value where applicable).
+        """
+        traced = tracer is not None and tracer.enabled
+        if log is None and not traced:
             return
         for seller in plan.dropped:
-            log.record(plan.round_index, FaultKind.DROPOUT, int(seller))
+            if log is not None:
+                log.record(plan.round_index, FaultKind.DROPOUT, int(seller))
+            if traced:
+                tracer.emit("fault", round_index=plan.round_index,
+                            fault=FaultKind.DROPOUT.value,
+                            seller=int(seller))
         for seller, value in zip(plan.corrupted, plan.corrupted_sums):
-            log.record(plan.round_index, FaultKind.CORRUPTION, int(seller),
-                       float(value))
+            if log is not None:
+                log.record(plan.round_index, FaultKind.CORRUPTION,
+                           int(seller), float(value))
+            if traced:
+                tracer.emit("fault", round_index=plan.round_index,
+                            fault=FaultKind.CORRUPTION.value,
+                            seller=int(seller), value=float(value))
         for seller in plan.stalled:
-            log.record(plan.round_index, FaultKind.STALL, int(seller))
+            if log is not None:
+                log.record(plan.round_index, FaultKind.STALL, int(seller))
+            if traced:
+                tracer.emit("fault", round_index=plan.round_index,
+                            fault=FaultKind.STALL.value, seller=int(seller))

@@ -1,0 +1,130 @@
+"""Structured trace events emitted by the trading runtime.
+
+A :class:`TraceEvent` is one timestamped-by-round fact about a run —
+"round 17 selected sellers [3, 8, 11]", "the equilibrium was
+``<p^J*, p*, tau*>``", "seller 4's report was quarantined".  Events are
+plain data (a kind, an optional round index, and a flat JSON-friendly
+payload) so every sink — ring buffer, JSONL file, stdlib logging — can
+carry them without knowing anything about the runtime.
+
+The JSONL codec here is the contract the ``repro trace summarize``
+subcommand reads back; :data:`EVENT_KINDS` enumerates every kind the
+runtime emits (unknown kinds are tolerated on read, for forward
+compatibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["EVENT_KINDS", "TraceEvent"]
+
+#: Every event kind the runtime emits.
+#:
+#: * ``run_start`` / ``run_end`` — one policy run's bracket (payload:
+#:   policy, horizon, seed; run_end adds totals and ``duration_s``).
+#: * ``round_start`` / ``round_end`` — one trading round's bracket
+#:   (round_end carries the round's ``duration_s``).
+#: * ``selection`` — the selected seller set, with UCB indices when the
+#:   selector exposes them (Eq. 19) and the selection ``duration_s``.
+#: * ``equilibrium`` — the round's strategy profile ``<p^J*, p*,
+#:   sum tau*>`` plus the solve ``duration_s``.
+#: * ``profits`` — PoC / PoP / mean PoS and realized revenue.
+#: * ``fault`` — one injected failure or platform reaction (payload
+#:   ``fault`` holds the :class:`~repro.faults.FaultKind` value).
+#: * ``checkpoint`` — a checkpoint write or restore (payload ``action``
+#:   is ``saved``/``restored``).
+#: * ``seed_start`` / ``seed_end`` — one replication seed's bracket.
+#: * ``invariant_violation`` — a diagnostics check (Lemma 18) failed.
+EVENT_KINDS = frozenset({
+    "run_start", "run_end",
+    "round_start", "round_end",
+    "selection", "equilibrium", "profits",
+    "fault", "checkpoint",
+    "seed_start", "seed_end",
+    "invariant_violation",
+})
+
+
+#: Types passed through :func:`_jsonable` untouched (the overwhelmingly
+#: common case — checked first, by exact type, to keep the hot emit
+#: path cheap).
+_PLAIN_TYPES = (float, int, str, bool, type(None))
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays into plain JSON-serialisable types."""
+    if type(value) in _PLAIN_TYPES:
+        return value
+    if isinstance(value, np.ndarray):
+        # tolist() already yields (nested) plain Python scalars.
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event of a traced run.
+
+    Attributes
+    ----------
+    kind:
+        The event category (usually one of :data:`EVENT_KINDS`).
+    round_index:
+        0-based round the event belongs to, or ``None`` for run-level
+        events (``run_start``, ``seed_end``, ...).
+    payload:
+        Flat JSON-serialisable details, keyed by field name.
+    """
+
+    kind: str
+    round_index: int | None = None
+    payload: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The JSONL wire form (``kind``/``round`` + payload fields)."""
+        record: dict = {"kind": self.kind}
+        if self.round_index is not None:
+            record["round"] = int(self.round_index)
+        for key, value in self.payload.items():
+            record[str(key)] = _jsonable(value)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "TraceEvent":
+        """Rebuild an event from its :meth:`to_dict` wire form.
+
+        Raises
+        ------
+        ConfigurationError
+            If the record is not a dict or lacks a string ``kind``.
+        """
+        if not isinstance(record, dict):
+            raise ConfigurationError(
+                f"trace record must be a JSON object, got {type(record).__name__}"
+            )
+        kind = record.get("kind")
+        if not isinstance(kind, str) or not kind:
+            raise ConfigurationError(
+                "trace record lacks a string 'kind' field"
+            )
+        round_index = record.get("round")
+        if round_index is not None and not isinstance(round_index, int):
+            raise ConfigurationError(
+                f"trace record 'round' must be an integer, got {round_index!r}"
+            )
+        payload = {
+            key: value for key, value in record.items()
+            if key not in ("kind", "round")
+        }
+        return cls(kind=kind, round_index=round_index, payload=payload)

@@ -1,0 +1,92 @@
+"""One entry point for the library's stdlib-``logging`` configuration.
+
+The library logs under the ``repro`` namespace and never configures
+handlers on import (library best practice); applications and the CLI
+opt in through :func:`configure_logging`.  Modules obtain their logger
+via :func:`get_logger` so everything hangs off the same root.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LOGGER_NAME", "configure_logging", "get_logger"]
+
+#: Root logger name of the whole library.
+LOGGER_NAME = "repro"
+
+#: Marker attribute identifying handlers installed by
+#: :func:`configure_logging`, so reconfiguration replaces (never
+#: duplicates) them.
+_HANDLER_TAG = "_repro_obs_handler"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the library's ``repro`` namespace.
+
+    ``name`` may be a module ``__name__`` (already below ``repro``) or
+    any suffix; ``None`` returns the root library logger.
+    """
+    if name is None or name == LOGGER_NAME:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: str | int = "warning",
+                      stream=None) -> logging.Logger:
+    """Configure the library's logging in one call (idempotent).
+
+    Installs a single stream handler with a compact formatter on the
+    ``repro`` root logger and sets its level.  Calling again replaces
+    the previous handler instead of stacking duplicates.
+
+    Parameters
+    ----------
+    level:
+        A :mod:`logging` level number or one of ``debug``, ``info``,
+        ``warning``, ``error``, ``critical`` (case-insensitive).
+    stream:
+        Destination stream (default ``sys.stderr``).
+
+    Raises
+    ------
+    ConfigurationError
+        On an unknown level name.
+    """
+    if isinstance(level, str):
+        try:
+            resolved = _LEVELS[level.strip().lower()]
+        except KeyError:
+            known = ", ".join(sorted(_LEVELS))
+            raise ConfigurationError(
+                f"unknown log level {level!r}; expected one of: {known}"
+            ) from None
+    else:
+        resolved = int(level)
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        datefmt="%H:%M:%S",
+    ))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    return logger

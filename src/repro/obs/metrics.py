@@ -1,0 +1,262 @@
+"""Counters, gauges, and histogram timers for the trading runtime.
+
+A :class:`MetricsRegistry` is a flat, name-keyed collection of
+
+* :class:`Counter` — monotone event counts (rounds played, no-trade
+  rounds, quarantined reports, ...);
+* :class:`Gauge` — last-value-wins observations (cumulative regret,
+  current prices, per-seller ``n_i``/``qbar_i``);
+* :class:`Timer` — duration summaries (count / total / min / max /
+  mean) wrapping the hot paths via :meth:`MetricsRegistry.time` or the
+  :func:`timed` decorator.
+
+Registries snapshot to plain JSON-serialisable dicts and restore from
+them, so checkpoints can embed a run's telemetry and a resumed run
+carries its counters forward instead of starting from zero.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import time
+from contextlib import contextmanager
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "timed"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only increase; got increment {amount}"
+            )
+        self.value += int(amount)
+
+
+class Gauge:
+    """A last-value-wins observation."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Timer:
+    """A duration histogram summary: count / total / min / max."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one measured duration into the summary."""
+        seconds = float(seconds)
+        if seconds < 0.0:
+            raise ConfigurationError(
+                f"durations cannot be negative, got {seconds}"
+            )
+        self.count += 1
+        self.total += seconds
+        self.minimum = min(self.minimum, seconds)
+        self.maximum = max(self.maximum, seconds)
+
+    @property
+    def mean(self) -> float:
+        """Average observed duration (0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name-keyed counters, gauges, and timers with snapshot/restore."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # -- get-or-create accessors ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter of that name (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge of that name (created on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def timer(self, name: str) -> Timer:
+        """The timer of that name (created on first use)."""
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = Timer()
+        return timer
+
+    def set_gauges(self, values: dict[str, float]) -> None:
+        """Bulk last-value-wins update of many gauges at once.
+
+        Equivalent to ``gauge(name).set(value)`` per item but without a
+        get-or-create round trip each — the engine publishes per-seller
+        statistics (O(M) names) through this.
+        """
+        gauges = self._gauges
+        for name, value in values.items():
+            gauge = gauges.get(name)
+            if gauge is None:
+                gauge = gauges[name] = Gauge()
+            gauge.value = float(value)
+
+    # -- timing helpers ------------------------------------------------------------
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager timing its body into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.timer(name).observe(time.perf_counter() - start)
+
+    # -- views ---------------------------------------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Current counter values keyed by name."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        """Current gauge values keyed by name."""
+        return {name: g.value for name, g in self._gauges.items()}
+
+    @property
+    def timers(self) -> dict[str, Timer]:
+        """The live timer objects keyed by name."""
+        return dict(self._timers)
+
+    # -- snapshot / restore ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable copy of every metric.
+
+        Timer minima are emitted as ``None`` when no duration was ever
+        observed (``inf`` is not valid JSON).
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "timers": {
+                n: {
+                    "count": t.count,
+                    "total": t.total,
+                    "min": None if t.count == 0 else t.minimum,
+                    "max": t.maximum,
+                }
+                for n, t in self._timers.items()
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace this registry's contents with a snapshot's.
+
+        Raises
+        ------
+        ConfigurationError
+            If the snapshot does not look like :meth:`snapshot` output.
+        """
+        if not isinstance(snapshot, dict):
+            raise ConfigurationError(
+                "metrics snapshot must be a dict, got "
+                f"{type(snapshot).__name__}"
+            )
+        try:
+            counters = dict(snapshot.get("counters", {}))
+            gauges = dict(snapshot.get("gauges", {}))
+            timers = dict(snapshot.get("timers", {}))
+            self._counters = {}
+            self._gauges = {}
+            self._timers = {}
+            for name, value in counters.items():
+                self.counter(name).value = int(value)
+            for name, value in gauges.items():
+                self.gauge(name).set(float(value))
+            for name, summary in timers.items():
+                timer = self.timer(name)
+                timer.count = int(summary["count"])
+                timer.total = float(summary["total"])
+                minimum = summary.get("min")
+                timer.minimum = (math.inf if minimum is None
+                                 else float(minimum))
+                timer.maximum = float(summary["max"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"malformed metrics snapshot: {error}"
+            ) from error
+
+    def to_table(self) -> str:
+        """Counters, gauges, and timers as an aligned text block."""
+        lines = []
+        if self._counters:
+            lines.append("counters:")
+            for name in sorted(self._counters):
+                lines.append(f"  {name} = {self._counters[name].value}")
+        if self._gauges:
+            lines.append("gauges:")
+            for name in sorted(self._gauges):
+                lines.append(f"  {name} = {self._gauges[name].value:.6g}")
+        if self._timers:
+            lines.append("timers:")
+            for name in sorted(self._timers):
+                t = self._timers[name]
+                lines.append(
+                    f"  {name}: n={t.count} total={t.total:.4f}s "
+                    f"mean={t.mean * 1e3:.3f}ms max={t.maximum * 1e3:.3f}ms"
+                )
+        return "\n".join(lines)
+
+
+def timed(name: str):
+    """Decorator timing a function into an optional registry.
+
+    The wrapped function grows a keyword-only ``metrics`` parameter:
+    pass a :class:`MetricsRegistry` and the call is timed into timer
+    ``name``; pass ``None`` (or nothing) and the function runs
+    undecorated — callers that never heard of metrics are unaffected.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, metrics: MetricsRegistry | None = None, **kwargs):
+            if metrics is None:
+                return func(*args, **kwargs)
+            with metrics.time(name):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

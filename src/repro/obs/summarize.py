@@ -1,0 +1,179 @@
+"""Read a JSONL trace back and roll it up into a human-readable summary.
+
+This is the analysis half of the tracing substrate: ``repro trace
+summarize <path>`` loads every event a traced run emitted and reports
+
+* event counts by kind,
+* per-phase timing rollups (selection / equilibrium solve / whole
+  round / checkpoint writes / whole runs), reconstructed from the
+  ``duration_s`` fields events carry,
+* fault-injection counts by fault kind,
+* the policies and round span the trace covers.
+
+All failure modes — unreadable file, non-JSON line, JSON that is not an
+event — surface as :class:`~repro.exceptions.ConfigurationError` naming
+the offending line, consistent with the library's
+:class:`~repro.exceptions.PersistenceError` conventions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.obs.events import TraceEvent
+
+__all__ = ["PhaseTiming", "TraceSummary", "read_trace", "summarize_trace"]
+
+#: Which event kinds carry a ``duration_s`` worth aggregating, and the
+#: phase label each is reported under.
+_PHASE_OF_KIND = {
+    "selection": "selection",
+    "equilibrium": "equilibrium solve",
+    "round_end": "round",
+    "checkpoint": "checkpoint",
+    "run_end": "run",
+    "seed_end": "seed",
+}
+
+
+@dataclass
+class PhaseTiming:
+    """Aggregated wall-clock time of one runtime phase."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Fold one duration into the rollup."""
+        self.count += 1
+        self.total += seconds
+        self.minimum = min(self.minimum, seconds)
+        self.maximum = max(self.maximum, seconds)
+
+    @property
+    def mean(self) -> float:
+        """Average duration (0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Rollup of one JSONL trace file."""
+
+    path: str
+    num_events: int = 0
+    events_by_kind: dict[str, int] = field(default_factory=dict)
+    phase_timings: dict[str, PhaseTiming] = field(default_factory=dict)
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
+    policies: list[str] = field(default_factory=list)
+    num_rounds: int = 0
+
+    def add(self, event: TraceEvent) -> None:
+        """Fold one event into the summary."""
+        self.num_events += 1
+        self.events_by_kind[event.kind] = (
+            self.events_by_kind.get(event.kind, 0) + 1
+        )
+        if event.round_index is not None:
+            self.num_rounds = max(self.num_rounds, event.round_index + 1)
+        phase = _PHASE_OF_KIND.get(event.kind)
+        duration = event.payload.get("duration_s")
+        if phase is not None and isinstance(duration, (int, float)):
+            timing = self.phase_timings.get(phase)
+            if timing is None:
+                timing = self.phase_timings[phase] = PhaseTiming()
+            timing.add(float(duration))
+        if event.kind == "fault":
+            fault = str(event.payload.get("fault", "unknown"))
+            self.faults_by_kind[fault] = (
+                self.faults_by_kind.get(fault, 0) + 1
+            )
+        if event.kind == "run_start":
+            policy = event.payload.get("policy")
+            if isinstance(policy, str) and policy not in self.policies:
+                self.policies.append(policy)
+
+    def to_text(self) -> str:
+        """The summary as the text block ``repro trace summarize`` prints."""
+        lines = [f"trace {self.path}: {self.num_events} events, "
+                 f"{self.num_rounds} rounds"]
+        if self.policies:
+            lines.append(f"policies: {', '.join(self.policies)}")
+        lines.append("")
+        lines.append("event counts:")
+        for kind in sorted(self.events_by_kind):
+            lines.append(f"  {kind:<20} {self.events_by_kind[kind]:>8}")
+        if self.faults_by_kind:
+            lines.append("")
+            lines.append("fault events:")
+            for kind in sorted(self.faults_by_kind):
+                lines.append(f"  {kind:<20} {self.faults_by_kind[kind]:>8}")
+        if self.phase_timings:
+            lines.append("")
+            lines.append("per-phase timing:")
+            header = (f"  {'phase':<18} {'calls':>8} {'total':>10} "
+                      f"{'mean':>10} {'max':>10}")
+            lines.append(header)
+            for phase in sorted(self.phase_timings):
+                t = self.phase_timings[phase]
+                lines.append(
+                    f"  {phase:<18} {t.count:>8} {t.total:>9.3f}s "
+                    f"{t.mean * 1e3:>8.3f}ms {t.maximum * 1e3:>8.3f}ms"
+                )
+        return "\n".join(lines)
+
+
+def read_trace(path: str | os.PathLike):
+    """Yield every :class:`TraceEvent` of a JSONL trace file, in order.
+
+    Raises
+    ------
+    ConfigurationError
+        If the file cannot be read, or any line is not a JSON object
+        with a string ``kind`` (the error names the 1-based line).
+    """
+    path = os.fspath(path)
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read trace file {path!r}: {error}"
+        ) from error
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"trace file {path!r} line {line_number} is not valid "
+                    f"JSON: {error}"
+                ) from error
+            try:
+                yield TraceEvent.from_dict(record)
+            except ConfigurationError as error:
+                raise ConfigurationError(
+                    f"trace file {path!r} line {line_number}: {error}"
+                ) from error
+
+
+def summarize_trace(path: str | os.PathLike) -> TraceSummary:
+    """Roll one JSONL trace file up into a :class:`TraceSummary`.
+
+    Raises
+    ------
+    ConfigurationError
+        On unreadable files or malformed lines (see :func:`read_trace`).
+    """
+    summary = TraceSummary(path=os.fspath(path))
+    for event in read_trace(path):
+        summary.add(event)
+    return summary

@@ -34,11 +34,20 @@ off):
   state, RNG streams, partial metrics, fault log, policy private state)
   every few rounds; ``resume=True`` continues from the last checkpoint
   and produces metrics identical to an uninterrupted run.
+
+Observability (also opt-in; see :mod:`repro.obs`): pass ``tracer`` and
+every round emits structured events (selection with UCB indices, the
+equilibrium ``<p^J*, p*, tau*>``, profits, faults, checkpoints); pass
+``metrics`` and counters/gauges/histogram timers accumulate across the
+run, with a snapshot embedded in each checkpoint so resumed runs carry
+their telemetry forward.  Neither touches an RNG stream, so a traced
+run is bit-identical to an untraced one.
 """
 
 from __future__ import annotations
 
 import os
+from time import perf_counter
 
 import numpy as np
 
@@ -47,8 +56,10 @@ from repro.core.incentive import solve_round_fast
 from repro.core.regret import RegretTracker
 from repro.core.state import LearningState, observation_mask
 from repro.entities.seller import SellerPopulation
-from repro.exceptions import ConfigurationError, PersistenceError
+from repro.exceptions import ConfigurationError, PersistenceError, ReproError
 from repro.faults import FaultKind, FaultLog, FaultModel, FaultSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.quality.distributions import (
     QualityModel,
     TruncatedGaussianQuality,
@@ -75,6 +86,22 @@ _SERIES_NAMES = (
     "realized", "expected", "consumer", "platform", "sellers_mean",
     "service", "collection", "totals", "estimation_error",
 )
+
+#: Per-seller gauge name lists keyed by population size — building
+#: 2M f-strings dominates the end-of-run metrics dump otherwise, and
+#: the names are identical across runs of the same M.
+_SELLER_GAUGE_KEYS: dict[int, tuple[list[str], list[str]]] = {}
+
+
+def _seller_gauge_keys(m: int) -> tuple[list[str], list[str]]:
+    """``(count_keys, mean_keys)`` gauge names for an M-seller run."""
+    keys = _SELLER_GAUGE_KEYS.get(m)
+    if keys is None:
+        keys = _SELLER_GAUGE_KEYS[m] = (
+            [f"seller.{seller}.n" for seller in range(m)],
+            [f"seller.{seller}.qbar" for seller in range(m)],
+        )
+    return keys
 
 
 class TradingSimulator:
@@ -158,7 +185,9 @@ class TradingSimulator:
             fault_log: FaultLog | None = None,
             checkpoint_path: str | os.PathLike | None = None,
             checkpoint_every: int = 0,
-            resume: bool = False) -> RunMetrics:
+            resume: bool = False,
+            tracer: Tracer | None = None,
+            metrics: MetricsRegistry | None = None) -> RunMetrics:
         """Run one policy for ``num_rounds`` rounds (default: config's N).
 
         Parameters
@@ -182,6 +211,15 @@ class TradingSimulator:
         resume:
             Continue from ``checkpoint_path`` if it exists; a missing
             checkpoint file simply starts from round 0.
+        tracer:
+            Structured-event tracer; ``None`` uses the zero-overhead
+            :data:`~repro.obs.NULL_TRACER`.
+        metrics:
+            Metrics registry accumulating counters / gauges / timers
+            across the run.  When given, each checkpoint embeds a
+            snapshot (restored on resume) and the returned
+            :class:`RunMetrics` carries a final snapshot in its
+            ``telemetry`` field.
         """
         cfg = self._config
         n = int(num_rounds) if num_rounds is not None else cfg.num_rounds
@@ -219,14 +257,22 @@ class TradingSimulator:
 
         series = {name: np.empty(n) for name in _SERIES_NAMES}
         selection_counts = np.zeros(m, dtype=np.int64)
+        tr = tracer if tracer is not None else NULL_TRACER
+        reg = metrics if metrics is not None else MetricsRegistry()
 
         start_round = 0
         if resume and os.path.exists(checkpoint_path):
+            restore_start = perf_counter()
             start_round = self._restore_checkpoint(
                 checkpoint_path, policy, n, state, tracker, series,
                 selection_counts, policy_rng, observation_rng,
-                fault_model, log,
+                fault_model, log, reg, metrics,
             )
+            if tr.enabled:
+                tr.emit("checkpoint", action="restored",
+                        path=os.fspath(checkpoint_path),
+                        next_round=start_round,
+                        duration_s=perf_counter() - restore_start)
 
         theta, lam, omega = cfg.theta, cfg.lam, cfg.omega
         svc_bounds = cfg.service_price_bounds
@@ -234,20 +280,38 @@ class TradingSimulator:
         tau_max = cfg.max_sensing_time
         tau0 = cfg.initial_sensing_time
 
+        if tr.enabled:
+            tr.emit("run_start", policy=policy.name, num_rounds=n,
+                    start_round=start_round, seed=cfg.seed,
+                    num_sellers=m, num_selected=k, num_pois=num_pois,
+                    faults=fault_model is not None)
+        run_start_time = perf_counter()
+
         for t in range(start_round, n):
+            round_start_time = perf_counter()
+            if tr.enabled:
+                tr.emit("round_start", round_index=t)
             selected = policy.select(t, state, policy_rng)
+            selection_duration = perf_counter() - round_start_time
+            reg.timer("engine.selection").observe(selection_duration)
             # Algorithm 1's exploration pricing applies whenever the whole
             # population is selected in round 0 — including the K == M
             # corner where "all sellers" and "top K" coincide.
             explore_round = selected.size > k or (
                 t == 0 and selected.size == m
             )
+            if tr.enabled:
+                tr.emit("selection", round_index=t,
+                        selected=selected,
+                        explore=bool(explore_round),
+                        ucb=self._ucb_of(policy, state, selected),
+                        duration_s=selection_duration)
             if fault_model is None:
                 self._play_clean_round(
                     t, selected, explore_round, state, tracker, policy,
                     sampler, series, selection_counts, qualities_truth,
                     cost_a_all, cost_b_all, num_pois, theta, lam, omega,
-                    svc_bounds, col_bounds, tau_max, tau0,
+                    svc_bounds, col_bounds, tau_max, tau0, tr, reg,
                 )
             else:
                 self._play_faulty_round(
@@ -255,14 +319,47 @@ class TradingSimulator:
                     sampler, series, selection_counts, qualities_truth,
                     cost_a_all, cost_b_all, num_pois, theta, lam, omega,
                     svc_bounds, col_bounds, tau_max, tau0, fault_model, log,
+                    tr, reg,
                 )
+            reg.counter("rounds").inc()
+            reg.gauge("cumulative_regret").set(tracker.cumulative_regret)
             if (checkpoint_every and (t + 1) % checkpoint_every == 0
                     and (t + 1) < n):
+                checkpoint_start = perf_counter()
+                # Count the in-flight write first so the snapshot the
+                # checkpoint embeds covers it (resume carries it over).
+                reg.counter("checkpoint_writes").inc()
                 self._write_checkpoint(
                     checkpoint_path, policy, n, t + 1, state, tracker,
                     series, selection_counts, policy_rng, observation_rng,
-                    fault_model, log,
+                    fault_model, log, reg, metrics,
                 )
+                if tr.enabled:
+                    tr.emit("checkpoint", round_index=t, action="saved",
+                            path=os.fspath(checkpoint_path),
+                            next_round=t + 1,
+                            duration_s=perf_counter() - checkpoint_start)
+            reg.timer("engine.round").observe(
+                perf_counter() - round_start_time
+            )
+            if tr.enabled:
+                tr.emit("round_end", round_index=t,
+                        duration_s=perf_counter() - round_start_time)
+
+        if metrics is not None:
+            # tolist() + one bulk update over pre-built key strings: a
+            # per-seller get-or-create loop over numpy scalars costs
+            # ~2.5x more at large M.
+            count_keys, mean_keys = _seller_gauge_keys(m)
+            reg.set_gauges(dict(zip(count_keys, state.counts.tolist())))
+            reg.set_gauges(dict(zip(mean_keys, state.means.tolist())))
+        if tr.enabled:
+            tr.emit("run_end", policy=policy.name,
+                    rounds_played=n - start_round,
+                    total_revenue=float(series["realized"].sum()),
+                    final_regret=tracker.cumulative_regret,
+                    duration_s=perf_counter() - run_start_time)
+            tr.flush()
 
         return RunMetrics(
             policy_name=policy.name,
@@ -277,21 +374,49 @@ class TradingSimulator:
             total_sensing_time=series["totals"],
             selection_counts=selection_counts,
             estimation_error=series["estimation_error"],
+            telemetry=reg.snapshot() if metrics is not None else None,
         )
+
+    @staticmethod
+    def _ucb_of(policy: SelectionPolicy, state: LearningState,
+                selected: np.ndarray) -> np.ndarray | None:
+        """The selected sellers' UCB indices (Eq. 19), if computable.
+
+        Prefers the vector the policy stashed during its own ``select``
+        (free); falls back to a read-only recomputation for policies
+        that expose an ``exploration_coefficient`` without stashing.
+        Policies with neither (random, optimal, ...) yield ``None``.
+        Unobserved sellers carry an infinite index.
+        """
+        stashed = getattr(policy, "last_ucb_values", None)
+        if stashed is not None:
+            return stashed[selected]
+        coefficient = getattr(policy, "exploration_coefficient", None)
+        if coefficient is None:
+            return None
+        try:
+            return state.ucb_values(float(coefficient))[selected]
+        except (ReproError, TypeError, ValueError):
+            return None
 
     def compare(self, policies: list[SelectionPolicy],
                 num_rounds: int | None = None, *,
-                fault_model: FaultModel | None = None) -> PolicyComparison:
+                fault_model: FaultModel | None = None,
+                tracer: Tracer | None = None,
+                metrics: MetricsRegistry | None = None) -> PolicyComparison:
         """Run several policies on this instance and group the results.
 
         With a fault model, every policy faces the *same* per-round,
         per-seller fault schedule (common random faults), keeping the
-        comparison paired.
+        comparison paired.  A shared ``tracer``/``metrics`` observes
+        every policy's run (events carry the policy name in their
+        ``run_start`` bracket; metrics accumulate across policies).
         """
         comparison = PolicyComparison()
         for policy in policies:
             comparison.add(
-                self.run(policy, num_rounds, fault_model=fault_model)
+                self.run(policy, num_rounds, fault_model=fault_model,
+                         tracer=tracer, metrics=metrics)
             )
         return comparison
 
@@ -301,7 +426,7 @@ class TradingSimulator:
                           policy, sampler, series, selection_counts,
                           qualities_truth, cost_a_all, cost_b_all, num_pois,
                           theta, lam, omega, svc_bounds, col_bounds,
-                          tau_max, tau0) -> None:
+                          tau_max, tau0, tr, reg) -> None:
         """One happy-path round (the original engine, bit for bit)."""
         cost_a = cost_a_all[selected]
         cost_b = cost_b_all[selected]
@@ -312,6 +437,7 @@ class TradingSimulator:
             observations = sampler.sample_round(selected, round_index=t)
             state.update(selected, observations.sums, num_pois)
             policy.observe(t, selected, observations.sums, num_pois)
+            solve_start = perf_counter()
             means = state.means[selected]
             taus = np.full(selected.size, tau0)
             total = float(taus.sum())
@@ -320,6 +446,7 @@ class TradingSimulator:
             p_j = min(max(p + aggregation / total, svc_bounds[0]),
                       svc_bounds[1])
         else:
+            solve_start = perf_counter()
             means = state.means[selected]
             game_means = np.maximum(means, _QUALITY_FLOOR)
             p_j, p, taus = solve_round_fast(
@@ -328,6 +455,14 @@ class TradingSimulator:
             )
             total = float(taus.sum())
             aggregation = theta * total * total + lam * total
+        solve_duration = perf_counter() - solve_start
+        reg.timer("engine.solve").observe(solve_duration)
+        reg.gauge("service_price").set(p_j)
+        reg.gauge("collection_price").set(p)
+        if tr.enabled:
+            tr.emit("equilibrium", round_index=t, service_price=float(p_j),
+                    collection_price=float(p), tau_total=total,
+                    explore=bool(explore_round), duration_s=solve_duration)
 
         mean_quality = float(means.mean())
         seller_profits = p * taus - (
@@ -355,12 +490,18 @@ class TradingSimulator:
             np.abs(state.means - qualities_truth).mean()
         )
         selection_counts[selected] += 1
+        if tr.enabled:
+            tr.emit("profits", round_index=t,
+                    consumer=float(series["consumer"][t]),
+                    platform=float(series["platform"][t]),
+                    sellers_mean=float(series["sellers_mean"][t]),
+                    realized=float(series["realized"][t]))
 
     def _play_faulty_round(self, t, selected, explore_round, state, tracker,
                            policy, sampler, series, selection_counts,
                            qualities_truth, cost_a_all, cost_b_all, num_pois,
                            theta, lam, omega, svc_bounds, col_bounds,
-                           tau_max, tau0, fault_model, log) -> None:
+                           tau_max, tau0, fault_model, log, tr, reg) -> None:
         """One fault-injected round with graceful degradation.
 
         With an all-zero fault plan this produces bit-identical metrics
@@ -369,7 +510,10 @@ class TradingSimulator:
         operation degenerates to the unmasked original.
         """
         plan = fault_model.plan_round(t, selected, num_pois)
-        fault_model.log_plan(plan, log)
+        fault_model.log_plan(plan, log, tracer=tr)
+        reg.counter("fault_events").inc(
+            plan.dropped.size + plan.corrupted.size + plan.stalled.size
+        )
         participants = selected[~np.isin(selected, plan.dropped)]
 
         tracker.record(selected)
@@ -384,6 +528,10 @@ class TradingSimulator:
             # prices pinned to their lower bounds, nothing learned.
             if log is not None:
                 log.record(t, FaultKind.NO_TRADE)
+            reg.counter("no_trade_rounds").inc()
+            if tr.enabled:
+                tr.emit("fault", round_index=t,
+                        fault=FaultKind.NO_TRADE.value)
             series["realized"][t] = 0.0
             series["consumer"][t] = 0.0
             series["platform"][t] = 0.0
@@ -396,9 +544,15 @@ class TradingSimulator:
             )
             return
 
-        if participants.size < selected.size and log is not None:
-            log.record(t, FaultKind.DEGRADED,
-                       value=float(participants.size))
+        if participants.size < selected.size:
+            if log is not None:
+                log.record(t, FaultKind.DEGRADED,
+                           value=float(participants.size))
+            reg.counter("degraded_resolves").inc()
+            if tr.enabled:
+                tr.emit("fault", round_index=t,
+                        fault=FaultKind.DEGRADED.value,
+                        survivors=int(participants.size))
 
         cost_a = cost_a_all[participants]
         cost_b = cost_b_all[participants]
@@ -416,11 +570,21 @@ class TradingSimulator:
                                            plan.corrupted_sums):
                     delivered[position[int(seller)]] = garbage
             valid = observation_mask(delivered, num_pois)
-            if log is not None:
-                for pos in np.flatnonzero(~valid):
+            invalid_positions = np.flatnonzero(~valid)
+            if invalid_positions.size:
+                reg.counter("quarantined_reports").inc(
+                    int(invalid_positions.size)
+                )
+            for pos in invalid_positions:
+                if log is not None:
                     log.record(t, FaultKind.QUARANTINE,
                                int(participants[pos]),
                                float(delivered[pos]))
+                if tr.enabled:
+                    tr.emit("fault", round_index=t,
+                            fault=FaultKind.QUARANTINE.value,
+                            seller=int(participants[pos]),
+                            value=float(delivered[pos]))
             # Stalled reports arrive after settlement but still reach
             # the learner; quarantined ones reach neither.
             state.update(participants[valid], delivered[valid], num_pois)
@@ -430,6 +594,7 @@ class TradingSimulator:
 
         if explore_round:
             collect()
+            solve_start = perf_counter()
             means = state.means[participants]
             taus = np.full(participants.size, tau0)
             total = float(taus.sum())
@@ -440,6 +605,7 @@ class TradingSimulator:
         else:
             # The game is (re-)solved on the survivors only — a degraded
             # set never raises, it just trades less.
+            solve_start = perf_counter()
             means = state.means[participants]
             game_means = np.maximum(means, _QUALITY_FLOOR)
             p_j, p, taus = solve_round_fast(
@@ -448,6 +614,14 @@ class TradingSimulator:
             )
             total = float(taus.sum())
             aggregation = theta * total * total + lam * total
+        solve_duration = perf_counter() - solve_start
+        reg.timer("engine.solve").observe(solve_duration)
+        reg.gauge("service_price").set(p_j)
+        reg.gauge("collection_price").set(p)
+        if tr.enabled:
+            tr.emit("equilibrium", round_index=t, service_price=float(p_j),
+                    collection_price=float(p), tau_total=total,
+                    explore=bool(explore_round), duration_s=solve_duration)
 
         mean_quality = float(means.mean())
         seller_profits = p * taus - (
@@ -468,12 +642,19 @@ class TradingSimulator:
         series["estimation_error"][t] = float(
             np.abs(state.means - qualities_truth).mean()
         )
+        if tr.enabled:
+            tr.emit("profits", round_index=t,
+                    consumer=float(series["consumer"][t]),
+                    platform=float(series["platform"][t]),
+                    sellers_mean=float(series["sellers_mean"][t]),
+                    realized=float(series["realized"][t]))
 
     # -- checkpointing -------------------------------------------------------------
 
     def _write_checkpoint(self, path, policy, n, next_round, state, tracker,
                           series, selection_counts, policy_rng,
-                          observation_rng, fault_model, log) -> None:
+                          observation_rng, fault_model, log, reg,
+                          metrics) -> None:
         tracker_snapshot = tracker.snapshot()
         meta = {
             "kind": "engine_run",
@@ -492,6 +673,11 @@ class TradingSimulator:
             "fault_spec": (fault_model.spec.to_dict()
                            if fault_model is not None else None),
         }
+        # Telemetry rides along only when the caller attached a registry
+        # — the checkpoint bytes of un-instrumented runs stay
+        # deterministic (timer values are wall-clock and never are).
+        if metrics is not None:
+            meta["metrics_snapshot"] = reg.snapshot()
         state_snapshot = state.snapshot()
         arrays = {
             "state_counts": state_snapshot["counts"],
@@ -506,12 +692,12 @@ class TradingSimulator:
                 arrays[f"faultlog_{key}"] = value
         for key, value in policy.state_snapshot().items():
             arrays[f"policy__{key}"] = np.asarray(value)
-        save_checkpoint(path, meta, arrays)
+        save_checkpoint(path, meta, arrays, metrics=reg)
 
     def _restore_checkpoint(self, path, policy, n, state, tracker, series,
                             selection_counts, policy_rng, observation_rng,
-                            fault_model, log) -> int:
-        meta, arrays = load_checkpoint(path)
+                            fault_model, log, reg, metrics) -> int:
+        meta, arrays = load_checkpoint(path, metrics=reg)
         expected_fingerprint = {
             "kind": "engine_run",
             "policy_name": policy.name,
@@ -566,4 +752,8 @@ class TradingSimulator:
             if key.startswith("policy__")
         }
         policy.state_restore(policy_snapshot)
+        # Resumed runs carry their telemetry forward: counters/timers
+        # continue from the checkpointed snapshot instead of zero.
+        if metrics is not None and meta.get("metrics_snapshot") is not None:
+            metrics.restore(meta["metrics_snapshot"])
         return next_round

@@ -18,6 +18,11 @@ a complete one.  Every file carries a ``schema_version`` field, and all
 read paths convert truncation / garbage / missing-field failures into
 :class:`~repro.exceptions.PersistenceError` instead of leaking raw
 ``ValueError``/``KeyError``.
+
+Every save/load entry point is wrapped with the observability layer's
+:func:`~repro.obs.timed` decorator: pass ``metrics=<MetricsRegistry>``
+and the call's duration lands in the ``persistence.*`` histogram
+timers; omit it and the call is untouched.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ import zipfile
 import numpy as np
 
 from repro.exceptions import PersistenceError
+from repro.obs.metrics import timed
 from repro.sim.results import RunMetrics
 
 __all__ = [
@@ -167,6 +173,7 @@ def _check_schema_version(found: int, expected: int, path, what: str) -> None:
 # -- run metrics (NPZ) -----------------------------------------------------------
 
 
+@timed("persistence.save_run_metrics")
 def save_run_metrics(run: RunMetrics, path: str | os.PathLike) -> None:
     """Persist one run's per-round series as a compressed ``.npz``.
 
@@ -180,6 +187,7 @@ def save_run_metrics(run: RunMetrics, path: str | os.PathLike) -> None:
     })
 
 
+@timed("persistence.load_run_metrics")
 def load_run_metrics(path: str | os.PathLike) -> RunMetrics:
     """Load a run previously saved by :func:`save_run_metrics`.
 
@@ -288,6 +296,7 @@ def load_experiment_result(path: str | os.PathLike):
 # -- checkpoints -----------------------------------------------------------------
 
 
+@timed("persistence.save_checkpoint")
 def save_checkpoint(path: str | os.PathLike, meta: dict,
                     arrays: dict[str, np.ndarray]) -> None:
     """Atomically persist an engine checkpoint (metadata + arrays).
@@ -309,6 +318,7 @@ def save_checkpoint(path: str | os.PathLike, meta: dict,
     })
 
 
+@timed("persistence.load_checkpoint")
 def load_checkpoint(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray]]:
     """Load a checkpoint saved by :func:`save_checkpoint`.
 
@@ -347,6 +357,7 @@ def load_checkpoint(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray
     return meta, arrays
 
 
+@timed("persistence.save_sweep_checkpoint")
 def save_sweep_checkpoint(path: str | os.PathLike, payload: dict) -> None:
     """Atomically persist a replication-sweep checkpoint as JSON."""
     stamped = dict(payload)
@@ -354,6 +365,7 @@ def save_sweep_checkpoint(path: str | os.PathLike, payload: dict) -> None:
     atomic_write_json(path, stamped)
 
 
+@timed("persistence.load_sweep_checkpoint")
 def load_sweep_checkpoint(path: str | os.PathLike) -> dict:
     """Load a sweep checkpoint saved by :func:`save_sweep_checkpoint`.
 

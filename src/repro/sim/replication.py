@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
@@ -23,6 +24,8 @@ import numpy as np
 from repro.bandits.base import SelectionPolicy
 from repro.exceptions import ConfigurationError, PersistenceError
 from repro.faults import FaultSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import TradingSimulator
 from repro.sim.persistence import (
@@ -169,6 +172,8 @@ def replicate_comparison(
     fault_spec: FaultSpec | None = None,
     checkpoint_path: str | os.PathLike | None = None,
     resume: bool = False,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ReplicationResult:
     """Run the comparison under ``num_seeds`` independent seeds.
 
@@ -194,6 +199,15 @@ def replicate_comparison(
         Continue from ``checkpoint_path`` if it exists, skipping seeds
         already completed; the result is identical to an uninterrupted
         sweep.  A missing checkpoint file simply starts fresh.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; the sweep brackets each
+        replication with ``seed_start`` / ``seed_end`` events and the
+        per-run events flow through it as well.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` accumulating the
+        sweep's counters (``seeds_completed``, ``seeds_skipped``) and
+        the per-seed ``replication.seed`` timer alongside the run-level
+        telemetry.
 
     Raises
     ------
@@ -207,6 +221,8 @@ def replicate_comparison(
         )
     if resume and checkpoint_path is None:
         raise ConfigurationError("resume requires checkpoint_path")
+    tr = tracer if tracer is not None else NULL_TRACER
+    reg = metrics if metrics is not None else MetricsRegistry()
     fingerprint = _sweep_fingerprint(base_config, num_seeds, first_seed,
                                      fault_spec)
     samples: dict[str, dict[str, list[float]]] = {}
@@ -233,14 +249,20 @@ def replicate_comparison(
     seeds = list(range(first_seed, first_seed + num_seeds))
     for seed in seeds:
         if seed in completed:
+            reg.counter("seeds_skipped").inc()
             continue
+        seed_start = perf_counter()
+        if tr.enabled:
+            tr.emit("seed_start", seed=seed,
+                    num_seeds=num_seeds, first_seed=first_seed)
         simulator = TradingSimulator(base_config.derive(seed=seed))
         policies = policy_factory(
             simulator.population.expected_qualities
         )
         fault_model = (simulator.fault_model(fault_spec)
                        if fault_spec is not None else None)
-        comparison = simulator.compare(policies, fault_model=fault_model)
+        comparison = simulator.compare(policies, fault_model=fault_model,
+                                       tracer=tracer, metrics=metrics)
         for name, run in comparison.runs.items():
             bucket = samples.setdefault(
                 name, {key: [] for key in _METRIC_KEYS}
@@ -254,7 +276,13 @@ def replicate_comparison(
                 "fingerprint": fingerprint,
                 "completed_seeds": completed,
                 "samples": samples,
-            })
+            }, metrics=reg)
+        reg.counter("seeds_completed").inc()
+        reg.timer("replication.seed").observe(perf_counter() - seed_start)
+        if tr.enabled:
+            tr.emit("seed_end", seed=seed,
+                    duration_s=perf_counter() - seed_start)
+            tr.flush()
     summaries = {
         policy: {
             key: MetricSummary.from_samples(values)

@@ -45,6 +45,11 @@ class RunMetrics:
     estimation_error:
         Mean absolute quality-estimation error ``mean_i |qbar_i - q_i|``
         after each round (never-observed sellers count at their prior).
+    telemetry:
+        Snapshot of the run's :class:`~repro.obs.MetricsRegistry`
+        (counters / gauges / timers) when one was attached to the run;
+        ``None`` otherwise.  Purely informational: never part of the
+        persisted series and never compared between runs.
     """
 
     policy_name: str
@@ -59,6 +64,7 @@ class RunMetrics:
     total_sensing_time: np.ndarray
     selection_counts: np.ndarray
     estimation_error: np.ndarray
+    telemetry: dict | None = None
 
     def __post_init__(self) -> None:
         n = self.realized_revenue.size

@@ -120,3 +120,67 @@ class TestCommands:
                      "--pois", "4", "--sellers", "500"]) == 1
         err = capsys.readouterr().err
         assert "qualify" in err
+
+
+class TestObservabilityCommands:
+    def test_quickstart_trace_then_summarize(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["quickstart", "--sellers", "10", "--selected", "3",
+                     "--rounds", "30", "--seed", "1",
+                     "--trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert "counters:" in out
+        assert main(["trace", "summarize", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "event counts:" in out
+        assert "selection" in out
+        assert "equilibrium" in out
+        assert "per-phase timing:" in out
+
+    def test_traced_quickstart_matches_untraced(self, capsys, tmp_path):
+        base = ["quickstart", "--sellers", "10", "--selected", "3",
+                "--rounds", "30", "--seed", "4"]
+        assert main(base) == 0
+        untraced = capsys.readouterr().out
+        assert main(base + ["--trace", str(tmp_path / "t.jsonl")]) == 0
+        traced = capsys.readouterr().out
+        # The results table (everything before the trace footer) is
+        # identical: tracing never perturbs the run.
+        assert traced.startswith(untraced.rstrip("\n"))
+
+    def test_trace_to_unwritable_path_fails_cleanly(self, capsys, tmp_path):
+        assert main(["quickstart", "--sellers", "10", "--selected", "3",
+                     "--rounds", "10",
+                     "--trace", str(tmp_path / "no" / "dir" / "t.jsonl")
+                     ]) == 1
+        err = capsys.readouterr().err
+        assert "cannot open trace file" in err
+
+    def test_summarize_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["trace", "summarize",
+                     str(tmp_path / "absent.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read trace file" in err
+
+    def test_summarize_malformed_file_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"round_start","round":0}\nnot json\n')
+        assert main(["trace", "summarize", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "line 2" in err
+
+    def test_rejects_unknown_log_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quickstart", "--log-level", "loud"])
+
+    def test_replicate_with_trace(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "sweep.jsonl")
+        assert main(["replicate", "--sellers", "10", "--selected", "3",
+                     "--rounds", "30", "--seeds", "2",
+                     "--trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert main(["trace", "summarize", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "seed_end" in out

@@ -75,6 +75,31 @@ class TestCounterReport:
         assert report.all_within_bounds, report.to_table()
         assert 0.0 < report.worst_utilisation <= 1.0
 
+    def test_violation_emits_invariant_trace_event(self):
+        from repro.obs import RingBufferSink, Tracer
+
+        ring = RingBufferSink()
+        counts = np.array([10, 10, 10, 10, 10**7])
+        report = counter_report(QUALITIES, counts, k=2, num_pois=4,
+                                num_rounds=100, tracer=Tracer(ring))
+        assert not report.all_within_bounds
+        violations = ring.of_kind("invariant_violation")
+        assert [e.payload["seller"] for e in violations] == [4]
+        payload = violations[0].payload
+        assert payload["invariant"] == "lemma18_counter_bound"
+        assert payload["observations"] > payload["bound"]
+        assert payload["gap"] == pytest.approx(0.6)
+
+    def test_compliant_report_emits_no_events(self):
+        from repro.obs import RingBufferSink, Tracer
+
+        ring = RingBufferSink()
+        report = counter_report(QUALITIES, np.array([40, 40, 1, 1, 1]),
+                                k=2, num_pois=4, num_rounds=100,
+                                tracer=Tracer(ring))
+        assert report.all_within_bounds
+        assert ring.events == ()
+
     def test_mechanism_counters_certified(self):
         from repro.core.mechanism import CMABHSMechanism
         from repro.entities import (

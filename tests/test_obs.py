@@ -1,0 +1,357 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    EVENT_KINDS,
+    JsonlSink,
+    LoggingSink,
+    MetricsRegistry,
+    NullTracer,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    configure_logging,
+    get_logger,
+    read_trace,
+    summarize_trace,
+    timed,
+)
+from repro.obs.tracer import NULL_TRACER
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("rounds")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ConfigurationError, match="only increase"):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = MetricsRegistry().gauge("price")
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+
+    def test_coerces_numpy_scalars(self):
+        gauge = MetricsRegistry().gauge("regret")
+        gauge.set(np.float64(2.5))
+        assert isinstance(gauge.value, float)
+
+
+class TestTimer:
+    def test_summary_statistics(self):
+        timer = MetricsRegistry().timer("solve")
+        for seconds in (0.2, 0.1, 0.3):
+            timer.observe(seconds)
+        assert timer.count == 3
+        assert timer.total == pytest.approx(0.6)
+        assert timer.minimum == pytest.approx(0.1)
+        assert timer.maximum == pytest.approx(0.3)
+        assert timer.mean == pytest.approx(0.2)
+
+    def test_mean_zero_before_observations(self):
+        assert MetricsRegistry().timer("idle").mean == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            MetricsRegistry().timer("x").observe(-0.1)
+
+    def test_time_context_manager_observes(self):
+        reg = MetricsRegistry()
+        with reg.time("block"):
+            pass
+        assert reg.timer("block").count == 1
+        assert reg.timer("block").total >= 0.0
+
+
+class TestRegistrySnapshot:
+    def test_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("rounds").inc(7)
+        reg.gauge("regret").set(1.5)
+        reg.timer("solve").observe(0.25)
+        snapshot = reg.snapshot()
+        # The snapshot is plain JSON.
+        json.dumps(snapshot)
+        other = MetricsRegistry()
+        other.restore(snapshot)
+        assert other.counters == {"rounds": 7}
+        assert other.gauges == {"regret": 1.5}
+        assert other.timer("solve").count == 1
+        assert other.timer("solve").minimum == pytest.approx(0.25)
+
+    def test_unobserved_timer_min_is_none_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.timer("never")
+        snapshot = reg.snapshot()
+        assert snapshot["timers"]["never"]["min"] is None
+        other = MetricsRegistry()
+        other.restore(snapshot)
+        assert other.timer("never").minimum == math.inf
+
+    def test_restore_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="snapshot"):
+            MetricsRegistry().restore("not a dict")
+        with pytest.raises(ConfigurationError, match="malformed"):
+            MetricsRegistry().restore({"timers": {"x": {"count": 1}}})
+
+    def test_to_table_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("rounds").inc()
+        reg.gauge("price").set(2.0)
+        reg.timer("solve").observe(0.1)
+        table = reg.to_table()
+        assert "rounds" in table
+        assert "price" in table
+        assert "solve" in table
+
+
+class TestTimedDecorator:
+    def test_noop_without_registry(self):
+        @timed("f")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3
+
+    def test_times_with_registry(self):
+        @timed("f")
+        def add(a, b):
+            return a + b
+
+        reg = MetricsRegistry()
+        assert add(1, 2, metrics=reg) == 3
+        assert reg.timer("f").count == 1
+
+
+class TestTracer:
+    def test_fans_out_to_all_sinks(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tracer = Tracer(a, b)
+        tracer.emit("round_start", round_index=3)
+        assert len(a.events) == len(b.events) == 1
+        assert a.events[0].kind == "round_start"
+        assert a.events[0].round_index == 3
+        assert tracer.num_events == 1
+
+    def test_null_tracer_is_disabled_noop(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("round_start", round_index=0)
+        assert NULL_TRACER.num_events == 0
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_context_manager_closes_sinks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            tracer.emit("run_start", policy="UCB")
+        assert path.read_text().strip()
+
+
+class TestRingBufferSink:
+    def test_evicts_oldest_beyond_capacity(self):
+        sink = RingBufferSink(capacity=2)
+        tracer = Tracer(sink)
+        for t in range(4):
+            tracer.emit("round_start", round_index=t)
+        assert [e.round_index for e in sink.events] == [2, 3]
+        assert sink.capacity == 2
+
+    def test_of_kind_filters(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        tracer.emit("round_start", round_index=0)
+        tracer.emit("fault", round_index=0, fault="dropout", seller=2)
+        assert len(sink.of_kind("fault")) == 1
+        sink.clear()
+        assert sink.events == ()
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            RingBufferSink(capacity=0)
+
+
+def _sample_events():
+    """One representative event of every kind the runtime emits."""
+    return [
+        TraceEvent("run_start", payload={
+            "policy": "CMAB-HS", "num_rounds": 10, "seed": 0,
+        }),
+        TraceEvent("round_start", 4),
+        TraceEvent("selection", 4, {
+            "selected": np.array([1, 3]),
+            "ucb": np.array([np.inf, 0.75]),
+            "explore": False, "duration_s": 1e-4,
+        }),
+        TraceEvent("equilibrium", 4, {
+            "service_price": 2.5, "collection_price": 1.0,
+            "tau_total": np.float64(3.75), "explore": False,
+            "duration_s": 2e-4,
+        }),
+        TraceEvent("profits", 4, {
+            "consumer": 10.0, "platform": 4.0, "sellers_mean": 0.5,
+            "realized": 7.0,
+        }),
+        TraceEvent("fault", 4, {
+            "fault": "corruption", "seller": 3, "value": float("nan"),
+        }),
+        TraceEvent("checkpoint", 4, {
+            "action": "saved", "path": "ckpt.npz", "next_round": 5,
+            "duration_s": 3e-3,
+        }),
+        TraceEvent("round_end", 4, {"duration_s": 5e-3}),
+        TraceEvent("run_end", payload={
+            "policy": "CMAB-HS", "rounds_played": 10,
+            "total_revenue": 99.0, "final_regret": 1.25,
+            "duration_s": 0.05,
+        }),
+        TraceEvent("seed_start", payload={"seed": 3}),
+        TraceEvent("seed_end", payload={"seed": 3, "duration_s": 0.5}),
+        TraceEvent("invariant_violation", payload={
+            "invariant": "lemma18_counter_bound", "seller": 2,
+            "observations": 999, "bound": 100.0, "gap": 0.2,
+        }),
+    ]
+
+
+class TestJsonlRoundTrip:
+    def test_every_event_kind_round_trips(self, tmp_path):
+        events = _sample_events()
+        assert {e.kind for e in events} == set(EVENT_KINDS)
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink)
+        for event in events:
+            tracer.emit(event.kind, event.round_index, **event.payload)
+        tracer.close()
+        loaded = list(read_trace(path))
+        assert [e.kind for e in loaded] == [e.kind for e in events]
+        assert [e.round_index for e in loaded] == [
+            e.round_index for e in events
+        ]
+        # Payloads survive with numpy coerced to plain types.
+        selection = next(e for e in loaded if e.kind == "selection")
+        assert selection.payload["selected"] == [1, 3]
+        assert selection.payload["ucb"][0] == math.inf
+        fault = next(e for e in loaded if e.kind == "fault")
+        assert math.isnan(fault.payload["value"])
+
+    def test_unwritable_path_fails_with_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot open"):
+            JsonlSink(tmp_path / "no" / "such" / "dir" / "t.jsonl")
+
+    def test_write_after_close_fails_cleanly(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            sink.handle(TraceEvent("round_start", 0))
+
+    def test_from_dict_rejects_malformed_records(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            TraceEvent.from_dict([1, 2])
+        with pytest.raises(ConfigurationError, match="kind"):
+            TraceEvent.from_dict({"round": 3})
+        with pytest.raises(ConfigurationError, match="round"):
+            TraceEvent.from_dict({"kind": "round_start", "round": "x"})
+
+
+class TestReadTrace:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            list(read_trace(tmp_path / "absent.jsonl"))
+
+    def test_malformed_json_names_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"round_start","round":0}\n{oops\n')
+        with pytest.raises(ConfigurationError, match="line 2"):
+            list(read_trace(path))
+
+    def test_non_event_json_names_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"round": 7}\n')
+        with pytest.raises(ConfigurationError, match="line 1"):
+            list(read_trace(path))
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('\n{"kind":"round_start","round":0}\n\n')
+        assert len(list(read_trace(path))) == 1
+
+
+class TestSummarize:
+    def test_rollup_counts_phases_and_faults(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        for event in _sample_events():
+            tracer.emit(event.kind, event.round_index, **event.payload)
+        tracer.close()
+        summary = summarize_trace(path)
+        assert summary.num_events == len(_sample_events())
+        assert summary.num_rounds == 5  # max round index 4
+        assert summary.events_by_kind["fault"] == 1
+        assert summary.faults_by_kind == {"corruption": 1}
+        assert summary.policies == ["CMAB-HS"]
+        assert summary.phase_timings["equilibrium solve"].count == 1
+        text = summary.to_text()
+        assert "event counts" in text
+        assert "per-phase timing" in text
+        assert "corruption" in text
+
+
+class TestLoggingSink:
+    def test_forwards_to_logger(self, caplog):
+        logger = logging.getLogger("repro.trace.test")
+        sink = LoggingSink(logger, level=logging.INFO)
+        with caplog.at_level(logging.INFO, logger="repro.trace.test"):
+            Tracer(sink).emit("selection", round_index=2, selected=[0, 1])
+        assert len(caplog.records) == 1
+        assert "selection" in caplog.records[0].message or (
+            "selection" in caplog.records[0].getMessage()
+        )
+        assert '"selected":[0,1]' in caplog.records[0].getMessage()
+
+    def test_skips_work_when_level_disabled(self):
+        logger = logging.getLogger("repro.trace.silent")
+        logger.setLevel(logging.CRITICAL)
+        sink = LoggingSink(logger, level=logging.DEBUG)
+        sink.handle(TraceEvent("round_start", 0))  # must not raise
+
+
+class TestConfigureLogging:
+    def test_installs_single_handler_idempotently(self):
+        logger = configure_logging("info")
+        before = len(logger.handlers)
+        logger = configure_logging("debug")
+        assert len(logger.handlers) == before
+        assert logger.level == logging.DEBUG
+        # Clean up the handler so other tests see pristine logging.
+        configure_logging("warning")
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ConfigurationError, match="unknown log level"):
+            configure_logging("loud")
+
+    def test_get_logger_namespaces(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro.core.state").name == "repro.core.state"
+        assert get_logger("custom").name == "repro.custom"
