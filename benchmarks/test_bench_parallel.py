@@ -1,0 +1,105 @@
+"""Parallel-runtime benchmarks: bit-identity and measured speedup.
+
+Two contracts from the parallel execution runtime:
+
+* **Bit-identity** — ``replicate_comparison(..., workers=4)`` returns
+  exactly the serial sweep's floats (asserted on the raw
+  ``MetricSummary`` dataclasses, no tolerance).  This always runs.
+* **Speedup** — fanning work out must actually overlap it:
+
+  - ``test_cpu_speedup_at_four_workers`` measures a real CMAB sweep at
+    4 workers and asserts >= 1.8x over serial.  CPU-bound overlap
+    needs 4 physical cores, so the test skips on smaller hosts (CI
+    runners with 1-2 cores cannot exhibit it, honestly or otherwise).
+  - ``test_blocking_task_overlap_speedup`` asserts the same >= 1.8x
+    bar with blocking (sleeping) tasks, which overlap regardless of
+    core count — so the scheduling machinery itself is benchmarked on
+    every host, including single-core containers.
+
+Wall-clock methodology: each variant is measured twice and the minimum
+kept (interference on shared hosts only ever inflates a measurement).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.bandits.policies import OptimalPolicy, RandomPolicy, UCBPolicy
+from repro.parallel import ParallelExecutor
+from repro.sim.config import SimulationConfig
+from repro.sim.replication import replicate_comparison
+
+#: Sweep sized so each seed is heavy enough to amortise process spawn
+#: and queue traffic (~seconds of total serial work).
+_CONFIG = SimulationConfig(num_sellers=20, num_selected=5, num_pois=5,
+                           num_rounds=300, seed=0)
+_NUM_SEEDS = 8
+
+_SPEEDUP_FLOOR = 1.8
+_WORKERS = 4
+
+
+def _factory(qualities: np.ndarray):
+    return [OptimalPolicy(qualities), UCBPolicy(), RandomPolicy()]
+
+
+def _best_of(times: int, func):
+    """Minimum wall-clock over ``times`` runs (noise is one-sided)."""
+    best = float("inf")
+    for __ in range(times):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_parallel_replication_bit_identical():
+    serial = replicate_comparison(_CONFIG, _factory, num_seeds=_NUM_SEEDS)
+    parallel = replicate_comparison(_CONFIG, _factory,
+                                    num_seeds=_NUM_SEEDS,
+                                    workers=_WORKERS)
+    assert parallel.seeds == serial.seeds
+    assert parallel.summaries == serial.summaries
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < _WORKERS,
+                    reason=f"CPU-bound speedup needs >= {_WORKERS} cores")
+def test_cpu_speedup_at_four_workers():
+    serial = _best_of(2, lambda: replicate_comparison(
+        _CONFIG, _factory, num_seeds=_NUM_SEEDS))
+    parallel = _best_of(2, lambda: replicate_comparison(
+        _CONFIG, _factory, num_seeds=_NUM_SEEDS, workers=_WORKERS))
+    speedup = serial / parallel
+    print(f"\ncpu sweep: serial {serial:.2f}s, "
+          f"{_WORKERS} workers {parallel:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= _SPEEDUP_FLOOR
+
+
+def _sleepy(payload, context):
+    time.sleep(payload)
+    return payload
+
+
+def test_blocking_task_overlap_speedup():
+    delays = [0.15] * 8
+
+    def serial_run():
+        for delay in delays:
+            _sleepy(delay, None)
+
+    def parallel_run():
+        executor = ParallelExecutor(_sleepy, workers=_WORKERS,
+                                    chunk_size=1)
+        results = executor.map(delays)
+        assert [r.value for r in results] == delays
+
+    serial = _best_of(2, serial_run)
+    parallel = _best_of(2, parallel_run)
+    speedup = serial / parallel
+    print(f"\nblocking tasks: serial {serial:.2f}s, "
+          f"{_WORKERS} workers {parallel:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= _SPEEDUP_FLOOR

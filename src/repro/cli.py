@@ -25,6 +25,23 @@ from repro.exceptions import ReproError
 __all__ = ["main", "build_parser"]
 
 
+def _distribution_version() -> str:
+    """The installed distribution's version, or the in-tree fallback.
+
+    ``importlib.metadata`` sees the version pinned in ``pyproject.toml``
+    once the package is installed; a source checkout on ``PYTHONPATH``
+    is not a distribution, so fall back to ``repro.version``.
+    """
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        from repro.version import __version__
+
+        return __version__
+
+
 def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
     """Shared fault-injection and checkpoint/resume flags."""
     parser.add_argument(
@@ -100,6 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
             "CMAB-HS crowdsensing data trading — reproduction toolkit"
         ),
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {_distribution_version()}",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
@@ -126,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-dir", metavar="DIR",
         help="also save each result as DIR/<experiment-id>.json",
     )
+    run_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help=(
+            "fan the experiments out across N crash-tolerant worker "
+            "processes (default: 1, serial)"
+        ),
+    )
 
     quick_parser = subparsers.add_parser(
         "quickstart", help="run a small end-to-end trading simulation"
@@ -147,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
     replicate_parser.add_argument("--seeds", type=int, default=5,
                                   help="number of replications")
     replicate_parser.add_argument("--first-seed", type=int, default=0)
+    replicate_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help=(
+            "shard the seeds across N crash-tolerant worker processes; "
+            "metrics are bit-identical to a serial sweep (default: 1)"
+        ),
+    )
     _add_fault_tolerance_arguments(replicate_parser)
     _add_observability_arguments(replicate_parser)
 
@@ -185,6 +220,21 @@ def _command_list() -> int:
     return 0
 
 
+def _experiment_task_runner(payload, context):
+    """Worker-side runner for ``run --workers N``.
+
+    The payload and return value cross process boundaries, so both are
+    plain picklable data: ``(experiment_id, scale_value, seed)`` in, the
+    experiment result's JSON dict out.
+    """
+    experiment_id, scale_value, seed = payload
+    from repro.experiments import Scale, run_experiment
+    from repro.sim.persistence import experiment_result_to_dict
+
+    result = run_experiment(experiment_id, Scale(scale_value), seed)
+    return experiment_result_to_dict(result)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     import os
 
@@ -198,8 +248,30 @@ def _command_run(args: argparse.Namespace) -> int:
     wanted = list(args.experiments)
     if wanted == ["all"]:
         wanted = [experiment_id for experiment_id, __ in list_experiments()]
-    for experiment_id in wanted:
-        result = run_experiment(experiment_id, scale, args.seed)
+    if args.workers > 1 and len(wanted) > 1:
+        from repro.parallel import ParallelExecutor
+        from repro.sim.persistence import experiment_result_from_dict
+
+        # One experiment per chunk: the work units are few and heavy,
+        # so fine-grained scheduling beats round-trip amortisation.
+        executor = ParallelExecutor(
+            _experiment_task_runner,
+            workers=min(args.workers, len(wanted)),
+            chunk_size=1,
+        )
+        payloads = [(experiment_id, scale.value, args.seed)
+                    for experiment_id in wanted]
+        results = [
+            experiment_result_from_dict(
+                task.value,
+                what=f"experiment {wanted[task.task_id]!r} worker result",
+            )
+            for task in executor.map(payloads)
+        ]
+    else:
+        results = [run_experiment(experiment_id, scale, args.seed)
+                   for experiment_id in wanted]
+    for experiment_id, result in zip(wanted, results):
         if args.charts:
             print(render_experiment(result))
         else:
@@ -329,11 +401,13 @@ def _command_replicate(args: argparse.Namespace) -> int:
         fault_spec=spec,
         checkpoint_path=checkpoint_path,
         resume=args.resume and checkpoint_path is not None,
+        workers=args.workers,
         tracer=tracer,
         metrics=metrics,
     )
     print(f"M={config.num_sellers} K={config.num_selected} "
-          f"N={config.num_rounds}, seeds={result.seeds}")
+          f"N={config.num_rounds}, seeds={result.seeds}"
+          + (f", workers={args.workers}" if args.workers > 1 else ""))
     if spec is not None:
         print(f"fault injection: dropout={spec.dropout_rate} "
               f"corrupt={spec.corruption_rate} stall={spec.stall_rate}")

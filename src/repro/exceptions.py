@@ -62,3 +62,14 @@ class PersistenceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was asked to run with invalid parameters."""
+
+
+class ParallelExecutionError(ReproError):
+    """A parallel batch could not be completed.
+
+    Raised by the :mod:`repro.parallel` runtime when a task's runner
+    raised inside a worker (the message carries the worker-side
+    traceback), or when a task was lost to more worker crashes than
+    ``max_task_retries`` allows.  Worker crashes within the retry
+    budget are handled transparently and never surface as errors.
+    """

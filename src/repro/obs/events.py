@@ -40,6 +40,14 @@ __all__ = ["EVENT_KINDS", "TraceEvent"]
 #:   is ``saved``/``restored``).
 #: * ``seed_start`` / ``seed_end`` — one replication seed's bracket.
 #: * ``invariant_violation`` — a diagnostics check (Lemma 18) failed.
+#: * ``worker_started`` — the parallel runtime spawned a worker process
+#:   (payload: ``worker`` id, ``pid``).
+#: * ``worker_task_done`` — a worker finished one task (payload:
+#:   ``worker``, ``task``, ``duration_s``, ``attempts``); the trace
+#:   summary rolls these up into per-worker phase timing.
+#: * ``worker_crashed`` — a worker process died mid-batch (payload:
+#:   ``worker``, ``exitcode``, ``lost_tasks`` re-queued to a fresh
+#:   worker).
 EVENT_KINDS = frozenset({
     "run_start", "run_end",
     "round_start", "round_end",
@@ -47,6 +55,7 @@ EVENT_KINDS = frozenset({
     "fault", "checkpoint",
     "seed_start", "seed_end",
     "invariant_violation",
+    "worker_started", "worker_task_done", "worker_crashed",
 })
 
 

@@ -218,6 +218,47 @@ class MetricsRegistry:
                 f"malformed metrics snapshot: {error}"
             ) from error
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one, additively.
+
+        The parallel runtime uses this to combine worker-local
+        telemetry into the coordinator's registry: counters add up,
+        timers fold their count/total/extremes together, and gauges
+        are last-write-wins (the merged snapshot's value replaces the
+        local one — gauges are point-in-time observations, not
+        accumulators).
+
+        Raises
+        ------
+        ConfigurationError
+            If the snapshot does not look like :meth:`snapshot` output.
+        """
+        if not isinstance(snapshot, dict):
+            raise ConfigurationError(
+                "metrics snapshot must be a dict, got "
+                f"{type(snapshot).__name__}"
+            )
+        try:
+            for name, value in dict(snapshot.get("counters", {})).items():
+                self.counter(name).inc(int(value))
+            for name, value in dict(snapshot.get("gauges", {})).items():
+                self.gauge(name).set(float(value))
+            for name, summary in dict(snapshot.get("timers", {})).items():
+                timer = self.timer(name)
+                count = int(summary["count"])
+                if count == 0:
+                    continue
+                timer.count += count
+                timer.total += float(summary["total"])
+                minimum = summary.get("min")
+                if minimum is not None:
+                    timer.minimum = min(timer.minimum, float(minimum))
+                timer.maximum = max(timer.maximum, float(summary["max"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"malformed metrics snapshot: {error}"
+            ) from error
+
     def to_table(self) -> str:
         """Counters, gauges, and timers as an aligned text block."""
         lines = []

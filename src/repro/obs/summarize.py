@@ -8,7 +8,10 @@ summarize <path>`` loads every event a traced run emitted and reports
   round / checkpoint writes / whole runs), reconstructed from the
   ``duration_s`` fields events carry,
 * fault-injection counts by fault kind,
-* the policies and round span the trace covers.
+* the policies and round span the trace covers,
+* per-worker task timing and crash counts when the trace came from a
+  parallel (``--workers N``) run — each ``worker_task_done`` event
+  lands in a ``worker <id>`` phase of its own.
 
 All failure modes — unreadable file, non-JSON line, JSON that is not an
 event — surface as :class:`~repro.exceptions.ConfigurationError` naming
@@ -73,6 +76,8 @@ class TraceSummary:
     faults_by_kind: dict[str, int] = field(default_factory=dict)
     policies: list[str] = field(default_factory=list)
     num_rounds: int = 0
+    workers: set = field(default_factory=set)
+    worker_crashes: int = 0
 
     def add(self, event: TraceEvent) -> None:
         """Fold one event into the summary."""
@@ -83,12 +88,23 @@ class TraceSummary:
         if event.round_index is not None:
             self.num_rounds = max(self.num_rounds, event.round_index + 1)
         phase = _PHASE_OF_KIND.get(event.kind)
+        if event.kind == "worker_task_done":
+            # Parallel runs get one phase per worker, so the summary
+            # shows how evenly the sweep sharded across the pool.
+            phase = f"worker {event.payload.get('worker', '?')}"
         duration = event.payload.get("duration_s")
         if phase is not None and isinstance(duration, (int, float)):
             timing = self.phase_timings.get(phase)
             if timing is None:
                 timing = self.phase_timings[phase] = PhaseTiming()
             timing.add(float(duration))
+        if event.kind in ("worker_started", "worker_task_done",
+                          "worker_crashed"):
+            worker = event.payload.get("worker")
+            if worker is not None:
+                self.workers.add(worker)
+        if event.kind == "worker_crashed":
+            self.worker_crashes += 1
         if event.kind == "fault":
             fault = str(event.payload.get("fault", "unknown"))
             self.faults_by_kind[fault] = (
@@ -105,6 +121,10 @@ class TraceSummary:
                  f"{self.num_rounds} rounds"]
         if self.policies:
             lines.append(f"policies: {', '.join(self.policies)}")
+        if self.workers:
+            crashes = (f", {self.worker_crashes} crashed"
+                       if self.worker_crashes else "")
+            lines.append(f"workers: {len(self.workers)}{crashes}")
         lines.append("")
         lines.append("event counts:")
         for kind in sorted(self.events_by_kind):

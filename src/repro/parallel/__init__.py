@@ -1,0 +1,45 @@
+"""Parallel execution runtime: deterministic multi-process sweeps.
+
+The package provides a crash-tolerant process-pool
+:class:`ParallelExecutor` speaking a tiny picklable
+:class:`TaskSpec`/:class:`TaskResult` protocol, plus the
+:func:`~repro.parallel.worker.worker_main` entrypoint each worker
+process runs.  The rest of the stack builds on it:
+
+* ``replicate_comparison(..., workers=N)`` shards replication seeds
+  across workers (bit-identical to the serial path — every seed is a
+  self-contained RNG universe), stays checkpoint/resume-aware, and
+  survives worker crashes by re-queuing the lost seed;
+* ``repro run --workers N`` fans independent experiments out the same
+  way;
+* worker-local :class:`~repro.obs.MetricsRegistry` snapshots and trace
+  events are merged back into the coordinator's observability objects,
+  so ``repro trace summarize`` shows per-worker phase timing.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    default_worker_count,
+    resolve_chunk_size,
+)
+from repro.parallel.tasks import TaskResult, TaskSpec
+from repro.parallel.worker import (
+    CRASH_EXIT_CODE,
+    CRASH_MARKER_ENV,
+    CRASH_TASK_ENV,
+    WorkerContext,
+    worker_main,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "default_worker_count",
+    "resolve_chunk_size",
+    "TaskSpec",
+    "TaskResult",
+    "WorkerContext",
+    "worker_main",
+    "CRASH_TASK_ENV",
+    "CRASH_MARKER_ENV",
+    "CRASH_EXIT_CODE",
+]

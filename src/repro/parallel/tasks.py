@@ -1,0 +1,75 @@
+"""Picklable work units shipped between the coordinator and workers.
+
+The parallel runtime's wire protocol is deliberately tiny: a
+:class:`TaskSpec` travels coordinator -> worker (a task id plus an
+arbitrary picklable payload the runner understands), and a
+:class:`TaskResult` travels back (the runner's return value plus the
+worker-side telemetry the coordinator merges into its own
+:class:`~repro.obs.MetricsRegistry` / :class:`~repro.obs.Tracer`).
+
+Everything here must stay picklable — specs and results cross process
+boundaries through :class:`multiprocessing.Queue`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TaskSpec", "TaskResult"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work the coordinator ships to a worker.
+
+    Attributes
+    ----------
+    task_id:
+        Position of the task in the submitted batch (0-based); results
+        are re-ordered by this id, so callers see submission order no
+        matter which worker finished first.
+    payload:
+        Whatever the executor's runner consumes — a seed, an experiment
+        id, a config dict.  Must be picklable.
+    """
+
+    task_id: int
+    payload: Any
+
+
+@dataclass
+class TaskResult:
+    """One completed task, with its worker-side telemetry.
+
+    Attributes
+    ----------
+    task_id:
+        The finished :class:`TaskSpec`'s id.
+    value:
+        The runner's return value.
+    worker_id:
+        Which worker ran the (final, successful) attempt.
+    duration_s:
+        Wall-clock seconds the successful attempt took inside the
+        worker (task body only — queue time excluded).
+    attempts:
+        How many times the task was dispatched; greater than 1 means
+        earlier attempts were lost to worker crashes and the task was
+        re-queued.
+    metrics_snapshot:
+        The worker-local :class:`~repro.obs.MetricsRegistry` snapshot
+        of the successful attempt, or ``None`` when the executor ran
+        without telemetry capture.
+    events:
+        Worker-local :class:`~repro.obs.TraceEvent`\\ s of the
+        successful attempt, oldest first (empty without capture).
+    """
+
+    task_id: int
+    value: Any
+    worker_id: int
+    duration_s: float
+    attempts: int = 1
+    metrics_snapshot: dict | None = None
+    events: tuple = field(default_factory=tuple)

@@ -1,0 +1,155 @@
+"""The worker process entrypoint of the parallel runtime.
+
+Each worker is a plain :class:`multiprocessing.Process` running
+:func:`worker_main`: pull a chunk of :class:`~repro.parallel.tasks.TaskSpec`\\ s
+from the shared task queue, run each through the executor's runner, and
+stream protocol messages back on the result queue.  The coordinator
+never shares mutable state with workers — everything crosses through
+the two queues, so a worker can die at any instant without corrupting
+the sweep (the coordinator re-queues whatever the dead worker held).
+
+Telemetry is worker-local: every task runs against a fresh
+:class:`~repro.obs.MetricsRegistry` and (when capture is on) a
+:class:`~repro.obs.RingBufferSink`-backed tracer, and the snapshot plus
+the buffered events ride home inside the ``task_done`` message for the
+coordinator to merge.
+
+Crash injection (for tests and drills): set
+:data:`CRASH_TASK_ENV` to a task id and :data:`CRASH_MARKER_ENV` to a
+writable marker path, and the first worker to pick that task up dies
+hard (``os._exit``) before running it — exactly once, because creating
+the marker file is the atomic "already crashed" latch.  The re-queued
+attempt on a fresh worker then completes normally.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, RingBufferSink, Tracer
+
+__all__ = [
+    "CRASH_TASK_ENV",
+    "CRASH_MARKER_ENV",
+    "CRASH_EXIT_CODE",
+    "WorkerContext",
+    "worker_main",
+]
+
+#: Environment variable naming the task id whose next pickup should
+#: kill the worker (test/drill hook; see the module docstring).
+CRASH_TASK_ENV = "REPRO_PARALLEL_CRASH_TASK"
+
+#: Environment variable naming the marker file that latches the
+#: injected crash to exactly one occurrence.
+CRASH_MARKER_ENV = "REPRO_PARALLEL_CRASH_MARKER"
+
+#: Exit code of an injected worker crash (recognisable in
+#: ``worker_crashed`` trace events).
+CRASH_EXIT_CODE = 23
+
+
+@dataclass
+class WorkerContext:
+    """What a runner sees of the worker it executes inside.
+
+    Attributes
+    ----------
+    worker_id:
+        The executor-assigned worker number (stable across tasks, fresh
+        for crash replacements).
+    tracer:
+        Worker-local tracer; the :data:`~repro.obs.NULL_TRACER` when the
+        executor runs without event capture, so runners can emit
+        unconditionally.
+    metrics:
+        Worker-local registry; its snapshot is shipped back with the
+        task result and merged by the coordinator.
+    """
+
+    worker_id: int
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+
+def _maybe_injected_crash(task_id: int, result_queue) -> None:
+    """Die hard if the crash-injection hook targets this task.
+
+    The marker file is created with ``O_EXCL`` so exactly one attempt
+    crashes; every later attempt (on the replacement worker) sees the
+    marker and runs normally.
+    """
+    target = os.environ.get(CRASH_TASK_ENV)
+    marker = os.environ.get(CRASH_MARKER_ENV)
+    if not target or not marker or int(target) != task_id:
+        return
+    try:
+        descriptor = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(descriptor)
+    # Flush this process's queue feeder first, so the coordinator has
+    # the chunk_start/task_start messages that tell it what died —
+    # modelling a worker that crashed *inside* the task, which is the
+    # overwhelmingly dominant real-world window (task compute time
+    # dwarfs the microseconds between dequeue and acknowledgement).
+    result_queue.close()
+    result_queue.join_thread()
+    # A real crash: no protocol goodbye, no Python exit handlers — the
+    # coordinator must notice via the process exitcode.
+    os._exit(CRASH_EXIT_CODE)
+
+
+def worker_main(worker_id: int, runner, task_queue, result_queue,
+                capture_events: bool, ring_capacity: int) -> None:
+    """Run tasks until the ``None`` sentinel arrives.
+
+    Protocol messages put on ``result_queue`` (all picklable tuples,
+    first element is the message kind):
+
+    * ``("chunk_start", worker_id, [task_id, ...])`` — the worker took
+      a chunk; the coordinator now knows what is at risk if it dies.
+    * ``("task_start", worker_id, task_id)`` — one task began.
+    * ``("task_done", worker_id, task_id, value, duration_s,
+      metrics_snapshot, events)`` — one task finished.
+    * ``("task_error", worker_id, task_id, error_repr, traceback)`` —
+      the runner raised; the worker stays alive, the coordinator
+      decides (it fails the whole run — an exception is a bug, not a
+      fault to retry).
+    """
+    while True:
+        chunk = task_queue.get()
+        if chunk is None:
+            return
+        result_queue.put(
+            ("chunk_start", worker_id, [spec.task_id for spec in chunk])
+        )
+        for spec in chunk:
+            result_queue.put(("task_start", worker_id, spec.task_id))
+            _maybe_injected_crash(spec.task_id, result_queue)
+            sink = (RingBufferSink(ring_capacity)
+                    if capture_events else None)
+            tracer = Tracer(sink) if sink is not None else NULL_TRACER
+            metrics = MetricsRegistry()
+            context = WorkerContext(worker_id=worker_id, tracer=tracer,
+                                    metrics=metrics)
+            start = perf_counter()
+            try:
+                value = runner(spec.payload, context)
+            except BaseException as error:  # noqa: BLE001 - shipped back
+                result_queue.put((
+                    "task_error", worker_id, spec.task_id,
+                    f"{type(error).__name__}: {error}",
+                    traceback.format_exc(),
+                ))
+                continue
+            duration = perf_counter() - start
+            result_queue.put((
+                "task_done", worker_id, spec.task_id, value, duration,
+                metrics.snapshot(),
+                sink.events if sink is not None else (),
+            ))

@@ -1,7 +1,7 @@
 """Trading-simulation engine, configuration, metrics, and results."""
 
 from repro.sim.config import TABLE_II, SimulationConfig
-from repro.sim.engine import TradingSimulator
+from repro.sim.engine import TradingSimulator, run_seed_comparison
 from repro.sim.metrics import (
     delta_profit_series,
     moving_average,
@@ -9,6 +9,8 @@ from repro.sim.metrics import (
     revenue_share,
 )
 from repro.sim.persistence import (
+    SWEEP_CHECKPOINT_SCHEMA_VERSION,
+    experiment_result_from_dict,
     load_checkpoint,
     load_experiment_result,
     load_run_metrics,
@@ -30,6 +32,7 @@ __all__ = [
     "SimulationConfig",
     "TABLE_II",
     "TradingSimulator",
+    "run_seed_comparison",
     "RunMetrics",
     "PolicyComparison",
     "RngFactory",
@@ -45,6 +48,8 @@ __all__ = [
     "load_checkpoint",
     "save_sweep_checkpoint",
     "load_sweep_checkpoint",
+    "SWEEP_CHECKPOINT_SCHEMA_VERSION",
+    "experiment_result_from_dict",
     "MetricSummary",
     "ReplicationResult",
     "replicate_comparison",

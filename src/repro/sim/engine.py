@@ -70,7 +70,7 @@ from repro.sim.persistence import load_checkpoint, save_checkpoint
 from repro.sim.results import PolicyComparison, RunMetrics
 from repro.sim.rng import RngFactory
 
-__all__ = ["TradingSimulator"]
+__all__ = ["TradingSimulator", "run_seed_comparison"]
 
 #: Neutral estimate used for sellers that have never been observed when a
 #: policy (for example ``random``) drags them into the game unseen.
@@ -102,6 +102,63 @@ def _seller_gauge_keys(m: int) -> tuple[list[str], list[str]]:
             [f"seller.{seller}.qbar" for seller in range(m)],
         )
     return keys
+
+
+def run_seed_comparison(base_config: SimulationConfig, seed: int,
+                        policy_factory, fault_spec: FaultSpec | None = None,
+                        *, tracer: Tracer | None = None,
+                        metrics: MetricsRegistry | None = None):
+    """Run one replication seed end to end — the parallel worker entrypoint.
+
+    A replication seed is a fully self-contained universe: the derived
+    config's seed drives the population, observation noise, policy
+    randomness, and fault schedule through its own
+    :class:`~repro.sim.rng.RngFactory` streams, with no state shared
+    across seeds.  That is what makes the multi-process sweep
+    deterministic — this exact function runs unchanged inside
+    :func:`~repro.sim.replication.replicate_comparison`'s serial loop
+    and inside :mod:`repro.parallel` workers, and produces bit-identical
+    metrics either way.
+
+    Parameters
+    ----------
+    base_config:
+        Shared sweep configuration; its ``seed`` field is overridden.
+    seed:
+        The replication seed to run.
+    policy_factory:
+        ``factory(expected_qualities) -> list[SelectionPolicy]`` building
+        fresh (stateful) policies for this seed's instance.
+    fault_spec:
+        Optional fault-injection rates; the seed draws its own
+        reproducible fault schedule.
+    tracer / metrics:
+        Optional observability objects; the seed is bracketed with
+        ``seed_start`` / ``seed_end`` events.
+
+    Returns
+    -------
+    dict
+        ``{policy_name: run.summary()}`` — the per-policy headline
+        scalars of this seed (picklable, so workers can ship it home).
+    """
+    tr = tracer if tracer is not None else NULL_TRACER
+    seed_start_time = perf_counter()
+    if tr.enabled:
+        tr.emit("seed_start", seed=seed)
+    simulator = TradingSimulator(base_config.derive(seed=seed))
+    policies = policy_factory(simulator.population.expected_qualities)
+    fault_model = (simulator.fault_model(fault_spec)
+                   if fault_spec is not None else None)
+    comparison = simulator.compare(policies, fault_model=fault_model,
+                                   tracer=tracer, metrics=metrics)
+    summaries = {name: run.summary()
+                 for name, run in comparison.runs.items()}
+    if tr.enabled:
+        tr.emit("seed_end", seed=seed,
+                duration_s=perf_counter() - seed_start_time)
+        tr.flush()
+    return summaries
 
 
 class TradingSimulator:

@@ -14,8 +14,13 @@ Formats:
 Every write is **atomic**: content goes to a temp file in the target
 directory which is then :func:`os.replace`-d over the destination, so a
 crash mid-write never leaves a half-written file where a reader expects
-a complete one.  Every file carries a ``schema_version`` field, and all
-read paths convert truncation / garbage / missing-field failures into
+a complete one.  Atomic writes are also **concurrency-safe**: each
+write stages through its own :func:`tempfile.mkstemp` name, so many
+processes (the parallel runtime's workers and coordinator) can write
+checkpoints into one directory — or even race on the same destination
+path — and every reader still sees some complete file.  Every file
+carries a ``schema_version`` field, and all read paths convert
+truncation / garbage / missing-field failures into
 :class:`~repro.exceptions.PersistenceError` instead of leaking raw
 ``ValueError``/``KeyError``.
 
@@ -44,11 +49,13 @@ __all__ = [
     "RUN_SCHEMA_VERSION",
     "EXPERIMENT_SCHEMA_VERSION",
     "CHECKPOINT_SCHEMA_VERSION",
+    "SWEEP_CHECKPOINT_SCHEMA_VERSION",
     "atomic_write_bytes",
     "atomic_write_json",
     "save_run_metrics",
     "load_run_metrics",
     "experiment_result_to_dict",
+    "experiment_result_from_dict",
     "save_experiment_result",
     "load_experiment_result",
     "save_checkpoint",
@@ -64,9 +71,17 @@ RUN_SCHEMA_VERSION = 1
 #: Schema version written into every experiment-result JSON.
 EXPERIMENT_SCHEMA_VERSION = 1
 
-#: Schema version of engine and sweep checkpoints (no legacy grace:
-#: checkpoints only ever existed with the field).
+#: Schema version of engine checkpoints (no legacy grace: checkpoints
+#: only ever existed with the field).
 CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Schema version of replication-sweep checkpoints.  Version 2 replaced
+#: the append-ordered ``samples`` lists with per-seed keyed
+#: ``seed_samples`` / ``seed_durations`` maps, so sweeps whose seeds
+#: complete out of order (the parallel runtime) checkpoint and resume
+#: to bit-identical results, and resumed sweeps keep honest per-seed
+#: wall-clock timing.
+SWEEP_CHECKPOINT_SCHEMA_VERSION = 2
 
 #: Prefix of the temp files backing atomic writes; a crash between
 #: "temp written" and "replace" leaves one of these behind, which is
@@ -246,28 +261,32 @@ def save_experiment_result(result, path: str | os.PathLike) -> None:
     atomic_write_json(path, experiment_result_to_dict(result))
 
 
-def load_experiment_result(path: str | os.PathLike):
-    """Load an experiment result saved by :func:`save_experiment_result`.
+def experiment_result_from_dict(payload: dict, what: str = "experiment payload"):
+    """Rebuild an :class:`~repro.experiments.registry.ExperimentResult`.
 
-    Returns a :class:`~repro.experiments.registry.ExperimentResult`.
+    The inverse of :func:`experiment_result_to_dict` — also the bridge
+    the parallel runtime uses to ship experiment results across process
+    boundaries as plain JSON-serialisable dicts.
 
     Raises
     ------
     PersistenceError
-        If the JSON is corrupt, has an unsupported schema version, or
-        lacks the expected structure (the error names the missing key).
+        If the payload has an unsupported schema version or lacks the
+        expected structure (the error names the missing key).
     """
     from repro.experiments.registry import ExperimentResult, Series
 
-    payload = _load_json(path, "experiment file")
     if "schema_version" in payload:
-        _check_schema_version(payload["schema_version"],
-                              EXPERIMENT_SCHEMA_VERSION, path,
-                              "experiment file")
+        found = int(payload["schema_version"])
+        if found != EXPERIMENT_SCHEMA_VERSION:
+            raise PersistenceError(
+                f"{what} has schema version {found}, but this library "
+                f"reads version {EXPERIMENT_SCHEMA_VERSION}"
+            )
     for key in ("experiment_id", "title", "x_label", "panels"):
         if key not in payload:
             raise PersistenceError(
-                f"experiment file {path!s} is missing key {key!r}"
+                f"{what} is missing key {key!r}"
             )
     result = ExperimentResult(
         experiment_id=payload["experiment_id"],
@@ -288,9 +307,26 @@ def load_experiment_result(path: str | os.PathLike):
                 )
     except (KeyError, TypeError, ValueError) as error:
         raise PersistenceError(
-            f"experiment file {path!s} has a malformed panel series: {error}"
+            f"{what} has a malformed panel series: {error}"
         ) from error
     return result
+
+
+def load_experiment_result(path: str | os.PathLike):
+    """Load an experiment result saved by :func:`save_experiment_result`.
+
+    Returns a :class:`~repro.experiments.registry.ExperimentResult`.
+
+    Raises
+    ------
+    PersistenceError
+        If the JSON is corrupt, has an unsupported schema version, or
+        lacks the expected structure (the error names the missing key).
+    """
+    payload = _load_json(path, "experiment file")
+    return experiment_result_from_dict(
+        payload, what=f"experiment file {os.fspath(path)!s}"
+    )
 
 
 # -- checkpoints -----------------------------------------------------------------
@@ -361,7 +397,7 @@ def load_checkpoint(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray
 def save_sweep_checkpoint(path: str | os.PathLike, payload: dict) -> None:
     """Atomically persist a replication-sweep checkpoint as JSON."""
     stamped = dict(payload)
-    stamped["schema_version"] = CHECKPOINT_SCHEMA_VERSION
+    stamped["schema_version"] = SWEEP_CHECKPOINT_SCHEMA_VERSION
     atomic_write_json(path, stamped)
 
 
@@ -372,7 +408,9 @@ def load_sweep_checkpoint(path: str | os.PathLike) -> dict:
     Raises
     ------
     PersistenceError
-        If the file is corrupt or carries an unsupported schema version.
+        If the file is corrupt or carries an unsupported schema version
+        (including version-1 sweep checkpoints, whose append-ordered
+        sample lists cannot express out-of-order parallel completion).
     """
     payload = _load_json(path, "sweep checkpoint")
     if "schema_version" not in payload:
@@ -380,5 +418,6 @@ def load_sweep_checkpoint(path: str | os.PathLike) -> dict:
             f"sweep checkpoint {os.fspath(path)!s} lacks a schema_version"
         )
     _check_schema_version(payload.pop("schema_version"),
-                          CHECKPOINT_SCHEMA_VERSION, path, "sweep checkpoint")
+                          SWEEP_CHECKPOINT_SCHEMA_VERSION, path,
+                          "sweep checkpoint")
     return payload

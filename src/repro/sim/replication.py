@@ -2,20 +2,33 @@
 
 The paper reports single runs; this harness repeats a comparison over
 independent seeds (fresh population, fresh observation noise) and
-aggregates mean and standard deviation per metric — the difference
-between "we observed X once" and "X holds with seed-to-seed spread s".
+aggregates mean / standard deviation / standard error per metric — the
+difference between "we observed X once" and "X holds with seed-to-seed
+spread s".
 
 The sweep is crash-safe: pass ``checkpoint_path`` and each completed
-seed's samples are atomically snapshotted, so an interrupted sweep
-resumed with ``resume=True`` skips finished seeds and produces metrics
-identical to an uninterrupted run (each seed is fully self-contained,
-deriving its population, noise, and faults from its own seed).
+seed's samples (and wall-clock duration) are atomically snapshotted, so
+an interrupted sweep resumed with ``resume=True`` skips finished seeds
+and produces metrics identical to an uninterrupted run (each seed is
+fully self-contained, deriving its population, noise, and faults from
+its own seed).
+
+The sweep is also **parallel**: pass ``workers=N`` and the remaining
+seeds are sharded across a crash-tolerant process pool
+(:class:`~repro.parallel.ParallelExecutor`).  Because every seed is a
+self-contained RNG universe and the final aggregation always folds
+samples in ascending seed order, the parallel result is bit-identical
+to the serial one — for any worker count, chunk size, completion
+order, or crash/re-queue schedule (the determinism test suite asserts
+exactly this).  Checkpointing keeps working: the coordinator snapshots
+after every completed seed, whichever worker finished it.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Sequence
 
@@ -27,7 +40,7 @@ from repro.faults import FaultSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import TradingSimulator
+from repro.sim.engine import run_seed_comparison
 from repro.sim.persistence import (
     load_sweep_checkpoint,
     save_sweep_checkpoint,
@@ -38,13 +51,22 @@ __all__ = ["MetricSummary", "ReplicationResult", "replicate_comparison"]
 
 @dataclass(frozen=True)
 class MetricSummary:
-    """Mean / standard deviation / extremes of one metric across seeds."""
+    """Mean / spread / extremes of one metric across seeds.
+
+    ``std`` is the seed-to-seed sample standard deviation; ``stderr``
+    is the standard error of the mean (``std / sqrt(n)``).  With a
+    single seed neither is estimable, so ``std`` reports ``0.0`` (no
+    observed spread) while ``stderr`` is ``nan`` — tables render it as
+    ``n/a`` so single-seed sweeps are visibly unreliable instead of
+    silently looking exact.
+    """
 
     mean: float
     std: float
     minimum: float
     maximum: float
     num_seeds: int
+    stderr: float = float("nan")
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "MetricSummary":
@@ -52,17 +74,26 @@ class MetricSummary:
         values = np.asarray(list(samples), dtype=float)
         if values.size == 0:
             raise ConfigurationError("cannot summarise zero samples")
+        std = float(values.std(ddof=1)) if values.size > 1 else 0.0
         return cls(
             mean=float(values.mean()),
-            std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            std=std,
             minimum=float(values.min()),
             maximum=float(values.max()),
             num_seeds=int(values.size),
+            stderr=(std / math.sqrt(values.size) if values.size > 1
+                    else float("nan")),
         )
 
     def format(self) -> str:
         """Human-readable ``mean +/- std`` rendering."""
         return f"{self.mean:.4g} +/- {self.std:.2g}"
+
+    def format_stderr(self) -> str:
+        """``mean +/- stderr`` rendering; honest about single seeds."""
+        if self.num_seeds < 2:
+            return f"{self.mean:.4g} +/- n/a"
+        return f"{self.mean:.4g} +/- {self.stderr:.2g}"
 
 
 #: Metrics aggregated per policy, keyed by the RunMetrics summary names.
@@ -82,14 +113,28 @@ class ReplicationResult:
         ``summaries[policy][metric]`` -> :class:`MetricSummary`.
     seeds:
         The seeds that were run.
+    seed_durations:
+        Wall-clock seconds each seed took, keyed by seed.  Durations of
+        seeds completed before a crash survive in the checkpoint, so a
+        resumed sweep still reports honest cumulative timing.
     """
 
     summaries: dict[str, dict[str, MetricSummary]]
     seeds: list[int]
+    seed_durations: dict[int, float] = field(default_factory=dict)
 
     def policy_names(self) -> list[str]:
         """Policies in insertion order."""
         return list(self.summaries)
+
+    @property
+    def cumulative_seed_time(self) -> float:
+        """Total wall-clock seconds spent inside seeds, across resumes.
+
+        For a parallel sweep this is the *work* time (the sum over
+        workers), which can exceed the sweep's elapsed wall-clock time.
+        """
+        return float(sum(self.seed_durations.values()))
 
     def metric(self, policy: str, metric: str) -> MetricSummary:
         """One policy's summary of one metric.
@@ -126,16 +171,20 @@ class ReplicationResult:
         return difference / pooled
 
     def to_table(self) -> str:
-        """All policies x headline metrics as an aligned text table."""
+        """All policies x headline metrics as an aligned text table.
+
+        Cells show ``mean +/- standard error`` (``n/a`` for single-seed
+        sweeps, whose uncertainty is unknown, not zero).
+        """
         headers = ["policy", "revenue", "regret", "PoC/round", "PoS/round"]
         rows = []
         for policy in self.policy_names():
             rows.append([
                 policy,
-                self.metric(policy, "total_revenue").format(),
-                self.metric(policy, "regret").format(),
-                self.metric(policy, "mean_poc").format(),
-                self.metric(policy, "mean_pos").format(),
+                self.metric(policy, "total_revenue").format_stderr(),
+                self.metric(policy, "regret").format_stderr(),
+                self.metric(policy, "mean_poc").format_stderr(),
+                self.metric(policy, "mean_pos").format_stderr(),
             ])
         widths = [
             max(len(headers[i]), *(len(r[i]) for r in rows))
@@ -144,13 +193,22 @@ class ReplicationResult:
         lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
         for row in rows:
             lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(
+            f"(mean +/- standard error of the mean over "
+            f"{len(self.seeds)} seed{'s' if len(self.seeds) != 1 else ''})"
+        )
         return "\n".join(lines)
 
 
 def _sweep_fingerprint(base_config: SimulationConfig, num_seeds: int,
                        first_seed: int,
                        fault_spec: FaultSpec | None) -> dict:
-    """What a sweep checkpoint must match to be resumable."""
+    """What a sweep checkpoint must match to be resumable.
+
+    The worker count is deliberately absent: a sweep checkpointed
+    serially may resume with ``workers=8`` (and vice versa) — the
+    result is identical either way.
+    """
     return {
         "num_sellers": base_config.num_sellers,
         "num_selected": base_config.num_selected,
@@ -163,6 +221,89 @@ def _sweep_fingerprint(base_config: SimulationConfig, num_seeds: int,
     }
 
 
+class _SeedRunner:
+    """Worker-side runner: one seed in, per-policy summaries out.
+
+    Defined at module level so it stays picklable under the ``spawn``
+    start method (under the default ``fork`` the instance is simply
+    inherited); the policy factory it carries only needs to be
+    picklable when ``spawn`` is used.
+    """
+
+    def __init__(self, base_config: SimulationConfig,
+                 policy_factory, fault_spec: FaultSpec | None,
+                 want_metrics: bool) -> None:
+        self._base_config = base_config
+        self._policy_factory = policy_factory
+        self._fault_spec = fault_spec
+        self._want_metrics = want_metrics
+
+    def __call__(self, seed: int, context) -> dict:
+        # Thread the worker-local observability through exactly as the
+        # serial path threads the caller's: engine metrics only when
+        # the caller attached a registry, tracing only when traced.
+        return run_seed_comparison(
+            self._base_config, seed, self._policy_factory,
+            self._fault_spec,
+            tracer=context.tracer if context.tracer.enabled else None,
+            metrics=context.metrics if self._want_metrics else None,
+        )
+
+
+def _load_resume_state(checkpoint_path, fingerprint) -> tuple[
+        dict[int, dict], dict[int, float]]:
+    """Completed per-seed samples and durations from a checkpoint."""
+    payload = load_sweep_checkpoint(checkpoint_path)
+    if payload.get("kind") != "replication_sweep":
+        raise PersistenceError(
+            f"{os.fspath(checkpoint_path)!s} is not a replication-sweep "
+            "checkpoint"
+        )
+    if payload.get("fingerprint") != fingerprint:
+        raise PersistenceError(
+            f"sweep checkpoint {os.fspath(checkpoint_path)!s} was "
+            "written by a different sweep configuration: "
+            f"{payload.get('fingerprint')!r} != {fingerprint!r}"
+        )
+    try:
+        per_seed = {
+            int(seed): {
+                str(policy): {str(key): float(value)
+                              for key, value in metric_values.items()}
+                for policy, metric_values in policies.items()
+            }
+            for seed, policies in payload.get("seed_samples", {}).items()
+        }
+        durations = {
+            int(seed): float(duration)
+            for seed, duration in payload.get("seed_durations", {}).items()
+        }
+    except (TypeError, ValueError, AttributeError) as error:
+        raise PersistenceError(
+            f"sweep checkpoint {os.fspath(checkpoint_path)!s} has "
+            f"malformed per-seed records: {error}"
+        ) from error
+    return per_seed, durations
+
+
+def _save_sweep_state(checkpoint_path, fingerprint,
+                      per_seed: dict[int, dict],
+                      durations: dict[int, float],
+                      metrics: MetricsRegistry) -> None:
+    """Atomically snapshot the sweep's completed seeds."""
+    save_sweep_checkpoint(checkpoint_path, {
+        "kind": "replication_sweep",
+        "fingerprint": fingerprint,
+        "completed_seeds": sorted(per_seed),
+        "seed_samples": {
+            str(seed): per_seed[seed] for seed in sorted(per_seed)
+        },
+        "seed_durations": {
+            str(seed): durations[seed] for seed in sorted(durations)
+        },
+    }, metrics=metrics)
+
+
 def replicate_comparison(
     base_config: SimulationConfig,
     policy_factory: Callable[[np.ndarray], list[SelectionPolicy]],
@@ -172,6 +313,9 @@ def replicate_comparison(
     fault_spec: FaultSpec | None = None,
     checkpoint_path: str | os.PathLike | None = None,
     resume: bool = False,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    max_task_retries: int = 2,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> ReplicationResult:
@@ -199,25 +343,49 @@ def replicate_comparison(
         Continue from ``checkpoint_path`` if it exists, skipping seeds
         already completed; the result is identical to an uninterrupted
         sweep.  A missing checkpoint file simply starts fresh.
+    workers:
+        Process count for the sweep.  ``1`` (default) runs serially in
+        this process; ``N > 1`` shards the remaining seeds across a
+        crash-tolerant pool with results bit-identical to serial (each
+        seed is a self-contained RNG universe, and aggregation always
+        folds samples in ascending seed order).  A worker killed
+        mid-seed is replaced and the seed re-queued.
+    chunk_size:
+        Seeds per worker dispatch (parallel only); ``None`` balances
+        automatically.
+    max_task_retries:
+        How many worker crashes one seed may survive before the sweep
+        fails (parallel only).
     tracer:
         Optional :class:`~repro.obs.Tracer`; the sweep brackets each
         replication with ``seed_start`` / ``seed_end`` events and the
-        per-run events flow through it as well.
+        per-run events flow through it as well.  With ``workers > 1``
+        the events are captured worker-locally, replayed into this
+        tracer tagged ``worker=<id>``, and framed by
+        ``worker_started`` / ``worker_task_done`` / ``worker_crashed``
+        lifecycle events.
     metrics:
         Optional :class:`~repro.obs.MetricsRegistry` accumulating the
         sweep's counters (``seeds_completed``, ``seeds_skipped``) and
         the per-seed ``replication.seed`` timer alongside the run-level
-        telemetry.
+        telemetry (worker-local registries are merged in when
+        ``workers > 1``).
 
     Raises
     ------
     PersistenceError
         If a resume checkpoint belongs to a different sweep
         configuration.
+    ParallelExecutionError
+        If a worker raised, or a seed exceeded its crash-retry budget.
     """
     if num_seeds <= 0:
         raise ConfigurationError(
             f"num_seeds must be positive, got {num_seeds}"
+        )
+    if workers <= 0:
+        raise ConfigurationError(
+            f"workers must be positive, got {workers}"
         )
     if resume and checkpoint_path is None:
         raise ConfigurationError("resume requires checkpoint_path")
@@ -225,69 +393,75 @@ def replicate_comparison(
     reg = metrics if metrics is not None else MetricsRegistry()
     fingerprint = _sweep_fingerprint(base_config, num_seeds, first_seed,
                                      fault_spec)
-    samples: dict[str, dict[str, list[float]]] = {}
-    completed: list[int] = []
+    per_seed: dict[int, dict] = {}
+    durations: dict[int, float] = {}
     if (resume and checkpoint_path is not None
             and os.path.exists(checkpoint_path)):
-        payload = load_sweep_checkpoint(checkpoint_path)
-        if payload.get("kind") != "replication_sweep":
-            raise PersistenceError(
-                f"{os.fspath(checkpoint_path)!s} is not a replication-sweep "
-                "checkpoint"
-            )
-        if payload.get("fingerprint") != fingerprint:
-            raise PersistenceError(
-                f"sweep checkpoint {os.fspath(checkpoint_path)!s} was "
-                "written by a different sweep configuration: "
-                f"{payload.get('fingerprint')!r} != {fingerprint!r}"
-            )
-        completed = [int(seed) for seed in payload.get("completed_seeds", [])]
-        samples = {
-            policy: {key: list(values) for key, values in metrics.items()}
-            for policy, metrics in payload.get("samples", {}).items()
-        }
+        per_seed, durations = _load_resume_state(checkpoint_path,
+                                                 fingerprint)
     seeds = list(range(first_seed, first_seed + num_seeds))
+    remaining = []
     for seed in seeds:
-        if seed in completed:
+        if seed in per_seed:
             reg.counter("seeds_skipped").inc()
-            continue
-        seed_start = perf_counter()
-        if tr.enabled:
-            tr.emit("seed_start", seed=seed,
-                    num_seeds=num_seeds, first_seed=first_seed)
-        simulator = TradingSimulator(base_config.derive(seed=seed))
-        policies = policy_factory(
-            simulator.population.expected_qualities
-        )
-        fault_model = (simulator.fault_model(fault_spec)
-                       if fault_spec is not None else None)
-        comparison = simulator.compare(policies, fault_model=fault_model,
-                                       tracer=tracer, metrics=metrics)
-        for name, run in comparison.runs.items():
-            bucket = samples.setdefault(
-                name, {key: [] for key in _METRIC_KEYS}
-            )
-            for key, value in run.summary().items():
-                bucket[key].append(value)
-        completed.append(seed)
+        else:
+            remaining.append(seed)
+
+    def complete_seed(seed: int, summaries: dict, duration: float) -> None:
+        per_seed[seed] = summaries
+        durations[seed] = duration
         if checkpoint_path is not None:
-            save_sweep_checkpoint(checkpoint_path, {
-                "kind": "replication_sweep",
-                "fingerprint": fingerprint,
-                "completed_seeds": completed,
-                "samples": samples,
-            }, metrics=reg)
+            _save_sweep_state(checkpoint_path, fingerprint, per_seed,
+                              durations, reg)
         reg.counter("seeds_completed").inc()
-        reg.timer("replication.seed").observe(perf_counter() - seed_start)
+        reg.timer("replication.seed").observe(duration)
+
+    if workers > 1 and remaining:
+        # Deferred import: repro.parallel depends on repro.obs, and the
+        # serial path must stay importable without it in the loop.
+        from repro.parallel import ParallelExecutor
+
+        runner = _SeedRunner(base_config, policy_factory, fault_spec,
+                             want_metrics=metrics is not None)
+        executor = ParallelExecutor(
+            runner,
+            workers=min(workers, len(remaining)),
+            chunk_size=chunk_size,
+            max_task_retries=max_task_retries,
+            tracer=tr if tr.enabled else None,
+            metrics=reg,
+        )
+        for result in executor.as_completed(remaining):
+            complete_seed(remaining[result.task_id], result.value,
+                          result.duration_s)
         if tr.enabled:
-            tr.emit("seed_end", seed=seed,
-                    duration_s=perf_counter() - seed_start)
             tr.flush()
+    else:
+        for seed in remaining:
+            seed_start = perf_counter()
+            summaries = run_seed_comparison(
+                base_config, seed, policy_factory, fault_spec,
+                tracer=tracer, metrics=metrics,
+            )
+            complete_seed(seed, summaries, perf_counter() - seed_start)
+
+    # Fold per-seed samples in ascending seed order — the one canonical
+    # order — so serial, parallel, resumed, and crash-recovered sweeps
+    # aggregate the exact same float sequence.
+    samples: dict[str, dict[str, list[float]]] = {}
+    for seed in seeds:
+        for policy, summary in per_seed[seed].items():
+            bucket = samples.setdefault(
+                policy, {key: [] for key in _METRIC_KEYS}
+            )
+            for key in _METRIC_KEYS:
+                bucket[key].append(summary[key])
     summaries = {
         policy: {
             key: MetricSummary.from_samples(values)
-            for key, values in metrics.items()
+            for key, values in metric_samples.items()
         }
-        for policy, metrics in samples.items()
+        for policy, metric_samples in samples.items()
     }
-    return ReplicationResult(summaries=summaries, seeds=seeds)
+    return ReplicationResult(summaries=summaries, seeds=seeds,
+                             seed_durations=dict(durations))

@@ -169,14 +169,18 @@ class TestSweepResume:
 
         # Full sweep with checkpointing, then emulate a crash after seed
         # 2 by truncating the checkpoint to the first two completed
-        # seeds (each seed appends exactly one sample per metric).
+        # seeds (records are keyed per seed).
         replicate_comparison(config, self.factory, num_seeds=4,
                              checkpoint_path=path)
         payload = json.loads(path.read_text())
-        payload["completed_seeds"] = payload["completed_seeds"][:2]
-        for metrics in payload["samples"].values():
-            for key in metrics:
-                metrics[key] = metrics[key][:2]
+        kept = payload["completed_seeds"][:2]
+        payload["completed_seeds"] = kept
+        payload["seed_samples"] = {
+            str(seed): payload["seed_samples"][str(seed)] for seed in kept
+        }
+        payload["seed_durations"] = {
+            str(seed): payload["seed_durations"][str(seed)] for seed in kept
+        }
         path.write_text(json.dumps(payload))
 
         resumed = replicate_comparison(config, self.factory, num_seeds=4,
@@ -213,10 +217,14 @@ class TestSweepResume:
         replicate_comparison(config, self.factory, num_seeds=3,
                              fault_spec=spec, checkpoint_path=path)
         payload = json.loads(path.read_text())
-        payload["completed_seeds"] = payload["completed_seeds"][:1]
-        for metrics in payload["samples"].values():
-            for key in metrics:
-                metrics[key] = metrics[key][:1]
+        kept = payload["completed_seeds"][:1]
+        payload["completed_seeds"] = kept
+        payload["seed_samples"] = {
+            str(seed): payload["seed_samples"][str(seed)] for seed in kept
+        }
+        payload["seed_durations"] = {
+            str(seed): payload["seed_durations"][str(seed)] for seed in kept
+        }
         path.write_text(json.dumps(payload))
         resumed = replicate_comparison(config, self.factory, num_seeds=3,
                                        fault_spec=spec,

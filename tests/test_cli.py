@@ -29,6 +29,26 @@ class TestParser:
         assert args.sellers == 50
         assert args.rounds == 1_000
 
+    def test_workers_flags(self):
+        args = build_parser().parse_args(["replicate", "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["run", "fig7", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_workers_default_serial(self):
+        assert build_parser().parse_args(["replicate"]).workers == 1
+        assert build_parser().parse_args(["run", "fig7"]).workers == 1
+
+    def test_version_flag(self, capsys):
+        from repro.version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-cdt" in out
+        assert __version__ in out
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -94,6 +114,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "+/-" in out
         assert "separation" in out
+
+    def test_replicate_workers_matches_serial(self, capsys):
+        base = ["replicate", "--sellers", "12", "--selected", "3",
+                "--rounds", "60", "--seeds", "2"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical metrics; only the header mentions the worker count.
+        assert parallel.replace(", workers=2", "") == serial
+
+    def test_run_workers_matches_serial(self, capsys, tmp_path):
+        import json
+
+        serial_dir, parallel_dir = str(tmp_path / "s"), str(tmp_path / "p")
+        base = ["run", "fig14", "fig17"]
+        assert main(base + ["--save-dir", serial_dir]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2",
+                            "--save-dir", parallel_dir]) == 0
+        parallel = capsys.readouterr().out
+        assert (parallel.replace(parallel_dir, serial_dir) == serial)
+        for name in ("fig14.json", "fig17.json"):
+            serial_payload = json.loads(
+                (tmp_path / "s" / name).read_text())
+            parallel_payload = json.loads(
+                (tmp_path / "p" / name).read_text())
+            assert parallel_payload == serial_payload
 
     def test_list_includes_extensions(self, capsys):
         assert main(["list"]) == 0

@@ -116,6 +116,63 @@ class TestRegistrySnapshot:
         with pytest.raises(ConfigurationError, match="malformed"):
             MetricsRegistry().restore({"timers": {"x": {"count": 1}}})
 
+    def test_merge_adds_counters_and_folds_timers(self):
+        reg = MetricsRegistry()
+        reg.counter("rounds").inc(3)
+        reg.timer("solve").observe(0.2)
+        other = MetricsRegistry()
+        other.counter("rounds").inc(4)
+        other.counter("faults").inc()
+        other.timer("solve").observe(0.1)
+        other.timer("solve").observe(0.5)
+        reg.merge(other.snapshot())
+        assert reg.counters == {"rounds": 7, "faults": 1}
+        assert reg.timer("solve").count == 3
+        assert reg.timer("solve").total == pytest.approx(0.8)
+        assert reg.timer("solve").minimum == pytest.approx(0.1)
+        assert reg.timer("solve").maximum == pytest.approx(0.5)
+
+    def test_merge_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("regret").set(9.0)
+        other = MetricsRegistry()
+        other.gauge("regret").set(1.5)
+        reg.merge(other.snapshot())
+        assert reg.gauges == {"regret": 1.5}
+
+    def test_merge_skips_unobserved_timers(self):
+        reg = MetricsRegistry()
+        reg.timer("solve").observe(0.2)
+        other = MetricsRegistry()
+        other.timer("solve")  # never observed: count 0, min None
+        reg.merge(other.snapshot())
+        assert reg.timer("solve").count == 1
+        assert reg.timer("solve").minimum == pytest.approx(0.2)
+
+    def test_merge_is_associative_with_snapshot(self):
+        # Merging two worker snapshots in either order yields the same
+        # registry state — the coordinator's merge order is completion
+        # order, which crashes make nondeterministic.
+        workers = []
+        for observations in ([0.1, 0.3], [0.2]):
+            worker = MetricsRegistry()
+            for duration in observations:
+                worker.timer("task").observe(duration)
+                worker.counter("done").inc()
+            workers.append(worker.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snapshot in workers:
+            forward.merge(snapshot)
+        for snapshot in reversed(workers):
+            backward.merge(snapshot)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="snapshot"):
+            MetricsRegistry().merge("not a dict")
+        with pytest.raises(ConfigurationError, match="malformed"):
+            MetricsRegistry().merge({"timers": {"x": {"count": 1}}})
+
     def test_to_table_mentions_every_metric(self):
         reg = MetricsRegistry()
         reg.counter("rounds").inc()
@@ -230,6 +287,13 @@ def _sample_events():
         TraceEvent("invariant_violation", payload={
             "invariant": "lemma18_counter_bound", "seller": 2,
             "observations": 999, "bound": 100.0, "gap": 0.2,
+        }),
+        TraceEvent("worker_started", payload={"worker": 0, "pid": 4242}),
+        TraceEvent("worker_task_done", payload={
+            "worker": 0, "task": 3, "duration_s": 0.12, "attempts": 1,
+        }),
+        TraceEvent("worker_crashed", payload={
+            "worker": 0, "exitcode": 23, "lost_tasks": [3, 4],
         }),
     ]
 

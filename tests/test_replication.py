@@ -41,6 +41,22 @@ class TestMetricSummary:
         text = MetricSummary.from_samples([1.0, 3.0]).format()
         assert "+/-" in text
 
+    def test_stderr_is_std_over_sqrt_n(self):
+        summary = MetricSummary.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert summary.stderr == pytest.approx(summary.std / 2.0)
+
+    def test_single_sample_stderr_is_nan(self):
+        # One seed cannot estimate its own spread; nan (rendered n/a)
+        # instead of a silently-exact-looking 0.
+        summary = MetricSummary.from_samples([5.0])
+        assert np.isnan(summary.stderr)
+        assert "n/a" in summary.format_stderr()
+
+    def test_format_stderr(self):
+        text = MetricSummary.from_samples([1.0, 3.0]).format_stderr()
+        assert "+/-" in text
+        assert "n/a" not in text
+
 
 class TestReplicateComparison:
     @pytest.fixture(scope="class")
@@ -82,9 +98,32 @@ class TestReplicateComparison:
         assert "policy" in table
         assert "CMAB-HS" in table
 
+    def test_table_names_its_uncertainty(self, result):
+        assert "standard error" in result.to_table()
+
+    def test_single_seed_table_is_visibly_unreliable(self):
+        result = replicate_comparison(CONFIG, factory, num_seeds=1)
+        assert "n/a" in result.to_table()
+
+    def test_seed_durations_recorded(self, result):
+        assert sorted(result.seed_durations) == result.seeds
+        assert all(duration > 0
+                   for duration in result.seed_durations.values())
+        assert result.cumulative_seed_time == pytest.approx(
+            sum(result.seed_durations.values())
+        )
+
     def test_rejects_nonpositive_seeds(self):
         with pytest.raises(ConfigurationError, match="num_seeds"):
             replicate_comparison(CONFIG, factory, num_seeds=0)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            replicate_comparison(CONFIG, factory, num_seeds=2, workers=0)
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_path"):
+            replicate_comparison(CONFIG, factory, num_seeds=2, resume=True)
 
     def test_first_seed_offset(self):
         result = replicate_comparison(CONFIG, factory, num_seeds=2,
