@@ -5,10 +5,14 @@ Subcommands:
 * ``list`` — show every registered experiment.
 * ``run <experiment-id> [...]`` — run experiments and print their text
   tables (``--paper-scale`` for Table II sizes, ``--seed N``).
-* ``quickstart`` — run a small end-to-end trading simulation.
+* ``quickstart`` — run a small end-to-end trading simulation
+  (``--strict`` checks every round against the paper's invariants).
 * ``replicate`` — repeat the comparison over several seeds.
 * ``trace`` — generate a synthetic taxi trace; ``trace summarize``
   rolls up a JSONL run trace written with ``--trace``.
+* ``verify`` — run the equilibrium verification subsystem (differential
+  oracles, golden-trace regression, strict-mode invariant runs); exits
+  non-zero on any failure.  ``--update-goldens`` blesses new goldens.
 
 ``quickstart`` and ``replicate`` accept ``--trace PATH.jsonl`` (write a
 structured event trace of the run) and ``--log-level LEVEL`` (configure
@@ -162,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
     quick_parser.add_argument("--selected", type=int, default=5)
     quick_parser.add_argument("--rounds", type=int, default=1_000)
     quick_parser.add_argument("--seed", type=int, default=0)
+    quick_parser.add_argument(
+        "--strict", action="store_true",
+        help=(
+            "check every round against the paper's analytic invariants "
+            "and fail fast on the first violation"
+        ),
+    )
     _add_fault_tolerance_arguments(quick_parser)
     _add_observability_arguments(quick_parser)
 
@@ -184,6 +195,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_tolerance_arguments(replicate_parser)
     _add_observability_arguments(replicate_parser)
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help=(
+            "verify the implementation: differential oracles, golden "
+            "traces, strict-mode invariant runs"
+        ),
+    )
+    verify_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the randomized oracle games (default 0)",
+    )
+    verify_parser.add_argument(
+        "--oracle-cases", type=int, default=12, metavar="N",
+        help="randomized games per differential oracle (default 12)",
+    )
+    verify_parser.add_argument(
+        "--strict-rounds", type=int, default=60, metavar="N",
+        help="rounds per strict-mode scenario (default 60)",
+    )
+    verify_parser.add_argument(
+        "--goldens-dir", metavar="DIR", default=None,
+        help="override the golden store location (default: checked-in)",
+    )
+    verify_parser.add_argument(
+        "--only", action="append", choices=("oracles", "goldens", "strict"),
+        metavar="SECTION",
+        help=(
+            "run only this section (repeatable; "
+            "oracles, goldens, or strict)"
+        ),
+    )
+    verify_parser.add_argument(
+        "--update-goldens", action="store_true",
+        help="recompute and rewrite the golden files instead of verifying",
+    )
+    verify_parser.add_argument(
+        "--report", metavar="PATH.json", default=None,
+        help="also write the verification report as JSON to PATH",
+    )
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -338,6 +389,7 @@ def _command_quickstart(args: argparse.Namespace) -> int:
             resume=args.resume and checkpoint_path is not None,
             tracer=tracer,
             metrics=metrics,
+            strict=args.strict,
         ))
         if log is not None:
             fault_logs[policy.name] = log
@@ -419,6 +471,36 @@ def _command_replicate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.sim.persistence import atomic_write_json
+    from repro.verify import run_verification, update_goldens
+
+    if args.update_goldens:
+        for path in update_goldens(args.goldens_dir):
+            print(f"wrote {path}")
+        return 0
+    sections = tuple(args.only) if args.only else None
+    report = run_verification(
+        seed=args.seed,
+        oracle_cases=args.oracle_cases,
+        goldens_dir=args.goldens_dir,
+        sections=sections,
+        strict_rounds=args.strict_rounds,
+    )
+    print(report.to_text())
+    if args.report:
+        from repro.exceptions import PersistenceError
+
+        try:
+            atomic_write_json(args.report, report.to_dict())
+        except OSError as error:
+            raise PersistenceError(
+                f"cannot write verification report {args.report}: {error}"
+            ) from error
+        print(f"wrote report to {args.report}")
+    return 0 if report.passed else 1
+
+
 def _command_trace_summarize(args: argparse.Namespace) -> int:
     from repro.obs import summarize_trace
 
@@ -477,6 +559,8 @@ def main(argv: list[str] | None = None) -> int:
             if getattr(args, "trace_command", None) == "summarize":
                 return _command_trace_summarize(args)
             return _command_trace(args)
+        if args.command == "verify":
+            return _command_verify(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -42,6 +42,30 @@ class EquilibriumViolationError(GameError):
     """
 
 
+class VerificationError(ReproError):
+    """The verification subsystem found a correctness failure.
+
+    Base class for every failure raised by :mod:`repro.verify` — a
+    broken runtime invariant, a closed-form/numeric oracle disagreement,
+    or golden-trace drift.
+    """
+
+
+class InvariantViolationError(VerificationError):
+    """A per-round runtime invariant failed in a strict-mode run.
+
+    Raised by the engine's ``strict`` mode when an
+    :class:`~repro.verify.invariants.InvariantMonitor` predicate fails —
+    for example a Stage-3 stationarity residual out of tolerance, a
+    negative seller profit at equilibrium, or a learning-counter
+    conservation mismatch.
+    """
+
+
+class GoldenMismatchError(VerificationError):
+    """A golden-trace comparison found drift against the stored values."""
+
+
 class SelectionError(ReproError):
     """Seller selection failed (for example fewer candidates than ``K``)."""
 

@@ -39,7 +39,10 @@ __all__ = ["EVENT_KINDS", "TraceEvent"]
 #: * ``checkpoint`` — a checkpoint write or restore (payload ``action``
 #:   is ``saved``/``restored``).
 #: * ``seed_start`` / ``seed_end`` — one replication seed's bracket.
-#: * ``invariant_violation`` — a diagnostics check (Lemma 18) failed.
+#: * ``invariant_violation`` — a correctness check failed: a
+#:   diagnostics check (Lemma 18) or, in the engine's ``strict`` mode,
+#:   a per-round :mod:`repro.verify.invariants` predicate (payload:
+#:   ``invariant`` name, ``detail``, ``magnitude``).
 #: * ``worker_started`` — the parallel runtime spawned a worker process
 #:   (payload: ``worker`` id, ``pid``).
 #: * ``worker_task_done`` — a worker finished one task (payload:

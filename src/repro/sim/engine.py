@@ -243,6 +243,7 @@ class TradingSimulator:
             checkpoint_path: str | os.PathLike | None = None,
             checkpoint_every: int = 0,
             resume: bool = False,
+            strict: bool = False,
             tracer: Tracer | None = None,
             metrics: MetricsRegistry | None = None) -> RunMetrics:
         """Run one policy for ``num_rounds`` rounds (default: config's N).
@@ -268,6 +269,15 @@ class TradingSimulator:
         resume:
             Continue from ``checkpoint_path`` if it exists; a missing
             checkpoint file simply starts from round 0.
+        strict:
+            Check every round against the paper's analytic invariants
+            (Stage-3 stationarity, leader first-order conditions,
+            individual rationality, top-K selection correctness,
+            observation-count conservation, UCB-index structure) and
+            raise :class:`~repro.exceptions.InvariantViolationError` on
+            the first failure.  The checks are read-only and draw no
+            randomness, so a strict run produces bit-identical results
+            to a default run on the same seed.
         tracer:
             Structured-event tracer; ``None`` uses the zero-overhead
             :data:`~repro.obs.NULL_TRACER`.
@@ -317,6 +327,15 @@ class TradingSimulator:
         tr = tracer if tracer is not None else NULL_TRACER
         reg = metrics if metrics is not None else MetricsRegistry()
 
+        monitor = None
+        if strict:
+            # Imported lazily: repro.verify runs this engine (the golden
+            # store computes goldens through it), so a module-level
+            # import would be circular.
+            from repro.verify.invariants import InvariantMonitor
+
+            monitor = InvariantMonitor(num_pois, tracer=tr)
+
         start_round = 0
         if resume and os.path.exists(checkpoint_path):
             restore_start = perf_counter()
@@ -363,12 +382,18 @@ class TradingSimulator:
                         explore=bool(explore_round),
                         ucb=self._ucb_of(policy, state, selected),
                         duration_s=selection_duration)
+            if monitor is not None:
+                monitor.check_selection(
+                    t, selected, k, m, bool(explore_round),
+                    ucb_values=getattr(policy, "last_ucb_values", None),
+                )
             if fault_model is None:
                 self._play_clean_round(
                     t, selected, explore_round, state, tracker, policy,
                     sampler, series, selection_counts, qualities_truth,
                     cost_a_all, cost_b_all, num_pois, theta, lam, omega,
                     svc_bounds, col_bounds, tau_max, tau0, tr, reg,
+                    monitor=monitor,
                 )
             else:
                 self._play_faulty_round(
@@ -376,7 +401,15 @@ class TradingSimulator:
                     sampler, series, selection_counts, qualities_truth,
                     cost_a_all, cost_b_all, num_pois, theta, lam, omega,
                     svc_bounds, col_bounds, tau_max, tau0, fault_model, log,
-                    tr, reg,
+                    tr, reg, monitor=monitor,
+                )
+            if monitor is not None:
+                monitor.check_learning(
+                    t, state, selection_counts,
+                    clean=fault_model is None,
+                    exploration_coefficient=getattr(
+                        policy, "exploration_coefficient", None
+                    ),
                 )
             reg.counter("rounds").inc()
             reg.gauge("cumulative_regret").set(tracker.cumulative_regret)
@@ -459,6 +492,7 @@ class TradingSimulator:
     def compare(self, policies: list[SelectionPolicy],
                 num_rounds: int | None = None, *,
                 fault_model: FaultModel | None = None,
+                strict: bool = False,
                 tracer: Tracer | None = None,
                 metrics: MetricsRegistry | None = None) -> PolicyComparison:
         """Run several policies on this instance and group the results.
@@ -473,7 +507,7 @@ class TradingSimulator:
         for policy in policies:
             comparison.add(
                 self.run(policy, num_rounds, fault_model=fault_model,
-                         tracer=tracer, metrics=metrics)
+                         strict=strict, tracer=tracer, metrics=metrics)
             )
         return comparison
 
@@ -483,7 +517,7 @@ class TradingSimulator:
                           policy, sampler, series, selection_counts,
                           qualities_truth, cost_a_all, cost_b_all, num_pois,
                           theta, lam, omega, svc_bounds, col_bounds,
-                          tau_max, tau0, tr, reg) -> None:
+                          tau_max, tau0, tr, reg, monitor=None) -> None:
         """One happy-path round (the original engine, bit for bit)."""
         cost_a = cost_a_all[selected]
         cost_b = cost_b_all[selected]
@@ -520,6 +554,14 @@ class TradingSimulator:
             tr.emit("equilibrium", round_index=t, service_price=float(p_j),
                     collection_price=float(p), tau_total=total,
                     explore=bool(explore_round), duration_s=solve_duration)
+        if monitor is not None:
+            # The game the solver actually solved uses the floored
+            # estimates, so the invariants are checked against those.
+            monitor.check_equilibrium(
+                t, means if explore_round else game_means, cost_a, cost_b,
+                theta, lam, omega, svc_bounds, col_bounds, tau_max,
+                float(p_j), float(p), taus, bool(explore_round),
+            )
 
         mean_quality = float(means.mean())
         seller_profits = p * taus - (
@@ -558,7 +600,8 @@ class TradingSimulator:
                            policy, sampler, series, selection_counts,
                            qualities_truth, cost_a_all, cost_b_all, num_pois,
                            theta, lam, omega, svc_bounds, col_bounds,
-                           tau_max, tau0, fault_model, log, tr, reg) -> None:
+                           tau_max, tau0, fault_model, log, tr, reg,
+                           monitor=None) -> None:
         """One fault-injected round with graceful degradation.
 
         With an all-zero fault plan this produces bit-identical metrics
@@ -679,6 +722,14 @@ class TradingSimulator:
             tr.emit("equilibrium", round_index=t, service_price=float(p_j),
                     collection_price=float(p), tau_total=total,
                     explore=bool(explore_round), duration_s=solve_duration)
+        if monitor is not None:
+            # The game the solver actually solved uses the floored
+            # estimates, so the invariants are checked against those.
+            monitor.check_equilibrium(
+                t, means if explore_round else game_means, cost_a, cost_b,
+                theta, lam, omega, svc_bounds, col_bounds, tau_max,
+                float(p_j), float(p), taus, bool(explore_round),
+            )
 
         mean_quality = float(means.mean())
         seller_profits = p * taus - (

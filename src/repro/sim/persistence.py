@@ -35,6 +35,7 @@ from __future__ import annotations
 import contextlib
 import io
 import json
+import math
 import os
 import tempfile
 import zipfile
@@ -50,6 +51,8 @@ __all__ = [
     "EXPERIMENT_SCHEMA_VERSION",
     "CHECKPOINT_SCHEMA_VERSION",
     "SWEEP_CHECKPOINT_SCHEMA_VERSION",
+    "normalize_json_value",
+    "denormalize_json_value",
     "atomic_write_bytes",
     "atomic_write_json",
     "save_run_metrics",
@@ -103,6 +106,77 @@ _RUN_SERIES_FIELDS = (
 )
 
 
+# -- canonical JSON normalization ------------------------------------------------
+
+#: Spellings used for non-finite floats in every JSON artefact this
+#: library writes.  They match both what the stdlib ``json`` module
+#: itself reads back and the spellings the trace serializer emits, so
+#: persisted results, checkpoints, goldens, and traces all agree.
+_NONFINITE_TOKENS = {"NaN": math.nan, "Infinity": math.inf,
+                     "-Infinity": -math.inf}
+
+
+def normalize_json_value(value):
+    """One value in the library's canonical JSON form.
+
+    The single normalization rule shared by every JSON writer (sweep
+    checkpoints, experiment results, the verification golden store), so
+    no two serializers can diverge on float formatting or NaN/inf
+    handling:
+
+    * numpy scalars become plain Python scalars, numpy arrays become
+      (nested) lists;
+    * non-finite floats become the sentinel strings ``"NaN"`` /
+      ``"Infinity"`` / ``"-Infinity"`` (strict JSON has no spelling for
+      them; :func:`denormalize_json_value` restores the floats);
+    * finite floats stay Python floats — ``json`` serialises those with
+      ``repr``, the shortest exact round-trip form;
+    * dict keys are coerced to ``str``; tuples become lists.
+    """
+    kind = type(value)
+    if kind is float:
+        return value if math.isfinite(value) else _nonfinite_token(value)
+    if kind in (int, str, bool, type(None)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): normalize_json_value(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalize_json_value(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return normalize_json_value(value.tolist())
+    if isinstance(value, np.generic):
+        return normalize_json_value(value.item())
+    if isinstance(value, float):  # float subclass
+        value = float(value)
+        return value if math.isfinite(value) else _nonfinite_token(value)
+    return value
+
+
+def _nonfinite_token(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    return "Infinity" if value > 0 else "-Infinity"
+
+
+def denormalize_json_value(value):
+    """Invert :func:`normalize_json_value` on a loaded JSON payload.
+
+    Restores the non-finite sentinel strings to their float values.  Any
+    other value (including ordinary strings) passes through unchanged,
+    so applying this to a payload that never contained non-finite floats
+    is the identity.
+    """
+    if type(value) is str:
+        return _NONFINITE_TOKENS.get(value, value)
+    if isinstance(value, dict):
+        return {key: denormalize_json_value(item)
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [denormalize_json_value(item) for item in value]
+    return value
+
+
 # -- atomic write primitives -----------------------------------------------------
 
 
@@ -132,8 +206,16 @@ def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> None:
 
 
 def atomic_write_json(path: str | os.PathLike, payload: dict) -> None:
-    """Atomically write a dict as pretty-printed JSON."""
-    encoded = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+    """Atomically write a dict as pretty-printed JSON.
+
+    The payload is passed through :func:`normalize_json_value` first, so
+    numpy values serialise as plain scalars/lists and non-finite floats
+    take their canonical sentinel spellings; ``allow_nan=False`` then
+    guarantees the file is *strict* JSON that any parser can read.
+    """
+    normalized = normalize_json_value(payload)
+    encoded = json.dumps(normalized, indent=2,
+                         allow_nan=False).encode("utf-8") + b"\n"
     atomic_write_bytes(path, encoded)
 
 
@@ -412,7 +494,7 @@ def load_sweep_checkpoint(path: str | os.PathLike) -> dict:
         (including version-1 sweep checkpoints, whose append-ordered
         sample lists cannot express out-of-order parallel completion).
     """
-    payload = _load_json(path, "sweep checkpoint")
+    payload = denormalize_json_value(_load_json(path, "sweep checkpoint"))
     if "schema_version" not in payload:
         raise PersistenceError(
             f"sweep checkpoint {os.fspath(path)!s} lacks a schema_version"

@@ -1,0 +1,85 @@
+"""Equilibrium verification subsystem.
+
+The paper's headline claims are analytic — a unique Stackelberg
+Equilibrium ``<p^J*, p*, tau*>`` from backward induction (Theorems
+14-16, 20) and the Theorem-19 regret bound — and this package keeps the
+implementation continuously honest about them:
+
+* :mod:`repro.verify.compare` — tolerance-aware comparison utilities
+  (NaN/inf-correct scalar closeness, recursive payload diffing).
+* :mod:`repro.verify.invariants` — per-round invariant checkers over
+  engine state (stage first-order conditions, Stage-3 stationarity,
+  individual rationality, UCB-index monotonicity, observation-count
+  conservation), runnable in the engine's ``strict`` mode and emitted
+  as ``invariant_violation`` trace events.
+* :mod:`repro.verify.oracles` — differential oracles cross-checking the
+  closed-form solvers (Theorems 14-16) against the independent
+  numerical ``solve_stage{1,2,3}_numeric`` paths, and ``select_by_ucb``
+  against a brute-force top-K reference.
+* :mod:`repro.verify.golden` — a golden-trace regression store pinning
+  canonical seeded runs to checked-in JSON goldens, with an update tool
+  (``repro verify --update-goldens``).
+* :mod:`repro.verify.runner` — the ``repro verify`` entry point tying
+  the three legs into one report with a CI-friendly exit code.
+"""
+
+from repro.verify.compare import (
+    Mismatch,
+    ToleranceSpec,
+    diff_values,
+    values_close,
+)
+from repro.verify.golden import (
+    GOLDEN_CASES,
+    GoldenCase,
+    compute_golden,
+    golden_directory,
+    golden_path,
+    update_goldens,
+    verify_goldens,
+)
+from repro.verify.invariants import InvariantMonitor, InvariantViolation
+from repro.verify.oracles import (
+    OracleCheck,
+    OracleSuiteReport,
+    brute_force_top_k,
+    check_full_solve_oracle,
+    check_selection_oracle,
+    check_stage1_oracle,
+    check_stage2_oracle,
+    check_stage3_oracle,
+    run_oracle_suite,
+)
+from repro.verify.runner import (
+    StrictCheckResult,
+    VerificationReport,
+    run_verification,
+)
+
+__all__ = [
+    "Mismatch",
+    "ToleranceSpec",
+    "diff_values",
+    "values_close",
+    "GOLDEN_CASES",
+    "GoldenCase",
+    "compute_golden",
+    "golden_directory",
+    "golden_path",
+    "update_goldens",
+    "verify_goldens",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "OracleCheck",
+    "OracleSuiteReport",
+    "brute_force_top_k",
+    "check_full_solve_oracle",
+    "check_selection_oracle",
+    "check_stage1_oracle",
+    "check_stage2_oracle",
+    "check_stage3_oracle",
+    "run_oracle_suite",
+    "StrictCheckResult",
+    "VerificationReport",
+    "run_verification",
+]

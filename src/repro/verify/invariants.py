@@ -1,0 +1,441 @@
+"""Per-round invariant checkers over engine state (strict mode).
+
+Each predicate here encodes one analytic property the paper proves the
+equilibrium/learning loop must satisfy, checked against the *actual*
+numbers the engine produced each round:
+
+* **Stage-3 stationarity** (Theorem 14): each selected seller's sensing
+  time must be a best response to the collection price — interior times
+  zero the profit derivative ``p - qbar_i (2 a_i tau_i + b_i)``,
+  boundary times require the matching one-sided sign.
+* **Leader first-order conditions** (Theorems 15-16): whenever the
+  round's solution is interior (no price bound binds, no sensing time
+  clips), the platform and consumer prices must zero their reduced-form
+  derivatives.
+* **Individual rationality** (Lemma 10 / IR): at the equilibrium every
+  selected seller's profit ``Psi_i`` is non-negative — a seller can
+  always sense zero time, so a negative profit means the solver paid a
+  seller into a loss, which no rational seller accepts.
+* **UCB-index structure** (Eq. 19): exploration bonuses are
+  non-negative (so the index upper-bounds the mean), infinite exactly
+  for never-observed sellers, and non-increasing in the observation
+  count at fixed totals.
+* **Count conservation** (Eq. 17): on the clean path every selected
+  seller is observed once per PoI, so ``n_i == L * selections_i``
+  per seller (hence ``sum_i n_i = K * L * t`` for fixed-``K``
+  policies); fault injection can only ever *lose* observations.
+* **Selection correctness** (Algorithm 1, steps 7-10): the selected set
+  is a valid, duplicate-free top-``K`` of the policy's UCB indices
+  (checked against an independent brute-force reference).
+
+An :class:`InvariantMonitor` bundles these for the engine's ``strict``
+mode: it only *reads* engine state (never touches an RNG stream, so a
+strict run stays bit-identical to a default run), emits every failure
+as an ``invariant_violation`` trace event, and raises
+:class:`~repro.exceptions.InvariantViolationError` unless configured to
+collect violations instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvariantViolationError
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantMonitor",
+    "stage3_stationarity_violation",
+    "leader_foc_residuals",
+]
+
+#: Relative margin used to decide a value sits strictly inside an
+#: interval (bound-binding solutions are legitimately non-stationary).
+_INTERIOR_MARGIN = 1e-9
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed invariant check.
+
+    Attributes
+    ----------
+    invariant:
+        Name of the failed predicate (e.g. ``stage3_stationarity``).
+    round_index:
+        0-based round the failure happened in (``None`` for run-level
+        checks).
+    detail:
+        Human-readable description with the offending numbers.
+    magnitude:
+        How far past the tolerance the check failed (0 when the
+        violation is structural rather than numerical).
+    """
+
+    invariant: str
+    round_index: int | None
+    detail: str
+    magnitude: float
+
+
+def stage3_stationarity_violation(qualities: np.ndarray, cost_a: np.ndarray,
+                                  cost_b: np.ndarray, collection_price: float,
+                                  taus: np.ndarray,
+                                  max_sensing_time: float) -> np.ndarray:
+    """Per-seller violation of the Stage-3 best-response conditions.
+
+    The seller profit derivative is
+    ``g_i(tau) = p - qbar_i * (2 a_i tau + b_i)`` (Eq. 5 differentiated).
+    A best response requires ``g_i(tau_i) = 0`` for interior ``tau_i``,
+    ``g_i(0) <= 0`` for an opt-out, and ``g_i(T) >= 0`` at the cap.
+    Returns the non-negative violation magnitude per seller (all ~0 for
+    a true best response, regardless of clipping).
+    """
+    q = np.asarray(qualities, dtype=float)
+    a = np.asarray(cost_a, dtype=float)
+    b = np.asarray(cost_b, dtype=float)
+    t = np.asarray(taus, dtype=float)
+    gradient = float(collection_price) - q * (2.0 * a * t + b)
+    at_zero = t <= 0.0
+    at_cap = np.isfinite(max_sensing_time) & (t >= max_sensing_time)
+    violation = np.abs(gradient)
+    # At tau = 0 only a positive gradient (profitable to start sensing)
+    # violates; at tau = T only a negative one (profitable to back off).
+    violation[at_zero] = np.maximum(gradient[at_zero], 0.0)
+    violation[at_cap] = np.maximum(-gradient[at_cap], 0.0)
+    return violation
+
+
+def leader_foc_residuals(qualities: np.ndarray, cost_a: np.ndarray,
+                         cost_b: np.ndarray, theta: float, lam: float,
+                         omega: float, service_price: float,
+                         collection_price: float,
+                         taus: np.ndarray) -> tuple[float, float]:
+    """Normalized Stage-1/Stage-2 first-order-condition residuals.
+
+    Using the reduced forms of Theorems 15-16 (derived variant, the one
+    the engine solves): with ``A = sum 1/(2 qbar_i a_i)``,
+    ``B = sum b_i/(2 a_i)`` and ``constant = lam*A - 2 theta A B - B``,
+
+    * Stage 2 requires ``p^J A - constant - 2 A (1 + theta A) p = 0``;
+    * Stage 1 requires
+      ``omega qbar Theta_c / (1 + qbar S) - S - p^J Theta_c = 0``
+      where ``Theta_c = A / (2 (1 + theta A))`` and ``S = sum tau_i``.
+
+    Residuals are scaled by the largest term of each condition, so the
+    returned values are dimensionless and comparable to a relative
+    tolerance.  Callers must only apply this on interior solutions
+    (no bound binding, no sensing time clipped) — see
+    :meth:`InvariantMonitor.check_equilibrium`.
+    """
+    q = np.asarray(qualities, dtype=float)
+    a = np.asarray(cost_a, dtype=float)
+    b = np.asarray(cost_b, dtype=float)
+    a_sum = float(np.sum(1.0 / (2.0 * q * a)))
+    b_sum = float(np.sum(b / (2.0 * a)))
+    constant = lam * a_sum - 2.0 * theta * a_sum * b_sum - b_sum
+    platform_terms = (
+        service_price * a_sum,
+        -constant,
+        -2.0 * a_sum * (1.0 + theta * a_sum) * collection_price,
+    )
+    stage2_scale = max(1.0, *(abs(term) for term in platform_terms))
+    stage2_residual = abs(sum(platform_terms)) / stage2_scale
+
+    qbar = float(q.mean())
+    total = float(np.asarray(taus, dtype=float).sum())
+    theta_c = a_sum / (2.0 * (1.0 + theta * a_sum))
+    consumer_terms = (
+        omega * qbar * theta_c / (1.0 + qbar * total),
+        -total,
+        -service_price * theta_c,
+    )
+    stage1_scale = max(1.0, *(abs(term) for term in consumer_terms))
+    stage1_residual = abs(sum(consumer_terms)) / stage1_scale
+    return stage1_residual, stage2_residual
+
+
+def _strictly_inside(value: float, bounds: tuple[float, float]) -> bool:
+    lo, hi = bounds
+    margin = _INTERIOR_MARGIN * max(1.0, abs(value))
+    inside_hi = (not math.isfinite(hi)) or value < hi - margin
+    return value > lo + margin and inside_hi
+
+
+class InvariantMonitor:
+    """Checks per-round invariants for a strict-mode engine run.
+
+    Purely observational: every method reads engine state and the
+    round's computed strategy profile, never mutates them, and never
+    draws randomness — attaching a monitor cannot change a run's
+    numbers, only judge them.
+
+    Parameters
+    ----------
+    num_pois:
+        Observations per selection ``L`` (Eq. 17's increment).
+    tolerance:
+        Relative tolerance for the stationarity / IR / FOC predicates.
+    tracer:
+        Violations are emitted as ``invariant_violation`` events here.
+    raise_on_violation:
+        Raise :class:`~repro.exceptions.InvariantViolationError` on the
+        first failure (engine strict mode) or collect and continue
+        (auditing a run for all failures at once).
+    """
+
+    def __init__(self, num_pois: int, *, tolerance: float = 1e-6,
+                 tracer: Tracer | None = None,
+                 raise_on_violation: bool = True) -> None:
+        self._num_pois = int(num_pois)
+        self._tolerance = float(tolerance)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._raise = bool(raise_on_violation)
+        self._num_checks = 0
+        self.violations: list[InvariantViolation] = []
+
+    @property
+    def num_checks(self) -> int:
+        """How many invariant evaluations have run (for reporting)."""
+        return self._num_checks
+
+    def _record(self, invariant: str, round_index: int | None, detail: str,
+                magnitude: float = 0.0) -> None:
+        violation = InvariantViolation(invariant, round_index, detail,
+                                       float(magnitude))
+        self.violations.append(violation)
+        if self._tracer.enabled:
+            self._tracer.emit("invariant_violation", round_index=round_index,
+                              invariant=invariant, detail=detail,
+                              magnitude=float(magnitude))
+        if self._raise:
+            where = "" if round_index is None else f" (round {round_index})"
+            raise InvariantViolationError(
+                f"invariant {invariant!r} violated{where}: {detail}"
+            )
+
+    # -- selection (Algorithm 1, steps 7-10) ---------------------------------------
+
+    def check_selection(self, round_index: int, selected: np.ndarray, k: int,
+                        num_sellers: int, explore: bool,
+                        ucb_values: np.ndarray | None = None) -> None:
+        """The selected set is valid and (for UCB policies) a true top-K.
+
+        ``ucb_values`` is the policy's full index vector when it exposes
+        one; the selection is then compared against an independent
+        brute-force top-K reference with identical tie-breaking
+        (ascending index).
+        """
+        self._num_checks += 1
+        expected_size = num_sellers if explore and selected.size > k else k
+        if selected.size != expected_size:
+            self._record("selection_size", round_index,
+                         f"selected {selected.size} sellers, expected "
+                         f"{expected_size}")
+            return
+        if np.unique(selected).size != selected.size:
+            self._record("selection_unique", round_index,
+                         "selection contains duplicate sellers")
+            return
+        if selected.size and (int(selected.min()) < 0
+                              or int(selected.max()) >= num_sellers):
+            self._record("selection_range", round_index,
+                         "selection contains out-of-range seller indices")
+            return
+        if ucb_values is not None and not explore:
+            from repro.verify.oracles import brute_force_top_k
+
+            reference = brute_force_top_k(np.asarray(ucb_values, dtype=float),
+                                          k)
+            if not np.array_equal(np.sort(selected), reference):
+                self._record(
+                    "selection_top_k", round_index,
+                    f"selection {np.sort(selected).tolist()} is not the "
+                    f"brute-force top-{k} {reference.tolist()} of the UCB "
+                    "indices (Eq. 19)",
+                )
+
+    # -- equilibrium (Theorems 14-16, Definition 13) -------------------------------
+
+    def check_equilibrium(self, round_index: int, qualities: np.ndarray,
+                          cost_a: np.ndarray, cost_b: np.ndarray,
+                          theta: float, lam: float, omega: float,
+                          service_price_bounds: tuple[float, float],
+                          collection_price_bounds: tuple[float, float],
+                          max_sensing_time: float, service_price: float,
+                          collection_price: float, taus: np.ndarray,
+                          explore: bool) -> None:
+        """Feasibility + stationarity + FOC + IR of one round's profile.
+
+        Exploration rounds (Algorithm 1's fixed ``tau^0`` pricing) only
+        get the feasibility leg; equilibrium rounds additionally check
+        Stage-3 stationarity and seller IR always, and the two leader
+        first-order conditions whenever the solution is interior.
+        """
+        self._num_checks += 1
+        tol = self._tolerance
+        svc_lo, svc_hi = service_price_bounds
+        col_lo, col_hi = collection_price_bounds
+        price_margin = tol * max(1.0, abs(service_price))
+        if not (svc_lo - price_margin <= service_price
+                <= svc_hi + price_margin):
+            self._record("price_feasibility", round_index,
+                         f"service price {service_price!r} outside "
+                         f"[{svc_lo}, {svc_hi}]")
+        price_margin = tol * max(1.0, abs(collection_price))
+        if not (col_lo - price_margin <= collection_price
+                <= col_hi + price_margin):
+            self._record("price_feasibility", round_index,
+                         f"collection price {collection_price!r} outside "
+                         f"[{col_lo}, {col_hi}]")
+        taus = np.asarray(taus, dtype=float)
+        if np.any(taus < -tol) or np.any(taus > max_sensing_time * (1 + tol)):
+            self._record("sensing_time_feasibility", round_index,
+                         "sensing times outside [0, T]: "
+                         f"{taus.tolist()}")
+        if explore:
+            return
+
+        stationarity = stage3_stationarity_violation(
+            qualities, cost_a, cost_b, collection_price, taus,
+            max_sensing_time,
+        )
+        scale = max(1.0, abs(collection_price))
+        worst = int(np.argmax(stationarity))
+        if stationarity[worst] > tol * scale:
+            self._record(
+                "stage3_stationarity", round_index,
+                f"seller {worst}'s sensing time {taus[worst]!r} is not a "
+                f"best response to p={collection_price!r} (Theorem 14 "
+                f"residual {stationarity[worst]:.3e})",
+                magnitude=float(stationarity[worst] / scale),
+            )
+
+        profits = (
+            collection_price * taus
+            - (cost_a * taus * taus + cost_b * taus) * qualities
+        )
+        ir_scale = np.maximum(1.0, np.abs(collection_price * taus))
+        worst = int(np.argmin(profits / ir_scale))
+        if profits[worst] < -tol * ir_scale[worst]:
+            self._record(
+                "individual_rationality", round_index,
+                f"seller {worst}'s equilibrium profit {profits[worst]!r} "
+                "is negative (IR requires Psi_i >= 0)",
+                magnitude=float(-profits[worst] / ir_scale[worst]),
+            )
+
+        if self._is_interior(qualities, cost_a, cost_b, service_price,
+                             collection_price, taus, service_price_bounds,
+                             collection_price_bounds, max_sensing_time):
+            stage1, stage2 = leader_foc_residuals(
+                qualities, cost_a, cost_b, theta, lam, omega,
+                service_price, collection_price, taus,
+            )
+            if stage2 > tol:
+                self._record(
+                    "stage2_first_order", round_index,
+                    f"platform price {collection_price!r} violates the "
+                    f"Theorem-15 first-order condition (residual "
+                    f"{stage2:.3e})",
+                    magnitude=stage2,
+                )
+            if stage1 > tol:
+                self._record(
+                    "stage1_first_order", round_index,
+                    f"consumer price {service_price!r} violates the "
+                    f"Theorem-16 first-order condition (residual "
+                    f"{stage1:.3e})",
+                    magnitude=stage1,
+                )
+
+    @staticmethod
+    def _is_interior(qualities, cost_a, cost_b, service_price,
+                     collection_price, taus, service_price_bounds,
+                     collection_price_bounds, max_sensing_time) -> bool:
+        """Whether the closed forms' interior premises hold for a profile."""
+        if not _strictly_inside(service_price, service_price_bounds):
+            return False
+        if not _strictly_inside(collection_price, collection_price_bounds):
+            return False
+        taus = np.asarray(taus, dtype=float)
+        if np.any(taus <= 0.0):
+            return False
+        if math.isfinite(max_sensing_time):
+            margin = _INTERIOR_MARGIN * max(1.0, max_sensing_time)
+            if np.any(taus >= max_sensing_time - margin):
+                return False
+        return True
+
+    # -- learning (Eqs. 17-19) -----------------------------------------------------
+
+    def check_learning(self, round_index: int, state,
+                       selection_counts: np.ndarray, clean: bool,
+                       exploration_coefficient: float | None = None) -> None:
+        """Counter conservation, estimate range, and UCB-index structure.
+
+        ``state`` is the engine's
+        :class:`~repro.core.state.LearningState`; ``clean`` says whether
+        the run injects faults (which may lose observations but never
+        invent them).
+        """
+        self._num_checks += 1
+        counts = state.counts
+        expected = np.asarray(selection_counts, dtype=np.int64) * self._num_pois
+        if clean:
+            if not np.array_equal(counts, expected):
+                worst = int(np.argmax(np.abs(counts - expected)))
+                self._record(
+                    "count_conservation", round_index,
+                    f"seller {worst} has {int(counts[worst])} observations "
+                    f"but {int(expected[worst])} = L * selections expected "
+                    "(Eq. 17)",
+                )
+        elif np.any(counts > expected) or np.any(counts < 0):
+            worst = int(np.argmax(counts - expected))
+            self._record(
+                "count_conservation", round_index,
+                f"seller {worst} has {int(counts[worst])} observations, "
+                f"more than L * selections = {int(expected[worst])} "
+                "(faults can only lose observations)",
+            )
+
+        means = state.means
+        if np.any(means < -self._tolerance) or np.any(
+                means > 1.0 + self._tolerance):
+            self._record(
+                "estimate_range", round_index,
+                "quality estimates left [0, 1]: "
+                f"min={float(means.min())!r} max={float(means.max())!r}",
+            )
+
+        if exploration_coefficient is not None and state.total_count > 1:
+            bonuses = state.exploration_bonuses(exploration_coefficient)
+            seen = counts > 0
+            unseen = ~seen
+            if np.any(unseen) and not np.all(np.isposinf(bonuses[unseen])):
+                self._record(
+                    "ucb_unseen_infinite", round_index,
+                    "never-observed sellers must carry an infinite UCB "
+                    "bonus (forced exploration)",
+                )
+            if np.any(bonuses[seen] < 0.0):
+                self._record(
+                    "ucb_monotonicity", round_index,
+                    "negative exploration bonus: the UCB index must "
+                    "upper-bound the sample mean (Eq. 19)",
+                )
+            observed = bonuses[seen]
+            order = np.argsort(counts[seen], kind="stable")
+            ordered = observed[order]
+            slack = self._tolerance * np.maximum(1.0, ordered[:-1])
+            if np.any(np.diff(ordered) > slack):
+                self._record(
+                    "ucb_monotonicity", round_index,
+                    "exploration bonus is not non-increasing in the "
+                    "observation count n_i (Eq. 19)",
+                )

@@ -1,0 +1,136 @@
+"""Property-based tests for the verification subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.incentive import (
+    optimal_collection_price,
+    optimal_sensing_times,
+    optimal_service_price,
+)
+from repro.core.selection import top_k_indices
+from repro.game.profits import GameInstance
+from repro.verify import brute_force_top_k, diff_values, values_close
+from repro.verify.invariants import (
+    leader_foc_residuals,
+    stage3_stationarity_violation,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=64)
+any_floats = st.floats(allow_nan=True, allow_infinity=True, width=64)
+
+json_scalars = st.one_of(any_floats, st.integers(-10**9, 10**9),
+                         st.text(max_size=8), st.booleans(), st.none())
+json_payloads = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCompareProperties:
+    @given(a=any_floats, b=any_floats)
+    def test_values_close_is_symmetric(self, a, b):
+        assert values_close(a, b) == values_close(b, a)
+
+    @given(a=any_floats)
+    def test_values_close_is_reflexive(self, a):
+        assert values_close(a, a)
+
+    @given(payload=json_payloads)
+    def test_diff_of_payload_with_itself_is_empty(self, payload):
+        assert diff_values(payload, payload) == []
+
+    @given(payload=json_payloads)
+    def test_diff_round_trips_through_numpy(self, payload):
+        # Wrapping list-of-float leaves in numpy arrays must not create
+        # spurious mismatches (golden series are stored as lists but
+        # computed as arrays).
+        if isinstance(payload, list) and payload and all(
+                isinstance(item, float) and not isinstance(item, bool)
+                for item in payload):
+            assert diff_values(np.array(payload), payload) == []
+
+
+class TestSelectionProperties:
+    @given(
+        scores=st.lists(
+            st.one_of(finite_floats,
+                      st.integers(-3, 3).map(float),
+                      st.just(float("inf"))),
+            min_size=1, max_size=30),
+        data=st.data(),
+    )
+    def test_top_k_matches_brute_force(self, scores, data):
+        k = data.draw(st.integers(1, len(scores)))
+        fast = top_k_indices(np.array(scores), k)
+        reference = brute_force_top_k(np.array(scores), k)
+        np.testing.assert_array_equal(fast, reference)
+
+
+def game_from(draw_qualities, draw_a, draw_b, theta, lam, omega):
+    return GameInstance(
+        qualities=np.array(draw_qualities),
+        cost_a=np.array(draw_a),
+        cost_b=np.array(draw_b),
+        theta=theta, lam=lam, omega=omega,
+    )
+
+
+game_strategy = st.integers(1, 6).flatmap(
+    lambda m: st.tuples(
+        st.lists(st.floats(0.05, 1.0), min_size=m, max_size=m),
+        st.lists(st.floats(0.1, 0.5), min_size=m, max_size=m),
+        st.lists(st.floats(0.0, 1.0), min_size=m, max_size=m),
+        st.floats(0.05, 0.5),
+        st.floats(0.0, 2.0),
+        st.floats(100.0, 2_000.0),
+    )
+).map(lambda args: game_from(*args))
+
+
+class TestEquilibriumProperties:
+    @given(game=game_strategy, price=st.floats(0.0, 5.0))
+    @settings(max_examples=60)
+    def test_stage3_best_response_is_stationary(self, game, price):
+        taus = optimal_sensing_times(game, price)
+        violation = stage3_stationarity_violation(
+            game.qualities, game.cost_a, game.cost_b, price, taus,
+            game.max_sensing_time,
+        )
+        assert np.all(violation <= 1e-8 * max(1.0, price))
+
+    @given(game=game_strategy)
+    @settings(max_examples=40)
+    def test_interior_equilibria_satisfy_leader_focs(self, game):
+        p_j = optimal_service_price(game)
+        p = optimal_collection_price(game, p_j)
+        taus = optimal_sensing_times(game, p)
+        svc_lo, svc_hi = game.service_price_bounds
+        col_lo, col_hi = game.collection_price_bounds
+        assume(svc_lo + 1e-6 < p_j < svc_hi - 1e-6)
+        assume(col_lo + 1e-6 < p < col_hi - 1e-6)
+        assume(bool(np.all(taus > 1e-9)))
+        stage1, stage2 = leader_foc_residuals(
+            game.qualities, game.cost_a, game.cost_b, game.theta,
+            game.lam, game.omega, p_j, p, taus,
+        )
+        assert stage1 < 1e-6
+        assert stage2 < 1e-6
+
+    @given(game=game_strategy, price=st.floats(0.0, 5.0))
+    @settings(max_examples=60)
+    def test_best_response_profits_are_individually_rational(self, game,
+                                                             price):
+        taus = optimal_sensing_times(game, price)
+        profits = (price * taus
+                   - (game.cost_a * taus**2 + game.cost_b * taus)
+                   * game.qualities)
+        assert np.all(profits >= -1e-9 * max(1.0, price))

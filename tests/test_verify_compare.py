@@ -1,0 +1,135 @@
+"""Tolerance-aware comparison utilities (repro.verify.compare)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.verify import Mismatch, ToleranceSpec, diff_values, values_close
+
+
+class TestToleranceSpec:
+    def test_defaults(self):
+        spec = ToleranceSpec()
+        assert spec.rtol == 1e-9
+        assert spec.atol == 1e-12
+        assert spec.nan_equal is True
+
+    def test_rejects_negative_tolerances(self):
+        with pytest.raises(ConfigurationError):
+            ToleranceSpec(rtol=-1e-9)
+        with pytest.raises(ConfigurationError):
+            ToleranceSpec(atol=-1.0)
+
+
+class TestValuesClose:
+    def test_exact_equality(self):
+        assert values_close(1.5, 1.5)
+        assert values_close(0.0, 0.0)
+
+    def test_within_relative_tolerance(self):
+        spec = ToleranceSpec(rtol=1e-6, atol=0.0)
+        assert values_close(1_000.0, 1_000.0005, spec)
+        assert not values_close(1_000.0, 1_000.5, spec)
+
+    def test_within_absolute_tolerance(self):
+        spec = ToleranceSpec(rtol=0.0, atol=1e-3)
+        assert values_close(0.0, 5e-4, spec)
+        assert not values_close(0.0, 5e-3, spec)
+
+    def test_symmetric(self):
+        spec = ToleranceSpec(rtol=1e-6, atol=0.0)
+        assert values_close(1_000.0, 1_000.0009, spec) == values_close(
+            1_000.0009, 1_000.0, spec
+        )
+
+    def test_nan_semantics(self):
+        nan = float("nan")
+        assert values_close(nan, nan)
+        assert not values_close(nan, 1.0)
+        assert not values_close(1.0, nan)
+        strict = ToleranceSpec(nan_equal=False)
+        assert not values_close(nan, nan, strict)
+
+    def test_infinity_requires_matching_sign(self):
+        inf = float("inf")
+        assert values_close(inf, inf)
+        assert values_close(-inf, -inf)
+        assert not values_close(inf, -inf)
+        assert not values_close(inf, 1e300)
+
+    def test_int_float_mix(self):
+        assert values_close(3, 3.0)
+
+
+class TestDiffValues:
+    def test_equal_nested_payloads(self):
+        payload = {
+            "summary": {"regret": 12.5, "rounds": 100},
+            "series": [[1.0, 2.0], [3.0, float("nan")]],
+            "policy": "CMAB-HS",
+        }
+        assert diff_values(payload, payload) == []
+
+    def test_numeric_drift_reports_path(self):
+        expected = {"summary": {"regret": 12.5}, "series": [1.0, 2.0, 3.0]}
+        actual = {"summary": {"regret": 12.5}, "series": [1.0, 2.5, 3.0]}
+        mismatches = diff_values(expected, actual)
+        assert len(mismatches) == 1
+        assert mismatches[0].path == "series[1]"
+        assert "2.0" in mismatches[0].detail
+
+    def test_missing_and_unexpected_keys(self):
+        mismatches = diff_values({"a": 1, "b": 2}, {"a": 1, "c": 3})
+        paths = {m.path for m in mismatches}
+        assert paths == {"b", "c"}
+        details = {m.path: m.detail for m in mismatches}
+        assert "missing" in details["b"]
+        assert "unexpected" in details["c"]
+
+    def test_length_mismatch(self):
+        mismatches = diff_values([1, 2, 3], [1, 2])
+        assert len(mismatches) == 1
+        assert "length" in mismatches[0].detail
+
+    def test_type_mismatch(self):
+        assert len(diff_values({"a": 1}, [1])) == 1
+        assert len(diff_values([1], 1.0)) == 1
+
+    def test_string_mismatch(self):
+        mismatches = diff_values({"policy": "CMAB-HS"}, {"policy": "random"})
+        assert len(mismatches) == 1
+        assert mismatches[0].path == "policy"
+
+    def test_numpy_arrays_accepted(self):
+        assert diff_values(np.array([1.0, 2.0]), [1.0, 2.0]) == []
+        assert diff_values({"x": np.float64(1.5)}, {"x": 1.5}) == []
+
+    def test_nan_in_series_agrees(self):
+        assert diff_values([1.0, float("nan")], [1.0, float("nan")]) == []
+        mismatches = diff_values([float("nan")], [1.0])
+        assert len(mismatches) == 1
+
+    def test_tolerance_is_honoured(self):
+        loose = ToleranceSpec(rtol=1e-2, atol=0.0)
+        assert diff_values([100.0], [100.5], loose) == []
+        assert len(diff_values([100.0], [100.5])) == 1
+
+    def test_collects_every_mismatch(self):
+        expected = {"a": [1.0, 2.0], "b": {"c": 3.0}}
+        actual = {"a": [1.5, 2.5], "b": {"c": 3.5}}
+        assert len(diff_values(expected, actual)) == 3
+
+    def test_mismatch_describe(self):
+        mismatch = Mismatch("summary.regret", 1.0, 2.0, "1.0 != 2.0")
+        assert "summary.regret" in mismatch.describe()
+        assert Mismatch("", 1, 2, "d").describe().startswith("<root>")
+
+    def test_non_finite_round_trip_values(self):
+        inf = float("inf")
+        assert diff_values({"x": inf}, {"x": inf}) == []
+        assert len(diff_values({"x": inf}, {"x": -inf})) == 1
+        assert len(diff_values({"x": inf}, {"x": math.pi})) == 1

@@ -1,0 +1,96 @@
+"""Differential sweeps over the paper's parameter grid.
+
+Each point of an ``(M, theta, lam, omega)`` grid builds a game instance
+and cross-checks the closed-form solvers against the independent
+numerical references; selection sweeps cover every ``(M, K)`` shape
+including ``K = M`` and the single-seller market.  The expensive
+Stage-1 backward induction runs on a small deterministic subset; the
+cheap Stage-2/3 oracles cover every grid point.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.incentive import optimal_service_price
+from repro.game.profits import GameInstance
+from repro.verify import (
+    check_selection_oracle,
+    check_stage1_oracle,
+    check_stage2_oracle,
+    check_stage3_oracle,
+)
+
+SELLERS = (1, 3, 8)
+THETAS = (0.1, 0.4)
+LAMS = (0.0, 1.5)
+OMEGAS = (300.0, 1_500.0)
+
+GRID = sorted(itertools.product(SELLERS, THETAS, LAMS, OMEGAS))
+
+
+def grid_game(num_sellers: int, theta: float, lam: float,
+              omega: float) -> GameInstance:
+    """A deterministic Table-II-range game for one grid point."""
+    rng = np.random.default_rng(abs(hash((num_sellers, theta, lam, omega)))
+                                % 2**32)
+    return GameInstance(
+        qualities=rng.uniform(0.2, 1.0, num_sellers),
+        cost_a=rng.uniform(0.1, 0.5, num_sellers),
+        cost_b=rng.uniform(0.0, 1.0, num_sellers),
+        theta=theta, lam=lam, omega=omega,
+    )
+
+
+@pytest.mark.parametrize("num_sellers,theta,lam,omega", GRID)
+def test_stage23_oracles_across_grid(num_sellers, theta, lam, omega):
+    game = grid_game(num_sellers, theta, lam, omega)
+    label = f"M={num_sellers},theta={theta},lam={lam},omega={omega}"
+    price = optimal_service_price(game)
+    stage2 = check_stage2_oracle(game, price, label)
+    assert stage2.passed, stage2.describe()
+    stage3 = check_stage3_oracle(game, price * 0.25, label)
+    assert stage3.passed, stage3.describe()
+
+
+@pytest.mark.parametrize("num_sellers", SELLERS)
+def test_stage1_oracle_across_market_sizes(num_sellers):
+    # One full backward induction per market size (several seconds
+    # each); the grid above already exercises theta/lam/omega.
+    game = grid_game(num_sellers, 0.1, 1.0, 800.0)
+    check = check_stage1_oracle(game, f"M={num_sellers}")
+    assert check.passed, check.describe()
+
+
+class TestSelectionSweep:
+    @pytest.mark.parametrize("num_sellers", (1, 4, 9, 25))
+    def test_every_k_including_k_equals_m(self, num_sellers):
+        rng = np.random.default_rng(num_sellers)
+        scores = rng.normal(size=num_sellers)
+        for k in range(1, num_sellers + 1):
+            check = check_selection_oracle(scores, k,
+                                           f"M={num_sellers},K={k}")
+            assert check.passed, check.describe()
+
+    @pytest.mark.parametrize("k", (1, 3, 6))
+    def test_tied_scores(self, k):
+        scores = np.array([0.5, 0.5, 0.5, 0.2, 0.5, 0.9])
+        check = check_selection_oracle(scores, k, f"ties,K={k}")
+        assert check.passed, check.describe()
+
+    def test_single_seller_market(self):
+        check = check_selection_oracle(np.array([0.7]), 1, "M=1,K=1")
+        assert check.passed, check.describe()
+
+
+def test_degenerate_lam_zero_keeps_oracles_agreeing():
+    # lam = 0 removes the data-loss term from the platform profit; the
+    # closed form's `constant` flips sign for many draws, a classic
+    # algebra-slip site.
+    game = grid_game(4, 0.25, 0.0, 600.0)
+    price = optimal_service_price(game)
+    check = check_stage2_oracle(game, price, "lam=0")
+    assert check.passed, check.describe()

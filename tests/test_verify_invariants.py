@@ -1,0 +1,308 @@
+"""Per-round invariant checkers (repro.verify.invariants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incentive import (
+    optimal_collection_price,
+    optimal_sensing_times,
+    optimal_service_price,
+)
+from repro.core.state import LearningState
+from repro.exceptions import InvariantViolationError
+from repro.game.profits import GameInstance
+from repro.obs.tracer import RingBufferSink, Tracer
+from repro.verify import InvariantMonitor
+from repro.verify.invariants import (
+    leader_foc_residuals,
+    stage3_stationarity_violation,
+)
+
+
+def interior_game() -> GameInstance:
+    """A game whose closed-form solution is strictly interior."""
+    return GameInstance(
+        qualities=np.array([0.6, 0.8, 0.5, 0.7]),
+        cost_a=np.array([0.2, 0.3, 0.25, 0.15]),
+        cost_b=np.array([0.3, 0.1, 0.4, 0.2]),
+        theta=0.1, lam=1.0, omega=1_000.0,
+    )
+
+
+def equilibrium(game: GameInstance):
+    p_j = optimal_service_price(game)
+    p = optimal_collection_price(game, p_j)
+    taus = optimal_sensing_times(game, p)
+    return p_j, p, taus
+
+
+def collecting_monitor(num_pois: int = 5, **kwargs) -> InvariantMonitor:
+    return InvariantMonitor(num_pois, raise_on_violation=False, **kwargs)
+
+
+class TestStage3Stationarity:
+    def test_zero_at_best_response(self):
+        game = interior_game()
+        _, p, taus = equilibrium(game)
+        violation = stage3_stationarity_violation(
+            game.qualities, game.cost_a, game.cost_b, p, taus,
+            game.max_sensing_time,
+        )
+        assert np.all(violation < 1e-9)
+
+    def test_positive_when_perturbed(self):
+        game = interior_game()
+        _, p, taus = equilibrium(game)
+        perturbed = taus * 1.1 + 0.05
+        violation = stage3_stationarity_violation(
+            game.qualities, game.cost_a, game.cost_b, p, perturbed,
+            game.max_sensing_time,
+        )
+        assert np.all(violation > 1e-4)
+
+    def test_opt_out_requires_nonpositive_gradient(self):
+        # One seller with b so large it opts out: tau = 0 with g <= 0
+        # is stationary, tau = 0 with g > 0 is a violation.
+        q = np.array([0.9])
+        a = np.array([0.2])
+        b = np.array([20.0])
+        zero = np.zeros(1)
+        ok = stage3_stationarity_violation(q, a, b, 1.0, zero, np.inf)
+        assert ok[0] == 0.0
+        bad = stage3_stationarity_violation(q, a, b, 50.0, zero, np.inf)
+        assert bad[0] > 0.0
+
+    def test_cap_requires_nonnegative_gradient(self):
+        q = np.array([0.5])
+        a = np.array([0.1])
+        b = np.array([0.1])
+        cap = np.array([2.0])
+        # Price high enough that the unconstrained optimum exceeds T.
+        ok = stage3_stationarity_violation(q, a, b, 5.0, cap, 2.0)
+        assert ok[0] == 0.0
+        # Price so low the seller would rather back off the cap.
+        bad = stage3_stationarity_violation(q, a, b, 0.01, cap, 2.0)
+        assert bad[0] > 0.0
+
+
+class TestLeaderFocResiduals:
+    def test_near_zero_at_equilibrium(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        stage1, stage2 = leader_foc_residuals(
+            game.qualities, game.cost_a, game.cost_b, game.theta,
+            game.lam, game.omega, p_j, p, taus,
+        )
+        assert stage1 < 1e-8
+        assert stage2 < 1e-8
+
+    def test_large_when_prices_perturbed(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        stage1, stage2 = leader_foc_residuals(
+            game.qualities, game.cost_a, game.cost_b, game.theta,
+            game.lam, game.omega, p_j * 1.5, p * 0.5, taus,
+        )
+        assert stage2 > 1e-3
+        stage1_only, _ = leader_foc_residuals(
+            game.qualities, game.cost_a, game.cost_b, game.theta,
+            game.lam, game.omega, p_j * 2.0, p, taus,
+        )
+        assert stage1_only > 1e-3
+
+
+class TestCheckSelection:
+    def test_valid_selection_passes(self):
+        monitor = collecting_monitor()
+        monitor.check_selection(0, np.array([1, 3, 5]), 3, 10, False)
+        assert monitor.violations == []
+        assert monitor.num_checks == 1
+
+    def test_wrong_size(self):
+        monitor = collecting_monitor()
+        monitor.check_selection(0, np.array([1, 3]), 3, 10, False)
+        assert monitor.violations[0].invariant == "selection_size"
+
+    def test_duplicates(self):
+        monitor = collecting_monitor()
+        monitor.check_selection(0, np.array([1, 1, 5]), 3, 10, False)
+        assert monitor.violations[0].invariant == "selection_unique"
+
+    def test_out_of_range(self):
+        monitor = collecting_monitor()
+        monitor.check_selection(0, np.array([1, 3, 10]), 3, 10, False)
+        assert monitor.violations[0].invariant == "selection_range"
+
+    def test_top_k_against_brute_force(self):
+        monitor = collecting_monitor()
+        ucb = np.array([0.9, 0.1, 0.8, 0.7, 0.2])
+        monitor.check_selection(0, np.array([0, 2, 3]), 3, 5, False,
+                                ucb_values=ucb)
+        assert monitor.violations == []
+        monitor.check_selection(1, np.array([0, 1, 2]), 3, 5, False,
+                                ucb_values=ucb)
+        assert monitor.violations[0].invariant == "selection_top_k"
+
+    def test_explore_round_skips_top_k(self):
+        monitor = collecting_monitor()
+        ucb = np.array([0.9, 0.1, 0.8])
+        # Not the argmax set, but exploration rounds pick round-robin.
+        monitor.check_selection(0, np.array([1]), 1, 3, True, ucb_values=ucb)
+        assert monitor.violations == []
+
+
+class TestCheckEquilibrium:
+    def args(self, game, p_j, p, taus, explore=False):
+        return dict(
+            qualities=game.qualities, cost_a=game.cost_a,
+            cost_b=game.cost_b, theta=game.theta, lam=game.lam,
+            omega=game.omega,
+            service_price_bounds=game.service_price_bounds,
+            collection_price_bounds=game.collection_price_bounds,
+            max_sensing_time=game.max_sensing_time,
+            service_price=p_j, collection_price=p, taus=taus,
+            explore=explore,
+        )
+
+    def test_equilibrium_passes_all_legs(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        monitor = collecting_monitor()
+        monitor.check_equilibrium(0, **self.args(game, p_j, p, taus))
+        assert monitor.violations == []
+
+    def test_price_feasibility(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        monitor = collecting_monitor()
+        monitor.check_equilibrium(0, **self.args(game, -5.0, p, taus))
+        assert monitor.violations[0].invariant == "price_feasibility"
+
+    def test_sensing_time_feasibility(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        monitor = collecting_monitor()
+        monitor.check_equilibrium(
+            0, **self.args(game, p_j, p, taus - taus.max() - 1.0))
+        names = [v.invariant for v in monitor.violations]
+        assert "sensing_time_feasibility" in names
+
+    def test_stationarity_violation_detected(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        monitor = collecting_monitor()
+        monitor.check_equilibrium(
+            0, **self.args(game, p_j, p, taus * 1.5 + 0.1))
+        names = [v.invariant for v in monitor.violations]
+        assert "stage3_stationarity" in names
+
+    def test_perturbed_price_fails_foc(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        # Perturb p and recompute the (true) best-response taus, so
+        # stationarity holds but the Stage-2 FOC cannot.
+        bad_p = p * 1.2 + 0.1
+        bad_taus = optimal_sensing_times(game, bad_p)
+        monitor = collecting_monitor()
+        monitor.check_equilibrium(0, **self.args(game, p_j, bad_p, bad_taus))
+        names = [v.invariant for v in monitor.violations]
+        assert "stage2_first_order" in names
+
+    def test_explore_round_only_checks_feasibility(self):
+        game = interior_game()
+        monitor = collecting_monitor()
+        # Arbitrary feasible profile that is nowhere near an equilibrium:
+        # fine in an exploration round.
+        taus = np.full(game.num_sellers, 0.5)
+        monitor.check_equilibrium(
+            0, **self.args(game, 10.0, 1.0, taus, explore=True))
+        assert monitor.violations == []
+
+    def test_negative_profit_fails_ir(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        monitor = collecting_monitor(tolerance=1e-9)
+        # Sensing far beyond the best response turns profit negative;
+        # use a huge tolerance on stationarity by checking IR directly
+        # via the recorded violation list.
+        monitor.check_equilibrium(
+            0, **self.args(game, p_j, p, taus * 50.0 + 10.0))
+        names = [v.invariant for v in monitor.violations]
+        assert "individual_rationality" in names
+
+
+class TestCheckLearning:
+    def make_state(self, num_sellers=6, num_pois=5, rounds=3, k=2, seed=0):
+        rng = np.random.default_rng(seed)
+        state = LearningState(num_sellers)
+        counts = np.zeros(num_sellers, dtype=np.int64)
+        for _ in range(rounds):
+            selected = rng.choice(num_sellers, size=k, replace=False)
+            sums = rng.uniform(0.2, 0.8, size=k) * num_pois
+            state.update(selected, sums, num_pois)
+            counts[selected] += 1
+        return state, counts
+
+    def test_clean_counts_pass(self):
+        state, counts = self.make_state()
+        monitor = collecting_monitor(num_pois=5)
+        monitor.check_learning(2, state, counts, clean=True,
+                               exploration_coefficient=3.0)
+        assert monitor.violations == []
+
+    def test_clean_count_mismatch_detected(self):
+        state, counts = self.make_state()
+        wrong = counts.copy()
+        wrong[0] += 1
+        monitor = collecting_monitor(num_pois=5)
+        monitor.check_learning(2, state, wrong, clean=True)
+        assert monitor.violations[0].invariant == "count_conservation"
+
+    def test_faulty_counts_may_lose_but_not_invent(self):
+        state, counts = self.make_state()
+        monitor = collecting_monitor(num_pois=5)
+        # Pretend one more selection than observed: losing is fine.
+        inflated = counts.copy()
+        inflated[counts.argmax()] += 1
+        monitor.check_learning(2, state, inflated, clean=False)
+        assert monitor.violations == []
+        # Fewer selections than observations: faults cannot invent.
+        deflated = counts.copy()
+        deflated[counts.argmax()] -= 1
+        monitor.check_learning(2, state, deflated, clean=False)
+        assert monitor.violations[0].invariant == "count_conservation"
+
+    def test_ucb_structure_holds_for_real_state(self):
+        state, counts = self.make_state(rounds=6)
+        monitor = collecting_monitor(num_pois=5)
+        monitor.check_learning(5, state, counts, clean=True,
+                               exploration_coefficient=3.0)
+        assert monitor.violations == []
+
+
+class TestMonitorPlumbing:
+    def test_raise_mode_raises_on_first_violation(self):
+        monitor = InvariantMonitor(5)
+        with pytest.raises(InvariantViolationError, match="selection_size"):
+            monitor.check_selection(0, np.array([1]), 3, 10, False)
+
+    def test_collect_mode_records_round_and_magnitude(self):
+        game = interior_game()
+        p_j, p, taus = equilibrium(game)
+        monitor = collecting_monitor()
+        monitor.check_equilibrium(
+            7, **TestCheckEquilibrium().args(game, p_j, p, taus * 2.0))
+        violation = monitor.violations[0]
+        assert violation.round_index == 7
+        assert violation.magnitude > 0.0
+
+    def test_violations_emitted_as_trace_events(self):
+        sink = RingBufferSink()
+        monitor = collecting_monitor(tracer=Tracer(sink))
+        monitor.check_selection(3, np.array([1, 1]), 2, 10, False)
+        events = sink.of_kind("invariant_violation")
+        assert len(events) == 1
+        assert events[0].round_index == 3
+        assert events[0].payload["invariant"] == "selection_unique"
