@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures figures-paper-scale examples clean
+.PHONY: install test bench lint figures figures-paper-scale examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,21 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Static analysis: the in-tree determinism linter always runs (stdlib
+# only); ruff and mypy run when installed (pip install -e '.[dev]').
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --config-file pyproject.toml; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
+	fi
 
 # Regenerate every paper table/figure (+ extensions) at reduced scale.
 figures:

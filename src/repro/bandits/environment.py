@@ -90,13 +90,17 @@ class CMABEnvironment:
 
     def run(self, policy: SelectionPolicy) -> BanditRunResult:
         """Run one full episode of the policy and collect statistics."""
+        # Call-time import: repro.sim imports repro.bandits, so a
+        # top-level import of repro.sim.rng would be circular.
+        from repro.sim.rng import seed_sequence, seeded_generator
+
         m = self._model.num_sellers
-        seq = np.random.SeedSequence(self._seed)
+        seq = seed_sequence(self._seed)
         obs_seed, policy_seed = seq.spawn(2)
         sampler = QualitySampler(
-            self._model, self._num_pois, np.random.default_rng(obs_seed)
+            self._model, self._num_pois, seeded_generator(obs_seed)
         )
-        policy_rng = np.random.default_rng(policy_seed)
+        policy_rng = seeded_generator(policy_seed)
         state = LearningState(m)
         tracker = RegretTracker(self._model.means, self._k, self._num_pois)
         policy.reset(m, self._k, self._num_rounds)

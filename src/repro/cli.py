@@ -13,6 +13,8 @@ Subcommands:
 * ``verify`` — run the equilibrium verification subsystem (differential
   oracles, golden-trace regression, strict-mode invariant runs); exits
   non-zero on any failure.  ``--update-goldens`` blesses new goldens.
+* ``lint`` — run the :mod:`repro.lint` determinism/correctness static
+  analyser over source files; exits non-zero on any finding.
 
 ``quickstart`` and ``replicate`` accept ``--trace PATH.jsonl`` (write a
 structured event trace of the run) and ``--log-level LEVEL`` (configure
@@ -234,6 +236,37 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument(
         "--report", metavar="PATH.json", default=None,
         help="also write the verification report as JSON to PATH",
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help=(
+            "run the determinism/correctness static analyser "
+            "(rules RL001-RL006) over source files"
+        ),
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--select", action="append", metavar="RULES", default=None,
+        help=(
+            "comma-separated rule ids to run, e.g. RL001,RL003 "
+            "(repeatable; default: all rules)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format on stdout (default: human)",
+    )
+    lint_parser.add_argument(
+        "--report", metavar="PATH.json", default=None,
+        help="also write the JSON report to PATH",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
     )
 
     trace_parser = subparsers.add_parser(
@@ -501,6 +534,48 @@ def _command_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import (
+        all_rules,
+        findings_to_json,
+        lint_paths,
+        render_findings,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+    select = None
+    if args.select:
+        select = [rule_id.strip()
+                  for chunk in args.select
+                  for rule_id in chunk.split(",") if rule_id.strip()]
+    findings, files_checked = lint_paths(args.paths, select=select)
+    report = findings_to_json(findings, files_checked=files_checked)
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_findings(findings, files_checked=files_checked))
+    if args.report:
+        from repro.sim.persistence import atomic_write_json
+
+        try:
+            atomic_write_json(args.report, report)
+        except OSError as error:
+            from repro.exceptions import PersistenceError
+
+            raise PersistenceError(
+                f"cannot write lint report {args.report}: {error}"
+            ) from error
+        if args.format != "json":
+            print(f"wrote report to {args.report}")
+    return 1 if findings else 0
+
+
 def _command_trace_summarize(args: argparse.Namespace) -> int:
     from repro.obs import summarize_trace
 
@@ -509,8 +584,6 @@ def _command_trace_summarize(args: argparse.Namespace) -> int:
 
 
 def _command_trace(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.data import (
         TraceSpec,
         extract_pois,
@@ -518,6 +591,7 @@ def _command_trace(args: argparse.Namespace) -> int:
         save_trace,
         sellers_from_trace,
     )
+    from repro.sim.rng import seeded_generator
 
     spec = TraceSpec(num_trips=args.trips, num_taxis=args.taxis,
                      seed=args.seed)
@@ -534,7 +608,7 @@ def _command_trace(args: argparse.Namespace) -> int:
               f"{poi.longitude:.4f}), {poi.weight:.0f} events")
     derived = sellers_from_trace(
         trace, pois, num_sellers=args.sellers,
-        rng=np.random.default_rng(args.seed), radius_degrees=0.02,
+        rng=seeded_generator(args.seed), radius_degrees=0.02,
     )
     print(f"derived {len(derived.population)} sellers; PoI coverage "
           f"{derived.poi_coverage.min()}-{derived.poi_coverage.max()} "
@@ -561,6 +635,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_trace(args)
         if args.command == "verify":
             return _command_verify(args)
+        if args.command == "lint":
+            return _command_lint(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -19,7 +19,7 @@ verifier reports the worst improvement found for each party.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -19,7 +19,7 @@ Algorithm 1, plus per-round profits for analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
+from repro.obs.timing import perf_counter
 
 import numpy as np
 
@@ -319,8 +319,12 @@ class CMABHSMechanism:
         tr = tracer if tracer is not None else NULL_TRACER
         reg = metrics if metrics is not None else MetricsRegistry()
         num_pois = self._job.num_pois
+        # Call-time import: repro.sim imports repro.core, so a
+        # top-level import of repro.sim.rng would be circular.
+        from repro.sim.rng import seeded_generator
+
         sampler = QualitySampler(
-            self._quality_model, num_pois, np.random.default_rng(self._seed)
+            self._quality_model, num_pois, seeded_generator(self._seed)
         )
         state = LearningState(m)
         tracker = RegretTracker(

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.data.schema import TripRecord
 from repro.exceptions import DataTraceError
+from repro.sim.rng import seeded_generator
 
 __all__ = ["TraceSpec", "generate_trace"]
 
@@ -117,7 +118,7 @@ def generate_trace(spec: TraceSpec | None = None) -> list[TripRecord]:
         trips, 300 taxis — a few seconds of generation time).
     """
     spec = spec if spec is not None else TraceSpec()
-    rng = np.random.default_rng(spec.seed)
+    rng = seeded_generator(spec.seed)
     hotspots = _place_hotspots(spec, rng)
     popularity = _hotspot_popularity(spec.num_hotspots)
 

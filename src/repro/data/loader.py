@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.data.schema import CSV_HEADER, TripRecord
 from repro.exceptions import DataTraceError
@@ -32,7 +32,7 @@ def load_trace(path: str | os.PathLike) -> list[TripRecord]:
         malformed.
     """
     records: list[TripRecord] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         header = handle.readline().strip()
         if not header:
             raise DataTraceError(f"trace file {path!s} is empty")

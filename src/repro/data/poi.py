@@ -8,7 +8,7 @@ events per cell, and return the ``L`` busiest cell centroids as PoIs.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ Importing this package registers every experiment; run them via::
 or from the command line: ``python -m repro run fig7``.
 """
 
-from repro.experiments import (  # noqa: F401 - imported for registration
+from repro.experiments import (  # imported for registration
     fig07_revenue_regret_vs_n,
     fig08_delta_profit_vs_n,
     fig09_revenue_regret_vs_m,
@@ -48,7 +48,7 @@ from repro.experiments.sweeps import (
 
 # Imported last (it depends on the registry above): registers the
 # extension experiments (ext-drift, ext-market, ...).
-import repro.extensions  # noqa: E402,F401
+import repro.extensions  # noqa: E402
 
 __all__ = [
     "Scale",

@@ -17,6 +17,7 @@ from repro.core.incentive import ClosedFormStackelbergSolver
 from repro.exceptions import ExperimentError
 from repro.game.profits import GameInstance
 from repro.game.stackelberg import SolvedGame
+from repro.sim.rng import seeded_generator
 
 __all__ = ["RoundSetup", "build_round_game", "solve_round"]
 
@@ -57,7 +58,7 @@ def build_round_game(k: int = 10, omega: float = 1_000.0, theta: float = 0.1,
     """
     if k <= 0:
         raise ExperimentError(f"k must be positive, got {k}")
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     qualities = rng.uniform(0.3, 1.0, size=k)
     cost_a = rng.uniform(0.1, 0.5, size=k)
     cost_b = rng.uniform(0.1, 1.0, size=k)

@@ -14,7 +14,7 @@ eyeballed without matplotlib:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

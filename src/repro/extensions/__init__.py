@@ -19,9 +19,9 @@ Importing this package registers the extension experiments
 ``ext-replication``) in the experiment registry.
 """
 
-from repro.extensions import market_experiment  # noqa: F401 - registers
-from repro.extensions import replication_experiment  # noqa: F401 - registers
-from repro.extensions import welfare_experiment  # noqa: F401 - registers
+from repro.extensions import market_experiment  # registers
+from repro.extensions import replication_experiment  # registers
+from repro.extensions import welfare_experiment  # registers
 from repro.extensions.budget import (
     BudgetedComparison,
     BudgetedRun,

@@ -28,6 +28,7 @@ from repro.experiments.registry import (
     register,
 )
 from repro.quality.distributions import TruncatedGaussianQuality
+from repro.sim.rng import seed_sequence, seeded_generator
 
 __all__ = [
     "CoverageMatrix",
@@ -204,10 +205,10 @@ def run_coverage_simulation(policy: SelectionPolicy,
             f"num_rounds must be positive, got {num_rounds}"
         )
     model = TruncatedGaussianQuality(expected_qualities)
-    seq = np.random.SeedSequence([seed, 0xC07E])
+    seq = seed_sequence([seed, 0xC07E])
     obs_seed, policy_seed = seq.spawn(2)
-    obs_rng = np.random.default_rng(obs_seed)
-    policy_rng = np.random.default_rng(policy_seed)
+    obs_rng = seeded_generator(obs_seed)
+    policy_rng = seeded_generator(policy_seed)
     state = LearningState(m)
     policy.reset(m, k, num_rounds)
     revenue = 0.0
@@ -255,13 +256,13 @@ def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
     num_rounds = 1_500 if scale is Scale.SMALL else 10_000
     m, l, k = 40, 10, 8
     densities = np.array([0.2, 0.35, 0.5, 0.8])
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     qualities = rng.uniform(0.2, 1.0, m)
     blind_revenue, aware_revenue = [], []
     blind_coverage, aware_coverage = [], []
     for density in densities:
         coverage = CoverageMatrix.random(
-            m, l, np.random.default_rng(seed + int(density * 100)),
+            m, l, seeded_generator(seed + int(density * 100)),
             density=float(density),
         )
         blind = run_coverage_simulation(

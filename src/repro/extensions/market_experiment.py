@@ -24,6 +24,7 @@ from repro.market.allocation import (
 )
 from repro.market.engine import MarketSimulator
 from repro.market.spec import ConsumerSpec
+from repro.sim.rng import seeded_generator
 
 __all__ = ["run", "DEFAULT_SPECS"]
 
@@ -40,7 +41,7 @@ def run(scale: Scale = Scale.SMALL, seed: int = 0) -> ExperimentResult:
     """Run all allocation strategies on a shared market instance."""
     num_rounds = 1_500 if scale is Scale.SMALL else 20_000
     population = SellerPopulation.random(
-        80, np.random.default_rng(seed)
+        80, seeded_generator(seed)
     )
     simulator = MarketSimulator(
         population, list(DEFAULT_SPECS), num_pois=5, seed=seed,

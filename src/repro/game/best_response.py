@@ -16,7 +16,7 @@ Two strategies are provided:
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from collections.abc import Callable
 
 import numpy as np
 
@@ -27,6 +28,11 @@ __all__ = [
     "solve_stage1_numeric",
     "NumericalStackelbergSolver",
 ]
+
+#: A follower-response override: ``(game, collection_price) -> taus``.
+Stage3Fn = Callable[[GameInstance, float], np.ndarray]
+#: A platform-stage override: ``(game, service_price, stage3) -> p*``.
+Stage2Fn = Callable[[GameInstance, float, "Stage3Fn | None"], float]
 
 
 @dataclass(frozen=True)
@@ -143,7 +149,7 @@ def solve_stage3_numeric(game: GameInstance,
 
 
 def solve_stage2_numeric(game: GameInstance, service_price: float,
-                         stage3=None,
+                         stage3: Stage3Fn | None = None,
                          coarse_points: int = 601) -> float:
     """The platform's profit-maximising ``p`` given the consumer's ``p^J``.
 
@@ -187,8 +193,8 @@ def solve_stage2_numeric(game: GameInstance, service_price: float,
 
 
 def solve_stage1_numeric(game: GameInstance,
-                         stage2=solve_stage2_numeric,
-                         stage3=None,
+                         stage2: Stage2Fn = solve_stage2_numeric,
+                         stage3: Stage3Fn | None = None,
                          coarse_points: int = 201) -> float:
     """The consumer's profit-maximising ``p^J`` anticipating both stages.
 

@@ -1,0 +1,51 @@
+"""Determinism & correctness static analysis for the reproduction.
+
+``repro.lint`` is a small AST-based linter whose rules encode the
+repo-specific invariants that keep CMAB-HS runs bit-identical across
+checkpoint/resume, parallel workers, and strict verification mode:
+
+* **RL001** — RNG construction (``np.random.*``, stdlib ``random``)
+  only inside :mod:`repro.sim.rng`.
+* **RL002** — no wall-clock reads in the ``sim``/``game``/``bandits``/
+  ``core`` hot paths; use the :mod:`repro.obs.timing` shim.
+* **RL003** — every literal ``Tracer.emit(kind, ...)`` kind must be a
+  member of :data:`repro.obs.events.EVENT_KINDS`.
+* **RL004** — no float ``==``/``!=`` on model quantities in
+  ``game``/``verify``; use ``math.isclose`` or
+  :mod:`repro.verify.compare`.
+* **RL005** — no swallowed exceptions (bare ``except:`` /
+  ``except Exception: pass``) in ``faults``/``parallel``/persistence.
+* **RL006** — nothing unpicklable (lambdas, nested functions) may
+  cross the :class:`~repro.parallel.ParallelExecutor` task boundary.
+
+Findings are suppressed per line with ``# repro-lint: disable=RL001``
+(comma-separate several ids, or ``disable=all``); a justification on
+the same comment is encouraged.  Run it as ``repro lint src/`` or via
+:func:`lint_paths`.
+"""
+
+from repro.lint.framework import (
+    Finding,
+    LintContext,
+    LintRule,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from repro.lint.reporters import findings_to_json, render_findings
+from repro.lint import rules as _rules  # registers RL001-RL006
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintRule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "findings_to_json",
+    "render_findings",
+]

@@ -1,0 +1,342 @@
+"""Core machinery of the ``repro.lint`` static analyser.
+
+The framework is deliberately small: a :class:`LintRule` registry, a
+:class:`LintContext` describing one source file (its AST, raw lines,
+inferred package, and suppression table), and driver functions that
+run every registered rule over files or directories.
+
+Suppression syntax
+------------------
+A finding is suppressed when the flagged line carries a comment of the
+form ``# repro-lint: disable=RL001`` (several ids comma-separated, or
+``all``).  A whole file opts out of one rule with
+``# repro-lint: disable-file=RL001`` on any line.  Fixture files may
+also override the inferred package with ``# repro-lint:
+package=repro.sim`` so package-scoped rules can be exercised from
+paths outside ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintRule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]
+
+#: ``# repro-lint: <directive>`` comment, e.g. ``disable=RL001,RL004``.
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<directive>disable-file|disable|package)\s*=\s*"
+    r"(?P<value>[A-Za-z0-9_.,\s-]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    def format(self) -> str:
+        """The conventional ``path:line:col: RULE message`` line."""
+        location = f"{self.path}:{self.line}:{self.column + 1}"
+        text = f"{location}: {self.rule} {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form consumed by the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class _Suppressions:
+    """Per-file suppression table parsed from ``# repro-lint:`` pragmas."""
+
+    def __init__(self, source: str) -> None:
+        self.line_rules: dict[int, set[str]] = {}
+        self.file_rules: set[str] = set()
+        self.package_override: str | None = None
+        for lineno, comment in _iter_comments(source):
+            match = _PRAGMA.search(comment)
+            if match is None:
+                continue
+            directive = match.group("directive")
+            value = match.group("value").strip()
+            if directive == "package":
+                self.package_override = value
+                continue
+            rules = {item.strip().upper() for item in value.split(",")
+                     if item.strip()}
+            if directive == "disable-file":
+                self.file_rules |= rules
+            else:
+                self.line_rules.setdefault(lineno, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is disabled at ``line`` (1-based)."""
+        if "ALL" in self.file_rules or rule in self.file_rules:
+            return True
+        at_line = self.line_rules.get(line)
+        return at_line is not None and (
+            "ALL" in at_line or rule in at_line
+        )
+
+
+def _iter_comments(source: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(lineno, comment_text)`` for every comment in ``source``.
+
+    Uses :mod:`tokenize` so string literals containing ``#`` never read
+    as comments; a file that fails to tokenize yields nothing (the AST
+    parse will surface the real syntax error).
+    """
+    lines = iter(source.splitlines(keepends=True))
+    try:
+        for token in tokenize.generate_tokens(lambda: next(lines, "")):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def _infer_package(path: str) -> str:
+    """Dotted package of ``path`` rooted at the ``repro`` directory.
+
+    ``src/repro/sim/engine.py`` maps to ``repro.sim.engine``; paths not
+    under a ``repro`` directory map to ``""`` (package-scoped rules
+    then skip the file unless a ``package=`` pragma overrides).
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "repro" not in parts:
+        return ""
+    module_parts = parts[parts.index("repro"):]
+    leaf = module_parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[:-3]
+    if leaf == "__init__":
+        module_parts = module_parts[:-1]
+    else:
+        module_parts = module_parts[:-1] + [leaf]
+    return ".".join(module_parts)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    package: str
+    suppressions: _Suppressions
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this file lives under any of the dotted ``prefixes``."""
+        return any(
+            self.package == prefix or self.package.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    def snippet(self, node: ast.AST) -> str:
+        """The first source line of ``node``, stripped (for reports)."""
+        lineno = getattr(node, "lineno", None)
+        if lineno is None or lineno > len(self.lines):
+            return ""
+        return self.lines[lineno - 1].strip()
+
+
+class LintRule:
+    """Base class for one named check.
+
+    Subclasses set :attr:`rule_id` / :attr:`title` / :attr:`rationale`
+    and implement :meth:`check`, yielding :class:`Finding`\\ s (the
+    driver applies suppressions afterwards, so rules never need to).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, context: LintContext, node: ast.AST,
+                message: str) -> Finding:
+        """A :class:`Finding` for ``node`` in ``context``."""
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+            snippet=context.snippet(node),
+        )
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ConfigurationError(f"rule {cls.__name__} lacks a rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ConfigurationError(
+            f"duplicate lint rule id {rule.rule_id!r}"
+        )
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    """Every registered rule, ordered by id."""
+    return tuple(rule for __, rule in sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """The registered rule with this id.
+
+    Raises
+    ------
+    ConfigurationError
+        If no rule with ``rule_id`` exists.
+    """
+    try:
+        return _REGISTRY[rule_id.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown lint rule {rule_id!r} (known: {known})"
+        ) from None
+
+
+def _select_rules(select: Iterable[str] | None) -> tuple[LintRule, ...]:
+    if select is None:
+        return all_rules()
+    return tuple(get_rule(rule_id) for rule_id in select)
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one source string, returning unsuppressed findings.
+
+    Parameters
+    ----------
+    source:
+        Python source text.
+    path:
+        Path reported in findings and used to infer the package (a
+        ``# repro-lint: package=...`` pragma overrides the inference).
+    select:
+        Optional iterable of rule ids to run (default: all).
+
+    Raises
+    ------
+    ConfigurationError
+        If the source does not parse, or ``select`` names an unknown
+        rule.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise ConfigurationError(
+            f"cannot lint {path}: {error.msg} (line {error.lineno})"
+        ) from error
+    suppressions = _Suppressions(source)
+    package = suppressions.package_override
+    if package is None:
+        package = _infer_package(path)
+    context = LintContext(path=path, source=source, tree=tree,
+                          package=package, suppressions=suppressions)
+    findings: list[Finding] = []
+    for rule in _select_rules(select):
+        for finding in rule.check(context):
+            if not suppressions.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        elif not os.path.exists(path):
+            raise ConfigurationError(f"cannot lint {path!r}: no such file")
+        elif path.endswith(".py"):
+            yield path
+
+
+def lint_paths(paths: Iterable[str],
+               select: Iterable[str] | None = None,
+               on_file: Callable[[str], None] | None = None,
+               ) -> tuple[list[Finding], int]:
+    """Lint files and directory trees.
+
+    Returns ``(findings, files_checked)``.  ``on_file`` (if given) is
+    called with each path before it is linted — the CLI uses it for
+    verbose progress.
+
+    Raises
+    ------
+    ConfigurationError
+        On unreadable/unparsable files or unknown paths or rules.
+    """
+    findings: list[Finding] = []
+    checked = 0
+    rules = _select_rules(select)  # validate ids before any file I/O
+    rule_ids = [rule.rule_id for rule in rules]
+    for file_path in _iter_python_files(paths):
+        if on_file is not None:
+            on_file(file_path)
+        try:
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read {file_path}: {error}"
+            ) from error
+        findings.extend(lint_source(source, path=file_path,
+                                    select=rule_ids))
+        checked += 1
+    findings.sort()
+    return findings, checked

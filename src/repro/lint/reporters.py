@@ -1,0 +1,68 @@
+"""Human and JSON renderings of lint findings.
+
+The JSON schema (``version`` 1) is the artifact CI uploads::
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "files_checked": 124,
+      "findings": [
+        {"path": "...", "line": 10, "column": 4, "rule": "RL001",
+         "message": "...", "snippet": "..."}
+      ],
+      "counts": {"RL001": 1},
+      "rules": {"RL001": {"title": "...", "rationale": "..."}}
+    }
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.lint.framework import Finding, all_rules
+
+__all__ = ["findings_to_json", "render_findings"]
+
+#: Schema version of the JSON report.
+JSON_REPORT_VERSION = 1
+
+
+def render_findings(findings: Sequence[Finding],
+                    files_checked: int | None = None) -> str:
+    """The human report: one ``path:line:col: RULE message`` per finding.
+
+    Ends with a one-line summary (``clean`` when there are none).
+    """
+    lines = [finding.format() for finding in findings]
+    if findings:
+        by_rule = Counter(finding.rule for finding in findings)
+        breakdown = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(by_rule.items())
+        )
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(f"{len(findings)} {noun} ({breakdown})")
+    else:
+        checked = (f" in {files_checked} files"
+                   if files_checked is not None else "")
+        lines.append(f"clean{checked}: no lint findings")
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: Iterable[Finding],
+                     files_checked: int = 0) -> dict[str, object]:
+    """The machine-readable report dict (see module docstring)."""
+    items = [finding.to_dict() for finding in findings]
+    counts = Counter(str(item["rule"]) for item in items)
+    return {
+        "version": JSON_REPORT_VERSION,
+        "tool": "repro-lint",
+        "files_checked": int(files_checked),
+        "findings": items,
+        "counts": dict(sorted(counts.items())),
+        "rules": {
+            rule.rule_id: {"title": rule.title,
+                           "rationale": rule.rationale}
+            for rule in all_rules()
+        },
+    }

@@ -1,0 +1,414 @@
+"""The domain-specific rules RL001–RL006.
+
+Each rule encodes one invariant the runtime tests cannot enforce ahead
+of time; DESIGN.md §11 catalogues the bug class behind every id.  All
+rules are pure AST checks — no file is ever imported or executed — so
+the linter is safe to run on arbitrary (even deliberately broken)
+fixture code.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.framework import (
+    Finding,
+    LintContext,
+    LintRule,
+    register_rule,
+)
+
+__all__ = [
+    "RngConstructionRule",
+    "WallClockRule",
+    "EmitKindRule",
+    "FloatEqualityRule",
+    "SwallowedExceptionRule",
+    "TaskBoundaryPicklabilityRule",
+]
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ImportTable:
+    """Which local names refer to which imported modules/objects."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        #: local alias -> imported module path (``import numpy as np``
+        #: maps ``np`` to ``numpy``).
+        self.modules: dict[str, str] = {}
+        #: local alias -> fully-qualified object (``from time import
+        #: perf_counter as pc`` maps ``pc`` to ``time.perf_counter``).
+        self.objects: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import — not a stdlib module
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.objects[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The fully-qualified dotted path ``node`` refers to, if any.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        ``default_rng`` resolves the same under ``from numpy.random
+        import default_rng``.  Unresolvable expressions return ``None``.
+        """
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        head, __, rest = dotted.partition(".")
+        if head in self.objects:
+            resolved = self.objects[head]
+            return f"{resolved}.{rest}" if rest else resolved
+        if head in self.modules:
+            resolved = self.modules[head]
+            return f"{resolved}.{rest}" if rest else resolved
+        return None
+
+
+def _calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register_rule
+class RngConstructionRule(LintRule):
+    """RL001 — every RNG must come from :mod:`repro.sim.rng`.
+
+    A generator built straight from ``np.random.default_rng()`` /
+    ``np.random.SeedSequence`` / stdlib ``random`` bypasses the
+    :class:`~repro.sim.rng.RngFactory` seed-derivation discipline; an
+    unseeded one silently breaks bit-identical replay across
+    checkpoint/resume and parallel workers.
+    """
+
+    rule_id = "RL001"
+    title = "RNG construction outside repro.sim.rng"
+    rationale = (
+        "off-factory RNG streams break bit-identical replay; unseeded "
+        "ones are irreproducible outright"
+    )
+
+    #: The one module allowed to construct generators directly.
+    _ALLOWED_PACKAGE = "repro.sim.rng"
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        if context.package == self._ALLOWED_PACKAGE:
+            return
+        imports = _ImportTable(context.tree)
+        for call in _calls(context.tree):
+            resolved = imports.resolve(call.func)
+            if resolved is None:
+                continue
+            if resolved.startswith("numpy.random."):
+                attr = resolved.removeprefix("numpy.random.")
+                yield self.finding(
+                    context, call,
+                    f"np.random.{attr}(...) constructs an RNG stream "
+                    "outside repro.sim.rng; use "
+                    "repro.sim.rng.seeded_generator / seed_sequence / "
+                    "RngFactory instead",
+                )
+            elif resolved == "random" or resolved.startswith("random."):
+                yield self.finding(
+                    context, call,
+                    f"stdlib {resolved}(...) is unseeded global-state "
+                    "randomness; derive a generator from "
+                    "repro.sim.rng instead",
+                )
+
+
+@register_rule
+class WallClockRule(LintRule):
+    """RL002 — no wall-clock reads in the deterministic hot paths.
+
+    ``repro.sim`` / ``repro.game`` / ``repro.bandits`` / ``repro.core``
+    must behave identically run-to-run; a clock read that leaks into
+    control flow (adaptive iteration counts, time-based seeds, ...)
+    destroys that silently.  Duration telemetry goes through the
+    auditable :mod:`repro.obs.timing` shim instead.
+    """
+
+    rule_id = "RL002"
+    title = "wall-clock read in a deterministic hot path"
+    rationale = (
+        "clock reads leaking into control flow make hot-path behaviour "
+        "timing-dependent and kill bit-identical replay"
+    )
+
+    _SCOPED_PACKAGES = ("repro.sim", "repro.game", "repro.bandits",
+                        "repro.core")
+    #: Whitelisted timer-shim home: the obs package owns all timing.
+    _WHITELIST = ("repro.obs",)
+    _CLOCK_CALLS = frozenset({
+        "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns", "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        if not context.in_package(*self._SCOPED_PACKAGES):
+            return
+        if context.in_package(*self._WHITELIST):  # pragma: no cover
+            return
+        imports = _ImportTable(context.tree)
+        # Flag the wall-clock imports themselves: `from time import
+        # perf_counter` in a hot path invites unshimmed timing.
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                names = ", ".join(alias.name for alias in node.names)
+                yield self.finding(
+                    context, node,
+                    f"'from time import {names}' in a deterministic "
+                    "package; import the timer shim from "
+                    "repro.obs.timing instead",
+                )
+        for call in _calls(context.tree):
+            resolved = imports.resolve(call.func)
+            if resolved in self._CLOCK_CALLS:
+                yield self.finding(
+                    context, call,
+                    f"{resolved}(...) reads the wall clock inside a "
+                    "deterministic hot path; route timing through "
+                    "repro.obs.timing",
+                )
+
+
+@register_rule
+class EmitKindRule(LintRule):
+    """RL003 — literal ``Tracer.emit`` kinds must be in ``EVENT_KINDS``.
+
+    ``repro trace summarize`` and the golden-trace store only
+    understand the kinds enumerated in
+    :data:`repro.obs.events.EVENT_KINDS`; an unknown literal kind is a
+    typo or a forgotten registry entry either way.
+    """
+
+    rule_id = "RL003"
+    title = "Tracer.emit kind missing from EVENT_KINDS"
+    rationale = (
+        "an emit kind outside EVENT_KINDS is invisible to trace "
+        "summaries and golden-trace comparisons"
+    )
+
+    def _known_kinds(self) -> frozenset[str]:
+        # Imported lazily so the rule module stays import-light; the
+        # registry is the single source of truth for valid kinds.
+        from repro.obs.events import EVENT_KINDS
+
+        return EVENT_KINDS
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        known = self._known_kinds()
+        for call in _calls(context.tree):
+            func = call.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            if not call.args:
+                continue
+            kind = call.args[0]
+            if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+                if kind.value not in known:
+                    yield self.finding(
+                        context, call,
+                        f"emit kind {kind.value!r} is not a member of "
+                        "repro.obs.events.EVENT_KINDS; register it "
+                        "there (with docs) or fix the typo",
+                    )
+
+
+def _is_float_like(node: ast.expr) -> bool:
+    """Whether ``node`` is statically known to produce a float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub,
+                                                              ast.UAdd)):
+        return _is_float_like(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    return False
+
+
+@register_rule
+class FloatEqualityRule(LintRule):
+    """RL004 — no exact float equality on model quantities.
+
+    Equilibrium prices, profits, and sensing times come out of
+    floating-point solvers; comparing them with ``==``/``!=`` passes
+    or fails on representation noise.  ``math.isclose`` or the
+    tolerance-aware helpers in :mod:`repro.verify.compare`
+    (``values_close`` / ``diff_values``) encode the intent.
+    """
+
+    rule_id = "RL004"
+    title = "exact float equality on a model quantity"
+    rationale = (
+        "solver outputs carry representation noise; exact equality "
+        "flips on harmless last-ulp differences"
+    )
+
+    _SCOPED_PACKAGES = ("repro.game", "repro.verify")
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        if not context.in_package(*self._SCOPED_PACKAGES):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_like(left) or _is_float_like(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        context, node,
+                        f"float {symbol} comparison; use math.isclose "
+                        "or repro.verify.compare.values_close with an "
+                        "explicit tolerance",
+                    )
+                    break
+
+
+@register_rule
+class SwallowedExceptionRule(LintRule):
+    """RL005 — no silently swallowed exceptions in recovery code.
+
+    The fault-injection, parallel-execution, and persistence layers
+    exist to surface and survive failures; a bare ``except:`` or an
+    ``except Exception: pass`` there converts a real defect (corrupt
+    checkpoint, dead worker) into silent data loss.
+    """
+
+    rule_id = "RL005"
+    title = "swallowed exception in recovery-critical code"
+    rationale = (
+        "recovery layers that swallow exceptions turn crashes into "
+        "silent data corruption"
+    )
+
+    _SCOPED_PACKAGES = ("repro.faults", "repro.parallel",
+                        "repro.sim.persistence")
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_trivial_body(self, body: list[ast.stmt]) -> bool:
+        """Whether the handler does nothing observable."""
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Continue):
+                continue
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        if not context.in_package(*self._SCOPED_PACKAGES):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    context, node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt "
+                    "too; name the exceptions this handler can recover "
+                    "from",
+                )
+                continue
+            caught = _dotted_name(node.type)
+            if caught in self._BROAD and self._is_trivial_body(node.body):
+                yield self.finding(
+                    context, node,
+                    f"'except {caught}: pass' swallows every failure; "
+                    "log, re-raise, or narrow the exception type",
+                )
+
+
+@register_rule
+class TaskBoundaryPicklabilityRule(LintRule):
+    """RL006 — only picklable callables cross the task boundary.
+
+    :class:`~repro.parallel.ParallelExecutor` ships runners and
+    :class:`~repro.parallel.TaskSpec` payloads to worker processes via
+    ``multiprocessing.Queue``; lambdas and nested functions do not
+    pickle, so they crash the pool at submit time — or worse, only on
+    the crash-recovery path.  Runners must be module-level callables.
+    """
+
+    rule_id = "RL006"
+    title = "unpicklable callable crosses the ParallelExecutor boundary"
+    rationale = (
+        "lambdas/closures do not pickle; they break worker dispatch "
+        "exactly on the paths the pool exists to protect"
+    )
+
+    _BOUNDARY_CALLS = frozenset({"ParallelExecutor", "TaskSpec"})
+
+    def _nested_functions(self, tree: ast.AST) -> set[str]:
+        """Names of functions defined inside another function."""
+        nested: set[str] = set()
+
+        def walk(node: ast.AST, inside_function: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                is_function = isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                if is_function and inside_function:
+                    nested.add(child.name)
+                walk(child, inside_function or is_function)
+
+        walk(tree, False)
+        return nested
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        nested = self._nested_functions(context.tree)
+        for call in _calls(context.tree):
+            callee = _dotted_name(call.func)
+            if callee is None:
+                continue
+            basename = callee.rsplit(".", 1)[-1]
+            if basename not in self._BOUNDARY_CALLS:
+                continue
+            arguments = list(call.args) + [kw.value for kw in call.keywords]
+            for argument in arguments:
+                if isinstance(argument, ast.Lambda):
+                    yield self.finding(
+                        context, argument,
+                        f"lambda passed to {basename}(...) cannot "
+                        "pickle across the worker boundary; use a "
+                        "module-level function",
+                    )
+                elif (isinstance(argument, ast.Name)
+                      and argument.id in nested):
+                    yield self.finding(
+                        context, argument,
+                        f"nested function {argument.id!r} passed to "
+                        f"{basename}(...) cannot pickle across the "
+                        "worker boundary; hoist it to module level",
+                    )

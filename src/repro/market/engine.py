@@ -32,6 +32,7 @@ from repro.quality.distributions import (
     TruncatedGaussianQuality,
 )
 from repro.quality.sampler import QualitySampler
+from repro.sim.rng import seed_sequence, seeded_generator
 
 __all__ = ["MarketRunResult", "MarketSimulator"]
 
@@ -167,13 +168,13 @@ class MarketSimulator:
                 f"num_rounds must be positive, got {num_rounds}"
             )
         m = len(self._population)
-        seq = np.random.SeedSequence([self._seed, 0xC0FFEE])
+        seq = seed_sequence([self._seed, 0xC0FFEE])
         obs_seed, alloc_seed = seq.spawn(2)
         sampler = QualitySampler(
             self._quality_model, self._num_pois,
-            np.random.default_rng(obs_seed),
+            seeded_generator(obs_seed),
         )
-        alloc_rng = np.random.default_rng(alloc_seed)
+        alloc_rng = seeded_generator(alloc_seed)
         state = LearningState(m, prior_mean=_PRIOR_MEAN)
         cost_a_all = self._population.cost_a
         cost_b_all = self._population.cost_b

@@ -160,7 +160,7 @@ def read_trace(path: str | os.PathLike):
     """
     path = os.fspath(path)
     try:
-        handle = open(path, "r", encoding="utf-8")
+        handle = open(path, encoding="utf-8")
     except OSError as error:
         raise ConfigurationError(
             f"cannot read trace file {path!r}: {error}"

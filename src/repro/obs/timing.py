@@ -1,0 +1,20 @@
+"""The whitelisted monotonic-timer shim for hot-path telemetry.
+
+The deterministic packages (``repro.sim``, ``repro.game``,
+``repro.bandits``, ``repro.core``) must never read the wall clock
+directly — a clock value that leaks into control flow silently breaks
+bit-identical replay, and the RL002 lint rule rejects direct ``time``
+imports there wholesale.  Duration telemetry is still wanted, so this
+module re-exports :func:`time.perf_counter` as the single auditable
+source of hot-path timestamps: everything imported from here is
+*telemetry-only* by contract (durations feed trace events and metrics,
+never simulation state).
+"""
+
+from __future__ import annotations
+
+# The one sanctioned wall-clock import of the deterministic runtime;
+# repro.obs is outside RL002's scoped packages.
+from time import perf_counter
+
+__all__ = ["perf_counter"]

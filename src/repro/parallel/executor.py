@@ -42,7 +42,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
-from typing import Any, Callable, Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
 
 from repro.exceptions import ConfigurationError, ParallelExecutionError
 from repro.obs.metrics import MetricsRegistry

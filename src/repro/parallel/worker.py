@@ -27,7 +27,7 @@ from __future__ import annotations
 import os
 import traceback
 from dataclasses import dataclass
-from time import perf_counter
+from repro.obs.timing import perf_counter
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, RingBufferSink, Tracer
@@ -140,7 +140,7 @@ def worker_main(worker_id: int, runner, task_queue, result_queue,
             start = perf_counter()
             try:
                 value = runner(spec.payload, context)
-            except BaseException as error:  # noqa: BLE001 - shipped back
+            except BaseException as error:  # every failure is shipped back
                 result_queue.put((
                     "task_error", worker_id, spec.task_id,
                     f"{type(error).__name__}: {error}",

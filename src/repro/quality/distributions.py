@@ -102,7 +102,11 @@ class QualityModel(abc.ABC):
         value.  The default estimates by sampling, which is adequate for
         regret accounting in experiments.
         """
-        rng = np.random.default_rng(seed)
+        # Imported at call time: repro.sim (transitively) imports this
+        # module, so a top-level import would be circular.
+        from repro.sim.rng import seeded_generator
+
+        rng = seeded_generator(seed)
         sellers = np.arange(self.num_sellers)
         draws = self.observe(rng, np.repeat(sellers, num_samples // 100),
                              num_pois=100)
@@ -307,7 +311,10 @@ class DriftingQuality(QualityModel):
             raise ConfigurationError(f"sigma must be positive, got {sigma}")
         self._spec = _DriftSpec(float(amplitude), float(period), int(phase_seed))
         self._sigma = float(sigma)
-        phase_rng = np.random.default_rng(phase_seed)
+        # Call-time import: a top-level one would cycle via repro.sim.
+        from repro.sim.rng import seeded_generator
+
+        phase_rng = seeded_generator(phase_seed)
         self._phases = phase_rng.uniform(0.0, 2.0 * math.pi, size=self.num_sellers)
         self._round = 0
 
@@ -381,7 +388,10 @@ class PoiHeterogeneousQuality(QualityModel):
             )
         self._num_pois = int(num_pois)
         self._sigma = float(sigma)
-        offset_rng = np.random.default_rng(offset_seed)
+        # Call-time import: a top-level one would cycle via repro.sim.
+        from repro.sim.rng import seeded_generator
+
+        offset_rng = seeded_generator(offset_seed)
         raw = offset_rng.normal(0.0, poi_sigma,
                                 size=(self.num_sellers, self._num_pois))
         # Centre each seller's offsets so the per-seller mean stays q_i.

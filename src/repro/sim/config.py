@@ -153,7 +153,7 @@ class SimulationConfig:
                 "initial_sensing_time must be in (0, max_sensing_time]"
             )
 
-    def derive(self, **overrides) -> "SimulationConfig":
+    def derive(self, **overrides: object) -> "SimulationConfig":
         """A copy of this config with the given fields replaced."""
         return replace(self, **overrides)
 

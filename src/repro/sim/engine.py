@@ -47,9 +47,15 @@ run is bit-identical to an untraced one.
 from __future__ import annotations
 
 import os
-from time import perf_counter
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.obs.timing import perf_counter
+
+if TYPE_CHECKING:  # runtime import would cycle: repro.verify runs this engine
+    from repro.verify.invariants import InvariantMonitor
 
 from repro.bandits.base import SelectionPolicy
 from repro.core.incentive import solve_round_fast
@@ -71,6 +77,9 @@ from repro.sim.results import PolicyComparison, RunMetrics
 from repro.sim.rng import RngFactory
 
 __all__ = ["TradingSimulator", "run_seed_comparison"]
+
+#: Builds fresh (stateful) per-seed policies from expected qualities.
+PolicyFactory = Callable[[np.ndarray], "list[SelectionPolicy]"]
 
 #: Neutral estimate used for sellers that have never been observed when a
 #: policy (for example ``random``) drags them into the game unseen.
@@ -105,9 +114,11 @@ def _seller_gauge_keys(m: int) -> tuple[list[str], list[str]]:
 
 
 def run_seed_comparison(base_config: SimulationConfig, seed: int,
-                        policy_factory, fault_spec: FaultSpec | None = None,
+                        policy_factory: "PolicyFactory",
+                        fault_spec: FaultSpec | None = None,
                         *, tracer: Tracer | None = None,
-                        metrics: MetricsRegistry | None = None):
+                        metrics: MetricsRegistry | None = None,
+                        ) -> dict[str, dict[str, float]]:
     """Run one replication seed end to end — the parallel worker entrypoint.
 
     A replication seed is a fully self-contained universe: the derived
@@ -513,11 +524,19 @@ class TradingSimulator:
 
     # -- round bodies --------------------------------------------------------------
 
-    def _play_clean_round(self, t, selected, explore_round, state, tracker,
-                          policy, sampler, series, selection_counts,
-                          qualities_truth, cost_a_all, cost_b_all, num_pois,
-                          theta, lam, omega, svc_bounds, col_bounds,
-                          tau_max, tau0, tr, reg, monitor=None) -> None:
+    def _play_clean_round(self, t: int, selected: np.ndarray,
+                          explore_round: bool, state: LearningState,
+                          tracker: RegretTracker, policy: SelectionPolicy,
+                          sampler: QualitySampler,
+                          series: dict[str, np.ndarray],
+                          selection_counts: np.ndarray,
+                          qualities_truth: np.ndarray,
+                          cost_a_all: np.ndarray, cost_b_all: np.ndarray,
+                          num_pois: int, theta: float, lam: float,
+                          omega: float, svc_bounds: tuple[float, float],
+                          col_bounds: tuple[float, float], tau_max: float,
+                          tau0: float, tr: Tracer, reg: MetricsRegistry,
+                          monitor: "InvariantMonitor | None" = None) -> None:
         """One happy-path round (the original engine, bit for bit)."""
         cost_a = cost_a_all[selected]
         cost_b = cost_b_all[selected]
@@ -596,12 +615,21 @@ class TradingSimulator:
                     sellers_mean=float(series["sellers_mean"][t]),
                     realized=float(series["realized"][t]))
 
-    def _play_faulty_round(self, t, selected, explore_round, state, tracker,
-                           policy, sampler, series, selection_counts,
-                           qualities_truth, cost_a_all, cost_b_all, num_pois,
-                           theta, lam, omega, svc_bounds, col_bounds,
-                           tau_max, tau0, fault_model, log, tr, reg,
-                           monitor=None) -> None:
+    def _play_faulty_round(self, t: int, selected: np.ndarray,
+                           explore_round: bool, state: LearningState,
+                           tracker: RegretTracker, policy: SelectionPolicy,
+                           sampler: QualitySampler,
+                           series: dict[str, np.ndarray],
+                           selection_counts: np.ndarray,
+                           qualities_truth: np.ndarray,
+                           cost_a_all: np.ndarray, cost_b_all: np.ndarray,
+                           num_pois: int, theta: float, lam: float,
+                           omega: float, svc_bounds: tuple[float, float],
+                           col_bounds: tuple[float, float], tau_max: float,
+                           tau0: float, fault_model: FaultModel,
+                           log: FaultLog | None, tr: Tracer,
+                           reg: MetricsRegistry,
+                           monitor: "InvariantMonitor | None" = None) -> None:
         """One fault-injected round with graceful degradation.
 
         With an all-zero fault plan this produces bit-identical metrics
@@ -759,10 +787,16 @@ class TradingSimulator:
 
     # -- checkpointing -------------------------------------------------------------
 
-    def _write_checkpoint(self, path, policy, n, next_round, state, tracker,
-                          series, selection_counts, policy_rng,
-                          observation_rng, fault_model, log, reg,
-                          metrics) -> None:
+    def _write_checkpoint(self, path: str | os.PathLike,
+                          policy: SelectionPolicy, n: int, next_round: int,
+                          state: LearningState, tracker: RegretTracker,
+                          series: dict[str, np.ndarray],
+                          selection_counts: np.ndarray,
+                          policy_rng: np.random.Generator,
+                          observation_rng: np.random.Generator,
+                          fault_model: FaultModel | None,
+                          log: FaultLog | None, reg: MetricsRegistry,
+                          metrics: MetricsRegistry | None) -> None:
         tracker_snapshot = tracker.snapshot()
         meta = {
             "kind": "engine_run",
@@ -802,9 +836,16 @@ class TradingSimulator:
             arrays[f"policy__{key}"] = np.asarray(value)
         save_checkpoint(path, meta, arrays, metrics=reg)
 
-    def _restore_checkpoint(self, path, policy, n, state, tracker, series,
-                            selection_counts, policy_rng, observation_rng,
-                            fault_model, log, reg, metrics) -> int:
+    def _restore_checkpoint(self, path: str | os.PathLike,
+                            policy: SelectionPolicy, n: int,
+                            state: LearningState, tracker: RegretTracker,
+                            series: dict[str, np.ndarray],
+                            selection_counts: np.ndarray,
+                            policy_rng: np.random.Generator,
+                            observation_rng: np.random.Generator,
+                            fault_model: FaultModel | None,
+                            log: FaultLog | None, reg: MetricsRegistry,
+                            metrics: MetricsRegistry | None) -> int:
         meta, arrays = load_checkpoint(path, metrics=reg)
         expected_fingerprint = {
             "kind": "engine_run",

@@ -39,12 +39,16 @@ import math
 import os
 import tempfile
 import zipfile
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.exceptions import PersistenceError
 from repro.obs.metrics import timed
 from repro.sim.results import RunMetrics
+
+if TYPE_CHECKING:  # runtime import would cycle: experiments imports sim
+    from repro.experiments.registry import ExperimentResult
 
 __all__ = [
     "RUN_SCHEMA_VERSION",
@@ -116,7 +120,7 @@ _NONFINITE_TOKENS = {"NaN": math.nan, "Infinity": math.inf,
                      "-Infinity": -math.inf}
 
 
-def normalize_json_value(value):
+def normalize_json_value(value: Any) -> Any:
     """One value in the library's canonical JSON form.
 
     The single normalization rule shared by every JSON writer (sweep
@@ -159,7 +163,7 @@ def _nonfinite_token(value: float) -> str:
     return "Infinity" if value > 0 else "-Infinity"
 
 
-def denormalize_json_value(value):
+def denormalize_json_value(value: Any) -> Any:
     """Invert :func:`normalize_json_value` on a loaded JSON payload.
 
     Restores the non-finite sentinel strings to their float values.  Any
@@ -244,7 +248,7 @@ def _load_npz(path: str | os.PathLike, what: str) -> np.lib.npyio.NpzFile:
 def _load_json(path: str | os.PathLike, what: str) -> dict:
     """Read a JSON dict, translating corruption into :class:`PersistenceError`."""
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
     except FileNotFoundError:
         raise
@@ -259,7 +263,8 @@ def _load_json(path: str | os.PathLike, what: str) -> dict:
     return payload
 
 
-def _check_schema_version(found: int, expected: int, path, what: str) -> None:
+def _check_schema_version(found: int, expected: int,
+                          path: str | os.PathLike, what: str) -> None:
     if int(found) != expected:
         raise PersistenceError(
             f"{what} {os.fspath(path)!s} has schema version {int(found)}, "
@@ -316,7 +321,7 @@ def load_run_metrics(path: str | os.PathLike) -> RunMetrics:
 # -- experiment results (JSON) ---------------------------------------------------
 
 
-def experiment_result_to_dict(result) -> dict:
+def experiment_result_to_dict(result: "ExperimentResult") -> dict:
     """A JSON-serialisable dict of an experiment result."""
     return {
         "schema_version": EXPERIMENT_SCHEMA_VERSION,
@@ -338,12 +343,15 @@ def experiment_result_to_dict(result) -> dict:
     }
 
 
-def save_experiment_result(result, path: str | os.PathLike) -> None:
+def save_experiment_result(result: "ExperimentResult",
+                           path: str | os.PathLike) -> None:
     """Persist an experiment result as pretty-printed JSON (atomically)."""
     atomic_write_json(path, experiment_result_to_dict(result))
 
 
-def experiment_result_from_dict(payload: dict, what: str = "experiment payload"):
+def experiment_result_from_dict(payload: dict,
+                                what: str = "experiment payload",
+                                ) -> "ExperimentResult":
     """Rebuild an :class:`~repro.experiments.registry.ExperimentResult`.
 
     The inverse of :func:`experiment_result_to_dict` — also the bridge
@@ -394,7 +402,7 @@ def experiment_result_from_dict(payload: dict, what: str = "experiment payload")
     return result
 
 
-def load_experiment_result(path: str | os.PathLike):
+def load_experiment_result(path: str | os.PathLike) -> "ExperimentResult":
     """Load an experiment result saved by :func:`save_experiment_result`.
 
     Returns a :class:`~repro.experiments.registry.ExperimentResult`.

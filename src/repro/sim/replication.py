@@ -29,10 +29,15 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.obs.timing import perf_counter
+
+if TYPE_CHECKING:  # runtime import would cycle: parallel workers run this
+    from repro.parallel.worker import WorkerContext
 
 from repro.bandits.base import SelectionPolicy
 from repro.exceptions import ConfigurationError, PersistenceError
@@ -231,14 +236,16 @@ class _SeedRunner:
     """
 
     def __init__(self, base_config: SimulationConfig,
-                 policy_factory, fault_spec: FaultSpec | None,
+                 policy_factory: Callable[[np.ndarray],
+                                          list[SelectionPolicy]],
+                 fault_spec: FaultSpec | None,
                  want_metrics: bool) -> None:
         self._base_config = base_config
         self._policy_factory = policy_factory
         self._fault_spec = fault_spec
         self._want_metrics = want_metrics
 
-    def __call__(self, seed: int, context) -> dict:
+    def __call__(self, seed: int, context: "WorkerContext") -> dict:
         # Thread the worker-local observability through exactly as the
         # serial path threads the caller's: engine metrics only when
         # the caller attached a registry, tracing only when traced.
@@ -250,7 +257,8 @@ class _SeedRunner:
         )
 
 
-def _load_resume_state(checkpoint_path, fingerprint) -> tuple[
+def _load_resume_state(checkpoint_path: str | os.PathLike,
+                       fingerprint: dict) -> tuple[
         dict[int, dict], dict[int, float]]:
     """Completed per-seed samples and durations from a checkpoint."""
     payload = load_sweep_checkpoint(checkpoint_path)
@@ -286,7 +294,8 @@ def _load_resume_state(checkpoint_path, fingerprint) -> tuple[
     return per_seed, durations
 
 
-def _save_sweep_state(checkpoint_path, fingerprint,
+def _save_sweep_state(checkpoint_path: str | os.PathLike,
+                      fingerprint: dict,
                       per_seed: dict[int, dict],
                       durations: dict[int, float],
                       metrics: MetricsRegistry) -> None:

@@ -106,11 +106,11 @@ _MISSING = "<missing>"
 _NUMERIC_TYPES = (int, float)
 
 
-def _is_number(value) -> bool:
+def _is_number(value: object) -> bool:
     return isinstance(value, _NUMERIC_TYPES) and not isinstance(value, bool)
 
 
-def diff_values(expected, actual,
+def diff_values(expected: object, actual: object,
                 tolerance: ToleranceSpec = DEFAULT_TOLERANCE,
                 path: str = "") -> list[Mismatch]:
     """Every disagreement between two nested JSON-like payloads.

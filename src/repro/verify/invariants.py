@@ -40,11 +40,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import InvariantViolationError
 from repro.obs.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # type-only: the engine hands its state in at runtime
+    from repro.core.state import LearningState
 
 __all__ = [
     "InvariantViolation",
@@ -354,9 +358,12 @@ class InvariantMonitor:
                 )
 
     @staticmethod
-    def _is_interior(qualities, cost_a, cost_b, service_price,
-                     collection_price, taus, service_price_bounds,
-                     collection_price_bounds, max_sensing_time) -> bool:
+    def _is_interior(qualities: np.ndarray, cost_a: np.ndarray,
+                     cost_b: np.ndarray, service_price: float,
+                     collection_price: float, taus: np.ndarray,
+                     service_price_bounds: tuple[float, float],
+                     collection_price_bounds: tuple[float, float],
+                     max_sensing_time: float) -> bool:
         """Whether the closed forms' interior premises hold for a profile."""
         if not _strictly_inside(service_price, service_price_bounds):
             return False
@@ -373,7 +380,7 @@ class InvariantMonitor:
 
     # -- learning (Eqs. 17-19) -----------------------------------------------------
 
-    def check_learning(self, round_index: int, state,
+    def check_learning(self, round_index: int, state: "LearningState",
                        selection_counts: np.ndarray, clean: bool,
                        exploration_coefficient: float | None = None) -> None:
         """Counter conservation, estimate range, and UCB-index structure.

@@ -41,10 +41,12 @@ from repro.core.selection import top_k_indices
 from repro.game.profits import GameInstance
 from repro.game.stackelberg import (
     NumericalStackelbergSolver,
+    Stage3Fn,
     solve_stage1_numeric,
     solve_stage2_numeric,
     solve_stage3_numeric,
 )
+from repro.sim.rng import seeded_generator
 
 __all__ = [
     "OracleCheck",
@@ -179,7 +181,7 @@ def _grossly_agrees(closed_profit: float, reference_profit: float) -> bool:
 
 
 def _stage2_reference(game: GameInstance, service_price: float,
-                      stage3=None) -> float:
+                      stage3: Stage3Fn | None = None) -> float:
     """Stage-2 numerical reference used inside the Stage-1 search.
 
     Identical to :func:`solve_stage2_numeric` with a coarser
@@ -385,7 +387,7 @@ def run_oracle_suite(seed: int = 0, num_cases: int = 12,
     ``full_solve_cases`` random games (several seconds each; the cheap
     Stage-2/3 oracles still cover every game).
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     checks: list[OracleCheck] = []
     games = _edge_case_games()
     num_edge = len(games)

@@ -19,6 +19,7 @@ bit that becomes the process exit code.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,9 @@ from repro.exceptions import InvariantViolationError
 from repro.verify.compare import DEFAULT_TOLERANCE, Mismatch, ToleranceSpec
 from repro.verify.golden import GOLDEN_CASES, verify_goldens
 from repro.verify.oracles import OracleSuiteReport, run_oracle_suite
+
+if TYPE_CHECKING:  # type-only: the engine is imported lazily at runtime
+    from repro.sim.results import RunMetrics
 
 __all__ = ["StrictCheckResult", "VerificationReport", "run_verification"]
 
@@ -148,7 +152,7 @@ def _run_strict_check(num_rounds: int, seed: int) -> StrictCheckResult:
                                   num_pois=4, num_rounds=num_rounds,
                                   seed=seed)
 
-        def run(strict: bool):
+        def run(strict: bool) -> RunMetrics:
             simulator = TradingSimulator(config)
             fault_model = (simulator.fault_model(spec)
                            if spec is not None else None)

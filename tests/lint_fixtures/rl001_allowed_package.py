@@ -1,0 +1,8 @@
+# repro-lint: package=repro.sim.rng
+"""RL001 fixture: direct construction is legal *inside* repro.sim.rng."""
+
+import numpy as np
+
+
+def make(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,15 @@
+"""RL001 fixture: RNG construction outside repro.sim.rng (5 findings)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_generators():
+    direct = np.random.default_rng(7)
+    from_import = default_rng(7)
+    sequence = np.random.SeedSequence(7)
+    stdlib_draw = random.random()
+    stdlib_rng = random.Random(7)
+    return direct, from_import, sequence, stdlib_draw, stdlib_rng

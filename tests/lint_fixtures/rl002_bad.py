@@ -1,0 +1,13 @@
+# repro-lint: package=repro.sim.fake_module
+"""RL002 fixture: wall-clock reads in a deterministic package (4 findings)."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def stamp_round():
+    started = perf_counter()
+    now = time.time()
+    today = datetime.datetime.now()
+    return started, now, today

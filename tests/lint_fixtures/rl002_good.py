@@ -1,0 +1,8 @@
+# repro-lint: package=repro.sim.fake_module
+"""RL002 fixture: timing routed through the auditable shim (clean)."""
+
+from repro.obs.timing import perf_counter
+
+
+def stamp_round():
+    return perf_counter()

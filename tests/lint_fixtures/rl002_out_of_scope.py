@@ -1,0 +1,11 @@
+"""RL002 fixture: clock reads outside the scoped packages (clean).
+
+No ``package=`` pragma, so the inferred package is ``""`` and the
+package-scoped wall-clock rule does not apply.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,5 @@
+"""RL003 fixture: literal emit kind missing from EVENT_KINDS (1 finding)."""
+
+
+def trace_round(tracer, index):
+    tracer.emit("round_strat", round_index=index)  # typo for round_start

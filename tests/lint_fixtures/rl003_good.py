@@ -1,0 +1,7 @@
+"""RL003 fixture: registered literal kinds and dynamic kinds (clean)."""
+
+
+def trace_round(tracer, index, kind):
+    tracer.emit("round_start", round_index=index)
+    tracer.emit("round_end", round_index=index)
+    tracer.emit(kind, round_index=index)  # dynamic kinds are not checked

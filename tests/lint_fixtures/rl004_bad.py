@@ -1,0 +1,10 @@
+# repro-lint: package=repro.game.fake_module
+"""RL004 fixture: exact float equality on model quantities (3 findings)."""
+
+
+def classify(price, tau):
+    if price == 0.0:
+        return "free"
+    if -1.0 != tau:
+        return "sensing"
+    return "degenerate" if float(price) == tau else "priced"

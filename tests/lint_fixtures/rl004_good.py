@@ -1,0 +1,12 @@
+# repro-lint: package=repro.game.fake_module
+"""RL004 fixture: tolerance-aware comparisons and int equality (clean)."""
+
+import math
+
+
+def classify(price, tau, count):
+    if math.isclose(price, 0.0, abs_tol=1e-12):
+        return "free"
+    if count == 0:  # integer equality is exact and fine
+        return "empty"
+    return "priced" if math.isclose(price, tau) else "split"

@@ -1,0 +1,18 @@
+# repro-lint: package=repro.parallel.fake_module
+"""RL005 fixture: swallowed exceptions in recovery code (3 findings)."""
+
+
+def drain(queue, tasks):
+    try:
+        queue.get()
+    except:
+        pass
+    try:
+        queue.put(1)
+    except Exception:
+        pass
+    for task in tasks:
+        try:
+            task.run()
+        except BaseException:
+            continue

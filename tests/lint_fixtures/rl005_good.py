@@ -1,0 +1,19 @@
+# repro-lint: package=repro.parallel.fake_module
+"""RL005 fixture: narrow or observable exception handling (clean)."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def drain(queue, tasks):
+    try:
+        queue.get()
+    except OSError:  # narrow types may be deliberately ignored
+        pass
+    for task in tasks:
+        try:
+            task.run()
+        except Exception as error:  # broad is fine when observable
+            log.warning("task failed: %s", error)
+            raise

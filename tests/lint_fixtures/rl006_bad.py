@@ -1,0 +1,14 @@
+"""RL006 fixture: unpicklable callables at the task boundary (3 findings)."""
+
+from repro.parallel import ParallelExecutor, TaskSpec
+
+
+def launch(payloads):
+    executor = ParallelExecutor(runner=lambda task: task)
+    def local_runner(task):
+        return task
+
+    specs = [TaskSpec(payload, local_runner) for payload in payloads]
+    specs.append(TaskSpec(None, lambda task: task))
+    executor.submit(lambda: None)  # not a boundary call: not flagged
+    return executor, specs

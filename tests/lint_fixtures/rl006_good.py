@@ -1,0 +1,13 @@
+"""RL006 fixture: module-level runners cross the boundary (clean)."""
+
+from repro.parallel import ParallelExecutor, TaskSpec
+
+
+def run_task(task):
+    return task
+
+
+def launch(payloads):
+    executor = ParallelExecutor(runner=run_task)
+    specs = [TaskSpec(payload, run_task) for payload in payloads]
+    return executor, specs

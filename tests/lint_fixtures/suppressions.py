@@ -1,0 +1,15 @@
+"""Suppression fixture: RL001 violations silenced two different ways.
+
+The first construction carries a line pragma; the second is covered by
+the file-wide ``disable-file`` pragma below; the third disables a
+*different* rule, so it still fires (exactly 1 finding in this file).
+"""
+# repro-lint: disable-file=RL006
+
+import numpy as np
+
+
+def make(seed):
+    silenced = np.random.default_rng(seed)  # repro-lint: disable=RL001
+    still_flagged = np.random.default_rng(seed)  # repro-lint: disable=RL002
+    return silenced, still_flagged

@@ -1,0 +1,141 @@
+"""Fixture-driven tests for rules RL001-RL006.
+
+Each bad fixture under ``tests/lint_fixtures/`` violates exactly one
+rule a known number of times; each good fixture shows the sanctioned
+alternative and must lint clean.  Fixtures are linted as text — never
+imported — so they are free to be as broken as the rules require.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+
+def lint_fixture(name: str):
+    findings, checked = lint_paths([os.path.join(FIXTURES, name)])
+    assert checked == 1
+    return findings
+
+
+@pytest.mark.parametrize("name,rule,count", [
+    ("rl001_bad.py", "RL001", 5),
+    ("rl002_bad.py", "RL002", 4),
+    ("rl003_bad.py", "RL003", 1),
+    ("rl004_bad.py", "RL004", 3),
+    ("rl005_bad.py", "RL005", 3),
+    ("rl006_bad.py", "RL006", 3),
+])
+def test_bad_fixture_flags_only_its_rule(name, rule, count):
+    findings = lint_fixture(name)
+    assert [f.rule for f in findings] == [rule] * count
+
+
+@pytest.mark.parametrize("name", [
+    "rl001_good.py", "rl001_allowed_package.py",
+    "rl002_good.py", "rl002_out_of_scope.py",
+    "rl003_good.py", "rl004_good.py",
+    "rl005_good.py", "rl006_good.py",
+])
+def test_good_fixture_is_clean(name):
+    assert lint_fixture(name) == []
+
+
+def test_suppression_fixture_leaves_exactly_one_finding():
+    findings = lint_fixture("suppressions.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "RL001"
+    assert "still_flagged" in findings[0].snippet
+
+
+class TestRl001Details:
+    def test_aliased_numpy_import_is_resolved(self):
+        source = (
+            "import numpy as banana\n"
+            "rng = banana.random.default_rng(3)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RL001"]
+
+    def test_from_import_alias_is_resolved(self):
+        source = (
+            "from numpy.random import default_rng as mk\n"
+            "rng = mk(3)\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RL001"]
+
+    def test_unrelated_random_attribute_not_flagged(self):
+        # A local object that merely *has* a .random() method.
+        source = "rng = population.random()\n"
+        assert lint_source(source) == []
+
+
+class TestRl002Details:
+    def test_perf_counter_ns_flagged(self):
+        source = (
+            "# repro-lint: package=repro.bandits.fake\n"
+            "import time\n"
+            "t = time.perf_counter_ns()\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RL002"]
+
+    def test_obs_package_is_whitelisted(self):
+        source = "from time import perf_counter\nt = perf_counter()\n"
+        findings = lint_source(source, path="src/repro/obs/timing.py")
+        assert findings == []
+
+
+class TestRl004Details:
+    def test_chained_comparison_mixed_ops(self):
+        source = (
+            "# repro-lint: package=repro.verify.fake\n"
+            "ok = 0.0 <= x == 1.0\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RL004"]
+
+    def test_float_inequalities_are_fine(self):
+        source = (
+            "# repro-lint: package=repro.verify.fake\n"
+            "ok = x < 1.0 <= y\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestRl005Details:
+    def test_broad_handler_with_real_body_is_fine(self):
+        source = (
+            "# repro-lint: package=repro.faults.fake\n"
+            "try:\n"
+            "    risky()\n"
+            "except Exception as error:\n"
+            "    handle(error)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_docstring_only_body_is_trivial(self):
+        source = (
+            "# repro-lint: package=repro.faults.fake\n"
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    'tolerated'\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["RL005"]
+
+
+class TestRl006Details:
+    def test_keyword_lambda_flagged(self):
+        source = "spec = TaskSpec(payload=1, runner=lambda: 2)\n"
+        assert [f.rule for f in lint_source(source)] == ["RL006"]
+
+    def test_module_level_function_reference_is_fine(self):
+        source = (
+            "def runner():\n"
+            "    return 1\n"
+            "spec = TaskSpec(payload=1, runner=runner)\n"
+        )
+        assert lint_source(source) == []
