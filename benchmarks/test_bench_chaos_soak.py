@@ -1,0 +1,33 @@
+"""Soak bench: a sustained chaos drill across every resilience layer.
+
+Runs a longer chaos campaign than the tier-1 smoke — more rounds, a
+bigger fault budget, process faults included — and times it, printing
+the per-round fault mix.  The bench *fails* on any recovery-equivalence
+violation: a soak that ends with silently wrong numbers is not a
+performance number worth reporting.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.obs import MetricsRegistry
+from repro.resilience.chaos import ChaosConfig, run_chaos
+
+
+def test_chaos_soak(benchmark):
+    rounds = 10 if os.environ.get("REPRO_FULL_SCALE") else 5
+    config = ChaosConfig(seed=0, rounds=rounds, budget=4,
+                         include_process_faults=True)
+    registry = MetricsRegistry()
+
+    report = run_once(benchmark, run_chaos, config, metrics=registry)
+
+    print()
+    print(report.to_text())
+    print(f"counters: {dict(sorted(registry.counters.items()))}")
+    assert len(report.rounds) == rounds
+    assert report.num_faults_applied >= rounds  # >= one real fault each
+    assert report.passed, report.to_text()

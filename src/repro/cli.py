@@ -13,6 +13,10 @@ Subcommands:
 * ``verify`` — run the equilibrium verification subsystem (differential
   oracles, golden-trace regression, strict-mode invariant runs); exits
   non-zero on any failure.  ``--update-goldens`` blesses new goldens.
+* ``chaos`` — drill the resilience layers with seeded fault storms
+  (interrupts, checkpoint corruption, worker crashes and stalls) and
+  verify every recovered sweep is bit-identical to its fault-free
+  golden; exits non-zero on any recovery-equivalence violation.
 * ``lint`` — run the :mod:`repro.lint` determinism/correctness static
   analyser over source files; exits non-zero on any finding.
 
@@ -65,6 +69,33 @@ def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="continue from the checkpoints in --checkpoint-dir",
     )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared retry/timeout flags (default: no-op, byte-identical)."""
+    parser.add_argument(
+        "--timeout-s", type=float, default=None, metavar="S",
+        help=(
+            "per-task wall-clock budget in seconds: arms the parallel "
+            "watchdog and bounds checkpoint-write retries "
+            "(default: no deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help=(
+            "retry transient checkpoint-I/O failures and worker "
+            "crashes up to N times with seeded exponential backoff "
+            "(default: no retries beyond the built-in crash handling)"
+        ),
+    )
+
+
+def _build_resilience(args: argparse.Namespace):
+    """The :class:`ResiliencePolicy` requested by the shared flags."""
+    from repro.resilience import ResiliencePolicy
+
+    return ResiliencePolicy.from_cli(args.timeout_s, args.max_retries)
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -160,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
             "processes (default: 1, serial)"
         ),
     )
+    _add_resilience_arguments(run_parser)
 
     quick_parser = subparsers.add_parser(
         "quickstart", help="run a small end-to-end trading simulation"
@@ -176,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_fault_tolerance_arguments(quick_parser)
+    _add_resilience_arguments(quick_parser)
     _add_observability_arguments(quick_parser)
 
     replicate_parser = subparsers.add_parser(
@@ -196,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_fault_tolerance_arguments(replicate_parser)
+    _add_resilience_arguments(replicate_parser)
     _add_observability_arguments(replicate_parser)
 
     verify_parser = subparsers.add_parser(
@@ -269,6 +303,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered rules and exit",
     )
 
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help=(
+            "drill the resilience layers with seeded fault storms and "
+            "verify bit-identical recovery"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed of the fault storm (default 0)",
+    )
+    chaos_parser.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="independent chaos rounds (default 3)",
+    )
+    chaos_parser.add_argument(
+        "--budget", type=int, default=3, metavar="B",
+        help="maximum faults injected per round (default 3)",
+    )
+    chaos_parser.add_argument(
+        "--no-process-faults", action="store_true",
+        help=(
+            "skip worker-crash/stall faults (no subprocesses; "
+            "fastest smoke drill)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--report", metavar="PATH.json", default=None,
+        help="also write the chaos report as JSON to PATH",
+    )
+    _add_observability_arguments(chaos_parser)
+
     trace_parser = subparsers.add_parser(
         "trace",
         help="generate a synthetic taxi trace and derive PoIs/sellers",
@@ -334,14 +400,22 @@ def _command_run(args: argparse.Namespace) -> int:
         wanted = [experiment_id for experiment_id, __ in list_experiments()]
     if args.workers > 1 and len(wanted) > 1:
         from repro.parallel import ParallelExecutor
+        from repro.resilience import WatchdogConfig
         from repro.sim.persistence import experiment_result_from_dict
 
+        resilience = _build_resilience(args)
         # One experiment per chunk: the work units are few and heavy,
         # so fine-grained scheduling beats round-trip amortisation.
         executor = ParallelExecutor(
             _experiment_task_runner,
             workers=min(args.workers, len(wanted)),
             chunk_size=1,
+            retry_policy=(resilience.retry
+                          if not resilience.retry.is_noop else None),
+            watchdog=(
+                WatchdogConfig(task_timeout_s=resilience.deadline.timeout_s)
+                if resilience.deadline.enabled else None
+            ),
         )
         payloads = [(experiment_id, scale.value, args.seed)
                     for experiment_id in wanted]
@@ -423,6 +497,7 @@ def _command_quickstart(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=metrics,
             strict=args.strict,
+            resilience=_build_resilience(args),
         ))
         if log is not None:
             fault_logs[policy.name] = log
@@ -489,6 +564,7 @@ def _command_replicate(args: argparse.Namespace) -> int:
         workers=args.workers,
         tracer=tracer,
         metrics=metrics,
+        resilience=_build_resilience(args),
     )
     print(f"M={config.num_sellers} K={config.num_selected} "
           f"N={config.num_rounds}, seeds={result.seeds}"
@@ -502,6 +578,36 @@ def _command_replicate(args: argparse.Namespace) -> int:
           f"{separation:.1f} pooled standard deviations")
     _finish_observability(args, tracer, metrics)
     return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import ChaosConfig, run_chaos
+
+    tracer, metrics = _build_observability(args)
+    report = run_chaos(
+        ChaosConfig(
+            seed=args.seed,
+            rounds=args.rounds,
+            budget=args.budget,
+            include_process_faults=not args.no_process_faults,
+        ),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    print(report.to_text())
+    if args.report:
+        from repro.exceptions import PersistenceError
+        from repro.sim.persistence import atomic_write_json
+
+        try:
+            atomic_write_json(args.report, report.to_dict())
+        except OSError as error:
+            raise PersistenceError(
+                f"cannot write chaos report {args.report}: {error}"
+            ) from error
+        print(f"wrote report to {args.report}")
+    _finish_observability(args, tracer, metrics)
+    return 0 if report.passed else 1
 
 
 def _command_verify(args: argparse.Namespace) -> int:
@@ -635,6 +741,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_trace(args)
         if args.command == "verify":
             return _command_verify(args)
+        if args.command == "chaos":
+            return _command_chaos(args)
         if args.command == "lint":
             return _command_lint(args)
     except ReproError as error:

@@ -81,11 +81,86 @@ class PersistenceError(ReproError):
     truncated, fails schema validation, or lacks required fields —
     instead of surfacing a raw ``ValueError``/``KeyError`` from the
     underlying JSON/NPZ machinery.
+
+    Beyond the message, the exception carries structured context so
+    recovery layers (checkpoint rollback, quarantine, retry policies)
+    and humans reading logs can see *which* artefact failed and *why*
+    without parsing prose:
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the offending artefact, or ``None`` when the
+        failure is not file-bound (for example an in-memory payload).
+    schema_found / schema_expected:
+        The schema version read from the artefact and the version this
+        library reads, when the failure is a schema mismatch
+        (``None`` otherwise).
+
+    The triggering low-level cause (``json.JSONDecodeError``,
+    ``zipfile.BadZipFile``, ...) travels as ``__cause__`` via the usual
+    ``raise ... from err`` chaining and is appended to ``str()``.
     """
+
+    def __init__(self, message: str, *, path: "str | None" = None,
+                 schema_found: "int | None" = None,
+                 schema_expected: "int | None" = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.schema_found = schema_found
+        self.schema_expected = schema_expected
+
+    def __str__(self) -> str:
+        parts = [super().__str__()]
+        if self.path is not None and self.path not in parts[0]:
+            parts.append(f"[path: {self.path}]")
+        if self.schema_found is not None or self.schema_expected is not None:
+            parts.append(
+                f"[schema: found {self.schema_found}, "
+                f"expected {self.schema_expected}]"
+            )
+        if self.__cause__ is not None:
+            parts.append(
+                f"[cause: {type(self.__cause__).__name__}: {self.__cause__}]"
+            )
+        return " ".join(parts)
 
 
 class ExperimentError(ReproError):
     """An experiment driver was asked to run with invalid parameters."""
+
+
+class DeadlineExceededError(ReproError):
+    """A unit of work ran past its :class:`repro.resilience.Deadline`.
+
+    Raised by the resilience policy engine when a guarded call exceeds
+    its wall-clock budget, and by the parallel coordinator when a task
+    blows through its per-task deadline more times than the retry
+    policy allows.
+    """
+
+
+class RetryBudgetExceededError(ReproError):
+    """A guarded operation failed on every attempt its policy allowed.
+
+    The final underlying failure travels as ``__cause__``; the message
+    records the attempt count and the policy that governed it.
+    """
+
+
+class GracefulShutdownInterrupt(ReproError):
+    """A run was interrupted by a graceful-shutdown request.
+
+    Raised at a round/seed boundary after in-flight work has been
+    drained and a final resumable checkpoint has been written (when
+    checkpointing is configured), so callers can exit cleanly and a
+    later ``--resume`` continues bit-identically.
+    """
+
+    def __init__(self, message: str, *, checkpoint_path: "str | None" = None,
+                 ) -> None:
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
 
 
 class ParallelExecutionError(ReproError):

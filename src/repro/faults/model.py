@@ -93,6 +93,20 @@ class FaultSpec:
                 f"fault-spec dict is missing field {error.args[0]!r}"
             ) from error
 
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "FaultSpec":
+        """A random mild spec drawn from ``rng`` (chaos drills).
+
+        Rates are rounded to three decimals so the spec survives a
+        JSON checkpoint-fingerprint round trip exactly, and kept mild
+        (summing to well under 1) so every round still settles trades.
+        """
+        return cls(
+            dropout_rate=round(float(rng.uniform(0.0, 0.2)), 3),
+            corruption_rate=round(float(rng.uniform(0.0, 0.1)), 3),
+            stall_rate=round(float(rng.uniform(0.0, 0.1)), 3),
+        )
+
 
 #: Aliases accepted by :func:`parse_fault_spec`.
 _SPEC_KEYS = {

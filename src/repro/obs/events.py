@@ -51,6 +51,24 @@ __all__ = ["EVENT_KINDS", "TraceEvent"]
 #: * ``worker_crashed`` — a worker process died mid-batch (payload:
 #:   ``worker``, ``exitcode``, ``lost_tasks`` re-queued to a fresh
 #:   worker).
+#: * ``retry_attempt`` — a guarded operation failed and will be retried
+#:   under a :class:`~repro.resilience.RetryPolicy` (payload: ``op``
+#:   label, ``attempt``, ``max_attempts``, seeded ``delay_s``,
+#:   ``error``).
+#: * ``watchdog_kill`` — the parallel watchdog killed a stalled worker
+#:   (payload: ``worker``, ``reason``, ``task``, ``elapsed_s``,
+#:   ``limit_s``).
+#: * ``task_deadline_exceeded`` — the specific watchdog kill whose
+#:   reason was a per-task deadline (emitted alongside
+#:   ``watchdog_kill`` with the same payload, so deadline breaches are
+#:   greppable without parsing reasons).
+#: * ``checkpoint_quarantined`` — a corrupt checkpoint was moved into
+#:   its ``*.quarantine/`` directory during rollback (payload:
+#:   ``path``, ``quarantined_to``, ``what``, ``error``).
+#: * ``graceful_shutdown`` — a run or sweep stopped cooperatively at a
+#:   safe boundary after a shutdown signal (payload: final
+#:   ``checkpoint_path`` plus progress fields such as
+#:   ``rounds_completed`` or ``seeds_completed``).
 EVENT_KINDS = frozenset({
     "run_start", "run_end",
     "round_start", "round_end",
@@ -59,6 +77,8 @@ EVENT_KINDS = frozenset({
     "seed_start", "seed_end",
     "invariant_violation",
     "worker_started", "worker_task_done", "worker_crashed",
+    "retry_attempt", "watchdog_kill", "task_deadline_exceeded",
+    "checkpoint_quarantined", "graceful_shutdown",
 })
 
 

@@ -42,14 +42,22 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import time
 from collections.abc import Callable, Iterator, Sequence
 from typing import Any
 
 from repro.exceptions import ConfigurationError, ParallelExecutionError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import perf_counter
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.tasks import TaskResult, TaskSpec
 from repro.parallel.worker import worker_main
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.watchdog import (
+    REASON_TASK_DEADLINE,
+    WatchdogConfig,
+    WorkerWatchdog,
+)
 
 __all__ = ["ParallelExecutor", "default_worker_count", "resolve_chunk_size"]
 
@@ -103,7 +111,21 @@ class ParallelExecutor:
         Tasks per scheduling chunk; ``None`` picks ~4 chunks per worker.
     max_task_retries:
         How many times one task may be re-queued after worker crashes
-        before the run fails (runner exceptions never retry).
+        before the run fails (runner exceptions never retry).  The
+        legacy spelling of ``retry_policy=RetryPolicy.of(n)``; ignored
+        when ``retry_policy`` is given.
+    retry_policy:
+        Full :class:`~repro.resilience.RetryPolicy` governing crash
+        re-queues: attempt budget plus (deterministic) backoff between
+        re-queues.  ``None`` derives one from ``max_task_retries``.
+    watchdog:
+        :class:`~repro.resilience.WatchdogConfig` arming stall
+        detection: workers running one task longer than its per-task
+        deadline, or falling heartbeat-silent, are killed and replaced
+        under the retry policy (``watchdog_kill`` /
+        ``task_deadline_exceeded`` trace events).  ``None`` (default)
+        disables the watchdog and the worker-side heartbeat thread
+        entirely.
     start_method:
         ``multiprocessing`` start method; ``None`` prefers ``fork``
         when available (falling back to the platform default).
@@ -125,6 +147,8 @@ class ParallelExecutor:
                  workers: int | None = None,
                  chunk_size: int | None = None,
                  max_task_retries: int = 2,
+                 retry_policy: RetryPolicy | None = None,
+                 watchdog: WatchdogConfig | None = None,
                  start_method: str | None = None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
@@ -155,7 +179,9 @@ class ParallelExecutor:
         self._runner = runner
         self._workers = int(workers)
         self._chunk_size = chunk_size
-        self._max_task_retries = int(max_task_retries)
+        self._retry_policy = (retry_policy if retry_policy is not None
+                              else RetryPolicy.of(int(max_task_retries)))
+        self._watchdog_config = watchdog
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         if capture_events is None:
@@ -197,16 +223,26 @@ class ParallelExecutor:
 
     # -- coordinator ---------------------------------------------------------------
 
-    def _spawn_worker(self, worker_id: int, task_queue, result_queue):
+    def _spawn_worker(self, worker_id: int, task_queue, result_queue,
+                      watchdog: WorkerWatchdog | None = None):
         """Start one worker process and trace its birth."""
+        config = self._watchdog_config
+        heartbeat_interval_s = (
+            config.heartbeat_interval_s
+            if config is not None and config.heartbeat_timeout_s is not None
+            else None
+        )
         process = self._context.Process(
             target=worker_main,
             args=(worker_id, self._runner, task_queue, result_queue,
-                  self._capture_events, self._ring_capacity),
+                  self._capture_events, self._ring_capacity,
+                  heartbeat_interval_s),
             name=f"repro-worker-{worker_id}",
             daemon=True,
         )
         process.start()
+        if watchdog is not None:
+            watchdog.worker_started(worker_id, perf_counter())
         self._metrics.counter("parallel.workers_started").inc()
         if self._tracer.enabled:
             self._tracer.emit("worker_started", worker=worker_id,
@@ -227,11 +263,14 @@ class ParallelExecutor:
         attempts: dict[int, int] = {task_id: 0 for task_id in pending}
         assigned: dict[int, set[int]] = {}
         processes: dict[int, Any] = {}
+        watchdog = (WorkerWatchdog(self._watchdog_config)
+                    if self._watchdog_config is not None
+                    and self._watchdog_config.enabled else None)
         next_worker_id = 0
         try:
             for _ in range(num_workers):
                 processes[next_worker_id] = self._spawn_worker(
-                    next_worker_id, task_queue, result_queue
+                    next_worker_id, task_queue, result_queue, watchdog
                 )
                 next_worker_id += 1
 
@@ -239,13 +278,19 @@ class ParallelExecutor:
                 try:
                     message = result_queue.get(timeout=_POLL_INTERVAL_S)
                 except queue_module.Empty:
+                    if watchdog is not None:
+                        self._kill_stalled(watchdog, processes)
                     next_worker_id = self._reap_crashed(
                         processes, assigned, attempts, pending, spec_of,
-                        task_queue, result_queue, next_worker_id,
+                        task_queue, result_queue, next_worker_id, watchdog,
                     )
                     continue
                 kind = message[0]
-                if kind == "chunk_start":
+                if kind == "heartbeat":
+                    __, worker_id = message
+                    if watchdog is not None:
+                        watchdog.heartbeat(worker_id, perf_counter())
+                elif kind == "chunk_start":
                     __, worker_id, task_ids = message
                     assigned.setdefault(worker_id, set()).update(
                         task_id for task_id in task_ids
@@ -255,6 +300,9 @@ class ParallelExecutor:
                     __, worker_id, task_id = message
                     if task_id in pending:
                         attempts[task_id] += 1
+                    if watchdog is not None:
+                        watchdog.task_started(worker_id, task_id,
+                                              perf_counter())
                 elif kind == "task_error":
                     __, worker_id, task_id, error_repr, trace_text = message
                     raise ParallelExecutionError(
@@ -265,6 +313,8 @@ class ParallelExecutor:
                     (__, worker_id, task_id, value, duration,
                      snapshot, events) = message
                     assigned.get(worker_id, set()).discard(task_id)
+                    if watchdog is not None:
+                        watchdog.task_finished(worker_id)
                     if task_id not in pending:
                         continue  # duplicate from a crash re-queue race
                     pending.discard(task_id)
@@ -273,6 +323,36 @@ class ParallelExecutor:
                                          snapshot, events)
         finally:
             self._shutdown(processes, task_queue, result_queue)
+
+    def _kill_stalled(self, watchdog: WorkerWatchdog, processes) -> None:
+        """Kill workers the watchdog diagnosed as stalled.
+
+        SIGKILL, not SIGTERM: a genuinely wedged process (deadlocked
+        native code, SIGSTOP) may not honour anything milder, and the
+        point of the watchdog is that recovery cannot depend on the
+        patient's cooperation.  The kill makes the process reap-able;
+        :meth:`_reap_crashed` then re-queues its tasks under the retry
+        policy exactly as for an organic crash.
+        """
+        for verdict in watchdog.poll(perf_counter()):
+            process = processes.get(verdict.worker_id)
+            if process is None or not process.is_alive():
+                continue
+            process.kill()
+            self._metrics.counter("parallel.watchdog_kills").inc()
+            if self._tracer.enabled:
+                self._tracer.emit("watchdog_kill",
+                                  worker=verdict.worker_id,
+                                  reason=verdict.reason,
+                                  task=verdict.task_id,
+                                  elapsed_s=verdict.elapsed_s,
+                                  limit_s=verdict.limit_s)
+                if verdict.reason == REASON_TASK_DEADLINE:
+                    self._tracer.emit("task_deadline_exceeded",
+                                      worker=verdict.worker_id,
+                                      task=verdict.task_id,
+                                      elapsed_s=verdict.elapsed_s,
+                                      limit_s=verdict.limit_s)
 
     def _complete(self, task_id: int, value, worker_id: int,
                   duration: float, attempt_count: int, snapshot,
@@ -301,13 +381,23 @@ class ParallelExecutor:
 
     def _reap_crashed(self, processes, assigned, attempts, pending,
                       spec_of, task_queue, result_queue,
-                      next_worker_id: int) -> int:
-        """Re-queue the tasks of dead workers onto fresh replacements."""
+                      next_worker_id: int,
+                      watchdog: WorkerWatchdog | None = None) -> int:
+        """Re-queue the tasks of dead workers onto fresh replacements.
+
+        Re-queues are governed by the retry policy: a task that has
+        already started ``max_attempts`` times fails the run, and each
+        re-queue emits a ``retry_attempt`` event and waits the policy's
+        (deterministic) backoff delay.
+        """
+        policy = self._retry_policy
         for worker_id, process in list(processes.items()):
             if process.is_alive():
                 continue
             # Dead before shutdown: a crash, whatever the exitcode says.
             del processes[worker_id]
+            if watchdog is not None:
+                watchdog.worker_gone(worker_id)
             lost = sorted(
                 task_id for task_id in assigned.pop(worker_id, set())
                 if task_id in pending
@@ -318,16 +408,28 @@ class ParallelExecutor:
                                   exitcode=process.exitcode,
                                   lost_tasks=list(lost))
             for task_id in lost:
-                if attempts[task_id] > self._max_task_retries:
+                if attempts[task_id] >= policy.max_attempts:
                     raise ParallelExecutionError(
                         f"task {task_id} was lost to {attempts[task_id]} "
-                        f"worker crashes (max_task_retries="
-                        f"{self._max_task_retries})"
+                        f"worker crashes (retry policy allows "
+                        f"{policy.max_attempts} attempts)"
                     )
                 self._metrics.counter("parallel.tasks_requeued").inc()
+                if self._tracer.enabled:
+                    self._tracer.emit("retry_attempt",
+                                      op=f"parallel.task-{task_id}",
+                                      attempt=attempts[task_id],
+                                      max_attempts=policy.max_attempts,
+                                      error=f"worker {worker_id} died "
+                                            f"(exitcode "
+                                            f"{process.exitcode})")
+                delay = policy.backoff.delay_s(max(1, attempts[task_id]),
+                                               f"parallel.task-{task_id}")
+                if delay > 0.0:
+                    time.sleep(delay)
                 task_queue.put([spec_of[task_id]])
             replacement = self._spawn_worker(next_worker_id, task_queue,
-                                             result_queue)
+                                             result_queue, watchdog)
             processes[next_worker_id] = replacement
             next_worker_id += 1
         return next_worker_id

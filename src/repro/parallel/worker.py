@@ -14,17 +14,35 @@ Telemetry is worker-local: every task runs against a fresh
 the buffered events ride home inside the ``task_done`` message for the
 coordinator to merge.
 
-Crash injection (for tests and drills): set
-:data:`CRASH_TASK_ENV` to a task id and :data:`CRASH_MARKER_ENV` to a
-writable marker path, and the first worker to pick that task up dies
-hard (``os._exit``) before running it — exactly once, because creating
-the marker file is the atomic "already crashed" latch.  The re-queued
-attempt on a fresh worker then completes normally.
+Liveness: when the coordinator runs a watchdog it asks for heartbeats —
+a daemon thread putting ``("heartbeat", worker_id)`` on the result
+queue at a fixed interval.  The heartbeat means "this process is alive
+and its scheduler runs threads", *not* "the current task progresses";
+a long-running task is normal and is bounded separately by the
+coordinator's per-task deadline.  Without a watchdog no thread is
+started and the worker is byte-for-byte the pre-watchdog one.
+
+Fault injection (for tests and drills), each latched to exactly one
+occurrence by an ``O_EXCL`` marker file:
+
+* **crash** — set :data:`CRASH_TASK_ENV` to a task id and
+  :data:`CRASH_MARKER_ENV` to a marker path, and the first worker to
+  pick that task up dies hard (``os._exit``) before running it; the
+  re-queued attempt on a fresh worker completes normally.
+* **stall** — set :data:`STALL_TASK_ENV` / :data:`STALL_MARKER_ENV`,
+  and the first worker to pick that task up wedges: heartbeats stop
+  and the main thread sleeps indefinitely, simulating a process frozen
+  mid-task.  Only the coordinator's watchdog can clear it (kill +
+  replace); without a watchdog the run would hang, which is exactly
+  the failure mode the watchdog exists for.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
+import time
 import traceback
 from dataclasses import dataclass
 from repro.obs.timing import perf_counter
@@ -36,6 +54,8 @@ __all__ = [
     "CRASH_TASK_ENV",
     "CRASH_MARKER_ENV",
     "CRASH_EXIT_CODE",
+    "STALL_TASK_ENV",
+    "STALL_MARKER_ENV",
     "WorkerContext",
     "worker_main",
 ]
@@ -51,6 +71,14 @@ CRASH_MARKER_ENV = "REPRO_PARALLEL_CRASH_MARKER"
 #: Exit code of an injected worker crash (recognisable in
 #: ``worker_crashed`` trace events).
 CRASH_EXIT_CODE = 23
+
+#: Environment variable naming the task id whose next pickup should
+#: wedge the worker (heartbeats stop, main thread sleeps forever).
+STALL_TASK_ENV = "REPRO_PARALLEL_STALL_TASK"
+
+#: Environment variable naming the marker file that latches the
+#: injected stall to exactly one occurrence.
+STALL_MARKER_ENV = "REPRO_PARALLEL_STALL_MARKER"
 
 
 @dataclass
@@ -76,22 +104,44 @@ class WorkerContext:
     metrics: MetricsRegistry
 
 
-def _maybe_injected_crash(task_id: int, result_queue) -> None:
-    """Die hard if the crash-injection hook targets this task.
+def _claim_injection(task_env: str, marker_env: str, task_id: int) -> bool:
+    """Whether this pickup wins the (single-shot) injection for ``task_id``.
 
     The marker file is created with ``O_EXCL`` so exactly one attempt
-    crashes; every later attempt (on the replacement worker) sees the
+    triggers; every later attempt (on the replacement worker) sees the
     marker and runs normally.
     """
-    target = os.environ.get(CRASH_TASK_ENV)
-    marker = os.environ.get(CRASH_MARKER_ENV)
+    target = os.environ.get(task_env)
+    marker = os.environ.get(marker_env)
     if not target or not marker or int(target) != task_id:
-        return
+        return False
     try:
         descriptor = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:
-        return
+        return False
     os.close(descriptor)
+    return True
+
+
+def _maybe_injected_stall(task_id: int, beats_paused) -> None:
+    """Wedge this worker if the stall-injection hook targets this task.
+
+    Models a process frozen mid-task (deadlocked native code, SIGSTOP,
+    a hung NFS read): heartbeats stop, the main thread never returns.
+    The sleep loop runs until the coordinator's watchdog kills the
+    process — there is deliberately no way out from the inside.
+    """
+    if not _claim_injection(STALL_TASK_ENV, STALL_MARKER_ENV, task_id):
+        return
+    beats_paused.set()
+    while True:
+        time.sleep(3600.0)
+
+
+def _maybe_injected_crash(task_id: int, result_queue) -> None:
+    """Die hard if the crash-injection hook targets this task (once)."""
+    if not _claim_injection(CRASH_TASK_ENV, CRASH_MARKER_ENV, task_id):
+        return
     # Flush this process's queue feeder first, so the coordinator has
     # the chunk_start/task_start messages that tell it what died —
     # modelling a worker that crashed *inside* the task, which is the
@@ -104,8 +154,33 @@ def _maybe_injected_crash(task_id: int, result_queue) -> None:
     os._exit(CRASH_EXIT_CODE)
 
 
+def _start_heartbeat(worker_id: int, result_queue, interval_s: float,
+                     beats_paused: threading.Event) -> None:
+    """Start the daemon heartbeat thread.
+
+    The thread dies with the process (daemon) and falls silent if the
+    result queue is torn down — by then the coordinator has already
+    moved on.  ``beats_paused`` lets the stall injector simulate a
+    fully frozen process.
+    """
+
+    def beat() -> None:
+        while True:
+            time.sleep(interval_s)
+            if beats_paused.is_set():
+                continue
+            try:
+                result_queue.put(("heartbeat", worker_id))
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                return
+
+    threading.Thread(target=beat, daemon=True,
+                     name=f"repro-heartbeat-{worker_id}").start()
+
+
 def worker_main(worker_id: int, runner, task_queue, result_queue,
-                capture_events: bool, ring_capacity: int) -> None:
+                capture_events: bool, ring_capacity: int,
+                heartbeat_interval_s: float | None = None) -> None:
     """Run tasks until the ``None`` sentinel arrives.
 
     Protocol messages put on ``result_queue`` (all picklable tuples,
@@ -120,7 +195,20 @@ def worker_main(worker_id: int, runner, task_queue, result_queue,
       the runner raised; the worker stays alive, the coordinator
       decides (it fails the whole run — an exception is a bug, not a
       fault to retry).
+    * ``("heartbeat", worker_id)`` — liveness beacon, only when the
+      coordinator asked for one (``heartbeat_interval_s`` not None).
+
+    SIGINT is ignored in workers: a terminal Ctrl-C reaches the whole
+    process group, and graceful shutdown means the *coordinator* stops
+    feeding tasks and drains — workers must survive the signal to
+    finish what they hold.  SIGTERM keeps its default handler so the
+    coordinator's ``terminate()`` still works.
     """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    beats_paused = threading.Event()
+    if heartbeat_interval_s is not None:
+        _start_heartbeat(worker_id, result_queue, heartbeat_interval_s,
+                         beats_paused)
     while True:
         chunk = task_queue.get()
         if chunk is None:
@@ -131,6 +219,7 @@ def worker_main(worker_id: int, runner, task_queue, result_queue,
         for spec in chunk:
             result_queue.put(("task_start", worker_id, spec.task_id))
             _maybe_injected_crash(spec.task_id, result_queue)
+            _maybe_injected_stall(spec.task_id, beats_paused)
             sink = (RingBufferSink(ring_capacity)
                     if capture_events else None)
             tracer = Tracer(sink) if sink is not None else NULL_TRACER

@@ -1,0 +1,62 @@
+"""Deterministic resilience runtime: policies, watchdog, graceful shutdown.
+
+Three composable layers harden long runs without perturbing results:
+
+* :mod:`repro.resilience.policy` — retry / deadline / backoff policies
+  with seeded-jitter delays, applied to persistence I/O and the
+  parallel coordinator's task re-queue.
+* :mod:`repro.resilience.watchdog` — a clock-injected stall detector
+  for worker pools (per-task deadlines + heartbeat loss).
+* :mod:`repro.resilience.shutdown` — cooperative SIGINT/SIGTERM drain
+  and deterministic scheduled aborts.
+
+The chaos harness that exercises all three lives in
+:mod:`repro.resilience.chaos` (imported lazily by the CLI — it pulls in
+the simulation engine, which this package otherwise never imports).
+
+Everything defaults to a no-op posture (:data:`NOOP_POLICY`,
+:data:`NO_WATCHDOG`, :data:`NEVER_STOP`): a run that does not opt in
+is byte-identical to one built before this package existed.
+"""
+
+from repro.resilience.policy import (
+    NO_DEADLINE,
+    NO_RETRY,
+    NOOP_POLICY,
+    Backoff,
+    Deadline,
+    ResiliencePolicy,
+    RetryPolicy,
+    execute_with_policy,
+)
+from repro.resilience.shutdown import (
+    NEVER_STOP,
+    GracefulShutdown,
+    ScheduledAbort,
+    ShutdownSignal,
+)
+from repro.resilience.watchdog import (
+    NO_WATCHDOG,
+    StallVerdict,
+    WatchdogConfig,
+    WorkerWatchdog,
+)
+
+__all__ = [
+    "Backoff",
+    "RetryPolicy",
+    "Deadline",
+    "ResiliencePolicy",
+    "execute_with_policy",
+    "NO_RETRY",
+    "NO_DEADLINE",
+    "NOOP_POLICY",
+    "WatchdogConfig",
+    "WorkerWatchdog",
+    "StallVerdict",
+    "NO_WATCHDOG",
+    "ShutdownSignal",
+    "GracefulShutdown",
+    "ScheduledAbort",
+    "NEVER_STOP",
+]

@@ -1,0 +1,149 @@
+"""Cooperative shutdown signals: graceful SIGINT/SIGTERM and scheduled aborts.
+
+Long sweeps die two ways today: a signal kills the process wherever it
+happens to be (losing everything since the last periodic checkpoint),
+or an operator waits the run out.  This module adds the third way — a
+:class:`ShutdownSignal` the engine and replication driver consult at
+every round/seed boundary.  When it trips, in-flight work is drained,
+a final checkpoint is written, and
+:class:`~repro.exceptions.GracefulShutdownInterrupt` is raised so the
+caller exits cleanly and a later ``--resume`` continues bit-identically.
+
+Two implementations:
+
+* :class:`GracefulShutdown` — installs SIGINT/SIGTERM handlers that
+  flip a flag (first signal: request a drain; second SIGINT: give up
+  and raise ``KeyboardInterrupt`` immediately, because an operator
+  hammering Ctrl-C wants out *now*).
+* :class:`ScheduledAbort` — trips deterministically at pre-chosen
+  round indices.  This is the chaos harness's interrupt: the same
+  seed aborts at the same round every time, which is what makes
+  recovery-equivalence checkable.
+"""
+
+from __future__ import annotations
+
+import signal
+import types
+from collections.abc import Iterable
+from typing import Protocol
+
+__all__ = ["ShutdownSignal", "GracefulShutdown", "ScheduledAbort",
+           "NEVER_STOP"]
+
+
+class ShutdownSignal(Protocol):
+    """Anything the engine can poll for "stop at the next safe point"."""
+
+    def should_stop(self, round_index: int) -> bool:
+        """Whether to stop *before* executing ``round_index``."""
+        ...
+
+
+class _NeverStop:
+    """The default signal: never trips, costs one predicate call."""
+
+    def should_stop(self, round_index: int) -> bool:
+        return False
+
+
+#: Shared default — polling it is the no-op policy's only overhead.
+NEVER_STOP = _NeverStop()
+
+
+class GracefulShutdown:
+    """SIGINT/SIGTERM → a cooperative stop flag.
+
+    Use as a context manager around a run::
+
+        with GracefulShutdown() as stop:
+            simulator.run(policy, shutdown=stop, ...)
+
+    The handlers are installed on ``__enter__`` and the previous
+    handlers restored on ``__exit__``, so nesting and test isolation
+    behave.  The first signal only sets the flag — the run keeps going
+    until its next round boundary, drains, checkpoints, and raises
+    :class:`~repro.exceptions.GracefulShutdownInterrupt`.  A second
+    SIGINT raises ``KeyboardInterrupt`` from the handler itself: the
+    escape hatch when the drain is the thing that is stuck.
+    """
+
+    #: Signals hooked by :meth:`install`.
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self._requested = False
+        self._signum: int | None = None
+        self._previous: dict[int, object] = {}
+        self._installed = False
+
+    @property
+    def requested(self) -> bool:
+        """Whether a shutdown signal has arrived."""
+        return self._requested
+
+    @property
+    def signum(self) -> int | None:
+        """The first signal received, if any."""
+        return self._signum
+
+    def request(self, signum: int | None = None) -> None:
+        """Trip the flag programmatically (tests, embedding runtimes)."""
+        self._requested = True
+        if self._signum is None:
+            self._signum = signum
+
+    def should_stop(self, round_index: int) -> bool:
+        """:class:`ShutdownSignal` protocol: stop once a signal arrived."""
+        return self._requested
+
+    def _handle(self, signum: int,
+                frame: types.FrameType | None) -> None:
+        if self._requested and signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        self.request(signum)
+
+    def install(self) -> "GracefulShutdown":
+        """Hook SIGINT/SIGTERM, remembering the handlers they replace."""
+        if not self._installed:
+            for signum in self.SIGNALS:
+                self._previous[signum] = signal.getsignal(signum)
+                signal.signal(signum, self._handle)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the handlers that were active before :meth:`install`."""
+        if self._installed:
+            for signum, previous in self._previous.items():
+                signal.signal(signum, previous)  # type: ignore[arg-type]
+            self._previous.clear()
+            self._installed = False
+
+    def __enter__(self) -> "GracefulShutdown":
+        return self.install()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+
+
+class ScheduledAbort:
+    """A deterministic shutdown signal for chaos trials and tests.
+
+    Trips when the run reaches any of the given round indices.  Unlike
+    a real signal it is perfectly replayable: the chaos scheduler draws
+    abort rounds from a seeded stream, and every re-run of the same
+    seed interrupts at exactly the same boundaries.
+    """
+
+    def __init__(self, rounds: Iterable[int]) -> None:
+        self._rounds = frozenset(int(r) for r in rounds)
+
+    @property
+    def rounds(self) -> frozenset[int]:
+        """The round indices at which this signal trips."""
+        return self._rounds
+
+    def should_stop(self, round_index: int) -> bool:
+        """:class:`ShutdownSignal` protocol: stop at scheduled rounds."""
+        return round_index in self._rounds

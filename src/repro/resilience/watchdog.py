@@ -1,0 +1,208 @@
+"""Stall detection for worker pools: a pure, clock-injected state machine.
+
+The parallel coordinator already notices *dead* workers (``exitcode``
+flips non-``None``).  A *wedged* worker — alive but stuck in a syscall,
+a native-extension loop, or a deadlock — looks healthy to that check
+forever.  The watchdog closes the gap with two independent detectors:
+
+* **per-task deadline** — a task has been running on a worker longer
+  than ``task_timeout_s``;
+* **heartbeat loss** — the worker's heartbeat thread (see
+  :mod:`repro.parallel.worker`) has gone silent for longer than
+  ``heartbeat_timeout_s``.
+
+The class holds no threads and reads no clocks: the coordinator feeds
+it observations (``worker_started`` / ``heartbeat`` / ``task_started``
+/ ``task_finished``) stamped with its own monotonic clock and calls
+:meth:`WorkerWatchdog.poll` from its existing scheduling loop.  That
+keeps the policy unit-testable with a fake clock and leaves all
+side effects (killing processes, re-queueing tasks, emitting
+``watchdog_kill`` events) in the coordinator, where the process
+handles live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["WatchdogConfig", "StallVerdict", "WorkerWatchdog"]
+
+#: Verdict reasons, matching the trace-event kinds the coordinator emits.
+REASON_TASK_DEADLINE = "task_deadline_exceeded"
+REASON_HEARTBEAT_LOST = "heartbeat_lost"
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """What the watchdog considers a stall.
+
+    Attributes
+    ----------
+    task_timeout_s:
+        Longest a single task may run on a worker before the worker is
+        declared stalled (``None`` disables the per-task deadline).
+    heartbeat_interval_s:
+        How often workers beat; shipped to workers so both sides agree.
+    heartbeat_timeout_s:
+        Longest silence tolerated from a worker's heartbeat thread
+        (``None`` disables heartbeat monitoring).  Must comfortably
+        exceed ``heartbeat_interval_s`` to tolerate scheduling noise.
+    """
+
+    task_timeout_s: float | None = None
+    heartbeat_interval_s: float = 0.5
+    heartbeat_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0.0:
+            raise ConfigurationError(
+                f"task_timeout_s must be positive (or None), "
+                f"got {self.task_timeout_s}"
+            )
+        if self.heartbeat_interval_s <= 0.0:
+            raise ConfigurationError(
+                f"heartbeat_interval_s must be positive, "
+                f"got {self.heartbeat_interval_s}"
+            )
+        if self.heartbeat_timeout_s is not None:
+            if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+                raise ConfigurationError(
+                    "heartbeat_timeout_s must exceed heartbeat_interval_s "
+                    f"({self.heartbeat_timeout_s} <= "
+                    f"{self.heartbeat_interval_s})"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any detector is armed."""
+        return (self.task_timeout_s is not None
+                or self.heartbeat_timeout_s is not None)
+
+
+#: Watchdog disabled: no deadlines, no heartbeat monitoring.
+NO_WATCHDOG = WatchdogConfig()
+
+
+@dataclass(frozen=True)
+class StallVerdict:
+    """One stalled worker, as diagnosed by :meth:`WorkerWatchdog.poll`.
+
+    Attributes
+    ----------
+    worker_id:
+        The worker the coordinator should kill and replace.
+    reason:
+        ``"task_deadline_exceeded"`` or ``"heartbeat_lost"``.
+    task_id:
+        The task running on the worker at diagnosis time (``None`` if
+        the worker was idle — possible only for heartbeat loss).
+    elapsed_s:
+        How long the task had been running / the heartbeat silent.
+    limit_s:
+        The configured limit that was crossed.
+    """
+
+    worker_id: int
+    reason: str
+    task_id: int | None
+    elapsed_s: float
+    limit_s: float
+
+
+@dataclass
+class _WorkerState:
+    """Everything the watchdog tracks about one live worker."""
+
+    last_heartbeat: float
+    task_id: int | None = None
+    task_started: float = 0.0
+    verdicts: int = field(default=0)
+
+
+class WorkerWatchdog:
+    """Tracks worker liveness and diagnoses stalls.
+
+    Observations arrive with explicit ``now`` timestamps from the
+    caller's monotonic clock; :meth:`poll` compares them against the
+    configured limits.  A worker that triggers a verdict is dropped
+    from tracking immediately (the coordinator is about to kill it), so
+    one stall yields exactly one verdict.
+    """
+
+    def __init__(self, config: WatchdogConfig) -> None:
+        self._config = config
+        self._workers: dict[int, _WorkerState] = {}
+
+    @property
+    def config(self) -> WatchdogConfig:
+        """The limits this watchdog enforces."""
+        return self._config
+
+    def worker_started(self, worker_id: int, now: float) -> None:
+        """A (re)spawned worker enters tracking with a fresh heartbeat."""
+        self._workers[worker_id] = _WorkerState(last_heartbeat=now)
+
+    def worker_gone(self, worker_id: int) -> None:
+        """The coordinator reaped/killed the worker; stop tracking it."""
+        self._workers.pop(worker_id, None)
+
+    def heartbeat(self, worker_id: int, now: float) -> None:
+        """The worker's heartbeat thread checked in."""
+        state = self._workers.get(worker_id)
+        if state is not None:
+            state.last_heartbeat = now
+
+    def task_started(self, worker_id: int, task_id: int, now: float) -> None:
+        """The worker began running ``task_id``; its deadline starts now."""
+        state = self._workers.get(worker_id)
+        if state is not None:
+            state.task_id = task_id
+            state.task_started = now
+
+    def task_finished(self, worker_id: int) -> None:
+        """The worker reported its task done/failed; deadline disarmed."""
+        state = self._workers.get(worker_id)
+        if state is not None:
+            state.task_id = None
+
+    def running_task(self, worker_id: int) -> int | None:
+        """The task currently attributed to ``worker_id``, if any."""
+        state = self._workers.get(worker_id)
+        return state.task_id if state is not None else None
+
+    def poll(self, now: float) -> list[StallVerdict]:
+        """Diagnose stalled workers as of ``now``.
+
+        Returns at most one verdict per worker; diagnosed workers leave
+        tracking so repeated polls never re-report the same stall.  The
+        per-task deadline is checked first — it is the more precise
+        diagnosis (a wedged task also stops heartbeats eventually, but
+        the deadline names the offending task).
+        """
+        if not self._config.enabled:
+            return []
+        verdicts: list[StallVerdict] = []
+        task_limit = self._config.task_timeout_s
+        beat_limit = self._config.heartbeat_timeout_s
+        for worker_id, state in list(self._workers.items()):
+            verdict: StallVerdict | None = None
+            if (task_limit is not None and state.task_id is not None
+                    and now - state.task_started >= task_limit):
+                verdict = StallVerdict(
+                    worker_id=worker_id, reason=REASON_TASK_DEADLINE,
+                    task_id=state.task_id,
+                    elapsed_s=now - state.task_started, limit_s=task_limit,
+                )
+            elif (beat_limit is not None
+                    and now - state.last_heartbeat >= beat_limit):
+                verdict = StallVerdict(
+                    worker_id=worker_id, reason=REASON_HEARTBEAT_LOST,
+                    task_id=state.task_id,
+                    elapsed_s=now - state.last_heartbeat, limit_s=beat_limit,
+                )
+            if verdict is not None:
+                verdicts.append(verdict)
+                del self._workers[worker_id]
+        return verdicts

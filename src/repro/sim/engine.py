@@ -62,7 +62,12 @@ from repro.core.incentive import solve_round_fast
 from repro.core.regret import RegretTracker
 from repro.core.state import LearningState, observation_mask
 from repro.entities.seller import SellerPopulation
-from repro.exceptions import ConfigurationError, PersistenceError, ReproError
+from repro.exceptions import (
+    ConfigurationError,
+    GracefulShutdownInterrupt,
+    PersistenceError,
+    ReproError,
+)
 from repro.faults import FaultKind, FaultLog, FaultModel, FaultSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -71,8 +76,18 @@ from repro.quality.distributions import (
     TruncatedGaussianQuality,
 )
 from repro.quality.sampler import QualitySampler
+from repro.resilience.policy import (
+    NOOP_POLICY,
+    ResiliencePolicy,
+    execute_with_policy,
+)
+from repro.resilience.shutdown import NEVER_STOP, ShutdownSignal
 from repro.sim.config import SimulationConfig
-from repro.sim.persistence import load_checkpoint, save_checkpoint
+from repro.sim.persistence import (
+    load_checkpoint,
+    recover_checkpoint,
+    save_checkpoint,
+)
 from repro.sim.results import PolicyComparison, RunMetrics
 from repro.sim.rng import RngFactory
 
@@ -255,6 +270,8 @@ class TradingSimulator:
             checkpoint_every: int = 0,
             resume: bool = False,
             strict: bool = False,
+            shutdown: ShutdownSignal | None = None,
+            resilience: ResiliencePolicy | None = None,
             tracer: Tracer | None = None,
             metrics: MetricsRegistry | None = None) -> RunMetrics:
         """Run one policy for ``num_rounds`` rounds (default: config's N).
@@ -289,6 +306,23 @@ class TradingSimulator:
             the first failure.  The checks are read-only and draw no
             randomness, so a strict run produces bit-identical results
             to a default run on the same seed.
+        shutdown:
+            A :class:`~repro.resilience.ShutdownSignal` polled before
+            every round; when it trips, the engine writes a final
+            resumable checkpoint (when ``checkpoint_path`` is set and at
+            least one round completed), emits a ``graceful_shutdown``
+            event, and raises
+            :class:`~repro.exceptions.GracefulShutdownInterrupt`.  A
+            later ``resume=True`` run continues bit-identically.
+        resilience:
+            A :class:`~repro.resilience.ResiliencePolicy` governing
+            checkpoint I/O: its retry policy guards every checkpoint
+            write, ``checkpoint_generations`` keeps rollback targets on
+            disk, and ``quarantine=True`` makes resume survive a
+            corrupt checkpoint (quarantine + roll back to the newest
+            valid generation, or start fresh) instead of raising.
+            ``None`` is the no-op policy — behaviour (and the bytes of
+            results) identical to pre-resilience runs.
         tracer:
             Structured-event tracer; ``None`` uses the zero-overhead
             :data:`~repro.obs.NULL_TRACER`.
@@ -337,6 +371,8 @@ class TradingSimulator:
         selection_counts = np.zeros(m, dtype=np.int64)
         tr = tracer if tracer is not None else NULL_TRACER
         reg = metrics if metrics is not None else MetricsRegistry()
+        stop = shutdown if shutdown is not None else NEVER_STOP
+        res = resilience if resilience is not None else NOOP_POLICY
 
         monitor = None
         if strict:
@@ -348,14 +384,14 @@ class TradingSimulator:
             monitor = InvariantMonitor(num_pois, tracer=tr)
 
         start_round = 0
-        if resume and os.path.exists(checkpoint_path):
+        if resume and (os.path.exists(checkpoint_path) or res.quarantine):
             restore_start = perf_counter()
             start_round = self._restore_checkpoint(
                 checkpoint_path, policy, n, state, tracker, series,
                 selection_counts, policy_rng, observation_rng,
-                fault_model, log, reg, metrics,
+                fault_model, log, reg, metrics, resilience=res, tracer=tr,
             )
-            if tr.enabled:
+            if tr.enabled and start_round > 0:
                 tr.emit("checkpoint", action="restored",
                         path=os.fspath(checkpoint_path),
                         next_round=start_round,
@@ -375,6 +411,13 @@ class TradingSimulator:
         run_start_time = perf_counter()
 
         for t in range(start_round, n):
+            if stop.should_stop(t):
+                self._graceful_shutdown(
+                    t, start_round, checkpoint_path, policy, n, state,
+                    tracker, series, selection_counts, policy_rng,
+                    observation_rng, fault_model, log, reg, metrics,
+                    res, tr,
+                )
             round_start_time = perf_counter()
             if tr.enabled:
                 tr.emit("round_start", round_index=t)
@@ -433,7 +476,8 @@ class TradingSimulator:
                 self._write_checkpoint(
                     checkpoint_path, policy, n, t + 1, state, tracker,
                     series, selection_counts, policy_rng, observation_rng,
-                    fault_model, log, reg, metrics,
+                    fault_model, log, reg, metrics, resilience=res,
+                    tracer=tr,
                 )
                 if tr.enabled:
                     tr.emit("checkpoint", round_index=t, action="saved",
@@ -787,6 +831,47 @@ class TradingSimulator:
 
     # -- checkpointing -------------------------------------------------------------
 
+    def _graceful_shutdown(self, t: int, start_round: int,
+                           checkpoint_path: "str | os.PathLike | None",
+                           policy: SelectionPolicy, n: int,
+                           state: LearningState, tracker: RegretTracker,
+                           series: dict[str, np.ndarray],
+                           selection_counts: np.ndarray,
+                           policy_rng: np.random.Generator,
+                           observation_rng: np.random.Generator,
+                           fault_model: FaultModel | None,
+                           log: FaultLog | None, reg: MetricsRegistry,
+                           metrics: MetricsRegistry | None,
+                           res: ResiliencePolicy, tr: Tracer) -> None:
+        """Stop cleanly before round ``t``: final checkpoint, then raise.
+
+        The checkpoint (written only when a path is configured and at
+        least one round has completed — ``next_round = 0`` is not a
+        resumable state) makes the interruption lossless: ``resume=True``
+        continues from exactly round ``t``.
+        """
+        final_path: str | None = None
+        if checkpoint_path is not None and t > 0:
+            reg.counter("checkpoint_writes").inc()
+            self._write_checkpoint(
+                checkpoint_path, policy, n, t, state, tracker, series,
+                selection_counts, policy_rng, observation_rng,
+                fault_model, log, reg, metrics, resilience=res, tracer=tr,
+            )
+            final_path = os.fspath(checkpoint_path)
+        if tr.enabled:
+            tr.emit("graceful_shutdown", round_index=t,
+                    policy=policy.name,
+                    rounds_completed=t - start_round,
+                    checkpoint_path=final_path)
+            tr.flush()
+        raise GracefulShutdownInterrupt(
+            f"run of policy {policy.name!r} stopped before round {t} "
+            + (f"(resumable checkpoint: {final_path})" if final_path
+               else "(no checkpoint written)"),
+            checkpoint_path=final_path,
+        )
+
     def _write_checkpoint(self, path: str | os.PathLike,
                           policy: SelectionPolicy, n: int, next_round: int,
                           state: LearningState, tracker: RegretTracker,
@@ -796,7 +881,9 @@ class TradingSimulator:
                           observation_rng: np.random.Generator,
                           fault_model: FaultModel | None,
                           log: FaultLog | None, reg: MetricsRegistry,
-                          metrics: MetricsRegistry | None) -> None:
+                          metrics: MetricsRegistry | None, *,
+                          resilience: ResiliencePolicy = NOOP_POLICY,
+                          tracer: Tracer = NULL_TRACER) -> None:
         tracker_snapshot = tracker.snapshot()
         meta = {
             "kind": "engine_run",
@@ -834,7 +921,14 @@ class TradingSimulator:
                 arrays[f"faultlog_{key}"] = value
         for key, value in policy.state_snapshot().items():
             arrays[f"policy__{key}"] = np.asarray(value)
-        save_checkpoint(path, meta, arrays, metrics=reg)
+        execute_with_policy(
+            lambda: save_checkpoint(
+                path, meta, arrays, metrics=reg,
+                keep_generations=resilience.checkpoint_generations,
+            ),
+            resilience.retry, label="engine.checkpoint_write",
+            deadline=resilience.deadline, tracer=tracer, metrics=reg,
+        )
 
     def _restore_checkpoint(self, path: str | os.PathLike,
                             policy: SelectionPolicy, n: int,
@@ -845,8 +939,17 @@ class TradingSimulator:
                             observation_rng: np.random.Generator,
                             fault_model: FaultModel | None,
                             log: FaultLog | None, reg: MetricsRegistry,
-                            metrics: MetricsRegistry | None) -> int:
-        meta, arrays = load_checkpoint(path, metrics=reg)
+                            metrics: MetricsRegistry | None, *,
+                            resilience: ResiliencePolicy = NOOP_POLICY,
+                            tracer: Tracer = NULL_TRACER) -> int:
+        if resilience.quarantine:
+            recovered = recover_checkpoint(path, tracer=tracer,
+                                           metrics=reg)
+            if recovered is None:
+                return 0  # nothing valid survived: start from round 0
+            meta, arrays, __ = recovered
+        else:
+            meta, arrays = load_checkpoint(path, metrics=reg)
         expected_fingerprint = {
             "kind": "engine_run",
             "policy_name": policy.name,

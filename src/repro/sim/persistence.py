@@ -33,6 +33,7 @@ timers; omit it and the call is untouched.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import io
 import json
 import math
@@ -44,7 +45,8 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.exceptions import PersistenceError
-from repro.obs.metrics import timed
+from repro.obs.metrics import MetricsRegistry, timed
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.results import RunMetrics
 
 if TYPE_CHECKING:  # runtime import would cycle: experiments imports sim
@@ -69,6 +71,9 @@ __all__ = [
     "load_checkpoint",
     "save_sweep_checkpoint",
     "load_sweep_checkpoint",
+    "quarantine_file",
+    "recover_checkpoint",
+    "recover_sweep_checkpoint",
 ]
 
 #: Schema version written into every run-metrics NPZ.  Files without the
@@ -94,6 +99,22 @@ SWEEP_CHECKPOINT_SCHEMA_VERSION = 2
 #: "temp written" and "replace" leaves one of these behind, which is
 #: harmless (never loaded, overwritten-safe) and recognisable.
 _TMP_PREFIX = ".tmp-"
+
+#: Magic bytes opening the checksum footer appended to every NPZ this
+#: library writes.  ZIP readers locate the archive from its
+#: end-of-central-directory record by scanning backwards, so a short
+#: trailing footer is invisible to them — but it lets our loader prove
+#: the payload is exactly what was written (atomicity guarantees a
+#: *complete* file, not an *unmodified* one: bit rot and hostile chaos
+#: programs corrupt in place).  Footer layout: 8 magic bytes followed
+#: by the 32-byte SHA-256 of everything before the footer.
+_CHECKSUM_MAGIC = b"RPRSHA2\n"
+
+_CHECKSUM_FOOTER_LEN = len(_CHECKSUM_MAGIC) + hashlib.sha256().digest_size
+
+#: Suffix of the directory corrupt artefacts are moved into by
+#: :func:`quarantine_file`: ``<path>.quarantine/`` next to the file.
+QUARANTINE_SUFFIX = ".quarantine"
 
 _RUN_SERIES_FIELDS = (
     "realized_revenue",
@@ -227,21 +248,61 @@ def _atomic_write_npz(path: str | os.PathLike,
                       arrays: dict[str, np.ndarray]) -> None:
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **arrays)
-    atomic_write_bytes(path, buffer.getvalue())
+    payload = buffer.getvalue()
+    footer = _CHECKSUM_MAGIC + hashlib.sha256(payload).digest()
+    atomic_write_bytes(path, payload + footer)
+
+
+def _json_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical compact serialization of ``payload``.
+
+    Both writer and reader hash ``normalize_json_value``-d content with
+    sorted keys and compact separators, so the digest is independent of
+    indentation and key order — it certifies the *data*, not the bytes.
+    """
+    canonical = json.dumps(normalize_json_value(payload), sort_keys=True,
+                           separators=(",", ":"), allow_nan=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 # -- guarded readers -------------------------------------------------------------
 
 
 def _load_npz(path: str | os.PathLike, what: str) -> np.lib.npyio.NpzFile:
-    """Open an NPZ, translating corruption into :class:`PersistenceError`."""
+    """Open an NPZ, translating corruption into :class:`PersistenceError`.
+
+    Files written by this library carry a trailing SHA-256 footer (see
+    :data:`_CHECKSUM_MAGIC`), which is verified and stripped here; a
+    digest mismatch means in-place corruption and raises.  Footer-less
+    files (legacy output, NPZs from other tools) load unchanged.
+    """
     try:
-        return np.load(path, allow_pickle=False)
+        with open(path, "rb") as handle:
+            raw = handle.read()
     except FileNotFoundError:
         raise
+    except OSError as error:
+        raise PersistenceError(
+            f"{what} {os.fspath(path)!s} is corrupt or unreadable: {error}",
+            path=os.fspath(path),
+        ) from error
+    if (len(raw) >= _CHECKSUM_FOOTER_LEN
+            and raw[-_CHECKSUM_FOOTER_LEN:].startswith(_CHECKSUM_MAGIC)):
+        payload = raw[:-_CHECKSUM_FOOTER_LEN]
+        recorded = raw[len(payload) + len(_CHECKSUM_MAGIC):]
+        if hashlib.sha256(payload).digest() != recorded:
+            raise PersistenceError(
+                f"{what} {os.fspath(path)!s} failed its checksum — the "
+                "file was modified or corrupted after it was written",
+                path=os.fspath(path),
+            )
+        raw = payload
+    try:
+        return np.load(io.BytesIO(raw), allow_pickle=False)
     except (ValueError, OSError, zipfile.BadZipFile, EOFError) as error:
         raise PersistenceError(
-            f"{what} {os.fspath(path)!s} is corrupt or unreadable: {error}"
+            f"{what} {os.fspath(path)!s} is corrupt or unreadable: {error}",
+            path=os.fspath(path),
         ) from error
 
 
@@ -254,11 +315,13 @@ def _load_json(path: str | os.PathLike, what: str) -> dict:
         raise
     except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
         raise PersistenceError(
-            f"{what} {os.fspath(path)!s} is corrupt or unreadable: {error}"
+            f"{what} {os.fspath(path)!s} is corrupt or unreadable: {error}",
+            path=os.fspath(path),
         ) from error
     if not isinstance(payload, dict):
         raise PersistenceError(
-            f"{what} {os.fspath(path)!s} does not hold a JSON object"
+            f"{what} {os.fspath(path)!s} does not hold a JSON object",
+            path=os.fspath(path),
         )
     return payload
 
@@ -268,7 +331,9 @@ def _check_schema_version(found: int, expected: int,
     if int(found) != expected:
         raise PersistenceError(
             f"{what} {os.fspath(path)!s} has schema version {int(found)}, "
-            f"but this library reads version {expected}"
+            f"but this library reads version {expected}",
+            path=os.fspath(path), schema_found=int(found),
+            schema_expected=expected,
         )
 
 
@@ -310,7 +375,8 @@ def load_run_metrics(path: str | os.PathLike) -> RunMetrics:
         ]
         if missing:
             raise PersistenceError(
-                f"run file {path!s} is missing series: {missing}"
+                f"run file {path!s} is missing series: {missing}",
+                path=os.fspath(path),
             )
         return RunMetrics(
             policy_name=str(data["policy_name"]),
@@ -422,14 +488,48 @@ def load_experiment_result(path: str | os.PathLike) -> "ExperimentResult":
 # -- checkpoints -----------------------------------------------------------------
 
 
+def _generation_path(path: str, generation: int) -> str:
+    """Where generation ``k`` of checkpoint ``path`` lives (``k >= 1``)."""
+    return f"{path}.gen-{generation}"
+
+
+def _rotate_generations(path: str | os.PathLike, keep: int) -> None:
+    """Shift ``path`` and its ``.gen-k`` siblings one generation older.
+
+    After rotation the destination ``path`` is free for a fresh write,
+    the previous file survives as ``.gen-1``, and anything older than
+    ``keep - 1`` prior generations has been dropped.  Each shift is a
+    single :func:`os.replace`, so a crash mid-rotation loses at most
+    ordering depth, never the newest checkpoint.
+    """
+    path = os.fspath(path)
+    if keep <= 1 or not os.path.exists(path):
+        return
+    oldest = _generation_path(path, keep - 1)
+    with contextlib.suppress(FileNotFoundError):
+        os.unlink(oldest)
+    for generation in range(keep - 2, 0, -1):
+        source = _generation_path(path, generation)
+        if os.path.exists(source):
+            os.replace(source, _generation_path(path, generation + 1))
+    os.replace(path, _generation_path(path, 1))
+
+
 @timed("persistence.save_checkpoint")
 def save_checkpoint(path: str | os.PathLike, meta: dict,
-                    arrays: dict[str, np.ndarray]) -> None:
+                    arrays: dict[str, np.ndarray], *,
+                    keep_generations: int = 1) -> None:
     """Atomically persist an engine checkpoint (metadata + arrays).
 
     ``meta`` must be JSON-serialisable; it is stamped with
     :data:`CHECKPOINT_SCHEMA_VERSION` and stored alongside the arrays in
     one NPZ, so a checkpoint is a single crash-safe file.
+
+    With ``keep_generations > 1`` the previous checkpoint is rotated to
+    ``<path>.gen-1`` (and older generations shifted down, keeping at
+    most ``keep_generations`` files) before the new one lands — the
+    rollback targets :func:`recover_checkpoint` falls back to when the
+    newest file turns out corrupt.
     """
     if "schema_version" in arrays or "checkpoint_meta" in arrays:
         raise PersistenceError(
@@ -438,6 +538,7 @@ def save_checkpoint(path: str | os.PathLike, meta: dict,
         )
     stamped = dict(meta)
     stamped["schema_version"] = CHECKPOINT_SCHEMA_VERSION
+    _rotate_generations(path, keep_generations)
     _atomic_write_npz(path, {
         "checkpoint_meta": np.array(json.dumps(stamped)),
         **arrays,
@@ -461,18 +562,22 @@ def load_checkpoint(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray
         if "checkpoint_meta" not in data:
             raise PersistenceError(
                 f"checkpoint {os.fspath(path)!s} has no metadata record "
-                "(not a checkpoint file?)"
+                "(not a checkpoint file?)",
+                path=os.fspath(path),
             )
         try:
             meta = json.loads(str(data["checkpoint_meta"]))
         except json.JSONDecodeError as error:
             raise PersistenceError(
-                f"checkpoint {os.fspath(path)!s} has corrupt metadata: {error}"
+                f"checkpoint {os.fspath(path)!s} has corrupt metadata: "
+                f"{error}",
+                path=os.fspath(path),
             ) from error
         if not isinstance(meta, dict) or "schema_version" not in meta:
             raise PersistenceError(
                 f"checkpoint {os.fspath(path)!s} metadata lacks a "
-                "schema_version"
+                "schema_version",
+                path=os.fspath(path),
             )
         _check_schema_version(meta.pop("schema_version"),
                               CHECKPOINT_SCHEMA_VERSION, path, "checkpoint")
@@ -484,10 +589,19 @@ def load_checkpoint(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray
 
 
 @timed("persistence.save_sweep_checkpoint")
-def save_sweep_checkpoint(path: str | os.PathLike, payload: dict) -> None:
-    """Atomically persist a replication-sweep checkpoint as JSON."""
+def save_sweep_checkpoint(path: str | os.PathLike, payload: dict, *,
+                          keep_generations: int = 1) -> None:
+    """Atomically persist a replication-sweep checkpoint as JSON.
+
+    The payload is stamped with a ``checksum`` field — the SHA-256 of
+    its canonical serialization — so in-place corruption that still
+    parses as JSON is detected on load.  ``keep_generations`` works as
+    in :func:`save_checkpoint`.
+    """
     stamped = dict(payload)
     stamped["schema_version"] = SWEEP_CHECKPOINT_SCHEMA_VERSION
+    stamped["checksum"] = _json_checksum(stamped)
+    _rotate_generations(path, keep_generations)
     atomic_write_json(path, stamped)
 
 
@@ -502,12 +616,142 @@ def load_sweep_checkpoint(path: str | os.PathLike) -> dict:
         (including version-1 sweep checkpoints, whose append-ordered
         sample lists cannot express out-of-order parallel completion).
     """
-    payload = denormalize_json_value(_load_json(path, "sweep checkpoint"))
+    raw = _load_json(path, "sweep checkpoint")
+    recorded = raw.pop("checksum", None)
+    if recorded is not None and recorded != _json_checksum(raw):
+        raise PersistenceError(
+            f"sweep checkpoint {os.fspath(path)!s} failed its checksum — "
+            "the file was modified or corrupted after it was written",
+            path=os.fspath(path),
+        )
+    payload = denormalize_json_value(raw)
     if "schema_version" not in payload:
         raise PersistenceError(
-            f"sweep checkpoint {os.fspath(path)!s} lacks a schema_version"
+            f"sweep checkpoint {os.fspath(path)!s} lacks a schema_version",
+            path=os.fspath(path),
         )
     _check_schema_version(payload.pop("schema_version"),
                           SWEEP_CHECKPOINT_SCHEMA_VERSION, path,
                           "sweep checkpoint")
     return payload
+
+
+# -- quarantine & rollback -------------------------------------------------------
+
+
+def quarantine_file(path: str | os.PathLike) -> str:
+    """Move a corrupt artefact into its ``*.quarantine/`` directory.
+
+    The file is preserved for post-mortem under
+    ``<path>.quarantine/<basename>`` (a numeric suffix disambiguates
+    repeat offenders), clearing the original path so recovery can
+    rewrite it.  Returns the quarantine destination.
+    """
+    path = os.fspath(path)
+    quarantine_dir = path + QUARANTINE_SUFFIX
+    os.makedirs(quarantine_dir, exist_ok=True)
+    base = os.path.basename(path)
+    destination = os.path.join(quarantine_dir, base)
+    suffix = 0
+    while os.path.exists(destination):
+        suffix += 1
+        destination = os.path.join(quarantine_dir, f"{base}.{suffix}")
+    os.replace(path, destination)
+    return destination
+
+
+def _recover_generations(
+    path: str | os.PathLike,
+    load: Any,
+    what: str,
+    *,
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+) -> tuple[Any, str] | None:
+    """Walk ``path``, ``path.gen-1``, ... until one loads cleanly.
+
+    Corrupt candidates are quarantined (with a ``checkpoint_quarantined``
+    trace event and a ``resilience.checkpoints_quarantined`` count) and
+    the walk falls back to the next-older generation.  Returns
+    ``(loaded, actual_path)`` for the newest valid generation, or
+    ``None`` when no generation survives — the caller starts fresh.
+    """
+    path = os.fspath(path)
+    tr = tracer if tracer is not None else NULL_TRACER
+    candidates = [path]
+    generation = 1
+    while os.path.exists(_generation_path(path, generation)):
+        candidates.append(_generation_path(path, generation))
+        generation += 1
+    for candidate in candidates:
+        try:
+            loaded = load(candidate)
+        except FileNotFoundError:
+            continue
+        except PersistenceError as error:
+            quarantined_to = quarantine_file(candidate)
+            if metrics is not None:
+                metrics.counter("resilience.checkpoints_quarantined").inc()
+            if tr.enabled:
+                tr.emit("checkpoint_quarantined", path=candidate,
+                        quarantined_to=quarantined_to, what=what,
+                        error=f"{type(error).__name__}: {error}")
+            continue
+        return loaded, candidate
+    return None
+
+
+def recover_checkpoint(
+    path: str | os.PathLike,
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[dict, dict[str, np.ndarray], str] | None:
+    """Load the newest valid generation of an engine checkpoint.
+
+    The resilient counterpart of :func:`load_checkpoint`: instead of
+    raising on a corrupt/truncated/schema-mismatched file, it
+    quarantines the offender and rolls back through ``.gen-k``
+    siblings.  Returns ``(meta, arrays, actual_path)`` — ``actual_path``
+    names the generation that satisfied the load — or ``None`` when no
+    valid generation exists (resume from scratch).
+
+    (Timed by hand rather than with :func:`~repro.obs.timed`: the
+    decorator consumes the ``metrics`` keyword, and this function needs
+    the registry itself for the quarantine counter.)
+    """
+    timer = (metrics.time("persistence.recover_checkpoint")
+             if metrics is not None else contextlib.nullcontext())
+    with timer:
+        recovered = _recover_generations(path, load_checkpoint,
+                                         "checkpoint", tracer=tracer,
+                                         metrics=metrics)
+    if recovered is None:
+        return None
+    (meta, arrays), actual_path = recovered
+    return meta, arrays, actual_path
+
+
+def recover_sweep_checkpoint(
+    path: str | os.PathLike,
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[dict, str] | None:
+    """Load the newest valid generation of a sweep checkpoint.
+
+    The resilient counterpart of :func:`load_sweep_checkpoint`, with
+    the same quarantine-and-roll-back semantics as
+    :func:`recover_checkpoint`.  Returns ``(payload, actual_path)`` or
+    ``None`` when no valid generation exists.
+    """
+    timer = (metrics.time("persistence.recover_sweep_checkpoint")
+             if metrics is not None else contextlib.nullcontext())
+    with timer:
+        recovered = _recover_generations(path, load_sweep_checkpoint,
+                                         "sweep checkpoint", tracer=tracer,
+                                         metrics=metrics)
+    if recovered is None:
+        return None
+    payload, actual_path = recovered
+    return payload, actual_path

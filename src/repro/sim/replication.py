@@ -40,14 +40,26 @@ if TYPE_CHECKING:  # runtime import would cycle: parallel workers run this
     from repro.parallel.worker import WorkerContext
 
 from repro.bandits.base import SelectionPolicy
-from repro.exceptions import ConfigurationError, PersistenceError
+from repro.exceptions import (
+    ConfigurationError,
+    GracefulShutdownInterrupt,
+    PersistenceError,
+)
 from repro.faults import FaultSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.policy import (
+    NOOP_POLICY,
+    ResiliencePolicy,
+    execute_with_policy,
+)
+from repro.resilience.shutdown import NEVER_STOP, ShutdownSignal
+from repro.resilience.watchdog import WatchdogConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import run_seed_comparison
 from repro.sim.persistence import (
     load_sweep_checkpoint,
+    recover_sweep_checkpoint,
     save_sweep_checkpoint,
 )
 
@@ -258,10 +270,29 @@ class _SeedRunner:
 
 
 def _load_resume_state(checkpoint_path: str | os.PathLike,
-                       fingerprint: dict) -> tuple[
+                       fingerprint: dict, *,
+                       resilience: ResiliencePolicy = NOOP_POLICY,
+                       tracer: Tracer = NULL_TRACER,
+                       metrics: MetricsRegistry | None = None) -> tuple[
         dict[int, dict], dict[int, float]]:
-    """Completed per-seed samples and durations from a checkpoint."""
-    payload = load_sweep_checkpoint(checkpoint_path)
+    """Completed per-seed samples and durations from a checkpoint.
+
+    With quarantine enabled the newest *valid* generation wins (corrupt
+    files are moved aside; see
+    :func:`~repro.sim.persistence.recover_sweep_checkpoint`) and a sweep
+    with no salvageable checkpoint simply starts fresh.  A fingerprint
+    mismatch still raises either way: a healthy checkpoint from a
+    different sweep is a configuration error, not corruption.
+    """
+    if resilience.quarantine:
+        recovered = recover_sweep_checkpoint(checkpoint_path,
+                                             tracer=tracer,
+                                             metrics=metrics)
+        if recovered is None:
+            return {}, {}
+        payload, __ = recovered
+    else:
+        payload = load_sweep_checkpoint(checkpoint_path)
     if payload.get("kind") != "replication_sweep":
         raise PersistenceError(
             f"{os.fspath(checkpoint_path)!s} is not a replication-sweep "
@@ -298,7 +329,8 @@ def _save_sweep_state(checkpoint_path: str | os.PathLike,
                       fingerprint: dict,
                       per_seed: dict[int, dict],
                       durations: dict[int, float],
-                      metrics: MetricsRegistry) -> None:
+                      metrics: MetricsRegistry,
+                      keep_generations: int = 1) -> None:
     """Atomically snapshot the sweep's completed seeds."""
     save_sweep_checkpoint(checkpoint_path, {
         "kind": "replication_sweep",
@@ -310,7 +342,30 @@ def _save_sweep_state(checkpoint_path: str | os.PathLike,
         "seed_durations": {
             str(seed): durations[seed] for seed in sorted(durations)
         },
-    }, metrics=metrics)
+    }, metrics=metrics, keep_generations=keep_generations)
+
+
+def _stop_sweep_gracefully(checkpoint_path: str | os.PathLike | None,
+                           completed: int, total: int,
+                           tracer: Tracer) -> None:
+    """Abandon the sweep at a seed boundary, pointing at the checkpoint.
+
+    No extra write is needed: the sweep checkpoint (when one is
+    configured) is already current, having been snapshotted after every
+    completed seed.
+    """
+    path = (os.fspath(checkpoint_path)
+            if checkpoint_path is not None else None)
+    if tracer.enabled:
+        tracer.emit("graceful_shutdown", scope="replication",
+                    seeds_completed=completed, seeds_total=total,
+                    checkpoint_path=path)
+        tracer.flush()
+    raise GracefulShutdownInterrupt(
+        f"replication sweep stopped after {completed} of {total} "
+        f"seeds; resume from the checkpoint to finish",
+        checkpoint_path=path,
+    )
 
 
 def replicate_comparison(
@@ -327,6 +382,9 @@ def replicate_comparison(
     max_task_retries: int = 2,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    shutdown: ShutdownSignal | None = None,
+    resilience: ResiliencePolicy | None = None,
+    watchdog: WatchdogConfig | None = None,
 ) -> ReplicationResult:
     """Run the comparison under ``num_seeds`` independent seeds.
 
@@ -379,6 +437,26 @@ def replicate_comparison(
         the per-seed ``replication.seed`` timer alongside the run-level
         telemetry (worker-local registries are merged in when
         ``workers > 1``).
+    shutdown:
+        Optional cooperative stop signal, polled at **seed boundaries**
+        with the number of seeds completed so far (including resumed
+        ones).  When it fires the sweep emits a ``graceful_shutdown``
+        event and raises :class:`GracefulShutdownInterrupt` carrying
+        the checkpoint path — the checkpoint already holds every
+        completed seed, so ``resume=True`` finishes the sweep exactly.
+    resilience:
+        Optional :class:`~repro.resilience.ResiliencePolicy` governing
+        the sweep's checkpoint I/O: its retry policy and deadline guard
+        each checkpoint write, ``checkpoint_generations`` keeps rotated
+        siblings, and ``quarantine`` makes resume roll back past
+        corrupt checkpoints instead of failing.  Its deadline also arms
+        the parallel pool's per-task watchdog (one seed per task) when
+        no explicit ``watchdog`` is given.  The default is a no-op:
+        behaviour is byte-identical to pre-resilience sweeps.
+    watchdog:
+        Optional :class:`~repro.resilience.WatchdogConfig` for the
+        parallel pool, overriding the one derived from ``resilience``.
+        Ignored when ``workers == 1``.
 
     Raises
     ------
@@ -387,6 +465,8 @@ def replicate_comparison(
         configuration.
     ParallelExecutionError
         If a worker raised, or a seed exceeded its crash-retry budget.
+    GracefulShutdownInterrupt
+        If ``shutdown`` fired at a seed boundary.
     """
     if num_seeds <= 0:
         raise ConfigurationError(
@@ -400,14 +480,20 @@ def replicate_comparison(
         raise ConfigurationError("resume requires checkpoint_path")
     tr = tracer if tracer is not None else NULL_TRACER
     reg = metrics if metrics is not None else MetricsRegistry()
+    stop = shutdown if shutdown is not None else NEVER_STOP
+    res = resilience if resilience is not None else NOOP_POLICY
+    if watchdog is None and res.deadline.enabled:
+        watchdog = WatchdogConfig(task_timeout_s=res.deadline.timeout_s)
     fingerprint = _sweep_fingerprint(base_config, num_seeds, first_seed,
                                      fault_spec)
     per_seed: dict[int, dict] = {}
     durations: dict[int, float] = {}
     if (resume and checkpoint_path is not None
-            and os.path.exists(checkpoint_path)):
-        per_seed, durations = _load_resume_state(checkpoint_path,
-                                                 fingerprint)
+            and (os.path.exists(checkpoint_path) or res.quarantine)):
+        per_seed, durations = _load_resume_state(
+            checkpoint_path, fingerprint,
+            resilience=res, tracer=tr, metrics=reg,
+        )
     seeds = list(range(first_seed, first_seed + num_seeds))
     remaining = []
     for seed in seeds:
@@ -420,8 +506,17 @@ def replicate_comparison(
         per_seed[seed] = summaries
         durations[seed] = duration
         if checkpoint_path is not None:
-            _save_sweep_state(checkpoint_path, fingerprint, per_seed,
-                              durations, reg)
+            execute_with_policy(
+                lambda: _save_sweep_state(
+                    checkpoint_path, fingerprint, per_seed, durations,
+                    reg, keep_generations=res.checkpoint_generations,
+                ),
+                res.retry,
+                label="replication.checkpoint_write",
+                deadline=res.deadline,
+                tracer=tr,
+                metrics=reg,
+            )
         reg.counter("seeds_completed").inc()
         reg.timer("replication.seed").observe(duration)
 
@@ -430,6 +525,9 @@ def replicate_comparison(
         # serial path must stay importable without it in the loop.
         from repro.parallel import ParallelExecutor
 
+        if stop.should_stop(len(per_seed)):
+            _stop_sweep_gracefully(checkpoint_path, len(per_seed),
+                                   num_seeds, tr)
         runner = _SeedRunner(base_config, policy_factory, fault_spec,
                              want_metrics=metrics is not None)
         executor = ParallelExecutor(
@@ -437,16 +535,30 @@ def replicate_comparison(
             workers=min(workers, len(remaining)),
             chunk_size=chunk_size,
             max_task_retries=max_task_retries,
+            retry_policy=res.retry if not res.retry.is_noop else None,
+            watchdog=watchdog,
             tracer=tr if tr.enabled else None,
             metrics=reg,
         )
-        for result in executor.as_completed(remaining):
+        # Closing the generator mid-stream (the graceful-shutdown path)
+        # runs the executor's finally-block teardown: in-flight seeds on
+        # other workers are lost, but every *completed* seed is already
+        # in the checkpoint, so a resume finishes the sweep exactly.
+        results = executor.as_completed(remaining)
+        for result in results:
             complete_seed(remaining[result.task_id], result.value,
                           result.duration_s)
+            if stop.should_stop(len(per_seed)) and len(per_seed) < num_seeds:
+                results.close()
+                _stop_sweep_gracefully(checkpoint_path, len(per_seed),
+                                       num_seeds, tr)
         if tr.enabled:
             tr.flush()
     else:
         for seed in remaining:
+            if stop.should_stop(len(per_seed)):
+                _stop_sweep_gracefully(checkpoint_path, len(per_seed),
+                                       num_seeds, tr)
             seed_start = perf_counter()
             summaries = run_seed_comparison(
                 base_config, seed, policy_factory, fault_spec,

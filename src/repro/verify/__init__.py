@@ -14,8 +14,10 @@ implementation continuously honest about them:
   as ``invariant_violation`` trace events.
 * :mod:`repro.verify.oracles` — differential oracles cross-checking the
   closed-form solvers (Theorems 14-16) against the independent
-  numerical ``solve_stage{1,2,3}_numeric`` paths, and ``select_by_ucb``
-  against a brute-force top-K reference.
+  numerical ``solve_stage{1,2,3}_numeric`` paths, ``select_by_ucb``
+  against a brute-force top-K reference, and the recovery-equivalence
+  oracle of the chaos harness (a fault-battered sweep must end
+  bit-identical to its fault-free golden).
 * :mod:`repro.verify.golden` — a golden-trace regression store pinning
   canonical seeded runs to checked-in JSON goldens, with an update tool
   (``repro verify --update-goldens``).
@@ -44,6 +46,7 @@ from repro.verify.oracles import (
     OracleSuiteReport,
     brute_force_top_k,
     check_full_solve_oracle,
+    check_recovery_equivalence,
     check_selection_oracle,
     check_stage1_oracle,
     check_stage2_oracle,
@@ -74,6 +77,7 @@ __all__ = [
     "OracleSuiteReport",
     "brute_force_top_k",
     "check_full_solve_oracle",
+    "check_recovery_equivalence",
     "check_selection_oracle",
     "check_stage1_oracle",
     "check_stage2_oracle",

@@ -27,9 +27,14 @@ derivation does not apply.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # runtime import would cycle: the engine runs oracles
+    from repro.sim.replication import ReplicationResult
 
 from repro.core.incentive import (
     ClosedFormStackelbergSolver,
@@ -57,6 +62,7 @@ __all__ = [
     "check_stage1_oracle",
     "check_full_solve_oracle",
     "check_selection_oracle",
+    "check_recovery_equivalence",
     "run_oracle_suite",
 ]
 
@@ -317,6 +323,75 @@ def check_selection_oracle(scores: np.ndarray, k: int,
               f"{fast.tolist()} vs brute-force {reference.tolist()}")
     return OracleCheck("selection", case, passed, detail,
                        0.0 if passed else float(np.sum(fast != reference)))
+
+
+def _floats_identical(a: float, b: float) -> bool:
+    """Bit-level float agreement, treating NaN as equal to NaN.
+
+    Plain ``==`` would flag two single-seed sweeps as diverging on
+    their (honestly unknowable) NaN standard errors.
+    """
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return a == b
+
+
+#: MetricSummary fields the recovery-equivalence oracle compares.
+_SUMMARY_FIELDS = ("mean", "std", "minimum", "maximum", "num_seeds",
+                   "stderr")
+
+
+def check_recovery_equivalence(golden: "ReplicationResult",
+                               recovered: "ReplicationResult",
+                               case: str = "") -> OracleCheck:
+    """The recovery-equivalence oracle of the chaos harness.
+
+    A sweep that survived injected infrastructure faults — interrupts,
+    corrupted checkpoints, crashed or stalled workers — must end
+    **bit-identical** to a fault-free golden sweep of the same
+    configuration: every metric of every policy, to the last float.
+    "Close" is not recovery; any drift means some recovery path
+    recomputed, dropped, or double-counted a seed.
+    """
+    mismatches: list[str] = []
+    max_error = 0.0
+    if list(golden.seeds) != list(recovered.seeds):
+        mismatches.append(
+            f"seeds {recovered.seeds} != golden {golden.seeds}"
+        )
+    if golden.policy_names() != recovered.policy_names():
+        mismatches.append(
+            f"policies {recovered.policy_names()} != "
+            f"golden {golden.policy_names()}"
+        )
+    else:
+        for policy in golden.policy_names():
+            for metric, expected in golden.summaries[policy].items():
+                actual = recovered.summaries[policy].get(metric)
+                if actual is None:
+                    mismatches.append(f"{policy}.{metric} missing")
+                    continue
+                for field_name in _SUMMARY_FIELDS:
+                    want = float(getattr(expected, field_name))
+                    got = float(getattr(actual, field_name))
+                    if _floats_identical(want, got):
+                        continue
+                    mismatches.append(
+                        f"{policy}.{metric}.{field_name} {got!r} != "
+                        f"golden {want!r}"
+                    )
+                    if math.isfinite(want) and math.isfinite(got):
+                        max_error = max(max_error, abs(got - want))
+    passed = not mismatches
+    detail = (
+        f"recovered sweep bit-identical to fault-free golden "
+        f"({len(golden.policy_names())} policies x "
+        f"{len(golden.seeds)} seeds)"
+        if passed else "; ".join(mismatches[:5])
+        + (f" (+{len(mismatches) - 5} more)" if len(mismatches) > 5 else "")
+    )
+    return OracleCheck("recovery_equivalence", case, passed, detail,
+                       max_error)
 
 
 def _random_game(rng: np.random.Generator, num_sellers: int,

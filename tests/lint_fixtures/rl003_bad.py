@@ -1,5 +1,9 @@
-"""RL003 fixture: literal emit kind missing from EVENT_KINDS (1 finding)."""
+"""RL003 fixture: literal emit kinds missing from EVENT_KINDS (2 findings)."""
 
 
 def trace_round(tracer, index):
     tracer.emit("round_strat", round_index=index)  # typo for round_start
+
+
+def trace_recovery(tracer):
+    tracer.emit("watchdog_killed", worker=0)  # typo for watchdog_kill

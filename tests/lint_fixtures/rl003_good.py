@@ -5,3 +5,12 @@ def trace_round(tracer, index, kind):
     tracer.emit("round_start", round_index=index)
     tracer.emit("round_end", round_index=index)
     tracer.emit(kind, round_index=index)  # dynamic kinds are not checked
+
+
+def trace_recovery(tracer, index):
+    # The resilience-layer kinds are registered in EVENT_KINDS too.
+    tracer.emit("retry_attempt", op="engine.checkpoint_write", attempt=1)
+    tracer.emit("watchdog_kill", worker=0, reason="heartbeat_lost")
+    tracer.emit("task_deadline_exceeded", worker=0, task=3)
+    tracer.emit("checkpoint_quarantined", path="ck.npz")
+    tracer.emit("graceful_shutdown", round_index=index)

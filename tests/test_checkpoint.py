@@ -181,6 +181,7 @@ class TestSweepResume:
         payload["seed_durations"] = {
             str(seed): payload["seed_durations"][str(seed)] for seed in kept
         }
+        payload.pop("checksum", None)  # hand-edit invalidates it
         path.write_text(json.dumps(payload))
 
         resumed = replicate_comparison(config, self.factory, num_seeds=4,
@@ -225,6 +226,7 @@ class TestSweepResume:
         payload["seed_durations"] = {
             str(seed): payload["seed_durations"][str(seed)] for seed in kept
         }
+        payload.pop("checksum", None)  # hand-edit invalidates it
         path.write_text(json.dumps(payload))
         resumed = replicate_comparison(config, self.factory, num_seeds=3,
                                        fault_spec=spec,

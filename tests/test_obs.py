@@ -295,6 +295,26 @@ def _sample_events():
         TraceEvent("worker_crashed", payload={
             "worker": 0, "exitcode": 23, "lost_tasks": [3, 4],
         }),
+        TraceEvent("retry_attempt", payload={
+            "op": "engine.checkpoint_write", "attempt": 1,
+            "max_attempts": 3, "delay_s": 0.05, "error": "OSError: disk",
+        }),
+        TraceEvent("watchdog_kill", payload={
+            "worker": 0, "reason": "heartbeat_lost", "task": 3,
+            "elapsed_s": 2.5, "limit_s": 2.0,
+        }),
+        TraceEvent("task_deadline_exceeded", payload={
+            "worker": 0, "reason": "task_deadline_exceeded", "task": 3,
+            "elapsed_s": 2.5, "limit_s": 1.5,
+        }),
+        TraceEvent("checkpoint_quarantined", payload={
+            "path": "ckpt.npz", "quarantined_to": "ckpt.quarantine/ckpt.npz",
+            "what": "checkpoint", "error": "checksum mismatch",
+        }),
+        TraceEvent("graceful_shutdown", 4, {
+            "policy": "CMAB-HS", "rounds_completed": 4,
+            "checkpoint_path": "ckpt.npz",
+        }),
     ]
 
 

@@ -103,6 +103,7 @@ class TestCheckpointInterop:
         payload["seed_durations"] = {
             str(seed): payload["seed_durations"][str(seed)] for seed in kept
         }
+        payload.pop("checksum", None)  # hand-edit invalidates it
         path.write_text(json.dumps(payload))
 
     def test_parallel_sweep_resumes_serial_checkpoint(self, serial,
@@ -179,6 +180,7 @@ class TestWorkerCrashRecovery:
         payload["seed_durations"] = {
             str(seed): payload["seed_durations"][str(seed)] for seed in kept
         }
+        payload.pop("checksum", None)  # hand-edit invalidates it
         path.write_text(json.dumps(payload))
         resumed = replicate_comparison(CONFIG, factory, num_seeds=4,
                                        checkpoint_path=path, resume=True)

@@ -8,6 +8,7 @@ import pytest
 from repro.exceptions import PersistenceError
 from repro.experiments.registry import ExperimentResult, Series
 from repro.sim.persistence import (
+    CHECKPOINT_SCHEMA_VERSION,
     RUN_SCHEMA_VERSION,
     atomic_write_bytes,
     experiment_result_to_dict,
@@ -15,6 +16,9 @@ from repro.sim.persistence import (
     load_experiment_result,
     load_run_metrics,
     load_sweep_checkpoint,
+    quarantine_file,
+    recover_checkpoint,
+    recover_sweep_checkpoint,
     save_checkpoint,
     save_experiment_result,
     save_run_metrics,
@@ -186,6 +190,7 @@ class TestFailureModes:
         save_experiment_result(result, path)
         payload = json.loads(path.read_text())
         payload["schema_version"] = 99
+        payload.pop("checksum", None)  # hand-edit invalidates it
         path.write_text(json.dumps(payload))
         with pytest.raises(PersistenceError, match="schema version 99"):
             load_experiment_result(path)
@@ -263,3 +268,167 @@ class TestCheckpointPersistence:
         path.write_text('{"kind": "replication_sweep"}')
         with pytest.raises(PersistenceError, match="schema_version"):
             load_sweep_checkpoint(path)
+
+
+class TestPersistenceErrorContext:
+    """The error carries path / schema versions / cause, not just prose."""
+
+    def test_schema_mismatch_carries_versions_and_path(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, {"next_round": 3}, {"x": np.ones(2)})
+        meta, arrays = load_checkpoint(path)
+        bad_meta = dict(meta)
+        # re-stamp with a future schema version via the raw writer
+        from repro.sim import persistence
+
+        bad_meta["schema_version"] = 99
+        persistence._atomic_write_npz(path, {
+            "checkpoint_meta": np.array(__import__("json").dumps(bad_meta)),
+            **arrays,
+        })
+        with pytest.raises(PersistenceError) as excinfo:
+            load_checkpoint(path)
+        error = excinfo.value
+        assert error.path == str(path)
+        assert error.schema_found == 99
+        assert error.schema_expected == CHECKPOINT_SCHEMA_VERSION
+        assert "found 99" in str(error)
+        assert f"expected {CHECKPOINT_SCHEMA_VERSION}" in str(error)
+
+    def test_corruption_carries_path_and_cause(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{garbage")
+        with pytest.raises(PersistenceError) as excinfo:
+            load_sweep_checkpoint(path)
+        error = excinfo.value
+        assert error.path == str(path)
+        assert error.schema_found is None
+        assert isinstance(error.__cause__, Exception)
+        assert "cause" in str(error)
+        assert type(error.__cause__).__name__ in str(error)
+
+    def test_path_appears_in_str_once(self, tmp_path):
+        path = tmp_path / "run.npz"
+        path.write_bytes(b"not an archive")
+        with pytest.raises(PersistenceError) as excinfo:
+            load_run_metrics(path)
+        assert str(excinfo.value).count(str(path)) == 1
+
+
+class TestChecksumFooter:
+    def test_bit_flip_inside_payload_detected(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, {"next_round": 3}, {"x": np.arange(64.0)})
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_footerless_legacy_npz_still_loads(self, tmp_path):
+        import io
+
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, {"next_round": 3}, {"x": np.arange(4.0)})
+        from repro.sim.persistence import (
+            _CHECKSUM_FOOTER_LEN,
+            _CHECKSUM_MAGIC,
+        )
+
+        raw = path.read_bytes()
+        assert raw[-_CHECKSUM_FOOTER_LEN:].startswith(_CHECKSUM_MAGIC)
+        path.write_bytes(raw[:-_CHECKSUM_FOOTER_LEN])  # strip the footer
+        meta, arrays = load_checkpoint(path)
+        assert meta["next_round"] == 3
+        del io
+
+    def test_sweep_value_tamper_detected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep_checkpoint(path, {"completed_seeds": [0, 1]})
+        path.write_text(
+            path.read_text().replace("completed_seeds", "completed_seedz")
+        )
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_sweep_checkpoint(path)
+
+
+class TestQuarantineAndRollback:
+    def test_generations_rotate_and_cap(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        for i in range(5):
+            save_checkpoint(path, {"next_round": i}, {"x": np.arange(2.0)},
+                            keep_generations=3)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ck.npz", "ck.npz.gen-1", "ck.npz.gen-2"]
+        assert load_checkpoint(path)[0]["next_round"] == 4
+        assert load_checkpoint(str(path) + ".gen-1")[0]["next_round"] == 3
+        assert load_checkpoint(str(path) + ".gen-2")[0]["next_round"] == 2
+
+    def test_single_generation_keeps_flat_layout(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, {"next_round": 0}, {"x": np.arange(2.0)})
+        save_checkpoint(path, {"next_round": 1}, {"x": np.arange(2.0)})
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ck.npz"]
+
+    def test_recover_rolls_back_and_quarantines(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, {"next_round": 1}, {"x": np.arange(2.0)},
+                        keep_generations=2)
+        save_checkpoint(path, {"next_round": 2}, {"x": np.arange(2.0)},
+                        keep_generations=2)
+        path.write_bytes(b"scrambled")
+        recovered = recover_checkpoint(path)
+        assert recovered is not None
+        meta, arrays, actual = recovered
+        assert meta["next_round"] == 1
+        assert actual.endswith(".gen-1")
+        quarantine_dir = tmp_path / "ck.npz.quarantine"
+        assert [p.name for p in quarantine_dir.iterdir()] == ["ck.npz"]
+        assert not path.exists()
+
+    def test_recover_returns_none_when_nothing_valid(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        assert recover_checkpoint(path) is None
+        path.write_bytes(b"junk")
+        assert recover_checkpoint(path) is None
+        assert (tmp_path / "ck.npz.quarantine" / "ck.npz").exists()
+
+    def test_recover_sweep_checkpoint(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep_checkpoint(path, {"completed_seeds": [0]},
+                              keep_generations=2)
+        save_sweep_checkpoint(path, {"completed_seeds": [0, 1]},
+                              keep_generations=2)
+        path.write_text("{broken")
+        recovered = recover_sweep_checkpoint(path)
+        assert recovered is not None
+        payload, actual = recovered
+        assert payload == {"completed_seeds": [0]}
+        assert actual.endswith(".gen-1")
+
+    def test_quarantine_disambiguates_repeat_offenders(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"bad one")
+        first = quarantine_file(path)
+        path.write_bytes(b"bad two")
+        second = quarantine_file(path)
+        assert first != second
+        quarantine_dir = tmp_path / "ck.npz.quarantine"
+        assert sorted(p.name for p in quarantine_dir.iterdir()) == [
+            "ck.npz", "ck.npz.1",
+        ]
+
+    def test_quarantine_emits_event_and_metric(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.tracer import RingBufferSink, Tracer
+
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"junk")
+        sink = RingBufferSink(capacity=8)
+        metrics = MetricsRegistry()
+        assert recover_checkpoint(path, tracer=Tracer(sink),
+                                  metrics=metrics) is None
+        kinds = [event.kind for event in sink.events]
+        assert "checkpoint_quarantined" in kinds
+        assert metrics.counters[
+            "resilience.checkpoints_quarantined"] == 1

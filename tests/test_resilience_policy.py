@@ -1,0 +1,201 @@
+"""Unit tests for the retry/timeout/backoff policy engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    PersistenceError,
+    RetryBudgetExceededError,
+)
+from repro.obs import MetricsRegistry, RingBufferSink, Tracer
+from repro.resilience import (
+    NO_DEADLINE,
+    NO_RETRY,
+    NOOP_POLICY,
+    Backoff,
+    Deadline,
+    ResiliencePolicy,
+    RetryPolicy,
+    execute_with_policy,
+)
+
+
+class TestBackoff:
+    def test_default_is_no_delay(self):
+        assert Backoff().delay_s(1) == 0.0
+        assert Backoff.none().delay_s(7) == 0.0
+
+    def test_fixed_delay_is_flat(self):
+        backoff = Backoff.fixed(0.25)
+        assert [backoff.delay_s(k) for k in (1, 2, 5)] == [0.25] * 3
+
+    def test_exponential_growth_and_clamp(self):
+        backoff = Backoff.exponential(base_s=0.1, factor=2.0, max_s=0.5)
+        assert backoff.delay_s(1) == pytest.approx(0.1)
+        assert backoff.delay_s(2) == pytest.approx(0.2)
+        assert backoff.delay_s(3) == pytest.approx(0.4)
+        assert backoff.delay_s(4) == 0.5  # clamped
+        assert backoff.delay_s(10) == 0.5
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        backoff = Backoff.exponential(base_s=1.0, factor=1.0, max_s=1.0,
+                                      jitter=0.5, seed=3)
+        first = backoff.delay_s(1, "persist")
+        assert backoff.delay_s(1, "persist") == first  # replayable
+        assert 0.5 <= first <= 1.0
+        # Different labels/attempts/seeds draw different jitter.
+        assert backoff.delay_s(1, "other-label") != first
+        assert backoff.delay_s(2, "persist") != first
+        different_seed = Backoff.exponential(
+            base_s=1.0, factor=1.0, max_s=1.0, jitter=0.5, seed=4
+        )
+        assert different_seed.delay_s(1, "persist") != first
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="base_s"):
+            Backoff(base_s=-1.0)
+        with pytest.raises(ConfigurationError, match="factor"):
+            Backoff(factor=0.5)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            Backoff(jitter=1.5)
+        with pytest.raises(ConfigurationError, match="attempt"):
+            Backoff().delay_s(0)
+
+
+class TestRetryPolicy:
+    def test_default_is_noop(self):
+        assert NO_RETRY.is_noop
+        assert NO_RETRY.max_attempts == 1
+
+    def test_of_counts_retries_not_attempts(self):
+        policy = RetryPolicy.of(2)
+        assert policy.max_attempts == 3
+        assert not policy.is_noop
+        assert RetryPolicy.of(0).is_noop
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            RetryPolicy.of(-1)
+        with pytest.raises(ConfigurationError, match="retry_on"):
+            RetryPolicy(max_attempts=2, retry_on=())
+
+
+class TestDeadline:
+    def test_default_disabled(self):
+        assert not NO_DEADLINE.enabled
+        assert Deadline(2.5).enabled
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="timeout_s"):
+            Deadline(0.0)
+
+
+class TestResiliencePolicy:
+    def test_default_is_noop(self):
+        assert NOOP_POLICY.is_noop
+
+    def test_any_armed_piece_breaks_noop(self):
+        assert not ResiliencePolicy(retry=RetryPolicy.of(1)).is_noop
+        assert not ResiliencePolicy(deadline=Deadline(1.0)).is_noop
+        assert not ResiliencePolicy(checkpoint_generations=2).is_noop
+        assert not ResiliencePolicy(quarantine=True).is_noop
+
+    def test_generations_validated(self):
+        with pytest.raises(ConfigurationError, match="generations"):
+            ResiliencePolicy(checkpoint_generations=0)
+
+    def test_from_cli_defaults_to_noop(self):
+        assert ResiliencePolicy.from_cli(None, None).is_noop
+
+    def test_from_cli_arms_requested_pieces(self):
+        policy = ResiliencePolicy.from_cli(30.0, 2)
+        assert policy.deadline.timeout_s == 30.0
+        assert policy.retry.max_attempts == 3
+        assert policy.retry.backoff.jitter == 0.5
+
+
+class _Flaky:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures: int,
+                 error: BaseException | None = None) -> None:
+        self.failures = failures
+        self.calls = 0
+        self.error = error if error is not None else OSError("disk hiccup")
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+class TestExecuteWithPolicy:
+    def test_success_is_silent(self):
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        result = execute_with_policy(
+            lambda: 42, RetryPolicy.of(3), label="op",
+            tracer=Tracer(sink), metrics=registry,
+        )
+        assert result == 42
+        assert registry.counters == {}
+        assert sink.events == ()
+
+    def test_retries_until_success_with_telemetry(self):
+        flaky = _Flaky(failures=2)
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        slept: list[float] = []
+        result = execute_with_policy(
+            flaky, RetryPolicy.of(3, Backoff.fixed(0.125)), label="persist",
+            tracer=Tracer(sink), metrics=registry, sleep=slept.append,
+        )
+        assert result == "ok"
+        assert flaky.calls == 3
+        assert slept == [0.125, 0.125]
+        assert registry.counters["resilience.retry_attempts"] == 2
+        events = [e for e in sink.events if e.kind == "retry_attempt"]
+        assert [e.payload["attempt"] for e in events] == [1, 2]
+        assert events[0].payload["op"] == "persist"
+        assert "OSError" in events[0].payload["error"]
+
+    def test_budget_exhaustion_chains_the_last_error(self):
+        flaky = _Flaky(failures=99)
+        with pytest.raises(RetryBudgetExceededError,
+                           match="all 3 attempts") as info:
+            execute_with_policy(flaky, RetryPolicy.of(2), label="op",
+                                sleep=lambda _s: None)
+        assert flaky.calls == 3
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_noop_policy_raises_unwrapped(self):
+        # The guard must be invisible: same exception type as unguarded.
+        with pytest.raises(OSError, match="disk hiccup"):
+            execute_with_policy(_Flaky(failures=1), NO_RETRY, label="op")
+
+    def test_unlisted_exception_propagates_immediately(self):
+        flaky = _Flaky(failures=1, error=ValueError("a bug, not a fault"))
+        with pytest.raises(ValueError, match="bug"):
+            execute_with_policy(flaky, RetryPolicy.of(5), label="op")
+        assert flaky.calls == 1
+
+    def test_persistence_error_is_retryable_by_default(self):
+        flaky = _Flaky(failures=1, error=PersistenceError("torn write"))
+        assert execute_with_policy(flaky, RetryPolicy.of(1),
+                                   label="op") == "ok"
+
+    def test_deadline_checked_between_attempts(self):
+        # A zero-ish deadline expires before the first retry.
+        flaky = _Flaky(failures=99)
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            execute_with_policy(
+                flaky, RetryPolicy.of(5), label="op",
+                deadline=Deadline(1e-9), sleep=lambda _s: None,
+            )
+        assert flaky.calls == 1

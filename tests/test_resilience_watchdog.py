@@ -1,0 +1,164 @@
+"""Unit tests for the worker watchdog and shutdown signals."""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience import (
+    NEVER_STOP,
+    NO_WATCHDOG,
+    GracefulShutdown,
+    ScheduledAbort,
+    WatchdogConfig,
+    WorkerWatchdog,
+)
+from repro.resilience.watchdog import (
+    REASON_HEARTBEAT_LOST,
+    REASON_TASK_DEADLINE,
+)
+
+
+class TestWatchdogConfig:
+    def test_default_disabled(self):
+        assert not NO_WATCHDOG.enabled
+
+    def test_either_detector_arms(self):
+        assert WatchdogConfig(task_timeout_s=1.0).enabled
+        assert WatchdogConfig(heartbeat_timeout_s=2.0).enabled
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="task_timeout_s"):
+            WatchdogConfig(task_timeout_s=0.0)
+        with pytest.raises(ConfigurationError, match="heartbeat_interval_s"):
+            WatchdogConfig(heartbeat_interval_s=-1.0)
+        with pytest.raises(ConfigurationError,
+                           match="must exceed heartbeat_interval_s"):
+            WatchdogConfig(heartbeat_interval_s=1.0,
+                           heartbeat_timeout_s=0.5)
+
+
+class TestWorkerWatchdog:
+    """The watchdog is a pure clock-injected state machine — no threads,
+    no real clocks — so every scenario here is exact."""
+
+    def _watchdog(self, **kwargs) -> WorkerWatchdog:
+        return WorkerWatchdog(WatchdogConfig(**kwargs))
+
+    def test_quiet_when_nothing_violates(self):
+        watchdog = self._watchdog(task_timeout_s=10.0,
+                                  heartbeat_timeout_s=5.0)
+        watchdog.worker_started(0, now=0.0)
+        watchdog.task_started(0, task_id=7, now=1.0)
+        watchdog.heartbeat(0, now=4.0)
+        assert watchdog.poll(now=6.0) == []
+
+    def test_task_deadline_verdict(self):
+        watchdog = self._watchdog(task_timeout_s=2.0)
+        watchdog.worker_started(0, now=0.0)
+        watchdog.task_started(0, task_id=7, now=1.0)
+        assert watchdog.poll(now=2.9) == []
+        verdicts = watchdog.poll(now=3.1)
+        assert len(verdicts) == 1
+        verdict = verdicts[0]
+        assert verdict.worker_id == 0
+        assert verdict.reason == REASON_TASK_DEADLINE
+        assert verdict.task_id == 7
+        assert verdict.elapsed_s == pytest.approx(2.1)
+        assert verdict.limit_s == 2.0
+
+    def test_task_finish_clears_the_deadline(self):
+        watchdog = self._watchdog(task_timeout_s=2.0)
+        watchdog.worker_started(0, now=0.0)
+        watchdog.task_started(0, task_id=7, now=1.0)
+        watchdog.task_finished(0)
+        assert watchdog.poll(now=100.0) == []
+
+    def test_heartbeat_loss_verdict_even_when_idle(self):
+        watchdog = self._watchdog(heartbeat_timeout_s=3.0)
+        watchdog.worker_started(0, now=0.0)
+        watchdog.heartbeat(0, now=1.0)
+        verdicts = watchdog.poll(now=4.5)
+        assert len(verdicts) == 1
+        assert verdicts[0].reason == REASON_HEARTBEAT_LOST
+        assert verdicts[0].task_id is None  # idle worker
+
+    def test_task_deadline_diagnosed_before_heartbeat_loss(self):
+        # Both violated: the per-task deadline is the more precise
+        # diagnosis and must win.
+        watchdog = self._watchdog(task_timeout_s=1.0,
+                                  heartbeat_timeout_s=2.0)
+        watchdog.worker_started(0, now=0.0)
+        watchdog.task_started(0, task_id=3, now=0.0)
+        verdicts = watchdog.poll(now=10.0)
+        assert [v.reason for v in verdicts] == [REASON_TASK_DEADLINE]
+
+    def test_one_stall_yields_one_verdict(self):
+        watchdog = self._watchdog(task_timeout_s=1.0)
+        watchdog.worker_started(0, now=0.0)
+        watchdog.task_started(0, task_id=3, now=0.0)
+        assert len(watchdog.poll(now=5.0)) == 1
+        # Diagnosed workers leave tracking until respawned.
+        assert watchdog.poll(now=50.0) == []
+
+    def test_worker_gone_stops_tracking(self):
+        watchdog = self._watchdog(task_timeout_s=1.0)
+        watchdog.worker_started(0, now=0.0)
+        watchdog.task_started(0, task_id=3, now=0.0)
+        watchdog.worker_gone(0)
+        assert watchdog.poll(now=50.0) == []
+
+    def test_running_task_reports_current_assignment(self):
+        watchdog = self._watchdog(task_timeout_s=10.0)
+        watchdog.worker_started(0, now=0.0)
+        assert watchdog.running_task(0) is None
+        watchdog.task_started(0, task_id=9, now=0.0)
+        assert watchdog.running_task(0) == 9
+
+
+class TestShutdownSignals:
+    def test_never_stop_never_stops(self):
+        assert not NEVER_STOP.should_stop(0)
+        assert not NEVER_STOP.should_stop(10**9)
+
+    def test_scheduled_abort_trips_only_at_its_rounds(self):
+        abort = ScheduledAbort([3, 7])
+        assert abort.rounds == frozenset({3, 7})
+        assert not abort.should_stop(2)
+        assert abort.should_stop(3)
+        assert not abort.should_stop(4)
+        assert abort.should_stop(7)
+
+    def test_graceful_shutdown_flag_lifecycle(self):
+        stop = GracefulShutdown()
+        assert not stop.should_stop(0)
+        stop.request(signal.SIGTERM)
+        assert stop.should_stop(0)
+        assert stop.requested
+        assert stop.signum == signal.SIGTERM
+
+    def test_install_and_uninstall_restore_handlers(self):
+        previous = {s: signal.getsignal(s)
+                    for s in GracefulShutdown.SIGNALS}
+        with GracefulShutdown() as stop:
+            for signum in GracefulShutdown.SIGNALS:
+                assert signal.getsignal(signum) == stop._handle
+        for signum, handler in previous.items():
+            assert signal.getsignal(signum) == handler
+
+    def test_real_signal_sets_the_flag(self):
+        with GracefulShutdown() as stop:
+            signal.raise_signal(signal.SIGTERM)
+            assert stop.requested
+            assert stop.signum == signal.SIGTERM
+            # The flag stays a flag — no exception until the runtime
+            # reaches its next safe boundary.
+            assert stop.should_stop(5)
+
+    def test_second_sigint_raises_keyboard_interrupt(self):
+        with GracefulShutdown() as stop:
+            stop.request(signal.SIGINT)
+            with pytest.raises(KeyboardInterrupt):
+                stop._handle(signal.SIGINT, None)
