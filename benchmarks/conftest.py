@@ -5,9 +5,21 @@ prints its series (captured in ``bench_output.txt`` when run with
 ``pytest benchmarks/ --benchmark-only | tee ...``).  Scales follow the
 ``REPRO_FULL_SCALE`` environment variable: unset -> reduced sizes with
 the paper's shapes preserved; set -> Table II sizes.
+
+Benchstore recording: with ``REPRO_BENCH_RECORD=1`` every
+:func:`run_once` call (and the explicit :func:`record_benchmark`
+helpers in the micro/parallel modules) appends a machine-tagged record
+— rounds/sec, peak RSS, wall-clock, git SHA — to the history file named
+by ``REPRO_BENCH_STORE`` (default ``BENCH_micro.json``).  Unset, the
+benchmarks are byte-for-byte the same as before recording existed.
 """
 
 from __future__ import annotations
+
+import os
+import resource
+import sys
+import time
 
 import pytest
 
@@ -20,7 +32,61 @@ def scale() -> Scale:
     return Scale.from_environment()
 
 
-def run_once(benchmark, func, *args, **kwargs):
-    """Run an expensive experiment exactly once under the benchmark timer."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1)
+def _recording_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_RECORD") == "1"
+
+
+def _peak_rss_mb() -> float:
+    """Process-wide peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return peak / (1024.0 * 1024.0)
+
+
+def record_benchmark(name: str, *, rounds: int, wall_s: float,
+                     sellers: int | None = None,
+                     selected: int | None = None,
+                     store: str | None = None,
+                     extra: dict | None = None) -> None:
+    """Append one benchstore record — no-op unless REPRO_BENCH_RECORD=1."""
+    if not _recording_enabled():
+        return
+    from repro.obs.benchstore import BenchRecord, BenchStore
+
+    path = store or os.environ.get("REPRO_BENCH_STORE",
+                                   "BENCH_micro.json")
+    BenchStore(path).append(BenchRecord.measure(
+        name=name,
+        rounds=rounds,
+        wall_s=wall_s,
+        peak_mb=_peak_rss_mb(),
+        sellers=sellers,
+        selected=selected,
+        scale=Scale.from_environment().value,
+        extra=extra,
+    ))
+
+
+def run_once(benchmark, func, *args, bench_rounds: int | None = None,
+             **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer.
+
+    With ``REPRO_BENCH_RECORD=1`` the measurement also lands in the
+    benchstore, named after the benchmark node (``bench.<test name>``);
+    pass ``bench_rounds`` when the workload has a meaningful round
+    count (the record's rounds/sec rate divides by it — otherwise the
+    whole invocation counts as one "round", i.e. runs/sec).
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+    if _recording_enabled():
+        node_name = getattr(benchmark, "name", None) or "unnamed"
+        record_benchmark(
+            f"bench.{node_name.removeprefix('test_')}",
+            rounds=bench_rounds if bench_rounds else 1,
+            wall_s=wall_s,
+        )
+    return result

@@ -7,8 +7,11 @@ long a 2*10^5-round paper-scale sweep takes.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
+from conftest import record_benchmark
 
 from repro.bandits.policies import UCBPolicy
 from repro.core.incentive import solve_round_fast
@@ -77,13 +80,25 @@ def test_quality_sampling(benchmark):
 
 
 def test_engine_round_throughput(benchmark):
-    """Full engine rounds (selection + game + learning), per 500 rounds."""
+    """Full engine rounds (selection + game + learning), per 500 rounds.
+
+    With ``REPRO_BENCH_RECORD=1`` the best block also lands in the
+    benchstore under ``engine.scalar.m300`` — the same name the
+    committed baseline uses, so ``repro bench compare`` judges this
+    exact workload.
+    """
     config = SimulationConfig(num_sellers=M, num_selected=K, num_pois=L,
                               num_rounds=500, seed=0)
     simulator = TradingSimulator(config)
+    block_times: list[float] = []
 
     def run_block():
-        return simulator.run(UCBPolicy())
+        start = time.perf_counter()
+        run = simulator.run(UCBPolicy())
+        block_times.append(time.perf_counter() - start)
+        return run
 
     result = benchmark.pedantic(run_block, rounds=3, iterations=1)
     assert result.num_rounds == 500
+    record_benchmark("engine.scalar.m300", rounds=500,
+                     wall_s=min(block_times), sellers=M, selected=K)

@@ -1,11 +1,14 @@
-"""Observability overhead: traced runs must stay within 10% of untraced.
+"""Observability overhead: traced and profiled runs within 10% of plain.
 
-The tracer's zero-overhead contract has two halves: (1) NullTracer runs
-are bit-identical to pre-observability builds (covered by the
-determinism tests), and (2) a *fully traced* run — JSONL sink plus a
-metrics registry — costs less than 10% over the NullTracer baseline on
-a realistic instance, so tracing is cheap enough to leave on in long
-experiments.
+The observability layer's cheap-enough contract has three parts:
+(1) NullTracer/unprofiled runs are bit-identical to pre-observability
+builds (covered by the determinism tests); (2) a *fully traced* run —
+JSONL sink plus a metrics registry — costs less than 10% over the
+NullTracer baseline on a realistic instance, so tracing is cheap
+enough to leave on in long experiments; (3) a *profiled* run — a
+:class:`~repro.obs.PhaseProfiler` with its default RSS memory probe —
+also stays under 10%, so profiling real workloads doesn't distort
+what it measures.
 
 Methodology, tuned for noisy shared hosts:
 
@@ -29,7 +32,7 @@ import statistics
 import time
 
 from repro.bandits.policies import UCBPolicy
-from repro.obs import JsonlSink, MetricsRegistry, Tracer
+from repro.obs import JsonlSink, MetricsRegistry, PhaseProfiler, Tracer
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import TradingSimulator
 
@@ -44,11 +47,12 @@ _CONFIG = dict(num_sellers=10_000, num_selected=20, num_pois=50,
 _PAIRS = 7
 
 
-def _run_once(tracer=None, metrics=None) -> float:
+def _run_once(tracer=None, metrics=None, profiler=None) -> float:
     config = SimulationConfig(**_CONFIG)
     simulator = TradingSimulator(config)
     start = time.process_time()
-    simulator.run(UCBPolicy(), tracer=tracer, metrics=metrics)
+    simulator.run(UCBPolicy(), tracer=tracer, metrics=metrics,
+                  profiler=profiler)
     return time.process_time() - start
 
 
@@ -82,6 +86,39 @@ def test_tracing_overhead_under_10_percent(tmp_path):
     overhead = min(median_of_pairs, ratio_of_mins) - 1.0
     assert overhead < 0.10, (
         f"full tracing costs {overhead:.1%} over the NullTracer baseline "
+        f"(budget: 10%); median-of-pairs {median_of_pairs - 1.0:.1%}, "
+        f"ratio-of-mins {ratio_of_mins - 1.0:.1%}"
+    )
+
+
+def _profiled_once() -> float:
+    return _run_once(profiler=PhaseProfiler())
+
+
+def test_profiling_overhead_under_10_percent():
+    # Same interleaved methodology as the tracing bound: a profiled run
+    # (phase timers into the profiler's registry, RSS memory probe,
+    # run bracketing) must not distort the workload it measures.
+    _run_once()
+    _profiled_once()
+
+    baselines, profileds = [], []
+    for i in range(_PAIRS):
+        if i % 2 == 0:
+            baselines.append(_run_once())
+            profileds.append(_profiled_once())
+        else:
+            profileds.append(_profiled_once())
+            baselines.append(_run_once())
+
+    median_of_pairs = statistics.median(
+        profiled / baseline
+        for profiled, baseline in zip(profileds, baselines)
+    )
+    ratio_of_mins = min(profileds) / min(baselines)
+    overhead = min(median_of_pairs, ratio_of_mins) - 1.0
+    assert overhead < 0.10, (
+        f"profiling costs {overhead:.1%} over the unprofiled baseline "
         f"(budget: 10%); median-of-pairs {median_of_pairs - 1.0:.1%}, "
         f"ratio-of-mins {ratio_of_mins - 1.0:.1%}"
     )

@@ -27,6 +27,7 @@ import time
 
 import numpy as np
 import pytest
+from conftest import record_benchmark
 
 from repro.bandits.policies import OptimalPolicy, RandomPolicy, UCBPolicy
 from repro.parallel import ParallelExecutor
@@ -57,13 +58,31 @@ def _best_of(times: int, func):
     return best
 
 
+#: Engine rounds one full sweep plays (seeds x rounds x policies) —
+#: the denominator of the recorded rounds/sec rates.
+_SWEEP_ROUNDS = _NUM_SEEDS * _CONFIG.num_rounds * 3
+
+
 def test_parallel_replication_bit_identical():
+    serial_start = time.perf_counter()
     serial = replicate_comparison(_CONFIG, _factory, num_seeds=_NUM_SEEDS)
+    serial_s = time.perf_counter() - serial_start
+    parallel_start = time.perf_counter()
     parallel = replicate_comparison(_CONFIG, _factory,
                                     num_seeds=_NUM_SEEDS,
                                     workers=_WORKERS)
+    parallel_s = time.perf_counter() - parallel_start
     assert parallel.seeds == serial.seeds
     assert parallel.summaries == serial.summaries
+    record_benchmark("sweep.serial", rounds=_SWEEP_ROUNDS,
+                     wall_s=serial_s, sellers=_CONFIG.num_sellers,
+                     selected=_CONFIG.num_selected,
+                     store="BENCH_parallel.json")
+    record_benchmark(f"sweep.parallel.w{_WORKERS}", rounds=_SWEEP_ROUNDS,
+                     wall_s=parallel_s, sellers=_CONFIG.num_sellers,
+                     selected=_CONFIG.num_selected,
+                     store="BENCH_parallel.json",
+                     extra={"workers": _WORKERS})
 
 
 @pytest.mark.skipif((os.cpu_count() or 1) < _WORKERS,

@@ -9,7 +9,14 @@ Subcommands:
   (``--strict`` checks every round against the paper's invariants).
 * ``replicate`` — repeat the comparison over several seeds.
 * ``trace`` — generate a synthetic taxi trace; ``trace summarize``
-  rolls up a JSONL run trace written with ``--trace``.
+  rolls up a JSONL run trace written with ``--trace``; ``trace
+  critical-path`` names the wall-clock-dominating phase chain.
+* ``profile`` — run a profiled simulation and print the top-N hotspot
+  table (rounds/sec, per-phase self time, peak memory); ``--out``
+  writes the flat JSON profile.
+* ``bench`` — the benchmark history store: ``record`` appends a
+  machine-tagged measurement, ``history`` lists records, ``compare``
+  gates regressions against the committed baseline (non-zero exit).
 * ``verify`` — run the equilibrium verification subsystem (differential
   oracles, golden-trace regression, strict-mode invariant runs); exits
   non-zero on any failure.  ``--update-goldens`` blesses new goldens.
@@ -349,7 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also save the trace as CSV")
     trace_subparsers = trace_parser.add_subparsers(
         dest="trace_command", required=False,
-        metavar="{summarize}",
+        metavar="{summarize,critical-path}",
     )
     summarize_parser = trace_subparsers.add_parser(
         "summarize",
@@ -358,6 +365,146 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_parser.add_argument(
         "path", metavar="TRACE.jsonl",
         help="the JSONL trace file to roll up",
+    )
+    critical_parser = trace_subparsers.add_parser(
+        "critical-path",
+        help=(
+            "name the wall-clock-dominating phase chain of a JSONL "
+            "run trace"
+        ),
+    )
+    critical_parser.add_argument(
+        "path", metavar="TRACE.jsonl",
+        help="the JSONL trace file to analyse",
+    )
+    critical_parser.add_argument(
+        "--report", metavar="PATH.json", default=None,
+        help="also write the analysis as JSON to PATH",
+    )
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help=(
+            "run a profiled simulation and print the top-N hotspot "
+            "table (rounds/sec, per-phase self time, peak memory)"
+        ),
+    )
+    profile_parser.add_argument("--sellers", type=int, default=300)
+    profile_parser.add_argument("--selected", type=int, default=10)
+    profile_parser.add_argument("--rounds", type=int, default=500)
+    profile_parser.add_argument("--seeds", type=int, default=1,
+                                help="replication seeds to profile over")
+    profile_parser.add_argument("--seed", type=int, default=0,
+                                help="first seed (default 0)")
+    profile_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="profile a parallel sweep across N workers (default: serial)",
+    )
+    profile_parser.add_argument(
+        "--policy", default="cmab-hs",
+        choices=("cmab-hs", "optimal", "epsilon-first", "random", "all"),
+        help="which policy to drive (default: cmab-hs)",
+    )
+    profile_parser.add_argument(
+        "--memory", default="rss", choices=("off", "rss", "tracemalloc"),
+        help=(
+            "memory probe: cheap process peak RSS (default), exact "
+            "tracemalloc peak (slow), or off"
+        ),
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="hotspot table rows (default 10)",
+    )
+    profile_parser.add_argument(
+        "--out", metavar="PATH.json", default=None,
+        help="also write the flat JSON profile to PATH",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help=(
+            "benchmark history store: record measurements, list "
+            "history, gate regressions against the committed baseline"
+        ),
+    )
+    bench_subparsers = bench_parser.add_subparsers(
+        dest="bench_command", required=True,
+        metavar="{record,history,compare}",
+    )
+    record_parser = bench_subparsers.add_parser(
+        "record",
+        help="run a profiled simulation and append one history record",
+    )
+    record_parser.add_argument(
+        "--store", metavar="BENCH.json", default="BENCH_micro.json",
+        help="history file to append to (default: BENCH_micro.json)",
+    )
+    record_parser.add_argument(
+        "--name", required=True,
+        help="benchmark name, e.g. engine.scalar.m300",
+    )
+    record_parser.add_argument("--sellers", type=int, default=300)
+    record_parser.add_argument("--selected", type=int, default=10)
+    record_parser.add_argument("--rounds", type=int, default=500)
+    record_parser.add_argument("--seeds", type=int, default=1,
+                               help="replication seeds (default 1)")
+    record_parser.add_argument("--seed", type=int, default=0)
+    record_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="measure a parallel sweep across N workers",
+    )
+    record_parser.add_argument(
+        "--scale", default=None,
+        help="free-form scale tag stored with the record (e.g. small)",
+    )
+    record_parser.add_argument(
+        "--baseline", action="store_true",
+        help=(
+            "flag the record as the committed baseline future "
+            "'bench compare' runs are judged against"
+        ),
+    )
+    history_parser = bench_subparsers.add_parser(
+        "history", help="list the records of a history file",
+    )
+    history_parser.add_argument(
+        "store", metavar="BENCH.json", nargs="?",
+        default="BENCH_micro.json",
+        help="history file to list (default: BENCH_micro.json)",
+    )
+    history_parser.add_argument(
+        "--name", default=None, help="only this benchmark name",
+    )
+    compare_parser = bench_subparsers.add_parser(
+        "compare",
+        help=(
+            "judge the newest measurements against the committed "
+            "baselines; exits non-zero on regression"
+        ),
+    )
+    compare_parser.add_argument(
+        "stores", metavar="BENCH.json", nargs="*",
+        default=["BENCH_micro.json"],
+        help="history files to judge (default: BENCH_micro.json)",
+    )
+    compare_parser.add_argument(
+        "--max-slowdown", type=float, default=0.20, metavar="FRAC",
+        help=(
+            "fail when rounds/sec drops by more than this fraction of "
+            "the baseline (default 0.20)"
+        ),
+    )
+    compare_parser.add_argument(
+        "--max-memory-growth", type=float, default=0.25, metavar="FRAC",
+        help=(
+            "fail when peak memory grows by more than this fraction of "
+            "the baseline (default 0.25)"
+        ),
+    )
+    compare_parser.add_argument(
+        "--report", metavar="PATH.json", default=None,
+        help="also write the verdict as JSON to PATH",
     )
     return parser
 
@@ -689,6 +836,167 @@ def _command_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs import critical_path
+
+    report = critical_path(args.path)
+    print(report.to_text())
+    if args.report:
+        from repro.sim.persistence import atomic_write_json
+
+        atomic_write_json(args.report, report.to_dict())
+        print(f"wrote report to {args.report}")
+    return 0
+
+
+def _profile_policy_factory(choice: str):
+    """``factory(qualities) -> [policies]`` for ``profile --policy``."""
+    from repro.bandits import (
+        EpsilonFirstPolicy,
+        OptimalPolicy,
+        RandomPolicy,
+        UCBPolicy,
+    )
+
+    def factory(qualities):
+        if choice == "all":
+            return [
+                OptimalPolicy(qualities),
+                UCBPolicy(),
+                EpsilonFirstPolicy(0.1),
+                RandomPolicy(),
+            ]
+        if choice == "optimal":
+            return [OptimalPolicy(qualities)]
+        if choice == "epsilon-first":
+            return [EpsilonFirstPolicy(0.1)]
+        if choice == "random":
+            return [RandomPolicy()]
+        return [UCBPolicy()]
+
+    return factory
+
+
+def _run_profiled_sweep(args: argparse.Namespace, *,
+                        policy: str = "cmab-hs", memory: str = "rss"):
+    """One profiled replication sweep; returns the finished report."""
+    from repro.obs import PhaseProfiler
+    from repro.sim import SimulationConfig, replicate_comparison
+
+    config = SimulationConfig(
+        num_sellers=args.sellers,
+        num_selected=args.selected,
+        num_rounds=args.rounds,
+    )
+    profiler = PhaseProfiler(memory=memory)
+    replicate_comparison(
+        config, _profile_policy_factory(policy),
+        num_seeds=args.seeds, first_seed=args.seed,
+        workers=args.workers, profiler=profiler,
+    )
+    return profiler.report()
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    report = _run_profiled_sweep(args, policy=args.policy,
+                                 memory=args.memory)
+    print(f"M={args.sellers} K={args.selected} N={args.rounds} "
+          f"seeds={args.seeds} policy={args.policy}"
+          + (f" workers={args.workers}" if args.workers > 1 else ""))
+    print(report.hotspot_table(args.top))
+    if args.out:
+        from repro.sim.persistence import atomic_write_json
+
+        atomic_write_json(args.out, report.to_dict())
+        print(f"\nwrote profile to {args.out}")
+    return 0
+
+
+def _command_bench_record(args: argparse.Namespace) -> int:
+    from repro.obs import BenchStore
+    from repro.obs.benchstore import BenchRecord
+
+    report = _run_profiled_sweep(args)
+    record = BenchRecord.measure(
+        name=args.name,
+        rounds=report.rounds,
+        wall_s=report.wall_s,
+        peak_mb=report.peak_memory_mb,
+        sellers=args.sellers,
+        selected=args.selected,
+        scale=args.scale,
+        baseline=args.baseline,
+        extra=({"seeds": args.seeds, "workers": args.workers}
+               if args.seeds > 1 or args.workers > 1 else None),
+    )
+    store = BenchStore(args.store)
+    store.append(record)
+    kind = "baseline" if args.baseline else "record"
+    print(f"appended {kind} {args.name!r} to {args.store}: "
+          f"{record.rounds_per_s:,.1f} rounds/s, "
+          f"{record.wall_s:.3f}s wall"
+          + (f", {record.peak_mb:.1f} MiB peak"
+             if record.peak_mb is not None else ""))
+    return 0
+
+
+def _command_bench_history(args: argparse.Namespace) -> int:
+    from repro.obs import BenchStore
+
+    store = BenchStore(args.store)
+    records = store.records(args.name)
+    if not records:
+        print(f"{args.store}: no records"
+              + (f" named {args.name!r}" if args.name else ""))
+        return 0
+    print(f"{'name':<28} {'rounds/s':>12} {'peak MiB':>9} "
+          f"{'wall':>9} {'sha':>9}  {'flags'}")
+    for record in records:
+        peak = (f"{record.peak_mb:>9.1f}" if record.peak_mb is not None
+                else f"{'n/a':>9}")
+        print(f"{record.name:<28} {record.rounds_per_s:>12,.1f} {peak} "
+              f"{record.wall_s:>8.3f}s {record.git_sha:>9}  "
+              f"{'baseline' if record.baseline else ''}")
+    return 0
+
+
+def _command_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs import BenchStore, compare
+
+    verdicts = []
+    for store_path in args.stores:
+        store = BenchStore(store_path)
+        verdict = compare(
+            store,
+            max_slowdown=args.max_slowdown,
+            max_memory_growth=args.max_memory_growth,
+        )
+        print(f"{store_path}:")
+        print(verdict.to_text())
+        verdicts.append(verdict)
+    if args.report:
+        from repro.sim.persistence import atomic_write_json
+
+        atomic_write_json(args.report, {
+            "schema": 1,
+            "ok": all(verdict.ok for verdict in verdicts),
+            "stores": {
+                path: verdict.to_dict()
+                for path, verdict in zip(args.stores, verdicts)
+            },
+        })
+        print(f"wrote report to {args.report}")
+    return 0 if all(verdict.ok for verdict in verdicts) else 1
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "record":
+        return _command_bench_record(args)
+    if args.bench_command == "history":
+        return _command_bench_history(args)
+    return _command_bench_compare(args)
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     from repro.data import (
         TraceSpec,
@@ -738,7 +1046,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "trace":
             if getattr(args, "trace_command", None) == "summarize":
                 return _command_trace_summarize(args)
+            if getattr(args, "trace_command", None) == "critical-path":
+                return _command_trace_critical_path(args)
             return _command_trace(args)
+        if args.command == "profile":
+            return _command_profile(args)
+        if args.command == "bench":
+            return _command_bench(args)
         if args.command == "verify":
             return _command_verify(args)
         if args.command == "chaos":

@@ -20,15 +20,24 @@ timings and counter totals; :func:`configure_logging` is the single
 entry point for the library's stdlib-``logging`` setup.
 """
 
+from repro.obs.benchstore import (
+    BenchRecord,
+    BenchStore,
+    ComparisonVerdict,
+    compare,
+)
+from repro.obs.critical import CriticalPathReport, critical_path
 from repro.obs.events import EVENT_KINDS, TraceEvent
 from repro.obs.logconfig import LOGGER_NAME, configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
     Gauge,
     MetricsRegistry,
+    QuantileReservoir,
     Timer,
     timed,
 )
+from repro.obs.profile import PhaseProfiler, ProfileReport
 from repro.obs.summarize import (
     PhaseTiming,
     TraceSummary,
@@ -58,8 +67,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Timer",
+    "QuantileReservoir",
     "MetricsRegistry",
     "timed",
+    "PhaseProfiler",
+    "ProfileReport",
+    "CriticalPathReport",
+    "critical_path",
+    "BenchRecord",
+    "BenchStore",
+    "ComparisonVerdict",
+    "compare",
     "LOGGER_NAME",
     "configure_logging",
     "get_logger",

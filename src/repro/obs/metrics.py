@@ -6,13 +6,18 @@ A :class:`MetricsRegistry` is a flat, name-keyed collection of
   rounds, quarantined reports, ...);
 * :class:`Gauge` — last-value-wins observations (cumulative regret,
   current prices, per-seller ``n_i``/``qbar_i``);
-* :class:`Timer` — duration summaries (count / total / min / max /
-  mean) wrapping the hot paths via :meth:`MetricsRegistry.time` or the
-  :func:`timed` decorator.
+* :class:`Timer` — duration summaries (count / total / min / p50 / p95
+  / max / mean) wrapping the hot paths via :meth:`MetricsRegistry.time`
+  or the :func:`timed` decorator.  Quantiles come from a bounded,
+  deterministic :class:`QuantileReservoir` (no RNG — sampling decimates
+  by a doubling stride, so replayed runs retain the same sample set).
 
 Registries snapshot to plain JSON-serialisable dicts and restore from
 them, so checkpoints can embed a run's telemetry and a resumed run
-carries its counters forward instead of starting from zero.
+carries its counters forward instead of starting from zero.  Snapshots
+written before timers grew quantiles (no ``p50``/``p95``/``samples``
+keys) still restore and merge cleanly — the quantile state simply
+starts empty.
 """
 
 from __future__ import annotations
@@ -24,7 +29,97 @@ from contextlib import contextmanager
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "timed"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "QuantileReservoir",
+    "Timer",
+    "MetricsRegistry",
+    "timed",
+]
+
+#: Maximum duration samples a :class:`QuantileReservoir` retains.  When
+#: the buffer fills it is sorted and every other sample dropped, and the
+#: retention stride doubles — memory stays bounded for million-round
+#: runs while the retained set still spans the full distribution.
+_SAMPLE_CAP = 512
+
+
+class QuantileReservoir:
+    """A bounded, deterministic sample buffer for quantile estimates.
+
+    Uses systematic (stride) decimation instead of random reservoir
+    sampling: the deterministic runtime forbids stray RNG draws (lint
+    rule RL001), and a stride keeps replayed runs byte-identical.
+    Snapshots emit :meth:`sorted_samples` (the retained multiset in
+    canonical order), so merging worker snapshots in any completion
+    order yields the same state until decimation kicks in; beyond the
+    cap the retained subsample depends on arrival order but still
+    spans the full distribution.
+    """
+
+    __slots__ = ("_samples", "_stride", "_seen")
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        """Fold one observation in (retained every ``stride``-th call)."""
+        index = self._seen
+        self._seen += 1
+        if index % self._stride == 0:
+            samples = self._samples
+            samples.append(value)
+            if len(samples) >= _SAMPLE_CAP:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Halve the buffer (sorted, keep every other) and double stride."""
+        self._samples.sort()
+        del self._samples[::2]
+        self._stride *= 2
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def quantile(self, q: float) -> float | None:
+        """The nearest-rank ``q``-quantile of the retained samples.
+
+        ``None`` before any observation.  Estimates are exact until the
+        first decimation (fewer than ``512`` observations), then based
+        on the strided subsample.
+        """
+        samples = self._samples
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1,
+                    max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    def sorted_samples(self) -> list[float]:
+        """The retained samples, ascending (the snapshot wire form)."""
+        return sorted(self._samples)
+
+    def absorb(self, samples: list[float]) -> None:
+        """Fold another reservoir's retained samples in (for merges)."""
+        self._samples.extend(float(value) for value in samples)
+        self._seen += len(samples)
+        self._samples.sort()
+        while len(self._samples) >= _SAMPLE_CAP:
+            self._compact()
+
+    def restore(self, samples: list[float], seen: int) -> None:
+        """Replace the state with a snapshot's retained samples."""
+        self._samples = [float(value) for value in samples]
+        self._seen = int(seen)
+        self._stride = 1
+        while self._seen // self._stride > _SAMPLE_CAP:
+            self._stride *= 2
+        while len(self._samples) >= _SAMPLE_CAP:
+            self._compact()
 
 
 class Counter:
@@ -58,15 +153,16 @@ class Gauge:
 
 
 class Timer:
-    """A duration histogram summary: count / total / min / max."""
+    """A duration histogram summary: count / total / min / p50 / p95 / max."""
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "reservoir")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = 0.0
+        self.reservoir = QuantileReservoir()
 
     def observe(self, seconds: float) -> None:
         """Fold one measured duration into the summary."""
@@ -79,11 +175,22 @@ class Timer:
         self.total += seconds
         self.minimum = min(self.minimum, seconds)
         self.maximum = max(self.maximum, seconds)
+        self.reservoir.add(seconds)
 
     @property
     def mean(self) -> float:
         """Average observed duration (0 before any observation)."""
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def p50(self) -> float | None:
+        """Median observed duration (``None`` before any observation)."""
+        return self.reservoir.quantile(0.50)
+
+    @property
+    def p95(self) -> float | None:
+        """95th-percentile duration (``None`` before any observation)."""
+        return self.reservoir.quantile(0.95)
 
 
 class MetricsRegistry:
@@ -165,7 +272,11 @@ class MetricsRegistry:
         """A JSON-serialisable copy of every metric.
 
         Timer minima are emitted as ``None`` when no duration was ever
-        observed (``inf`` is not valid JSON).
+        observed (``inf`` is not valid JSON).  Quantile fields (``p50``/
+        ``p95`` plus the sorted retained ``samples`` that make them
+        restorable) are additive — readers of pre-quantile snapshots
+        never looked for them, and :meth:`restore`/:meth:`merge` accept
+        snapshots without them.
         """
         return {
             "counters": {n: c.value for n, c in self._counters.items()},
@@ -176,6 +287,9 @@ class MetricsRegistry:
                     "total": t.total,
                     "min": None if t.count == 0 else t.minimum,
                     "max": t.maximum,
+                    "p50": t.p50,
+                    "p95": t.p95,
+                    "samples": t.reservoir.sorted_samples(),
                 }
                 for n, t in self._timers.items()
             },
@@ -213,6 +327,10 @@ class MetricsRegistry:
                 timer.minimum = (math.inf if minimum is None
                                  else float(minimum))
                 timer.maximum = float(summary["max"])
+                # Pre-quantile snapshots carry no sample list; quantile
+                # state then simply starts empty (p50/p95 -> None).
+                timer.reservoir.restore(list(summary.get("samples", [])),
+                                        timer.count)
         except (KeyError, TypeError, ValueError) as error:
             raise ConfigurationError(
                 f"malformed metrics snapshot: {error}"
@@ -254,6 +372,9 @@ class MetricsRegistry:
                 if minimum is not None:
                     timer.minimum = min(timer.minimum, float(minimum))
                 timer.maximum = max(timer.maximum, float(summary["max"]))
+                # Pre-quantile worker snapshots merge cleanly: with no
+                # sample list there is simply nothing to absorb.
+                timer.reservoir.absorb(list(summary.get("samples", [])))
         except (KeyError, TypeError, ValueError) as error:
             raise ConfigurationError(
                 f"malformed metrics snapshot: {error}"
@@ -274,9 +395,18 @@ class MetricsRegistry:
             lines.append("timers:")
             for name in sorted(self._timers):
                 t = self._timers[name]
+                p50 = t.p50
+                p95 = t.p95
+                quantiles = (
+                    f" p50={p50 * 1e3:.3f}ms p95={p95 * 1e3:.3f}ms"
+                    if p50 is not None and p95 is not None else ""
+                )
+                minimum = (f" min={t.minimum * 1e3:.3f}ms"
+                           if t.count else "")
                 lines.append(
                     f"  {name}: n={t.count} total={t.total:.4f}s "
-                    f"mean={t.mean * 1e3:.3f}ms max={t.maximum * 1e3:.3f}ms"
+                    f"mean={t.mean * 1e3:.3f}ms{minimum}{quantiles} "
+                    f"max={t.maximum * 1e3:.3f}ms"
                 )
         return "\n".join(lines)
 

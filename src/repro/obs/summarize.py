@@ -13,10 +13,14 @@ summarize <path>`` loads every event a traced run emitted and reports
   parallel (``--workers N``) run — each ``worker_task_done`` event
   lands in a ``worker <id>`` phase of its own.
 
-All failure modes — unreadable file, non-JSON line, JSON that is not an
-event — surface as :class:`~repro.exceptions.ConfigurationError` naming
-the offending line, consistent with the library's
-:class:`~repro.exceptions.PersistenceError` conventions.
+An unreadable file always surfaces as
+:class:`~repro.exceptions.ConfigurationError`.  Malformed *lines* have
+two modes: :func:`read_trace` raises by default (naming the offending
+1-based line), but callers may pass ``on_malformed`` to skip-and-count
+instead — a run that crashed mid-write leaves a truncated final JSONL
+record, and a summary should report that honestly rather than refuse
+the whole trace.  :func:`summarize_trace` uses the tolerant mode and
+reports the skipped count in :attr:`TraceSummary.skipped_lines`.
 """
 
 from __future__ import annotations
@@ -24,10 +28,12 @@ from __future__ import annotations
 import json
 import math
 import os
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
 from repro.obs.events import TraceEvent
+from repro.obs.metrics import QuantileReservoir
 
 __all__ = ["PhaseTiming", "TraceSummary", "read_trace", "summarize_trace"]
 
@@ -51,6 +57,7 @@ class PhaseTiming:
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = 0.0
+    reservoir: QuantileReservoir = field(default_factory=QuantileReservoir)
 
     def add(self, seconds: float) -> None:
         """Fold one duration into the rollup."""
@@ -58,11 +65,22 @@ class PhaseTiming:
         self.total += seconds
         self.minimum = min(self.minimum, seconds)
         self.maximum = max(self.maximum, seconds)
+        self.reservoir.add(seconds)
 
     @property
     def mean(self) -> float:
         """Average duration (0 before any observation)."""
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def p50(self) -> float | None:
+        """Median duration (``None`` before any observation)."""
+        return self.reservoir.quantile(0.50)
+
+    @property
+    def p95(self) -> float | None:
+        """95th-percentile duration (``None`` before any observation)."""
+        return self.reservoir.quantile(0.95)
 
 
 @dataclass
@@ -78,6 +96,9 @@ class TraceSummary:
     num_rounds: int = 0
     workers: set = field(default_factory=set)
     worker_crashes: int = 0
+    #: Malformed JSONL lines skipped during the rollup — typically the
+    #: truncated final record of a run that crashed mid-write.
+    skipped_lines: int = 0
 
     def add(self, event: TraceEvent) -> None:
         """Fold one event into the summary."""
@@ -119,6 +140,12 @@ class TraceSummary:
         """The summary as the text block ``repro trace summarize`` prints."""
         lines = [f"trace {self.path}: {self.num_events} events, "
                  f"{self.num_rounds} rounds"]
+        if self.skipped_lines:
+            lines.append(
+                f"skipped {self.skipped_lines} malformed line"
+                f"{'s' if self.skipped_lines != 1 else ''} "
+                "(truncated or partially written records)"
+            )
         if self.policies:
             lines.append(f"policies: {', '.join(self.policies)}")
         if self.workers:
@@ -138,25 +165,47 @@ class TraceSummary:
             lines.append("")
             lines.append("per-phase timing:")
             header = (f"  {'phase':<18} {'calls':>8} {'total':>10} "
-                      f"{'mean':>10} {'max':>10}")
+                      f"{'mean':>10} {'p50':>10} {'p95':>10} {'max':>10}")
             lines.append(header)
             for phase in sorted(self.phase_timings):
                 t = self.phase_timings[phase]
+                p50 = t.p50
+                p95 = t.p95
+                p50_text = (f"{p50 * 1e3:>8.3f}ms" if p50 is not None
+                            else f"{'n/a':>10}")
+                p95_text = (f"{p95 * 1e3:>8.3f}ms" if p95 is not None
+                            else f"{'n/a':>10}")
                 lines.append(
                     f"  {phase:<18} {t.count:>8} {t.total:>9.3f}s "
-                    f"{t.mean * 1e3:>8.3f}ms {t.maximum * 1e3:>8.3f}ms"
+                    f"{t.mean * 1e3:>8.3f}ms {p50_text} {p95_text} "
+                    f"{t.maximum * 1e3:>8.3f}ms"
                 )
         return "\n".join(lines)
 
 
-def read_trace(path: str | os.PathLike):
+def read_trace(path: str | os.PathLike, *,
+               on_malformed: Callable[[int, str, ConfigurationError],
+                                      None] | None = None):
     """Yield every :class:`TraceEvent` of a JSONL trace file, in order.
+
+    Parameters
+    ----------
+    path:
+        The JSONL trace file.
+    on_malformed:
+        When given, a line that is not valid JSON or not a valid event
+        is *skipped* and this callback is invoked with ``(line_number,
+        line, error)`` instead of raising — the degraded-read mode for
+        traces whose tail was truncated by a crash mid-write.  The
+        default (``None``) keeps the strict contract: malformed lines
+        raise.
 
     Raises
     ------
     ConfigurationError
-        If the file cannot be read, or any line is not a JSON object
-        with a string ``kind`` (the error names the 1-based line).
+        If the file cannot be read (always), or — without
+        ``on_malformed`` — if any line is not a JSON object with a
+        string ``kind`` (the error names the 1-based line).
     """
     path = os.fspath(path)
     try:
@@ -173,27 +222,46 @@ def read_trace(path: str | os.PathLike):
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as error:
-                raise ConfigurationError(
+                wrapped = ConfigurationError(
                     f"trace file {path!r} line {line_number} is not valid "
                     f"JSON: {error}"
-                ) from error
+                )
+                if on_malformed is not None:
+                    on_malformed(line_number, line, wrapped)
+                    continue
+                raise wrapped from error
             try:
-                yield TraceEvent.from_dict(record)
+                event = TraceEvent.from_dict(record)
             except ConfigurationError as error:
-                raise ConfigurationError(
+                wrapped = ConfigurationError(
                     f"trace file {path!r} line {line_number}: {error}"
-                ) from error
+                )
+                if on_malformed is not None:
+                    on_malformed(line_number, line, wrapped)
+                    continue
+                raise wrapped from error
+            yield event
 
 
 def summarize_trace(path: str | os.PathLike) -> TraceSummary:
     """Roll one JSONL trace file up into a :class:`TraceSummary`.
 
+    Degrades gracefully on truncated or partially written lines (a
+    crash mid-write leaves at most a malformed tail record): such lines
+    are skipped and counted into :attr:`TraceSummary.skipped_lines`
+    rather than failing the whole rollup.
+
     Raises
     ------
     ConfigurationError
-        On unreadable files or malformed lines (see :func:`read_trace`).
+        Only when the file itself cannot be read.
     """
     summary = TraceSummary(path=os.fspath(path))
-    for event in read_trace(path):
+
+    def count_skipped(line_number: int, line: str,
+                      error: ConfigurationError) -> None:
+        summary.skipped_lines += 1
+
+    for event in read_trace(path, on_malformed=count_skipped):
         summary.add(event)
     return summary

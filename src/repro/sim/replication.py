@@ -37,6 +37,7 @@ import numpy as np
 from repro.obs.timing import perf_counter
 
 if TYPE_CHECKING:  # runtime import would cycle: parallel workers run this
+    from repro.obs.profile import PhaseProfiler
     from repro.parallel.worker import WorkerContext
 
 from repro.bandits.base import SelectionPolicy
@@ -385,6 +386,7 @@ def replicate_comparison(
     shutdown: ShutdownSignal | None = None,
     resilience: ResiliencePolicy | None = None,
     watchdog: WatchdogConfig | None = None,
+    profiler: "PhaseProfiler | None" = None,
 ) -> ReplicationResult:
     """Run the comparison under ``num_seeds`` independent seeds.
 
@@ -457,6 +459,15 @@ def replicate_comparison(
         Optional :class:`~repro.resilience.WatchdogConfig` for the
         parallel pool, overriding the one derived from ``resilience``.
         Ignored when ``workers == 1``.
+    profiler:
+        Optional :class:`~repro.obs.PhaseProfiler` bracketing the whole
+        sweep: ``profiler.report()`` afterwards carries the sweep's
+        active wall-clock, peak memory, per-phase self times, and
+        hot-path rates (rounds/sec across all seeds; for parallel
+        sweeps the worker registries merge back in, so phase totals
+        cover every worker's rounds while rates stay relative to the
+        coordinator's wall-clock).  ``None`` (the default) keeps the
+        sweep byte-identical to unprofiled behaviour.
 
     Raises
     ------
@@ -468,6 +479,28 @@ def replicate_comparison(
     GracefulShutdownInterrupt
         If ``shutdown`` fired at a seed boundary.
     """
+    if profiler is not None:
+        # Re-enter with the profiler's registry as the metrics sink so
+        # one code path does the work and the bracket closes even when
+        # the sweep raises (graceful shutdown, worker failures).
+        profiler.run_started()
+        try:
+            return replicate_comparison(
+                base_config, policy_factory, num_seeds, first_seed,
+                fault_spec=fault_spec, checkpoint_path=checkpoint_path,
+                resume=resume, workers=workers, chunk_size=chunk_size,
+                max_task_retries=max_task_retries, tracer=tracer,
+                metrics=profiler.bind(metrics), shutdown=shutdown,
+                resilience=resilience, watchdog=watchdog, profiler=None,
+            )
+        finally:
+            profiler.run_finished(
+                num_seeds=num_seeds, first_seed=first_seed,
+                workers=workers,
+                num_sellers=base_config.num_sellers,
+                num_selected=base_config.num_selected,
+                num_rounds=base_config.num_rounds,
+            )
     if num_seeds <= 0:
         raise ConfigurationError(
             f"num_seeds must be positive, got {num_seeds}"

@@ -1,0 +1,300 @@
+"""Unit tests for the benchmark history store and regression gates.
+
+Exercises :class:`~repro.obs.BenchStore` round-trips (append, reload,
+corrupt-file handling), the :func:`~repro.obs.compare` verdict logic,
+and the ``repro bench`` CLI — including a mutation-style test that
+plants a synthetic slowdown and proves ``repro bench compare`` exits
+non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ConfigurationError, PersistenceError
+from repro.obs import BenchRecord, BenchStore, compare
+from repro.obs.benchstore import (
+    BENCH_SCHEMA_VERSION,
+    current_git_sha,
+    machine_tag,
+)
+
+
+def _record(name="engine.scalar.m300", rounds_per_s=1000.0,
+            peak_mb=120.0, baseline=False, timestamp=1.0, **kwargs):
+    return BenchRecord(name=name, rounds_per_s=rounds_per_s,
+                       wall_s=0.5, peak_mb=peak_mb, baseline=baseline,
+                       timestamp=timestamp, **kwargs)
+
+
+class TestBenchRecord:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            _record(name="")
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            _record(rounds_per_s=-1.0)
+
+    def test_measure_rejects_nonpositive_wall(self):
+        with pytest.raises(ConfigurationError, match="non-positive"):
+            BenchRecord.measure(name="x", rounds=100, wall_s=0.0)
+
+    def test_measure_stamps_environment(self):
+        record = BenchRecord.measure(name="x", rounds=100, wall_s=2.0,
+                                     sellers=300, selected=10)
+        assert record.rounds_per_s == pytest.approx(50.0)
+        assert record.git_sha == current_git_sha()
+        assert record.machine == machine_tag()
+        assert record.timestamp > 0.0
+        assert not record.baseline
+
+    def test_dict_round_trip(self):
+        original = _record(sellers=300, selected=10, rounds=500,
+                           scale="small", extra={"workers": 4})
+        clone = BenchRecord.from_dict(original.to_dict(), what="test")
+        assert clone == original
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(PersistenceError, match="malformed"):
+            BenchRecord.from_dict({"name": "x"}, what="test")
+        with pytest.raises(PersistenceError, match="JSON object"):
+            BenchRecord.from_dict(["not", "a", "dict"], what="test")
+
+
+class TestBenchStore:
+    def test_append_reload_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        store = BenchStore(path)
+        store.append(_record(baseline=True, timestamp=1.0))
+        store.append(_record(rounds_per_s=1100.0, timestamp=2.0))
+        store.append(_record(name="sweep.serial", timestamp=3.0))
+
+        reloaded = BenchStore(path)
+        assert len(reloaded) == 3
+        assert reloaded.names() == ["engine.scalar.m300", "sweep.serial"]
+        assert reloaded.records("sweep.serial")[0].name == "sweep.serial"
+        latest = reloaded.latest("engine.scalar.m300")
+        assert latest is not None
+        assert latest.rounds_per_s == pytest.approx(1100.0)
+        baseline = reloaded.baseline("engine.scalar.m300")
+        assert baseline is not None
+        assert baseline.baseline
+        assert reloaded.baseline("sweep.serial") is None
+
+    def test_newest_baseline_wins(self, tmp_path):
+        store = BenchStore(tmp_path / "BENCH.json")
+        store.append(_record(rounds_per_s=500.0, baseline=True))
+        store.append(_record(rounds_per_s=900.0, baseline=True))
+        baseline = store.baseline("engine.scalar.m300")
+        assert baseline.rounds_per_s == pytest.approx(900.0)
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        store = BenchStore(tmp_path / "absent.json")
+        assert len(store) == 0
+        assert store.names() == []
+        assert store.latest("anything") is None
+
+    def test_corrupt_file_raises_persistence_error(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text('{"schema_version": 1, "records": [{"na')
+        with pytest.raises(PersistenceError, match="corrupt"):
+            BenchStore(path)
+
+    def test_non_object_payload_raises(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError, match="JSON object"):
+            BenchStore(path)
+
+    def test_wrong_schema_version_raises(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(
+            {"schema_version": BENCH_SCHEMA_VERSION + 1, "records": []}
+        ))
+        with pytest.raises(PersistenceError, match="schema version"):
+            BenchStore(path)
+
+    def test_records_not_a_list_raises(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(
+            {"schema_version": 1, "records": {"a": 1}}
+        ))
+        with pytest.raises(PersistenceError, match="must be a list"):
+            BenchStore(path)
+
+    def test_malformed_record_raises(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(
+            {"schema_version": 1, "records": [{"name": "x"}]}
+        ))
+        with pytest.raises(PersistenceError, match="malformed"):
+            BenchStore(path)
+
+
+class TestCompare:
+    def _store(self, tmp_path, *records):
+        store = BenchStore(tmp_path / "BENCH.json")
+        for record in records:
+            store.append(record)
+        return store
+
+    def test_ok_within_thresholds(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            _record(rounds_per_s=1000.0, peak_mb=100.0, baseline=True),
+            _record(rounds_per_s=900.0, peak_mb=110.0, timestamp=2.0),
+        )
+        verdict = compare(store)
+        assert verdict.ok
+        (result,) = verdict.results
+        assert result.speed_ratio == pytest.approx(0.9)
+        assert result.memory_ratio == pytest.approx(1.1)
+        assert not result.regressed
+        assert "verdict: OK" in verdict.to_text()
+
+    def test_slowdown_regression(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            _record(rounds_per_s=1000.0, baseline=True),
+            _record(rounds_per_s=700.0, timestamp=2.0),
+        )
+        verdict = compare(store)
+        assert not verdict.ok
+        (result,) = verdict.results
+        assert result.regressed
+        assert any("rounds/sec dropped" in r for r in result.regressions)
+        assert "REGRESSION DETECTED" in verdict.to_text()
+
+    def test_memory_regression(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            _record(rounds_per_s=1000.0, peak_mb=100.0, baseline=True),
+            _record(rounds_per_s=1000.0, peak_mb=140.0, timestamp=2.0),
+        )
+        verdict = compare(store)
+        assert not verdict.ok
+        (result,) = verdict.results
+        assert any("peak memory grew" in r for r in result.regressions)
+
+    def test_missing_memory_side_skips_memory_gate(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            _record(rounds_per_s=1000.0, peak_mb=None, baseline=True),
+            _record(rounds_per_s=1000.0, peak_mb=900.0, timestamp=2.0),
+        )
+        verdict = compare(store)
+        assert verdict.ok
+        assert verdict.results[0].memory_ratio is None
+
+    def test_unmatched_names_never_fail(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            _record(name="only.baseline", baseline=True),
+            _record(name="only.measurement", timestamp=2.0),
+        )
+        verdict = compare(store)
+        assert verdict.ok
+        assert set(verdict.unmatched) == {"only.baseline",
+                                          "only.measurement"}
+        assert verdict.results == ()
+
+    def test_relaxed_threshold_rides_out_noise(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            _record(rounds_per_s=1000.0, baseline=True),
+            _record(rounds_per_s=700.0, timestamp=2.0),
+        )
+        assert not compare(store).ok
+        assert compare(store, max_slowdown=0.5).ok
+
+    def test_rejects_nonsense_thresholds(self, tmp_path):
+        store = self._store(tmp_path)
+        with pytest.raises(ConfigurationError, match="max_slowdown"):
+            compare(store, max_slowdown=1.0)
+        with pytest.raises(ConfigurationError,
+                           match="max_memory_growth"):
+            compare(store, max_memory_growth=-0.1)
+
+    def test_verdict_dict_is_json_and_versioned(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            _record(baseline=True),
+            _record(timestamp=2.0),
+        )
+        payload = compare(store).to_dict()
+        json.dumps(payload)
+        assert payload["schema"] == 1
+        assert payload["ok"] is True
+
+
+class TestBenchCli:
+    def test_record_history_compare_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "BENCH.json")
+        base = ["bench", "record", "--store", store,
+                "--name", "engine.tiny", "--sellers", "16",
+                "--selected", "3", "--rounds", "40"]
+        assert main([*base, "--baseline"]) == 0
+        assert main(base) == 0
+        capsys.readouterr()
+
+        assert main(["bench", "history", store]) == 0
+        history = capsys.readouterr().out
+        assert "engine.tiny" in history
+        assert "baseline" in history
+
+        assert main(["bench", "compare", store]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_compare_exits_nonzero_on_planted_slowdown(self, capsys,
+                                                       tmp_path):
+        # Mutation-style check: a store whose newest measurement is a
+        # synthetic 2x slowdown over its committed baseline must turn
+        # the CLI gate red.
+        path = tmp_path / "BENCH.json"
+        store = BenchStore(path)
+        store.append(_record(rounds_per_s=1000.0, baseline=True))
+        store.append(_record(rounds_per_s=500.0, timestamp=2.0))
+        assert main(["bench", "compare", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION DETECTED" in out
+        assert "rounds/sec dropped" in out
+
+    def test_compare_threshold_flag_loosens_gate(self, capsys,
+                                                 tmp_path):
+        path = tmp_path / "BENCH.json"
+        store = BenchStore(path)
+        store.append(_record(rounds_per_s=1000.0, baseline=True))
+        store.append(_record(rounds_per_s=600.0, timestamp=2.0))
+        assert main(["bench", "compare", str(path)]) == 1
+        capsys.readouterr()
+        assert main(["bench", "compare", str(path),
+                     "--max-slowdown", "0.5"]) == 0
+
+    def test_compare_writes_report(self, capsys, tmp_path):
+        path = tmp_path / "BENCH.json"
+        store = BenchStore(path)
+        store.append(_record(baseline=True))
+        store.append(_record(timestamp=2.0))
+        report = tmp_path / "verdict.json"
+        assert main(["bench", "compare", str(path),
+                     "--report", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == 1
+        assert payload["ok"] is True
+
+    def test_compare_corrupt_store_fails_cleanly(self, capsys,
+                                                 tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("{not json")
+        assert main(["bench", "compare", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_history_missing_store_reports_empty(self, capsys,
+                                                 tmp_path):
+        assert main(["bench", "history",
+                     str(tmp_path / "absent.json")]) == 0
+        assert "no records" in capsys.readouterr().out

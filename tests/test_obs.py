@@ -16,6 +16,7 @@ from repro.obs import (
     LoggingSink,
     MetricsRegistry,
     NullTracer,
+    QuantileReservoir,
     RingBufferSink,
     TraceEvent,
     Tracer,
@@ -25,6 +26,7 @@ from repro.obs import (
     summarize_trace,
     timed,
 )
+from repro.obs.metrics import Timer
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -182,6 +184,127 @@ class TestRegistrySnapshot:
         assert "rounds" in table
         assert "price" in table
         assert "solve" in table
+
+
+class TestQuantileReservoir:
+    def test_exact_quantiles_before_decimation(self):
+        reservoir = QuantileReservoir()
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            reservoir.add(value)
+        assert reservoir.quantile(0.50) == pytest.approx(3.0)
+        assert reservoir.quantile(0.95) == pytest.approx(5.0)
+        assert reservoir.quantile(0.0) == pytest.approx(1.0)
+        assert reservoir.quantile(1.0) == pytest.approx(5.0)
+
+    def test_empty_reservoir_has_no_quantiles(self):
+        assert QuantileReservoir().quantile(0.5) is None
+
+    def test_decimation_bounds_memory_and_keeps_shape(self):
+        reservoir = QuantileReservoir()
+        for i in range(10_000):
+            reservoir.add(float(i))
+        assert len(reservoir) < 512
+        # Strided subsample still spans the distribution.
+        assert reservoir.quantile(0.5) == pytest.approx(5_000, rel=0.05)
+        assert reservoir.quantile(0.95) == pytest.approx(9_500, rel=0.05)
+
+    def test_absorb_is_order_independent_below_cap(self):
+        # Worker snapshots merged in any completion order yield the
+        # same retained multiset (exactly identical until decimation
+        # kicks in; beyond the cap only the distribution shape is
+        # preserved).
+        chunks = [[float(i) for i in range(start, start + 150)]
+                  for start in (0, 150, 300)]
+        forward, backward = QuantileReservoir(), QuantileReservoir()
+        for chunk in chunks:
+            forward.absorb(chunk)
+        for chunk in reversed(chunks):
+            backward.absorb(chunk)
+        assert forward.sorted_samples() == backward.sorted_samples()
+
+    def test_restore_round_trips(self):
+        original = QuantileReservoir()
+        for i in range(100):
+            original.add(float(i))
+        clone = QuantileReservoir()
+        clone.restore(original.sorted_samples(), 100)
+        assert clone.sorted_samples() == original.sorted_samples()
+        assert clone.quantile(0.5) == original.quantile(0.5)
+
+
+class TestTimerQuantiles:
+    def test_none_before_observations(self):
+        timer = Timer()
+        assert timer.p50 is None
+        assert timer.p95 is None
+
+    def test_small_sample_quantiles_are_exact(self):
+        timer = Timer()
+        for ms in [0.001, 0.002, 0.003, 0.004, 0.100]:
+            timer.observe(ms)
+        assert timer.p50 == pytest.approx(0.003)
+        assert timer.p95 == pytest.approx(0.100)
+
+    def test_snapshot_carries_quantile_state(self):
+        registry = MetricsRegistry()
+        for ms in [0.010, 0.020, 0.030]:
+            registry.timer("engine.round").observe(ms)
+        summary = json.loads(json.dumps(
+            registry.snapshot()
+        ))["timers"]["engine.round"]
+        assert summary["p50"] == pytest.approx(0.020)
+        assert summary["p95"] == pytest.approx(0.030)
+        assert summary["samples"] == [0.010, 0.020, 0.030]
+
+    def test_restore_accepts_pre_quantile_snapshot(self):
+        # Snapshots written before quantiles existed carry no
+        # p50/p95/samples keys; restore must still work.
+        registry = MetricsRegistry()
+        registry.restore({
+            "counters": {}, "gauges": {},
+            "timers": {"engine.round": {
+                "count": 5, "total": 0.5, "min": 0.05, "max": 0.2,
+            }},
+        })
+        timer = registry.timers["engine.round"]
+        assert timer.count == 5
+        assert timer.p50 is None
+
+    def test_merge_accepts_pre_quantile_snapshot(self):
+        registry = MetricsRegistry()
+        registry.timer("engine.round").observe(0.1)
+        registry.merge({
+            "counters": {}, "gauges": {},
+            "timers": {"engine.round": {
+                "count": 3, "total": 0.3, "min": 0.05, "max": 0.15,
+            }},
+        })
+        timer = registry.timers["engine.round"]
+        assert timer.count == 4
+        assert timer.total == pytest.approx(0.4)
+        # Only the locally observed sample remains in the reservoir.
+        assert timer.reservoir.sorted_samples() == [0.1]
+
+    def test_merged_quantiles_cover_both_workers(self):
+        local, worker = MetricsRegistry(), MetricsRegistry()
+        for ms in [0.001, 0.002]:
+            local.timer("parallel.task").observe(ms)
+        for ms in [0.100, 0.200]:
+            worker.timer("parallel.task").observe(ms)
+        local.merge(worker.snapshot())
+        timer = local.timers["parallel.task"]
+        assert timer.reservoir.sorted_samples() == [
+            0.001, 0.002, 0.100, 0.200,
+        ]
+        assert timer.p95 == pytest.approx(0.200)
+
+    def test_to_table_shows_quantiles(self):
+        registry = MetricsRegistry()
+        for ms in [0.010, 0.020, 0.030]:
+            registry.timer("engine.round").observe(ms)
+        table = registry.to_table()
+        assert "p50=20.000ms" in table
+        assert "p95=30.000ms" in table
 
 
 class TestTimedDecorator:
@@ -381,6 +504,29 @@ class TestReadTrace:
         path.write_text('\n{"kind":"round_start","round":0}\n\n')
         assert len(list(read_trace(path))) == 1
 
+    def test_on_malformed_skips_and_reports(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"round_start","round":0}\n'
+                        '{"kind":"round_end","rou\n'
+                        '{"round": 7}\n'
+                        '{"kind":"run_end"}\n')
+        skipped = []
+        events = list(read_trace(
+            path,
+            on_malformed=lambda number, line, error:
+                skipped.append((number, line)),
+        ))
+        assert [event.kind for event in events] == ["round_start",
+                                                    "run_end"]
+        assert [number for number, __ in skipped] == [2, 3]
+        assert skipped[0][1].startswith('{"kind":"round_end"')
+
+    def test_on_malformed_still_raises_on_unreadable_file(self,
+                                                          tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            list(read_trace(tmp_path / "absent.jsonl",
+                            on_malformed=lambda *a: None))
+
 
 class TestSummarize:
     def test_rollup_counts_phases_and_faults(self, tmp_path):
@@ -400,6 +546,24 @@ class TestSummarize:
         assert "event counts" in text
         assert "per-phase timing" in text
         assert "corruption" in text
+        assert "p50" in text and "p95" in text
+
+    def test_truncated_tail_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind":"round_start","round":0}\n'
+                        '{"kind":"round_end","round":0,"duration_s":0.5}\n'
+                        '{"kind":"round_end","round":1,"durat\n')
+        summary = summarize_trace(path)
+        assert summary.skipped_lines == 1
+        assert summary.num_events == 2
+        assert "skipped 1 malformed line" in summary.to_text()
+
+    def test_clean_trace_reports_no_skips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind":"round_start","round":0}\n')
+        summary = summarize_trace(path)
+        assert summary.skipped_lines == 0
+        assert "skipped" not in summary.to_text()
 
 
 class TestLoggingSink:
