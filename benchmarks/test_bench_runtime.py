@@ -1,0 +1,60 @@
+"""Runtime service throughput: churning seller-sessions at scale.
+
+The ISSUE's load bar: a seeded load script drives **over a thousand
+seller-sessions** through the ``register -> quote -> trade -> close``
+surface of :class:`~repro.runtime.MarketService` in one process, and
+the sustained sessions/sec rate lands in ``BENCH_runtime.json``
+(recorded with ``REPRO_BENCH_RECORD=1``, gated against the committed
+baseline by the benchstore comparison).
+
+The replay is asserted deterministic — running the same script against
+a fresh service must reproduce the trade-ledger digest bit for bit —
+so the throughput number always measures the same work.
+"""
+
+from __future__ import annotations
+
+from conftest import record_benchmark
+
+from repro.runtime import (
+    LoadSpec,
+    MarketService,
+    generate_script,
+    replay_script,
+)
+from repro.sim import SimulationConfig
+
+#: Service shape: 50 population slots, top-5 selection per round.
+_CONFIG = SimulationConfig(num_sellers=50, num_selected=5, num_pois=5,
+                           num_rounds=2_000, seed=0)
+
+#: The load bar — 1,200 sessions opened and drained, 600 traded rounds.
+_SPEC = LoadSpec(seed=0, num_sessions=1_200, max_open=32,
+                 rounds_budget=600, max_rounds_per_trade=3)
+
+
+def _fresh_service() -> MarketService:
+    return MarketService(_CONFIG)
+
+
+def test_runtime_sustains_a_thousand_seller_sessions():
+    ops = generate_script(_SPEC)
+    report = replay_script(_fresh_service(), ops)
+
+    assert report.sessions_opened >= 1_000
+    assert report.sessions_closed == report.sessions_opened
+    assert report.ops_skipped == 0  # the script fits the service
+    assert report.rounds_traded == _SPEC.rounds_budget
+    assert report.sessions_per_s > 0.0
+
+    # Same script, fresh service: bit-identical trade history.
+    replay = replay_script(_fresh_service(), ops)
+    assert replay.ledger_digest == report.ledger_digest
+
+    record_benchmark("runtime.session_churn",
+                     rounds=report.rounds_traded,
+                     wall_s=report.wall_s,
+                     sellers=_CONFIG.num_sellers,
+                     selected=_CONFIG.num_selected,
+                     store="BENCH_runtime.json",
+                     extra=report.to_dict())

@@ -17,9 +17,15 @@ Subcommands:
 * ``bench`` — the benchmark history store: ``record`` appends a
   machine-tagged measurement, ``history`` lists records, ``compare``
   gates regressions against the committed baseline (non-zero exit).
+* ``serve`` — run the market as a service on the event-driven runtime:
+  sellers arrive/depart (seeded churn or a recorded session script
+  replayed by the load generator) while the CMAB-HS round loop fires as
+  scheduled events; SIGINT drains gracefully into a resumable
+  checkpoint and exits 0.
 * ``verify`` — run the equilibrium verification subsystem (differential
-  oracles, golden-trace regression, strict-mode invariant runs); exits
-  non-zero on any failure.  ``--update-goldens`` blesses new goldens.
+  oracles, golden-trace regression, strict-mode invariant runs, and the
+  runtime batch-equivalence/churn-golden checks); exits non-zero on any
+  failure.  ``--update-goldens`` blesses new goldens.
 * ``chaos`` — drill the resilience layers with seeded fault storms
   (interrupts, checkpoint corruption, worker crashes and stalls) and
   verify every recovered sweep is bit-identical to its fault-free
@@ -239,6 +245,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_arguments(replicate_parser)
     _add_observability_arguments(replicate_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the market as a service on the event-driven runtime "
+            "(seeded churn, session scripts, graceful SIGINT shutdown)"
+        ),
+    )
+    serve_parser.add_argument("--sellers", type=int, default=50)
+    serve_parser.add_argument("--selected", type=int, default=5)
+    serve_parser.add_argument("--rounds", type=int, default=1_000)
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--arrival-rate", type=float, default=0.0, metavar="P",
+        help="per-round probability an offline slot comes online",
+    )
+    serve_parser.add_argument(
+        "--departure-rate", type=float, default=0.0, metavar="P",
+        help="per-round probability an online seller departs",
+    )
+    serve_parser.add_argument(
+        "--min-online", type=int, default=1, metavar="N",
+        help="floor on the online population under churn (default 1)",
+    )
+    serve_parser.add_argument(
+        "--drift-amplitude", type=float, default=0.0, metavar="A",
+        help="sinusoidal arrival-intensity drift amplitude (default 0)",
+    )
+    serve_parser.add_argument(
+        "--drift-period", type=float, default=200.0, metavar="T",
+        help="drift period in rounds (default 200)",
+    )
+    serve_parser.add_argument(
+        "--script", metavar="SCRIPT.json", default=None,
+        help=(
+            "replay a recorded session script through the service "
+            "instead of trading continuously"
+        ),
+    )
+    serve_parser.add_argument(
+        "--checkpoint", metavar="PATH.npz", default=None,
+        help="checkpoint file (written on graceful shutdown and, with "
+             "--checkpoint-every, periodically)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="also checkpoint every N completed rounds (default: off)",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from --checkpoint if it exists",
+    )
+    _add_observability_arguments(serve_parser)
+
     verify_parser = subparsers.add_parser(
         "verify",
         help=(
@@ -263,11 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the golden store location (default: checked-in)",
     )
     verify_parser.add_argument(
-        "--only", action="append", choices=("oracles", "goldens", "strict"),
+        "--only", action="append",
+        choices=("oracles", "goldens", "strict", "runtime"),
         metavar="SECTION",
         help=(
             "run only this section (repeatable; "
-            "oracles, goldens, or strict)"
+            "oracles, goldens, strict, or runtime)"
         ),
     )
     verify_parser.add_argument(
@@ -757,13 +817,103 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import GracefulShutdownInterrupt
+    from repro.quality.drift import SinusoidalDrift
+    from repro.resilience.shutdown import GracefulShutdown
+    from repro.runtime import (
+        ChurnSpec,
+        MarketRuntime,
+        MarketService,
+        load_script,
+        replay_script,
+    )
+    from repro.sim import SimulationConfig
+
+    config = SimulationConfig(
+        num_sellers=args.sellers,
+        num_selected=args.selected,
+        num_rounds=args.rounds,
+        seed=args.seed,
+    )
+    drift = (SinusoidalDrift(amplitude=args.drift_amplitude,
+                             period=args.drift_period)
+             if args.drift_amplitude > 0.0 else None)
+    churn = ChurnSpec(arrival_rate=args.arrival_rate,
+                      departure_rate=args.departure_rate,
+                      min_online=args.min_online, drift=drift)
+    tracer, metrics = _build_observability(args)
+    print(f"serving market: M={config.num_sellers} "
+          f"K={config.num_selected} N={config.num_rounds} "
+          f"seed={config.seed}"
+          + (f" churn=arrival:{churn.arrival_rate}/"
+             f"departure:{churn.departure_rate}" if churn.enabled else ""))
+
+    if args.script:
+        # Scripted mode: the load generator drives the service through
+        # a recorded register/quote/trade/close session script.
+        service = MarketService(config, churn=churn if churn.enabled
+                                else None, tracer=tracer, metrics=metrics)
+        report = replay_script(service, load_script(args.script))
+        status = service.status()
+        print(f"replayed {args.script}: "
+              f"{report.sessions_opened} sessions opened, "
+              f"{report.sessions_closed} closed, "
+              f"{report.rounds_traded} rounds traded, "
+              f"{report.quotes} quotes "
+              f"({report.sessions_per_s:,.0f} sessions/s)")
+        print(f"ledger: {status['trades']} trades, "
+              f"digest {report.ledger_digest[:16]}…")
+        if args.checkpoint:
+            service.runtime.save(args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}")
+        _finish_observability(args, tracer, metrics)
+        return 0
+
+    # Continuous mode: every slot starts online and the market trades
+    # round after round (with organic churn if configured) until the
+    # round budget is spent or a SIGINT/SIGTERM drains it gracefully.
+    runtime = MarketRuntime(config, churn=churn if churn.enabled else None,
+                            tracer=tracer, metrics=metrics)
+    with GracefulShutdown() as stop:
+        try:
+            run_metrics = runtime.run(
+                shutdown=stop,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+            )
+        except GracefulShutdownInterrupt as interrupt:
+            print(f"\ngraceful shutdown at round {runtime.next_round}: "
+                  f"{interrupt}")
+            _finish_observability(args, tracer, metrics)
+            return 0
+    summary = run_metrics.summary()
+    print(f"completed {runtime.next_round} rounds: "
+          f"revenue={summary['total_revenue']:.1f} "
+          f"regret={summary['regret']:.1f}")
+    print(f"sessions: {runtime.sessions_opened} opened, "
+          f"{runtime.sessions_closed} closed; "
+          f"messages: {runtime.kernel.messages_delivered} delivered, "
+          f"{runtime.kernel.messages_dropped} dropped")
+    print(f"ledger: {len(runtime.ledger)} trades, "
+          f"digest {runtime.ledger.digest()[:16]}…")
+    _finish_observability(args, tracer, metrics)
+    return 0
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     from repro.sim.persistence import atomic_write_json
-    from repro.verify import run_verification, update_goldens
+    from repro.verify import (
+        run_verification,
+        update_goldens,
+        update_runtime_golden,
+    )
 
     if args.update_goldens:
         for path in update_goldens(args.goldens_dir):
             print(f"wrote {path}")
+        print(f"wrote {update_runtime_golden(args.goldens_dir)}")
         return 0
     sections = tuple(args.only) if args.only else None
     report = run_verification(
@@ -1053,6 +1203,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_profile(args)
         if args.command == "bench":
             return _command_bench(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "verify":
             return _command_verify(args)
         if args.command == "chaos":

@@ -6,6 +6,10 @@ quality.  This module studies the stronger variant where the *means
 themselves drift* (sinusoidally, via
 :class:`~repro.quality.distributions.DriftingQuality`) and quantifies
 how much a sliding-window UCB recovers over the paper's vanilla UCB.
+The waveform comes from the shared
+:class:`~repro.quality.drift.SinusoidalDrift` helper — the same
+primitive :mod:`repro.runtime.arrivals` modulates seller churn with, so
+quality drift and arrival drift cannot diverge in shape.
 
 Registered as experiment ``ext-drift``.
 """
@@ -27,6 +31,7 @@ from repro.experiments.registry import (
     register,
 )
 from repro.quality.distributions import DriftingQuality
+from repro.quality.drift import SinusoidalDrift
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import TradingSimulator
 
@@ -49,10 +54,10 @@ def drift_comparison(amplitude: float, num_rounds: int, seed: int,
     base = TradingSimulator(config)
     qualities = base.population.expected_qualities
     if amplitude > 0.0:
-        model = DriftingQuality(
-            qualities, amplitude=amplitude, period=num_rounds / 4.0,
-            phase_seed=seed + 1,
-        )
+        drift = SinusoidalDrift(amplitude=amplitude,
+                                period=num_rounds / 4.0)
+        model = DriftingQuality.from_drift(qualities, drift,
+                                           phase_seed=seed + 1)
     else:
         model = None
     simulator = TradingSimulator(config, population=base.population,

@@ -143,7 +143,8 @@ class WallClockRule(LintRule):
     """RL002 — no wall-clock reads in the deterministic hot paths.
 
     ``repro.sim`` / ``repro.game`` / ``repro.bandits`` / ``repro.core``
-    must behave identically run-to-run; a clock read that leaks into
+    / ``repro.runtime`` must behave identically run-to-run; a clock
+    read that leaks into
     control flow (adaptive iteration counts, time-based seeds, ...)
     destroys that silently.  Duration telemetry goes through the
     auditable :mod:`repro.obs.timing` shim instead.
@@ -157,7 +158,7 @@ class WallClockRule(LintRule):
     )
 
     _SCOPED_PACKAGES = ("repro.sim", "repro.game", "repro.bandits",
-                        "repro.core")
+                        "repro.core", "repro.runtime")
     #: Whitelisted timer-shim home: the obs package owns all timing.
     _WHITELIST = ("repro.obs",)
     _CLOCK_CALLS = frozenset({
@@ -311,7 +312,7 @@ class SwallowedExceptionRule(LintRule):
     )
 
     _SCOPED_PACKAGES = ("repro.faults", "repro.parallel",
-                        "repro.sim.persistence")
+                        "repro.sim.persistence", "repro.runtime")
     _BROAD = frozenset({"Exception", "BaseException"})
 
     def _is_trivial_body(self, body: list[ast.stmt]) -> bool:

@@ -69,6 +69,21 @@ __all__ = ["EVENT_KINDS", "TraceEvent"]
 #:   safe boundary after a shutdown signal (payload: final
 #:   ``checkpoint_path`` plus progress fields such as
 #:   ``rounds_completed`` or ``seeds_completed``).
+#: * ``agent_spawn`` — the event runtime registered an agent on the
+#:   kernel (payload: ``agent`` id, ``kind`` — ``seller`` / ``platform``
+#:   / ``consumer``; sellers add their population ``slot``).
+#: * ``agent_depart`` — an agent was deregistered from the kernel
+#:   (payload: ``agent`` id, ``kind``, and for sellers the ``slot`` and
+#:   ``rounds_online``).
+#: * ``message_delivered`` — the kernel delivered one timestamped
+#:   message to an agent's mailbox (payload: ``topic``, ``sender``,
+#:   ``receiver``, logical ``time``).
+#: * ``session_open`` — a seller-session began: the seller is online
+#:   and selectable from the next round on (payload: ``session`` id,
+#:   ``slot``).
+#: * ``session_close`` — a seller-session ended, organically (churn) or
+#:   via the service's ``close`` request (payload: ``session`` id,
+#:   ``slot``, ``rounds_online``, ``trades``).
 EVENT_KINDS = frozenset({
     "run_start", "run_end",
     "round_start", "round_end",
@@ -79,6 +94,8 @@ EVENT_KINDS = frozenset({
     "worker_started", "worker_task_done", "worker_crashed",
     "retry_attempt", "watchdog_kill", "task_deadline_exceeded",
     "checkpoint_quarantined", "graceful_shutdown",
+    "agent_spawn", "agent_depart", "message_delivered",
+    "session_open", "session_close",
 })
 
 

@@ -96,6 +96,14 @@ class TraceSummary:
     num_rounds: int = 0
     workers: set = field(default_factory=set)
     worker_crashes: int = 0
+    #: Event-runtime lifecycle rollup (``repro serve`` traces): agents
+    #: spawned/departed on the kernel, seller-sessions opened/closed,
+    #: and mailbox messages delivered.
+    agents_spawned: int = 0
+    agents_departed: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    messages_delivered: int = 0
     #: Malformed JSONL lines skipped during the rollup — typically the
     #: truncated final record of a run that crashed mid-write.
     skipped_lines: int = 0
@@ -126,6 +134,16 @@ class TraceSummary:
                 self.workers.add(worker)
         if event.kind == "worker_crashed":
             self.worker_crashes += 1
+        if event.kind == "agent_spawn":
+            self.agents_spawned += 1
+        elif event.kind == "agent_depart":
+            self.agents_departed += 1
+        elif event.kind == "session_open":
+            self.sessions_opened += 1
+        elif event.kind == "session_close":
+            self.sessions_closed += 1
+        elif event.kind == "message_delivered":
+            self.messages_delivered += 1
         if event.kind == "fault":
             fault = str(event.payload.get("fault", "unknown"))
             self.faults_by_kind[fault] = (
@@ -152,6 +170,15 @@ class TraceSummary:
             crashes = (f", {self.worker_crashes} crashed"
                        if self.worker_crashes else "")
             lines.append(f"workers: {len(self.workers)}{crashes}")
+        if self.sessions_opened or self.agents_spawned:
+            open_sessions = self.sessions_opened - self.sessions_closed
+            lines.append(
+                f"runtime: {self.sessions_opened} sessions opened, "
+                f"{self.sessions_closed} closed ({open_sessions} open at "
+                f"end); {self.agents_spawned} agents spawned, "
+                f"{self.agents_departed} departed; "
+                f"{self.messages_delivered} messages delivered"
+            )
         lines.append("")
         lines.append("event counts:")
         for kind in sorted(self.events_by_kind):

@@ -6,6 +6,7 @@ observation distributions (truncated Gaussian by default, per the paper's
 evaluation section) and the per-round sampling machinery.
 """
 
+from repro.quality.drift import SinusoidalDrift
 from repro.quality.distributions import (
     BernoulliQuality,
     BetaQuality,
@@ -29,6 +30,7 @@ __all__ = [
     "DriftingQuality",
     "PoiHeterogeneousQuality",
     "make_quality_model",
+    "SinusoidalDrift",
     "QualitySampler",
     "RoundObservations",
 ]

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.quality.drift import SinusoidalDrift
 
 __all__ = [
     "QualityModel",
@@ -274,15 +274,6 @@ class DeterministicQuality(QualityModel):
         return np.broadcast_to(mu, (seller_indices.size, num_pois)).copy()
 
 
-@dataclass(frozen=True)
-class _DriftSpec:
-    """Configuration of sinusoidal mean drift for :class:`DriftingQuality`."""
-
-    amplitude: float
-    period: float
-    phase_seed: int
-
-
 class DriftingQuality(QualityModel):
     """Non-stationary qualities: means drift sinusoidally over rounds.
 
@@ -292,9 +283,13 @@ class DriftingQuality(QualityModel):
 
         q_i(t) = clip(q_i + amplitude * sin(2*pi*t/period + phi_i), 0, 1)
 
-    with a per-seller random phase ``phi_i``.  The current round must be
-    advanced by the caller via :meth:`set_round`.  Used by the
-    sliding-window-UCB extension experiments.
+    with a per-seller random phase ``phi_i``.  The waveform and phase
+    seeding live in the shared
+    :class:`~repro.quality.drift.SinusoidalDrift` helper — the same
+    primitive the event runtime's arrival process modulates churn with.
+    The current round must be advanced by the caller via
+    :meth:`set_round`.  Used by the sliding-window-UCB extension
+    experiments.
     """
 
     def __init__(self, means: np.ndarray, amplitude: float = 0.2,
@@ -309,24 +304,35 @@ class DriftingQuality(QualityModel):
             raise ConfigurationError(f"period must be positive, got {period}")
         if sigma <= 0.0:
             raise ConfigurationError(f"sigma must be positive, got {sigma}")
-        self._spec = _DriftSpec(float(amplitude), float(period), int(phase_seed))
+        self._drift = SinusoidalDrift(float(amplitude), float(period))
+        self._phase_seed = int(phase_seed)
         self._sigma = float(sigma)
-        # Call-time import: a top-level one would cycle via repro.sim.
-        from repro.sim.rng import seeded_generator
-
-        phase_rng = seeded_generator(phase_seed)
-        self._phases = phase_rng.uniform(0.0, 2.0 * math.pi, size=self.num_sellers)
+        self._phases = self._drift.seeded_phases(phase_seed,
+                                                 self.num_sellers)
         self._round = 0
+
+    @classmethod
+    def from_drift(cls, means: np.ndarray, drift: SinusoidalDrift,
+                   phase_seed: int = 7,
+                   sigma: float = 0.1) -> "DriftingQuality":
+        """Build from a shared :class:`~repro.quality.drift.SinusoidalDrift`.
+
+        The preferred spelling for callers that already hold a drift
+        envelope (the ``ext-drift`` experiment, runtime churn configs):
+        one object carries the waveform to every site that uses it.
+        """
+        return cls(means, amplitude=drift.amplitude, period=drift.period,
+                   phase_seed=phase_seed, sigma=sigma)
 
     @property
     def amplitude(self) -> float:
         """Drift amplitude applied to every seller's mean."""
-        return self._spec.amplitude
+        return self._drift.amplitude
 
     @property
     def period(self) -> float:
         """Drift period measured in rounds."""
-        return self._spec.period
+        return self._drift.period
 
     def set_round(self, t: int) -> None:
         """Advance the model to round ``t`` (0-based)."""
@@ -336,9 +342,7 @@ class DriftingQuality(QualityModel):
 
     def means_at(self, t: int) -> np.ndarray:
         """Instantaneous means at round ``t`` (clipped to ``[0, 1]``)."""
-        angle = 2.0 * math.pi * t / self._spec.period + self._phases
-        drifted = self._means + self._spec.amplitude * np.sin(angle)
-        return np.clip(drifted, 0.0, 1.0)
+        return self._drift.drifted_means(self._means, t, self._phases)
 
     def _draw(self, rng: np.random.Generator, seller_indices: np.ndarray,
               num_pois: int) -> np.ndarray:

@@ -1,0 +1,99 @@
+"""Seeded sinusoidal drift — the shared non-stationarity primitive.
+
+Two parts of the codebase perturb a base quantity with a seeded
+sinusoid: :class:`~repro.quality.distributions.DriftingQuality` drifts
+seller quality means over rounds (the Definition-3 remark taken to
+non-stationary means, used by the ``ext-drift`` experiment in
+:mod:`repro.extensions.nonstationary`), and the event runtime's
+:mod:`repro.runtime.arrivals` modulates seller arrival intensity over
+the trading day.  Both speak this one helper so the waveform, the
+phase-seeding discipline, and the clipping behaviour cannot diverge.
+
+The waveform is::
+
+    offset(t) = amplitude * sin(2*pi*t/period + phase)
+
+with phases drawn once from a dedicated seed — never from a run's
+population/observation/policy streams, so enabling drift perturbs
+nothing else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SinusoidalDrift"]
+
+
+@dataclass(frozen=True)
+class SinusoidalDrift:
+    """One sinusoidal drift envelope: amplitude, period (in rounds).
+
+    Attributes
+    ----------
+    amplitude:
+        Peak offset applied to the base quantity (``>= 0``).
+    period:
+        Full oscillation length measured in rounds (``> 0``).
+    """
+
+    amplitude: float
+    period: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.amplitude) and self.amplitude >= 0.0):
+            raise ConfigurationError(
+                f"drift amplitude must be finite and >= 0, "
+                f"got {self.amplitude}"
+            )
+        if not (math.isfinite(self.period) and self.period > 0.0):
+            raise ConfigurationError(
+                f"drift period must be finite and positive, "
+                f"got {self.period}"
+            )
+
+    def seeded_phases(self, phase_seed: int, count: int) -> np.ndarray:
+        """``count`` per-entity phases in ``[0, 2*pi)`` from a dedicated seed.
+
+        The phases are the only randomness drift consumes; drawing them
+        from their own seed keeps every other stream of a run intact.
+        """
+        if count <= 0:
+            raise ConfigurationError(
+                f"phase count must be positive, got {count}"
+            )
+        # Call-time import: a top-level one would cycle via repro.sim.
+        from repro.sim.rng import seeded_generator
+
+        phase_rng = seeded_generator(phase_seed)
+        result: np.ndarray = phase_rng.uniform(0.0, 2.0 * math.pi,
+                                               size=count)
+        return result
+
+    def offsets_at(self, t: float, phases: np.ndarray) -> np.ndarray:
+        """The per-entity offsets at round ``t`` (no clipping)."""
+        angle = 2.0 * math.pi * t / self.period + phases
+        return self.amplitude * np.sin(angle)
+
+    def drifted_means(self, means: np.ndarray, t: float,
+                      phases: np.ndarray) -> np.ndarray:
+        """``clip(means + offset(t), 0, 1)`` — drifting quality means."""
+        drifted = means + self.offsets_at(t, phases)
+        return np.clip(drifted, 0.0, 1.0)
+
+    def modulated_rate(self, base_rate: float, t: float,
+                       phase: float = 0.0) -> float:
+        """A probability ``base_rate`` modulated at round ``t``.
+
+        The sinusoidal offset is added and the result clipped back into
+        ``[0, 1]`` so it stays a valid per-round probability — the
+        arrival-intensity curve of the event runtime's churn process.
+        """
+        angle = 2.0 * math.pi * t / self.period + phase
+        rate = base_rate + self.amplitude * math.sin(angle)
+        return min(max(rate, 0.0), 1.0)

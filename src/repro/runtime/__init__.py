@@ -1,0 +1,68 @@
+"""The event-driven market runtime (``repro serve``).
+
+This package re-hosts the trading simulation on a deterministic
+discrete-event kernel:
+
+* :mod:`repro.runtime.kernel` — logical clock, priority event queue,
+  agents exchanging timestamped messages through mailboxes;
+* :mod:`repro.runtime.arrivals` — seeded seller churn (arrivals and
+  departures, with sinusoidal intensity drift shared with the
+  non-stationary extension);
+* :mod:`repro.runtime.market` — :class:`MarketRuntime`, the existing
+  round loop fired as scheduled kernel events over whatever seller
+  population is online, settling trades into a hash-digested ledger;
+* :mod:`repro.runtime.service` — :class:`MarketService`, the
+  register/quote/trade/close front-end the ``repro serve`` CLI exposes;
+* :mod:`repro.runtime.loadgen` — the seeded load generator driving
+  recorded seller-session scripts through a service.
+
+Determinism contract: a static-population runtime run is bit-identical
+to :class:`~repro.sim.engine.TradingSimulator` at the same seed (the
+round bodies are literally shared via :mod:`repro.sim.rounds`), and the
+same seed plus the same event script always yields a bit-identical
+trade ledger — both enforced by ``repro verify --only runtime``.
+"""
+
+from repro.runtime.arrivals import ChurnProcess, ChurnSpec, RoundChurn
+from repro.runtime.kernel import (
+    DELIVER,
+    SETTLE,
+    TICK,
+    Agent,
+    Clock,
+    EventKernel,
+    Message,
+)
+from repro.runtime.loadgen import (
+    LoadReport,
+    LoadSpec,
+    generate_script,
+    load_script,
+    replay_script,
+    save_script,
+)
+from repro.runtime.market import MarketRuntime, TradeLedger, TradeRecord
+from repro.runtime.service import MarketService
+
+__all__ = [
+    "TICK",
+    "DELIVER",
+    "SETTLE",
+    "Clock",
+    "Message",
+    "Agent",
+    "EventKernel",
+    "ChurnSpec",
+    "RoundChurn",
+    "ChurnProcess",
+    "MarketRuntime",
+    "TradeRecord",
+    "TradeLedger",
+    "MarketService",
+    "LoadSpec",
+    "LoadReport",
+    "generate_script",
+    "save_script",
+    "load_script",
+    "replay_script",
+]

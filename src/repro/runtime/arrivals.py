@@ -1,0 +1,194 @@
+"""Seeded seller churn: arrivals and departures as a replayable process.
+
+The event runtime's population is not fixed — sellers arrive and leave
+while the market trades.  A :class:`ChurnProcess` draws that churn the
+same way :class:`~repro.faults.FaultModel` draws fault schedules: every
+round's arrivals/departures come from a dedicated
+:class:`~repro.sim.rng.RngFactory` stream keyed by the round index
+(``("churn", t)``), so
+
+* the same seed always yields the same churn history,
+* churn draws never perturb the population / observation / policy
+  streams (a zero-rate churn process is bit-identical to none at all),
+* a resumed run replays the identical history without sequential RNG
+  state to restore.
+
+Arrival intensity can drift sinusoidally over the day/run via the
+shared :class:`~repro.quality.SinusoidalDrift` helper — the same
+primitive the non-stationary quality extension uses — modelling rush
+hours where sellers flock to the platform and lulls where they leave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.quality.drift import SinusoidalDrift
+from repro.sim.rng import RngFactory
+
+__all__ = ["ChurnSpec", "RoundChurn", "ChurnProcess"]
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Per-round churn probabilities for a slotted population.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Probability an *offline* slot comes online this round.  When
+        ``drift`` is set, this is the base rate modulated by
+        :meth:`~repro.quality.SinusoidalDrift.modulated_rate`.
+    departure_rate:
+        Probability an *online* seller leaves this round.
+    min_online:
+        Floor on the online population after the round's churn: excess
+        departures (in ascending slot order) are deferred, so the
+        market can always select at least one seller.
+    drift:
+        Optional sinusoidal modulation of the arrival intensity.
+    """
+
+    arrival_rate: float = 0.0
+    departure_rate: float = 0.0
+    min_online: int = 1
+    drift: SinusoidalDrift | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("arrival_rate", "departure_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if self.min_online < 1:
+            raise ConfigurationError(
+                f"min_online must be >= 1, got {self.min_online}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any churn has positive probability."""
+        return self.arrival_rate > 0.0 or self.departure_rate > 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (checkpoint fingerprints)."""
+        payload: dict[str, object] = {
+            "arrival_rate": self.arrival_rate,
+            "departure_rate": self.departure_rate,
+            "min_online": self.min_online,
+        }
+        if self.drift is not None:
+            payload["drift"] = {"amplitude": self.drift.amplitude,
+                                "period": self.drift.period}
+        return payload
+
+
+@dataclass(frozen=True)
+class RoundChurn:
+    """The churn of one round, as slot indices.
+
+    ``arrivals`` come online *before* the round's selection;
+    ``departures`` leave *mid-round* (between selection and settlement),
+    which is what turns them into dropout faults for the settlement.
+    """
+
+    round_index: int
+    arrivals: np.ndarray
+    departures: np.ndarray
+
+    @property
+    def is_quiet(self) -> bool:
+        """Whether nothing arrived or departed this round."""
+        return self.arrivals.size == 0 and self.departures.size == 0
+
+
+class ChurnProcess:
+    """Draws reproducible per-round churn for a slotted population.
+
+    Parameters
+    ----------
+    spec:
+        The churn probabilities.
+    factory:
+        The run's RNG factory; churn draws use the dedicated
+        ``("churn", round)`` streams.
+    num_sellers:
+        Number of population slots ``M``; one uniform is drawn per slot
+        per round regardless of its state, so the schedule of any slot
+        is independent of what the others did (common random churn).
+    """
+
+    def __init__(self, spec: ChurnSpec, factory: RngFactory,
+                 num_sellers: int) -> None:
+        if num_sellers <= 0:
+            raise ConfigurationError(
+                f"num_sellers must be positive, got {num_sellers}"
+            )
+        if spec.min_online > num_sellers:
+            raise ConfigurationError(
+                f"min_online={spec.min_online} exceeds the population "
+                f"size {num_sellers}"
+            )
+        self._spec = spec
+        self._factory = factory
+        self._num_sellers = int(num_sellers)
+
+    @property
+    def spec(self) -> ChurnSpec:
+        """The churn probabilities this process draws from."""
+        return self._spec
+
+    @property
+    def num_sellers(self) -> int:
+        """Number of population slots the per-round draws cover."""
+        return self._num_sellers
+
+    def arrival_rate_at(self, round_index: int) -> float:
+        """The (possibly drift-modulated) arrival rate of one round."""
+        base = self._spec.arrival_rate
+        if self._spec.drift is None:
+            return base
+        return self._spec.drift.modulated_rate(base, round_index)
+
+    def plan_round(self, round_index: int,
+                   online_mask: np.ndarray) -> RoundChurn:
+        """Draw one round's arrivals and departures.
+
+        Parameters
+        ----------
+        round_index:
+            0-based round number (keys the RNG stream).
+        online_mask:
+            Boolean mask over the ``M`` slots; ``True`` where a seller
+            is currently online.
+
+        Notes
+        -----
+        The ``min_online`` floor is enforced on departures only, by
+        keeping a deterministic prefix (ascending slot order) of the
+        drawn departures — arrivals are never suppressed.
+        """
+        online = np.asarray(online_mask, dtype=bool)
+        if online.shape != (self._num_sellers,):
+            raise ConfigurationError(
+                f"online_mask must have shape ({self._num_sellers},), "
+                f"got {online.shape}"
+            )
+        rng = self._factory.generator("churn", int(round_index))
+        uniforms = rng.random(self._num_sellers)
+        arrivals = np.flatnonzero(
+            ~online & (uniforms < self.arrival_rate_at(round_index))
+        )
+        departures = np.flatnonzero(
+            online & (uniforms < self._spec.departure_rate)
+        )
+        online_after = int(online.sum()) + arrivals.size
+        allowed = max(0, online_after - self._spec.min_online)
+        if departures.size > allowed:
+            departures = departures[:allowed]
+        return RoundChurn(round_index=int(round_index),
+                          arrivals=arrivals, departures=departures)

@@ -1,0 +1,328 @@
+"""Deterministic discrete-event kernel: clock, queue, agents, mailboxes.
+
+The kernel is intentionally tiny and *inert*: it owns a logical
+:class:`Clock` (never the wall clock), a priority event queue, and a
+registry of :class:`Agent` objects that exchange timestamped
+:class:`Message` records through per-agent inboxes.  It draws no
+randomness and reads no time source, so every source of nondeterminism
+in a runtime run lives in the callbacks scheduled *onto* it — which the
+market layer feeds exclusively from seeded
+:class:`~repro.sim.rng.RngFactory` streams.
+
+Event ordering is total and replayable: the queue is keyed by
+``(time, phase, seq)`` where ``phase`` separates the sub-steps of one
+logical instant (:data:`TICK` callbacks fire before :data:`DELIVER`
+message deliveries, which fire before :data:`SETTLE` callbacks) and
+``seq`` is a monotonically increasing scheduling counter breaking the
+remaining ties in insertion order.  Two kernels fed the same schedule
+therefore pop events in the same order, bit for bit.
+
+Agent lifecycle and message traffic surface as trace events
+(``agent_spawn`` / ``agent_depart`` / ``message_delivered``) through
+whatever :class:`~repro.obs.Tracer` the kernel was built with; tracing
+never perturbs execution order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["TICK", "DELIVER", "SETTLE", "Clock", "Message", "Agent",
+           "EventKernel"]
+
+#: Phase of round-opening callbacks (selection, collect requests).
+TICK = 0
+#: Phase of message deliveries — after the tick that sent them.
+DELIVER = 1
+#: Phase of round-closing callbacks (settlement) — after all same-time
+#: deliveries, so every report of the round has reached its mailbox.
+SETTLE = 2
+
+_PHASES = (TICK, DELIVER, SETTLE)
+
+
+class Clock:
+    """The kernel's logical clock.
+
+    Only the kernel advances it (monotonically, to each popped event's
+    timestamp); everything else reads :attr:`now`.  There is no tie to
+    wall-clock time whatsoever.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The current logical time."""
+        return self._now
+
+    def _advance(self, time: float) -> None:
+        if time < self._now:
+            raise ConfigurationError(
+                f"clock cannot run backwards: at {self._now}, asked to "
+                f"advance to {time}"
+            )
+        self._now = time
+
+
+class Message:
+    """One timestamped message between two agents.
+
+    Attributes
+    ----------
+    topic:
+        What the message is about (``"collect"``, ``"report"``, ...).
+    sender, receiver:
+        Agent ids.
+    time:
+        Logical delivery time.
+    payload:
+        Topic-specific data (plain scalars; message traffic must never
+        carry live simulation arrays, so checkpointing a runtime never
+        has to persist in-flight state).
+    """
+
+    __slots__ = ("topic", "sender", "receiver", "time", "payload")
+
+    def __init__(self, topic: str, sender: str, receiver: str,
+                 time: float, payload: dict[str, object]) -> None:
+        self.topic = topic
+        self.sender = sender
+        self.receiver = receiver
+        self.time = time
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (f"Message({self.topic!r}, {self.sender!r} -> "
+                f"{self.receiver!r}, t={self.time})")
+
+
+class Agent:
+    """A participant on the kernel: an id, a kind, and a mailbox.
+
+    Subclasses override :meth:`on_message` to react to deliveries;
+    the default leaves messages in :attr:`inbox` for later inspection.
+    """
+
+    #: Display kind carried by lifecycle trace events.
+    kind: str = "agent"
+
+    def __init__(self, agent_id: str) -> None:
+        self.agent_id = agent_id
+        self.inbox: list[Message] = []
+        self._kernel: EventKernel | None = None
+
+    @property
+    def kernel(self) -> "EventKernel":
+        """The kernel this agent is registered on."""
+        if self._kernel is None:
+            raise ConfigurationError(
+                f"agent {self.agent_id!r} is not registered on a kernel"
+            )
+        return self._kernel
+
+    def send(self, receiver: str, topic: str, *, delay: float = 0.0,
+             **payload: object) -> None:
+        """Send a message to another agent (delivered via the kernel)."""
+        self.kernel.send(self.agent_id, receiver, topic, payload,
+                         delay=delay)
+
+    def on_message(self, message: Message) -> None:
+        """React to one delivered message (already in :attr:`inbox`)."""
+
+
+class EventKernel:
+    """The deterministic event loop agents and schedules run on.
+
+    Parameters
+    ----------
+    tracer:
+        Structured-event tracer for lifecycle/traffic events; ``None``
+        uses the zero-overhead :data:`~repro.obs.NULL_TRACER`.
+    """
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self._clock = Clock()
+        self._queue: list[
+            tuple[float, int, int, Callable[[], None]]
+        ] = []
+        self._seq = 0
+        self._agents: dict[str, Agent] = {}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._messages_delivered = 0
+        self._messages_dropped = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        """The kernel's logical clock."""
+        return self._clock
+
+    @property
+    def num_pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)
+
+    @property
+    def messages_delivered(self) -> int:
+        """Messages delivered to a mailbox so far."""
+        return self._messages_delivered
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages whose receiver had departed before delivery."""
+        return self._messages_dropped
+
+    def restore_message_counters(self, delivered: int,
+                                 dropped: int) -> None:
+        """Seed the traffic counters from a checkpoint (resume path)."""
+        if delivered < 0 or dropped < 0:
+            raise ConfigurationError(
+                "message counters must be >= 0, got "
+                f"delivered={delivered}, dropped={dropped}"
+            )
+        self._messages_delivered = int(delivered)
+        self._messages_dropped = int(dropped)
+
+    @property
+    def agent_ids(self) -> tuple[str, ...]:
+        """Ids of the currently registered agents, registration order."""
+        return tuple(self._agents)
+
+    def agent(self, agent_id: str) -> Agent:
+        """Look one registered agent up by id."""
+        try:
+            return self._agents[agent_id]
+        except KeyError as error:
+            raise ConfigurationError(
+                f"no agent {agent_id!r} is registered"
+            ) from error
+
+    def has_agent(self, agent_id: str) -> bool:
+        """Whether an agent with this id is currently registered."""
+        return agent_id in self._agents
+
+    # -- agent lifecycle -----------------------------------------------------------
+
+    def register(self, agent: Agent, *, slot: int | None = None) -> Agent:
+        """Attach an agent; emits an ``agent_spawn`` trace event."""
+        if agent.agent_id in self._agents:
+            raise ConfigurationError(
+                f"agent id {agent.agent_id!r} is already registered"
+            )
+        agent._kernel = self
+        self._agents[agent.agent_id] = agent
+        if self._tracer.enabled:
+            payload: dict[str, object] = {
+                "agent": agent.agent_id, "agent_kind": agent.kind,
+                "time": self._clock.now,
+            }
+            if slot is not None:
+                payload["slot"] = int(slot)
+            self._tracer.emit("agent_spawn", **payload)
+        return agent
+
+    def deregister(self, agent_id: str, *, slot: int | None = None) -> Agent:
+        """Detach an agent; emits an ``agent_depart`` trace event.
+
+        In-flight messages addressed to the departed agent are dropped
+        at delivery time (counted in :attr:`messages_dropped`), which is
+        exactly the organic-churn semantics: a seller that left
+        mid-round simply never acknowledges the collect request.
+        """
+        agent = self.agent(agent_id)
+        del self._agents[agent_id]
+        agent._kernel = None
+        if self._tracer.enabled:
+            payload: dict[str, object] = {
+                "agent": agent.agent_id, "agent_kind": agent.kind,
+                "time": self._clock.now,
+            }
+            if slot is not None:
+                payload["slot"] = int(slot)
+            self._tracer.emit("agent_depart", **payload)
+        return agent
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def schedule(self, time: float, callback: Callable[[], None], *,
+                 phase: int = TICK) -> None:
+        """Queue ``callback`` to run at logical ``time`` in ``phase``."""
+        if phase not in _PHASES:
+            raise ConfigurationError(
+                f"phase must be one of {_PHASES}, got {phase}"
+            )
+        time = float(time)
+        if time < self._clock.now:
+            raise ConfigurationError(
+                f"cannot schedule into the past: now={self._clock.now}, "
+                f"requested {time}"
+            )
+        heapq.heappush(self._queue, (time, phase, self._seq, callback))
+        self._seq += 1
+
+    def send(self, sender: str, receiver: str, topic: str,
+             payload: dict[str, object] | None = None, *,
+             delay: float = 0.0) -> None:
+        """Queue a message for delivery ``delay`` after the current time."""
+        if delay < 0.0:
+            raise ConfigurationError(
+                f"message delay must be >= 0, got {delay}"
+            )
+        deliver_at = self._clock.now + float(delay)
+        message = Message(topic, sender, receiver, deliver_at,
+                          dict(payload) if payload else {})
+        self.schedule(deliver_at, lambda: self._deliver(message),
+                      phase=DELIVER)
+
+    def _deliver(self, message: Message) -> None:
+        agent = self._agents.get(message.receiver)
+        if agent is None:
+            # Receiver departed between send and delivery — organic
+            # churn drops the message on the floor, deterministically.
+            self._messages_dropped += 1
+            return
+        agent.inbox.append(message)
+        self._messages_delivered += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "message_delivered", topic=message.topic,
+                sender=message.sender, receiver=message.receiver,
+                time=message.time,
+            )
+        agent.on_message(message)
+
+    # -- execution -----------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next queued event; ``False`` when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _phase, _seq, callback = heapq.heappop(self._queue)
+        self._clock._advance(time)
+        callback()
+        return True
+
+    def run(self, until: float | None = None) -> int:
+        """Run queued events in order; returns how many were executed.
+
+        Parameters
+        ----------
+        until:
+            Inclusive logical-time horizon; ``None`` drains the queue.
+            Events scheduled *by* executed events are honoured as long
+            as they fall within the horizon.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+            executed += 1
+        return executed

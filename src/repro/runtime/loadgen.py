@@ -1,0 +1,275 @@
+"""Seeded load generation for the market service.
+
+The load generator produces, persists, and replays **session scripts**:
+flat lists of register / quote / trade / close operations that drive a
+:class:`~repro.runtime.service.MarketService` through thousands of
+seller-sessions.  Scripts are the runtime's record/replay format —
+
+* :func:`generate_script` draws one reproducibly from a
+  :class:`LoadSpec` (same spec → byte-identical script),
+* :func:`save_script` / :func:`load_script` round-trip it through
+  strict JSON (the CI ``runtime-smoke`` job replays a committed one),
+* :func:`replay_script` feeds it to a service and reports throughput
+  (sessions/sec for the benchstore) plus the resulting ledger digest —
+  the handle the determinism contract is asserted on: same config +
+  same script → same digest.
+
+Session references are implicit: ``quote`` and ``close`` always target
+the *oldest* open session (FIFO), so a script needs no session ids and
+replays identically against any compatible service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError, PersistenceError
+from repro.obs.timing import perf_counter
+from repro.runtime.service import MarketService
+from repro.sim.persistence import atomic_write_json
+from repro.sim.rng import RngFactory
+
+__all__ = ["LoadSpec", "LoadReport", "generate_script", "save_script",
+           "load_script", "replay_script"]
+
+#: Operation kinds a script may contain.
+_OPS = ("register", "trade", "quote", "close")
+
+_SCRIPT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Parameters of one generated load script.
+
+    Attributes
+    ----------
+    seed:
+        Seeds the op-sequence draw (stream ``("loadgen",)``).
+    num_sessions:
+        Total seller-sessions the script opens (every one is closed
+        again before the script ends).
+    max_open:
+        Cap on concurrently open sessions; must not exceed the target
+        service's slot count or registrations are skipped at replay.
+    rounds_budget:
+        Total trading rounds the script spends across all trade ops.
+    max_rounds_per_trade:
+        Upper bound on the rounds of a single trade op.
+    register_weight / trade_weight / quote_weight / close_weight:
+        Relative odds of each op when it is applicable.
+    """
+
+    seed: int = 0
+    num_sessions: int = 100
+    max_open: int = 8
+    rounds_budget: int = 200
+    max_rounds_per_trade: int = 4
+    register_weight: float = 0.45
+    trade_weight: float = 0.2
+    quote_weight: float = 0.15
+    close_weight: float = 0.2
+
+    def __post_init__(self) -> None:
+        for name in ("num_sessions", "max_open", "rounds_budget",
+                     "max_rounds_per_trade"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        weights = (self.register_weight, self.trade_weight,
+                   self.quote_weight, self.close_weight)
+        if any(weight < 0.0 for weight in weights):
+            raise ConfigurationError("op weights must be >= 0")
+        if self.register_weight <= 0.0 or self.close_weight <= 0.0:
+            raise ConfigurationError(
+                "register_weight and close_weight must be positive, or "
+                "the script cannot open and drain its sessions"
+            )
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one script replay did, and how fast.
+
+    ``ledger_digest`` is the service's post-replay
+    :meth:`~repro.runtime.market.TradeLedger.digest` — the determinism
+    handle: same config + same script → same digest.
+    """
+
+    sessions_opened: int
+    sessions_closed: int
+    rounds_traded: int
+    quotes: int
+    ops_skipped: int
+    wall_s: float
+    sessions_per_s: float
+    ledger_digest: str
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (bench extras, CI artifacts)."""
+        return {
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "rounds_traded": self.rounds_traded,
+            "quotes": self.quotes,
+            "ops_skipped": self.ops_skipped,
+            "wall_s": self.wall_s,
+            "sessions_per_s": self.sessions_per_s,
+            "ledger_digest": self.ledger_digest,
+        }
+
+
+def generate_script(spec: LoadSpec) -> list[dict[str, object]]:
+    """Draw one session script from ``spec``, reproducibly.
+
+    The walk keeps at least one session open before any trade/quote op,
+    respects ``max_open`` and the rounds budget, and closes every
+    session before finishing, so a replay always ends on an idle
+    service.
+    """
+    rng = RngFactory(spec.seed).generator("loadgen")
+    ops: list[dict[str, object]] = []
+    open_count = 0
+    opened = 0
+    rounds_used = 0
+    while opened < spec.num_sessions or open_count > 0:
+        can_register = (opened < spec.num_sessions
+                        and open_count < spec.max_open)
+        if open_count == 0:
+            # Only registration is applicable on an empty floor.
+            ops.append({"op": "register"})
+            opened += 1
+            open_count += 1
+            continue
+        choices: list[tuple[str, float]] = []
+        if can_register:
+            choices.append(("register", spec.register_weight))
+        if rounds_used < spec.rounds_budget:
+            choices.append(("trade", spec.trade_weight))
+        choices.append(("quote", spec.quote_weight))
+        choices.append(("close", spec.close_weight))
+        total = sum(weight for _name, weight in choices)
+        draw = rng.random() * total
+        picked = choices[-1][0]
+        for name, weight in choices:
+            if draw < weight:
+                picked = name
+                break
+            draw -= weight
+        if picked == "register":
+            ops.append({"op": "register"})
+            opened += 1
+            open_count += 1
+        elif picked == "trade":
+            rounds = int(rng.integers(1, spec.max_rounds_per_trade + 1))
+            rounds = min(rounds, spec.rounds_budget - rounds_used)
+            ops.append({"op": "trade", "rounds": rounds})
+            rounds_used += rounds
+        elif picked == "quote":
+            ops.append({"op": "quote"})
+        else:
+            ops.append({"op": "close"})
+            open_count -= 1
+    return ops
+
+
+def save_script(path: str | os.PathLike,
+                ops: list[dict[str, object]]) -> None:
+    """Atomically persist a script as strict JSON."""
+    for op in ops:
+        if op.get("op") not in _OPS:
+            raise ConfigurationError(
+                f"unknown script op {op.get('op')!r}; "
+                f"expected one of {_OPS}"
+            )
+    atomic_write_json(path, {"version": _SCRIPT_VERSION, "ops": ops})
+
+
+def load_script(path: str | os.PathLike) -> list[dict[str, object]]:
+    """Load a script saved by :func:`save_script`."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise PersistenceError(
+            f"cannot read session script {os.fspath(path)!s}: {error}"
+        ) from error
+    if not isinstance(payload, dict) or payload.get("version") != _SCRIPT_VERSION:
+        raise PersistenceError(
+            f"session script {os.fspath(path)!s} has an unsupported "
+            f"layout (expected version {_SCRIPT_VERSION})"
+        )
+    ops = payload.get("ops")
+    if not isinstance(ops, list):
+        raise PersistenceError(
+            f"session script {os.fspath(path)!s} has no op list"
+        )
+    for op in ops:
+        if not isinstance(op, dict) or op.get("op") not in _OPS:
+            raise PersistenceError(
+                f"session script {os.fspath(path)!s} contains an "
+                f"unknown op: {op!r}"
+            )
+    return ops
+
+
+def replay_script(service: MarketService,
+                  ops: list[dict[str, object]]) -> LoadReport:
+    """Drive ``ops`` through ``service`` and report what happened.
+
+    Op resolution is deterministic given the service's state: ``quote``
+    and ``close`` target the oldest open session; a ``register`` with
+    every slot occupied, a ``trade``/``quote``/``close`` with nothing
+    open, and a ``trade`` after the round budget is exhausted are
+    *skipped* (counted in ``ops_skipped``) rather than failing, so one
+    script replays cleanly against differently-sized services.
+    """
+    start = perf_counter()
+    open_sessions: deque[int] = deque()
+    opened = closed = rounds = quotes = skipped = 0
+    runtime = service.runtime
+    num_slots = runtime.config.num_sellers
+    for op in ops:
+        kind = op["op"]
+        if kind == "register":
+            if runtime.num_online >= num_slots:
+                skipped += 1
+                continue
+            info = service.register()
+            open_sessions.append(info["session"])
+            opened += 1
+        elif kind == "trade":
+            if runtime.num_online == 0 or runtime.next_round >= runtime.num_rounds:
+                skipped += 1
+                continue
+            result = service.trade(int(op.get("rounds", 1)))
+            rounds += int(result["rounds_played"])
+        elif kind == "quote":
+            if not open_sessions:
+                skipped += 1
+                continue
+            service.quote(open_sessions[0])
+            quotes += 1
+        elif kind == "close":
+            if not open_sessions:
+                skipped += 1
+                continue
+            service.close(open_sessions.popleft())
+            closed += 1
+        else:
+            raise ConfigurationError(f"unknown script op {kind!r}")
+    wall_s = perf_counter() - start
+    return LoadReport(
+        sessions_opened=opened,
+        sessions_closed=closed,
+        rounds_traded=rounds,
+        quotes=quotes,
+        ops_skipped=skipped,
+        wall_s=wall_s,
+        sessions_per_s=(opened / wall_s if wall_s > 0.0 else 0.0),
+        ledger_digest=runtime.ledger.digest(),
+    )

@@ -59,9 +59,8 @@ if TYPE_CHECKING:  # runtime import would cycle: repro.verify runs this engine
     from repro.verify.invariants import InvariantMonitor
 
 from repro.bandits.base import SelectionPolicy
-from repro.core.incentive import solve_round_fast
 from repro.core.regret import RegretTracker
-from repro.core.state import LearningState, observation_mask
+from repro.core.state import LearningState
 from repro.entities.seller import SellerPopulation
 from repro.exceptions import (
     ConfigurationError,
@@ -69,7 +68,7 @@ from repro.exceptions import (
     PersistenceError,
     ReproError,
 )
-from repro.faults import FaultKind, FaultLog, FaultModel, FaultSpec
+from repro.faults import FaultLog, FaultModel, FaultSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.quality.distributions import (
@@ -91,26 +90,31 @@ from repro.sim.persistence import (
 )
 from repro.sim.results import PolicyComparison, RunMetrics
 from repro.sim.rng import RngFactory
+from repro.sim.rounds import (
+    PRIOR_MEAN,
+    QUALITY_FLOOR,
+    SERIES_NAMES,
+    RoundContext,
+    play_clean_round,
+    play_faulty_round,
+)
 
 __all__ = ["TradingSimulator", "run_seed_comparison"]
 
 #: Builds fresh (stateful) per-seed policies from expected qualities.
 PolicyFactory = Callable[[np.ndarray], "list[SelectionPolicy]"]
 
-#: Neutral estimate used for sellers that have never been observed when a
-#: policy (for example ``random``) drags them into the game unseen.
-_PRIOR_MEAN = 0.5
+#: Neutral unobserved-seller estimate — canonical home is
+#: :mod:`repro.sim.rounds`; kept here as the historical spelling.
+_PRIOR_MEAN = PRIOR_MEAN
 
-#: Floor applied to estimated qualities entering the game (the closed
-#: forms divide by ``qbar_i``).
-_QUALITY_FLOOR = 1e-6
+#: Floor applied to estimated qualities entering the game (see
+#: :data:`repro.sim.rounds.QUALITY_FLOOR`).
+_QUALITY_FLOOR = QUALITY_FLOOR
 
 #: Metric series checkpointed/restored round-by-round (regret lives in
 #: the tracker snapshot instead).
-_SERIES_NAMES = (
-    "realized", "expected", "consumer", "platform", "sellers_mean",
-    "service", "collection", "totals", "estimation_error",
-)
+_SERIES_NAMES = SERIES_NAMES
 
 #: Per-seller gauge name lists keyed by population size — building
 #: 2M f-strings dominates the end-of-run metrics dump otherwise, and
@@ -432,11 +436,17 @@ class TradingSimulator:
                         next_round=start_round,
                         duration_s=perf_counter() - restore_start)
 
-        theta, lam, omega = cfg.theta, cfg.lam, cfg.omega
-        svc_bounds = cfg.service_price_bounds
-        col_bounds = cfg.collection_price_bounds
-        tau_max = cfg.max_sensing_time
-        tau0 = cfg.initial_sensing_time
+        ctx = RoundContext(
+            state=state, tracker=tracker, policy=policy, sampler=sampler,
+            series=series, selection_counts=selection_counts,
+            qualities_truth=qualities_truth, cost_a_all=cost_a_all,
+            cost_b_all=cost_b_all, num_pois=num_pois,
+            theta=cfg.theta, lam=cfg.lam, omega=cfg.omega,
+            svc_bounds=cfg.service_price_bounds,
+            col_bounds=cfg.collection_price_bounds,
+            tau_max=cfg.max_sensing_time, tau0=cfg.initial_sensing_time,
+            tracer=tr, metrics=reg, monitor=monitor,
+        )
 
         if tr.enabled:
             tr.emit("run_start", policy=policy.name, num_rounds=n,
@@ -477,21 +487,10 @@ class TradingSimulator:
                     ucb_values=getattr(policy, "last_ucb_values", None),
                 )
             if fault_model is None:
-                self._play_clean_round(
-                    t, selected, explore_round, state, tracker, policy,
-                    sampler, series, selection_counts, qualities_truth,
-                    cost_a_all, cost_b_all, num_pois, theta, lam, omega,
-                    svc_bounds, col_bounds, tau_max, tau0, tr, reg,
-                    monitor=monitor,
-                )
+                self._play_clean_round(ctx, t, selected, explore_round)
             else:
-                self._play_faulty_round(
-                    t, selected, explore_round, state, tracker, policy,
-                    sampler, series, selection_counts, qualities_truth,
-                    cost_a_all, cost_b_all, num_pois, theta, lam, omega,
-                    svc_bounds, col_bounds, tau_max, tau0, fault_model, log,
-                    tr, reg, monitor=monitor,
-                )
+                self._play_faulty_round(ctx, t, selected, explore_round,
+                                        fault_model, log)
             if monitor is not None:
                 monitor.check_learning(
                     t, state, selection_counts,
@@ -607,266 +606,23 @@ class TradingSimulator:
 
     # -- round bodies --------------------------------------------------------------
 
-    def _play_clean_round(self, t: int, selected: np.ndarray,
-                          explore_round: bool, state: LearningState,
-                          tracker: RegretTracker, policy: SelectionPolicy,
-                          sampler: QualitySampler,
-                          series: dict[str, np.ndarray],
-                          selection_counts: np.ndarray,
-                          qualities_truth: np.ndarray,
-                          cost_a_all: np.ndarray, cost_b_all: np.ndarray,
-                          num_pois: int, theta: float, lam: float,
-                          omega: float, svc_bounds: tuple[float, float],
-                          col_bounds: tuple[float, float], tau_max: float,
-                          tau0: float, tr: Tracer, reg: MetricsRegistry,
-                          monitor: "InvariantMonitor | None" = None) -> None:
-        """One happy-path round (the original engine, bit for bit)."""
-        cost_a = cost_a_all[selected]
-        cost_b = cost_b_all[selected]
-        if explore_round:
-            # Algorithm 1 initial exploration: fixed time, break-even
-            # price; profits are evaluated at the *post-collection*
-            # estimates (the qualities are learned before settlement).
-            observations = sampler.sample_round(selected, round_index=t)
-            state.update(selected, observations.sums, num_pois)
-            policy.observe(t, selected, observations.sums, num_pois)
-            solve_start = perf_counter()
-            means = state.means[selected]
-            taus = np.full(selected.size, tau0)
-            total = float(taus.sum())
-            p = col_bounds[1]
-            aggregation = theta * total * total + lam * total
-            p_j = min(max(p + aggregation / total, svc_bounds[0]),
-                      svc_bounds[1])
-        else:
-            solve_start = perf_counter()
-            means = state.means[selected]
-            game_means = np.maximum(means, _QUALITY_FLOOR)
-            p_j, p, taus = solve_round_fast(
-                game_means, cost_a, cost_b, theta, lam, omega,
-                svc_bounds, col_bounds, tau_max,
-            )
-            total = float(taus.sum())
-            aggregation = theta * total * total + lam * total
-        solve_duration = perf_counter() - solve_start
-        reg.timer("engine.solve").observe(solve_duration)
-        reg.gauge("service_price").set(p_j)
-        reg.gauge("collection_price").set(p)
-        if tr.enabled:
-            tr.emit("equilibrium", round_index=t, service_price=float(p_j),
-                    collection_price=float(p), tau_total=total,
-                    explore=bool(explore_round), duration_s=solve_duration)
-        if monitor is not None:
-            # The game the solver actually solved uses the floored
-            # estimates, so the invariants are checked against those.
-            monitor.check_equilibrium(
-                t, means if explore_round else game_means, cost_a, cost_b,
-                theta, lam, omega, svc_bounds, col_bounds, tau_max,
-                float(p_j), float(p), taus, bool(explore_round),
-            )
+    def _play_clean_round(self, ctx: RoundContext, t: int,
+                          selected: np.ndarray,
+                          explore_round: bool) -> None:
+        """One happy-path round (see :func:`repro.sim.rounds.play_clean_round`)."""
+        play_clean_round(ctx, t, selected, explore_round)
 
-        mean_quality = float(means.mean())
-        seller_profits = p * taus - (
-            cost_a * taus * taus + cost_b * taus
-        ) * means
-        series["consumer"][t] = (
-            omega * np.log1p(mean_quality * total) - p_j * total
-        )
-        series["platform"][t] = (p_j - p) * total - aggregation
-        series["sellers_mean"][t] = float(seller_profits.mean())
-        series["service"][t] = p_j
-        series["collection"][t] = p
-        series["totals"][t] = total
-
-        if not explore_round:
-            observations = sampler.sample_round(selected, round_index=t)
-            state.update(selected, observations.sums, num_pois)
-            policy.observe(t, selected, observations.sums, num_pois)
-        tracker.record(selected)
-        series["realized"][t] = observations.total
-        series["expected"][t] = float(
-            qualities_truth[selected].sum()
-        ) * num_pois
-        series["estimation_error"][t] = float(
-            np.abs(state.means - qualities_truth).mean()
-        )
-        selection_counts[selected] += 1
-        if tr.enabled:
-            tr.emit("profits", round_index=t,
-                    consumer=float(series["consumer"][t]),
-                    platform=float(series["platform"][t]),
-                    sellers_mean=float(series["sellers_mean"][t]),
-                    realized=float(series["realized"][t]))
-
-    def _play_faulty_round(self, t: int, selected: np.ndarray,
-                           explore_round: bool, state: LearningState,
-                           tracker: RegretTracker, policy: SelectionPolicy,
-                           sampler: QualitySampler,
-                           series: dict[str, np.ndarray],
-                           selection_counts: np.ndarray,
-                           qualities_truth: np.ndarray,
-                           cost_a_all: np.ndarray, cost_b_all: np.ndarray,
-                           num_pois: int, theta: float, lam: float,
-                           omega: float, svc_bounds: tuple[float, float],
-                           col_bounds: tuple[float, float], tau_max: float,
-                           tau0: float, fault_model: FaultModel,
-                           log: FaultLog | None, tr: Tracer,
-                           reg: MetricsRegistry,
-                           monitor: "InvariantMonitor | None" = None) -> None:
+    def _play_faulty_round(self, ctx: RoundContext, t: int,
+                           selected: np.ndarray, explore_round: bool,
+                           fault_model: FaultModel,
+                           log: FaultLog | None) -> None:
         """One fault-injected round with graceful degradation.
 
         With an all-zero fault plan this produces bit-identical metrics
-        to :meth:`_play_clean_round` (asserted by the test suite): the
-        fault draws come from their own RNG stream, and every masked
-        operation degenerates to the unmasked original.
+        to :meth:`_play_clean_round` (asserted by the test suite); see
+        :func:`repro.sim.rounds.play_faulty_round`.
         """
-        plan = fault_model.plan_round(t, selected, num_pois)
-        fault_model.log_plan(plan, log, tracer=tr)
-        reg.counter("fault_events").inc(
-            plan.dropped.size + plan.corrupted.size + plan.stalled.size
-        )
-        participants = selected[~np.isin(selected, plan.dropped)]
-
-        tracker.record(selected)
-        selection_counts[selected] += 1
-        series["expected"][t] = float(
-            qualities_truth[selected].sum()
-        ) * num_pois
-
-        if participants.size == 0:
-            # Documented fallback: every selected seller dropped out, so
-            # the round settles with no trade at all — zero profits,
-            # prices pinned to their lower bounds, nothing learned.
-            if log is not None:
-                log.record(t, FaultKind.NO_TRADE)
-            reg.counter("no_trade_rounds").inc()
-            if tr.enabled:
-                tr.emit("fault", round_index=t,
-                        fault=FaultKind.NO_TRADE.value)
-            series["realized"][t] = 0.0
-            series["consumer"][t] = 0.0
-            series["platform"][t] = 0.0
-            series["sellers_mean"][t] = 0.0
-            series["service"][t] = svc_bounds[0]
-            series["collection"][t] = col_bounds[0]
-            series["totals"][t] = 0.0
-            series["estimation_error"][t] = float(
-                np.abs(state.means - qualities_truth).mean()
-            )
-            return
-
-        if participants.size < selected.size:
-            if log is not None:
-                log.record(t, FaultKind.DEGRADED,
-                           value=float(participants.size))
-            reg.counter("degraded_resolves").inc()
-            if tr.enabled:
-                tr.emit("fault", round_index=t,
-                        fault=FaultKind.DEGRADED.value,
-                        survivors=int(participants.size))
-
-        cost_a = cost_a_all[participants]
-        cost_b = cost_b_all[participants]
-        delivered = None
-        settle_mask = None
-
-        def collect() -> None:
-            """Sample, inject corruption, quarantine, and learn."""
-            nonlocal delivered, settle_mask
-            observations = sampler.sample_round(participants, round_index=t)
-            delivered = observations.sums.copy()
-            if plan.corrupted.size:
-                position = {int(s): i for i, s in enumerate(participants)}
-                for seller, garbage in zip(plan.corrupted,
-                                           plan.corrupted_sums):
-                    delivered[position[int(seller)]] = garbage
-            valid = observation_mask(delivered, num_pois)
-            invalid_positions = np.flatnonzero(~valid)
-            if invalid_positions.size:
-                reg.counter("quarantined_reports").inc(
-                    int(invalid_positions.size)
-                )
-            for pos in invalid_positions:
-                if log is not None:
-                    log.record(t, FaultKind.QUARANTINE,
-                               int(participants[pos]),
-                               float(delivered[pos]))
-                if tr.enabled:
-                    tr.emit("fault", round_index=t,
-                            fault=FaultKind.QUARANTINE.value,
-                            seller=int(participants[pos]),
-                            value=float(delivered[pos]))
-            # Stalled reports arrive after settlement but still reach
-            # the learner; quarantined ones reach neither.
-            state.update(participants[valid], delivered[valid], num_pois)
-            policy.observe(t, participants[valid], delivered[valid],
-                           num_pois)
-            settle_mask = valid & ~np.isin(participants, plan.stalled)
-
-        if explore_round:
-            collect()
-            solve_start = perf_counter()
-            means = state.means[participants]
-            taus = np.full(participants.size, tau0)
-            total = float(taus.sum())
-            p = col_bounds[1]
-            aggregation = theta * total * total + lam * total
-            p_j = min(max(p + aggregation / total, svc_bounds[0]),
-                      svc_bounds[1])
-        else:
-            # The game is (re-)solved on the survivors only — a degraded
-            # set never raises, it just trades less.
-            solve_start = perf_counter()
-            means = state.means[participants]
-            game_means = np.maximum(means, _QUALITY_FLOOR)
-            p_j, p, taus = solve_round_fast(
-                game_means, cost_a, cost_b, theta, lam, omega,
-                svc_bounds, col_bounds, tau_max,
-            )
-            total = float(taus.sum())
-            aggregation = theta * total * total + lam * total
-        solve_duration = perf_counter() - solve_start
-        reg.timer("engine.solve").observe(solve_duration)
-        reg.gauge("service_price").set(p_j)
-        reg.gauge("collection_price").set(p)
-        if tr.enabled:
-            tr.emit("equilibrium", round_index=t, service_price=float(p_j),
-                    collection_price=float(p), tau_total=total,
-                    explore=bool(explore_round), duration_s=solve_duration)
-        if monitor is not None:
-            # The game the solver actually solved uses the floored
-            # estimates, so the invariants are checked against those.
-            monitor.check_equilibrium(
-                t, means if explore_round else game_means, cost_a, cost_b,
-                theta, lam, omega, svc_bounds, col_bounds, tau_max,
-                float(p_j), float(p), taus, bool(explore_round),
-            )
-
-        mean_quality = float(means.mean())
-        seller_profits = p * taus - (
-            cost_a * taus * taus + cost_b * taus
-        ) * means
-        series["consumer"][t] = (
-            omega * np.log1p(mean_quality * total) - p_j * total
-        )
-        series["platform"][t] = (p_j - p) * total - aggregation
-        series["sellers_mean"][t] = float(seller_profits.mean())
-        series["service"][t] = p_j
-        series["collection"][t] = p
-        series["totals"][t] = total
-
-        if not explore_round:
-            collect()
-        series["realized"][t] = float(delivered[settle_mask].sum())
-        series["estimation_error"][t] = float(
-            np.abs(state.means - qualities_truth).mean()
-        )
-        if tr.enabled:
-            tr.emit("profits", round_index=t,
-                    consumer=float(series["consumer"][t]),
-                    platform=float(series["platform"][t]),
-                    sellers_mean=float(series["sellers_mean"][t]),
-                    realized=float(series["realized"][t]))
+        play_faulty_round(ctx, t, selected, explore_round, fault_model, log)
 
     # -- checkpointing -------------------------------------------------------------
 

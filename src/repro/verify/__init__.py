@@ -21,8 +21,13 @@ implementation continuously honest about them:
 * :mod:`repro.verify.golden` — a golden-trace regression store pinning
   canonical seeded runs to checked-in JSON goldens, with an update tool
   (``repro verify --update-goldens``).
+* :mod:`repro.verify.runtime` — the event-runtime checks: the
+  batch-equivalence differential oracle (a static-population
+  :class:`~repro.runtime.MarketRuntime` must be bit-identical to the
+  batch engine) and the churn golden trace pinning a canonical
+  arrivals/departures run by its trade-ledger digest.
 * :mod:`repro.verify.runner` — the ``repro verify`` entry point tying
-  the three legs into one report with a CI-friendly exit code.
+  the four legs into one report with a CI-friendly exit code.
 """
 
 from repro.verify.compare import (
@@ -58,6 +63,16 @@ from repro.verify.runner import (
     VerificationReport,
     run_verification,
 )
+from repro.verify.runtime import (
+    RUNTIME_GOLDEN_CASE,
+    RuntimeCheckResult,
+    RuntimeGoldenCase,
+    check_batch_equivalence,
+    check_runtime,
+    compute_runtime_golden,
+    update_runtime_golden,
+    verify_runtime_golden,
+)
 
 __all__ = [
     "Mismatch",
@@ -86,4 +101,12 @@ __all__ = [
     "StrictCheckResult",
     "VerificationReport",
     "run_verification",
+    "RuntimeGoldenCase",
+    "RUNTIME_GOLDEN_CASE",
+    "RuntimeCheckResult",
+    "check_batch_equivalence",
+    "check_runtime",
+    "compute_runtime_golden",
+    "update_runtime_golden",
+    "verify_runtime_golden",
 ]

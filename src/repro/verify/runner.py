@@ -1,6 +1,6 @@
 """The ``repro verify`` entry point: one run, one verdict.
 
-Ties the three verification legs together:
+Ties the four verification legs together:
 
 1. **Differential oracles** — closed forms vs numerical references
    (:func:`repro.verify.oracles.run_oracle_suite`).
@@ -10,6 +10,9 @@ Ties the three verification legs together:
    every per-round invariant checked, asserted bit-identical to the
    same runs without checking (the monitor must be purely
    observational).
+4. **Runtime checks** — the event-driven market runtime vs the batch
+   engine (bit-identical on a static population) plus the churn golden
+   trace (:mod:`repro.verify.runtime`).
 
 The result is a :class:`VerificationReport` with a human-readable
 rendering, a JSON payload for CI artefacts, and a single ``passed``
@@ -27,6 +30,7 @@ from repro.exceptions import InvariantViolationError
 from repro.verify.compare import DEFAULT_TOLERANCE, Mismatch, ToleranceSpec
 from repro.verify.golden import GOLDEN_CASES, verify_goldens
 from repro.verify.oracles import OracleSuiteReport, run_oracle_suite
+from repro.verify.runtime import RuntimeCheckResult, check_runtime
 
 if TYPE_CHECKING:  # type-only: the engine is imported lazily at runtime
     from repro.sim.results import RunMetrics
@@ -34,7 +38,7 @@ if TYPE_CHECKING:  # type-only: the engine is imported lazily at runtime
 __all__ = ["StrictCheckResult", "VerificationReport", "run_verification"]
 
 #: Section names accepted by :func:`run_verification`'s ``sections``.
-SECTIONS = ("oracles", "goldens", "strict")
+SECTIONS = ("oracles", "goldens", "strict", "runtime")
 
 #: RunMetrics fields compared bit-for-bit between strict/default runs.
 _BIT_IDENTICAL_FIELDS = (
@@ -72,6 +76,7 @@ class VerificationReport:
     oracles: OracleSuiteReport | None
     goldens: dict[str, list[Mismatch]] | None
     strict: StrictCheckResult | None
+    runtime: RuntimeCheckResult | None = None
 
     @property
     def passed(self) -> bool:
@@ -81,6 +86,8 @@ class VerificationReport:
         if self.goldens is not None and any(self.goldens.values()):
             return False
         if self.strict is not None and not self.strict.passed:
+            return False
+        if self.runtime is not None and not self.runtime.passed:
             return False
         return True
 
@@ -102,6 +109,8 @@ class VerificationReport:
                 "passed": self.strict.passed,
                 "detail": self.strict.detail,
             }
+        if self.runtime is not None:
+            payload["runtime"] = self.runtime.to_dict()
         return payload
 
     def to_text(self, max_failures: int = 10) -> str:
@@ -131,6 +140,13 @@ class VerificationReport:
         if self.strict is not None:
             status = "PASS" if self.strict.passed else "FAIL"
             lines.append(f"strict: {status} ({self.strict.detail})")
+        if self.runtime is not None:
+            status = "PASS" if self.runtime.passed else "FAIL"
+            lines.append(
+                f"runtime: {status} ({self.runtime.equivalence_detail})"
+            )
+            for mismatch in self.runtime.golden_mismatches[:max_failures]:
+                lines.append(f"  {mismatch.describe()}")
         lines.append(f"verification: {'PASS' if self.passed else 'FAIL'}")
         return "\n".join(lines)
 
@@ -221,5 +237,8 @@ def run_verification(*, seed: int = 0, oracle_cases: int = 12,
                if "goldens" in wanted else None)
     strict = (_run_strict_check(strict_rounds, seed)
               if "strict" in wanted else None)
+    runtime = (check_runtime(seed=seed, goldens_dir=goldens_dir,
+                             tolerance=tolerance)
+               if "runtime" in wanted else None)
     return VerificationReport(oracles=oracles, goldens=goldens,
-                              strict=strict)
+                              strict=strict, runtime=runtime)

@@ -1,4 +1,4 @@
-"""RL003 fixture: literal emit kinds missing from EVENT_KINDS (2 findings)."""
+"""RL003 fixture: literal emit kinds missing from EVENT_KINDS (3 findings)."""
 
 
 def trace_round(tracer, index):
@@ -7,3 +7,7 @@ def trace_round(tracer, index):
 
 def trace_recovery(tracer):
     tracer.emit("watchdog_killed", worker=0)  # typo for watchdog_kill
+
+
+def trace_runtime(tracer):
+    tracer.emit("agent_spawned", agent="seller-3")  # typo for agent_spawn

@@ -14,3 +14,12 @@ def trace_recovery(tracer, index):
     tracer.emit("task_deadline_exceeded", worker=0, task=3)
     tracer.emit("checkpoint_quarantined", path="ck.npz")
     tracer.emit("graceful_shutdown", round_index=index)
+
+
+def trace_runtime(tracer, index):
+    # The event-runtime lifecycle kinds are registered as well.
+    tracer.emit("agent_spawn", agent="seller-3", kind="seller", slot=3)
+    tracer.emit("message_delivered", topic="collect", time=float(index))
+    tracer.emit("session_open", session=7, slot=3)
+    tracer.emit("session_close", session=7, slot=3, rounds_online=12)
+    tracer.emit("agent_depart", agent="seller-3", kind="seller", slot=3)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-import repro.sim.engine as engine_module
+import repro.sim.rounds as rounds_module
 from repro.bandits import RandomPolicy, UCBPolicy
 from repro.exceptions import InvariantViolationError
 from repro.faults import FaultSpec
@@ -82,13 +82,13 @@ class TestStrictCheckpointResume:
 
 class TestStrictCatchesMutations:
     def test_perturbed_collection_price_raises(self, monkeypatch):
-        true_solve = engine_module.solve_round_fast
+        true_solve = rounds_module.solve_round_fast
 
         def perturbed(*args, **kwargs):
             p_j, p, taus = true_solve(*args, **kwargs)
             return p_j, p * 1.05 + 0.01, taus
 
-        monkeypatch.setattr(engine_module, "solve_round_fast", perturbed)
+        monkeypatch.setattr(rounds_module, "solve_round_fast", perturbed)
         # Default mode happily records the wrong equilibrium...
         run()
         # ...strict mode refuses it (which invariant fires first —
@@ -97,13 +97,13 @@ class TestStrictCatchesMutations:
             run(strict=True)
 
     def test_perturbed_sensing_times_raise(self, monkeypatch):
-        true_solve = engine_module.solve_round_fast
+        true_solve = rounds_module.solve_round_fast
 
         def perturbed(*args, **kwargs):
             p_j, p, taus = true_solve(*args, **kwargs)
             return p_j, p, taus * 1.2 + 0.05
 
-        monkeypatch.setattr(engine_module, "solve_round_fast", perturbed)
+        monkeypatch.setattr(rounds_module, "solve_round_fast", perturbed)
         with pytest.raises(InvariantViolationError):
             run(strict=True)
 

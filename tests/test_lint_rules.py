@@ -26,7 +26,7 @@ def lint_fixture(name: str):
 @pytest.mark.parametrize("name,rule,count", [
     ("rl001_bad.py", "RL001", 5),
     ("rl002_bad.py", "RL002", 4),
-    ("rl003_bad.py", "RL003", 2),
+    ("rl003_bad.py", "RL003", 3),
     ("rl004_bad.py", "RL004", 3),
     ("rl005_bad.py", "RL005", 3),
     ("rl006_bad.py", "RL006", 3),

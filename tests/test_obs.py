@@ -430,6 +430,20 @@ def _sample_events():
             "worker": 0, "reason": "task_deadline_exceeded", "task": 3,
             "elapsed_s": 2.5, "limit_s": 1.5,
         }),
+        TraceEvent("agent_spawn", payload={
+            "agent": "seller-3", "agent_kind": "seller", "slot": 3,
+        }),
+        TraceEvent("agent_depart", payload={
+            "agent": "seller-3", "agent_kind": "seller", "slot": 3,
+        }),
+        TraceEvent("message_delivered", payload={
+            "topic": "collect", "sender": "platform", "receiver": "seller-3",
+            "time": 4.0,
+        }),
+        TraceEvent("session_open", payload={"session": 7, "slot": 3}),
+        TraceEvent("session_close", payload={
+            "session": 7, "slot": 3, "rounds_online": 12, "trades": 5,
+        }),
         TraceEvent("checkpoint_quarantined", payload={
             "path": "ckpt.npz", "quarantined_to": "ckpt.quarantine/ckpt.npz",
             "what": "checkpoint", "error": "checksum mismatch",

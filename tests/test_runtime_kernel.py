@@ -1,0 +1,208 @@
+"""The deterministic discrete-event kernel (:mod:`repro.runtime.kernel`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import RingBufferSink, Tracer
+from repro.runtime import DELIVER, SETTLE, TICK, Agent, EventKernel, Message
+
+
+class Recorder(Agent):
+    """Collects what it saw, for assertions."""
+
+    kind = "recorder"
+
+    def __init__(self, agent_id: str) -> None:
+        super().__init__(agent_id)
+        self.log: list[tuple[str, str, float]] = []
+
+    def on_message(self, message: Message) -> None:
+        self.log.append((message.topic, message.sender, message.time))
+
+
+class Echo(Agent):
+    """Replies to every ping with a pong."""
+
+    kind = "echo"
+
+    def on_message(self, message: Message) -> None:
+        if message.topic == "ping":
+            self.send(message.sender, "pong")
+
+
+class TestClockAndScheduling:
+    def test_clock_starts_at_zero_and_advances_to_event_times(self):
+        kernel = EventKernel()
+        assert kernel.clock.now == 0.0
+        kernel.schedule(3.0, lambda: None)
+        kernel.run()
+        assert kernel.clock.now == 3.0
+
+    def test_cannot_schedule_into_the_past(self):
+        kernel = EventKernel()
+        kernel.schedule(5.0, lambda: None)
+        kernel.run()
+        with pytest.raises(ConfigurationError, match="past"):
+            kernel.schedule(4.0, lambda: None)
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ConfigurationError, match="phase"):
+            EventKernel().schedule(0.0, lambda: None, phase=7)
+
+    def test_run_until_is_an_inclusive_horizon(self):
+        kernel = EventKernel()
+        fired: list[float] = []
+        for time in (1.0, 2.0, 3.0):
+            kernel.schedule(time, lambda t=time: fired.append(t))
+        assert kernel.run(until=2.0) == 2
+        assert fired == [1.0, 2.0]
+        assert kernel.num_pending == 1
+
+    def test_events_run_in_time_order_regardless_of_insertion(self):
+        kernel = EventKernel()
+        fired: list[float] = []
+        for time in (4.0, 1.0, 3.0, 2.0):
+            kernel.schedule(time, lambda t=time: fired.append(t))
+        kernel.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_phases_order_one_logical_instant(self):
+        kernel = EventKernel()
+        fired: list[str] = []
+        kernel.schedule(1.0, lambda: fired.append("settle"), phase=SETTLE)
+        kernel.schedule(1.0, lambda: fired.append("tick"), phase=TICK)
+        kernel.schedule(1.0, lambda: fired.append("deliver"),
+                        phase=DELIVER)
+        kernel.run()
+        assert fired == ["tick", "deliver", "settle"]
+
+    def test_same_time_same_phase_runs_in_insertion_order(self):
+        kernel = EventKernel()
+        fired: list[int] = []
+        for i in range(5):
+            kernel.schedule(1.0, lambda i=i: fired.append(i))
+        kernel.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_two_kernels_fed_the_same_schedule_agree(self):
+        def drive(kernel: EventKernel) -> list[str]:
+            fired: list[str] = []
+            for label, time, phase in (("a", 2.0, TICK), ("b", 1.0, SETTLE),
+                                       ("c", 1.0, TICK), ("d", 2.0, SETTLE),
+                                       ("e", 1.0, DELIVER)):
+                kernel.schedule(
+                    time, lambda la=label: fired.append(la), phase=phase
+                )
+            kernel.run()
+            return fired
+
+        assert drive(EventKernel()) == drive(EventKernel())
+
+    def test_step_pops_one_event(self):
+        kernel = EventKernel()
+        fired: list[int] = []
+        kernel.schedule(0.0, lambda: fired.append(1))
+        kernel.schedule(0.0, lambda: fired.append(2))
+        assert kernel.step() is True
+        assert fired == [1]
+        assert kernel.step() is True
+        assert kernel.step() is False
+
+
+class TestAgentsAndMessages:
+    def test_register_lookup_and_deregister(self):
+        kernel = EventKernel()
+        agent = kernel.register(Recorder("r1"))
+        assert kernel.has_agent("r1")
+        assert kernel.agent("r1") is agent
+        assert agent.kernel is kernel
+        kernel.deregister("r1")
+        assert not kernel.has_agent("r1")
+        with pytest.raises(ConfigurationError, match="no agent"):
+            kernel.agent("r1")
+
+    def test_duplicate_registration_rejected(self):
+        kernel = EventKernel()
+        kernel.register(Recorder("r1"))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            kernel.register(Recorder("r1"))
+
+    def test_unattached_agent_cannot_send(self):
+        agent = Recorder("loose")
+        with pytest.raises(ConfigurationError, match="not registered"):
+            agent.send("anyone", "hello")
+
+    def test_message_delivery_and_reply(self):
+        kernel = EventKernel()
+        recorder = kernel.register(Recorder("r1"))
+        kernel.register(Echo("e1"))
+        kernel.send("r1", "e1", "ping")
+        kernel.run()
+        assert recorder.log == [("pong", "e1", 0.0)]
+        assert kernel.messages_delivered == 2
+
+    def test_delayed_message_arrives_later(self):
+        kernel = EventKernel()
+        recorder = kernel.register(Recorder("r1"))
+        sender = kernel.register(Recorder("r2"))
+        sender.send("r1", "later", delay=5.0, detail="x")
+        kernel.run()
+        assert recorder.log == [("later", "r2", 5.0)]
+        assert recorder.inbox[0].payload == {"detail": "x"}
+        assert kernel.clock.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        kernel = EventKernel()
+        kernel.register(Recorder("r1"))
+        with pytest.raises(ConfigurationError, match="delay"):
+            kernel.send("r1", "r1", "oops", delay=-1.0)
+
+    def test_message_to_departed_agent_is_dropped(self):
+        kernel = EventKernel()
+        kernel.register(Recorder("r1"))
+        gone = kernel.register(Recorder("gone"))
+        kernel.send("r1", "gone", "collect")
+        kernel.deregister("gone")
+        kernel.run()
+        assert gone.log == []
+        assert kernel.messages_dropped == 1
+        assert kernel.messages_delivered == 0
+
+
+class TestLifecycleTracing:
+    def test_spawn_depart_and_delivery_events(self):
+        ring = RingBufferSink()
+        kernel = EventKernel(Tracer(ring))
+        kernel.register(Recorder("r1"), slot=3)
+        kernel.register(Echo("e1"))
+        kernel.send("r1", "e1", "ping")
+        kernel.run()
+        kernel.deregister("r1", slot=3)
+
+        spawns = ring.of_kind("agent_spawn")
+        assert [e.payload["agent"] for e in spawns] == ["r1", "e1"]
+        assert spawns[0].payload["agent_kind"] == "recorder"
+        assert spawns[0].payload["slot"] == 3
+        assert "slot" not in spawns[1].payload
+
+        delivered = ring.of_kind("message_delivered")
+        assert [e.payload["topic"] for e in delivered] == ["ping", "pong"]
+
+        departs = ring.of_kind("agent_depart")
+        assert [e.payload["agent"] for e in departs] == ["r1"]
+        assert departs[0].payload["agent_kind"] == "recorder"
+
+    def test_tracing_does_not_change_execution_order(self):
+        def drive(kernel: EventKernel) -> list[str]:
+            recorder = kernel.register(Recorder("r1"))
+            kernel.register(Echo("e1"))
+            kernel.send("r1", "e1", "ping")
+            kernel.schedule(1.0, lambda: kernel.send("r1", "e1", "ping"))
+            kernel.run()
+            return [topic for topic, _sender, _time in recorder.log]
+
+        assert drive(EventKernel()) == drive(
+            EventKernel(Tracer(RingBufferSink()))
+        )

@@ -1,0 +1,141 @@
+"""Seeded load scripts (:mod:`repro.runtime.loadgen`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, PersistenceError
+from repro.runtime import (
+    LoadSpec,
+    MarketService,
+    generate_script,
+    load_script,
+    replay_script,
+    save_script,
+)
+from repro.sim import SimulationConfig
+
+SPEC = LoadSpec(seed=3, num_sessions=40, max_open=6, rounds_budget=50)
+
+
+def _service(num_sellers: int = 8, num_rounds: int = 200) -> MarketService:
+    return MarketService(SimulationConfig(
+        num_sellers=num_sellers,
+        num_selected=min(3, num_sellers - 1),
+        num_pois=4, num_rounds=num_rounds, seed=11,
+    ))
+
+
+class TestLoadSpec:
+    def test_counts_validated(self):
+        with pytest.raises(ConfigurationError, match="num_sessions"):
+            LoadSpec(num_sessions=0)
+        with pytest.raises(ConfigurationError, match="rounds_budget"):
+            LoadSpec(rounds_budget=0)
+
+    def test_weights_validated(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            LoadSpec(trade_weight=-0.1)
+        with pytest.raises(ConfigurationError, match="close_weight"):
+            LoadSpec(close_weight=0.0)
+
+
+class TestGenerateScript:
+    def test_same_spec_same_script(self):
+        assert generate_script(SPEC) == generate_script(SPEC)
+        assert generate_script(SPEC) != generate_script(
+            LoadSpec(seed=SPEC.seed + 1, num_sessions=SPEC.num_sessions)
+        )
+
+    def test_every_session_opened_and_drained(self):
+        ops = generate_script(SPEC)
+        registers = sum(1 for op in ops if op["op"] == "register")
+        closes = sum(1 for op in ops if op["op"] == "close")
+        assert registers == SPEC.num_sessions
+        assert closes == SPEC.num_sessions
+        open_count = 0
+        for op in ops:
+            if op["op"] == "register":
+                open_count += 1
+                assert open_count <= SPEC.max_open
+            elif op["op"] == "close":
+                open_count -= 1
+                assert open_count >= 0
+            else:
+                # trade/quote only happen with a session open
+                assert open_count > 0
+        assert open_count == 0
+
+    def test_rounds_budget_respected(self):
+        ops = generate_script(SPEC)
+        traded = sum(int(op["rounds"]) for op in ops
+                     if op["op"] == "trade")
+        assert 0 < traded <= SPEC.rounds_budget
+
+
+class TestScriptPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "script.json"
+        ops = generate_script(SPEC)
+        save_script(path, ops)
+        assert load_script(path) == ops
+
+    def test_save_rejects_unknown_ops(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown script op"):
+            save_script(tmp_path / "bad.json", [{"op": "steal"}])
+
+    def test_load_rejects_corruption(self, tmp_path):
+        path = tmp_path / "script.json"
+        path.write_text("not json {", encoding="utf-8")
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_script(path)
+        path.write_text(json.dumps({"version": 99, "ops": []}),
+                        encoding="utf-8")
+        with pytest.raises(PersistenceError, match="unsupported"):
+            load_script(path)
+        path.write_text(json.dumps({"version": 1,
+                                    "ops": [{"op": "defraud"}]}),
+                        encoding="utf-8")
+        with pytest.raises(PersistenceError, match="unknown op"):
+            load_script(path)
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_script(tmp_path / "missing.json")
+
+
+class TestReplay:
+    def test_replay_is_deterministic_across_services(self):
+        ops = generate_script(SPEC)
+        a = replay_script(_service(), ops)
+        b = replay_script(_service(), ops)
+        assert a.ledger_digest == b.ledger_digest
+        assert a.sessions_opened == b.sessions_opened == SPEC.num_sessions
+        assert a.sessions_closed == SPEC.num_sessions
+        assert a.rounds_traded == b.rounds_traded > 0
+        assert a.quotes == b.quotes
+
+    def test_replay_skips_inapplicable_ops(self):
+        # Two slots only: registrations beyond capacity are skipped,
+        # as are trades once the 3-round budget is exhausted.
+        service = _service(num_sellers=2, num_rounds=3)
+        ops = [{"op": "close"}, {"op": "quote"},  # nothing open yet
+               {"op": "register"}, {"op": "register"},
+               {"op": "register"},  # floor is full
+               {"op": "trade", "rounds": 3},
+               {"op": "trade", "rounds": 1},  # budget exhausted
+               {"op": "close"}, {"op": "close"}]
+        report = replay_script(service, ops)
+        assert report.sessions_opened == 2
+        assert report.sessions_closed == 2
+        assert report.rounds_traded == 3
+        assert report.ops_skipped == 4
+
+    def test_report_round_trips_to_dict(self):
+        report = replay_script(_service(), generate_script(
+            LoadSpec(seed=1, num_sessions=5, rounds_budget=4)
+        ))
+        payload = report.to_dict()
+        assert payload["sessions_opened"] == 5
+        assert payload["ledger_digest"] == report.ledger_digest
+        assert payload["wall_s"] >= 0.0

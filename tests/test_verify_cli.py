@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-import repro.sim.engine as engine_module
+import repro.sim.rounds as rounds_module
 from repro.cli import build_parser, main
 from repro.exceptions import ConfigurationError
 from repro.verify import run_verification
@@ -73,8 +73,11 @@ class TestVerifyCommand:
         assert main(["verify", "--update-goldens",
                      "--goldens-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert out.count("wrote ") == 3
+        # Three engine goldens plus the runtime churn golden.
+        assert out.count("wrote ") == 4
         assert main(["verify", "--only", "goldens",
+                     "--goldens-dir", str(tmp_path)]) == 0
+        assert main(["verify", "--only", "runtime",
                      "--goldens-dir", str(tmp_path)]) == 0
 
     def test_missing_goldens_fail(self, tmp_path, capsys):
@@ -106,7 +109,7 @@ class TestMutationSmoke:
 
     @pytest.fixture
     def perturbed_solver(self, monkeypatch):
-        true_solve = engine_module.solve_round_fast
+        true_solve = rounds_module.solve_round_fast
 
         def perturbed(*args, **kwargs):
             p_j, p, taus = true_solve(*args, **kwargs)
@@ -114,7 +117,7 @@ class TestMutationSmoke:
             # curves would catch.
             return p_j, p * 1.01, taus
 
-        monkeypatch.setattr(engine_module, "solve_round_fast", perturbed)
+        monkeypatch.setattr(rounds_module, "solve_round_fast", perturbed)
 
     def test_goldens_catch_perturbed_solver(self, perturbed_solver, capsys):
         assert main(["verify", "--only", "goldens"]) == 1

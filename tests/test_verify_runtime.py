@@ -1,0 +1,85 @@
+"""The runtime verification leg (:mod:`repro.verify.runtime`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.verify import run_verification
+from repro.verify.runtime import (
+    check_batch_equivalence,
+    check_runtime,
+    compute_runtime_golden,
+    update_runtime_golden,
+    verify_runtime_golden,
+)
+
+
+class TestBatchEquivalenceOracle:
+    def test_passes_on_the_real_engines(self):
+        passed, detail = check_batch_equivalence(seed=0, num_rounds=30)
+        assert passed, detail
+        assert "bit-identical" in detail
+
+    def test_detail_names_the_scenario(self):
+        _passed, detail = check_batch_equivalence(seed=9, num_rounds=20)
+        assert "seed 9" in detail
+        assert "20 rounds" in detail
+
+
+class TestChurnGolden:
+    def test_missing_golden_points_at_update_goldens(self, tmp_path):
+        mismatches = verify_runtime_golden(str(tmp_path))
+        assert len(mismatches) == 1
+        assert "--update-goldens" in mismatches[0].describe()
+
+    def test_update_then_verify_is_clean(self, tmp_path):
+        path = update_runtime_golden(str(tmp_path))
+        assert path.endswith("runtime-churn.json")
+        assert verify_runtime_golden(str(tmp_path)) == []
+
+    def test_golden_pins_the_ledger_digest(self, tmp_path):
+        path = update_runtime_golden(str(tmp_path))
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["ledger_digest"] = "0" * 64
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        mismatches = verify_runtime_golden(str(tmp_path))
+        assert any("ledger_digest" in m.describe() for m in mismatches)
+
+    def test_golden_payload_shape(self):
+        payload = compute_runtime_golden()
+        assert payload["case"]["name"] == "runtime-churn"
+        assert len(payload["ledger_digest"]) == 64
+        assert payload["sessions_opened"] > payload["case"]["num_sellers"]
+        assert payload["messages_dropped"] > 0
+        assert "total_revenue" in payload["summary"]
+
+    def test_checked_in_golden_is_current(self):
+        # The committed store must match what the code computes today.
+        assert verify_runtime_golden() == []
+
+
+class TestRuntimeSection:
+    def test_check_runtime_combines_both_legs(self, tmp_path):
+        update_runtime_golden(str(tmp_path))
+        result = check_runtime(num_rounds=20, goldens_dir=str(tmp_path))
+        assert result.passed
+        payload = result.to_dict()
+        assert payload["equivalence"]["passed"] is True
+        assert payload["golden"]["mismatches"] == []
+
+    def test_run_verification_runtime_only(self, tmp_path):
+        update_runtime_golden(str(tmp_path))
+        report = run_verification(sections=("runtime",),
+                                  goldens_dir=str(tmp_path))
+        assert report.oracles is None and report.strict is None
+        assert report.runtime is not None
+        assert report.passed == report.runtime.passed
+        text = report.to_text()
+        assert "runtime: PASS" in text
+        assert report.to_dict()["runtime"]["passed"] is True
+
+    def test_missing_golden_fails_the_section(self, tmp_path):
+        result = check_runtime(num_rounds=20, goldens_dir=str(tmp_path))
+        assert not result.passed
+        assert result.equivalence_passed  # only the golden leg failed
