@@ -52,7 +52,9 @@ class Oracle(abc.ABC):
 
         ``k`` is the nominal selection size; oracles with their own
         feasibility structure (budgets) may return fewer sellers but
-        never more than ``k``.
+        never more than ``k``.  The result is canonical: an ascending
+        ``np.int64`` array (so selections index, compare, and serialize
+        identically across oracles and backends).
         """
 
     def _validated(self, weights: np.ndarray, k: int) -> np.ndarray:
@@ -118,8 +120,8 @@ class WeightedCoverageOracle(Oracle):
         if remaining > 0:
             candidates = np.nonzero(available)[0]
             fill = candidates[top_k_indices(weights[candidates], remaining)]
-            chosen.extend(int(i) for i in fill)
-        return np.sort(np.array(chosen, dtype=int))
+            chosen.extend(fill.tolist())
+        return np.sort(np.array(chosen, dtype=np.int64))
 
 
 class GreedyKnapsackOracle(Oracle):
@@ -179,7 +181,7 @@ class GreedyKnapsackOracle(Oracle):
         if not chosen:
             # Always recruit someone: the single cheapest seller.
             chosen = [int(np.argmin(self._costs))]
-        return np.sort(np.array(chosen, dtype=int))
+        return np.sort(np.array(chosen, dtype=np.int64))
 
 
 class OraclePolicy(SelectionPolicy):

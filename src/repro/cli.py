@@ -23,9 +23,10 @@ Subcommands:
   scheduled events; SIGINT drains gracefully into a resumable
   checkpoint and exits 0.
 * ``verify`` — run the equilibrium verification subsystem (differential
-  oracles, golden-trace regression, strict-mode invariant runs, and the
-  runtime batch-equivalence/churn-golden checks); exits non-zero on any
-  failure.  ``--update-goldens`` blesses new goldens.
+  oracles, golden-trace regression, strict-mode invariant runs, the
+  runtime batch-equivalence/churn-golden checks, and the scalar-vs-
+  vector kernels differential); exits non-zero on any failure.
+  ``--update-goldens`` blesses new goldens.
 * ``chaos`` — drill the resilience layers with seeded fault storms
   (interrupts, checkpoint corruption, worker crashes and stalls) and
   verify every recovered sweep is bit-identical to its fault-free
@@ -323,11 +324,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_parser.add_argument(
         "--only", action="append",
-        choices=("oracles", "goldens", "strict", "runtime"),
+        choices=("oracles", "goldens", "strict", "runtime", "kernels"),
         metavar="SECTION",
         help=(
             "run only this section (repeatable; "
-            "oracles, goldens, strict, or runtime)"
+            "oracles, goldens, strict, runtime, or kernels)"
         ),
     )
     verify_parser.add_argument(

@@ -214,15 +214,18 @@ def _solve_round_arrays(qualities: np.ndarray, cost_a: np.ndarray,
     Returns ``(p^J, p, tau, interior)`` where ``interior`` is False when
     any clipping affected the solution.
     """
+    # Direct ufunc reductions: np.sum/ndarray.mean dispatch to these
+    # same pairwise kernels, so the values are bit-identical — only the
+    # per-call wrapper overhead goes (this runs once per round).
     inv = 1.0 / (2.0 * qualities * cost_a)
-    a_sum = float(np.sum(inv))
-    b_sum = float(np.sum(cost_b / (2.0 * cost_a)))
+    a_sum = float(np.add.reduce(inv))
+    b_sum = float(np.add.reduce(cost_b / (2.0 * cost_a)))
     base = lam * a_sum - 2.0 * theta * a_sum * b_sum
     constant = base + b_sum if paper_variant else base - b_sum
     denominator = 2.0 * (1.0 + theta * a_sum)
     theta_c = a_sum / denominator
     lam_c = constant / denominator + b_sum
-    q = float(qualities.mean())
+    q = float(np.add.reduce(qualities) / qualities.size)
     delta = (q * lam_c - 2.0) ** 2 + 8.0 * theta_c * omega * q * q
     sqrt_delta = math.sqrt(delta)
     interior_service = (
@@ -239,7 +242,7 @@ def _solve_round_arrays(qualities: np.ndarray, cost_a: np.ndarray,
         price = min(max(stage2_unclipped(service_price), col_lo), col_hi)
         taus = np.clip((price - qualities * cost_b) * inv, 0.0,
                        max_sensing_time)
-        total = float(taus.sum())
+        total = float(np.add.reduce(taus))
         profit = omega * math.log1p(q * total) - service_price * total
         return price, taus, profit
 
@@ -249,8 +252,8 @@ def _solve_round_arrays(qualities: np.ndarray, cost_a: np.ndarray,
     interior = (
         svc_lo <= interior_service <= svc_hi
         and col_lo <= collection_interior <= col_hi
-        and bool(np.all(taus_interior >= 0.0))
-        and bool(np.all(taus_interior <= max_sensing_time))
+        and bool(np.logical_and.reduce(taus_interior >= 0.0))
+        and bool(np.logical_and.reduce(taus_interior <= max_sensing_time))
     )
     if interior:
         return service_price, collection_interior, taus_interior, True

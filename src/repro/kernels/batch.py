@@ -1,0 +1,249 @@
+"""Batched Theorems 14-16 over an ``(markets, M)`` state matrix.
+
+The scalar closed forms in :mod:`repro.core.incentive` solve one round's
+game from the *compacted* ``(K,)`` quality/cost vectors of that round's
+selected sellers.  The kernels here solve ``R`` such games at once from
+dense ``(R, M)`` parameter matrices and an ``(R, M)`` participation
+mask — the layout a mean-field sweep or a multi-market runtime holds its
+state in — without compacting each row first.
+
+Equivalence is *tolerance-level* (``<= 1e-9`` relative), not bit-level:
+a masked reduction over ``M`` slots and numpy's pairwise summation over
+a compacted ``K``-vector add the same numbers in a different order, so
+the last few ulps legitimately differ.  Everything downstream of the
+sums (the Stage 1-2 closed forms, the candidate cascade) is the same
+arithmetic as :func:`repro.core.incentive._solve_round_arrays`,
+expression for expression.
+
+One deliberate divergence: where the scalar path evaluates its
+non-interior Stage-1 candidates from a python *set* (deduplicated,
+hash-ordered) and keeps a strict-``>`` maximum, the batch path evaluates
+a fixed candidate matrix in insertion order and takes the first maximum.
+Both pick a profit-maximising candidate; when two distinct candidates
+tie *exactly* they may pick different (equally optimal) prices.  The
+differential suite therefore compares profits and prices at tolerance,
+not candidate identity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import GameError
+
+__all__ = ["masked_stage_sums", "solve_rounds_batch", "stage3_golden_batch"]
+
+#: Golden-section constants, shared with
+#: :func:`repro.game.stackelberg.solve_stage3_batch` (same bracket decay,
+#: same stopping width — the idiom is lifted verbatim).
+_GOLDEN_ITERATIONS = 80
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def _as_state_matrices(qualities: np.ndarray, cost_a: np.ndarray,
+                       cost_b: np.ndarray, mask: np.ndarray,
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray]:
+    """Broadcast the per-seller parameters against the ``(R, M)`` mask."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise GameError("participation mask must be a 2-D (markets, M) array")
+    qualities = np.broadcast_to(np.asarray(qualities, dtype=float), mask.shape)
+    cost_a = np.broadcast_to(np.asarray(cost_a, dtype=float), mask.shape)
+    cost_b = np.broadcast_to(np.asarray(cost_b, dtype=float), mask.shape)
+    return qualities, cost_a, cost_b, mask
+
+
+def masked_stage_sums(qualities: np.ndarray, cost_a: np.ndarray,
+                      cost_b: np.ndarray, mask: np.ndarray,
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The Theorem 15/16 reduced coefficients for ``R`` markets at once.
+
+    Parameters
+    ----------
+    qualities, cost_a, cost_b:
+        Per-seller parameters, shape ``(M,)`` or ``(R, M)`` (broadcast
+        against the mask).  Masked-out entries are never read — zeros or
+        stale values are fine.
+    mask:
+        Boolean ``(R, M)`` participation matrix; row ``r`` marks the
+        sellers selected in market ``r``.  Every row must select at
+        least one seller.
+
+    Returns
+    -------
+    tuple
+        ``(a_sums, b_sums, mean_qualities)``, each shape ``(R,)``:
+        ``A_r = sum_{i in r} 1/(2*q_i*a_i)``,
+        ``B_r = sum_{i in r} b_i/(2*a_i)``, and the per-market mean
+        estimated quality ``qbar_r``.
+    """
+    qualities, cost_a, cost_b, mask = _as_state_matrices(
+        qualities, cost_a, cost_b, mask)
+    counts = mask.sum(axis=1)
+    if np.any(counts == 0):
+        raise GameError("every market row must select at least one seller")
+    zeros = np.zeros(mask.shape)
+    inv = np.divide(1.0, 2.0 * qualities * cost_a, out=zeros.copy(),
+                    where=mask)
+    offsets = np.divide(cost_b, 2.0 * cost_a, out=zeros.copy(), where=mask)
+    a_sums = inv.sum(axis=1)
+    b_sums = offsets.sum(axis=1)
+    mean_qualities = np.where(mask, qualities, 0.0).sum(axis=1) / counts
+    return a_sums, b_sums, mean_qualities
+
+
+def solve_rounds_batch(qualities: np.ndarray, cost_a: np.ndarray,
+                       cost_b: np.ndarray, mask: np.ndarray,
+                       theta: float, lam: float, omega: float,
+                       service_price_bounds: tuple[float, float],
+                       collection_price_bounds: tuple[float, float],
+                       max_sensing_time: float = float("inf"),
+                       paper_variant: bool = False,
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray]:
+    """Stage 1-3 closed-form solves for ``R`` markets in one shot.
+
+    The batched counterpart of
+    :func:`repro.core.incentive.solve_round_fast`: the same Theorems
+    14-16 interior formulas, the same bound-aware piecewise Stage-1
+    candidate cascade, applied row-wise over an ``(R, M)`` state matrix.
+    The game-level parameters (``theta``, ``lam``, ``omega``, the price
+    bounds, ``T``) are shared across markets — the setting of a
+    parameter sweep or a multi-market runtime under one config.
+
+    Returns
+    -------
+    tuple
+        ``(service_prices, collection_prices, sensing_times, interior)``
+        with shapes ``(R,)``, ``(R,)``, ``(R, M)`` (zero where masked
+        out), and a boolean ``(R,)`` flagging rows solved by the pure
+        interior formulas (no bound clipped).
+    """
+    qualities, cost_a, cost_b, mask = _as_state_matrices(
+        qualities, cost_a, cost_b, mask)
+    a_sums, b_sums, q = masked_stage_sums(qualities, cost_a, cost_b, mask)
+    inv = np.divide(1.0, 2.0 * qualities * cost_a,
+                    out=np.zeros(mask.shape), where=mask)
+    base = lam * a_sums - 2.0 * theta * a_sums * b_sums
+    constant = base + b_sums if paper_variant else base - b_sums
+    denominator = 2.0 * (1.0 + theta * a_sums)
+    theta_c = a_sums / denominator
+    lam_c = constant / denominator + b_sums
+    delta = (q * lam_c - 2.0) ** 2 + 8.0 * theta_c * omega * q * q
+    sqrt_delta = np.sqrt(delta)
+    interior_service = (3.0 * q * lam_c + sqrt_delta - 2.0) / (4.0 * q * theta_c)
+    svc_lo, svc_hi = service_price_bounds
+    col_lo, col_hi = collection_price_bounds
+    stage2_denominator = 2.0 * a_sums * (1.0 + theta * a_sums)
+
+    def stage2_unclipped(service_prices: np.ndarray) -> np.ndarray:
+        return (service_prices * a_sums - constant) / stage2_denominator
+
+    def evaluate(service_prices: np.ndarray,
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Clipped cascade + consumer profit for one ``(R,)`` candidate."""
+        prices = np.clip(stage2_unclipped(service_prices), col_lo, col_hi)
+        taus = np.clip((prices[:, None] - qualities * cost_b) * inv,
+                       0.0, max_sensing_time)
+        totals = taus.sum(axis=1)
+        profits = omega * np.log1p(q * totals) - service_prices * totals
+        return prices, taus, profits
+
+    service_clipped = np.clip(interior_service, svc_lo, svc_hi)
+    collection_interior = stage2_unclipped(service_clipped)
+    taus_interior = (collection_interior[:, None] - qualities * cost_b) * inv
+    in_range = np.where(mask,
+                        (taus_interior >= 0.0)
+                        & (taus_interior <= max_sensing_time),
+                        True)
+    interior = (
+        (svc_lo <= interior_service) & (interior_service <= svc_hi)
+        & (col_lo <= collection_interior) & (collection_interior <= col_hi)
+        & np.all(in_range, axis=1)
+    )
+
+    # The candidate columns mirror the scalar cascade's insertion order:
+    # clipped interior, the two platform-bound kinks, then the consumer's
+    # own endpoints.  np.argmax keeps the first of any exact profit tie.
+    columns = [service_clipped]
+    for bound in (col_lo, col_hi):
+        kink = (stage2_denominator * bound + constant) / a_sums
+        columns.append(np.clip(kink, svc_lo, svc_hi))
+    columns.append(np.full(a_sums.shape, svc_lo))
+    if math.isfinite(svc_hi):
+        columns.append(np.full(a_sums.shape, svc_hi))
+
+    best_profits = np.full(a_sums.shape, -np.inf)
+    best_services = service_clipped.copy()
+    best_prices = np.clip(collection_interior, col_lo, col_hi)
+    best_taus = np.clip(taus_interior, 0.0, max_sensing_time)
+    for candidate in columns:
+        prices, taus, profits = evaluate(candidate)
+        better = profits > best_profits
+        best_profits = np.where(better, profits, best_profits)
+        best_services = np.where(better, candidate, best_services)
+        best_prices = np.where(better, prices, best_prices)
+        best_taus = np.where(better[:, None], taus, best_taus)
+
+    service_prices = np.where(interior, service_clipped, best_services)
+    collection_prices = np.where(interior, collection_interior, best_prices)
+    sensing_times = np.where(interior[:, None], taus_interior, best_taus)
+    sensing_times = np.where(mask, sensing_times, 0.0)
+    return service_prices, collection_prices, sensing_times, interior
+
+
+def stage3_golden_batch(collection_prices: np.ndarray,
+                        qualities: np.ndarray, cost_a: np.ndarray,
+                        cost_b: np.ndarray,
+                        max_sensing_time: float = float("inf"),
+                        mask: np.ndarray | None = None) -> np.ndarray:
+    """Stage-3 numerical optima for per-market prices over ``(R, M)``.
+
+    The same golden-section idiom as
+    :func:`repro.game.stackelberg.solve_stage3_batch` (identical bracket
+    construction, decay constant, iteration budget, and stopping width),
+    generalised from one game's ``(P, K)`` price grid to ``R`` markets
+    with one collection price each and dense ``(R, M)`` seller
+    parameters.  Masked-out sellers keep a zero-width ``[0, 0]`` bracket
+    and return ``tau = 0``.
+    """
+    prices = np.asarray(collection_prices, dtype=float)
+    if prices.ndim != 1:
+        raise GameError("collection_prices must be a 1-D (markets,) array")
+    if mask is None:
+        shape = np.broadcast_shapes(
+            (prices.size, 1), np.asarray(qualities, dtype=float).shape)
+        mask = np.ones((prices.size, shape[-1]), dtype=bool)
+    q, a, b, mask = _as_state_matrices(qualities, cost_a, cost_b, mask)
+    if mask.shape[0] != prices.size:
+        raise GameError(
+            f"mask has {mask.shape[0]} rows for {prices.size} prices"
+        )
+    p_col = prices[:, None]
+    interior = np.divide(p_col - q * b, 2.0 * q * a,
+                         out=np.zeros(mask.shape), where=mask)
+    hi = np.maximum(2.0 * interior, 0.0) + 1.0
+    if math.isfinite(max_sensing_time):
+        hi = np.minimum(hi, max_sensing_time)
+    hi = np.where(mask, hi, 0.0)
+    lo = np.zeros(mask.shape)
+
+    def profit(tau: np.ndarray) -> np.ndarray:
+        return p_col * tau - (a * tau * tau + b * tau) * q
+
+    x1 = hi - _INV_PHI * (hi - lo)
+    x2 = lo + _INV_PHI * (hi - lo)
+    f1, f2 = profit(x1), profit(x2)
+    for __ in range(_GOLDEN_ITERATIONS):
+        left = f1 < f2
+        lo = np.where(left, x1, lo)
+        hi = np.where(left, hi, x2)
+        x1 = hi - _INV_PHI * (hi - lo)
+        x2 = lo + _INV_PHI * (hi - lo)
+        f1, f2 = profit(x1), profit(x2)
+        if float(np.max(hi - lo)) < 1e-11:
+            break
+    return (lo + hi) / 2.0

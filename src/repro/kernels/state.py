@@ -1,0 +1,115 @@
+"""Incrementally maintained learning state for the vector backend.
+
+:class:`VectorLearningState` is a drop-in
+:class:`~repro.core.state.LearningState`: same constructor, same
+accessors, same snapshot/restore format (checkpoints written by one
+backend restore into the other).  The difference is purely mechanical —
+instead of reconstructing the ``(M,)`` mean vector on every ``means``
+access and re-deriving the seen mask on every ``ucb_values`` call, it
+maintains three mirrors across updates:
+
+* a float copy of the observation counts (so the fused UCB expression
+  divides without a per-call ``astype``),
+* the mean vector itself, patched in ``O(K)`` per update with the same
+  ``sums[i] / counts[i]`` division the scalar property performs
+  (bit-identical values, integers being exact in float64 far beyond
+  any feasible observation count),
+* the running total count.
+
+``means`` returns a *read-only view* of the maintained buffer (the
+scalar property returns a fresh array; every engine consumer only reads
+it).  ``ucb_values`` returns a fresh writable vector, as callers mask
+it in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import LearningState
+from repro.exceptions import ConfigurationError
+from repro.kernels.selection import ucb_scores
+
+__all__ = ["VectorLearningState"]
+
+
+class VectorLearningState(LearningState):
+    """O(K)-per-round learning state, bit-identical to the scalar one."""
+
+    #: Marker the selection fast paths dispatch on (``getattr`` keeps
+    #: plain :class:`LearningState` instances valid without isinstance
+    #: checks across package boundaries).
+    vectorized = True
+
+    def __init__(self, num_sellers: int, prior_mean: float = 0.0) -> None:
+        super().__init__(num_sellers, prior_mean)
+        self._counts_f = np.zeros(self._num_sellers)
+        self._means = np.full(self._num_sellers, self._prior_mean)
+        self._total = 0
+
+    def _rebuild(self) -> None:
+        """Recompute every mirror from the raw counts/sums arrays."""
+        self._counts_f = self._counts.astype(float)
+        means = np.full(self._num_sellers, self._prior_mean)
+        seen = self._counts > 0
+        means[seen] = self._sums[seen] / self._counts[seen]
+        self._means = means
+        self._total = int(self._counts.sum())
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def total_count(self) -> int:
+        return self._total
+
+    @property
+    def means(self) -> np.ndarray:
+        view = self._means.view()
+        view.flags.writeable = False
+        return view
+
+    # -- updates -------------------------------------------------------------------
+
+    def update(self, seller_indices: np.ndarray,
+               observation_sums: np.ndarray,
+               num_observations: int) -> None:
+        super().update(seller_indices, observation_sums, num_observations)
+        sellers = np.asarray(seller_indices, dtype=int)
+        if sellers.size == 0:
+            return
+        self._total += int(num_observations) * sellers.size
+        self._counts_f[sellers] = self._counts[sellers]
+        # The same float64 / int64 division the scalar property applies
+        # to seen sellers — the maintained means stay bit-identical.
+        self._means[sellers] = self._sums[sellers] / self._counts[sellers]
+
+    # -- UCB indices ---------------------------------------------------------------
+
+    def exploration_bonuses(self, coefficient: float) -> np.ndarray:
+        if coefficient <= 0.0:
+            raise ConfigurationError(
+                f"exploration coefficient must be positive, got {coefficient}"
+            )
+        if self._total <= 1:
+            return np.full(self._num_sellers, np.inf)
+        # The same scalar numerator divided by the same float64 counts
+        # the masked scalar gather divides by; a zero count yields the
+        # +inf bonus the scalar path assigns to unseen sellers.
+        with np.errstate(divide="ignore"):
+            return np.sqrt(
+                coefficient * np.log(self._total) / self._counts_f
+            )
+
+    def ucb_values(self, coefficient: float) -> np.ndarray:
+        return ucb_scores(self._counts_f, self._means, self._total,
+                          coefficient)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        super().restore(snapshot)
+        self._rebuild()
+
+    def reset(self) -> None:
+        super().reset()
+        self._rebuild()

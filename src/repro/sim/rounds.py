@@ -35,6 +35,7 @@ from repro.core.incentive import solve_round_fast
 from repro.core.regret import RegretTracker
 from repro.core.state import LearningState, observation_mask
 from repro.faults import FaultKind, FaultLog, FaultModel, RoundFaultPlan
+from repro.kernels.selection import estimation_error as _estimation_error
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timing import perf_counter
 from repro.obs.tracer import Tracer
@@ -99,6 +100,26 @@ class RoundContext:
     tracer: Tracer
     metrics: MetricsRegistry
     monitor: "InvariantMonitor | None" = None
+    #: Which hot-path implementation drives this run ("scalar" or
+    #: "vector"); informational — the bodies branch on ``scratch``.
+    backend: str = "scalar"
+    #: Pre-allocated ``(M,)`` buffer the vector backend reuses for the
+    #: per-round estimation-error reduction (``None`` on the scalar
+    #: path, which allocates temporaries as it always has).
+    scratch: np.ndarray | None = None
+
+
+def _estimation_error_of(ctx: RoundContext, state: LearningState) -> float:
+    """Mean absolute estimation error, allocation-free when possible.
+
+    Both branches perform the identical subtract/abs/mean sequence, so
+    the value is bit-identical across backends (see
+    :func:`repro.kernels.selection.estimation_error`).
+    """
+    if ctx.scratch is not None:
+        return _estimation_error(state.means, ctx.qualities_truth,
+                                 ctx.scratch)
+    return float(np.abs(state.means - ctx.qualities_truth).mean())
 
 
 def play_clean_round(ctx: RoundContext, t: int, selected: np.ndarray,
@@ -121,7 +142,7 @@ def play_clean_round(ctx: RoundContext, t: int, selected: np.ndarray,
         solve_start = perf_counter()
         means = state.means[selected]
         taus = np.full(selected.size, ctx.tau0)
-        total = float(taus.sum())
+        total = float(np.add.reduce(taus))
         p = col_bounds[1]
         aggregation = theta * total * total + lam * total
         p_j = min(max(p + aggregation / total, svc_bounds[0]),
@@ -134,7 +155,7 @@ def play_clean_round(ctx: RoundContext, t: int, selected: np.ndarray,
             game_means, cost_a, cost_b, theta, lam, omega,
             svc_bounds, col_bounds, ctx.tau_max,
         )
-        total = float(taus.sum())
+        total = float(np.add.reduce(taus))
         aggregation = theta * total * total + lam * total
     solve_duration = perf_counter() - solve_start
     reg.timer("engine.solve").observe(solve_duration)
@@ -153,7 +174,9 @@ def play_clean_round(ctx: RoundContext, t: int, selected: np.ndarray,
             float(p_j), float(p), taus, bool(explore_round),
         )
 
-    mean_quality = float(means.mean())
+    # add.reduce == the pairwise kernel behind sum()/mean(), minus the
+    # per-call wrapper — same bits, and this body runs every round.
+    mean_quality = float(np.add.reduce(means) / means.size)
     seller_profits = p * taus - (
         cost_a * taus * taus + cost_b * taus
     ) * means
@@ -161,7 +184,9 @@ def play_clean_round(ctx: RoundContext, t: int, selected: np.ndarray,
         omega * np.log1p(mean_quality * total) - p_j * total
     )
     series["platform"][t] = (p_j - p) * total - aggregation
-    series["sellers_mean"][t] = float(seller_profits.mean())
+    series["sellers_mean"][t] = float(
+        np.add.reduce(seller_profits) / seller_profits.size
+    )
     series["service"][t] = p_j
     series["collection"][t] = p
     series["totals"][t] = total
@@ -173,11 +198,9 @@ def play_clean_round(ctx: RoundContext, t: int, selected: np.ndarray,
     ctx.tracker.record(selected)
     series["realized"][t] = observations.total
     series["expected"][t] = float(
-        ctx.qualities_truth[selected].sum()
+        np.add.reduce(ctx.qualities_truth[selected])
     ) * num_pois
-    series["estimation_error"][t] = float(
-        np.abs(state.means - ctx.qualities_truth).mean()
-    )
+    series["estimation_error"][t] = _estimation_error_of(ctx, state)
     ctx.selection_counts[selected] += 1
     if tr.enabled:
         tr.emit("profits", round_index=t,
@@ -248,9 +271,7 @@ def play_degraded_round(ctx: RoundContext, t: int, selected: np.ndarray,
         series["service"][t] = svc_bounds[0]
         series["collection"][t] = col_bounds[0]
         series["totals"][t] = 0.0
-        series["estimation_error"][t] = float(
-            np.abs(state.means - ctx.qualities_truth).mean()
-        )
+        series["estimation_error"][t] = _estimation_error_of(ctx, state)
         return
 
     if participants.size < selected.size:
@@ -321,7 +342,7 @@ def play_degraded_round(ctx: RoundContext, t: int, selected: np.ndarray,
             game_means, cost_a, cost_b, theta, lam, omega,
             svc_bounds, col_bounds, ctx.tau_max,
         )
-        total = float(taus.sum())
+        total = float(np.add.reduce(taus))
         aggregation = theta * total * total + lam * total
     solve_duration = perf_counter() - solve_start
     reg.timer("engine.solve").observe(solve_duration)
@@ -340,7 +361,9 @@ def play_degraded_round(ctx: RoundContext, t: int, selected: np.ndarray,
             float(p_j), float(p), taus, bool(explore_round),
         )
 
-    mean_quality = float(means.mean())
+    # add.reduce == the pairwise kernel behind sum()/mean(), minus the
+    # per-call wrapper — same bits, and this body runs every round.
+    mean_quality = float(np.add.reduce(means) / means.size)
     seller_profits = p * taus - (
         cost_a * taus * taus + cost_b * taus
     ) * means
@@ -348,7 +371,9 @@ def play_degraded_round(ctx: RoundContext, t: int, selected: np.ndarray,
         omega * np.log1p(mean_quality * total) - p_j * total
     )
     series["platform"][t] = (p_j - p) * total - aggregation
-    series["sellers_mean"][t] = float(seller_profits.mean())
+    series["sellers_mean"][t] = float(
+        np.add.reduce(seller_profits) / seller_profits.size
+    )
     series["service"][t] = p_j
     series["collection"][t] = p
     series["totals"][t] = total
@@ -356,9 +381,7 @@ def play_degraded_round(ctx: RoundContext, t: int, selected: np.ndarray,
     if not explore_round:
         collect()
     series["realized"][t] = float(delivered[settle_mask].sum())
-    series["estimation_error"][t] = float(
-        np.abs(state.means - ctx.qualities_truth).mean()
-    )
+    series["estimation_error"][t] = _estimation_error_of(ctx, state)
     if tr.enabled:
         tr.emit("profits", round_index=t,
                 consumer=float(series["consumer"][t]),

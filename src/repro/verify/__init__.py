@@ -26,8 +26,12 @@ implementation continuously honest about them:
   :class:`~repro.runtime.MarketRuntime` must be bit-identical to the
   batch engine) and the churn golden trace pinning a canonical
   arrivals/departures run by its trade-ledger digest.
+* :mod:`repro.verify.kernels` — the scalar-vs-vector differential
+  oracle for :mod:`repro.kernels`: bit-identity for selections, states,
+  and ledgers; ``<= 1e-9`` for the batched Stage 1-3 solves; and a
+  mutation canary proving the suite catches a 1% kernel defect.
 * :mod:`repro.verify.runner` — the ``repro verify`` entry point tying
-  the four legs into one report with a CI-friendly exit code.
+  the five legs into one report with a CI-friendly exit code.
 """
 
 from repro.verify.compare import (
@@ -46,6 +50,11 @@ from repro.verify.golden import (
     verify_goldens,
 )
 from repro.verify.invariants import InvariantMonitor, InvariantViolation
+from repro.verify.kernels import (
+    KernelsCheck,
+    KernelsCheckResult,
+    check_kernels,
+)
 from repro.verify.oracles import (
     OracleCheck,
     OracleSuiteReport,
@@ -88,6 +97,9 @@ __all__ = [
     "verify_goldens",
     "InvariantMonitor",
     "InvariantViolation",
+    "KernelsCheck",
+    "KernelsCheckResult",
+    "check_kernels",
     "OracleCheck",
     "OracleSuiteReport",
     "brute_force_top_k",

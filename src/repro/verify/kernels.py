@@ -1,0 +1,452 @@
+"""Kernels verification: the scalar-vs-vector differential oracle.
+
+``repro verify --only kernels`` proves the :mod:`repro.kernels` hot
+path equivalent to the scalar reference, at the strength each layer
+contracts for:
+
+1. **Selection/state unit oracle** — random learning-state histories
+   (including tie-heavy quantized score vectors, unseen sellers, and
+   infinite indices) must give *bit-identical* maintained means, UCB
+   index vectors, and partition top-K selections.
+2. **Batch-stage oracle** — :func:`repro.kernels.masked_stage_sums` and
+   :func:`repro.kernels.solve_rounds_batch` against per-market scalar
+   :func:`~repro.core.incentive.solve_round_fast` solves at ``<= 1e-9``
+   relative tolerance (summation order differs, see
+   :mod:`repro.kernels.batch`), with exact profit ties between Stage-1
+   candidates accepted as equally optimal; plus
+   :func:`repro.kernels.stage3_golden_batch` against
+   :func:`repro.game.stackelberg.solve_stage3_batch` row for row.
+3. **Engine differential** — identical RNG universes replayed through
+   ``TradingSimulator(backend="scalar")`` and ``backend="vector"``
+   across the clean, fault-injected, and ``K = M`` regimes must produce
+   bit-identical metric series and selection counts.
+4. **Churn differential** — the canonical churning
+   :class:`~repro.runtime.MarketRuntime` case replayed through both
+   backends must produce byte-identical trade-ledger digests.
+5. **Mutation canary** — a 1% inflation of the vector confidence bonus
+   (:data:`repro.kernels.selection._MUTATION_SCALE`) must make the
+   unit oracle *fail*, proving the suite has the power to catch a real
+   kernel defect of that size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import seeded_generator
+
+__all__ = [
+    "KernelsCheck",
+    "KernelsCheckResult",
+    "check_selection_kernels",
+    "check_batch_kernels",
+    "check_engine_differential",
+    "check_churn_differential",
+    "check_mutation_canary",
+    "check_kernels",
+]
+
+#: RunMetrics fields the engine differential compares bit-for-bit (the
+#: same set every other bit-identity leg pins; telemetry is wall-clock).
+_DIFFERENTIAL_FIELDS = (
+    "realized_revenue", "expected_revenue", "regret", "consumer_profit",
+    "platform_profit", "seller_profit_mean", "service_price",
+    "collection_price", "total_sensing_time", "selection_counts",
+    "estimation_error",
+)
+
+#: Relative tolerance of the batch-stage oracle.
+_BATCH_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class KernelsCheck:
+    """One named kernels check: verdict plus narrative."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        return f"{self.name}: {'PASS' if self.passed else 'FAIL'} ({self.detail})"
+
+
+@dataclass(frozen=True)
+class KernelsCheckResult:
+    """Outcome of the kernels section: all five differential legs."""
+
+    checks: tuple[KernelsCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every leg is clean."""
+        return all(check.passed for check in self.checks)
+
+    def failures(self) -> list[KernelsCheck]:
+        """The failed legs, in run order."""
+        return [check for check in self.checks if not check.passed]
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload for the ``--report`` artefact."""
+        return {
+            "passed": self.passed,
+            "checks": [
+                {"name": check.name, "passed": check.passed,
+                 "detail": check.detail}
+                for check in self.checks
+            ],
+        }
+
+
+def check_selection_kernels(*, seed: int = 0,
+                            trials: int = 60) -> KernelsCheck:
+    """Unit bit-identity oracle over random learning-state histories.
+
+    Each trial replays a random update sequence through the scalar
+    :class:`~repro.core.state.LearningState` and the vector
+    :class:`~repro.kernels.VectorLearningState` side by side, asserting
+    bit-identical means, UCB vectors, and top-K selections after every
+    update; quantized (tie-heavy) score vectors additionally pin the
+    partition top-K against the stable-argsort reference directly.
+    """
+    from repro.core.selection import top_k_indices
+    from repro.core.state import LearningState
+    from repro.kernels.selection import top_k_partition, ucb_scores
+    from repro.kernels.state import VectorLearningState
+    from repro.sim.rounds import PRIOR_MEAN
+
+    rng = seeded_generator(seed)
+    comparisons = 0
+    for trial in range(trials):
+        m = int(rng.integers(2, 40))
+        k = int(rng.integers(1, m + 1))
+        coefficient = float(k + 1)
+        scalar = LearningState(m, prior_mean=PRIOR_MEAN)
+        vector = VectorLearningState(m, prior_mean=PRIOR_MEAN)
+        for __ in range(int(rng.integers(1, 12))):
+            size = int(rng.integers(0, m + 1))
+            sellers = rng.choice(m, size=size, replace=False)
+            num_observations = int(rng.integers(1, 6))
+            sums = rng.uniform(0.0, 1.0, size) * num_observations
+            scalar.update(sellers, sums, num_observations)
+            vector.update(sellers, sums, num_observations)
+            if scalar.total_count != vector.total_count:
+                return KernelsCheck(
+                    "selection-unit", False,
+                    f"total_count diverged in trial {trial}"
+                )
+            if not np.array_equal(scalar.means, vector.means):
+                return KernelsCheck(
+                    "selection-unit", False,
+                    f"maintained means diverged in trial {trial} "
+                    f"(M={m})"
+                )
+            reference = scalar.ucb_values(coefficient)
+            fast = vector.ucb_values(coefficient)
+            if not np.array_equal(reference, fast):
+                return KernelsCheck(
+                    "selection-unit", False,
+                    f"UCB index vectors diverged in trial {trial} "
+                    f"(M={m}, coefficient={coefficient})"
+                )
+            if not np.array_equal(top_k_indices(reference, k),
+                                  top_k_partition(fast, k)):
+                return KernelsCheck(
+                    "selection-unit", False,
+                    f"top-K selections diverged in trial {trial} "
+                    f"(M={m}, K={k})"
+                )
+            comparisons += 1
+        # Tie-heavy quantized scores: the regime where a naive
+        # argpartition would diverge from stable tie-breaking.
+        scores = rng.integers(0, 3, m).astype(float)
+        if trial % 3 == 0:
+            scores[int(rng.integers(0, m))] = np.inf
+        if trial % 5 == 0:
+            scores[:] = scores[0]
+        if not np.array_equal(top_k_indices(scores, k),
+                              top_k_partition(scores, k)):
+            return KernelsCheck(
+                "selection-unit", False,
+                f"tie-breaking diverged on quantized scores in trial "
+                f"{trial} (M={m}, K={k})"
+            )
+        # Standalone kernel on the maintained buffers.
+        standalone = ucb_scores(vector.counts.astype(float), vector.means,
+                                vector.total_count, coefficient)
+        if not np.array_equal(standalone, scalar.ucb_values(coefficient)):
+            return KernelsCheck(
+                "selection-unit", False,
+                f"ucb_scores diverged from the state path in trial {trial}"
+            )
+        comparisons += 1
+    return KernelsCheck(
+        "selection-unit", True,
+        f"{trials} random state histories, {comparisons} bit-identity "
+        "comparisons (means, UCB vectors, top-K incl. tie-heavy scores)"
+    )
+
+
+def check_batch_kernels(*, seed: int = 0, trials: int = 40) -> KernelsCheck:
+    """Batched Stage 1-3 solves vs per-market scalar solves at 1e-9.
+
+    Exact Stage-1 profit ties between distinct candidates are accepted:
+    the scalar cascade iterates a deduplicated candidate *set* while the
+    batch kernel evaluates ordered columns, so tied optima may resolve
+    to different (equally optimal) prices — the consumer profit must
+    still agree to ``1e-9``.
+    """
+    import math
+
+    from repro.core.incentive import solve_round_fast
+    from repro.game.profits import GameInstance
+    from repro.game.stackelberg import solve_stage3_batch
+    from repro.kernels.batch import (
+        masked_stage_sums,
+        solve_rounds_batch,
+        stage3_golden_batch,
+    )
+
+    rng = seeded_generator(seed)
+    rows = 0
+    ties = 0
+    for trial in range(trials):
+        m = int(rng.integers(3, 25))
+        markets = int(rng.integers(1, 8))
+        qualities = rng.uniform(0.05, 1.0, (markets, m))
+        cost_a = rng.uniform(0.2, 2.0, (markets, m))
+        cost_b = rng.uniform(0.0, 0.5, (markets, m))
+        mask = rng.random((markets, m)) < 0.6
+        for r in range(markets):
+            if not mask[r].any():
+                mask[r, int(rng.integers(0, m))] = True
+        theta = float(rng.uniform(0.01, 0.5))
+        lam = float(rng.uniform(0.1, 2.0))
+        omega = float(rng.uniform(1.0, 60.0))
+        svc_bounds = ((0.0, float(rng.uniform(5.0, 200.0)))
+                      if trial % 3 else (0.0, float("inf")))
+        col_bounds = (0.0, float(rng.uniform(1.0, 50.0)))
+        tau_max = (float(rng.uniform(0.5, 10.0)) if trial % 2
+                   else float("inf"))
+        paper_variant = bool(trial % 4 == 0)
+        a_sums, b_sums, mean_q = masked_stage_sums(qualities, cost_a,
+                                                   cost_b, mask)
+        services, collections, taus, __ = solve_rounds_batch(
+            qualities, cost_a, cost_b, mask, theta, lam, omega,
+            svc_bounds, col_bounds, tau_max, paper_variant,
+        )
+        for r in range(markets):
+            selected = np.flatnonzero(mask[r])
+            q_sel = qualities[r, selected]
+            a_ref = float(np.sum(1.0 / (2.0 * q_sel * cost_a[r, selected])))
+            b_ref = float(np.sum(
+                cost_b[r, selected] / (2.0 * cost_a[r, selected])
+            ))
+            q_ref = float(q_sel.mean())
+            for got, ref, label in ((a_sums[r], a_ref, "A"),
+                                    (b_sums[r], b_ref, "B"),
+                                    (mean_q[r], q_ref, "qbar")):
+                if abs(got - ref) > _BATCH_RTOL * max(abs(ref), 1.0):
+                    return KernelsCheck(
+                        "batch-stage", False,
+                        f"masked {label} sum off by "
+                        f"{abs(got - ref):.3e} in trial {trial}"
+                    )
+            ref_service, ref_collection, ref_taus = solve_round_fast(
+                q_sel, cost_a[r, selected], cost_b[r, selected], theta,
+                lam, omega, svc_bounds, col_bounds, tau_max,
+                paper_variant,
+            )
+
+            def consumer_profit(service_price: float,
+                                sensing: np.ndarray) -> float:
+                total = float(np.sum(sensing))
+                return (omega * math.log1p(q_ref * total)
+                        - service_price * total)
+
+            profit_ref = consumer_profit(ref_service, ref_taus)
+            profit_got = consumer_profit(float(services[r]),
+                                         taus[r, selected])
+            scale = max(abs(profit_ref), 1.0)
+            if abs(profit_got - profit_ref) > _BATCH_RTOL * scale:
+                return KernelsCheck(
+                    "batch-stage", False,
+                    f"consumer profit diverged by "
+                    f"{abs(profit_got - profit_ref):.3e} in trial "
+                    f"{trial} market {r}"
+                )
+            price_scale = max(abs(ref_service), 1.0)
+            if abs(float(services[r]) - ref_service) > _BATCH_RTOL * price_scale:
+                ties += 1  # exact profit tie resolved differently
+            else:
+                col_scale = max(abs(ref_collection), 1.0)
+                tau_scale = np.maximum(np.abs(ref_taus), 1.0)
+                if (abs(float(collections[r]) - ref_collection)
+                        > _BATCH_RTOL * col_scale
+                        or np.any(np.abs(taus[r, selected] - ref_taus)
+                                  > _BATCH_RTOL * tau_scale)):
+                    return KernelsCheck(
+                        "batch-stage", False,
+                        f"collection price / sensing times diverged in "
+                        f"trial {trial} market {r}"
+                    )
+            # Masked-out sellers must hold an exact 0.0 (assigned, not
+            # computed), so a nonzero count is the right exact test.
+            if np.count_nonzero(taus[r, ~mask[r]]):
+                return KernelsCheck(
+                    "batch-stage", False,
+                    f"masked-out sellers received nonzero sensing time "
+                    f"in trial {trial} market {r}"
+                )
+            rows += 1
+        # Batched Stage-3 golden section vs the per-game reference.
+        prices = rng.uniform(0.5, 20.0, markets)
+        game = GameInstance(
+            qualities=qualities[0], cost_a=cost_a[0], cost_b=cost_b[0],
+            theta=theta, lam=lam, omega=omega,
+            max_sensing_time=tau_max if math.isfinite(tau_max) else 10.0,
+        )
+        reference = solve_stage3_batch(game, prices)
+        batched = stage3_golden_batch(
+            prices, qualities[0], cost_a[0], cost_b[0],
+            game.max_sensing_time,
+        )
+        if not np.allclose(batched, reference, rtol=_BATCH_RTOL,
+                           atol=1e-9):
+            return KernelsCheck(
+                "batch-stage", False,
+                f"stage3_golden_batch diverged from solve_stage3_batch "
+                f"in trial {trial}"
+            )
+    return KernelsCheck(
+        "batch-stage", True,
+        f"{rows} market rows solved batched vs scalar at rtol {_BATCH_RTOL:g} "
+        f"({ties} exact candidate ties resolved to equal-profit optima)"
+    )
+
+
+def _engine_runs(backend: str, *, seed: int, num_sellers: int,
+                 num_selected: int, num_rounds: int,
+                 faulty: bool) -> "object":
+    from repro.bandits.policies import UCBPolicy
+    from repro.faults.model import FaultSpec
+    from repro.sim.config import SimulationConfig
+    from repro.sim.engine import TradingSimulator
+
+    config = SimulationConfig(num_sellers=num_sellers,
+                              num_selected=num_selected, num_pois=4,
+                              num_rounds=num_rounds, seed=seed)
+    simulator = TradingSimulator(config, backend=backend)
+    fault_model = None
+    if faulty:
+        fault_model = simulator.fault_model(FaultSpec(
+            dropout_rate=0.15, corruption_rate=0.05, stall_rate=0.02,
+        ))
+    return simulator.run(UCBPolicy(), fault_model=fault_model)
+
+
+def check_engine_differential(*, seed: int = 0,
+                              num_rounds: int = 80) -> KernelsCheck:
+    """Identical RNG universes through both engine backends, bit for bit."""
+    regimes = (
+        ("clean", {"num_sellers": 20, "num_selected": 4, "faulty": False}),
+        ("faulty", {"num_sellers": 15, "num_selected": 3, "faulty": True}),
+        ("k-equals-m", {"num_sellers": 6, "num_selected": 6,
+                        "faulty": False}),
+    )
+    for label, kwargs in regimes:
+        scalar = _engine_runs("scalar", seed=seed, num_rounds=num_rounds,
+                              **kwargs)
+        vector = _engine_runs("vector", seed=seed, num_rounds=num_rounds,
+                              **kwargs)
+        for field in _DIFFERENTIAL_FIELDS:
+            if not np.array_equal(np.asarray(getattr(scalar, field)),
+                                  np.asarray(getattr(vector, field))):
+                return KernelsCheck(
+                    "engine-differential", False,
+                    f"vector backend diverged from scalar in {field} "
+                    f"({label} regime, seed {seed}, {num_rounds} rounds)"
+                )
+    return KernelsCheck(
+        "engine-differential", True,
+        f"clean + faulty + K=M regimes bit-identical across backends "
+        f"over {num_rounds} rounds (seed {seed}, "
+        f"{len(_DIFFERENTIAL_FIELDS)} fields each)"
+    )
+
+
+def check_churn_differential(*, seed: int = 0) -> KernelsCheck:
+    """The canonical churn case through both runtime backends.
+
+    The trade-ledger digest is a SHA-256 over every settled round's
+    participants and prices, so digest equality is bit-identity of the
+    whole trade history.
+    """
+    from repro.verify.runtime import RUNTIME_GOLDEN_CASE, _run_golden_case
+
+    case = RUNTIME_GOLDEN_CASE
+    scalar = _run_golden_case(case, backend="scalar")
+    vector = _run_golden_case(case, backend="vector")
+    if scalar["ledger_digest"] != vector["ledger_digest"]:
+        return KernelsCheck(
+            "churn-differential", False,
+            f"trade-ledger digests diverged across backends on the "
+            f"{case.name} case"
+        )
+    for key in ("sessions_opened", "sessions_closed",
+                "messages_delivered", "messages_dropped"):
+        if scalar[key] != vector[key]:
+            return KernelsCheck(
+                "churn-differential", False,
+                f"{key} diverged across backends on the {case.name} case"
+            )
+    return KernelsCheck(
+        "churn-differential", True,
+        f"{case.name} ledger digest and session/message counters "
+        "identical across backends"
+    )
+
+
+def check_mutation_canary(*, seed: int = 0) -> KernelsCheck:
+    """A 1% kernel mutation must make the unit oracle fail.
+
+    Inflates the vector confidence bonus by 1% through the
+    :data:`~repro.kernels.selection._MUTATION_SCALE` hook, re-runs the
+    selection unit oracle, and passes iff that oracle *fails* — the
+    suite demonstrably has the power to catch a real defect of that
+    size.  The hook is restored unconditionally.
+    """
+    from repro.kernels import selection
+
+    original = selection._MUTATION_SCALE
+    try:
+        selection._MUTATION_SCALE = 1.01
+        mutated = check_selection_kernels(seed=seed, trials=10)
+    finally:
+        selection._MUTATION_SCALE = original
+    if mutated.passed:
+        return KernelsCheck(
+            "mutation-canary", False,
+            "a 1% confidence-bonus inflation went undetected — the "
+            "differential oracle has lost its power"
+        )
+    return KernelsCheck(
+        "mutation-canary", True,
+        f"1% bonus inflation caught by the unit oracle "
+        f"({mutated.detail})"
+    )
+
+
+def check_kernels(*, seed: int = 0) -> KernelsCheckResult:
+    """Run every kernels leg and collect one result."""
+    checks = (
+        check_selection_kernels(seed=seed),
+        check_batch_kernels(seed=seed),
+        check_engine_differential(seed=seed),
+        check_churn_differential(seed=seed),
+        check_mutation_canary(seed=seed),
+    )
+    return KernelsCheckResult(checks=checks)

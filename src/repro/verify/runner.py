@@ -1,6 +1,6 @@
 """The ``repro verify`` entry point: one run, one verdict.
 
-Ties the four verification legs together:
+Ties the five verification legs together:
 
 1. **Differential oracles** — closed forms vs numerical references
    (:func:`repro.verify.oracles.run_oracle_suite`).
@@ -13,6 +13,10 @@ Ties the four verification legs together:
 4. **Runtime checks** — the event-driven market runtime vs the batch
    engine (bit-identical on a static population) plus the churn golden
    trace (:mod:`repro.verify.runtime`).
+5. **Kernels checks** — the vectorized :mod:`repro.kernels` hot path vs
+   the scalar reference: bit-identity for selections/states/ledgers,
+   ``<= 1e-9`` for the batched stage solves, plus a mutation canary
+   (:mod:`repro.verify.kernels`).
 
 The result is a :class:`VerificationReport` with a human-readable
 rendering, a JSON payload for CI artefacts, and a single ``passed``
@@ -29,6 +33,7 @@ import numpy as np
 from repro.exceptions import InvariantViolationError
 from repro.verify.compare import DEFAULT_TOLERANCE, Mismatch, ToleranceSpec
 from repro.verify.golden import GOLDEN_CASES, verify_goldens
+from repro.verify.kernels import KernelsCheckResult, check_kernels
 from repro.verify.oracles import OracleSuiteReport, run_oracle_suite
 from repro.verify.runtime import RuntimeCheckResult, check_runtime
 
@@ -38,7 +43,7 @@ if TYPE_CHECKING:  # type-only: the engine is imported lazily at runtime
 __all__ = ["StrictCheckResult", "VerificationReport", "run_verification"]
 
 #: Section names accepted by :func:`run_verification`'s ``sections``.
-SECTIONS = ("oracles", "goldens", "strict", "runtime")
+SECTIONS = ("oracles", "goldens", "strict", "runtime", "kernels")
 
 #: RunMetrics fields compared bit-for-bit between strict/default runs.
 _BIT_IDENTICAL_FIELDS = (
@@ -77,6 +82,7 @@ class VerificationReport:
     goldens: dict[str, list[Mismatch]] | None
     strict: StrictCheckResult | None
     runtime: RuntimeCheckResult | None = None
+    kernels: KernelsCheckResult | None = None
 
     @property
     def passed(self) -> bool:
@@ -88,6 +94,8 @@ class VerificationReport:
         if self.strict is not None and not self.strict.passed:
             return False
         if self.runtime is not None and not self.runtime.passed:
+            return False
+        if self.kernels is not None and not self.kernels.passed:
             return False
         return True
 
@@ -111,6 +119,8 @@ class VerificationReport:
             }
         if self.runtime is not None:
             payload["runtime"] = self.runtime.to_dict()
+        if self.kernels is not None:
+            payload["kernels"] = self.kernels.to_dict()
         return payload
 
     def to_text(self, max_failures: int = 10) -> str:
@@ -147,6 +157,14 @@ class VerificationReport:
             )
             for mismatch in self.runtime.golden_mismatches[:max_failures]:
                 lines.append(f"  {mismatch.describe()}")
+        if self.kernels is not None:
+            status = "PASS" if self.kernels.passed else "FAIL"
+            lines.append(
+                f"kernels: {status} ({len(self.kernels.checks)} checks, "
+                f"{len(self.kernels.failures())} failed)"
+            )
+            for check in self.kernels.failures()[:max_failures]:
+                lines.append(f"  {check.describe()}")
         lines.append(f"verification: {'PASS' if self.passed else 'FAIL'}")
         return "\n".join(lines)
 
@@ -240,5 +258,7 @@ def run_verification(*, seed: int = 0, oracle_cases: int = 12,
     runtime = (check_runtime(seed=seed, goldens_dir=goldens_dir,
                              tolerance=tolerance)
                if "runtime" in wanted else None)
+    kernels = check_kernels(seed=seed) if "kernels" in wanted else None
     return VerificationReport(oracles=oracles, goldens=goldens,
-                              strict=strict, runtime=runtime)
+                              strict=strict, runtime=runtime,
+                              kernels=kernels)

@@ -182,7 +182,8 @@ def check_batch_equivalence(*, seed: int = 0,
     )
 
 
-def _run_golden_case(case: RuntimeGoldenCase) -> dict:
+def _run_golden_case(case: RuntimeGoldenCase,
+                     backend: str = "scalar") -> dict:
     from repro.quality.drift import SinusoidalDrift
     from repro.runtime.arrivals import ChurnSpec
     from repro.runtime.market import MarketRuntime
@@ -194,7 +195,7 @@ def _run_golden_case(case: RuntimeGoldenCase) -> dict:
         drift=SinusoidalDrift(amplitude=case.drift_amplitude,
                               period=case.drift_period),
     )
-    runtime = MarketRuntime(case.config(), churn=spec)
+    runtime = MarketRuntime(case.config(), churn=spec, backend=backend)
     metrics = runtime.run()
     return {
         "case": asdict(case),
@@ -216,9 +217,15 @@ def _golden_path(directory: str | None = None) -> str:
 
 
 def compute_runtime_golden(
-        case: RuntimeGoldenCase = RUNTIME_GOLDEN_CASE) -> dict:
-    """Run the churn case from scratch and return its golden payload."""
-    return _run_golden_case(case)
+        case: RuntimeGoldenCase = RUNTIME_GOLDEN_CASE, *,
+        backend: str = "scalar") -> dict:
+    """Run the churn case from scratch and return its golden payload.
+
+    ``backend`` selects the runtime implementation — the stored golden
+    must pass unchanged under either (the kernels equivalence contract
+    pins the ledger digest across backends).
+    """
+    return _run_golden_case(case, backend=backend)
 
 
 def update_runtime_golden(directory: str | None = None) -> str:

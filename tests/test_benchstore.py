@@ -246,7 +246,13 @@ class TestBenchCli:
         assert "engine.tiny" in history
         assert "baseline" in history
 
-        assert main(["bench", "compare", store]) == 0
+        # Two live 40-round recordings can differ by well over the
+        # default 20% floor on a loaded host; this test is about the
+        # record/history/compare plumbing, so gate at the same 2x
+        # threshold CI's hard gate uses.  The planted-slowdown test
+        # below covers the gating logic with synthetic records.
+        assert main(["bench", "compare", store,
+                     "--max-slowdown", "0.5"]) == 0
         assert "verdict: OK" in capsys.readouterr().out
 
     def test_compare_exits_nonzero_on_planted_slowdown(self, capsys,

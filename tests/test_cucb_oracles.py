@@ -126,6 +126,42 @@ class TestGreedyKnapsackOracle:
             GreedyKnapsackOracle(np.ones(3), budget=0.0)
 
 
+class TestCanonicalSelectionDtype:
+    """Every oracle returns an ascending ``np.int64`` array.
+
+    Regression: the coverage and knapsack oracles used to build their
+    selections from python ``int``s, yielding platform-default dtype
+    arrays whose serialized checkpoints and cross-backend comparisons
+    could differ from the ``np.int64`` the top-K path produces.
+    """
+
+    def _assert_canonical(self, selected):
+        assert isinstance(selected, np.ndarray)
+        assert selected.dtype == np.int64
+        np.testing.assert_array_equal(selected, np.sort(selected))
+
+    def test_top_k_oracle(self):
+        self._assert_canonical(
+            TopKOracle().select(np.array([0.4, 0.9, 0.1, 0.7]), 2))
+
+    def test_coverage_oracle_cover_and_fill_paths(self):
+        matrix = np.zeros((5, 2), dtype=bool)
+        matrix[0, 0] = True
+        matrix[1, 1] = True
+        oracle = WeightedCoverageOracle(matrix)
+        # k=4 forces the by-weight fill path after the two cover picks.
+        self._assert_canonical(
+            oracle.select(np.array([0.1, 0.2, 0.9, 0.8, 0.7]), 4))
+
+    def test_knapsack_oracle_greedy_and_fallback_paths(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        self._assert_canonical(
+            GreedyKnapsackOracle(costs, budget=4.0).select(np.ones(3), 3))
+        # Infeasible budget: the always-recruit fallback path.
+        self._assert_canonical(
+            GreedyKnapsackOracle(costs, budget=0.5).select(np.ones(3), 2))
+
+
 class TestOraclePolicy:
     def test_top_k_oracle_reproduces_ucb_policy(self):
         qualities = np.array([0.9, 0.7, 0.5, 0.3, 0.15, 0.05])

@@ -1,0 +1,374 @@
+"""Scalar-vs-vector differential tests for :mod:`repro.kernels`.
+
+The equivalence contract (DESIGN.md §15) has two strengths and every
+test here pins one of them:
+
+* **bit-identity** for selections, learning state, and whole-run metric
+  series — the vector backend must be indistinguishable from the scalar
+  reference, not merely close;
+* **``<= 1e-9`` relative** for the batched ``(markets, M)`` Stage 1-3
+  solves, whose masked reductions legitimately sum in a different order
+  than the compacted scalar vectors.  Exact Stage-1 profit ties may
+  resolve to different (equally optimal) candidates, so those rows are
+  compared on consumer profit, not price identity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bandits.policies import UCBPolicy
+from repro.core.incentive import solve_round_fast
+from repro.core.selection import top_k_indices
+from repro.core.state import LearningState
+from repro.exceptions import ConfigurationError, SelectionError
+from repro.faults.model import FaultSpec
+from repro.kernels import (
+    VectorLearningState,
+    estimation_error,
+    masked_stage_sums,
+    solve_rounds_batch,
+    stage3_golden_batch,
+    top_k_partition,
+    ucb_scores,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import TradingSimulator
+from repro.sim.rounds import PRIOR_MEAN
+
+RTOL = 1e-9
+
+#: RunMetrics fields the engine differential compares bit-for-bit.
+METRIC_FIELDS = (
+    "realized_revenue", "expected_revenue", "regret", "consumer_profit",
+    "platform_profit", "seller_profit_mean", "service_price",
+    "collection_price", "total_sensing_time", "selection_counts",
+    "estimation_error",
+)
+
+
+@st.composite
+def state_histories(draw):
+    """A seller count, K, and a random feasible update sequence."""
+    m = draw(st.integers(2, 25))
+    k = draw(st.integers(1, m))
+    num_updates = draw(st.integers(1, 10))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    updates = []
+    for __ in range(num_updates):
+        size = int(rng.integers(1, m + 1))
+        sellers = np.sort(rng.choice(m, size=size, replace=False))
+        num_obs = int(rng.integers(1, 6))
+        sums = rng.uniform(0.0, 1.0, size) * num_obs
+        updates.append((sellers, sums, num_obs))
+    return m, k, updates
+
+
+class TestSelectionKernels:
+    @given(state_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_state_and_ucb_bit_identical(self, history):
+        m, k, updates = history
+        scalar = LearningState(m, prior_mean=PRIOR_MEAN)
+        vector = VectorLearningState(m, prior_mean=PRIOR_MEAN)
+        coefficient = float(k + 1)
+        for sellers, sums, num_obs in updates:
+            scalar.update(sellers, sums, num_obs)
+            vector.update(sellers, sums, num_obs)
+            assert scalar.total_count == vector.total_count
+            np.testing.assert_array_equal(scalar.means, vector.means)
+            reference = scalar.ucb_values(coefficient)
+            np.testing.assert_array_equal(reference,
+                                          vector.ucb_values(coefficient))
+            np.testing.assert_array_equal(
+                top_k_indices(reference, k),
+                top_k_partition(vector.ucb_values(coefficient), k),
+            )
+
+    @given(st.integers(2, 40), st.integers(0, 2**16), st.integers(1, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_partition_matches_argsort_on_quantized_scores(
+            self, m, seed, levels):
+        # Coarse quantization forces massive ties — the regime where a
+        # naive argpartition diverges from stable tie-breaking.
+        rng = np.random.default_rng(seed)
+        scores = rng.integers(0, levels + 1, m).astype(float)
+        for k in range(1, m + 1):
+            np.testing.assert_array_equal(top_k_indices(scores, k),
+                                          top_k_partition(scores, k))
+
+    def test_partition_tie_breaks_by_ascending_index(self):
+        scores = np.array([1.0, 2.0, 2.0, 2.0, 0.5])
+        np.testing.assert_array_equal(top_k_partition(scores, 2), [1, 2])
+
+    def test_partition_all_equal_scores(self):
+        scores = np.full(7, 3.25)
+        np.testing.assert_array_equal(top_k_partition(scores, 3),
+                                      [0, 1, 2])
+
+    def test_partition_infinite_scores_first(self):
+        scores = np.array([0.1, np.inf, 0.2, np.inf, 0.3])
+        np.testing.assert_array_equal(top_k_partition(scores, 3),
+                                      [1, 3, 4])
+
+    def test_partition_k_equals_m_is_arange(self):
+        scores = np.array([0.3, 0.1, 0.2])
+        np.testing.assert_array_equal(top_k_partition(scores, 3),
+                                      np.arange(3))
+
+    def test_partition_nan_delegates_to_reference(self):
+        scores = np.array([0.5, np.nan, 0.9, 0.1])
+        np.testing.assert_array_equal(top_k_partition(scores, 2),
+                                      top_k_indices(scores, 2))
+
+    def test_partition_rejects_bad_k(self):
+        with pytest.raises(SelectionError):
+            top_k_partition(np.array([1.0, 2.0]), 3)
+        with pytest.raises(SelectionError):
+            top_k_partition(np.array([1.0, 2.0]), 0)
+
+    def test_ucb_scores_unseen_and_cold_start(self):
+        counts = np.array([0.0, 4.0, 2.0])
+        means = np.array([0.5, 0.7, 0.6])
+        # total <= 1: every seller must be forced into exploration.
+        assert np.all(np.isinf(ucb_scores(counts, means, 1, 3.0)))
+        # Unseen seller keeps an infinite index afterwards.
+        scores = ucb_scores(counts, means, 6, 3.0)
+        assert math.isinf(scores[0])
+        assert np.all(np.isfinite(scores[1:]))
+
+    def test_ucb_scores_rejects_bad_coefficient(self):
+        with pytest.raises(ConfigurationError, match="coefficient"):
+            ucb_scores(np.ones(3), np.ones(3), 5, 0.0)
+
+    def test_estimation_error_matches_scalar_expression(self):
+        rng = np.random.default_rng(3)
+        means = rng.uniform(0.0, 1.0, 50)
+        truth = rng.uniform(0.1, 1.0, 50)
+        scratch = np.empty(50)
+        expected = float(np.abs(means - truth).mean())
+        assert estimation_error(means, truth, scratch) == expected
+
+    def test_vector_state_snapshot_restore_round_trip(self):
+        rng = np.random.default_rng(7)
+        vector = VectorLearningState(9, prior_mean=PRIOR_MEAN)
+        vector.update(np.arange(5), rng.uniform(0.0, 3.0, 5), 3)
+        snapshot = vector.snapshot()
+        restored = VectorLearningState(9, prior_mean=PRIOR_MEAN)
+        restored.restore(snapshot)
+        np.testing.assert_array_equal(vector.means, restored.means)
+        np.testing.assert_array_equal(vector.ucb_values(4.0),
+                                      restored.ucb_values(4.0))
+        assert vector.total_count == restored.total_count
+
+
+@st.composite
+def batch_instances(draw):
+    """Random ``(markets, M)`` game instances with participation masks."""
+    seed = draw(st.integers(0, 2**16))
+    paper_variant = draw(st.booleans())
+    bounded = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(2, 20))
+    markets = int(rng.integers(1, 6))
+    mask = rng.random((markets, m)) < 0.6
+    for r in range(markets):
+        if not mask[r].any():
+            mask[r, int(rng.integers(0, m))] = True
+    return {
+        "qualities": rng.uniform(0.05, 1.0, (markets, m)),
+        "cost_a": rng.uniform(0.2, 2.0, (markets, m)),
+        "cost_b": rng.uniform(0.0, 0.5, (markets, m)),
+        "mask": mask,
+        "theta": float(rng.uniform(0.01, 0.5)),
+        "lam": float(rng.uniform(0.1, 2.0)),
+        "omega": float(rng.uniform(1.0, 60.0)),
+        "svc_bounds": ((0.0, float(rng.uniform(5.0, 200.0)))
+                       if bounded else (0.0, float("inf"))),
+        "col_bounds": (0.0, float(rng.uniform(1.0, 50.0))),
+        "tau_max": (float(rng.uniform(0.5, 10.0))
+                    if bounded else float("inf")),
+        "paper_variant": paper_variant,
+    }
+
+
+class TestBatchKernels:
+    @given(batch_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_masked_sums_match_compacted_sums(self, inst):
+        a_sums, b_sums, mean_q = masked_stage_sums(
+            inst["qualities"], inst["cost_a"], inst["cost_b"],
+            inst["mask"])
+        for r in range(inst["mask"].shape[0]):
+            sel = np.flatnonzero(inst["mask"][r])
+            q = inst["qualities"][r, sel]
+            a = inst["cost_a"][r, sel]
+            b = inst["cost_b"][r, sel]
+            np.testing.assert_allclose(
+                a_sums[r], np.sum(1.0 / (2.0 * q * a)), rtol=RTOL)
+            np.testing.assert_allclose(
+                b_sums[r], np.sum(b / (2.0 * a)), rtol=RTOL, atol=1e-12)
+            np.testing.assert_allclose(mean_q[r], q.mean(), rtol=RTOL)
+
+    @given(batch_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_solve_profit_equals_scalar_solve(self, inst):
+        services, collections, taus, __ = solve_rounds_batch(
+            inst["qualities"], inst["cost_a"], inst["cost_b"],
+            inst["mask"], inst["theta"], inst["lam"], inst["omega"],
+            inst["svc_bounds"], inst["col_bounds"], inst["tau_max"],
+            inst["paper_variant"],
+        )
+        for r in range(inst["mask"].shape[0]):
+            sel = np.flatnonzero(inst["mask"][r])
+            q = inst["qualities"][r, sel]
+            ref_svc, ref_col, ref_taus = solve_round_fast(
+                q, inst["cost_a"][r, sel], inst["cost_b"][r, sel],
+                inst["theta"], inst["lam"], inst["omega"],
+                inst["svc_bounds"], inst["col_bounds"], inst["tau_max"],
+                inst["paper_variant"],
+            )
+            q_bar = float(q.mean())
+
+            def profit(svc, sensing):
+                total = float(np.sum(sensing))
+                return (inst["omega"] * math.log1p(q_bar * total)
+                        - svc * total)
+
+            # The consumer profit must always agree — candidate ties
+            # resolve to equally optimal strategies.
+            np.testing.assert_allclose(
+                profit(float(services[r]), taus[r, sel]),
+                profit(ref_svc, ref_taus), rtol=RTOL, atol=1e-9)
+            price_close = abs(float(services[r]) - ref_svc) <= (
+                RTOL * max(abs(ref_svc), 1.0))
+            if price_close:
+                np.testing.assert_allclose(float(collections[r]),
+                                           ref_col, rtol=RTOL, atol=1e-9)
+                np.testing.assert_allclose(taus[r, sel], ref_taus,
+                                           rtol=RTOL, atol=1e-9)
+            # Masked-out sellers never sense.
+            assert np.all(taus[r, ~inst["mask"][r]] == 0.0)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_stage3_batch_matches_game_reference(self, seed):
+        from repro.game.profits import GameInstance
+        from repro.game.stackelberg import solve_stage3_batch
+
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 12))
+        markets = int(rng.integers(1, 6))
+        qualities = rng.uniform(0.05, 1.0, m)
+        cost_a = rng.uniform(0.2, 2.0, m)
+        cost_b = rng.uniform(0.0, 0.5, m)
+        prices = rng.uniform(0.5, 20.0, markets)
+        game = GameInstance(qualities=qualities, cost_a=cost_a,
+                            cost_b=cost_b, theta=0.1, lam=1.0,
+                            omega=10.0, max_sensing_time=8.0)
+        np.testing.assert_allclose(
+            stage3_golden_batch(prices, qualities, cost_a, cost_b, 8.0),
+            solve_stage3_batch(game, prices), rtol=RTOL, atol=1e-9)
+
+
+def _run(backend, *, m, k, seed, num_rounds=80, fault=None):
+    config = SimulationConfig(num_sellers=m, num_selected=k, num_pois=4,
+                              num_rounds=num_rounds, seed=seed)
+    simulator = TradingSimulator(config, backend=backend)
+    fault_model = (simulator.fault_model(fault)
+                   if fault is not None else None)
+    return simulator.run(UCBPolicy(), fault_model=fault_model)
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("m,k", [(12, 3), (20, 4), (6, 6), (9, 1)])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_clean_runs_bit_identical(self, m, k, seed):
+        scalar = _run("scalar", m=m, k=k, seed=seed)
+        vector = _run("vector", m=m, k=k, seed=seed)
+        for field in METRIC_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(scalar, field)),
+                np.asarray(getattr(vector, field)), err_msg=field)
+
+    @pytest.mark.parametrize("seed", [2, 5])
+    def test_faulty_runs_bit_identical(self, seed):
+        fault = FaultSpec(dropout_rate=0.15, corruption_rate=0.05,
+                          stall_rate=0.02)
+        scalar = _run("scalar", m=15, k=3, seed=seed, fault=fault)
+        vector = _run("vector", m=15, k=3, seed=seed, fault=fault)
+        for field in METRIC_FIELDS:
+            np.testing.assert_array_equal(
+                np.asarray(getattr(scalar, field)),
+                np.asarray(getattr(vector, field)), err_msg=field)
+
+    def test_backend_validation(self):
+        config = SimulationConfig(num_sellers=6, num_selected=2,
+                                  num_pois=3, num_rounds=10, seed=0)
+        with pytest.raises(ConfigurationError, match="backend"):
+            TradingSimulator(config, backend="gpu")
+
+    def test_runtime_churn_ledger_digest_identical(self):
+        from repro.verify.runtime import (
+            RUNTIME_GOLDEN_CASE,
+            compute_runtime_golden,
+        )
+
+        scalar = compute_runtime_golden(RUNTIME_GOLDEN_CASE,
+                                        backend="scalar")
+        vector = compute_runtime_golden(RUNTIME_GOLDEN_CASE,
+                                        backend="vector")
+        assert scalar["ledger_digest"] == vector["ledger_digest"]
+        assert scalar["sessions_opened"] == vector["sessions_opened"]
+        assert scalar["messages_delivered"] == vector["messages_delivered"]
+
+    def test_runtime_backend_validation(self):
+        from repro.runtime.market import MarketRuntime
+
+        config = SimulationConfig(num_sellers=6, num_selected=2,
+                                  num_pois=3, num_rounds=10, seed=0)
+        with pytest.raises(ConfigurationError, match="backend"):
+            MarketRuntime(config, backend="gpu")
+
+
+class TestKernelsVerifySection:
+    def test_check_kernels_passes(self):
+        from repro.verify.kernels import check_kernels
+
+        result = check_kernels(seed=0)
+        assert result.passed, [c.describe() for c in result.failures()]
+        assert {c.name for c in result.checks} == {
+            "selection-unit", "batch-stage", "engine-differential",
+            "churn-differential", "mutation-canary",
+        }
+
+    def test_mutation_canary_detects_kernel_defect(self):
+        # The canary inverts the oracle: a 1% bonus inflation must FAIL
+        # the selection leg, or the differential suite has no power.
+        from repro.kernels import selection
+        from repro.verify.kernels import check_selection_kernels
+
+        original = selection._MUTATION_SCALE
+        try:
+            selection._MUTATION_SCALE = 1.01
+            assert not check_selection_kernels(seed=0, trials=10).passed
+        finally:
+            selection._MUTATION_SCALE = original
+
+    def test_runner_accepts_kernels_section(self):
+        from repro.verify.runner import SECTIONS, run_verification
+
+        assert "kernels" in SECTIONS
+        report = run_verification(sections=("kernels",))
+        assert report.kernels is not None
+        assert report.passed
+        assert report.oracles is None and report.goldens is None
+        payload = report.to_dict()
+        assert payload["kernels"]["passed"]
+        assert "kernels: PASS" in report.to_text()

@@ -1,0 +1,53 @@
+"""The checked-in goldens must pass unchanged under ``backend="vector"``.
+
+The strongest statement of the kernels equivalence contract: the exact
+JSON traces blessed from the *scalar* engine — three canonical engine
+runs plus the churning runtime case — are reproduced bit-for-bit by the
+vector backend, with no ``--update-goldens``.  Any vectorization shortcut
+that changes even one ulp of one settled price in one round shows up
+here as a concrete series drift or a ledger-digest mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.persistence import denormalize_json_value
+from repro.verify.golden import GOLDEN_CASES, compute_golden, golden_path
+from repro.verify.runtime import (
+    RUNTIME_GOLDEN_CASE,
+    _golden_path,
+    compute_runtime_golden,
+)
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return denormalize_json_value(json.load(handle))
+
+
+@pytest.mark.parametrize("case", GOLDEN_CASES, ids=lambda c: c.name)
+def test_engine_golden_bit_identical_under_vector_backend(case):
+    stored = _load(golden_path(case))
+    fresh = compute_golden(case, backend="vector")
+    # Exact equality, not the verify tolerance: the vector backend must
+    # reproduce the scalar-blessed trace to the last bit.
+    assert fresh["case"] == stored["case"]
+    assert fresh["policy"] == stored["policy"]
+    assert fresh["summary"] == stored["summary"]
+    for field, series in stored["series"].items():
+        assert fresh["series"][field] == series, (
+            f"{case.name}: series {field} drifted under backend='vector'"
+        )
+
+
+def test_runtime_churn_golden_bit_identical_under_vector_backend():
+    stored = _load(_golden_path())
+    fresh = compute_runtime_golden(RUNTIME_GOLDEN_CASE, backend="vector")
+    assert fresh["ledger_digest"] == stored["ledger_digest"]
+    assert fresh["summary"] == stored["summary"]
+    for key in ("sessions_opened", "sessions_closed",
+                "messages_delivered", "messages_dropped"):
+        assert fresh[key] == stored[key]
