@@ -56,6 +56,7 @@ def _as_state_matrices(qualities: np.ndarray, cost_a: np.ndarray,
     return qualities, cost_a, cost_b, mask
 
 
+# repro-lint: twin=repro.core.incentive._solve_round_arrays
 def masked_stage_sums(qualities: np.ndarray, cost_a: np.ndarray,
                       cost_b: np.ndarray, mask: np.ndarray,
                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -95,6 +96,7 @@ def masked_stage_sums(qualities: np.ndarray, cost_a: np.ndarray,
     return a_sums, b_sums, mean_qualities
 
 
+# repro-lint: twin=repro.core.incentive.solve_round_fast
 def solve_rounds_batch(qualities: np.ndarray, cost_a: np.ndarray,
                        cost_b: np.ndarray, mask: np.ndarray,
                        theta: float, lam: float, omega: float,
@@ -195,6 +197,7 @@ def solve_rounds_batch(qualities: np.ndarray, cost_a: np.ndarray,
     return service_prices, collection_prices, sensing_times, interior
 
 
+# repro-lint: twin=repro.game.stackelberg.solve_stage3_batch
 def stage3_golden_batch(collection_prices: np.ndarray,
                         qualities: np.ndarray, cost_a: np.ndarray,
                         cost_b: np.ndarray,

@@ -40,6 +40,7 @@ __all__ = ["ucb_scores", "top_k_partition", "estimation_error"]
 _MUTATION_SCALE = 1.0
 
 
+# repro-lint: twin=repro.core.state.LearningState.ucb_values
 def ucb_scores(counts: np.ndarray, means: np.ndarray, total: int,
                coefficient: float) -> np.ndarray:
     """The Eq.-19 index vector ``qhat_i`` for all ``M`` sellers at once.
@@ -81,6 +82,7 @@ def ucb_scores(counts: np.ndarray, means: np.ndarray, total: int,
     return scores
 
 
+# repro-lint: twin=repro.core.selection.top_k_indices
 def top_k_partition(scores: np.ndarray, k: int) -> np.ndarray:
     """Positions of the ``k`` largest scores via an ``O(M)`` partition.
 
@@ -122,6 +124,7 @@ def top_k_partition(scores: np.ndarray, k: int) -> np.ndarray:
     return winners
 
 
+# repro-lint: twin=repro.sim.rounds.estimation_error_scalar
 def estimation_error(means: np.ndarray, qualities_truth: np.ndarray,
                      scratch: np.ndarray) -> float:
     """Mean absolute estimation error without temporary allocations.

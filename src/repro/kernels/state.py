@@ -33,6 +33,7 @@ from repro.kernels.selection import ucb_scores
 __all__ = ["VectorLearningState"]
 
 
+# repro-lint: twin=repro.core.state.LearningState
 class VectorLearningState(LearningState):
     """O(K)-per-round learning state, bit-identical to the scalar one."""
 

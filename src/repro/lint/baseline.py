@@ -1,0 +1,103 @@
+"""Accepted-findings baseline for ``repro lint --flow``.
+
+A baseline file records fingerprints of findings that existed when the
+gate was introduced, so CI can fail only on *new* findings while the
+backlog is burned down.  Fingerprints hash the repo-relative path, the
+rule id, the message, and the flagged snippet — but **not** the line
+number, so unrelated edits above a finding do not churn the baseline.
+
+The committed baseline (``lint-baseline.json``) is empty: the tree
+self-hosts clean and must stay that way.  The file exists so the
+workflow (``--write-baseline`` after an intentional regression, review
+the diff, burn it down) is exercised and documented.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.exceptions import ConfigurationError
+from repro.lint.framework import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "filter_baselined",
+    "finding_fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+def finding_fingerprint(finding: Finding, root: str = ".") -> str:
+    """Stable, line-number-independent fingerprint of one finding."""
+    try:
+        rel = os.path.relpath(finding.path, root)
+    except ValueError:  # different drive on windows
+        rel = finding.path
+    rel = rel.replace(os.sep, "/")
+    payload = "|".join((rel, finding.rule, finding.message,
+                        finding.snippet))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def load_baseline(path: str) -> set[str]:
+    """The fingerprint set stored at ``path``.
+
+    Raises
+    ------
+    ConfigurationError
+        If the file is missing or malformed.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read baseline {path}: {error}"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"baseline {path} is not valid JSON: {error}"
+        ) from error
+    if (not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("findings"), list)):
+        raise ConfigurationError(
+            f"baseline {path} has an unrecognised schema "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    return set(str(item) for item in payload["findings"])
+
+
+def write_baseline(path: str, findings: list[Finding],
+                   root: str = ".") -> int:
+    """Write the fingerprints of ``findings`` to ``path``.
+
+    Returns the number of fingerprints written (duplicates collapse).
+    """
+    fingerprints = sorted({finding_fingerprint(f, root) for f in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "findings": fingerprints,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(fingerprints)
+
+
+def filter_baselined(findings: list[Finding], baseline: set[str],
+                     root: str = ".") -> tuple[list[Finding], int]:
+    """Drop findings whose fingerprint is in ``baseline``.
+
+    Returns ``(kept, suppressed_count)``.
+    """
+    kept = [f for f in findings
+            if finding_fingerprint(f, root) not in baseline]
+    return kept, len(findings) - len(kept)

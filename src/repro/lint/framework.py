@@ -2,11 +2,13 @@
 
 The framework is deliberately small: a :class:`LintRule` registry, a
 :class:`LintContext` describing one source file (its AST, raw lines,
-inferred package, and suppression table), and driver functions that
-run every registered rule over files or directories.
+inferred package, and suppression table), and a :class:`LintSession`
+driver that parses each file exactly once per run and shares the
+parsed contexts between the classic single-file rules and the
+whole-program flow engine (:mod:`repro.lint.flow`).
 
-Suppression syntax
-------------------
+Pragma syntax
+-------------
 A finding is suppressed when the flagged line carries a comment of the
 form ``# repro-lint: disable=RL001`` (several ids comma-separated, or
 ``all``).  A whole file opts out of one rule with
@@ -14,6 +16,16 @@ form ``# repro-lint: disable=RL001`` (several ids comma-separated, or
 also override the inferred package with ``# repro-lint:
 package=repro.sim`` so package-scoped rules can be exercised from
 paths outside ``src/repro``.
+
+Two further directives annotate rather than suppress and are consumed
+by the flow rules: ``# repro-lint: twin=repro.core.foo`` on (or above)
+a ``def`` line declares the scalar twin of a kernel entry point
+(RL105), and ``# repro-lint: mutates=out,scratch`` declares parameters
+a kernel is allowed to write through (RL102).
+
+Suppression pragmas that never match a finding are themselves
+reported (rule ``RL007``) so stale ``disable=`` comments cannot hide
+regressions silently; see :meth:`LintSession.orphan_findings`.
 """
 
 from __future__ import annotations
@@ -23,7 +35,7 @@ import os
 import re
 import tokenize
 from dataclasses import dataclass, field
-from collections.abc import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 
@@ -31,6 +43,8 @@ __all__ = [
     "Finding",
     "LintContext",
     "LintRule",
+    "LintSession",
+    "ORPHAN_PRAGMA_RULE",
     "all_rules",
     "get_rule",
     "lint_paths",
@@ -40,9 +54,16 @@ __all__ = [
 
 #: ``# repro-lint: <directive>`` comment, e.g. ``disable=RL001,RL004``.
 _PRAGMA = re.compile(
-    r"#\s*repro-lint:\s*(?P<directive>disable-file|disable|package)\s*=\s*"
+    r"#\s*repro-lint:\s*(?P<directive>disable-file|disable|package"
+    r"|twin|mutates)\s*=\s*"
     r"(?P<value>[A-Za-z0-9_.,\s-]+)"
 )
+
+#: Rule id under which unused suppression pragmas are reported.
+ORPHAN_PRAGMA_RULE = "RL007"
+
+#: Scope key used for file-level pragma entries in inventories.
+_FILE_SCOPE = 0
 
 
 @dataclass(frozen=True, order=True)
@@ -55,11 +76,14 @@ class Finding:
     rule: str
     message: str
     snippet: str = field(default="", compare=False)
+    severity: str = field(default="error", compare=False)
 
     def format(self) -> str:
         """The conventional ``path:line:col: RULE message`` line."""
         location = f"{self.path}:{self.line}:{self.column + 1}"
         text = f"{location}: {self.rule} {self.message}"
+        if self.severity != "error":
+            text = f"{location}: {self.rule} [{self.severity}] {self.message}"
         if self.snippet:
             text += f"\n    {self.snippet}"
         return text
@@ -73,16 +97,26 @@ class Finding:
             "rule": self.rule,
             "message": self.message,
             "snippet": self.snippet,
+            "severity": self.severity,
         }
 
 
 class _Suppressions:
-    """Per-file suppression table parsed from ``# repro-lint:`` pragmas."""
+    """Per-file pragma table parsed from ``# repro-lint:`` comments."""
 
     def __init__(self, source: str) -> None:
         self.line_rules: dict[int, set[str]] = {}
         self.file_rules: set[str] = set()
         self.package_override: str | None = None
+        #: ``lineno -> dotted scalar-twin path`` (``twin=`` directives).
+        self.twins: dict[int, str] = {}
+        #: ``lineno -> declared mutable parameter names`` (``mutates=``).
+        self.mutates: dict[int, tuple[str, ...]] = {}
+        #: ``(scope, rule) -> pragma lineno`` for every suppression
+        #: entry; ``scope`` is the target line, or ``_FILE_SCOPE`` for
+        #: ``disable-file``.
+        self.entries: dict[tuple[int, str], int] = {}
+        self._used: set[tuple[int, str]] = set()
         for lineno, comment in _iter_comments(source):
             match = _PRAGMA.search(comment)
             if match is None:
@@ -92,21 +126,55 @@ class _Suppressions:
             if directive == "package":
                 self.package_override = value
                 continue
+            if directive == "twin":
+                self.twins[lineno] = value
+                continue
+            if directive == "mutates":
+                self.mutates[lineno] = tuple(
+                    item.strip() for item in value.split(",") if item.strip()
+                )
+                continue
             rules = {item.strip().upper() for item in value.split(",")
                      if item.strip()}
             if directive == "disable-file":
                 self.file_rules |= rules
+                for rule in rules:
+                    self.entries.setdefault((_FILE_SCOPE, rule), lineno)
             else:
                 self.line_rules.setdefault(lineno, set()).update(rules)
+                for rule in rules:
+                    self.entries.setdefault((lineno, rule), lineno)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        """Whether ``rule`` is disabled at ``line`` (1-based)."""
-        if "ALL" in self.file_rules or rule in self.file_rules:
-            return True
-        at_line = self.line_rules.get(line)
-        return at_line is not None and (
-            "ALL" in at_line or rule in at_line
-        )
+        """Whether ``rule`` is disabled at ``line`` (1-based).
+
+        Matching pragma entries are recorded as *used* so the session
+        can later report the orphaned ones (``RL007``).
+        """
+        suppressed = False
+        for scope, entry_rule in ((_FILE_SCOPE, "ALL"), (_FILE_SCOPE, rule),
+                                  (line, "ALL"), (line, rule)):
+            if (scope, entry_rule) in self.entries:
+                self._used.add((scope, entry_rule))
+                suppressed = True
+        return suppressed
+
+    def inventory(self) -> dict[tuple[int, str], tuple[int, bool]]:
+        """``(scope, rule) -> (pragma_lineno, used)`` for every entry."""
+        return {key: (lineno, key in self._used)
+                for key, lineno in self.entries.items()}
+
+    def directive_for(self, start: int, end: int,
+                      table: dict[int, object]) -> object | None:
+        """The directive value attached to lines ``start..end`` if any.
+
+        Used to bind ``twin=`` / ``mutates=`` pragmas to a ``def``
+        whose decorators may carry the comment.
+        """
+        for lineno in range(start, end + 1):
+            if lineno in table:
+                return table[lineno]
+        return None
 
 
 def _iter_comments(source: str) -> Iterator[tuple[int, str]]:
@@ -173,6 +241,28 @@ class LintContext:
         if lineno is None or lineno > len(self.lines):
             return ""
         return self.lines[lineno - 1].strip()
+
+
+def build_context(source: str, path: str) -> LintContext:
+    """Parse ``source`` into a :class:`LintContext`.
+
+    Raises
+    ------
+    ConfigurationError
+        If the source does not parse.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise ConfigurationError(
+            f"cannot lint {path}: {error.msg} (line {error.lineno})"
+        ) from error
+    suppressions = _Suppressions(source)
+    package = suppressions.package_override
+    if package is None:
+        package = _infer_package(path)
+    return LintContext(path=path, source=source, tree=tree,
+                       package=package, suppressions=suppressions)
 
 
 class LintRule:
@@ -247,6 +337,18 @@ def _select_rules(select: Iterable[str] | None) -> tuple[LintRule, ...]:
     return tuple(get_rule(rule_id) for rule_id in select)
 
 
+def _check_context(context: LintContext,
+                   rules: Sequence[LintRule]) -> list[Finding]:
+    """Run ``rules`` over one parsed file, applying suppressions."""
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(context):
+            if not context.suppressions.is_suppressed(finding.rule,
+                                                      finding.line):
+                findings.append(finding)
+    return findings
+
+
 def lint_source(source: str, path: str = "<string>",
                 select: Iterable[str] | None = None) -> list[Finding]:
     """Lint one source string, returning unsuppressed findings.
@@ -267,23 +369,8 @@ def lint_source(source: str, path: str = "<string>",
         If the source does not parse, or ``select`` names an unknown
         rule.
     """
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        raise ConfigurationError(
-            f"cannot lint {path}: {error.msg} (line {error.lineno})"
-        ) from error
-    suppressions = _Suppressions(source)
-    package = suppressions.package_override
-    if package is None:
-        package = _infer_package(path)
-    context = LintContext(path=path, source=source, tree=tree,
-                          package=package, suppressions=suppressions)
-    findings: list[Finding] = []
-    for rule in _select_rules(select):
-        for finding in rule.check(context):
-            if not suppressions.is_suppressed(finding.rule, finding.line):
-                findings.append(finding)
+    rules = _select_rules(select)
+    findings = _check_context(build_context(source, path), rules)
     findings.sort()
     return findings
 
@@ -306,37 +393,203 @@ def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
             yield path
 
 
+def _lint_file_task(payload: dict, context: object) -> dict:
+    """Worker-side runner for ``--jobs`` sharding (must be picklable).
+
+    Returns finding dicts plus the file's pragma inventory so the
+    coordinator can still compute orphaned-pragma findings across the
+    process boundary.
+    """
+    path = payload["path"]
+    select = payload["select"]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read {path}: {error}") from error
+    file_context = build_context(source, path)
+    findings = _check_context(file_context, _select_rules(select))
+    inventory = file_context.suppressions.inventory()
+    return {
+        "findings": [finding.to_dict() for finding in findings],
+        "inventory": [[scope, rule, lineno, used]
+                      for (scope, rule), (lineno, used)
+                      in inventory.items()],
+    }
+
+
+class LintSession:
+    """One lint run: shared parsed files, classic rules, pragma audit.
+
+    The session owns the file list and a parse cache so each file is
+    read and parsed exactly once per run even when several analysis
+    passes (classic rules, the flow engine, the orphan audit) need the
+    same AST.
+    """
+
+    def __init__(self, paths: Iterable[str],
+                 select: Iterable[str] | None = None,
+                 on_file: Callable[[str], None] | None = None) -> None:
+        self.rules = _select_rules(select)
+        self.rule_ids = [rule.rule_id for rule in self.rules]
+        self.full_rule_set = select is None
+        self.files: list[str] = list(_iter_python_files(paths))
+        self.on_file = on_file
+        self._contexts: dict[str, LintContext] = {}
+        #: ``path -> {(scope, rule): (pragma_lineno, used)}`` merged
+        #: across classic, flow, and worker-side passes.
+        self._inventories: dict[str, dict[tuple[int, str],
+                                          tuple[int, bool]]] = {}
+
+    @property
+    def files_checked(self) -> int:
+        return len(self.files)
+
+    def context(self, path: str) -> LintContext:
+        """The parsed context for ``path`` (cached)."""
+        cached = self._contexts.get(path)
+        if cached is not None:
+            return cached
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read {path}: {error}"
+            ) from error
+        context = build_context(source, path)
+        self._contexts[path] = context
+        return context
+
+    def parsed(self, path: str) -> LintContext | None:
+        """The already-parsed context for ``path``, if any (no I/O)."""
+        return self._contexts.get(path)
+
+    def contexts(self) -> Iterator[LintContext]:
+        """Parsed contexts for every file in the session, in order."""
+        for path in self.files:
+            yield self.context(path)
+
+    def run_classic(self, jobs: int = 1) -> list[Finding]:
+        """Run the registered single-file rules over every file.
+
+        ``jobs > 1`` shards files over
+        :class:`repro.parallel.ParallelExecutor`; finding order is
+        deterministic either way (files are pre-sorted and findings
+        are fully sorted before returning).
+        """
+        if jobs > 1 and len(self.files) > 1:
+            findings = self._run_classic_parallel(jobs)
+        else:
+            findings = []
+            for path in self.files:
+                if self.on_file is not None:
+                    self.on_file(path)
+                findings.extend(_check_context(self.context(path),
+                                               self.rules))
+        findings.sort()
+        return findings
+
+    def _run_classic_parallel(self, jobs: int) -> list[Finding]:
+        from repro.parallel import ParallelExecutor
+
+        payloads = [{"path": path, "select": self.rule_ids}
+                    for path in self.files]
+        executor = ParallelExecutor(_lint_file_task,
+                                    workers=min(jobs, len(payloads)))
+        findings: list[Finding] = []
+        for result in executor.map(payloads):
+            path = payloads[result.task_id]["path"]
+            if self.on_file is not None:
+                self.on_file(path)
+            value = result.value
+            findings.extend(Finding(**item) for item in value["findings"])
+            inventory = {(scope, rule): (lineno, used)
+                         for scope, rule, lineno, used in value["inventory"]}
+            self._merge_inventory(path, inventory)
+        return findings
+
+    # -- orphaned-pragma audit (RL007) --------------------------------
+
+    def _merge_inventory(self, path: str,
+                         inventory: dict[tuple[int, str],
+                                         tuple[int, bool]]) -> None:
+        merged = self._inventories.setdefault(path, {})
+        for key, (lineno, used) in inventory.items():
+            prev = merged.get(key)
+            merged[key] = (lineno, used or (prev is not None and prev[1]))
+
+    def merge_inventory(self, path: str,
+                        suppressions: _Suppressions) -> None:
+        """Fold an external pass's pragma usage into the audit."""
+        self._merge_inventory(path, suppressions.inventory())
+
+    def collect_usage(self) -> None:
+        """Fold pragma usage from every parsed context into the audit."""
+        for path, context in self._contexts.items():
+            self._merge_inventory(path, context.suppressions.inventory())
+
+    def orphan_findings(self, executed_rules: Iterable[str],
+                        strict: bool = False) -> list[Finding]:
+        """Findings for suppression pragmas that never fired.
+
+        Only pragmas naming a rule in ``executed_rules`` are audited
+        (a ``disable=RL101`` comment is not orphaned just because the
+        flow pass was skipped); ``disable=all`` entries are audited
+        only when the full rule set ran.  Orphans are warnings by
+        default and errors under ``--strict-pragmas``.
+        """
+        self.collect_usage()
+        executed = {rule_id.upper() for rule_id in executed_rules}
+        # ``disable=all`` can only be judged orphaned when every
+        # registered rule (classic and flow alike) actually ran.
+        from repro.lint.rules_flow import all_flow_rules
+
+        registered = {rule.rule_id for rule in _REGISTRY.values()}
+        registered |= {rule.rule_id for rule in all_flow_rules()}
+        audit_all = registered <= executed
+        severity = "error" if strict else "warning"
+        findings: list[Finding] = []
+        for path in self.files:
+            inventory = self._inventories.get(path, {})
+            for (scope, rule), (lineno, used) in inventory.items():
+                if used:
+                    continue
+                if rule == "ALL":
+                    if not audit_all:
+                        continue
+                elif rule not in executed:
+                    continue
+                where = ("file-wide" if scope == _FILE_SCOPE
+                         else f"line {scope}")
+                findings.append(Finding(
+                    path=path, line=lineno, column=0,
+                    rule=ORPHAN_PRAGMA_RULE,
+                    message=(f"unused suppression pragma: disable="
+                             f"{rule} ({where}) never matched a finding"),
+                    snippet="",
+                    severity=severity,
+                ))
+        findings.sort()
+        return findings
+
+
 def lint_paths(paths: Iterable[str],
                select: Iterable[str] | None = None,
                on_file: Callable[[str], None] | None = None,
+               jobs: int = 1,
                ) -> tuple[list[Finding], int]:
     """Lint files and directory trees.
 
     Returns ``(findings, files_checked)``.  ``on_file`` (if given) is
     called with each path before it is linted — the CLI uses it for
-    verbose progress.
+    verbose progress.  ``jobs`` shards files over worker processes.
 
     Raises
     ------
     ConfigurationError
         On unreadable/unparsable files or unknown paths or rules.
     """
-    findings: list[Finding] = []
-    checked = 0
-    rules = _select_rules(select)  # validate ids before any file I/O
-    rule_ids = [rule.rule_id for rule in rules]
-    for file_path in _iter_python_files(paths):
-        if on_file is not None:
-            on_file(file_path)
-        try:
-            with open(file_path, encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as error:
-            raise ConfigurationError(
-                f"cannot read {file_path}: {error}"
-            ) from error
-        findings.extend(lint_source(source, path=file_path,
-                                    select=rule_ids))
-        checked += 1
-    findings.sort()
-    return findings, checked
+    session = LintSession(paths, select=select, on_file=on_file)
+    findings = session.run_classic(jobs=jobs)
+    return findings, session.files_checked

@@ -1,31 +1,52 @@
-"""Human and JSON renderings of lint findings.
+"""Human, JSON, and SARIF renderings of lint findings.
 
-The JSON schema (``version`` 1) is the artifact CI uploads::
+The JSON schema (``version`` 2) is the artifact CI uploads::
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro-lint",
       "files_checked": 124,
       "findings": [
         {"path": "...", "line": 10, "column": 4, "rule": "RL001",
-         "message": "...", "snippet": "..."}
+         "message": "...", "snippet": "...", "severity": "error"}
       ],
       "counts": {"RL001": 1},
       "rules": {"RL001": {"title": "...", "rationale": "..."}}
     }
+
+Version 2 added the per-finding ``severity`` field ("error" or
+"warning"); version-1 consumers that ignore unknown keys keep working.
+
+:func:`findings_to_sarif` emits a minimal SARIF 2.1.0 log (one run,
+one ``tool.driver``) suitable for GitHub code-scanning upload; each
+result carries a line-number-independent ``partialFingerprints`` entry
+shared with the baseline file so annotations survive rebases.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
+from repro.lint.baseline import finding_fingerprint
 from repro.lint.framework import Finding, all_rules
 
-__all__ = ["findings_to_json", "render_findings"]
+__all__ = ["findings_to_json", "findings_to_sarif", "render_findings"]
 
 #: Schema version of the JSON report.
-JSON_REPORT_VERSION = 1
+JSON_REPORT_VERSION = 2
+
+#: SARIF constants for the generated log.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _default_rule_meta() -> dict[str, dict[str, str]]:
+    return {
+        rule.rule_id: {"title": rule.title, "rationale": rule.rationale}
+        for rule in all_rules()
+    }
 
 
 def render_findings(findings: Sequence[Finding],
@@ -50,19 +71,88 @@ def render_findings(findings: Sequence[Finding],
 
 
 def findings_to_json(findings: Iterable[Finding],
-                     files_checked: int = 0) -> dict[str, object]:
-    """The machine-readable report dict (see module docstring)."""
+                     files_checked: int = 0,
+                     rules: Mapping[str, Mapping[str, str]] | None = None,
+                     ) -> dict[str, object]:
+    """The machine-readable report dict (see module docstring).
+
+    ``rules`` overrides the rule-metadata block (the flow driver passes
+    the union of classic and flow rules); the default is the classic
+    registry.
+    """
     items = [finding.to_dict() for finding in findings]
     counts = Counter(str(item["rule"]) for item in items)
+    rule_meta = dict(rules) if rules is not None else _default_rule_meta()
     return {
         "version": JSON_REPORT_VERSION,
         "tool": "repro-lint",
         "files_checked": int(files_checked),
         "findings": items,
         "counts": dict(sorted(counts.items())),
-        "rules": {
-            rule.rule_id: {"title": rule.title,
-                           "rationale": rule.rationale}
-            for rule in all_rules()
-        },
+        "rules": {rule_id: dict(meta)
+                  for rule_id, meta in sorted(rule_meta.items())},
+    }
+
+
+def findings_to_sarif(findings: Sequence[Finding],
+                      rules: Mapping[str, Mapping[str, str]] | None = None,
+                      root: str = ".") -> dict[str, object]:
+    """A SARIF 2.1.0 log for ``findings``.
+
+    ``rules`` supplies the driver rule metadata (defaults to the
+    classic registry); rules never mentioned by a finding are still
+    listed so code-scanning UIs can show the full policy.
+    """
+    rule_meta = dict(rules) if rules is not None else _default_rule_meta()
+    rule_ids = sorted(set(rule_meta) | {f.rule for f in findings})
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    driver_rules = []
+    for rule_id in rule_ids:
+        meta = rule_meta.get(rule_id, {})
+        driver_rules.append({
+            "id": rule_id,
+            "shortDescription": {
+                "text": str(meta.get("title", rule_id)),
+            },
+            "fullDescription": {
+                "text": str(meta.get("rationale", "")),
+            },
+        })
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.column + 1,
+                        "snippet": {"text": finding.snippet},
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproLint/v1": finding_fingerprint(finding, root),
+            },
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": driver_rules,
+                },
+            },
+            "results": results,
+        }],
     }

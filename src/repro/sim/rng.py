@@ -88,4 +88,4 @@ class RngFactory:
                 for char in str(name):
                     value = (value * 131 + ord(char)) & 0xFFFFFFFF
                 key.append(value)
-        return np.random.default_rng(np.random.SeedSequence(key))
+        return seeded_generator(seed_sequence(key))

@@ -109,17 +109,25 @@ class RoundContext:
     scratch: np.ndarray | None = None
 
 
-def _estimation_error_of(ctx: RoundContext, state: LearningState) -> float:
-    """Mean absolute estimation error, allocation-free when possible.
+def estimation_error_scalar(means: np.ndarray,
+                            qualities_truth: np.ndarray) -> float:
+    """Allocation-naive mean absolute estimation error.
 
-    Both branches perform the identical subtract/abs/mean sequence, so
-    the value is bit-identical across backends (see
-    :func:`repro.kernels.selection.estimation_error`).
+    The scalar twin of
+    :func:`repro.kernels.selection.estimation_error`: the identical
+    subtract/abs/mean sequence, with ordinary temporaries instead of a
+    caller-owned scratch buffer, so the value is bit-identical across
+    backends.
     """
+    return float(np.abs(means - qualities_truth).mean())
+
+
+def _estimation_error_of(ctx: RoundContext, state: LearningState) -> float:
+    """Mean absolute estimation error, allocation-free when possible."""
     if ctx.scratch is not None:
         return _estimation_error(state.means, ctx.qualities_truth,
                                  ctx.scratch)
-    return float(np.abs(state.means - ctx.qualities_truth).mean())
+    return estimation_error_scalar(state.means, ctx.qualities_truth)
 
 
 def play_clean_round(ctx: RoundContext, t: int, selected: np.ndarray,

@@ -114,9 +114,10 @@ def check_selection_kernels(*, seed: int = 0,
     """
     from repro.core.selection import top_k_indices
     from repro.core.state import LearningState
-    from repro.kernels.selection import top_k_partition, ucb_scores
+    from repro.kernels.selection import (estimation_error, top_k_partition,
+                                         ucb_scores)
     from repro.kernels.state import VectorLearningState
-    from repro.sim.rounds import PRIOR_MEAN
+    from repro.sim.rounds import PRIOR_MEAN, estimation_error_scalar
 
     rng = seeded_generator(seed)
     comparisons = 0
@@ -181,6 +182,16 @@ def check_selection_kernels(*, seed: int = 0,
             return KernelsCheck(
                 "selection-unit", False,
                 f"ucb_scores diverged from the state path in trial {trial}"
+            )
+        # Scratch-buffer estimation error vs the allocation-naive twin.
+        truth = rng.uniform(0.0, 1.0, m)
+        scratch = np.empty(m)
+        if estimation_error(vector.means, truth, scratch) \
+                != estimation_error_scalar(scalar.means, truth):
+            return KernelsCheck(
+                "selection-unit", False,
+                f"estimation_error diverged from the scalar twin in "
+                f"trial {trial} (M={m})"
             )
         comparisons += 1
     return KernelsCheck(

@@ -1,0 +1,23 @@
+"""RL102 fixture: a pure kernel pair with a declared ``out=`` buffer.
+
+Clean as committed: ``scale_into`` only writes its conventional ``out``
+parameter and ``pipeline`` forwards its own ``out`` buffer.  The
+meta-tests mutate this into the three impurity classes RL102 exists
+for: mutating a non-out parameter, appending to module state, and
+calling an impure helper.
+"""
+# repro-lint: package=repro.kernels.fixture
+import numpy as np
+
+_SCALE = 2.0
+
+
+def scale_into(values, out):
+    """Write ``values * _SCALE`` into the caller-owned ``out``."""
+    np.multiply(values, _SCALE, out=out)
+    return out
+
+
+def pipeline(values, out):
+    """Forward the caller's buffer through the scaling kernel."""
+    return scale_into(values, out)

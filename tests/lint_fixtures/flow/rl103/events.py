@@ -1,0 +1,16 @@
+"""RL103 fixture: the event schema module (kinds + TraceEvent)."""
+# repro-lint: package=repro.obs.events
+
+EVENT_KINDS = frozenset({
+    "round_start",
+    "round_end",
+    "trade_settled",
+})
+
+
+class TraceEvent:
+    """Minimal stand-in for the real trace record."""
+
+    def __init__(self, kind, payload=None):
+        self.kind = kind
+        self.payload = payload

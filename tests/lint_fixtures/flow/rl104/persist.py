@@ -1,0 +1,30 @@
+"""RL104 fixture: a symmetric ``save_state``/``load_state`` pair.
+
+Clean as committed: every key the saver writes is read back (or
+defaulted) by the loader, and every key the loader requires is
+written.  The meta-tests widen one side at a time — an extra written
+key (never read) and an extra required key (never written) — and
+assert RL104 reports the drift at the right site.
+"""
+# repro-lint: package=repro.sim.persist_fixture
+
+
+def _schema_version():
+    return 3
+
+
+def save_state(means, counts):
+    """Serialize the learning state to a plain payload dict."""
+    return {
+        "means": list(means),
+        "counts": list(counts),
+        "version": _schema_version(),
+    }
+
+
+def load_state(payload):
+    """Rebuild the learning state from ``payload``."""
+    means = payload["means"]
+    counts = payload["counts"]
+    version = payload.get("version", 0)
+    return means, counts, version

@@ -1,0 +1,11 @@
+"""RL105 fixture: the differential harness referencing the kernel."""
+# repro-lint: package=repro.verify.kernels
+from repro.core.reference import slow_scores
+from repro.kernels import fast_scores
+
+
+def check_scores(counts, means, coefficient):
+    """One scalar-vs-vector differential leg."""
+    fast = fast_scores(counts, means, coefficient)
+    slow = slow_scores(counts, means, coefficient)
+    return list(fast) == list(slow)

@@ -1,0 +1,11 @@
+"""RL105 fixture: the public kernel surface with a declared twin."""
+# repro-lint: package=repro.kernels
+import numpy as np
+
+__all__ = ["fast_scores"]
+
+
+# repro-lint: twin=repro.core.reference.slow_scores
+def fast_scores(counts, means, coefficient):
+    """Vectorised score kernel (twin: the scalar reference loop)."""
+    return means + coefficient * np.sqrt(counts)

@@ -1,0 +1,9 @@
+"""RL105 fixture: the scalar reference twin of the vector kernel."""
+# repro-lint: package=repro.core.reference
+import math
+
+
+def slow_scores(counts, means, coefficient):
+    """Element-by-element reference for ``fast_scores``."""
+    return [mean + coefficient * math.sqrt(count)
+            for count, mean in zip(counts, means)]

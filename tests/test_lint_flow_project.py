@@ -1,0 +1,247 @@
+"""Unit tests for the flow engine's project layer.
+
+Covers per-file fact extraction (the vexpr mini-IR and its JSON round
+trip), the :class:`ProjectIndex` name resolution (aliases, re-exports,
+methods), call-graph construction, Tarjan SCC ordering, the bottom-up
+function summaries, and the content-hash facts cache.
+"""
+
+import json
+
+import pytest
+
+from repro.lint.framework import build_context
+from repro.lint.flow import FlowAnalysis, run_flow
+from repro.lint.framework import LintSession
+from repro.lint.project import (CallSite, ProjectIndex, build_call_graph,
+                                strongly_connected_components)
+from repro.lint.summaries import (FactsCache, ModuleFacts, content_hash,
+                                  extract_module_facts)
+
+
+def facts_of(source, module, path=None):
+    context = build_context(source, path or f"{module.replace('.', '/')}.py")
+    return extract_module_facts(context, module=module)
+
+
+def index_of(*modules):
+    index = ProjectIndex()
+    for source, module in modules:
+        index.add(facts_of(source, module))
+    return index
+
+
+class TestExtraction:
+    def test_function_facts_capture_params_and_calls(self):
+        facts = facts_of(
+            "def solve(a, b, *, tol=1e-9):\n"
+            "    return helper(a, tol)\n",
+            "pkg.mod",
+        )
+        fn = facts.functions["solve"]
+        assert fn.params == ["a", "b"]
+        assert fn.kwonly == ["tol"]
+        assert fn.required == 2
+        assert len(fn.calls) == 1
+        # `helper` is not a local, so it lowers to a module-level ref
+        assert fn.calls[0][1] == ["ref", "helper"]
+
+    def test_module_facts_json_round_trip(self):
+        source = (
+            "import numpy as np\n"
+            "from pkg.other import thing\n"
+            "LIMIT = frozenset({'a', 'b'})\n"
+            "class Box:\n"
+            "    def get(self, key):\n"
+            "        return self.data[key]\n"
+            "def top(x):\n"
+            "    return np.sqrt(x)\n"
+        )
+        facts = facts_of(source, "pkg.mod")
+        clone = ModuleFacts.from_dict(json.loads(
+            json.dumps(facts.to_dict())))
+        assert clone.to_dict() == facts.to_dict()
+        assert clone.imports_modules["np"] == "numpy"
+        assert clone.imports_objects["thing"] == "pkg.other.thing"
+        assert "Box" in clone.classes
+        assert "Box.get" in clone.functions
+
+    def test_annotations_are_not_value_flow(self):
+        # `x: np.random.Generator` must not read as an RNG reference
+        facts = facts_of(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    g: np.random.Generator = x\n"
+            "    return g\n",
+            "pkg.mod",
+        )
+        assert facts.functions["f"].calls == []
+
+    def test_out_param_conventions_and_pragmas(self):
+        facts = facts_of(
+            "# repro-lint: mutates=dst\n"
+            "def f(a, dst, out, scratch):\n"
+            "    return a\n",
+            "pkg.mod",
+        )
+        assert set(facts.functions["f"].out_params) \
+            == {"dst", "out", "scratch"}
+
+
+class TestProjectIndex:
+    def test_resolve_through_import_alias(self):
+        index = index_of(
+            ("def helper(x):\n    return x\n", "pkg.util"),
+            ("import pkg.util as u\n"
+             "def caller(x):\n    return u.helper(x)\n", "pkg.main"),
+        )
+        assert index.resolve("pkg.main", "u.helper") == "pkg.util.helper"
+
+    def test_resolve_through_reexport_chain(self):
+        index = index_of(
+            ("def deep(x):\n    return x\n", "pkg.impl"),
+            ("from pkg.impl import deep\n", "pkg"),
+            ("from pkg import deep\n"
+             "def caller(x):\n    return deep(x)\n", "app.main"),
+        )
+        assert index.resolve("app.main", "deep") == "pkg.impl.deep"
+
+    def test_lookup_inherited_method(self):
+        index = index_of(
+            ("class Base:\n"
+             "    def shared(self):\n        return 1\n", "pkg.base"),
+            ("from pkg.base import Base\n"
+             "class Child(Base):\n"
+             "    def own(self):\n        return 2\n", "pkg.child"),
+        )
+        assert index.lookup_method("pkg.child.Child", "shared") is not None
+        assert index.lookup_method("pkg.child.Child", "missing") is None
+
+    def test_eval_constexpr_follows_refs(self):
+        index = index_of(
+            ("CORE = frozenset({'a', 'b'})\n", "pkg.schema"),
+            ("from pkg.schema import CORE\n"
+             "ALL = CORE\n", "pkg.use"),
+        )
+        assert index.eval_constexpr("pkg.use", ["ref", "ALL"]) \
+            == {"a", "b"}
+
+
+class TestCallGraph:
+    def test_method_call_on_known_class_instance(self):
+        index = index_of(
+            ("class Engine:\n"
+             "    def step(self):\n        return 1\n", "pkg.engine"),
+            ("from pkg.engine import Engine\n"
+             "def run():\n"
+             "    e = Engine()\n"
+             "    return e.step()\n", "pkg.main"),
+        )
+        graph = build_call_graph(index)
+        targets = {site.target for site in graph["pkg.main.run"]}
+        assert "pkg.engine.Engine.step" in targets
+
+    def test_tarjan_orders_callees_before_callers(self):
+        def edge(caller, target):
+            return CallSite(caller=caller, target=target, call=["other"],
+                            line=1, col=0, is_ctor=False)
+
+        graph = {"a": [edge("a", "b")], "b": [edge("b", "c")],
+                 "c": [edge("c", "b")], "d": []}
+        sccs = strongly_connected_components(graph)
+        flat = [sorted(scc) for scc in sccs]
+        assert ["b", "c"] in flat
+        # the cycle {b,c} must come before its caller a
+        assert flat.index(["b", "c"]) < flat.index(["a"])
+
+
+class TestSummaries:
+    def _analysis(self, *modules):
+        index = ProjectIndex()
+        sources = {}
+        for source, module in modules:
+            facts = facts_of(source, module)
+            index.add(facts)
+            sources[facts.path] = facts
+        return FlowAnalysis(index, sources)
+
+    def test_rng_taint_propagates_through_helper_returns(self):
+        analysis = self._analysis(
+            ("import numpy as np\n"
+             "def born():\n"
+             "    return np.random.default_rng(0)\n"
+             "def laundered():\n"
+             "    return born()\n", "pkg.rng"),
+        )
+        assert "taint" in analysis.summary_of("pkg.rng.born").returns
+        assert "taint" in analysis.summary_of("pkg.rng.laundered").returns
+
+    def test_mutated_params_propagate_through_call_chain(self):
+        analysis = self._analysis(
+            ("def inner(buf):\n"
+             "    buf[:] = 0\n"
+             "def outer(data):\n"
+             "    inner(data)\n", "pkg.mut"),
+        )
+        assert analysis.summary_of("pkg.mut.inner").mutated_params \
+            == frozenset({"buf"})
+        assert analysis.summary_of("pkg.mut.outer").mutated_params \
+            == frozenset({"data"})
+
+    def test_recursive_cycle_reaches_fixpoint(self):
+        analysis = self._analysis(
+            ("GLOBAL = []\n"
+             "def ping(n):\n"
+             "    GLOBAL.append(n)\n"
+             "    return pong(n - 1)\n"
+             "def pong(n):\n"
+             "    return ping(n) if n else n\n", "pkg.cycle"),
+        )
+        assert analysis.summary_of("pkg.cycle.ping").writes_global
+        # impurity crosses the cycle to the mutual partner
+        assert analysis.summary_of("pkg.cycle.pong").writes_global
+
+    def test_module_function_call_is_not_a_mutation(self):
+        analysis = self._analysis(
+            ("import numpy as np\n"
+             "def f(x):\n"
+             "    return np.sort(x)\n", "pkg.np_use"),
+        )
+        summary = analysis.summary_of("pkg.np_use.f")
+        assert not summary.writes_global
+        assert summary.mutated_params == frozenset()
+
+
+class TestFactsCache:
+    def test_round_trip_and_pruning(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache = FactsCache(str(cache_path))
+        facts = facts_of("def f(x):\n    return x\n", "pkg.mod")
+        cache.put(facts)
+        cache.save()
+
+        fresh = FactsCache(str(cache_path))
+        hit = fresh.get(facts.content_hash)
+        assert hit is not None
+        assert hit.to_dict() == facts.to_dict()
+        assert fresh.get(content_hash("something else")) is None
+
+        fresh.save(keep=set())  # prune everything
+        assert FactsCache(str(cache_path)).get(facts.content_hash) is None
+
+    def test_run_flow_reuses_cache_across_runs(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("# repro-lint: package=pkg.mod\n"
+                          "def f(x):\n    return x\n")
+        cache_path = str(tmp_path / "cache.json")
+        first = run_flow(LintSession([str(target)]),
+                         cache_path=cache_path)
+        assert (first.cache_hits, first.cache_misses) == (0, 1)
+        second = run_flow(LintSession([str(target)]),
+                          cache_path=cache_path)
+        assert (second.cache_hits, second.cache_misses) == (1, 0)
+        target.write_text("# repro-lint: package=pkg.mod\n"
+                          "def f(x):\n    return x + 1\n")
+        third = run_flow(LintSession([str(target)]),
+                         cache_path=cache_path)
+        assert (third.cache_hits, third.cache_misses) == (0, 1)

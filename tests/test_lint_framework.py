@@ -122,7 +122,9 @@ class TestReporters:
         (item,) = report["findings"]
         assert set(item) == {
             "path", "line", "column", "rule", "message", "snippet",
+            "severity",
         }
+        assert item["severity"] == "error"
         assert item["rule"] == "RL001"
         assert item["snippet"] == "rng = np.random.default_rng()"
         assert set(report["rules"]) == {f"RL00{i}" for i in range(1, 7)}

@@ -1,0 +1,176 @@
+"""Reporter, baseline, and pragma edge-case coverage.
+
+The SARIF checks are structural (the container has no ``jsonschema``
+package): they pin the exact invariants GitHub code scanning consumes
+— schema URL, version, rule index consistency, region coordinates, and
+stable partial fingerprints.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lint import (
+    Finding,
+    filter_baselined,
+    finding_fingerprint,
+    findings_to_json,
+    findings_to_sarif,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.framework import LintSession
+from repro.lint.reporters import (JSON_REPORT_VERSION, SARIF_SCHEMA,
+                                  SARIF_VERSION)
+
+
+def sample_findings():
+    return [
+        Finding(path="src/a.py", line=3, column=4, rule="RL001",
+                message="bad rng", snippet="rng = default_rng()"),
+        Finding(path="src/b.py", line=9, column=0, rule="RL007",
+                message="orphan pragma", snippet="", severity="warning"),
+    ]
+
+
+class TestJsonReport:
+    def test_round_trips_through_json(self):
+        report = findings_to_json(sample_findings(), files_checked=2)
+        clone = json.loads(json.dumps(report))
+        assert clone == report
+        assert clone["version"] == JSON_REPORT_VERSION
+        assert [item["severity"] for item in clone["findings"]] \
+            == ["error", "warning"]
+
+    def test_rules_override_for_flow_runs(self):
+        meta = {"RL101": {"title": "t", "rationale": "r"}}
+        report = findings_to_json([], rules=meta)
+        assert report["rules"] == meta
+
+
+class TestSarif:
+    def test_structure_matches_sarif_2_1_0(self):
+        findings = sample_findings()
+        sarif = findings_to_sarif(findings)
+        assert sarif["$schema"] == SARIF_SCHEMA
+        assert sarif["version"] == SARIF_VERSION == "2.1.0"
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        results = run["results"]
+        assert len(results) == len(findings)
+        for result, finding in zip(results, findings):
+            # ruleIndex must point at the matching driver rule
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"] \
+                == finding.rule
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] == finding.line
+            # SARIF columns are 1-based; findings store 0-based
+            assert region["startColumn"] == finding.column + 1
+            assert result["partialFingerprints"]["reproLint/v1"] \
+                == finding_fingerprint(finding)
+        assert [r["level"] for r in results] == ["error", "warning"]
+        json.dumps(sarif)  # must serialize as-is
+
+    def test_every_registered_rule_is_listed(self):
+        sarif = findings_to_sarif([])
+        rule_ids = [rule["id"]
+                    for rule in sarif["runs"][0]["tool"]["driver"]["rules"]]
+        assert rule_ids == [f"RL00{i}" for i in range(1, 7)]
+
+
+class TestBaseline:
+    def test_fingerprint_is_line_independent(self):
+        a = sample_findings()[0]
+        moved = Finding(path=a.path, line=a.line + 40, column=2,
+                        rule=a.rule, message=a.message, snippet=a.snippet)
+        assert finding_fingerprint(a) == finding_fingerprint(moved)
+        other = Finding(path=a.path, line=a.line, column=a.column,
+                        rule="RL002", message=a.message, snippet=a.snippet)
+        assert finding_fingerprint(a) != finding_fingerprint(other)
+
+    def test_write_load_filter_cycle(self, tmp_path):
+        findings = sample_findings()
+        path = tmp_path / "baseline.json"
+        assert write_baseline(str(path), findings) == 2
+        baseline = load_baseline(str(path))
+        kept, suppressed = filter_baselined(findings, baseline)
+        assert kept == [] and suppressed == 2
+        fresh = Finding(path="src/c.py", line=1, column=0, rule="RL003",
+                        message="new", snippet="emit('x')")
+        kept, suppressed = filter_baselined(findings + [fresh], baseline)
+        assert kept == [fresh] and suppressed == 2
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_baseline(str(tmp_path / "nope.json"))
+
+
+RNG_CALL = "np.random.default_rng()"
+
+
+class TestPragmaEdgeCases:
+    def test_pragma_on_decorator_line_suppresses_def_line(self):
+        source = (
+            "import numpy as np\n"
+            "def deco(f):\n"
+            "    return f\n"
+            "@deco  # repro-lint: disable=RL001\n"
+            f"def f():\n"
+            f"    return 1\n"
+        )
+        # the pragma sits on the decorator: a finding on that exact
+        # line is suppressed, but the def body is not blanketed
+        assert lint_source(source) == []
+
+    def test_file_level_pragma_after_docstring(self):
+        source = (
+            '"""Module docstring spanning\n'
+            'two lines."""\n'
+            "# repro-lint: disable-file=RL001\n"
+            "import numpy as np\n"
+            f"rng = {RNG_CALL}\n"
+        )
+        assert lint_source(source) == []
+
+    def test_line_pragma_only_covers_its_line(self):
+        source = (
+            "import numpy as np\n"
+            f"a = {RNG_CALL}  # repro-lint: disable=RL001\n"
+            f"b = {RNG_CALL}\n"
+        )
+        findings = lint_source(source)
+        assert [f.line for f in findings] == [3]
+
+    def test_pragma_inside_string_literal_is_inert(self):
+        source = (
+            "import numpy as np\n"
+            'note = "# repro-lint: disable-file=RL001"\n'
+            f"rng = {RNG_CALL}\n"
+        )
+        assert len(lint_source(source)) == 1
+
+    def test_unused_pragma_reported_via_session(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1  # repro-lint: disable=RL004\n")
+        session = LintSession([str(target)])
+        session.run_classic()
+        orphans = session.orphan_findings(session.rule_ids)
+        assert [f.rule for f in orphans] == ["RL007"]
+        assert orphans[0].severity == "warning"
+        strict = session.orphan_findings(session.rule_ids, strict=True)
+        assert strict[0].severity == "error"
+
+    def test_used_pragma_is_not_orphaned(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import numpy as np\n"
+            f"rng = {RNG_CALL}  # repro-lint: disable=RL001\n"
+        )
+        session = LintSession([str(target)])
+        assert session.run_classic() == []
+        assert session.orphan_findings(session.rule_ids) == []

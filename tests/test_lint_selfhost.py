@@ -26,6 +26,25 @@ def test_source_tree_lints_clean():
     assert findings == [], "\n".join(f.format() for f in findings)
 
 
+def test_source_tree_flow_lints_clean():
+    """The whole-program rules (RL101-RL105) self-host clean too —
+    including an empty orphan-pragma audit over the combined run."""
+    from repro.lint.framework import LintSession
+    from repro.lint.flow import run_flow
+    from repro.lint.rules_flow import all_flow_rules
+
+    session = LintSession([SRC])
+    classic = session.run_classic()
+    result = run_flow(session)
+    assert classic == []
+    assert result.findings == [], \
+        "\n".join(f.format() for f in result.findings)
+    executed = list(session.rule_ids) \
+        + [rule.rule_id for rule in all_flow_rules()]
+    orphans = session.orphan_findings(executed)
+    assert orphans == [], "\n".join(f.format() for f in orphans)
+
+
 def test_rng_module_is_the_only_construction_site():
     """The factory module itself constructs RNGs — and is exempt."""
     rng_path = os.path.join(SRC, "repro", "sim", "rng.py")
